@@ -1,0 +1,333 @@
+(* Benchmark harness.
+
+   Part 1: Bechamel micro-benchmarks — one Test.make per operation that a
+   table or figure in the paper depends on (crypto primitive costs behind
+   Figure 8 and the Section 7.2 table; FBS per-datagram send/receive costs
+   behind Figure 8's FBS rows; key-derivation and cache operations behind
+   Figure 11; FAM classification behind Section 7.1; keying-scheme
+   comparisons behind Sections 2.1/2.2).
+
+   Part 2: the figure harness itself — prints the same rows/series the
+   paper's evaluation reports (Figures 8-14 plus the crypto table and
+   ablations), via the shared [Fbsr_experiments] library. *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let datagram = String.make 1460 'd' (* an MTU-sized payload *)
+let des_key = Fbsr_crypto.Des.of_string "k3yk3yk3"
+let iv = "initvect"
+let mac_key = String.make 16 'k'
+
+(* A pair of FBS engines with a synchronous local resolver, pre-warmed so
+   the steady-state benches measure the cached fast path (Figure 6). *)
+let make_engine_pair () =
+  let rng = Fbsr_util.Rng.create 424242 in
+  let group = Lazy.force Fbsr_crypto.Dh.test_group in
+  let ca = Fbsr_cert.Authority.create ~rng ~bits:512 () in
+  let enroll name =
+    let priv = Fbsr_crypto.Dh.gen_private group rng in
+    let pub = Fbsr_crypto.Dh.public group priv in
+    let (_ : Fbsr_cert.Certificate.t) =
+      Fbsr_cert.Authority.enroll ca ~now:0.0 ~subject:name
+        ~group:group.Fbsr_crypto.Dh.name
+        ~public_value:(Fbsr_crypto.Dh.public_to_bytes group pub)
+    in
+    (Fbsr_fbs.Principal.of_string name, priv)
+  in
+  let s, s_priv = enroll "10.9.0.1" in
+  let d, d_priv = enroll "10.9.0.2" in
+  let resolver peer k =
+    match Fbsr_cert.Authority.lookup ca (Fbsr_fbs.Principal.to_string peer) with
+    | Some c -> k (Ok c)
+    | None -> k (Error "unknown")
+  in
+  let engine_for local priv suite =
+    let keying =
+      Fbsr_fbs.Keying.create ~local ~group ~private_value:priv
+        ~ca_public:(Fbsr_cert.Authority.public ca)
+        ~ca_hash:(Fbsr_cert.Authority.hash ca)
+        ~resolver
+        ~clock:(fun () -> 0.0)
+        ()
+    in
+    let alloc = Fbsr_fbs.Sfl.allocator ~rng in
+    let fam = Fbsr_fbs.Fam.create (Fbsr_fbs.Policy_five_tuple.policy ~alloc ()) in
+    Fbsr_fbs.Engine.create ~suite ~keying ~fam ()
+  in
+  (s, d, engine_for s s_priv, engine_for d d_priv)
+
+let suite_paper = Fbsr_fbs.Suite.paper_md5_des
+let suite_nop = Fbsr_fbs.Suite.nop
+
+let fbs_fixture suite ~secret =
+  let s, d, mk_s, mk_d = make_engine_pair () in
+  let es = mk_s suite and ed = mk_d suite in
+  let attrs =
+    Fbsr_fbs.Fam.attrs ~protocol:17 ~src_port:1000 ~dst_port:2000 ~src:s ~dst:d ()
+  in
+  (* Warm every cache. *)
+  let wire =
+    match Fbsr_fbs.Engine.send_sync es ~now:60.0 ~attrs ~secret ~payload:datagram with
+    | Ok w -> w
+    | Error _ -> failwith "bench fixture: send failed"
+  in
+  (match Fbsr_fbs.Engine.receive_sync ed ~now:60.0 ~src:s ~wire with
+  | Ok _ -> ()
+  | Error _ -> failwith "bench fixture: receive failed");
+  (es, ed, s, attrs, wire)
+
+let es_paper, ed_paper, src_paper, attrs_paper, wire_paper =
+  fbs_fixture suite_paper ~secret:true
+
+let es_nop, _, _, attrs_nop, _ = fbs_fixture suite_nop ~secret:true
+
+let es_auth, ed_auth, src_auth, attrs_auth, wire_auth =
+  fbs_fixture suite_paper ~secret:false
+
+let es_desmac, ed_desmac, src_desmac, attrs_desmac, wire_desmac =
+  fbs_fixture Fbsr_fbs.Suite.des_mac_des ~secret:true
+
+let es_des3, ed_des3, src_des3, attrs_des3, wire_des3 =
+  fbs_fixture Fbsr_fbs.Suite.md5_des3 ~secret:true
+
+(* Combined fast path fixture (Section 7.2): warm table + sealed sends. *)
+let fp_engine, fp_table, fp_flow_key =
+  let s, d, mk_s, _ = make_engine_pair () in
+  let es = mk_s suite_paper in
+  let alloc = Fbsr_fbs.Sfl.allocator ~rng:(Fbsr_util.Rng.create 55) in
+  let fp = Fbsr_fbs_ip.Fast_path.create ~alloc () in
+  (* Prime one entry with a derived key. *)
+  let sfl =
+    match
+      Fbsr_fbs_ip.Fast_path.lookup fp ~now:60.0 ~protocol:17
+        ~src:(Fbsr_fbs.Principal.to_string s) ~src_port:1000
+        ~dst:(Fbsr_fbs.Principal.to_string d) ~dst_port:2000
+    with
+    | Fbsr_fbs_ip.Fast_path.Miss sfl -> sfl
+    | Fbsr_fbs_ip.Fast_path.Hit (sfl, _) -> sfl
+  in
+  let key = ref "" in
+  Fbsr_fbs.Engine.derive_flow_key es ~sfl ~src:s ~dst:d (function
+    | Ok k -> key := k
+    | Error _ -> failwith "bench fixture: derive failed");
+  Fbsr_fbs_ip.Fast_path.install_key fp ~sfl ~flow_key:!key;
+  (es, fp, !key)
+
+let fp_src = "10.9.0.1"
+let fp_dst = "10.9.0.2"
+
+(* Keying fixtures for the modexp benches. *)
+let dh_small = Lazy.force Fbsr_crypto.Dh.test_group
+let dh_1024 = Lazy.force Fbsr_crypto.Dh.oakley2
+let bench_rng = Fbsr_util.Rng.create 7
+let dh_small_priv = Fbsr_crypto.Dh.gen_private dh_small bench_rng
+let dh_small_pub = Fbsr_crypto.Dh.public dh_small dh_small_priv
+let dh_1024_priv = Fbsr_crypto.Dh.gen_private dh_1024 bench_rng
+let dh_1024_pub = Fbsr_crypto.Dh.public dh_1024 dh_1024_priv
+let bbs = Fbsr_crypto.Bbs.create ~modulus_bits:256 bench_rng ~seed:"bench-bbs-seed"
+
+let triple_hash (sfl, a, b) =
+  let open Fbsr_util.Crc32 in
+  let h = update_int64 0 sfl in
+  let h = update h a 0 (String.length a) in
+  update h b 0 (String.length b)
+
+let triple_equal (s1, a1, b1) (s2, a2, b2) =
+  Int64.equal s1 s2 && String.equal a1 a2 && String.equal b1 b2
+
+let cache : (int64 * string * string, string) Fbsr_fbs.Cache.t =
+  Fbsr_fbs.Cache.create ~sets:128 ~hash:triple_hash ~equal:triple_equal ()
+
+let () = Fbsr_fbs.Cache.insert cache (42L, "10.9.0.2", "10.9.0.1") "flowkey"
+let alloc_for_fam = Fbsr_fbs.Sfl.allocator ~rng:(Fbsr_util.Rng.create 77)
+let fam_policy = Fbsr_fbs.Policy_five_tuple.make ~alloc:alloc_for_fam ()
+
+let fam_attrs =
+  Fbsr_fbs.Fam.attrs ~protocol:6 ~src_port:1234 ~dst_port:80
+    ~src:(Fbsr_fbs.Principal.of_string "10.9.0.1")
+    ~dst:(Fbsr_fbs.Principal.of_string "10.9.0.2")
+    ()
+
+let lcg = Fbsr_util.Lcg.create 99
+
+(* ------------------------------------------------------------------ *)
+(* Tests                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let stage = Staged.stage
+
+let crypto_tests =
+  Test.make_grouped ~name:"crypto"
+    [
+      (* Section 7.2 table: CryptoLib DES-CBC 549 kB/s, MD5 7060 kB/s. *)
+      Test.make ~name:"des-cbc-1460B"
+        (stage (fun () -> Fbsr_crypto.Des.encrypt_cbc ~iv des_key datagram));
+      Test.make ~name:"md5-1460B" (stage (fun () -> Fbsr_crypto.Md5.digest datagram));
+      Test.make ~name:"sha1-1460B" (stage (fun () -> Fbsr_crypto.Sha1.digest datagram));
+      Test.make ~name:"prefix-mac-md5-1460B"
+        (stage (fun () ->
+             Fbsr_crypto.Mac.prefix Fbsr_crypto.Hash.md5 ~key:mac_key [ datagram ]));
+      Test.make ~name:"hmac-md5-1460B"
+        (stage (fun () ->
+             Fbsr_crypto.Mac.hmac Fbsr_crypto.Hash.md5 ~key:mac_key [ datagram ]));
+      (* Master key computation cost (MKC miss): one modular exponentiation. *)
+      Test.make ~name:"dh-shared-61bit"
+        (stage (fun () -> Fbsr_crypto.Dh.shared dh_small dh_small_priv dh_small_pub));
+      Test.make ~name:"dh-shared-1024bit-oakley2"
+        (stage (fun () -> Fbsr_crypto.Dh.shared dh_1024 dh_1024_priv dh_1024_pub));
+      (* Per-datagram key generation under host-pair keying (Section 2.2). *)
+      Test.make ~name:"bbs-8-bytes" (stage (fun () -> Fbsr_crypto.Bbs.bytes bbs 8));
+      (* Confounder generation is nearly free (Section 5.3). *)
+      Test.make ~name:"lcg-confounder" (stage (fun () -> Fbsr_util.Lcg.next_u32 lcg));
+      Test.make ~name:"crc32-1460B" (stage (fun () -> Fbsr_util.Crc32.string datagram));
+      (* Section 5.3's single-pass data-touching optimization. *)
+      Test.make ~name:"mac+encrypt-fused-1460B"
+        (stage (fun () ->
+             Fbsr_crypto.Fused.mac_and_encrypt ~mac_key ~des_key ~iv
+               ~prefix_parts:[ "conf"; "ts" ] datagram));
+      Test.make ~name:"mac+encrypt-two-pass-1460B"
+        (stage (fun () ->
+             Fbsr_crypto.Fused.mac_then_encrypt ~mac_key ~des_key ~iv
+               ~prefix_parts:[ "conf"; "ts" ] datagram));
+    ]
+
+let fbs_tests =
+  Test.make_grouped ~name:"fbs"
+    [
+      (* Figure 8 FBS rows: per-datagram send/receive on the warm path. *)
+      Test.make ~name:"send-des+md5-1460B"
+        (stage (fun () ->
+             Fbsr_fbs.Engine.send_sync es_paper ~now:60.0 ~attrs:attrs_paper
+               ~secret:true ~payload:datagram));
+      Test.make ~name:"receive-des+md5-1460B"
+        (stage (fun () ->
+             Fbsr_fbs.Engine.receive_sync ed_paper ~now:60.0 ~src:src_paper
+               ~wire:wire_paper));
+      Test.make ~name:"send-auth-only-1460B"
+        (stage (fun () ->
+             Fbsr_fbs.Engine.send_sync es_auth ~now:60.0 ~attrs:attrs_auth
+               ~secret:false ~payload:datagram));
+      Test.make ~name:"receive-auth-only-1460B"
+        (stage (fun () ->
+             Fbsr_fbs.Engine.receive_sync ed_auth ~now:60.0 ~src:src_auth
+               ~wire:wire_auth));
+      Test.make ~name:"send-nop-1460B"
+        (stage (fun () ->
+             Fbsr_fbs.Engine.send_sync es_nop ~now:60.0 ~attrs:attrs_nop ~secret:true
+               ~payload:datagram));
+      (* Alternative suites: footnote 12's DES-for-everything, and 3DES. *)
+      Test.make ~name:"send-desmac+des-1460B"
+        (stage (fun () ->
+             Fbsr_fbs.Engine.send_sync es_desmac ~now:60.0 ~attrs:attrs_desmac
+               ~secret:true ~payload:datagram));
+      Test.make ~name:"send-md5+3des-1460B"
+        (stage (fun () ->
+             Fbsr_fbs.Engine.send_sync es_des3 ~now:60.0 ~attrs:attrs_des3 ~secret:true
+               ~payload:datagram));
+      Test.make ~name:"receive-desmac+des-1460B"
+        (stage (fun () ->
+             Fbsr_fbs.Engine.receive_sync ed_desmac ~now:60.0 ~src:src_desmac
+               ~wire:wire_desmac));
+      Test.make ~name:"receive-md5+3des-1460B"
+        (stage (fun () ->
+             Fbsr_fbs.Engine.receive_sync ed_des3 ~now:60.0 ~src:src_des3
+               ~wire:wire_des3));
+      (* Section 7.2's combined FST+TFKC probe vs the generic two-lookup
+         path (the rest of send processing is identical). *)
+      Test.make ~name:"fast-path-probe+seal-1460B"
+        (stage (fun () ->
+             match
+               Fbsr_fbs_ip.Fast_path.lookup fp_table ~now:60.0 ~protocol:17 ~src:fp_src
+                 ~src_port:1000 ~dst:fp_dst ~dst_port:2000
+             with
+             | Fbsr_fbs_ip.Fast_path.Hit (sfl, flow_key) ->
+                 Fbsr_fbs.Engine.send_sealed fp_engine ~now:60.0 ~sfl ~flow_key
+                   ~secret:true ~payload:datagram
+             | Fbsr_fbs_ip.Fast_path.Miss _ -> failwith "unexpected miss"));
+      Test.make ~name:"seal-only-1460B"
+        (stage (fun () ->
+             Fbsr_fbs.Engine.seal fp_engine ~now:60.0
+               ~sfl:(Fbsr_fbs.Sfl.of_int64 42L) ~flow_key:fp_flow_key ~secret:true
+               ~payload:datagram));
+      (* Figure 11's unit of work: a flow-key cache probe. *)
+      Test.make ~name:"cache-hit"
+        (stage (fun () -> Fbsr_fbs.Cache.find cache (42L, "10.9.0.2", "10.9.0.1")));
+      Test.make ~name:"cache-miss"
+        (stage (fun () -> Fbsr_fbs.Cache.find cache (43L, "10.9.0.2", "10.9.0.1")));
+      (* Section 7.1 policy: one FAM classification. *)
+      Test.make ~name:"fam-five-tuple-map"
+        (stage (fun () -> Fbsr_fbs.Policy_five_tuple.map fam_policy ~now:1.0 fam_attrs));
+      (* Flow key derivation (TFKC miss, MKC hit). *)
+      Test.make ~name:"flow-key-derivation"
+        (stage (fun () ->
+             Fbsr_fbs.Keying.flow_key ~hash:Fbsr_crypto.Hash.md5
+               ~sfl:(Fbsr_fbs.Sfl.of_int64 77L) ~master:mac_key
+               ~src:(Fbsr_fbs.Principal.of_string "10.9.0.1")
+               ~dst:(Fbsr_fbs.Principal.of_string "10.9.0.2")));
+      Test.make ~name:"header-encode+decode"
+        (stage (fun () ->
+             let h =
+               {
+                 Fbsr_fbs.Header.sfl = Fbsr_fbs.Sfl.of_int64 9L;
+                 suite = suite_paper;
+                 secret = true;
+                 confounder = 0xdeadbeef;
+                 timestamp = 12345;
+                 mac = mac_key;
+               }
+             in
+             Fbsr_fbs.Header.decode (Fbsr_fbs.Header.encode h ^ "body")));
+    ]
+
+let all_tests = Test.make_grouped ~name:"fbs-repro" [ crypto_tests; fbs_tests ]
+
+(* ------------------------------------------------------------------ *)
+(* Runner                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let benchmark () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let raw_results = Benchmark.all cfg instances all_tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw_results) instances
+  in
+  Analyze.merge ols instances results
+
+let print_results results =
+  Printf.printf "%-50s %15s\n" "benchmark" "time/op";
+  Printf.printf "%s\n" (String.make 66 '-');
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun _instance tbl ->
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> rows := (name, est) :: !rows
+          | Some _ | None -> ())
+        tbl)
+    results;
+  let sorted = List.sort compare !rows in
+  List.iter
+    (fun (name, ns) ->
+      let pretty =
+        if ns >= 1e6 then Printf.sprintf "%10.2f ms" (ns /. 1e6)
+        else if ns >= 1e3 then Printf.sprintf "%10.2f us" (ns /. 1e3)
+        else Printf.sprintf "%10.0f ns" ns
+      in
+      Printf.printf "%-50s %15s\n" name pretty)
+    sorted
+
+let () =
+  Printf.printf
+    "=== Bechamel micro-benchmarks (one per table/figure dependency) ===\n%!";
+  print_results (benchmark ());
+  (* Part 2: regenerate the paper's tables and figures. *)
+  let seed = 7 and duration = 7200.0 and bytes = 1_000_000 in
+  Fbsr_experiments.Experiments.run_all seed duration bytes

@@ -1,0 +1,1 @@
+bin/tracegen.ml: Arg Cmd Cmdliner Fbsr_traffic Fmt List Printf Term

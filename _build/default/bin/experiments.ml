@@ -1,0 +1,60 @@
+(* fbs-experiments: command-line driver around [Fbsr_experiments]. *)
+
+open Fbsr_experiments.Experiments
+open Cmdliner
+
+let seed_arg =
+  Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Trace generator seed.")
+
+let duration_arg =
+  Arg.(
+    value
+    & opt float (4.0 *. 3600.0)
+    & info [ "duration" ] ~doc:"Trace duration in simulated seconds.")
+
+let bytes_arg =
+  Arg.(
+    value & opt int 2_000_000
+    & info [ "bytes" ] ~doc:"Bytes to transfer in the Figure 8 runs.")
+
+let cmd name doc f = Cmd.v (Cmd.info name ~doc) f
+
+let with_trace_args f =
+  Term.(const (fun seed duration -> f ~seed ~duration ()) $ seed_arg $ duration_arg)
+
+let commands =
+  [
+    cmd "crypto-table" "Crypto primitive throughput (Section 7.2 numbers)"
+      Term.(const crypto_table $ const ());
+    cmd "fig8" "Figure 8: FBS vs GENERIC throughput"
+      Term.(const (fun bytes -> fig8 ~bytes ()) $ bytes_arg);
+    cmd "fig9" "Figure 9: flow sizes" (with_trace_args fig9);
+    cmd "fig10" "Figure 10: flow durations" (with_trace_args fig10);
+    cmd "fig11" "Figure 11: cache miss rates" (with_trace_args fig11);
+    cmd "fig12" "Figure 12: active flows over time" (with_trace_args fig12);
+    cmd "fig13" "Figure 13: active flows vs THRESHOLD" (with_trace_args fig13);
+    cmd "fig14" "Figure 14: repeated flows vs THRESHOLD" (with_trace_args fig14);
+    cmd "ablation-hash" "Cache hash-function ablation" (with_trace_args ablation_hash);
+    cmd "ablation-assoc" "Cache associativity ablation" (with_trace_args ablation_assoc);
+    cmd "ablation-keying" "Per-flow vs per-datagram keying cost"
+      Term.(const ablation_keying $ const ());
+    cmd "ablation-mac" "Prefix MAC vs HMAC" Term.(const ablation_mac $ const ());
+    cmd "www-flows" "Flow characteristics of the WWW-server trace"
+      (with_trace_args www_flows);
+    cmd "ablation-window" "Replay freshness window sweep"
+      Term.(const ablation_replay_window $ const ());
+    cmd "ablation-fused" "Single-pass MAC+encrypt vs two passes"
+      Term.(const ablation_fused $ const ());
+    cmd "ablation-fstsize" "FST size vs hash collisions (footnote 11)"
+      (with_trace_args ablation_fstsize);
+    cmd "ablation-replacement" "Cache replacement policy (Section 5.3)"
+      (with_trace_args ablation_replacement);
+    cmd "live-site" "Drive the campus workload through real FBS stacks"
+      Term.(const (fun seed -> live_site ~seed ()) $ seed_arg);
+    cmd "all" "Run every experiment"
+      Term.(const run_all $ seed_arg $ duration_arg $ bytes_arg);
+  ]
+
+let () =
+  let info = Cmd.info "fbs-experiments" ~doc:"Regenerate the paper's figures" in
+  exit (Cmd.eval (Cmd.group info commands))

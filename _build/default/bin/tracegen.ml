@@ -1,0 +1,75 @@
+(* fbs-tracegen: generate, inspect and save the synthetic packet traces the
+   flow experiments consume. *)
+
+open Cmdliner
+
+let generate scenario seed duration out =
+  let sc =
+    match scenario with
+    | "campus" -> Fbsr_traffic.Scenario.campus_lan ~seed ~duration ()
+    | "www" -> Fbsr_traffic.Scenario.www_server ~seed ~duration ()
+    | s -> invalid_arg ("unknown scenario " ^ s ^ " (campus|www)")
+  in
+  let records = sc.Fbsr_traffic.Scenario.records in
+  Printf.printf "scenario %s: %d hosts, %d records, %d bytes over %.0f s\n"
+    sc.Fbsr_traffic.Scenario.name
+    (List.length sc.Fbsr_traffic.Scenario.hosts)
+    (Fbsr_traffic.Record.count records)
+    (Fbsr_traffic.Record.total_bytes records)
+    sc.Fbsr_traffic.Scenario.duration;
+  match out with
+  | None -> ()
+  | Some path ->
+      Fbsr_traffic.Record.save path records;
+      Printf.printf "wrote %s\n" path
+
+let inspect path threshold =
+  let records = Fbsr_traffic.Record.load path in
+  Printf.printf "%d records, %.0f s, %d bytes\n"
+    (Fbsr_traffic.Record.count records)
+    (Fbsr_traffic.Record.duration records)
+    (Fbsr_traffic.Record.total_bytes records);
+  let res = Fbsr_traffic.Flow_sim.run ~threshold records in
+  Printf.printf "flows at THRESHOLD=%.0f: %d (repeated %d, collisions %d)\n" threshold
+    (List.length res.Fbsr_traffic.Flow_sim.flows)
+    (Fbsr_traffic.Flow_sim.repeated_flows res)
+    res.Fbsr_traffic.Flow_sim.collisions
+
+let analyze path =
+  let records = Fbsr_traffic.Record.load path in
+  Fmt.pr "%a" Fbsr_traffic.Analysis.pp (Fbsr_traffic.Analysis.analyse records)
+
+let scenario_arg =
+  Arg.(value & opt string "campus" & info [ "scenario" ] ~doc:"campus or www")
+
+let seed_arg = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Generator seed")
+
+let duration_arg =
+  Arg.(value & opt float 14400.0 & info [ "duration" ] ~doc:"Trace seconds")
+
+let out_arg =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file")
+
+let path_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE")
+
+let threshold_arg =
+  Arg.(value & opt float 600.0 & info [ "threshold" ] ~doc:"Flow idle threshold")
+
+let generate_cmd =
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic trace")
+    Term.(const generate $ scenario_arg $ seed_arg $ duration_arg $ out_arg)
+
+let inspect_cmd =
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"Summarize a saved trace")
+    Term.(const inspect $ path_arg $ threshold_arg)
+
+let analyze_cmd =
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Packet mix / sizes / per-service breakdown")
+    Term.(const analyze $ path_arg)
+
+let () =
+  let info = Cmd.info "fbs-tracegen" ~doc:"Synthetic packet traces" in
+  exit (Cmd.eval (Cmd.group info [ generate_cmd; inspect_cmd; analyze_cmd ]))

@@ -1,0 +1,1 @@
+examples/app_layer_flows.ml: App_socket Ca_server Engine Fbsr_cert Fbsr_crypto Fbsr_fbs Fbsr_fbs_app Fbsr_fbs_ip Fbsr_netsim Fbsr_util Hashtbl Host Mkd Option Printf String Testbed

@@ -1,0 +1,1 @@
+examples/app_layer_flows.mli:

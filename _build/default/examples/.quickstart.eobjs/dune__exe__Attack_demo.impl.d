@@ -1,0 +1,1 @@
+examples/attack_demo.ml: Addr Attacks Engine Fbsr_baselines Fbsr_cert Fbsr_crypto Fbsr_fbs Fbsr_fbs_ip Fbsr_netsim Fbsr_util Host Hostpair Ipv4 List Printf Stack Testbed Udp_stack

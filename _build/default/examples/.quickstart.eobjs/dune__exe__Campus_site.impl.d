@@ -1,0 +1,1 @@
+examples/campus_site.ml: Fbsr_experiments Printf

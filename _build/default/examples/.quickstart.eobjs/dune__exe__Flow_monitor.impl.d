@@ -1,0 +1,1 @@
+examples/flow_monitor.ml: Array Fbsr_traffic Fbsr_util Flow_sim List Printf Record Scenario String

@@ -1,0 +1,1 @@
+examples/interactive_session.ml: Addr Engine Fbsr_fbs Fbsr_fbs_ip Fbsr_netsim Host Int64 Ipv4 List Medium Printf Stack Testbed Udp_stack

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Addr Engine Fbsr_fbs Fbsr_fbs_ip Fbsr_netsim Host List Mkd Printf Stack Testbed Udp_stack

@@ -1,0 +1,1 @@
+examples/secure_file_transfer.ml: Buffer Char Fbsr_fbs Fbsr_fbs_ip Fbsr_netsim Host Minitcp Printf Stack String Testbed

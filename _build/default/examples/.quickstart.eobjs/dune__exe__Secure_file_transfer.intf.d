@@ -1,0 +1,1 @@
+examples/secure_file_transfer.mli:

@@ -1,0 +1,1 @@
+examples/site_to_site_vpn.ml: Addr Ca_server Engine Fbsr_cert Fbsr_crypto Fbsr_fbs Fbsr_fbs_ip Fbsr_netsim Fbsr_util Gateway Host Lazy Medium Mkd Printf Stack String Udp_stack

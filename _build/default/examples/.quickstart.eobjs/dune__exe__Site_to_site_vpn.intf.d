@@ -1,0 +1,1 @@
+examples/site_to_site_vpn.mli:

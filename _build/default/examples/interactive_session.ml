@@ -1,0 +1,78 @@
+(* An interactive (TELNET-like) session with quiet periods.
+
+   The Section 7.1 policy splits one long conversation into multiple flows
+   when the user goes quiet for longer than THRESHOLD — the paper notes
+   "the partitioning of a long duration conversation into multiple flows
+   is better from a security perspective" (each segment gets its own key,
+   with zero extra messages).
+
+   This example types a few bursts of "keystrokes" separated by a long
+   lunch break and shows the sfl changing across the gap.
+
+   Run with:  dune exec examples/interactive_session.exe *)
+
+open Fbsr_netsim
+open Fbsr_fbs_ip
+
+let () =
+  let threshold = 300.0 in
+  let tb =
+    Testbed.create ~config:(Stack.default_config ~threshold ()) ()
+  in
+  let user = Testbed.add_host tb ~name:"desktop" ~addr:"10.0.0.1" in
+  let shell = Testbed.add_host tb ~name:"server" ~addr:"10.0.0.2" in
+
+  Udp_stack.listen shell.Testbed.host ~port:23 (fun ~src ~src_port data ->
+      (* Echo, as a remote shell would. *)
+      Udp_stack.send shell.Testbed.host ~src_port:23 ~dst:src ~dst_port:src_port
+        ("echo: " ^ data));
+  let echoes = ref 0 in
+  Udp_stack.listen user.Testbed.host ~port:3001 (fun ~src:_ ~src_port:_ _ ->
+      incr echoes);
+
+  (* Capture the sfl of each outgoing datagram with a sniffer. *)
+  let observed_sfls = ref [] in
+  Medium.add_sniffer (Testbed.medium tb) (fun time raw ->
+      match Ipv4.decode raw with
+      | h, payload
+        when Addr.equal h.Ipv4.src (Host.addr user.Testbed.host)
+             && h.Ipv4.protocol = Ipv4.proto_udp -> (
+          match Fbsr_fbs.Header.decode payload with
+          | Ok (fh, _) -> (
+              let sfl = Fbsr_fbs.Sfl.to_int64 fh.Fbsr_fbs.Header.sfl in
+              match !observed_sfls with
+              | (last, _) :: _ when Int64.equal last sfl -> ()
+              | _ -> observed_sfls := (sfl, time) :: !observed_sfls)
+          | Error _ -> ())
+      | _ -> ()
+      | exception Ipv4.Bad_packet _ -> ());
+
+  let type_burst ~at words =
+    List.iteri
+      (fun i word ->
+        Engine.schedule (Testbed.engine tb)
+          ~delay:(at +. (0.8 *. float_of_int i))
+          (fun () ->
+            Udp_stack.send user.Testbed.host ~src_port:3001
+              ~dst:(Host.addr shell.Testbed.host) ~dst_port:23 word))
+      words
+  in
+  type_burst ~at:1.0 [ "ls"; "cd src"; "make" ];
+  (* Lunch: 10 minutes of silence, past the 300 s THRESHOLD. *)
+  type_burst ~at:650.0 [ "make test"; "git diff" ];
+  (* A short pause, inside THRESHOLD: same flow continues. *)
+  type_burst ~at:750.0 [ "git commit" ];
+
+  Testbed.run tb;
+
+  Printf.printf "session over; %d echoes received.\n\n" !echoes;
+  Printf.printf "flows observed on the wire (user -> server direction):\n";
+  List.iteri
+    (fun i (sfl, first_seen) ->
+      Printf.printf "  flow %d: sfl=%Lx first seen at t=%.1fs\n" (i + 1) sfl first_seen)
+    (List.rev !observed_sfls);
+  Printf.printf
+    "\nTHRESHOLD=%.0fs: the quiet period after t=3.6s expired the flow, so the \
+     t=650s burst\nstarted a new flow (fresh sfl, fresh key) with no key-exchange \
+     messages.  The short\npause before t=750s stayed within THRESHOLD: same flow.\n"
+    threshold

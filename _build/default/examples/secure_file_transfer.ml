@@ -1,0 +1,60 @@
+(* Secure bulk file transfer (the FTP/rcp workload of Figure 8).
+
+   Transfers a 2 MB "file" over mini-TCP through the full FBS stack and
+   reports goodput, the MSS reduction from the security flow header (the
+   paper's tcp_output fix), and the effect of the rekeying extension: with
+   [max_flow_bytes] set, the FAM rotates the sfl mid-transfer so no single
+   DES key encrypts more than the configured budget.
+
+   Run with:  dune exec examples/secure_file_transfer.exe *)
+
+open Fbsr_netsim
+open Fbsr_fbs_ip
+
+let transfer ~label ~config () =
+  let tb = Testbed.create ?config () in
+  let client = Testbed.add_host tb ~name:"client" ~addr:"10.0.0.1" in
+  let server = Testbed.add_host tb ~name:"server" ~addr:"10.0.0.2" in
+  let file = String.init 2_000_000 (fun i -> Char.chr ((i * 31) land 0xff)) in
+  let received = Buffer.create (String.length file) in
+  let finish = ref 0.0 in
+  Minitcp.listen server.Testbed.host ~port:20 (fun conn ->
+      Minitcp.on_receive conn (fun d -> Buffer.add_string received d);
+      Minitcp.on_close conn (fun () -> Minitcp.close conn));
+  let conn = Minitcp.connect client.Testbed.host ~dst:(Host.addr server.Testbed.host) ~dst_port:20 in
+  Minitcp.on_established conn (fun () ->
+      Minitcp.send conn file;
+      Minitcp.close conn);
+  Minitcp.on_close conn (fun () -> finish := Testbed.now tb);
+  Testbed.run tb;
+  let ok = Buffer.contents received = file in
+  let goodput = float_of_int (String.length file * 8) /. !finish /. 1e3 in
+  let stack = client.Testbed.stack in
+  let flows =
+    (Fbsr_fbs.Fam.stats (Fbsr_fbs.Engine.fam (Stack.engine stack))).Fbsr_fbs.Fam.flows_started
+  in
+  let rekeys = (Fbsr_fbs.Policy_five_tuple.counters (Stack.policy_state stack)).Fbsr_fbs.Policy_five_tuple.rekeys in
+  Printf.printf "%-28s ok=%b mss=%d goodput=%.0f kb/s flows=%d rekeys=%d\n" label ok
+    (Minitcp.mss conn) goodput flows rekeys
+
+let () =
+  Printf.printf "2 MB transfer over the FBS-protected stack (10 Mb/s segment):\n\n";
+  transfer ~label:"default (one flow)" ~config:None ();
+  (* Rekey every 512 kB: the paper's Section 5.2 observation that "rekeying
+     can be easily accomplished via the FAM by changing the sfl", as a
+     policy-module decision. *)
+  transfer ~label:"rekey every 512 kB"
+    ~config:(Some (Stack.default_config ~max_flow_bytes:(512 * 1024) ()))
+    ();
+  (* Authentication-only deployment: secret policy says "don't encrypt". *)
+  transfer ~label:"auth-only (no encryption)"
+    ~config:
+      (Some
+         (Stack.default_config
+            ~secret_policy:(fun ~protocol:_ ~src_port:_ ~dst_port:_ -> false)
+            ()))
+    ();
+  Printf.printf
+    "\nNote the MSS: 1460 minus the security flow header (and cipher padding \
+     allowance),\nthe tcp_output fix of Section 7.2.  Rekeying splits the transfer \
+     into multiple flows\nwithout any extra message exchange.\n"

@@ -1,0 +1,1 @@
+lib/baselines/attacks.ml: Addr Bytes Char Fbsr_fbs Fbsr_netsim Ipv4 List Medium String

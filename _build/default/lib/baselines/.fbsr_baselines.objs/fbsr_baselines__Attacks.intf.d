@@ -1,0 +1,1 @@
+lib/baselines/attacks.mli: Addr Fbsr_netsim Medium

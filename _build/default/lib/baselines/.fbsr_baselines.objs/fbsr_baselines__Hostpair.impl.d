@@ -1,0 +1,1 @@
+lib/baselines/hostpair.ml: Addr Byte_reader Char Fbsr_crypto Fbsr_fbs Fbsr_netsim Fbsr_util Host Ipv4 Minitcp Printf String

@@ -1,0 +1,1 @@
+lib/baselines/hostpair.mli: Addr Fbsr_crypto Fbsr_fbs Fbsr_netsim Host

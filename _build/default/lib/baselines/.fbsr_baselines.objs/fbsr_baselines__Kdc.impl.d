@@ -1,0 +1,1 @@
+lib/baselines/kdc.ml: Addr Byte_reader Byte_writer Fbsr_crypto Fbsr_netsim Fbsr_util Hashtbl Host Int64 Ipv4 Lcg List Minitcp String Udp_stack

@@ -1,0 +1,1 @@
+lib/baselines/kdc.mli: Addr Fbsr_netsim Host

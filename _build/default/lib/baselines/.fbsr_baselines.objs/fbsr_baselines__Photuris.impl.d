@@ -1,0 +1,1 @@
+lib/baselines/photuris.ml: Addr Byte_reader Byte_writer Char Fbsr_crypto Fbsr_netsim Fbsr_util Hashtbl Host Ipv4 Lcg List Minitcp Rng String Udp_stack

@@ -1,0 +1,1 @@
+lib/baselines/photuris.mli: Addr Fbsr_crypto Fbsr_netsim Host

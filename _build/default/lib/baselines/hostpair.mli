@@ -1,0 +1,42 @@
+(** Host-pair keying baseline (SKIP-style, paper Section 2.2): implicit DH
+    master key per host pair, used directly ([Direct], with that scheme's
+    cut-and-paste weakness) or to wrap BBS-generated per-datagram keys
+    ([Per_datagram], paying the CSPRNG cost the paper cites). *)
+
+open Fbsr_netsim
+
+type variant = Direct | Per_datagram
+
+type counters = {
+  mutable sent : int;
+  mutable received : int;
+  mutable dropped : int;
+  mutable bbs_bytes : int;
+}
+
+type t
+
+val install :
+  ?variant:variant ->
+  ?secret:bool ->
+  ?bypass:(Addr.t -> bool) ->
+  ?bbs_modulus_bits:int ->
+  private_value:Fbsr_crypto.Dh.private_value ->
+  group:Fbsr_crypto.Dh.group ->
+  ca_public:Fbsr_crypto.Rsa.public_key ->
+  ca_hash:Fbsr_crypto.Hash.t ->
+  resolver:Fbsr_fbs.Keying.resolver ->
+  Host.t ->
+  t
+
+val counters : t -> counters
+val keying : t -> Fbsr_fbs.Keying.t
+val variant : t -> variant
+val header_size : variant -> int
+
+(** Exposed for the attack harness and tests: *)
+
+type error = Truncated | Bad_variant | Bad_mac | Decrypt_error
+
+val protect : t -> master:string -> payload:string -> string
+val unprotect : t -> master:string -> wire:string -> (string, error) result

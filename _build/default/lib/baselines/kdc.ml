@@ -1,0 +1,330 @@
+(* Session-based keying baseline (paper, Section 2.1): a Kerberos-style
+   key distribution center.
+
+   "Before a source sends a datagram, it contacts the KDC to request a
+   session key and an authentication ticket.  The ticket, encrypted with
+   the destination's secret key, allows the destination (and only the
+   destination) to authenticate and decrypt transmissions from the source."
+
+   This baseline exists to make the paper's argument concrete: the KDC
+   round trip happens *before the first datagram can leave* (an explicit
+   setup exchange), and both ends hold hard session state.  After setup its
+   per-packet costs are comparable to FBS — which is exactly the paper's
+   point: flows give you the efficiency without the setup.
+
+   Each enrolled host shares a DES key with the KDC (out of band).
+
+   KDC protocol (UDP):
+     request:  "KREQ" u16 len | destination name
+     response: "KRSP" u16 n | E(K_client, Ks || expiry)
+                      u16 m | ticket = E(K_dst, Ks || src || expiry)
+     failure:  "KFAI" u16 len | message
+
+   Data packets (between IP header and payload):
+     u8 flags | u16 ticket_len | ticket | 8B iv | 16B mac | body        *)
+
+open Fbsr_netsim
+open Fbsr_util
+
+let kdc_port = 88
+let zero_iv = String.make 8 '\000'
+let mac_len = 16
+
+(* --- KDC server --- *)
+
+module Server = struct
+  type t = {
+    host : Host.t;
+    registry : (string, string) Hashtbl.t; (* host name -> shared DES key *)
+    rng : Fbsr_util.Rng.t;
+    ticket_lifetime : float;
+    mutable tickets_issued : int;
+  }
+
+  let enroll t ~name =
+    let key = Fbsr_crypto.Des.adjust_parity (Fbsr_util.Rng.bytes t.rng 8) in
+    Hashtbl.replace t.registry name key;
+    key
+
+  let session_blob ~session_key ~extra ~expiry =
+    let w = Byte_writer.create () in
+    Byte_writer.bytes w session_key;
+    Byte_writer.u16 w (String.length extra);
+    Byte_writer.bytes w extra;
+    Byte_writer.u64 w (Int64.of_float expiry);
+    Byte_writer.contents w
+
+  let handle t ~src ~src_port raw =
+    let r = Byte_reader.of_string raw in
+    match
+      let magic = Byte_reader.bytes r 4 in
+      let len = Byte_reader.u16 r in
+      let dst_name = Byte_reader.bytes r len in
+      (magic, dst_name)
+    with
+    | exception Byte_reader.Truncated -> ()
+    | magic, dst_name when magic = "KREQ" -> (
+        let src_name = Addr.to_string src in
+        let reply =
+          match
+            (Hashtbl.find_opt t.registry src_name, Hashtbl.find_opt t.registry dst_name)
+          with
+          | Some k_client, Some k_dst ->
+              let session_key =
+                Fbsr_crypto.Des.adjust_parity (Fbsr_util.Rng.bytes t.rng 8)
+              in
+              let expiry = Host.now t.host +. t.ticket_lifetime in
+              let for_client =
+                Fbsr_crypto.Des.encrypt_cbc ~iv:zero_iv
+                  (Fbsr_crypto.Des.of_string k_client)
+                  (session_blob ~session_key ~extra:dst_name ~expiry)
+              in
+              let ticket =
+                Fbsr_crypto.Des.encrypt_cbc ~iv:zero_iv
+                  (Fbsr_crypto.Des.of_string k_dst)
+                  (session_blob ~session_key ~extra:src_name ~expiry)
+              in
+              t.tickets_issued <- t.tickets_issued + 1;
+              let w = Byte_writer.create () in
+              Byte_writer.bytes w "KRSP";
+              Byte_writer.u16 w (String.length for_client);
+              Byte_writer.bytes w for_client;
+              Byte_writer.u16 w (String.length ticket);
+              Byte_writer.bytes w ticket;
+              Byte_writer.contents w
+          | _ ->
+              let msg = "unknown principal" in
+              let w = Byte_writer.create () in
+              Byte_writer.bytes w "KFAI";
+              Byte_writer.u16 w (String.length msg);
+              Byte_writer.bytes w msg;
+              Byte_writer.contents w
+        in
+        Udp_stack.send t.host ~src_port:kdc_port ~dst:src ~dst_port:src_port reply)
+    | _ -> ()
+
+  let install ?(ticket_lifetime = 8.0 *. 3600.0) ?(seed = 0xadc1) host =
+    let t =
+      {
+        host;
+        registry = Hashtbl.create 16;
+        rng = Fbsr_util.Rng.create seed;
+        ticket_lifetime;
+        tickets_issued = 0;
+      }
+    in
+    Udp_stack.listen host ~port:kdc_port (fun ~src ~src_port raw ->
+        handle t ~src ~src_port raw);
+    t
+
+  let tickets_issued t = t.tickets_issued
+end
+
+(* --- Client/receiver stack --- *)
+
+type session = { session_key : string; ticket : string; expiry : float }
+
+type counters = {
+  mutable sent : int;
+  mutable received : int;
+  mutable dropped : int;
+  mutable kdc_requests : int;
+  mutable sessions : int;
+}
+
+type t = {
+  host : Host.t;
+  kdc_addr : Addr.t;
+  shared_key : string; (* our key with the KDC *)
+  secret : bool;
+  bypass : Addr.t -> bool;
+  outgoing : (string, session) Hashtbl.t; (* dst name -> session (hard state) *)
+  incoming : (string, session) Hashtbl.t; (* ticket -> session (hard state) *)
+  pending : (string, (Ipv4.header * string) list ref) Hashtbl.t;
+  iv_gen : Lcg.t;
+  counters : counters;
+  local_port : int;
+}
+
+let parse_session_blob blob =
+  let r = Byte_reader.of_string blob in
+  let session_key = Byte_reader.bytes r 8 in
+  let len = Byte_reader.u16 r in
+  let extra = Byte_reader.bytes r len in
+  let expiry = Int64.to_float (Byte_reader.u64 r) in
+  (session_key, extra, expiry)
+
+let compute_mac ~key parts = Fbsr_crypto.Mac.prefix Fbsr_crypto.Hash.md5 ~key parts
+
+let protect t session payload =
+  let iv = Lcg.next_block t.iv_gen 8 in
+  let dk = Fbsr_crypto.Des.of_string session.session_key in
+  let body = if t.secret then Fbsr_crypto.Des.encrypt_cbc ~iv dk payload else payload in
+  let mac = compute_mac ~key:session.session_key [ iv; body ] in
+  let w = Byte_writer.create () in
+  Byte_writer.u8 w (if t.secret then 1 else 0);
+  Byte_writer.u16 w (String.length session.ticket);
+  Byte_writer.bytes w session.ticket;
+  Byte_writer.bytes w iv;
+  Byte_writer.bytes w mac;
+  Byte_writer.bytes w body;
+  Byte_writer.contents w
+
+let transmit_with_session t session (h : Ipv4.header) payload =
+  Host.transmit_prepared t.host h (protect t session payload)
+
+let request_session t dst_name =
+  t.counters.kdc_requests <- t.counters.kdc_requests + 1;
+  let w = Byte_writer.create () in
+  Byte_writer.bytes w "KREQ";
+  Byte_writer.u16 w (String.length dst_name);
+  Byte_writer.bytes w dst_name;
+  Udp_stack.send t.host ~src_port:t.local_port ~dst:t.kdc_addr ~dst_port:kdc_port
+    (Byte_writer.contents w)
+
+let handle_kdc_reply t raw =
+  let r = Byte_reader.of_string raw in
+  match Byte_reader.bytes r 4 with
+  | exception Byte_reader.Truncated -> ()
+  | "KRSP" -> (
+      match
+        let n = Byte_reader.u16 r in
+        let for_client = Byte_reader.bytes r n in
+        let m = Byte_reader.u16 r in
+        let ticket = Byte_reader.bytes r m in
+        (for_client, ticket)
+      with
+      | exception Byte_reader.Truncated -> ()
+      | for_client, ticket -> (
+          match
+            parse_session_blob
+              (Fbsr_crypto.Des.decrypt_cbc ~iv:zero_iv
+                 (Fbsr_crypto.Des.of_string t.shared_key)
+                 for_client)
+          with
+          | exception _ -> ()
+          | session_key, dst_name, expiry -> (
+              let session = { session_key; ticket; expiry } in
+              Hashtbl.replace t.outgoing dst_name session;
+              t.counters.sessions <- t.counters.sessions + 1;
+              (* Flush datagrams parked on this destination. *)
+              match Hashtbl.find_opt t.pending dst_name with
+              | None -> ()
+              | Some queue ->
+                  Hashtbl.remove t.pending dst_name;
+                  List.iter
+                    (fun (h, payload) ->
+                      t.counters.sent <- t.counters.sent + 1;
+                      transmit_with_session t session h payload)
+                    (List.rev !queue))))
+  | "KFAI" | _ -> ()
+
+let output_hook t (h : Ipv4.header) payload : Host.hook_result =
+  if t.bypass h.dst || Addr.equal h.dst t.kdc_addr then Host.Pass (h, payload)
+  else begin
+    let dst_name = Addr.to_string h.dst in
+    match Hashtbl.find_opt t.outgoing dst_name with
+    | Some session when session.expiry > Host.now t.host ->
+        t.counters.sent <- t.counters.sent + 1;
+        Host.Pass (h, protect t session payload)
+    | Some _ | None -> (
+        (* Session setup required before the first datagram can leave:
+           the explicit message exchange FBS avoids. *)
+        match Hashtbl.find_opt t.pending dst_name with
+        | Some queue ->
+            queue := (h, payload) :: !queue;
+            Host.Drop "kdc awaiting session"
+        | None ->
+            Hashtbl.replace t.pending dst_name (ref [ (h, payload) ]);
+            request_session t dst_name;
+            Host.Drop "kdc awaiting session")
+  end
+
+type error = Truncated | Bad_ticket | Expired | Bad_mac | Decrypt_error
+
+let unprotect t ~now ~wire =
+  let r = Byte_reader.of_string wire in
+  match
+    let flags = Byte_reader.u8 r in
+    let n = Byte_reader.u16 r in
+    let ticket = Byte_reader.bytes r n in
+    let iv = Byte_reader.bytes r 8 in
+    let mac = Byte_reader.bytes r mac_len in
+    let body = Byte_reader.rest r in
+    (flags, ticket, iv, mac, body)
+  with
+  | exception Byte_reader.Truncated -> Error Truncated
+  | flags, ticket, iv, mac, body -> (
+      let session =
+        match Hashtbl.find_opt t.incoming ticket with
+        | Some s -> Ok s
+        | None -> (
+            match
+              parse_session_blob
+                (Fbsr_crypto.Des.decrypt_cbc ~iv:zero_iv
+                   (Fbsr_crypto.Des.of_string t.shared_key)
+                   ticket)
+            with
+            | exception _ -> Error Bad_ticket
+            | session_key, _src_name, expiry ->
+                let s = { session_key; ticket; expiry } in
+                Hashtbl.replace t.incoming ticket s;
+                t.counters.sessions <- t.counters.sessions + 1;
+                Ok s)
+      in
+      match session with
+      | Error e -> Error e
+      | Ok session ->
+          if session.expiry < now then Error Expired
+          else if
+            not (Fbsr_crypto.Ct.equal mac (compute_mac ~key:session.session_key [ iv; body ]))
+          then Error Bad_mac
+          else if flags land 1 = 1 then begin
+            let dk = Fbsr_crypto.Des.of_string session.session_key in
+            match Fbsr_crypto.Des.decrypt_cbc ~iv dk body with
+            | plaintext -> Ok plaintext
+            | exception Invalid_argument _ -> Error Decrypt_error
+          end
+          else Ok body)
+
+let input_hook t (h : Ipv4.header) payload : Host.hook_result =
+  if t.bypass h.src || Addr.equal h.src t.kdc_addr then Host.Pass (h, payload)
+  else
+    match unprotect t ~now:(Host.now t.host) ~wire:payload with
+    | Ok plaintext ->
+        t.counters.received <- t.counters.received + 1;
+        Host.Pass
+          ( { h with Ipv4.total_length = Ipv4.header_length h + String.length plaintext },
+            plaintext )
+    | Error _ ->
+        t.counters.dropped <- t.counters.dropped + 1;
+        Host.Drop "kdc verification failed"
+
+let install ?(secret = true) ?(bypass = fun _ -> false) ?(local_port = 900) ~kdc_addr
+    ~shared_key host =
+  let t =
+    {
+      host;
+      kdc_addr;
+      shared_key;
+      secret;
+      bypass;
+      outgoing = Hashtbl.create 8;
+      incoming = Hashtbl.create 8;
+      pending = Hashtbl.create 8;
+      iv_gen = Lcg.create (Addr.to_int (Host.addr host));
+      counters = { sent = 0; received = 0; dropped = 0; kdc_requests = 0; sessions = 0 };
+      local_port;
+    }
+  in
+  Udp_stack.listen host ~port:local_port (fun ~src ~src_port:_ raw ->
+      if Addr.equal src kdc_addr then handle_kdc_reply t raw);
+  Host.set_output_hook host (output_hook t);
+  Host.set_input_hook host (input_hook t);
+  (* Worst case wire growth: flags+len+ticket(~32)+iv+mac+padding. *)
+  Minitcp.set_mss_reduction host (3 + 32 + 8 + mac_len + 8);
+  t
+
+let counters t = t.counters
+let sessions_out t = Hashtbl.length t.outgoing
+let sessions_in t = Hashtbl.length t.incoming

@@ -1,0 +1,49 @@
+(** Session-based keying baseline: Kerberos-style KDC with tickets (paper
+    Section 2.1).  Demonstrates the explicit setup exchange and hard
+    session state that FBS's zero-message keying avoids. *)
+
+open Fbsr_netsim
+
+val kdc_port : int
+
+module Server : sig
+  type t
+
+  val install : ?ticket_lifetime:float -> ?seed:int -> Host.t -> t
+  (** The host must already have a UDP stack installed. *)
+
+  val enroll : t -> name:string -> string
+  (** Register a principal; returns the shared DES key (out-of-band
+      provisioning). *)
+
+  val tickets_issued : t -> int
+end
+
+type counters = {
+  mutable sent : int;
+  mutable received : int;
+  mutable dropped : int;
+  mutable kdc_requests : int;
+  mutable sessions : int;
+}
+
+type t
+
+val install :
+  ?secret:bool ->
+  ?bypass:(Addr.t -> bool) ->
+  ?local_port:int ->
+  kdc_addr:Addr.t ->
+  shared_key:string ->
+  Host.t ->
+  t
+
+val counters : t -> counters
+val sessions_out : t -> int
+val sessions_in : t -> int
+
+(** Exposed for tests: *)
+
+type error = Truncated | Bad_ticket | Expired | Bad_mac | Decrypt_error
+
+val unprotect : t -> now:float -> wire:string -> (string, error) result

@@ -1,0 +1,38 @@
+(** Session keying without a third party (paper Section 2.1): a
+    Photuris/Oakley-style baseline — cookie exchange, ephemeral DH, hard
+    session state, two setup round trips before the first datagram. *)
+
+open Fbsr_netsim
+
+val port : int
+
+type counters = {
+  mutable sent : int;
+  mutable received : int;
+  mutable dropped : int;
+  mutable handshakes : int;
+  mutable setup_messages : int;
+  mutable modexps : int;
+}
+
+type t
+
+val install :
+  ?secret:bool ->
+  ?bypass:(Addr.t -> bool) ->
+  ?seed:int ->
+  group:Fbsr_crypto.Dh.group ->
+  Host.t ->
+  t
+(** The host must already have a UDP stack installed. *)
+
+val counters : t -> counters
+val sessions_out : t -> int
+val sessions_in : t -> int
+val has_long_term_secrets : t -> bool
+
+(** Exposed for tests: *)
+
+type error = Truncated | Unknown_association | Bad_mac | Decrypt_error
+
+val unprotect : t -> wire:string -> (string, error) result

@@ -1,0 +1,1 @@
+lib/bignum/nat.ml: Array Buffer Bytes Char Fbsr_util Fmt Stdlib String

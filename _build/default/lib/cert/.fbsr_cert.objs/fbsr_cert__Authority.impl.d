@@ -1,0 +1,1 @@
+lib/cert/authority.ml: Certificate Fbsr_crypto Hashtbl

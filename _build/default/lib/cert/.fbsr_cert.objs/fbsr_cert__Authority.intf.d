@@ -1,0 +1,1 @@
+lib/cert/authority.mli: Certificate Fbsr_crypto Fbsr_util

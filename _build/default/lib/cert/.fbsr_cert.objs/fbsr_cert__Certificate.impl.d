@@ -1,0 +1,1 @@
+lib/cert/certificate.ml: Byte_reader Byte_writer Fbsr_bignum Fbsr_crypto Fbsr_util Fmt Int64 String

@@ -1,0 +1,1 @@
+lib/cert/certificate.mli: Fbsr_bignum Fbsr_crypto Format

@@ -1,0 +1,1 @@
+lib/cert/chain.ml: Byte_reader Byte_writer Certificate Fbsr_bignum Fbsr_crypto Fbsr_util Fmt Int64 Nat String

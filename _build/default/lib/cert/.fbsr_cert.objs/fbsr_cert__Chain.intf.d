@@ -1,0 +1,1 @@
+lib/cert/chain.mli: Certificate Fbsr_crypto Format

@@ -1,0 +1,26 @@
+(** Certificate authority: signing key plus a directory of enrolled
+    principals. *)
+
+type t
+
+val create :
+  ?hash:Fbsr_crypto.Hash.t ->
+  ?validity:float ->
+  rng:Fbsr_util.Rng.t ->
+  bits:int ->
+  unit ->
+  t
+
+val public : t -> Fbsr_crypto.Rsa.public_key
+val hash : t -> Fbsr_crypto.Hash.t
+
+val signing_key : t -> Fbsr_crypto.Rsa.private_key
+(** For building hierarchies: lets a parent authority sign a subordinate's
+    CA certificate (see {!Chain}). *)
+
+val enroll :
+  t -> now:float -> subject:string -> group:string -> public_value:string -> Certificate.t
+
+val lookup : t -> string -> Certificate.t option
+val revoke : t -> string -> unit
+val issued : t -> int

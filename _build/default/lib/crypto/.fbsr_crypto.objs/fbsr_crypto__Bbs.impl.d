@@ -1,0 +1,1 @@
+lib/crypto/bbs.ml: Char Fbsr_bignum Nat String

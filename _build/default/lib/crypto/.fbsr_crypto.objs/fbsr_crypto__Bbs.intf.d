@@ -1,0 +1,1 @@
+lib/crypto/bbs.mli: Fbsr_bignum Fbsr_util

@@ -1,0 +1,1 @@
+lib/crypto/des.ml: Array Buffer Bytes Char Fbsr_util Int64 Lazy List String

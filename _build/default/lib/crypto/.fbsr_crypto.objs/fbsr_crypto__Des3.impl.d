@@ -1,0 +1,1 @@
+lib/crypto/des3.ml: Bytes Char Des Int64 String

@@ -1,0 +1,1 @@
+lib/crypto/dh.ml: Fbsr_bignum Nat Printf

@@ -1,0 +1,1 @@
+lib/crypto/dh.mli: Fbsr_bignum Fbsr_util Nat

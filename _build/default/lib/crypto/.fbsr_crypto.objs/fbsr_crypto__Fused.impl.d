@@ -1,0 +1,1 @@
+lib/crypto/fused.ml: Des List Md5 String

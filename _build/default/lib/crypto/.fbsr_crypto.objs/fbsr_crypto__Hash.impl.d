@@ -1,0 +1,1 @@
+lib/crypto/hash.ml: Md5 Sha1

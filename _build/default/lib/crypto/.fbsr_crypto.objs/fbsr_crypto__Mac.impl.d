@@ -1,0 +1,1 @@
+lib/crypto/mac.ml: Char Ct Des Hash String

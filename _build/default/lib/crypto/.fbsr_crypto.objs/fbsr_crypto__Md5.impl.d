@@ -1,0 +1,1 @@
+lib/crypto/md5.ml: Array Bytes Char Fbsr_util Int32 Int64 Lazy List String

@@ -1,0 +1,1 @@
+lib/crypto/rsa.ml: Ct Fbsr_bignum Hash Nat String

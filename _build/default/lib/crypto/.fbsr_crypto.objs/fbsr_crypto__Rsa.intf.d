@@ -1,0 +1,1 @@
+lib/crypto/rsa.mli: Fbsr_bignum Fbsr_util Hash Nat

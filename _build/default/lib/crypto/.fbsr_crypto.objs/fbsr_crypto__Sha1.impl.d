@@ -1,0 +1,1 @@
+lib/crypto/sha1.ml: Array Bytes Char Fbsr_util Int32 Int64 List String

@@ -1,0 +1,13 @@
+(* Constant-time byte-string comparison for MAC verification: the running
+   time depends only on the lengths, never on where the first difference
+   falls, so a forger learns nothing from timing. *)
+
+let equal (a : string) (b : string) =
+  if String.length a <> String.length b then false
+  else begin
+    let acc = ref 0 in
+    for i = 0 to String.length a - 1 do
+      acc := !acc lor (Char.code a.[i] lxor Char.code b.[i])
+    done;
+    !acc = 0
+  end

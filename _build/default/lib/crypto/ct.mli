@@ -1,0 +1,3 @@
+(** Constant-time comparison for MAC verification. *)
+
+val equal : string -> string -> bool

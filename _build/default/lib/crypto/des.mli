@@ -1,0 +1,69 @@
+(** DES (FIPS 46) with ECB/CBC/CFB/OFB modes of operation (FIPS 81).
+
+    The FBS protocol uses the per-datagram confounder as the IV for the
+    feedback modes; in ECB mode the confounder is XORed with every plaintext
+    block before encryption (paper, Section 5.2). *)
+
+exception Weak_key
+
+val block_size : int
+(** 8 bytes. *)
+
+val key_size : int
+(** 8 bytes (56 effective bits + parity). *)
+
+type key
+
+val of_string : ?check_weak:bool -> string -> key
+(** Expand an 8-byte key into the sixteen round subkeys.
+    @raise Weak_key when [check_weak] and the key is one of the four weak
+    keys.
+    @raise Invalid_argument on wrong length. *)
+
+val is_weak_key : string -> bool
+val adjust_parity : string -> string
+(** Force odd parity on every key byte, as FIPS 46 specifies. *)
+
+val encrypt_block : key -> int64 -> int64
+val decrypt_block : key -> int64 -> int64
+val encrypt_block_bytes : key -> string -> string
+val decrypt_block_bytes : key -> string -> string
+
+type mode = Ecb | Cbc | Cfb | Ofb
+
+val pad : string -> string
+(** PKCS#7-style padding to a multiple of 8 bytes (always adds >= 1 byte). *)
+
+val unpad : string -> string
+(** @raise Invalid_argument on corrupt padding. *)
+
+val encrypt_ecb : ?confounder:string -> key -> string -> string
+(** ECB with the paper's confounder whitening (confounder XORed into every
+    block).  Pads the input. *)
+
+val decrypt_ecb : ?confounder:string -> key -> string -> string
+val encrypt_cbc : iv:string -> key -> string -> string
+val decrypt_cbc : iv:string -> key -> string -> string
+
+(** Incremental CBC encryption (for the single-pass MAC+encrypt
+    optimization of the paper's Section 5.3). *)
+
+type cbc_ctx
+
+val cbc_init : iv:string -> key -> cbc_ctx
+
+val cbc_update : cbc_ctx -> string -> string
+(** Feed data; returns the ciphertext produced so far (whole blocks). *)
+
+val cbc_finish : cbc_ctx -> string
+(** Pad and flush; returns the final ciphertext block(s). *)
+
+val encrypt_cfb : iv:string -> key -> string -> string
+(** 64-bit CFB; stream mode, output length = input length. *)
+
+val decrypt_cfb : iv:string -> key -> string -> string
+val encrypt_ofb : iv:string -> key -> string -> string
+val decrypt_ofb : iv:string -> key -> string -> string
+
+val encrypt : mode:mode -> iv:string -> key -> string -> string
+val decrypt : mode:mode -> iv:string -> key -> string -> string

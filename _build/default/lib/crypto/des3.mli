@@ -1,0 +1,18 @@
+(** Triple DES (EDE3) with CBC mode — extension suite for the paper's key
+    "wear out" concern. *)
+
+val key_size : int
+val block_size : int
+
+type key
+
+val of_string : string -> key
+(** 24 bytes. *)
+
+val encrypt_block : key -> int64 -> int64
+val decrypt_block : key -> int64 -> int64
+val encrypt_cbc : iv:string -> key -> string -> string
+val decrypt_cbc : iv:string -> key -> string -> string
+
+val degenerate_of_des_key : string -> key
+(** k1=k2=k3: equals single DES (compatibility property used in tests). *)

@@ -1,0 +1,41 @@
+(* Single-pass MAC + encryption.
+
+   Section 5.3: "The MAC computation is an expensive operation.  It
+   requires touching all the data in the datagram.  An efficient
+   implementation should try to combine all such data touching operations
+   into a single pass.  For example, if data confidentiality is desired,
+   then the MAC computation and encryption should be rolled into one
+   loop."
+
+   [mac_and_encrypt] walks the payload once in cache-friendly chunks,
+   feeding each chunk to the (prefix-MD5) MAC context and to an incremental
+   DES-CBC context.  Results are bit-identical to running the two passes
+   separately; the ablation bench measures the locality benefit. *)
+
+let chunk_size = 4096
+
+let mac_and_encrypt ~mac_key ~des_key ~iv ~prefix_parts payload =
+  (* MAC = MD5(mac_key | prefix_parts... | payload), as the FBS engine
+     computes it; ciphertext = DES-CBC(des_key, iv, payload). *)
+  let md5 = Md5.init () in
+  Md5.update md5 mac_key;
+  List.iter (Md5.update md5) prefix_parts;
+  let cbc = Des.cbc_init ~iv des_key in
+  let n = String.length payload in
+  let pieces = ref [] in
+  let off = ref 0 in
+  while !off < n do
+    let len = min chunk_size (n - !off) in
+    Md5.feed md5 payload !off len;
+    pieces := Des.cbc_update cbc (String.sub payload !off len) :: !pieces;
+    off := !off + len
+  done;
+  pieces := Des.cbc_finish cbc :: !pieces;
+  let mac = Md5.final md5 in
+  (mac, String.concat "" (List.rev !pieces))
+
+(* The two-pass equivalent, for equivalence tests and the bench. *)
+let mac_then_encrypt ~mac_key ~des_key ~iv ~prefix_parts payload =
+  let mac = Md5.digest_list ((mac_key :: prefix_parts) @ [ payload ]) in
+  let ct = Des.encrypt_cbc ~iv des_key payload in
+  (mac, ct)

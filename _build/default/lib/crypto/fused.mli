@@ -1,0 +1,21 @@
+(** Single-pass MAC + encryption (the Section 5.3 data-touching
+    optimization).  Bit-identical to the separate passes. *)
+
+val mac_and_encrypt :
+  mac_key:string ->
+  des_key:Des.key ->
+  iv:string ->
+  prefix_parts:string list ->
+  string ->
+  string * string
+(** [(mac, ciphertext)]: prefix-MD5 MAC over key|prefix|payload and
+    DES-CBC ciphertext of the payload, computed in one pass. *)
+
+val mac_then_encrypt :
+  mac_key:string ->
+  des_key:Des.key ->
+  iv:string ->
+  prefix_parts:string list ->
+  string ->
+  string * string
+(** Reference two-pass implementation. *)

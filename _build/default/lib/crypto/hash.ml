@@ -1,0 +1,33 @@
+(* A common interface over the hash functions, so the FBS algorithm-suite
+   field can select the key-derivation hash H and the MAC hash at run time
+   (the paper's "algorithm identification field", Section 5.2). *)
+
+module type S = sig
+  val name : string
+  val digest_size : int
+  val block_size : int
+
+  type ctx
+
+  val init : unit -> ctx
+  val update : ctx -> string -> unit
+  val feed : ctx -> string -> int -> int -> unit
+  val final : ctx -> string
+  val digest : string -> string
+  val digest_list : string list -> string
+end
+
+type t = (module S)
+
+let md5 : t = (module Md5)
+let sha1 : t = (module Sha1)
+
+let name (module H : S) = H.name
+let digest_size (module H : S) = H.digest_size
+let digest (module H : S) s = H.digest s
+let digest_list (module H : S) parts = H.digest_list parts
+
+let of_name = function
+  | "md5" -> md5
+  | "sha1" -> sha1
+  | n -> invalid_arg ("Hash.of_name: unknown hash " ^ n)

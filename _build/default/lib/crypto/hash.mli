@@ -1,0 +1,29 @@
+(** Run-time-selectable hash functions (for the FBS algorithm-suite field). *)
+
+module type S = sig
+  val name : string
+  val digest_size : int
+  val block_size : int
+
+  type ctx
+
+  val init : unit -> ctx
+  val update : ctx -> string -> unit
+  val feed : ctx -> string -> int -> int -> unit
+  val final : ctx -> string
+  val digest : string -> string
+  val digest_list : string list -> string
+end
+
+type t = (module S)
+
+val md5 : t
+val sha1 : t
+
+val name : t -> string
+val digest_size : t -> int
+val digest : t -> string -> string
+val digest_list : t -> string list -> string
+
+val of_name : string -> t
+(** @raise Invalid_argument on unknown names. *)

@@ -1,0 +1,51 @@
+(* Message authentication codes.
+
+   The paper defines the FBS MAC as a keyed hash with the key prepended:
+
+       MAC = HMAC(K_f | confounder | timestamp | payload)
+
+   where "HMAC" in the paper's notation is simply "some one-way
+   cryptographic hash function" applied to the key-prefixed message — i.e.
+   the 1996-era prefix MAC (keyed MD5), not RFC 2104 HMAC.  We implement
+   both: [prefix] reproduces the paper exactly, and [hmac] is the modern
+   construction (RFC 2104), selectable through the FBS algorithm-suite field
+   and compared in an ablation bench. *)
+
+let prefix (hash : Hash.t) ~key parts = Hash.digest_list hash (key :: parts)
+
+let hmac (module H : Hash.S) ~key parts =
+  let block = H.block_size in
+  let key = if String.length key > block then H.digest key else key in
+  let key = key ^ String.make (block - String.length key) '\000' in
+  let xor_pad byte =
+    String.init block (fun i -> Char.chr (Char.code key.[i] lxor byte))
+  in
+  let inner = H.digest_list (xor_pad 0x36 :: parts) in
+  H.digest_list [ xor_pad 0x5c; inner ]
+
+(* DES-CBC-MAC (FIPS 113 style): the paper's footnote 12 — "for
+   efficiency, DES could have been used for both encryption and MAC
+   computation".  The MAC is the last cipher block of a zero-IV CBC pass
+   over the padded message; the 8-byte DES key is derived from the first
+   key bytes with adjusted parity. *)
+let des_cbc ~key parts =
+  if String.length key < 8 then invalid_arg "Mac.des_cbc: key too short";
+  let des_key = Des.of_string (Des.adjust_parity (String.sub key 0 8)) in
+  let message = String.concat "" parts in
+  let ct = Des.encrypt_cbc ~iv:(String.make 8 '\000') des_key message in
+  String.sub ct (String.length ct - 8) 8
+
+type algorithm = Prefix | Hmac | Des_cbc_mac
+
+let compute ?(algorithm = Prefix) hash ~key parts =
+  match algorithm with
+  | Prefix -> prefix hash ~key parts
+  | Hmac -> hmac hash ~key parts
+  | Des_cbc_mac -> des_cbc ~key parts
+
+let verify ?(algorithm = Prefix) hash ~key parts ~expected =
+  Ct.equal (compute ~algorithm hash ~key parts) expected
+
+let truncate mac n =
+  if n > String.length mac then invalid_arg "Mac.truncate: too long";
+  String.sub mac 0 n

@@ -1,0 +1,25 @@
+(** Message authentication codes.
+
+    [Prefix] is the paper's construction (hash over the key-prefixed
+    message, i.e. keyed MD5 as used by the 4.4BSD implementation); [Hmac]
+    is RFC 2104. *)
+
+type algorithm = Prefix | Hmac | Des_cbc_mac
+
+val prefix : Hash.t -> key:string -> string list -> string
+val hmac : Hash.t -> key:string -> string list -> string
+
+val des_cbc : key:string -> string list -> string
+(** DES-CBC-MAC over the concatenated parts (footnote 12 of the paper):
+    8-byte tag, key taken from the first 8 key bytes. *)
+
+val compute : ?algorithm:algorithm -> Hash.t -> key:string -> string list -> string
+(** Default algorithm is [Prefix], matching the paper. *)
+
+val verify :
+  ?algorithm:algorithm -> Hash.t -> key:string -> string list -> expected:string -> bool
+(** Constant-time comparison against [expected]. *)
+
+val truncate : string -> int -> string
+(** Keep the first [n] bytes of a MAC (header-overhead/security trade-off
+    the paper mentions in Section 5.3). *)

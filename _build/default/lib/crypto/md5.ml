@@ -1,0 +1,150 @@
+(* MD5 message digest (RFC 1321).
+
+   The paper's implementation uses keyed MD5 (via CryptoLib) for the FBS MAC
+   and as the flow-key derivation hash H.  This is a from-scratch streaming
+   implementation; the round constants are computed from the sine definition
+   in the RFC rather than transcribed, eliminating table-typo risk. *)
+
+let digest_size = 16
+let block_size = 64
+let name = "md5"
+
+(* K[i] = floor(2^32 * |sin(i+1)|), i = 0..63. *)
+let k_table =
+  lazy
+    (Array.init 64 (fun i ->
+         let v = abs_float (sin (float_of_int (i + 1))) *. 4294967296.0 in
+         Int32.of_int (int_of_float v)))
+
+let s_table =
+  [| 7; 12; 17; 22; 7; 12; 17; 22; 7; 12; 17; 22; 7; 12; 17; 22;
+     5;  9; 14; 20; 5;  9; 14; 20; 5;  9; 14; 20; 5;  9; 14; 20;
+     4; 11; 16; 23; 4; 11; 16; 23; 4; 11; 16; 23; 4; 11; 16; 23;
+     6; 10; 15; 21; 6; 10; 15; 21; 6; 10; 15; 21; 6; 10; 15; 21 |]
+
+type ctx = {
+  mutable a : int32;
+  mutable b : int32;
+  mutable c : int32;
+  mutable d : int32;
+  buf : Bytes.t; (* partial block *)
+  mutable buf_len : int;
+  mutable total : int64; (* bytes processed *)
+}
+
+let init () =
+  {
+    a = 0x67452301l;
+    b = 0xefcdab89l;
+    c = 0x98badcfel;
+    d = 0x10325476l;
+    buf = Bytes.create block_size;
+    buf_len = 0;
+    total = 0L;
+  }
+
+let rotl32 x n =
+  Int32.logor (Int32.shift_left x n) (Int32.shift_right_logical x (32 - n))
+
+let word_le s off =
+  let b i = Int32.of_int (Char.code (Bytes.get s (off + i))) in
+  Int32.logor (b 0)
+    (Int32.logor
+       (Int32.shift_left (b 1) 8)
+       (Int32.logor (Int32.shift_left (b 2) 16) (Int32.shift_left (b 3) 24)))
+
+let compress ctx block off =
+  let k = Lazy.force k_table in
+  let m = Array.init 16 (fun i -> word_le block (off + (4 * i))) in
+  let a = ref ctx.a and b = ref ctx.b and c = ref ctx.c and d = ref ctx.d in
+  for i = 0 to 63 do
+    let f, g =
+      if i < 16 then
+        (Int32.logor (Int32.logand !b !c) (Int32.logand (Int32.lognot !b) !d), i)
+      else if i < 32 then
+        (Int32.logor (Int32.logand !d !b) (Int32.logand (Int32.lognot !d) !c),
+         ((5 * i) + 1) mod 16)
+      else if i < 48 then (Int32.logxor !b (Int32.logxor !c !d), ((3 * i) + 5) mod 16)
+      else (Int32.logxor !c (Int32.logor !b (Int32.lognot !d)), 7 * i mod 16)
+    in
+    let tmp = !d in
+    d := !c;
+    c := !b;
+    let sum = Int32.add (Int32.add (Int32.add !a f) k.(i)) m.(g) in
+    b := Int32.add !b (rotl32 sum s_table.(i));
+    a := tmp
+  done;
+  ctx.a <- Int32.add ctx.a !a;
+  ctx.b <- Int32.add ctx.b !b;
+  ctx.c <- Int32.add ctx.c !c;
+  ctx.d <- Int32.add ctx.d !d
+
+let feed ctx s pos len =
+  ctx.total <- Int64.add ctx.total (Int64.of_int len);
+  let pos = ref pos and len = ref len in
+  (* Fill a partial block first. *)
+  if ctx.buf_len > 0 then begin
+    let take = min !len (block_size - ctx.buf_len) in
+    Bytes.blit_string s !pos ctx.buf ctx.buf_len take;
+    ctx.buf_len <- ctx.buf_len + take;
+    pos := !pos + take;
+    len := !len - take;
+    if ctx.buf_len = block_size then begin
+      compress ctx ctx.buf 0;
+      ctx.buf_len <- 0
+    end
+  end;
+  while !len >= block_size do
+    (* Copy to the context buffer to reuse the Bytes-based compressor. *)
+    Bytes.blit_string s !pos ctx.buf 0 block_size;
+    compress ctx ctx.buf 0;
+    pos := !pos + block_size;
+    len := !len - block_size
+  done;
+  if !len > 0 then begin
+    Bytes.blit_string s !pos ctx.buf 0 !len;
+    ctx.buf_len <- !len
+  end
+
+let update ctx s = feed ctx s 0 (String.length s)
+
+let word_out b off (v : int32) =
+  for i = 0 to 3 do
+    Bytes.set b (off + i)
+      (Char.chr (Int32.to_int (Int32.shift_right_logical v (8 * i)) land 0xff))
+  done
+
+let final ctx =
+  let bit_len = Int64.mul ctx.total 8L in
+  (* Padding: 0x80, zeros, 8-byte little-endian bit length. *)
+  let pad_len =
+    let rem = Int64.to_int (Int64.rem ctx.total 64L) in
+    if rem < 56 then 56 - rem else 120 - rem
+  in
+  let pad = Bytes.make (pad_len + 8) '\000' in
+  Bytes.set pad 0 '\x80';
+  for i = 0 to 7 do
+    Bytes.set pad (pad_len + i)
+      (Char.chr (Int64.to_int (Int64.shift_right_logical bit_len (8 * i)) land 0xff))
+  done;
+  (* Careful: feeding the pad updates [total], but [bit_len] is captured. *)
+  update ctx (Bytes.unsafe_to_string pad);
+  assert (ctx.buf_len = 0);
+  let out = Bytes.create digest_size in
+  word_out out 0 ctx.a;
+  word_out out 4 ctx.b;
+  word_out out 8 ctx.c;
+  word_out out 12 ctx.d;
+  Bytes.unsafe_to_string out
+
+let digest s =
+  let ctx = init () in
+  update ctx s;
+  final ctx
+
+let digest_list parts =
+  let ctx = init () in
+  List.iter (update ctx) parts;
+  final ctx
+
+let hexdigest s = Fbsr_util.Hex.encode (digest s)

@@ -1,0 +1,25 @@
+(** MD5 message digest (RFC 1321), streaming implementation. *)
+
+val digest_size : int
+(** 16 bytes. *)
+
+val block_size : int
+(** 64 bytes. *)
+
+val name : string
+
+type ctx
+
+val init : unit -> ctx
+val update : ctx -> string -> unit
+val feed : ctx -> string -> int -> int -> unit
+(** [feed ctx s pos len] hashes a slice without copying the whole string. *)
+
+val final : ctx -> string
+(** Finish and return the 16-byte digest.  The context must not be reused. *)
+
+val digest : string -> string
+val digest_list : string list -> string
+(** Digest of the concatenation of the parts, without concatenating. *)
+
+val hexdigest : string -> string

@@ -1,0 +1,19 @@
+(** SHA-1 (FIPS PUB 180), streaming implementation. *)
+
+val digest_size : int
+(** 20 bytes. *)
+
+val block_size : int
+(** 64 bytes. *)
+
+val name : string
+
+type ctx
+
+val init : unit -> ctx
+val update : ctx -> string -> unit
+val feed : ctx -> string -> int -> int -> unit
+val final : ctx -> string
+val digest : string -> string
+val digest_list : string list -> string
+val hexdigest : string -> string

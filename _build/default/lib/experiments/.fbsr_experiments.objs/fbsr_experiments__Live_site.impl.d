@@ -1,0 +1,1 @@
+lib/experiments/live_site.ml: Engine Fbsr_fbs Fbsr_fbs_ip Fbsr_netsim Fbsr_traffic Hashtbl Host List Mkd Stack String Testbed Udp_stack

@@ -1,0 +1,1 @@
+lib/experiments/live_site.mli: Fbsr_fbs

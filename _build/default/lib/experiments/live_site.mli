@@ -1,0 +1,27 @@
+(** The synthetic campus workload driven through real FBS stacks end to
+    end: the measured analogue of the trace-driven figures. *)
+
+type result = {
+  datagrams_sent : int;
+  datagrams_delivered : int;
+  hosts : int;
+  flows_started : int;
+  mkd_fetches : int;
+  master_key_computations : int;
+  flow_key_computations : int;
+  macs : int;
+  tfkc_hit_rate : float;
+  rfkc_hit_rate : float;
+  replay_rejections : int;
+  mac_failures : int;
+}
+
+val run :
+  ?seed:int ->
+  ?duration:float ->
+  ?desktops:int ->
+  ?tfkc_sets:int ->
+  ?rfkc_sets:int ->
+  ?suite:Fbsr_fbs.Suite.t ->
+  unit ->
+  result

@@ -1,0 +1,1 @@
+lib/fbs/cache.ml: Array Fbsr_util Fmt Hashtbl

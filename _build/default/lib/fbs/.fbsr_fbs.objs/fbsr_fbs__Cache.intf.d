@@ -1,0 +1,1 @@
+lib/fbs/cache.mli: Fbsr_util Format

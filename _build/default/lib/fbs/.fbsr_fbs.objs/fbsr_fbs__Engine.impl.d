@@ -1,0 +1,1 @@
+lib/fbs/engine.ml: Cache Fam Fbsr_crypto Fbsr_util Fmt Header Int64 Keying Principal Replay Sfl String Suite

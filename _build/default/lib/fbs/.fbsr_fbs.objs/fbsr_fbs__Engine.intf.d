@@ -1,0 +1,1 @@
+lib/fbs/engine.mli: Cache Fam Format Header Keying Principal Replay Sfl Suite

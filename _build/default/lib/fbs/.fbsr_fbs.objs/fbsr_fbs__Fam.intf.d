@@ -1,0 +1,1 @@
+lib/fbs/fam.mli: Principal Sfl

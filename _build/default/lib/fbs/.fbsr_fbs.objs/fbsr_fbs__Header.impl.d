@@ -1,0 +1,1 @@
+lib/fbs/header.ml: Byte_reader Byte_writer Char Fbsr_util Fmt Sfl String Suite

@@ -1,0 +1,1 @@
+lib/fbs/header.mli: Format Sfl Suite

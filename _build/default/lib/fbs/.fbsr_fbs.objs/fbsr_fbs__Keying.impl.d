@@ -1,0 +1,1 @@
+lib/fbs/keying.ml: Cache Char Fbsr_cert Fbsr_crypto Fbsr_util Fmt Hashtbl Int64 List Principal Sfl String

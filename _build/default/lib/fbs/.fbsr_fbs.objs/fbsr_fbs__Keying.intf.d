@@ -1,0 +1,1 @@
+lib/fbs/keying.mli: Cache Fbsr_cert Fbsr_crypto Format Principal Sfl

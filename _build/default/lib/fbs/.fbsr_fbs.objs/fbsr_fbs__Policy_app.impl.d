@@ -1,0 +1,1 @@
+lib/fbs/policy_app.ml: Fam Hashtbl List Principal Sfl

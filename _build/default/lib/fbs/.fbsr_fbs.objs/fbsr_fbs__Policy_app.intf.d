@@ -1,0 +1,1 @@
+lib/fbs/policy_app.mli: Fam Sfl

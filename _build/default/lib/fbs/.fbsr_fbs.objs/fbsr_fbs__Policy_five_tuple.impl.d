@@ -1,0 +1,1 @@
+lib/fbs/policy_five_tuple.ml: Array Fam Fbsr_util Principal Sfl String

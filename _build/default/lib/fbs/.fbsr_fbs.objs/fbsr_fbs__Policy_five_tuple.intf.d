@@ -1,0 +1,1 @@
+lib/fbs/policy_five_tuple.mli: Fam Sfl

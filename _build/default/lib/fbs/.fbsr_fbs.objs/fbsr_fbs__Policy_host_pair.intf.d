@@ -1,0 +1,1 @@
+lib/fbs/policy_host_pair.mli: Fam Sfl

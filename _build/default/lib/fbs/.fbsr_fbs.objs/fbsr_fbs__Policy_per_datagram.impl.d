@@ -1,0 +1,1 @@
+lib/fbs/policy_per_datagram.ml: Fam Sfl

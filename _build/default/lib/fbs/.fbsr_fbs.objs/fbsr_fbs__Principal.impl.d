@@ -1,0 +1,1 @@
+lib/fbs/principal.ml: Char Fbsr_util Fmt String

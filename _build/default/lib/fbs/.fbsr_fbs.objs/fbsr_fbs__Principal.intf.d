@@ -1,0 +1,1 @@
+lib/fbs/principal.mli: Format

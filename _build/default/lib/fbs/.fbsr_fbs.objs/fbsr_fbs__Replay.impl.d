@@ -1,0 +1,1 @@
+lib/fbs/replay.ml: Hashtbl List Sfl

@@ -1,0 +1,1 @@
+lib/fbs/sfl.ml: Fbsr_util Fmt Int64

@@ -1,0 +1,1 @@
+lib/fbs/sfl.mli: Fbsr_util Format

@@ -1,0 +1,1 @@
+lib/fbs/suite.ml: Fbsr_crypto Fmt List Printf

@@ -1,0 +1,1 @@
+lib/fbs/suite.mli: Fbsr_crypto Format

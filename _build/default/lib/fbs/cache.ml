@@ -1,0 +1,215 @@
+(* Soft-state key caches (paper, Section 5.3 "Key Caching").
+
+   A generic set-associative cache with:
+   - pluggable randomising hash (CRC-32 by default — the paper's
+     recommendation, because cache inputs such as local addresses and
+     sequential sfl values are highly correlated);
+   - LRU replacement within a set;
+   - miss classification into the three C's (compulsory/cold, capacity,
+     conflict), which the paper uses to reason about cache sizing.
+
+   Classification follows the standard methodology: a miss on a never-seen
+   key is *cold*; a miss on a key that a fully-associative LRU cache of the
+   same total capacity would still hold is *conflict*; otherwise it is
+   *capacity*.  The shadow fully-associative cache is maintained alongside.
+
+   The cache is soft state by construction: any entry may be dropped at any
+   time and the protocol merely recomputes — correctness never depends on
+   cache contents. *)
+
+type ('k, 'v) slot = {
+  key : 'k;
+  mutable value : 'v;
+  mutable last_used : int;
+  inserted : int; (* tick at insertion, for FIFO replacement *)
+}
+
+(* Replacement policy within a set — the paper's Section 5.3 lists "a
+   better replacement policy" among the levers against conflict misses. *)
+type replacement = Lru | Fifo | Random of Fbsr_util.Rng.t
+
+type stats = {
+  mutable hits : int;
+  mutable misses_cold : int;
+  mutable misses_capacity : int;
+  mutable misses_conflict : int;
+  mutable evictions : int;
+  mutable invalidations : int;
+}
+
+type ('k, 'v) t = {
+  sets : int;
+  assoc : int;
+  hash : 'k -> int;
+  equal : 'k -> 'k -> bool;
+  replacement : replacement;
+  slots : ('k, 'v) slot option array; (* sets * assoc *)
+  mutable tick : int;
+  stats : stats;
+  (* Shadow state for miss classification. *)
+  seen : ('k, unit) Hashtbl.t;
+  shadow : ('k, int) Hashtbl.t; (* key -> last use tick in the shadow LRU *)
+  mutable classify : bool;
+}
+
+let new_stats () =
+  {
+    hits = 0;
+    misses_cold = 0;
+    misses_capacity = 0;
+    misses_conflict = 0;
+    evictions = 0;
+    invalidations = 0;
+  }
+
+let create ?(assoc = 1) ?(classify = true) ?(replacement = Lru) ~sets ~hash ~equal () =
+  if sets <= 0 || assoc <= 0 then invalid_arg "Cache.create: bad geometry";
+  {
+    sets;
+    assoc;
+    hash;
+    equal;
+    replacement;
+    slots = Array.make (sets * assoc) None;
+    tick = 0;
+    stats = new_stats ();
+    seen = Hashtbl.create 64;
+    shadow = Hashtbl.create 64;
+    classify;
+  }
+
+let capacity t = t.sets * t.assoc
+let stats t = t.stats
+
+let total_misses s = s.misses_cold + s.misses_capacity + s.misses_conflict
+let accesses s = s.hits + total_misses s
+
+let miss_rate t =
+  let s = t.stats in
+  let total = accesses s in
+  if total = 0 then 0.0 else float_of_int (total_misses s) /. float_of_int total
+
+let set_base t key = t.hash key mod t.sets * t.assoc
+
+(* Shadow fully-associative LRU of the same capacity. *)
+let shadow_touch t key =
+  if t.classify then begin
+    Hashtbl.replace t.shadow key t.tick;
+    if Hashtbl.length t.shadow > capacity t then begin
+      (* Evict the least recently used shadow entry. *)
+      let victim =
+        Hashtbl.fold
+          (fun k tick acc ->
+            match acc with
+            | Some (_, best) when best <= tick -> acc
+            | _ -> Some (k, tick))
+          t.shadow None
+      in
+      match victim with Some (k, _) -> Hashtbl.remove t.shadow k | None -> ()
+    end
+  end
+
+let classify_miss t key =
+  if not t.classify then t.stats.misses_capacity <- t.stats.misses_capacity + 1
+  else if not (Hashtbl.mem t.seen key) then begin
+    Hashtbl.replace t.seen key ();
+    t.stats.misses_cold <- t.stats.misses_cold + 1
+  end
+  else if Hashtbl.mem t.shadow key then
+    t.stats.misses_conflict <- t.stats.misses_conflict + 1
+  else t.stats.misses_capacity <- t.stats.misses_capacity + 1
+
+let find t key =
+  t.tick <- t.tick + 1;
+  let base = set_base t key in
+  let result = ref None in
+  for way = 0 to t.assoc - 1 do
+    match t.slots.(base + way) with
+    | Some slot when t.equal slot.key key ->
+        slot.last_used <- t.tick;
+        result := Some slot.value
+    | Some _ | None -> ()
+  done;
+  (match !result with
+  | Some _ -> t.stats.hits <- t.stats.hits + 1
+  | None -> classify_miss t key);
+  shadow_touch t key;
+  !result
+
+(* Probe without affecting statistics or LRU state. *)
+let peek t key =
+  let base = set_base t key in
+  let result = ref None in
+  for way = 0 to t.assoc - 1 do
+    match t.slots.(base + way) with
+    | Some slot when t.equal slot.key key -> result := Some slot.value
+    | Some _ | None -> ()
+  done;
+  !result
+
+let victim_index t base =
+  (* Pick the way to evict according to the replacement policy. *)
+  match t.replacement with
+  | Random rng -> base + Fbsr_util.Rng.int rng t.assoc
+  | Lru | Fifo ->
+      let metric slot =
+        match t.replacement with Fifo -> slot.inserted | _ -> slot.last_used
+      in
+      let best = ref base in
+      for way = 1 to t.assoc - 1 do
+        match (t.slots.(base + way), t.slots.(!best)) with
+        | Some s, Some b when metric s < metric b -> best := base + way
+        | _ -> ()
+      done;
+      !best
+
+let insert t key value =
+  t.tick <- t.tick + 1;
+  let base = set_base t key in
+  (* Reuse an existing slot for the key, else an empty way, else evict. *)
+  let existing = ref None and empty = ref None in
+  for way = 0 to t.assoc - 1 do
+    match t.slots.(base + way) with
+    | Some slot when t.equal slot.key key -> existing := Some (base + way)
+    | Some _ -> ()
+    | None -> if !empty = None then empty := Some (base + way)
+  done;
+  let idx =
+    match (!existing, !empty) with
+    | Some i, _ -> i
+    | None, Some i -> i
+    | None, None ->
+        t.stats.evictions <- t.stats.evictions + 1;
+        victim_index t base
+  in
+  t.slots.(idx) <- Some { key; value; last_used = t.tick; inserted = t.tick };
+  shadow_touch t key
+
+let invalidate t key =
+  let base = set_base t key in
+  for way = 0 to t.assoc - 1 do
+    match t.slots.(base + way) with
+    | Some slot when t.equal slot.key key ->
+        t.slots.(base + way) <- None;
+        t.stats.invalidations <- t.stats.invalidations + 1
+    | Some _ | None -> ()
+  done
+
+let clear t =
+  Array.fill t.slots 0 (Array.length t.slots) None;
+  Hashtbl.reset t.shadow
+
+let iter t f =
+  Array.iter (function Some slot -> f slot.key slot.value | None -> ()) t.slots
+
+let fold t f acc =
+  Array.fold_left
+    (fun acc -> function Some slot -> f slot.key slot.value acc | None -> acc)
+    acc t.slots
+
+let occupancy t =
+  Array.fold_left (fun n -> function Some _ -> n + 1 | None -> n) 0 t.slots
+
+let pp_stats ppf s =
+  Fmt.pf ppf "hits=%d cold=%d capacity=%d conflict=%d evictions=%d" s.hits s.misses_cold
+    s.misses_capacity s.misses_conflict s.evictions

@@ -1,0 +1,47 @@
+(** Generic soft-state cache: set-associative, LRU-within-set, pluggable
+    randomising hash, three-C's miss classification (paper Section 5.3). *)
+
+type stats = {
+  mutable hits : int;
+  mutable misses_cold : int;
+  mutable misses_capacity : int;
+  mutable misses_conflict : int;
+  mutable evictions : int;
+  mutable invalidations : int;
+}
+
+type ('k, 'v) t
+
+type replacement = Lru | Fifo | Random of Fbsr_util.Rng.t
+(** Within-set replacement policy (Section 5.3 lists "a better replacement
+    policy" among the levers against conflict misses). *)
+
+val create :
+  ?assoc:int ->
+  ?classify:bool ->
+  ?replacement:replacement ->
+  sets:int ->
+  hash:('k -> int) ->
+  equal:('k -> 'k -> bool) ->
+  unit ->
+  ('k, 'v) t
+(** [classify:false] disables the shadow-LRU bookkeeping (faster; all
+    non-cold misses count as capacity).  Default replacement is [Lru]. *)
+
+val capacity : ('k, 'v) t -> int
+val find : ('k, 'v) t -> 'k -> 'v option
+val peek : ('k, 'v) t -> 'k -> 'v option
+(** Like {!find} but does not touch statistics or LRU state. *)
+
+val insert : ('k, 'v) t -> 'k -> 'v -> unit
+val invalidate : ('k, 'v) t -> 'k -> unit
+val clear : ('k, 'v) t -> unit
+val iter : ('k, 'v) t -> ('k -> 'v -> unit) -> unit
+val fold : ('k, 'v) t -> ('k -> 'v -> 'a -> 'a) -> 'a -> 'a
+val occupancy : ('k, 'v) t -> int
+
+val stats : ('k, 'v) t -> stats
+val total_misses : stats -> int
+val accesses : stats -> int
+val miss_rate : ('k, 'v) t -> float
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,365 @@
+(* FBS protocol processing — FBSSend()/FBSReceive() of Figure 4, with the
+   cache fast path of Figure 6.
+
+   The engine is deliberately layer-independent (Section 3): it consumes and
+   produces opaque byte strings plus the attributes the FAM policy needs,
+   and assumes only an insecure datagram transport underneath.  The IP
+   mapping in [Fbsr_fbs_ip] embeds its output between the IPv4 header and
+   the transport payload; tests drive it directly.
+
+   One pseudo-code ambiguity resolved: Figure 4 computes the MAC over
+   P.body *before* encryption on the send side (S6 precedes S8-9) but shows
+   verification *before* decryption on the receive side (R7 precedes
+   R10-11).  Both cannot hold with MAC-over-plaintext, so we follow the
+   send side — the MAC covers the plaintext body — and the receiver
+   decrypts first, then verifies.  DESIGN.md records this choice. *)
+
+type error =
+  | Header_error of Header.error
+  | Stale of { timestamp : int; now_minutes : int }
+  | Duplicate
+  | Keying_error of Keying.error
+  | Bad_mac
+  | Decrypt_error
+
+let pp_error ppf = function
+  | Header_error Header.Truncated -> Fmt.string ppf "truncated header"
+  | Header_error (Header.Unknown_suite id) -> Fmt.pf ppf "unknown suite %d" id
+  | Header_error (Header.Bad_flags f) -> Fmt.pf ppf "reserved flag bits set (%#x)" f
+  | Stale { timestamp; now_minutes } ->
+      Fmt.pf ppf "stale timestamp %d (now %d)" timestamp now_minutes
+  | Duplicate -> Fmt.string ppf "duplicate datagram"
+  | Keying_error e -> Keying.pp_error ppf e
+  | Bad_mac -> Fmt.string ppf "MAC verification failed"
+  | Decrypt_error -> Fmt.string ppf "decryption failed"
+
+type counters = {
+  mutable sends : int;
+  mutable receives : int;
+  mutable accepted : int;
+  mutable flow_key_computations : int;
+  mutable macs_computed : int;
+  mutable encryptions : int;
+  mutable decryptions : int;
+  mutable errors_stale : int;
+  mutable errors_mac : int;
+  mutable errors_other : int;
+}
+
+(* Receive-side demultiplexing record: the receiver "passively
+   demultiplexes a datagram, based on its flow assignment, into the
+   individual flows" — this is the per-flow view it accumulates.  Soft
+   state, bounded by the cache it lives in. *)
+type inbound_flow = {
+  mutable packets : int;
+  mutable bytes : int;
+  mutable first_seen : float;
+  mutable last_seen : float;
+}
+
+type t = {
+  keying : Keying.t;
+  fam : Fam.t;
+  suite : Suite.t;
+  tfkc : (int64 * string * string, string) Cache.t; (* (sfl, peer, local) *)
+  rfkc : (int64 * string * string, string) Cache.t;
+  inbound : (int64 * string, inbound_flow) Cache.t; (* (sfl, peer) *)
+  replay : Replay.t;
+  confounder_gen : Fbsr_util.Lcg.t;
+  counters : counters;
+}
+
+let triple_hash (sfl, peer, local) =
+  let open Fbsr_util.Crc32 in
+  let h = update_int64 0 sfl in
+  let h = update h peer 0 (String.length peer) in
+  update h local 0 (String.length local)
+
+let triple_equal (a1, b1, c1) (a2, b2, c2) =
+  Int64.equal a1 a2 && String.equal b1 b2 && String.equal c1 c2
+
+let create ?(suite = Suite.paper_md5_des) ?(tfkc_sets = 128) ?(rfkc_sets = 128)
+    ?(cache_assoc = 1) ?(replay_window_minutes = 2) ?(strict_replay = false)
+    ?(confounder_seed = 0x5eed) ~keying ~fam () =
+  {
+    keying;
+    fam;
+    suite;
+    tfkc =
+      Cache.create ~assoc:cache_assoc ~sets:tfkc_sets ~hash:triple_hash
+        ~equal:triple_equal ();
+    rfkc =
+      Cache.create ~assoc:cache_assoc ~sets:rfkc_sets ~hash:triple_hash
+        ~equal:triple_equal ();
+    inbound =
+      Cache.create ~assoc:2 ~classify:false ~sets:rfkc_sets
+        ~hash:(fun (sfl, peer) ->
+          Fbsr_util.Crc32.update (Fbsr_util.Crc32.update_int64 0 sfl) peer 0
+            (String.length peer))
+        ~equal:(fun (s1, p1) (s2, p2) -> Int64.equal s1 s2 && String.equal p1 p2)
+        ();
+    replay = Replay.create ~window_minutes:replay_window_minutes ~strict:strict_replay ();
+    confounder_gen = Fbsr_util.Lcg.create confounder_seed;
+    counters =
+      {
+        sends = 0;
+        receives = 0;
+        accepted = 0;
+        flow_key_computations = 0;
+        macs_computed = 0;
+        encryptions = 0;
+        decryptions = 0;
+        errors_stale = 0;
+        errors_mac = 0;
+        errors_other = 0;
+      };
+  }
+
+let local t = Keying.local t.keying
+let suite t = t.suite
+let fam t = t.fam
+let keying t = t.keying
+let tfkc t = t.tfkc
+let rfkc t = t.rfkc
+let replay t = t.replay
+let counters t = t.counters
+
+(* Snapshot of the inbound flows currently tracked: (sfl, peer, stats). *)
+let inbound_flows t =
+  Cache.fold t.inbound
+    (fun (sfl, peer) flow acc -> (Sfl.of_int64 sfl, Principal.of_string peer, flow) :: acc)
+    []
+
+let track_inbound t ~now ~sfl ~peer ~bytes =
+  let key = (Sfl.to_int64 sfl, Principal.to_string peer) in
+  match Cache.peek t.inbound key with
+  | Some flow ->
+      flow.packets <- flow.packets + 1;
+      flow.bytes <- flow.bytes + bytes;
+      flow.last_seen <- now
+  | None ->
+      Cache.insert t.inbound key
+        { packets = 1; bytes; first_seen = now; last_seen = now }
+
+(* Obtain the flow key for (sfl, peer), using the given cache (TFKC on
+   send, RFKC on receive).  CPS because the master key may need a
+   certificate fetch. *)
+let flow_key_via t cache ~sfl ~peer ~src ~dst (k : (string, error) result -> unit) =
+  let key = (Sfl.to_int64 sfl, Principal.to_string peer, Principal.to_string (local t)) in
+  match Cache.find cache key with
+  | Some fk -> k (Ok fk)
+  | None ->
+      Keying.get_master t.keying peer (function
+        | Error e -> k (Error (Keying_error e))
+        | Ok master ->
+            t.counters.flow_key_computations <- t.counters.flow_key_computations + 1;
+            let fk =
+              Keying.flow_key ~hash:t.suite.Suite.kdf_hash ~sfl ~master ~src ~dst
+            in
+            Cache.insert cache key fk;
+            k (Ok fk))
+
+(* MAC input: auth (suite+flags) | confounder | timestamp | payload — the
+   paper's Section 5.2 definition plus the authenticated algorithm field
+   (see [Header.auth_bytes]). *)
+let compute_mac t ~flow_key ~header ~payload =
+  if Suite.is_nop t.suite then String.make t.suite.Suite.mac_length '\000'
+  else begin
+    t.counters.macs_computed <- t.counters.macs_computed + 1;
+    let mac =
+      Fbsr_crypto.Mac.compute ~algorithm:t.suite.Suite.mac_algorithm
+        t.suite.Suite.mac_hash ~key:flow_key
+        [
+          Header.auth_bytes header;
+          Header.confounder_bytes header;
+          Header.timestamp_bytes header;
+          payload;
+        ]
+    in
+    Fbsr_crypto.Mac.truncate mac t.suite.Suite.mac_length
+  end
+
+let des_key_of_flow_key flow_key =
+  (* DES wants 8 key bytes; the flow key is a 16-byte (MD5) or 20-byte
+     (SHA-1) digest.  Take the first 8 bytes with adjusted parity, as the
+     paper's CryptoLib-based implementation does. *)
+  Fbsr_crypto.Des.adjust_parity (String.sub flow_key 0 8)
+
+let des3_key_of_flow_key flow_key =
+  (* 3DES wants 24 key bytes; expand the flow key by hashing (standard
+     KDF-by-rehash) and force odd parity on every byte. *)
+  let material = flow_key ^ Fbsr_crypto.Md5.digest flow_key in
+  Fbsr_crypto.Des3.of_string (Fbsr_crypto.Des.adjust_parity (String.sub material 0 24))
+
+let encrypt_body t ~flow_key ~iv ~payload =
+  if Suite.is_nop t.suite then payload
+  else begin
+    t.counters.encryptions <- t.counters.encryptions + 1;
+    match t.suite.Suite.cipher with
+    | Suite.Des3_cbc -> Fbsr_crypto.Des3.encrypt_cbc ~iv (des3_key_of_flow_key flow_key) payload
+    | (Suite.Des_cbc | Suite.Des_cfb | Suite.Des_ofb | Suite.Des_ecb) as cipher -> (
+        let key = Fbsr_crypto.Des.of_string (des_key_of_flow_key flow_key) in
+        match cipher with
+        | Suite.Des_cbc -> Fbsr_crypto.Des.encrypt_cbc ~iv key payload
+        | Suite.Des_cfb -> Fbsr_crypto.Des.encrypt_cfb ~iv key payload
+        | Suite.Des_ofb -> Fbsr_crypto.Des.encrypt_ofb ~iv key payload
+        | Suite.Des_ecb -> Fbsr_crypto.Des.encrypt_ecb ~confounder:iv key payload
+        | Suite.Des3_cbc -> assert false)
+  end
+
+let decrypt_body t ~flow_key ~iv ~body =
+  if Suite.is_nop t.suite then Ok body
+  else begin
+    t.counters.decryptions <- t.counters.decryptions + 1;
+    match
+      match t.suite.Suite.cipher with
+      | Suite.Des3_cbc ->
+          Fbsr_crypto.Des3.decrypt_cbc ~iv (des3_key_of_flow_key flow_key) body
+      | (Suite.Des_cbc | Suite.Des_cfb | Suite.Des_ofb | Suite.Des_ecb) as cipher -> (
+          let key = Fbsr_crypto.Des.of_string (des_key_of_flow_key flow_key) in
+          match cipher with
+          | Suite.Des_cbc -> Fbsr_crypto.Des.decrypt_cbc ~iv key body
+          | Suite.Des_cfb -> Fbsr_crypto.Des.decrypt_cfb ~iv key body
+          | Suite.Des_ofb -> Fbsr_crypto.Des.decrypt_ofb ~iv key body
+          | Suite.Des_ecb -> Fbsr_crypto.Des.decrypt_ecb ~confounder:iv key body
+          | Suite.Des3_cbc -> assert false)
+    with
+    | plaintext -> Ok plaintext
+    | exception Invalid_argument _ -> Error Decrypt_error
+  end
+
+(* Steps S4-S10 of Figure 4, given the flow key: confounder, timestamp,
+   MAC, optional encryption, header insertion.  Exposed so the Section 7.2
+   combined FST+TFKC fast path can supply (sfl, flow key) from its own
+   table and skip the separate FAM and TFKC lookups. *)
+let seal t ~now ~sfl ~flow_key ~secret ~payload =
+  let confounder = Fbsr_util.Lcg.next_u32 t.confounder_gen in
+  let timestamp = Replay.minutes_of_seconds now in
+  let header0 =
+    { Header.sfl; suite = t.suite; secret; confounder; timestamp; mac = "" }
+  in
+  let mac = compute_mac t ~flow_key ~header:header0 ~payload in
+  let header = { header0 with Header.mac } in
+  let body =
+    if secret then encrypt_body t ~flow_key ~iv:(Header.confounder_iv header) ~payload
+    else payload
+  in
+  Header.encode header ^ body
+
+(* Derive the flow key outside the TFKC path — used by the combined fast
+   path on a table miss. *)
+let derive_flow_key t ~sfl ~src ~dst (k : (string, error) result -> unit) =
+  Keying.get_master t.keying dst (function
+    | Error e -> k (Error (Keying_error e))
+    | Ok master ->
+        t.counters.flow_key_computations <- t.counters.flow_key_computations + 1;
+        k (Ok (Keying.flow_key ~hash:t.suite.Suite.kdf_hash ~sfl ~master ~src ~dst)))
+
+(* FBSSend(), Figure 4 S1-S10 with the Figure 6 TFKC fast path.  [now] is
+   supplied by the caller (the datagram layer knows the time); the result
+   is the wire representation: FBS header followed by the (possibly
+   encrypted) body. *)
+let send t ~now ~attrs ~secret ~payload (k : (string, error) result -> unit) =
+  t.counters.sends <- t.counters.sends + 1;
+  let sfl, _decision = Fam.classify t.fam ~now attrs in
+  let src = attrs.Fam.src and dst = attrs.Fam.dst in
+  flow_key_via t t.tfkc ~sfl ~peer:dst ~src ~dst (function
+    | Error e -> k (Error e)
+    | Ok flow_key -> k (Ok (seal t ~now ~sfl ~flow_key ~secret ~payload)))
+
+(* The combined-path sibling of [send]: counts the datagram but leaves flow
+   association and key lookup to the caller. *)
+let send_sealed t ~now ~sfl ~flow_key ~secret ~payload =
+  t.counters.sends <- t.counters.sends + 1;
+  seal t ~now ~sfl ~flow_key ~secret ~payload
+
+type accepted = {
+  header : Header.t;
+  payload : string; (* plaintext body *)
+  peer : Principal.t;
+}
+
+(* FBSReceive(), Figure 4 R1-R12 with the RFKC fast path. *)
+let receive t ~now ~src ~wire (k : (accepted, error) result -> unit) =
+  t.counters.receives <- t.counters.receives + 1;
+  match Header.decode wire with
+  | Error e ->
+      t.counters.errors_other <- t.counters.errors_other + 1;
+      k (Error (Header_error e))
+  | Ok (header, body) -> (
+      (* The suite is taken from the header only to the extent we accept
+         it: a receiver enforces its own configured suite to prevent
+         algorithm-downgrade games (the paper leaves this open). *)
+      if header.Header.suite.Suite.id <> t.suite.Suite.id then begin
+        t.counters.errors_other <- t.counters.errors_other + 1;
+        k (Error (Header_error (Header.Unknown_suite header.Header.suite.Suite.id)))
+      end
+      else
+        match
+          Replay.check t.replay ~now ~sfl:header.Header.sfl
+            ~confounder:header.Header.confounder ~timestamp:header.Header.timestamp
+        with
+        | Replay.Stale ->
+            t.counters.errors_stale <- t.counters.errors_stale + 1;
+            k
+              (Error
+                 (Stale
+                    {
+                      timestamp = header.Header.timestamp;
+                      now_minutes = Replay.minutes_of_seconds now;
+                    }))
+        | Replay.Duplicate ->
+            t.counters.errors_stale <- t.counters.errors_stale + 1;
+            k (Error Duplicate)
+        | Replay.Fresh ->
+            let dst = local t in
+            flow_key_via t t.rfkc ~sfl:header.Header.sfl ~peer:src ~src ~dst (function
+              | Error e ->
+                  t.counters.errors_other <- t.counters.errors_other + 1;
+                  k (Error e)
+              | Ok flow_key -> (
+                  let finish plaintext =
+                    let mac' = compute_mac t ~flow_key ~header ~payload:plaintext in
+                    if Fbsr_crypto.Ct.equal mac' header.Header.mac then begin
+                      t.counters.accepted <- t.counters.accepted + 1;
+                      track_inbound t ~now ~sfl:header.Header.sfl ~peer:src
+                        ~bytes:(String.length plaintext);
+                      k (Ok { header; payload = plaintext; peer = src })
+                    end
+                    else begin
+                      t.counters.errors_mac <- t.counters.errors_mac + 1;
+                      k (Error Bad_mac)
+                    end
+                  in
+                  if header.Header.secret then
+                    match
+                      decrypt_body t ~flow_key ~iv:(Header.confounder_iv header) ~body
+                    with
+                    | Ok plaintext -> finish plaintext
+                    | Error e ->
+                        t.counters.errors_mac <- t.counters.errors_mac + 1;
+                        k (Error e)
+                  else finish body)))
+
+(* Synchronous conveniences for callers whose resolver completes inline. *)
+
+let send_sync t ~now ~attrs ~secret ~payload =
+  let result = ref (Error (Keying_error (Keying.No_certificate "pending"))) in
+  send t ~now ~attrs ~secret ~payload (fun r -> result := r);
+  !result
+
+let receive_sync t ~now ~src ~wire =
+  let result = ref (Error (Keying_error (Keying.No_certificate "pending"))) in
+  receive t ~now ~src ~wire (fun r -> result := r);
+  !result
+
+let header_overhead t = Header.size_for_suite t.suite
+
+(* Worst-case body growth when [secret]: CBC/ECB padding always adds 1-8
+   bytes; stream modes add none. *)
+let max_body_growth t =
+  match t.suite.Suite.cipher with
+  | Suite.Des_cbc | Suite.Des_ecb | Suite.Des3_cbc -> 8
+  | Suite.Des_cfb | Suite.Des_ofb -> 0
+
+let wire_overhead t = header_overhead t + max_body_growth t

@@ -1,0 +1,126 @@
+(** The FBS protocol engine: FBSSend()/FBSReceive() of Figure 4 with the
+    soft-state cache fast paths of Figure 6.
+
+    Layer-independent: consumes attributes + payload bytes, produces wire
+    bytes (security flow header followed by the protected body).  Keying
+    may suspend on a certificate fetch, so the primary API is
+    continuation-passing; [_sync] variants serve callers whose resolver
+    completes inline. *)
+
+type error =
+  | Header_error of Header.error
+  | Stale of { timestamp : int; now_minutes : int }
+  | Duplicate
+  | Keying_error of Keying.error
+  | Bad_mac
+  | Decrypt_error
+
+val pp_error : Format.formatter -> error -> unit
+
+type counters = {
+  mutable sends : int;
+  mutable receives : int;
+  mutable accepted : int;
+  mutable flow_key_computations : int;
+  mutable macs_computed : int;
+  mutable encryptions : int;
+  mutable decryptions : int;
+  mutable errors_stale : int;
+  mutable errors_mac : int;
+  mutable errors_other : int;
+}
+
+type t
+
+val create :
+  ?suite:Suite.t ->
+  ?tfkc_sets:int ->
+  ?rfkc_sets:int ->
+  ?cache_assoc:int ->
+  ?replay_window_minutes:int ->
+  ?strict_replay:bool ->
+  ?confounder_seed:int ->
+  keying:Keying.t ->
+  fam:Fam.t ->
+  unit ->
+  t
+
+val local : t -> Principal.t
+val suite : t -> Suite.t
+val fam : t -> Fam.t
+val keying : t -> Keying.t
+val tfkc : t -> (int64 * string * string, string) Cache.t
+val rfkc : t -> (int64 * string * string, string) Cache.t
+val replay : t -> Replay.t
+val counters : t -> counters
+
+val send :
+  t ->
+  now:float ->
+  attrs:Fam.attrs ->
+  secret:bool ->
+  payload:string ->
+  ((string, error) result -> unit) ->
+  unit
+(** Classify into a flow, derive/cache the flow key, MAC, optionally
+    encrypt; the continuation receives the wire bytes. *)
+
+val seal :
+  t -> now:float -> sfl:Sfl.t -> flow_key:string -> secret:bool -> payload:string ->
+  string
+(** Steps S4-S10 only (header construction, MAC, optional encryption),
+    for callers that manage flow association and keys themselves (the
+    Section 7.2 combined FST+TFKC fast path). *)
+
+val send_sealed :
+  t -> now:float -> sfl:Sfl.t -> flow_key:string -> secret:bool -> payload:string ->
+  string
+(** [seal] plus send accounting. *)
+
+val derive_flow_key :
+  t ->
+  sfl:Sfl.t ->
+  src:Principal.t ->
+  dst:Principal.t ->
+  ((string, error) result -> unit) ->
+  unit
+(** Flow-key derivation without consulting the TFKC (combined-path miss). *)
+
+type accepted = { header : Header.t; payload : string; peer : Principal.t }
+
+val receive :
+  t ->
+  now:float ->
+  src:Principal.t ->
+  wire:string ->
+  ((accepted, error) result -> unit) ->
+  unit
+
+val send_sync :
+  t -> now:float -> attrs:Fam.attrs -> secret:bool -> payload:string ->
+  (string, error) result
+
+val receive_sync :
+  t -> now:float -> src:Principal.t -> wire:string -> (accepted, error) result
+
+val header_overhead : t -> int
+(** Bytes the FBS header adds to every datagram. *)
+
+val max_body_growth : t -> int
+(** Worst-case padding growth of an encrypted body. *)
+
+val wire_overhead : t -> int
+(** [header_overhead + max_body_growth]: what the MSS calculation must
+    subtract (the tcp_output fix). *)
+
+(** Receive-side flow view: the per-flow statistics the receiver
+    accumulates while passively demultiplexing on the sfl.  Soft state,
+    bounded by an internal cache. *)
+type inbound_flow = {
+  mutable packets : int;
+  mutable bytes : int;
+  mutable first_seen : float;
+  mutable last_seen : float;
+}
+
+val inbound_flows : t -> (Sfl.t * Principal.t * inbound_flow) list

@@ -1,0 +1,48 @@
+(** The Flow Association Mechanism: policy-driven classification of
+    outgoing datagrams into flows (paper Figure 1). *)
+
+type attrs = {
+  src : Principal.t;
+  dst : Principal.t;
+  protocol : int;
+  src_port : int;
+  dst_port : int;
+  app_tag : string;
+  size : int;
+}
+
+val attrs :
+  ?protocol:int ->
+  ?src_port:int ->
+  ?dst_port:int ->
+  ?app_tag:string ->
+  ?size:int ->
+  src:Principal.t ->
+  dst:Principal.t ->
+  unit ->
+  attrs
+
+type decision = Fresh | Existing
+
+type policy = {
+  policy_name : string;
+  map : now:float -> attrs -> Sfl.t * decision;
+  sweep : now:float -> int;
+  active : now:float -> int;
+}
+
+type stats = {
+  mutable datagrams : int;
+  mutable flows_started : int;
+  mutable sweeps : int;
+  mutable expired : int;
+}
+
+type t
+
+val create : policy -> t
+val classify : t -> now:float -> attrs -> Sfl.t * decision
+val sweep : t -> now:float -> int
+val active : t -> now:float -> int
+val stats : t -> stats
+val policy_name : t -> string

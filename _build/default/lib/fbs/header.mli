@@ -1,0 +1,35 @@
+(** The security flow header (Figure 2 of the paper, Section 7.2 sizes):
+    sfl 64 b | suite 8 b | flags 8 b | confounder 32 b | timestamp 32 b |
+    MAC (suite-dependent, 128 b for the paper's suite). *)
+
+type t = {
+  sfl : Sfl.t;
+  suite : Suite.t;
+  secret : bool;
+  confounder : int;
+  timestamp : int;
+  mac : string;
+}
+
+val fixed_size : int
+val size : t -> int
+val size_for_suite : Suite.t -> int
+
+val encode : t -> string
+
+type error = Truncated | Unknown_suite of int | Bad_flags of int
+
+val decode : string -> (t * string, error) result
+(** Returns the header and the remaining bytes (the protected body). *)
+
+val confounder_bytes : t -> string
+val timestamp_bytes : t -> string
+
+val auth_bytes : t -> string
+(** The suite and flags bytes, included in the MAC input (hardening of the
+    paper's sketch: the algorithm-identification field is authenticated). *)
+
+val confounder_iv : t -> string
+(** The 32-bit confounder duplicated into a 64-bit DES IV (Section 7.2). *)
+
+val pp : Format.formatter -> t -> unit

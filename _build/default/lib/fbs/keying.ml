@@ -1,0 +1,193 @@
+(* Zero-message keying (paper, Sections 5.1-5.3).
+
+   The pair-based master key K_{S,D} = g^{sd} mod p is implicit: each side
+   computes it from its own Diffie-Hellman private value and the peer's
+   certified public value.  The flow key is
+
+       K_f = H(sfl | K_{S,D} | S | D)
+
+   Knowing K_f reveals neither K_{S,D} nor any other flow key (one-way H).
+
+   This module owns the bottom two levels of the cache hierarchy of
+   Figure 5:
+
+   - PVC (public-value cache) holds *certificates*, not bare values,
+     "because the former need not be secure; a certificate can be verified
+     each time it is used".  Misses go to the resolver — the master key
+     daemon's network fetch in the IP mapping, or a local directory in
+     tests ("pinning" certificates is the paper's alternative).
+   - MKC (master-key cache) holds computed K_{S,D} values; each fill costs
+     a modular exponentiation.
+
+   Resolution is continuation-passing so a PVC miss can suspend a datagram
+   while the certificate fetch round-trips the (simulated) network. *)
+
+type error =
+  | No_certificate of string (* resolver failed for this principal *)
+  | Bad_certificate of string (* verification failed *)
+  | Wrong_group of string
+
+type fetch_result = (Fbsr_cert.Certificate.t, string) result
+
+type resolver = Principal.t -> (fetch_result -> unit) -> unit
+
+type counters = {
+  mutable master_key_computations : int; (* modular exponentiations *)
+  mutable certificate_fetches : int;
+  mutable certificate_verifications : int;
+}
+
+type t = {
+  local : Principal.t;
+  group : Fbsr_crypto.Dh.group;
+  private_value : Fbsr_crypto.Dh.private_value;
+  public_value : Fbsr_crypto.Dh.public_value;
+  ca_public : Fbsr_crypto.Rsa.public_key;
+  ca_hash : Fbsr_crypto.Hash.t;
+  resolver : resolver;
+  clock : unit -> float;
+  pvc : (string, Fbsr_cert.Certificate.t) Cache.t;
+  (* MKC entries carry the expiry of the certificate they were computed
+     from: "a certificate can be verified each time it is used" — caching
+     the computed master key must not outlive the certificate's validity. *)
+  mkc : (string, string * float) Cache.t; (* name -> (master key, expiry) *)
+  counters : counters;
+  (* Fetches in flight, so a burst of datagrams to one peer triggers a
+     single certificate fetch and a single master-key computation. *)
+  pending : (string, ((string, error) result -> unit) list ref) Hashtbl.t;
+}
+
+let principal_hash name = Fbsr_util.Crc32.string name
+
+let create ?(pvc_sets = 64) ?(mkc_sets = 64) ?(assoc = 2) ~local ~group ~private_value
+    ~ca_public ~ca_hash ~resolver ~clock () =
+  {
+    local;
+    group;
+    private_value;
+    public_value = Fbsr_crypto.Dh.public group private_value;
+    ca_public;
+    ca_hash;
+    resolver;
+    clock;
+    pvc =
+      Cache.create ~assoc ~sets:pvc_sets ~hash:principal_hash ~equal:String.equal ();
+    mkc =
+      Cache.create ~assoc ~sets:mkc_sets ~hash:principal_hash ~equal:String.equal ();
+    counters =
+      { master_key_computations = 0; certificate_fetches = 0;
+        certificate_verifications = 0 };
+    pending = Hashtbl.create 8;
+  }
+
+let local t = t.local
+let group t = t.group
+let public_value t = t.public_value
+let counters t = t.counters
+let pvc t = t.pvc
+let mkc t = t.mkc
+
+let find_live_master t name =
+  match Cache.find t.mkc name with
+  | Some (key, expiry) when t.clock () <= expiry -> Some key
+  | Some _ ->
+      (* The certificate behind this key has expired: drop the key and the
+         stale certificate so resolution fetches a fresh one. *)
+      Cache.invalidate t.mkc name;
+      Cache.invalidate t.pvc name;
+      None
+  | None -> None
+
+(* Verify a certificate and compute the master key from it. *)
+let master_from_certificate t peer (cert : Fbsr_cert.Certificate.t) =
+  t.counters.certificate_verifications <- t.counters.certificate_verifications + 1;
+  let name = Principal.to_string peer in
+  match
+    Fbsr_cert.Certificate.verify ~ca_public:t.ca_public ~hash:t.ca_hash
+      ~now:(t.clock ()) ~expected_subject:name cert
+  with
+  | Error e -> Error (Bad_certificate (Fmt.str "%a" Fbsr_cert.Certificate.pp_verify_error e))
+  | Ok () ->
+      if cert.Fbsr_cert.Certificate.group <> t.group.Fbsr_crypto.Dh.name then
+        Error (Wrong_group cert.Fbsr_cert.Certificate.group)
+      else begin
+        let peer_public = Fbsr_cert.Certificate.public_nat cert in
+        t.counters.master_key_computations <- t.counters.master_key_computations + 1;
+        match Fbsr_crypto.Dh.shared_bytes t.group t.private_value peer_public with
+        | key -> Ok key
+        | exception Invalid_argument m -> Error (Bad_certificate m)
+      end
+
+(* Obtain K_{S,D} for a peer, consulting MKC, then PVC, then the resolver.
+   The continuation may run immediately (cache hit or synchronous resolver)
+   or later (network fetch). *)
+let get_master t peer (k : (string, error) result -> unit) =
+  let name = Principal.to_string peer in
+  match find_live_master t name with
+  | Some key -> k (Ok key)
+  | None -> (
+      let complete result =
+        match Hashtbl.find_opt t.pending name with
+        | None -> ()
+        | Some waiters ->
+            Hashtbl.remove t.pending name;
+            List.iter (fun k -> k result) (List.rev !waiters)
+      in
+      let from_cert cert =
+        match master_from_certificate t peer cert with
+        | Ok key ->
+            Cache.insert t.mkc name (key, cert.Fbsr_cert.Certificate.not_after);
+            complete (Ok key)
+        | Error e -> complete (Error e)
+      in
+      match Hashtbl.find_opt t.pending name with
+      | Some waiters -> waiters := k :: !waiters
+      | None -> (
+          Hashtbl.replace t.pending name (ref [ k ]);
+          match Cache.find t.pvc name with
+          | Some cert when t.clock () <= cert.Fbsr_cert.Certificate.not_after ->
+              from_cert cert
+          | Some _ ->
+              (* Cached certificate has expired: evict and refetch. *)
+              Cache.invalidate t.pvc name;
+              t.counters.certificate_fetches <- t.counters.certificate_fetches + 1;
+              t.resolver peer (function
+                | Error m -> complete (Error (No_certificate m))
+                | Ok cert ->
+                    Cache.insert t.pvc name cert;
+                    from_cert cert)
+          | None ->
+              t.counters.certificate_fetches <- t.counters.certificate_fetches + 1;
+              t.resolver peer (function
+                | Error m -> complete (Error (No_certificate m))
+                | Ok cert ->
+                    Cache.insert t.pvc name cert;
+                    from_cert cert)))
+
+(* Synchronous variant: usable when the resolver completes inline (local
+   directory / pinned certificates).  Returns an error if it would block. *)
+let get_master_sync t peer =
+  let result = ref (Error (No_certificate "resolver did not complete synchronously")) in
+  get_master t peer (fun r -> result := r);
+  !result
+
+(* Pin a certificate directly into the PVC ("an alternative is to 'pin'
+   certain certificates in the cache upon initialization"). *)
+let pin_certificate t cert =
+  Cache.insert t.pvc cert.Fbsr_cert.Certificate.subject cert
+
+(* Flow key derivation: K_f = H(sfl | K_{S,D} | S | D).  S and D use their
+   canonical length-prefixed encodings so the concatenation is injective. *)
+let flow_key ~(hash : Fbsr_crypto.Hash.t) ~sfl ~master ~src ~dst =
+  let sfl_bytes =
+    let v = Sfl.to_int64 sfl in
+    String.init 8 (fun i ->
+        Char.chr (Int64.to_int (Int64.shift_right_logical v (56 - (8 * i))) land 0xff))
+  in
+  Fbsr_crypto.Hash.digest_list hash
+    [ sfl_bytes; master; Principal.encode src; Principal.encode dst ]
+
+let pp_error ppf = function
+  | No_certificate m -> Fmt.pf ppf "no certificate: %s" m
+  | Bad_certificate m -> Fmt.pf ppf "bad certificate: %s" m
+  | Wrong_group g -> Fmt.pf ppf "certificate for wrong group %s" g

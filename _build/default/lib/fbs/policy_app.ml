@@ -1,0 +1,49 @@
+(* Application-layer flow policy: datagrams sharing an application
+   "conversation" tag form a flow (the paper's application-layer
+   instantiation, Section 4: "application data with different semantics
+   (e.g., video, audio, and whiteboard data) could be separated into their
+   own flows").  The tag is supplied by the application in
+   [Fam.attrs.app_tag]; destination is still part of the flow identity
+   since flows are unidirectional per-destination. *)
+
+type entry = { sfl : Sfl.t; mutable last : float }
+
+type t = {
+  flows : (string * string, entry) Hashtbl.t; (* (dst, tag) -> flow *)
+  threshold : float;
+  alloc : Sfl.allocator;
+}
+
+let make ?(threshold = 600.0) ~alloc () = { flows = Hashtbl.create 16; threshold; alloc }
+
+let map t ~now (a : Fam.attrs) =
+  let key = (Principal.to_string a.Fam.dst, a.Fam.app_tag) in
+  match Hashtbl.find_opt t.flows key with
+  | Some e when now -. e.last <= t.threshold ->
+      e.last <- now;
+      (e.sfl, Fam.Existing)
+  | Some _ | None ->
+      let sfl = Sfl.fresh t.alloc in
+      Hashtbl.replace t.flows key { sfl; last = now };
+      (sfl, Fam.Fresh)
+
+let sweep t ~now =
+  let dead =
+    Hashtbl.fold
+      (fun k e acc -> if now -. e.last > t.threshold then k :: acc else acc)
+      t.flows []
+  in
+  List.iter (Hashtbl.remove t.flows) dead;
+  List.length dead
+
+let active t ~now =
+  Hashtbl.fold (fun _ e n -> if now -. e.last <= t.threshold then n + 1 else n) t.flows 0
+
+let policy ?threshold ~alloc () : Fam.policy =
+  let t = make ?threshold ~alloc () in
+  {
+    Fam.policy_name = "app-tag";
+    map = (fun ~now a -> map t ~now a);
+    sweep = (fun ~now -> sweep t ~now);
+    active = (fun ~now -> active t ~now);
+  }

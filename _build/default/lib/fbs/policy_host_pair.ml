@@ -1,0 +1,52 @@
+(* Host-level flow policy: one flow per destination principal.
+
+   This is the coarsest useful policy — "host/gateway to host/gateway
+   security ... by encrypting all datagrams going from one host/gateway to
+   another" (Section 7.1) — and also the paper's stated treatment for raw
+   IP (footnote 10: "raw IP can be considered as host-level flows").  It
+   gives FBS the granularity of host-pair keying while keeping the FBS key
+   schedule (the flow key is still derived from the sfl, so the master key
+   is never used to encrypt traffic directly). *)
+
+type entry = { sfl : Sfl.t; mutable started : float; mutable last : float }
+
+type t = {
+  flows : (string, entry) Hashtbl.t; (* destination principal -> flow *)
+  threshold : float; (* idle expiry, like the 5-tuple policy *)
+  alloc : Sfl.allocator;
+}
+
+let make ?(threshold = 3600.0) ~alloc () =
+  { flows = Hashtbl.create 16; threshold; alloc }
+
+let map t ~now (a : Fam.attrs) =
+  let key = Principal.to_string a.Fam.dst in
+  match Hashtbl.find_opt t.flows key with
+  | Some e when now -. e.last <= t.threshold ->
+      e.last <- now;
+      (e.sfl, Fam.Existing)
+  | Some _ | None ->
+      let sfl = Sfl.fresh t.alloc in
+      Hashtbl.replace t.flows key { sfl; started = now; last = now };
+      (sfl, Fam.Fresh)
+
+let sweep t ~now =
+  let dead =
+    Hashtbl.fold
+      (fun k e acc -> if now -. e.last > t.threshold then k :: acc else acc)
+      t.flows []
+  in
+  List.iter (Hashtbl.remove t.flows) dead;
+  List.length dead
+
+let active t ~now =
+  Hashtbl.fold (fun _ e n -> if now -. e.last <= t.threshold then n + 1 else n) t.flows 0
+
+let policy ?threshold ~alloc () : Fam.policy =
+  let t = make ?threshold ~alloc () in
+  {
+    Fam.policy_name = "host-pair";
+    map = (fun ~now a -> map t ~now a);
+    sweep = (fun ~now -> sweep t ~now);
+    active = (fun ~now -> active t ~now);
+  }

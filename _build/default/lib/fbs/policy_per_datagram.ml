@@ -1,0 +1,24 @@
+(* Degenerate policy: every datagram is its own flow.
+
+   This deliberately collapses FBS to per-datagram keying — the scheme the
+   paper argues against in Section 2.2 (fresh key material per packet).
+   It exists as the baseline endpoint of the policy spectrum and powers the
+   ablation bench showing why per-flow keying wins: every datagram pays a
+   flow-key derivation and the TFKC never hits. *)
+
+type t = { alloc : Sfl.allocator; mutable mapped : int }
+
+let make ~alloc () = { alloc; mapped = 0 }
+
+let map t ~now:_ (_ : Fam.attrs) =
+  t.mapped <- t.mapped + 1;
+  (Sfl.fresh t.alloc, Fam.Fresh)
+
+let policy ~alloc () : Fam.policy =
+  let t = make ~alloc () in
+  {
+    Fam.policy_name = "per-datagram";
+    map = (fun ~now a -> map t ~now a);
+    sweep = (fun ~now:_ -> 0);
+    active = (fun ~now:_ -> 0);
+  }

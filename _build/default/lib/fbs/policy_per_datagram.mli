@@ -1,0 +1,7 @@
+(** Degenerate one-flow-per-datagram policy (ablation baseline). *)
+
+type t
+
+val make : alloc:Sfl.allocator -> unit -> t
+val map : t -> now:float -> Fam.attrs -> Sfl.t * Fam.decision
+val policy : alloc:Sfl.allocator -> unit -> Fam.policy

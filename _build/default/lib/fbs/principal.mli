@@ -1,0 +1,14 @@
+(** Opaque principal names (hosts, applications, users — layer-dependent). *)
+
+type t
+
+val of_string : string -> t
+val to_string : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+val encode : t -> string
+(** Length-prefixed canonical encoding used inside key derivation. *)
+
+val hash : t -> int

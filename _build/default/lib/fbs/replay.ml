@@ -1,0 +1,85 @@
+(* Replay protection (paper, Sections 5.3 and 6.2).
+
+   FBS uses a window-based timestamp scheme: the timestamp is the number of
+   minutes since a fixed epoch, and the receiver accepts a datagram iff its
+   timestamp falls inside a sliding window centered on the current time.
+   No hard state is required; the trade-off is that a replay *within* the
+   window succeeds — the paper accepts this and leaves exact replay
+   protection to higher layers.
+
+   As a documented extension beyond the paper (Section 6.2 "ultimately,
+   complete replay protection can only be achieved in high-layer
+   protocols"), [strict] mode additionally remembers (sfl, confounder,
+   timestamp) triples seen inside the window and rejects exact duplicates.
+   The memory is bounded: entries die with the window. *)
+
+let minutes_of_seconds s = int_of_float (s /. 60.0) land 0xffffffff
+
+type t = {
+  window_minutes : int; (* accept |ts - now| <= window_minutes *)
+  strict : bool;
+  seen : (int64 * int * int, int) Hashtbl.t; (* (sfl,conf,ts) -> ts *)
+  mutable last_gc : int;
+  mutable accepted : int;
+  mutable rejected_stale : int;
+  mutable rejected_duplicate : int;
+}
+
+let create ?(window_minutes = 2) ?(strict = false) () =
+  {
+    window_minutes;
+    strict;
+    seen = Hashtbl.create 64;
+    last_gc = 0;
+    accepted = 0;
+    rejected_stale = 0;
+    rejected_duplicate = 0;
+  }
+
+let window_minutes t = t.window_minutes
+
+type verdict = Fresh | Stale | Duplicate
+
+let gc t now_min =
+  if t.strict && now_min > t.last_gc then begin
+    t.last_gc <- now_min;
+    let dead =
+      Hashtbl.fold
+        (fun k ts acc -> if abs (now_min - ts) > t.window_minutes then k :: acc else acc)
+        t.seen []
+    in
+    List.iter (Hashtbl.remove t.seen) dead
+  end
+
+let check t ~now ~sfl ~confounder ~timestamp : verdict =
+  let now_min = minutes_of_seconds now in
+  gc t now_min;
+  if abs (now_min - timestamp) > t.window_minutes then begin
+    t.rejected_stale <- t.rejected_stale + 1;
+    Stale
+  end
+  else if t.strict then begin
+    let key = (Sfl.to_int64 sfl, confounder, timestamp) in
+    if Hashtbl.mem t.seen key then begin
+      t.rejected_duplicate <- t.rejected_duplicate + 1;
+      Duplicate
+    end
+    else begin
+      Hashtbl.replace t.seen key timestamp;
+      t.accepted <- t.accepted + 1;
+      Fresh
+    end
+  end
+  else begin
+    t.accepted <- t.accepted + 1;
+    Fresh
+  end
+
+type stats = { accepted : int; rejected_stale : int; rejected_duplicate : int }
+
+let stats (t : t) =
+  {
+    accepted = t.accepted;
+    rejected_stale = t.rejected_stale;
+    rejected_duplicate = t.rejected_duplicate;
+  }

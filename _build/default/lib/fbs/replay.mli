@@ -1,0 +1,18 @@
+(** Window-based timestamp replay protection (paper Sections 5.3/6.2),
+    with an optional strict duplicate-suppression extension. *)
+
+val minutes_of_seconds : float -> int
+(** Timestamp encoding: whole minutes since the FBS epoch. *)
+
+type t
+
+val create : ?window_minutes:int -> ?strict:bool -> unit -> t
+val window_minutes : t -> int
+
+type verdict = Fresh | Stale | Duplicate
+
+val check : t -> now:float -> sfl:Sfl.t -> confounder:int -> timestamp:int -> verdict
+
+type stats = { accepted : int; rejected_stale : int; rejected_duplicate : int }
+
+val stats : t -> stats

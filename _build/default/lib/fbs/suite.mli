@@ -1,0 +1,34 @@
+(** Algorithm suites selected by the FBS header's algorithm-identification
+    field. *)
+
+type cipher = Des_cbc | Des_cfb | Des_ofb | Des_ecb | Des3_cbc
+
+type t = {
+  id : int;
+  kdf_hash : Fbsr_crypto.Hash.t;
+  mac_algorithm : Fbsr_crypto.Mac.algorithm;
+  mac_hash : Fbsr_crypto.Hash.t;
+  mac_length : int;
+  cipher : cipher;
+}
+
+val paper_md5_des : t
+(** The paper's implementation: keyed MD5 + DES-CBC (suite id 0). *)
+
+val hmac_md5_des : t
+val sha1_des : t
+
+val des_mac_des : t
+(** DES for both encryption and MAC (paper footnote 12); 8-byte tag. *)
+
+val md5_des3 : t
+(** 3DES-CBC confidentiality (extension for the key "wear out" concern). *)
+
+val nop : t
+(** "Nullified" encryption and MAC, for the Figure 8 FBS NOP measurement. *)
+
+val is_nop : t -> bool
+val all : t list
+val of_id : int -> t option
+val name : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/fbs_app/app_socket.ml: Addr Char Fbsr_fbs Fbsr_netsim Fbsr_util Host String Udp_stack

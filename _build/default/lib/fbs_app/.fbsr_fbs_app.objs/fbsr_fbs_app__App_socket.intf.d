@@ -1,0 +1,1 @@
+lib/fbs_app/app_socket.mli: Addr Fbsr_crypto Fbsr_fbs Fbsr_netsim Host

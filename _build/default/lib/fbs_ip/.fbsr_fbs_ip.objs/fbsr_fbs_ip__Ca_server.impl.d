@@ -1,0 +1,1 @@
+lib/fbs_ip/ca_server.ml: Fbsr_cert Fbsr_netsim Host Mkd_protocol Udp_stack

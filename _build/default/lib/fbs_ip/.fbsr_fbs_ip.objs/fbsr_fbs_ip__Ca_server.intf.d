@@ -1,0 +1,1 @@
+lib/fbs_ip/ca_server.mli: Addr Fbsr_cert Fbsr_netsim Host

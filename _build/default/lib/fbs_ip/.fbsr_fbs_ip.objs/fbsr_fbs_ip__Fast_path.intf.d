@@ -1,0 +1,1 @@
+lib/fbs_ip/fast_path.mli: Fbsr_fbs

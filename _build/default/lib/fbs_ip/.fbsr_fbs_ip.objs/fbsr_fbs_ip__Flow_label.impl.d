@@ -1,0 +1,1 @@
+lib/fbs_ip/flow_label.ml: Fbsr_fbs Fbsr_netsim Fbsr_util

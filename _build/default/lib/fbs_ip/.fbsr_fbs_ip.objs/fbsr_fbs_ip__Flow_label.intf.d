@@ -1,0 +1,1 @@
+lib/fbs_ip/flow_label.mli: Fbsr_fbs Fbsr_netsim

@@ -1,0 +1,1 @@
+lib/fbs_ip/gateway.ml: Addr Fbsr_netsim Host Ipv4 List Medium

@@ -1,0 +1,1 @@
+lib/fbs_ip/gateway.mli: Addr Fbsr_netsim Host Medium

@@ -1,0 +1,1 @@
+lib/fbs_ip/mkd.ml: Addr Engine Fbsr_cert Fbsr_fbs Fbsr_netsim Hashtbl Host List Mkd_protocol Result Udp_stack

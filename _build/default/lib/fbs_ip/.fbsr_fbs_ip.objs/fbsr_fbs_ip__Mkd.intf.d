@@ -1,0 +1,1 @@
+lib/fbs_ip/mkd.mli: Addr Fbsr_fbs Fbsr_netsim Host

@@ -1,0 +1,1 @@
+lib/fbs_ip/mkd_protocol.ml: Byte_reader Byte_writer Fbsr_cert Fbsr_util Printf String

@@ -1,0 +1,1 @@
+lib/fbs_ip/mkd_protocol.mli: Fbsr_cert

@@ -1,0 +1,1 @@
+lib/fbs_ip/stack.ml: Addr Char Engine Fast_path Fbsr_fbs Fbsr_netsim Fbsr_util Host Ipv4 Minitcp Printf String

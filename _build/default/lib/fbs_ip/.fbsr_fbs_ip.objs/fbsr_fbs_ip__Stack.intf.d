@@ -1,0 +1,1 @@
+lib/fbs_ip/stack.mli: Addr Fast_path Fbsr_crypto Fbsr_fbs Fbsr_netsim Host

@@ -1,0 +1,1 @@
+lib/fbs_ip/stack6.ml: Fbsr_fbs Fbsr_netsim Flow_label Ipv6 String

@@ -1,0 +1,1 @@
+lib/fbs_ip/stack6.mli: Fbsr_fbs Fbsr_netsim Ipv6

@@ -1,0 +1,1 @@
+lib/fbs_ip/testbed.ml: Addr Ca_server Engine Fbsr_cert Fbsr_crypto Fbsr_netsim Fbsr_util Host Lazy Medium Minitcp Mkd Stack Udp_stack

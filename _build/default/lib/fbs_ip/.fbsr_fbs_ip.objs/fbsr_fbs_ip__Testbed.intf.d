@@ -1,0 +1,1 @@
+lib/fbs_ip/testbed.mli: Addr Ca_server Engine Fbsr_cert Fbsr_crypto Fbsr_netsim Host Medium Mkd Stack

@@ -1,0 +1,29 @@
+(** The Section 7.2 combined FST+TFKC fast path: one direct-mapped table
+    probe serves both flow association and flow-key lookup; the sweeper is
+    implicit in the THRESHOLD check. *)
+
+type t
+
+type counters = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable collisions : int;
+}
+
+val create : ?size:int -> ?threshold:float -> alloc:Fbsr_fbs.Sfl.allocator -> unit -> t
+val counters : t -> counters
+
+type lookup = Hit of Fbsr_fbs.Sfl.t * string | Miss of Fbsr_fbs.Sfl.t
+
+val lookup :
+  t ->
+  now:float ->
+  protocol:int ->
+  src:string ->
+  src_port:int ->
+  dst:string ->
+  dst_port:int ->
+  lookup
+
+val install_key : t -> sfl:Fbsr_fbs.Sfl.t -> flow_key:string -> unit
+val active : t -> now:float -> int

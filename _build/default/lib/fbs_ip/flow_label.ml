@@ -1,0 +1,26 @@
+(* Bridging FBS security flow labels onto IPv6 flow labels.
+
+   The paper closes by observing that "in some cases, our notion of flow
+   coincides with other notions of flow that have been proposed, e.g., QoS
+   flows", and cites RFC 1809 (using the IPv6 flow label) alongside IPv6
+   itself.  This module makes the coincidence concrete: an FBS sender can
+   stamp the IPv6 header's 20-bit flow label with a value derived from the
+   64-bit sfl, so routers give consistent special handling to exactly the
+   datagram sequences FBS protects — without learning anything about the
+   keys (the label is a public hash of an already-public header field).
+
+   RFC 1809 asks that labels be drawn uniformly so routers can hash them
+   directly; the CRC-32 fold provides that even though sfls are
+   sequential. *)
+
+let of_sfl sfl =
+  Fbsr_util.Crc32.update_int64 0 (Fbsr_fbs.Sfl.to_int64 sfl) land Fbsr_netsim.Ipv6.max_flow_label
+
+(* Stamp an IPv6 header for a datagram in flow [sfl]. *)
+let stamp_header ~sfl (h : Fbsr_netsim.Ipv6.header) = { h with Fbsr_netsim.Ipv6.flow_label = of_sfl sfl }
+
+(* The property routers rely on: all datagrams of one FBS flow carry one
+   label, and distinct concurrent flows almost surely get distinct labels
+   (20-bit space; collisions are harmless — they only merge QoS treatment,
+   never security). *)
+let consistent ~sfl (h : Fbsr_netsim.Ipv6.header) = h.Fbsr_netsim.Ipv6.flow_label = of_sfl sfl

@@ -1,0 +1,8 @@
+(** FBS sfl -> IPv6 flow label bridging (the paper's QoS-flow coincidence,
+    RFC 1809). *)
+
+val of_sfl : Fbsr_fbs.Sfl.t -> int
+(** Uniform 20-bit label derived from the sfl (CRC-32 fold). *)
+
+val stamp_header : sfl:Fbsr_fbs.Sfl.t -> Fbsr_netsim.Ipv6.header -> Fbsr_netsim.Ipv6.header
+val consistent : sfl:Fbsr_fbs.Sfl.t -> Fbsr_netsim.Ipv6.header -> bool

@@ -1,0 +1,113 @@
+(* The master key daemon (MKD), client side.
+
+   Figure 5 of the paper places the MKD in user space: it serves PVC
+   misses by fetching public-value certificates from the certificate
+   authority over the network (through the secure flow bypass) and hands
+   them back to the in-kernel FBS engine.  "PVC cache misses ... are
+   extremely expensive.  It incurs at the minimum a round trip
+   communication delay."
+
+   This implementation is a UDP client with per-name request coalescing,
+   retransmission and a bounded retry budget.  It implements the
+   [Keying.resolver] interface, so a PVC miss suspends the datagram in the
+   FBS stack until the continuation fires. *)
+
+open Fbsr_netsim
+
+type pending = {
+  name : string;
+  mutable continuations : (Fbsr_fbs.Keying.fetch_result -> unit) list;
+  mutable attempts : int;
+  mutable generation : int; (* invalidates stale timeout events *)
+}
+
+type t = {
+  host : Host.t;
+  ca_addr : Addr.t;
+  ca_port : int;
+  local_port : int;
+  timeout : float;
+  max_attempts : int;
+  pending : (string, pending) Hashtbl.t;
+  mutable fetches : int;
+  mutable retransmissions : int;
+  mutable failures : int;
+}
+
+let send_request t name =
+  Udp_stack.send t.host ~src_port:t.local_port ~dst:t.ca_addr ~dst_port:t.ca_port
+    (Mkd_protocol.encode (Mkd_protocol.Request name))
+
+let complete t name result =
+  match Hashtbl.find_opt t.pending name with
+  | None -> ()
+  | Some p ->
+      Hashtbl.remove t.pending name;
+      p.generation <- p.generation + 1;
+      if Result.is_error result then t.failures <- t.failures + 1;
+      List.iter (fun k -> k result) (List.rev p.continuations)
+
+let rec arm_timeout t p =
+  let gen = p.generation in
+  Engine.schedule (Host.engine t.host) ~delay:t.timeout (fun () ->
+      if gen = p.generation && Hashtbl.mem t.pending p.name then begin
+        if p.attempts >= t.max_attempts then
+          complete t p.name (Error "certificate fetch timed out")
+        else begin
+          p.attempts <- p.attempts + 1;
+          t.retransmissions <- t.retransmissions + 1;
+          send_request t p.name;
+          arm_timeout t p
+        end
+      end)
+
+let handle_response t raw =
+  match Mkd_protocol.decode raw with
+  | exception Mkd_protocol.Bad_message _ -> ()
+  | Mkd_protocol.Certificate cert ->
+      complete t cert.Fbsr_cert.Certificate.subject (Ok cert)
+  | Mkd_protocol.Failure msg -> (
+      (* The failure does not name the subject; fail the oldest pending
+         request conservatively only if there is exactly one. *)
+      match Hashtbl.fold (fun _ p acc -> p :: acc) t.pending [] with
+      | [ p ] -> complete t p.name (Error msg)
+      | _ -> ())
+  | Mkd_protocol.Request _ -> ()
+
+let fetch t name k =
+  match Hashtbl.find_opt t.pending name with
+  | Some p -> p.continuations <- k :: p.continuations
+  | None ->
+      t.fetches <- t.fetches + 1;
+      let p = { name; continuations = [ k ]; attempts = 1; generation = 0 } in
+      Hashtbl.replace t.pending name p;
+      send_request t name;
+      arm_timeout t p
+
+let create ?(local_port = 563) ?(timeout = 2.0) ?(max_attempts = 3) ~ca_addr ~ca_port
+    host =
+  let t =
+    {
+      host;
+      ca_addr;
+      ca_port;
+      local_port;
+      timeout;
+      max_attempts;
+      pending = Hashtbl.create 8;
+      fetches = 0;
+      retransmissions = 0;
+      failures = 0;
+    }
+  in
+  Udp_stack.listen host ~port:local_port (fun ~src ~src_port:_ raw ->
+      if Addr.equal src ca_addr then handle_response t raw);
+  t
+
+let resolver t : Fbsr_fbs.Keying.resolver =
+ fun peer k -> fetch t (Fbsr_fbs.Principal.to_string peer) k
+
+type stats = { fetches : int; retransmissions : int; failures : int }
+
+let stats (t : t) =
+  { fetches = t.fetches; retransmissions = t.retransmissions; failures = t.failures }

@@ -1,0 +1,23 @@
+(** Master key daemon (client side): fetches public-value certificates from
+    the CA over UDP with coalescing and retries; implements
+    [Fbsr_fbs.Keying.resolver]. *)
+
+open Fbsr_netsim
+
+type t
+
+val create :
+  ?local_port:int ->
+  ?timeout:float ->
+  ?max_attempts:int ->
+  ca_addr:Addr.t ->
+  ca_port:int ->
+  Host.t ->
+  t
+(** The host must already have a UDP stack installed. *)
+
+val resolver : t -> Fbsr_fbs.Keying.resolver
+
+type stats = { fetches : int; retransmissions : int; failures : int }
+
+val stats : t -> stats

@@ -1,0 +1,390 @@
+(* The mapping of FBS to IP (paper, Section 7).
+
+   The FBS header is inserted between the IPv4 header and the transport
+   payload — "a short-cut form of IP encapsulation".  Send processing hooks
+   between ip_output's bulk processing and fragmentation; receive
+   processing hooks between reassembly and dispatch; both are transparent
+   to IP (the host stack provides exactly those hook points).  tcp_output's
+   MSS calculation learns the FBS overhead through
+   [Minitcp.set_mss_reduction], reproducing the paper's third kernel
+   change.
+
+   The flow policy is Section 7.1's 5-tuple + THRESHOLD policy: the
+   classifier peeks at the transport ports just past the IP header — the
+   same layering violation the paper defends in footnote 9.
+
+   Traffic to or from the key server bypasses FBS (the "secure flow
+   bypass" of Figure 5): securing certificate fetches would be circular,
+   and certificates are verified on receipt.
+
+   When a datagram needs a master key that is not cached, its processing
+   suspends while the MKD round-trips the network; the datagram is parked
+   and finishes through [Host.transmit_prepared] / [Host.deliver_up] when
+   the key arrives — the simulator's analogue of the paper's blocking
+   Upcall(). *)
+
+open Fbsr_netsim
+
+type config = {
+  suite : Fbsr_fbs.Suite.t;
+  threshold : float;
+  fst_size : int;
+  replay_window_minutes : int;
+  strict_replay : bool;
+  secret_policy : protocol:int -> src_port:int -> dst_port:int -> bool;
+  bypass : Addr.t -> bool;
+  tfkc_sets : int;
+  rfkc_sets : int;
+  cache_assoc : int;
+  max_flow_bytes : int option;
+  max_flow_life : float option;
+  combined_fast_path : bool;
+      (** Use the Section 7.2 combined FST+TFKC table on the send side
+          (one probe instead of FAM classification + TFKC lookup). *)
+  encapsulation : [ `Shim | `Ip_option ];
+      (** [`Shim] (default): FBS header between the IP header and the
+          payload, the paper's implementation.  [`Ip_option]: carry the
+          FBS header as an IPv4 option — the paper's noted alternative,
+          workable only while the header fits the 40-byte option budget. *)
+}
+
+let default_config ?(suite = Fbsr_fbs.Suite.paper_md5_des) ?(threshold = 600.0)
+    ?(fst_size = 256) ?(replay_window_minutes = 2) ?(strict_replay = false)
+    ?(secret_policy = fun ~protocol:_ ~src_port:_ ~dst_port:_ -> true)
+    ?(bypass = fun _ -> false) ?(tfkc_sets = 128) ?(rfkc_sets = 128) ?(cache_assoc = 1)
+    ?max_flow_bytes ?max_flow_life ?(combined_fast_path = false)
+    ?(encapsulation = `Shim) () =
+  {
+    suite;
+    threshold;
+    fst_size;
+    replay_window_minutes;
+    strict_replay;
+    secret_policy;
+    bypass;
+    tfkc_sets;
+    rfkc_sets;
+    cache_assoc;
+    max_flow_bytes;
+    max_flow_life;
+    combined_fast_path;
+    encapsulation;
+  }
+
+type counters = {
+  mutable sent : int;
+  mutable received : int;
+  mutable suspended_out : int; (* datagrams parked awaiting a master key *)
+  mutable suspended_in : int;
+  mutable resumed : int;
+  mutable dropped_error : int;
+  mutable bypassed : int;
+}
+
+type t = {
+  host : Host.t;
+  engine : Fbsr_fbs.Engine.t;
+  config : config;
+  counters : counters;
+  policy_state : Fbsr_fbs.Policy_five_tuple.t;
+  fast_path : Fast_path.t option; (* combined FST+TFKC, when configured *)
+}
+
+let engine t = t.engine
+let counters t = t.counters
+let host t = t.host
+let policy_state t = t.policy_state
+let fast_path t = t.fast_path
+let principal_of_addr addr = Fbsr_fbs.Principal.of_string (Addr.to_string addr)
+
+(* Peek transport ports just past the IP header (footnote 9's layering
+   violation).  Returns (0,0) when the protocol has no ports or the
+   datagram is too short (e.g. a non-first fragment of a bypassed flow —
+   FBS itself always sees whole datagrams). *)
+let peek_ports ~protocol payload =
+  if (protocol = Ipv4.proto_tcp || protocol = Ipv4.proto_udp)
+     && String.length payload >= 4
+  then
+    ( (Char.code payload.[0] lsl 8) lor Char.code payload.[1],
+      (Char.code payload.[2] lsl 8) lor Char.code payload.[3] )
+  else (0, 0)
+
+(* --- IP-option encapsulation (paper Section 7.2's alternative) --- *)
+
+let fbs_option_type = 0x9e (* copied flag set, experimental option number *)
+
+(* Split the engine's wire output (FBS header ^ body) into the chosen
+   on-the-wire carriage. *)
+let encap t (h : Ipv4.header) wire =
+  match t.config.encapsulation with
+  | `Shim -> (h, wire)
+  | `Ip_option ->
+      let hdr_len = Fbsr_fbs.Engine.header_overhead t.engine in
+      let fbs_header = String.sub wire 0 hdr_len in
+      let body = String.sub wire hdr_len (String.length wire - hdr_len) in
+      let opt =
+        Printf.sprintf "%c%c" (Char.chr fbs_option_type) (Char.chr (hdr_len + 2))
+        ^ fbs_header
+      in
+      let padding = (4 - (String.length opt mod 4)) mod 4 in
+      ({ h with Ipv4.options = opt ^ String.make padding '\000' }, body)
+
+(* Reconstruct the engine's wire form on receive; [None] when the datagram
+   does not carry FBS in the configured way. *)
+let decap t (h : Ipv4.header) payload =
+  match t.config.encapsulation with
+  | `Shim -> Some (h, payload)
+  | `Ip_option ->
+      let opts = h.Ipv4.options in
+      if String.length opts >= 2 && Char.code opts.[0] = fbs_option_type then begin
+        (* Option length counts the type and length bytes themselves. *)
+        let len = Char.code opts.[1] in
+        if len >= 2 && len <= String.length opts then
+          Some ({ h with Ipv4.options = "" }, String.sub opts 2 (len - 2) ^ payload)
+        else None
+      end
+      else None
+
+(* Send processing via the combined table (Section 7.2): one probe yields
+   both the sfl and the flow key; a miss derives the key (possibly
+   suspending on an MKD fetch) and installs it. *)
+let output_via_fast_path t fp (h : Ipv4.header) payload ~src_port ~dst_port ~secret ~now
+    : Host.hook_result =
+  let src = Addr.to_string h.src and dst = Addr.to_string h.dst in
+  match
+    Fast_path.lookup fp ~now ~protocol:h.protocol ~src ~src_port ~dst ~dst_port
+  with
+  | Fast_path.Hit (sfl, flow_key) ->
+      t.counters.sent <- t.counters.sent + 1;
+      let h, p =
+        encap t h
+          (Fbsr_fbs.Engine.send_sealed t.engine ~now ~sfl ~flow_key ~secret ~payload)
+      in
+      Host.Pass (h, p)
+  | Fast_path.Miss sfl -> (
+      let sync_result = ref None in
+      let completed_sync = ref true in
+      Fbsr_fbs.Engine.derive_flow_key t.engine ~sfl
+        ~src:(Fbsr_fbs.Principal.of_string src)
+        ~dst:(Fbsr_fbs.Principal.of_string dst)
+        (fun r ->
+          (match r with
+          | Ok flow_key -> Fast_path.install_key fp ~sfl ~flow_key
+          | Error _ -> ());
+          if !completed_sync then sync_result := Some r
+          else
+            match r with
+            | Ok flow_key ->
+                t.counters.resumed <- t.counters.resumed + 1;
+                t.counters.sent <- t.counters.sent + 1;
+                let h, p =
+                  encap t h
+                    (Fbsr_fbs.Engine.send_sealed t.engine ~now ~sfl ~flow_key ~secret
+                       ~payload)
+                in
+                Host.transmit_prepared t.host h p
+            | Error _ -> t.counters.dropped_error <- t.counters.dropped_error + 1);
+      completed_sync := false;
+      match !sync_result with
+      | Some (Ok flow_key) ->
+          t.counters.sent <- t.counters.sent + 1;
+          let h, p =
+            encap t h
+              (Fbsr_fbs.Engine.send_sealed t.engine ~now ~sfl ~flow_key ~secret
+                 ~payload)
+          in
+          Host.Pass (h, p)
+      | Some (Error _) ->
+          t.counters.dropped_error <- t.counters.dropped_error + 1;
+          Host.Drop "fbs send error"
+      | None ->
+          t.counters.suspended_out <- t.counters.suspended_out + 1;
+          Host.Drop "fbs awaiting master key")
+
+let output_hook t (h : Ipv4.header) payload : Host.hook_result =
+  if t.config.bypass h.dst then begin
+    t.counters.bypassed <- t.counters.bypassed + 1;
+    Host.Pass (h, payload)
+  end
+  else begin
+    let src_port, dst_port = peek_ports ~protocol:h.protocol payload in
+    let attrs =
+      Fbsr_fbs.Fam.attrs ~protocol:h.protocol ~src_port ~dst_port
+        ~size:(String.length payload) ~src:(principal_of_addr h.src)
+        ~dst:(principal_of_addr h.dst) ()
+    in
+    let secret = t.config.secret_policy ~protocol:h.protocol ~src_port ~dst_port in
+    let now = Host.now t.host in
+    match t.fast_path with
+    | Some fp -> output_via_fast_path t fp h payload ~src_port ~dst_port ~secret ~now
+    | None ->
+    let sync_result = ref None in
+    let completed_sync = ref true in
+    Fbsr_fbs.Engine.send t.engine ~now ~attrs ~secret ~payload (fun r ->
+        if !completed_sync then sync_result := Some r
+        else begin
+          (* Late completion: the datagram was parked during an MKD fetch. *)
+          match r with
+          | Ok wire ->
+              t.counters.resumed <- t.counters.resumed + 1;
+              t.counters.sent <- t.counters.sent + 1;
+              let h, p = encap t h wire in
+              Host.transmit_prepared t.host h p
+          | Error _ -> t.counters.dropped_error <- t.counters.dropped_error + 1
+        end);
+    completed_sync := false;
+    match !sync_result with
+    | Some (Ok wire) ->
+        t.counters.sent <- t.counters.sent + 1;
+        let h, p = encap t h wire in
+        Host.Pass (h, p)
+    | Some (Error _) ->
+        t.counters.dropped_error <- t.counters.dropped_error + 1;
+        Host.Drop "fbs send error"
+    | None ->
+        t.counters.suspended_out <- t.counters.suspended_out + 1;
+        Host.Drop "fbs awaiting master key"
+  end
+
+let input_hook t (h : Ipv4.header) payload : Host.hook_result =
+  if t.config.bypass h.src then begin
+    t.counters.bypassed <- t.counters.bypassed + 1;
+    Host.Pass (h, payload)
+  end
+  else begin
+    match decap t h payload with
+    | None ->
+        t.counters.dropped_error <- t.counters.dropped_error + 1;
+        Host.Drop "fbs: no security header in configured encapsulation"
+    | Some (h, wire) ->
+    let now = Host.now t.host in
+    let src = principal_of_addr h.src in
+    let sync_result = ref None in
+    let completed_sync = ref true in
+    Fbsr_fbs.Engine.receive t.engine ~now ~src ~wire (fun r ->
+        if !completed_sync then sync_result := Some r
+        else begin
+          match r with
+          | Ok acc ->
+              t.counters.resumed <- t.counters.resumed + 1;
+              t.counters.received <- t.counters.received + 1;
+              let h =
+                {
+                  h with
+                  Ipv4.total_length =
+                    Ipv4.header_length h + String.length acc.Fbsr_fbs.Engine.payload;
+                }
+              in
+              Host.deliver_up t.host h acc.Fbsr_fbs.Engine.payload
+          | Error _ -> t.counters.dropped_error <- t.counters.dropped_error + 1
+        end);
+    completed_sync := false;
+    match !sync_result with
+    | Some (Ok acc) ->
+        t.counters.received <- t.counters.received + 1;
+        Host.Pass
+          ( {
+              h with
+              Ipv4.total_length =
+                Ipv4.header_length h + String.length acc.Fbsr_fbs.Engine.payload;
+            },
+            acc.Fbsr_fbs.Engine.payload )
+    | Some (Error _) ->
+        t.counters.dropped_error <- t.counters.dropped_error + 1;
+        Host.Drop "fbs receive error"
+    | None ->
+        t.counters.suspended_in <- t.counters.suspended_in + 1;
+        Host.Drop "fbs awaiting master key"
+  end
+
+let install ?(config = default_config ()) ?(sfl_seed = 0x5f1) ~private_value ~group
+    ~ca_public ~ca_hash ~resolver host =
+  let local = principal_of_addr (Host.addr host) in
+  let keying =
+    Fbsr_fbs.Keying.create ~local ~group ~private_value ~ca_public ~ca_hash ~resolver
+      ~clock:(fun () -> Host.now host)
+      ()
+  in
+  let alloc = Fbsr_fbs.Sfl.allocator ~rng:(Fbsr_util.Rng.create sfl_seed) in
+  let policy, policy_state =
+    Fbsr_fbs.Policy_five_tuple.policy_with_state ~fst_size:config.fst_size
+      ~threshold:config.threshold ?max_flow_bytes:config.max_flow_bytes
+      ?max_flow_life:config.max_flow_life ~alloc ()
+  in
+  let fam = Fbsr_fbs.Fam.create policy in
+  let engine =
+    Fbsr_fbs.Engine.create ~suite:config.suite ~tfkc_sets:config.tfkc_sets
+      ~rfkc_sets:config.rfkc_sets ~cache_assoc:config.cache_assoc
+      ~replay_window_minutes:config.replay_window_minutes
+      ~strict_replay:config.strict_replay ~keying ~fam ()
+  in
+  let fast_path =
+    if config.combined_fast_path then
+      Some
+        (Fast_path.create ~size:config.fst_size ~threshold:config.threshold
+           ~alloc:(Fbsr_fbs.Sfl.allocator ~rng:(Fbsr_util.Rng.create (sfl_seed lxor 0x77)))
+           ())
+    else None
+  in
+  let t =
+    {
+      host;
+      engine;
+      config;
+      counters =
+        {
+          sent = 0;
+          received = 0;
+          suspended_out = 0;
+          suspended_in = 0;
+          resumed = 0;
+          dropped_error = 0;
+          bypassed = 0;
+        };
+      policy_state;
+      fast_path;
+    }
+  in
+  (match config.encapsulation with
+  | `Shim -> ()
+  | `Ip_option ->
+      (* "An alternative is to implement it as an IP option, but the 40
+         byte maximum is fairly limiting": enforce the limit up front. *)
+      let need = Fbsr_fbs.Engine.header_overhead engine + 2 in
+      if need > Ipv4.max_options then
+        invalid_arg
+          (Printf.sprintf
+             "Stack.install: suite %s needs %d option bytes; IPv4 allows %d (the 40-byte maximum is fairly limiting)"
+             (Fbsr_fbs.Suite.name config.suite) need Ipv4.max_options));
+  Host.set_output_hook host (output_hook t);
+  Host.set_input_hook host (input_hook t);
+  (* The paper's tcp_output fix: publish the per-datagram overhead so the
+     MSS calculation can subtract it.  In option mode the FBS header rides
+     in the (padded) IP options instead of the payload. *)
+  (let overhead =
+     match config.encapsulation with
+     | `Shim -> Fbsr_fbs.Engine.wire_overhead engine
+     | `Ip_option ->
+         let opt = Fbsr_fbs.Engine.header_overhead engine + 2 in
+         let padded = (opt + 3) land lnot 3 in
+         padded + Fbsr_fbs.Engine.max_body_growth engine
+   in
+   Minitcp.set_mss_reduction host overhead);
+  t
+
+(* The standalone sweeper of Figure 7: periodically scan the FST and
+   expire idle flows.  The paper's Section 7.2 implementation absorbs
+   sweeping into the mapping phase (which [Policy_five_tuple.map] and the
+   fast path both do); running the explicit sweeper as well bounds the
+   table's occupancy between packets, at a configurable period. *)
+let start_sweeper ?(period = 60.0) t =
+  let engine = Host.engine t.host in
+  let rec tick () =
+    ignore (Fbsr_fbs.Policy_five_tuple.sweep t.policy_state ~now:(Host.now t.host));
+    Engine.schedule engine ~delay:period tick
+  in
+  Engine.schedule engine ~delay:period tick
+
+let uninstall t =
+  Host.clear_hooks t.host;
+  Minitcp.set_mss_reduction t.host 0

@@ -1,0 +1,82 @@
+(** The FBS-to-IP mapping (paper Section 7): FBS header between the IPv4
+    header and the transport payload, ip_output/ip_input hooks, 5-tuple +
+    THRESHOLD flow policy, secure flow bypass, MSS fix, and datagram
+    parking across MKD fetches. *)
+
+open Fbsr_netsim
+
+type config = {
+  suite : Fbsr_fbs.Suite.t;
+  threshold : float;
+  fst_size : int;
+  replay_window_minutes : int;
+  strict_replay : bool;
+  secret_policy : protocol:int -> src_port:int -> dst_port:int -> bool;
+  bypass : Addr.t -> bool;
+  tfkc_sets : int;
+  rfkc_sets : int;
+  cache_assoc : int;
+  max_flow_bytes : int option;
+  max_flow_life : float option;
+  combined_fast_path : bool;
+  encapsulation : [ `Shim | `Ip_option ];
+      (** [`Shim]: header between IP header and payload (the paper's
+          implementation).  [`Ip_option]: header carried as an IPv4 option
+          — workable only while it fits the 40-byte budget. *)
+}
+
+val default_config :
+  ?suite:Fbsr_fbs.Suite.t ->
+  ?threshold:float ->
+  ?fst_size:int ->
+  ?replay_window_minutes:int ->
+  ?strict_replay:bool ->
+  ?secret_policy:(protocol:int -> src_port:int -> dst_port:int -> bool) ->
+  ?bypass:(Addr.t -> bool) ->
+  ?tfkc_sets:int ->
+  ?rfkc_sets:int ->
+  ?cache_assoc:int ->
+  ?max_flow_bytes:int ->
+  ?max_flow_life:float ->
+  ?combined_fast_path:bool ->
+  ?encapsulation:[ `Shim | `Ip_option ] ->
+  unit ->
+  config
+
+type counters = {
+  mutable sent : int;
+  mutable received : int;
+  mutable suspended_out : int;
+  mutable suspended_in : int;
+  mutable resumed : int;
+  mutable dropped_error : int;
+  mutable bypassed : int;
+}
+
+type t
+
+val install :
+  ?config:config ->
+  ?sfl_seed:int ->
+  private_value:Fbsr_crypto.Dh.private_value ->
+  group:Fbsr_crypto.Dh.group ->
+  ca_public:Fbsr_crypto.Rsa.public_key ->
+  ca_hash:Fbsr_crypto.Hash.t ->
+  resolver:Fbsr_fbs.Keying.resolver ->
+  Host.t ->
+  t
+
+val uninstall : t -> unit
+
+val engine : t -> Fbsr_fbs.Engine.t
+val counters : t -> counters
+val host : t -> Host.t
+val policy_state : t -> Fbsr_fbs.Policy_five_tuple.t
+val fast_path : t -> Fast_path.t option
+val principal_of_addr : Addr.t -> Fbsr_fbs.Principal.t
+val peek_ports : protocol:int -> string -> int * int
+
+val start_sweeper : ?period:float -> t -> unit
+(** Run Figure 7's standalone sweeper every [period] (default 60 s)
+    simulated seconds.  Note: once started it reschedules forever, so
+    [Engine.run] without [~until] will not terminate. *)

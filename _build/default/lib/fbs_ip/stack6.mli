@@ -1,0 +1,29 @@
+(** FBS over IPv6, packet level: security flow header between the base
+    header and the payload, IPv6 flow label stamped from the sfl. *)
+
+open Fbsr_netsim
+
+val seal_packet :
+  Fbsr_fbs.Engine.t ->
+  now:float ->
+  src:Ipv6.Addr6.t ->
+  dst:Ipv6.Addr6.t ->
+  next_header:int ->
+  ?hop_limit:int ->
+  ?src_port:int ->
+  ?dst_port:int ->
+  secret:bool ->
+  string ->
+  ((string, Fbsr_fbs.Engine.error) result -> unit) ->
+  unit
+
+type opened = {
+  header : Ipv6.header;
+  accepted : Fbsr_fbs.Engine.accepted;
+  label_consistent : bool;
+}
+
+type error = Bad_ipv6 of string | Fbs of Fbsr_fbs.Engine.error
+
+val open_packet :
+  Fbsr_fbs.Engine.t -> now:float -> string -> ((opened, error) result -> unit) -> unit

@@ -1,0 +1,108 @@
+(* Testbed wiring: a complete simulated FBS deployment in a few calls —
+   shared segment, a key-server host running the certificate authority, and
+   FBS-enabled hosts with UDP/TCP stacks, Diffie-Hellman keys, enrollment
+   and an MKD.  The experimental setup of Section 7.3 in a box. *)
+
+open Fbsr_netsim
+
+type node = {
+  host : Host.t;
+  stack : Stack.t;
+  mkd : Mkd.t;
+  private_value : Fbsr_crypto.Dh.private_value;
+}
+
+type t = {
+  engine : Engine.t;
+  medium : Medium.t;
+  group : Fbsr_crypto.Dh.group;
+  authority : Fbsr_cert.Authority.t;
+  ca_host : Host.t;
+  ca_server : Ca_server.t;
+  rng : Fbsr_util.Rng.t;
+  mutable nodes : node list;
+  config : Stack.config option; (* base config; bypass is forced *)
+}
+
+let create ?(seed = 42) ?(bandwidth_bps = 10_000_000.0) ?(group_bits = 0) ?config () =
+  let rng = Fbsr_util.Rng.create seed in
+  let engine = Engine.create () in
+  let medium = Medium.create ~bandwidth_bps ~seed:(seed + 1) engine in
+  let group =
+    (* Default: the fast 61-bit test group; ask for [group_bits] to pay for
+       real group sizes (e.g. 1024 via Dh.oakley2-equivalent). *)
+    if group_bits = 0 then Lazy.force Fbsr_crypto.Dh.test_group
+    else if group_bits = 1024 then Lazy.force Fbsr_crypto.Dh.oakley2
+    else Fbsr_crypto.Dh.generate_group ~bits:group_bits rng
+  in
+  let authority = Fbsr_cert.Authority.create ~rng ~bits:768 () in
+  let ca_addr = Addr.of_string "10.0.0.100" in
+  let ca_host = Host.create ~name:"keyserver" ~addr:ca_addr engine in
+  Host.attach ca_host medium;
+  Udp_stack.install ca_host;
+  let ca_server = Ca_server.install ~authority ca_host in
+  {
+    engine;
+    medium;
+    group;
+    authority;
+    ca_host;
+    ca_server;
+    rng;
+    nodes = [];
+    config;
+  }
+
+let ca_addr t = Host.addr t.ca_host
+
+let node_config t =
+  let base =
+    match t.config with Some c -> c | None -> Stack.default_config ()
+  in
+  { base with Stack.bypass = (fun a -> Addr.equal a (ca_addr t)) }
+
+let add_host t ~name ~addr =
+  let addr = Addr.of_string addr in
+  let host = Host.create ~name ~addr t.engine in
+  Host.attach host t.medium;
+  Udp_stack.install host;
+  Minitcp.install host;
+  let private_value = Fbsr_crypto.Dh.gen_private t.group t.rng in
+  let public = Fbsr_crypto.Dh.public t.group private_value in
+  let subject = Addr.to_string addr in
+  let (_ : Fbsr_cert.Certificate.t) =
+    Fbsr_cert.Authority.enroll t.authority ~now:(Engine.now t.engine) ~subject
+      ~group:t.group.Fbsr_crypto.Dh.name
+      ~public_value:(Fbsr_crypto.Dh.public_to_bytes t.group public)
+  in
+  let mkd =
+    Mkd.create ~ca_addr:(ca_addr t) ~ca_port:(Ca_server.port t.ca_server) host
+  in
+  let stack =
+    Stack.install ~config:(node_config t) ~private_value ~group:t.group
+      ~ca_public:(Fbsr_cert.Authority.public t.authority)
+      ~ca_hash:(Fbsr_cert.Authority.hash t.authority)
+      ~resolver:(Mkd.resolver mkd) host
+  in
+  let node = { host; stack; mkd; private_value } in
+  t.nodes <- node :: t.nodes;
+  node
+
+(* A host with no FBS processing at all: the GENERIC configuration of
+   Figure 8. *)
+let add_plain_host t ~name ~addr =
+  let addr = Addr.of_string addr in
+  let host = Host.create ~name ~addr t.engine in
+  Host.attach host t.medium;
+  Udp_stack.install host;
+  Minitcp.install host;
+  host
+
+let engine t = t.engine
+let medium t = t.medium
+let group t = t.group
+let authority t = t.authority
+let ca_server t = t.ca_server
+let nodes t = t.nodes
+let run ?until t = Engine.run ?until t.engine
+let now t = Engine.now t.engine

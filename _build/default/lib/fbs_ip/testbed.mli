@@ -1,0 +1,38 @@
+(** One-call wiring of a simulated FBS site: shared segment, key server
+    (CA), and FBS-enabled hosts with transport stacks and MKDs. *)
+
+open Fbsr_netsim
+
+type node = {
+  host : Host.t;
+  stack : Stack.t;
+  mkd : Mkd.t;
+  private_value : Fbsr_crypto.Dh.private_value;
+}
+
+type t
+
+val create :
+  ?seed:int ->
+  ?bandwidth_bps:float ->
+  ?group_bits:int ->
+  ?config:Stack.config ->
+  unit ->
+  t
+(** [group_bits = 0] (default) uses the fast 61-bit test group; [1024]
+    selects Oakley group 2; other values generate a fresh safe-prime
+    group. *)
+
+val add_host : t -> name:string -> addr:string -> node
+val add_plain_host : t -> name:string -> addr:string -> Host.t
+(** GENERIC (no security) host, for the Figure 8 baseline. *)
+
+val ca_addr : t -> Addr.t
+val engine : t -> Engine.t
+val medium : t -> Medium.t
+val group : t -> Fbsr_crypto.Dh.group
+val authority : t -> Fbsr_cert.Authority.t
+val ca_server : t -> Ca_server.t
+val nodes : t -> node list
+val run : ?until:float -> t -> unit
+val now : t -> float

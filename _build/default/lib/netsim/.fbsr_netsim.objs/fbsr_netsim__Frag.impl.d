@@ -1,0 +1,1 @@
+lib/netsim/frag.ml: Addr Bytes Hashtbl Ipv4 List String

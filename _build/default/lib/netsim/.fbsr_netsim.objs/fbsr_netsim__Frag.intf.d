@@ -1,0 +1,1 @@
+lib/netsim/frag.mli: Ipv4

@@ -1,0 +1,1 @@
+lib/netsim/host.ml: Addr Engine Frag Hashtbl Ipv4 List Medium String

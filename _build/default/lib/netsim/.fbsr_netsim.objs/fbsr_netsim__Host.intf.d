@@ -1,0 +1,1 @@
+lib/netsim/host.mli: Addr Engine Ipv4 Medium

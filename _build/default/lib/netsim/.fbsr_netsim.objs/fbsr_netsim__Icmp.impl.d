@@ -1,0 +1,1 @@
+lib/netsim/icmp.ml: Byte_reader Byte_writer Bytes Char Fbsr_util Hashtbl Host Inet_checksum Ipv4 String

@@ -1,0 +1,1 @@
+lib/netsim/icmp.mli: Addr Host

@@ -1,0 +1,1 @@
+lib/netsim/ipv4.ml: Addr Byte_reader Byte_writer Bytes Char Fbsr_util Fmt Inet_checksum String

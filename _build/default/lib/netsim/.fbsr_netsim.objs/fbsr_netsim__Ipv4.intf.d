@@ -1,0 +1,1 @@
+lib/netsim/ipv4.mli: Addr Format

@@ -1,0 +1,1 @@
+lib/netsim/ipv6.ml: Array Byte_reader Byte_writer Char Fbsr_util Fmt Fun List Printf String

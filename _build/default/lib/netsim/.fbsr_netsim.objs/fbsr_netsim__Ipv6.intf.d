@@ -1,0 +1,1 @@
+lib/netsim/ipv6.mli: Format

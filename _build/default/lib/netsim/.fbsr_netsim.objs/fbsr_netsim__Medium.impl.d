@@ -1,0 +1,1 @@
+lib/netsim/medium.ml: Addr Engine Fbsr_util Float List String

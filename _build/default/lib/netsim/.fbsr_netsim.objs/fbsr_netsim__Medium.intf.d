@@ -1,0 +1,1 @@
+lib/netsim/medium.mli: Addr Engine

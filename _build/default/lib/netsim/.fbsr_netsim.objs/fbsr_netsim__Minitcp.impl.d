@@ -1,0 +1,1 @@
+lib/netsim/minitcp.ml: Addr Engine Fbsr_util Float Hashtbl Host Int32 Ipv4 Option String Tcp_seg

@@ -1,0 +1,1 @@
+lib/netsim/minitcp.mli: Addr Host

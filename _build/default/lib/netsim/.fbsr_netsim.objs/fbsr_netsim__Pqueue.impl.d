@@ -1,0 +1,1 @@
+lib/netsim/pqueue.ml: Array Obj

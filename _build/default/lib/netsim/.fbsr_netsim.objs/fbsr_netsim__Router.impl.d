@@ -1,0 +1,1 @@
+lib/netsim/router.ml: Addr Array Frag Ipv4 List Medium Option

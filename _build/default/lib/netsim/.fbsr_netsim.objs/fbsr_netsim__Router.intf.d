@@ -1,0 +1,1 @@
+lib/netsim/router.mli: Addr Medium

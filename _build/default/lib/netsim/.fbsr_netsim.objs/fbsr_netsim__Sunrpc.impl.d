@@ -1,0 +1,1 @@
+lib/netsim/sunrpc.ml: Addr Byte_reader Byte_writer Engine Fbsr_util Hashtbl Host Udp_stack

@@ -1,0 +1,1 @@
+lib/netsim/sunrpc.mli: Addr Host

@@ -1,0 +1,1 @@
+lib/netsim/tcp_seg.ml: Addr Byte_reader Byte_writer Bytes Char Fbsr_util Inet_checksum Int32 Ipv4 String

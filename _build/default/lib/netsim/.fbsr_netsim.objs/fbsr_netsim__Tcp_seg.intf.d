@@ -1,0 +1,1 @@
+lib/netsim/tcp_seg.mli: Addr

@@ -1,0 +1,1 @@
+lib/netsim/udp.ml: Addr Byte_reader Byte_writer Bytes Char Fbsr_util Inet_checksum Ipv4 String

@@ -1,0 +1,1 @@
+lib/netsim/udp.mli: Addr

@@ -1,0 +1,1 @@
+lib/netsim/udp_stack.ml: Addr Hashtbl Host Ipv4 Udp

@@ -1,0 +1,1 @@
+lib/netsim/udp_stack.mli: Addr Host

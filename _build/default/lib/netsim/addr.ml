@@ -1,0 +1,40 @@
+(* IPv4 addresses, stored as a non-negative int in [0, 2^32). *)
+
+type t = int
+
+let of_int v =
+  if v < 0 || v > 0xffffffff then invalid_arg "Addr.of_int: out of range";
+  v
+
+let to_int v = v
+
+let of_octets a b c d =
+  let check x = if x < 0 || x > 255 then invalid_arg "Addr.of_octets" in
+  check a; check b; check c; check d;
+  (a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d
+
+let of_string s =
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] -> (
+      try of_octets (int_of_string a) (int_of_string b) (int_of_string c) (int_of_string d)
+      with Failure _ -> invalid_arg ("Addr.of_string: " ^ s))
+  | _ -> invalid_arg ("Addr.of_string: " ^ s)
+
+let to_string v =
+  Printf.sprintf "%d.%d.%d.%d" ((v lsr 24) land 0xff) ((v lsr 16) land 0xff)
+    ((v lsr 8) land 0xff) (v land 0xff)
+
+let compare = Stdlib.compare
+let equal (a : t) (b : t) = a = b
+let pp ppf v = Fmt.string ppf (to_string v)
+
+let broadcast = 0xffffffff
+let any = 0
+
+let in_subnet ~network ~prefix addr =
+  if prefix < 0 || prefix > 32 then invalid_arg "Addr.in_subnet: bad prefix";
+  if prefix = 0 then true
+  else begin
+    let mask = lnot ((1 lsl (32 - prefix)) - 1) land 0xffffffff in
+    addr land mask = network land mask
+  end

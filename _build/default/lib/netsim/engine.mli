@@ -1,0 +1,19 @@
+(** Discrete-event simulation engine with a virtual clock (seconds). *)
+
+type t
+
+val create : unit -> t
+val now : t -> float
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** Run a callback [delay] simulated seconds from now. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> unit
+
+val run : ?until:float -> t -> unit
+(** Process events in time order until the queue drains, [until] is
+    reached, or {!stop} is called.  When [until] cuts the run short the
+    clock is advanced to [until]. *)
+
+val stop : t -> unit
+val pending : t -> int

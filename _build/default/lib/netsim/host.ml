@@ -1,0 +1,246 @@
+(* A simulated host's IP stack, structured after 4.4BSD's ip_output /
+   ip_input so that FBS can hook in at exactly the points the paper's
+   FreeBSD implementation modified:
+
+   Output (Section 7.2): part 1 performs the bulk of output processing
+   (route selection, header construction); part 2 fragments; part 3
+   transmits.  The FBS send hook runs between parts 1 and 2, so FBS
+   processing is transparent to IP and fragmentation applies to the
+   FBS-augmented datagram.
+
+   Input: part 1 validates; part 2 reassembles; part 3 dispatches to the
+   higher-layer protocol.  The FBS receive hook runs between parts 2 and 3.
+
+   A hook takes the header and payload, and may transform them (FBS header
+   insertion/removal), pass them through unchanged, or drop the packet. *)
+
+type hook_result =
+  | Pass of Ipv4.header * string
+  | Drop of string (* reason, counted in stats *)
+
+type hook = Ipv4.header -> string -> hook_result
+
+type stats = {
+  mutable packets_out : int;
+  mutable packets_in : int;
+  mutable bytes_out : int;
+  mutable bytes_in : int;
+  mutable fragments_out : int;
+  mutable reassembled : int;
+  mutable drops_bad : int; (* malformed / checksum *)
+  mutable drops_hook : int; (* dropped by a security hook *)
+  mutable drops_no_proto : int;
+  mutable drops_not_mine : int;
+  mutable send_errors : int; (* e.g. DF + too big *)
+}
+
+let new_stats () =
+  {
+    packets_out = 0;
+    packets_in = 0;
+    bytes_out = 0;
+    bytes_in = 0;
+    fragments_out = 0;
+    reassembled = 0;
+    drops_bad = 0;
+    drops_hook = 0;
+    drops_no_proto = 0;
+    drops_not_mine = 0;
+    send_errors = 0;
+  }
+
+type t = {
+  name : string;
+  addr : Addr.t;
+  engine : Engine.t;
+  mutable medium : Medium.t option;
+  mtu : int;
+  protocols : (int, t -> Ipv4.header -> string -> unit) Hashtbl.t;
+  mutable output_hook : hook option;
+  mutable input_hook : hook option;
+  reassembler : Frag.t;
+  mutable next_ident : int;
+  mutable clock_offset : float;
+      (* This host's clock error relative to simulated true time.  FBS's
+         timestamp scheme only assumes *loose* synchronization; the offset
+         lets tests and experiments quantify how loose. *)
+  (* Off-subnet traffic goes to the gateway at the link layer (the IP
+     destination is unchanged — that is what lets a router forward it). *)
+  mutable subnet_prefix : int option;
+  mutable gateway : Addr.t option;
+  stats : stats;
+  (* Arbitrary per-host extension state (used by the UDP/TCP stacks and by
+     FBS to store its engine), keyed by a string tag. *)
+  extensions : (string, exn) Hashtbl.t;
+}
+
+let create ~name ~addr ?(mtu = 1500) engine =
+  {
+    name;
+    addr;
+    engine;
+    medium = None;
+    mtu;
+    protocols = Hashtbl.create 8;
+    output_hook = None;
+    input_hook = None;
+    reassembler = Frag.create ();
+    next_ident = 1;
+    clock_offset = 0.0;
+    subnet_prefix = None;
+    gateway = None;
+    stats = new_stats ();
+    extensions = Hashtbl.create 8;
+  }
+
+let name t = t.name
+let addr t = t.addr
+let engine t = t.engine
+let mtu t = t.mtu
+let stats t = t.stats
+let now t = Engine.now t.engine +. t.clock_offset
+let set_clock_offset t seconds = t.clock_offset <- seconds
+let clock_offset t = t.clock_offset
+
+let set_gateway t ~prefix ~gateway =
+  if prefix < 0 || prefix > 32 then invalid_arg "Host.set_gateway: bad prefix";
+  t.subnet_prefix <- Some prefix;
+  t.gateway <- Some gateway
+
+(* Link-layer destination for an IP destination: direct neighbours get the
+   frame directly, everything else goes to the gateway. *)
+let link_dst t dst =
+  match (t.subnet_prefix, t.gateway) with
+  | Some prefix, Some gw when not (Addr.in_subnet ~network:t.addr ~prefix dst) -> gw
+  | _ -> dst
+
+let set_output_hook t h = t.output_hook <- Some h
+let set_input_hook t h = t.input_hook <- Some h
+let clear_hooks t =
+  t.output_hook <- None;
+  t.input_hook <- None
+
+let register_protocol t ~protocol handler =
+  Hashtbl.replace t.protocols protocol handler
+
+(* Extension storage: type-safe via the "exception as existential" trick. *)
+let set_extension t ~tag v = Hashtbl.replace t.extensions tag v
+let find_extension t ~tag = Hashtbl.find_opt t.extensions tag
+
+let rec ip_input t raw =
+  t.stats.packets_in <- t.stats.packets_in + 1;
+  t.stats.bytes_in <- t.stats.bytes_in + String.length raw;
+  match Ipv4.decode raw with
+  | exception Ipv4.Bad_packet _ -> t.stats.drops_bad <- t.stats.drops_bad + 1
+  | h, payload ->
+      if not (Addr.equal h.dst t.addr || Addr.equal h.dst Addr.broadcast) then
+        t.stats.drops_not_mine <- t.stats.drops_not_mine + 1
+      else begin
+        (* Part 2: reassembly. *)
+        match Frag.add t.reassembler ~now:(now t) h payload with
+        | None -> ()
+        | Some (h, payload) ->
+            if h.frag_offset = 0 && not h.more_fragments then ()
+            else t.stats.reassembled <- t.stats.reassembled + 1;
+            let verdict =
+              match t.input_hook with
+              | None -> Pass (h, payload)
+              | Some hook -> hook h payload
+            in
+            (match verdict with
+            | Drop _ -> t.stats.drops_hook <- t.stats.drops_hook + 1
+            | Pass (h, payload) -> dispatch t h payload)
+      end
+
+and dispatch t h payload =
+  match Hashtbl.find_opt t.protocols h.protocol with
+  | Some handler -> handler t h payload
+  | None -> t.stats.drops_no_proto <- t.stats.drops_no_proto + 1
+
+let attach t medium =
+  t.medium <- Some medium;
+  Medium.attach medium ~addr:t.addr ~deliver:(fun raw -> ip_input t raw)
+
+exception Send_error of string
+
+let fresh_ident t =
+  let id = t.next_ident in
+  t.next_ident <- (t.next_ident + 1) land 0xffff;
+  id
+
+let ip_output t ?(dont_fragment = false) ?(ttl = 64) ~protocol ~dst payload =
+  let medium =
+    match t.medium with
+    | Some m -> m
+    | None -> raise (Send_error "host not attached to a network")
+  in
+  (* Part 1: header construction (route selection is trivial: one medium). *)
+  let h =
+    Ipv4.make ~ident:(fresh_ident t) ~dont_fragment ~ttl ~protocol ~src:t.addr ~dst
+      ~payload_length:(String.length payload) ()
+  in
+  (* FBS send hook: between part 1 and fragmentation. *)
+  let verdict =
+    match t.output_hook with None -> Pass (h, payload) | Some hook -> hook h payload
+  in
+  match verdict with
+  | Drop _ -> t.stats.drops_hook <- t.stats.drops_hook + 1
+  | Pass (h, payload) -> (
+      (* The hook may have grown the payload: fix the length (as FBSSend()
+         fixes the IP header after insertion). *)
+      let h = { h with Ipv4.total_length = Ipv4.header_length h + String.length payload } in
+      (* Part 2: fragmentation. *)
+      match Frag.fragment h payload ~mtu:t.mtu with
+      | exception Frag.Cannot_fragment ->
+          t.stats.send_errors <- t.stats.send_errors + 1;
+          raise (Send_error "message too long (DF set)")
+      | fragments ->
+          if List.length fragments > 1 then
+            t.stats.fragments_out <- t.stats.fragments_out + List.length fragments;
+          (* Part 3: transmit. *)
+          List.iter
+            (fun (fh, fp) ->
+              let raw = Ipv4.encode fh fp in
+              t.stats.packets_out <- t.stats.packets_out + 1;
+              t.stats.bytes_out <- t.stats.bytes_out + String.length raw;
+              Medium.transmit medium ~dst:(link_dst t fh.Ipv4.dst) raw)
+            fragments)
+
+(* Part 2+3 of output only: fragment and transmit a prepared header and
+   payload, skipping the output hook.  Used by a security layer to finish
+   sending a datagram whose processing had to wait for key material. *)
+let transmit_prepared t (h : Ipv4.header) payload =
+  let medium =
+    match t.medium with
+    | Some m -> m
+    | None -> raise (Send_error "host not attached to a network")
+  in
+  let h = { h with Ipv4.total_length = Ipv4.header_length h + String.length payload } in
+  match Frag.fragment h payload ~mtu:t.mtu with
+  | exception Frag.Cannot_fragment ->
+      t.stats.send_errors <- t.stats.send_errors + 1;
+      raise (Send_error "message too long (DF set)")
+  | fragments ->
+      if List.length fragments > 1 then
+        t.stats.fragments_out <- t.stats.fragments_out + List.length fragments;
+      List.iter
+        (fun (fh, fp) ->
+          let raw = Ipv4.encode fh fp in
+          t.stats.packets_out <- t.stats.packets_out + 1;
+          t.stats.bytes_out <- t.stats.bytes_out + String.length raw;
+          Medium.transmit medium ~dst:(link_dst t fh.Ipv4.dst) raw)
+        fragments
+
+(* Part 3 of input only: hand a datagram to its protocol handler, skipping
+   the input hook.  Used by a security layer to finish delivery of a
+   datagram whose verification had to wait for key material. *)
+let deliver_up t h payload = dispatch t h payload
+
+(* Deliver a packet locally without touching the medium (loopback). *)
+let loopback t ~protocol ~dst payload =
+  ignore dst;
+  let h =
+    Ipv4.make ~ident:(fresh_ident t) ~protocol ~src:t.addr ~dst:t.addr
+      ~payload_length:(String.length payload) ()
+  in
+  dispatch t h payload

@@ -1,0 +1,106 @@
+(* ICMP echo (ping) — the "raw IP" traffic of the paper's footnote 10:
+   datagrams with no transport ports, which the FBS IP mapping classifies
+   as host-level flows.
+
+   Message layout (RFC 792): u8 type | u8 code | u16 checksum | u16 id |
+   u16 seq | payload. *)
+
+open Fbsr_util
+
+let type_echo_reply = 0
+let type_echo_request = 8
+
+type message = { msg_type : int; code : int; id : int; seq : int; payload : string }
+
+let encode m =
+  let w = Byte_writer.create () in
+  Byte_writer.u8 w m.msg_type;
+  Byte_writer.u8 w m.code;
+  Byte_writer.u16 w 0;
+  Byte_writer.u16 w m.id;
+  Byte_writer.u16 w m.seq;
+  Byte_writer.bytes w m.payload;
+  let raw = Bytes.of_string (Byte_writer.contents w) in
+  let ck = Inet_checksum.string (Bytes.to_string raw) in
+  Bytes.set raw 2 (Char.chr (ck lsr 8));
+  Bytes.set raw 3 (Char.chr (ck land 0xff));
+  Bytes.unsafe_to_string raw
+
+exception Bad_message of string
+
+let decode raw =
+  if String.length raw < 8 then raise (Bad_message "short");
+  if not (Inet_checksum.verify raw) then raise (Bad_message "checksum");
+  let r = Byte_reader.of_string raw in
+  let msg_type = Byte_reader.u8 r in
+  let code = Byte_reader.u8 r in
+  let _ck = Byte_reader.u16 r in
+  let id = Byte_reader.u16 r in
+  let seq = Byte_reader.u16 r in
+  let payload = Byte_reader.rest r in
+  { msg_type; code; id; seq; payload }
+
+(* Per-host ping service: answers echo requests, tracks outstanding
+   requests by (id, seq). *)
+
+type state = {
+  pending : (int * int, float -> string -> unit) Hashtbl.t;
+      (* (id, seq) -> callback (rtt, payload) *)
+  mutable sent : (int * int, float) Hashtbl.t option; (* send timestamps *)
+  mutable next_id : int;
+  mutable echoed : int;
+}
+
+exception E of state
+
+let tag = "icmp"
+
+let get host =
+  match Host.find_extension host ~tag with
+  | Some (E s) -> s
+  | Some _ | None -> invalid_arg "Icmp: not installed on this host"
+
+let handle host (h : Ipv4.header) payload =
+  let s = get host in
+  match decode payload with
+  | exception Bad_message _ -> ()
+  | m when m.msg_type = type_echo_request ->
+      s.echoed <- s.echoed + 1;
+      let reply = { m with msg_type = type_echo_reply } in
+      Host.ip_output host ~protocol:Ipv4.proto_icmp ~dst:h.src (encode reply)
+  | m when m.msg_type = type_echo_reply -> (
+      match Hashtbl.find_opt s.pending (m.id, m.seq) with
+      | Some cb ->
+          Hashtbl.remove s.pending (m.id, m.seq);
+          let rtt =
+            match s.sent with
+            | Some tbl -> (
+                match Hashtbl.find_opt tbl (m.id, m.seq) with
+                | Some t0 -> Host.now host -. t0
+                | None -> 0.0)
+            | None -> 0.0
+          in
+          cb rtt m.payload
+      | None -> ())
+  | _ -> ()
+
+let install host =
+  let s =
+    { pending = Hashtbl.create 8; sent = Some (Hashtbl.create 8); next_id = 1; echoed = 0 }
+  in
+  Host.set_extension host ~tag (E s);
+  Host.register_protocol host ~protocol:Ipv4.proto_icmp handle
+
+let ping host ~dst ?(payload = "abcdefghijklmnop") cb =
+  let s = get host in
+  let id = s.next_id in
+  s.next_id <- (s.next_id + 1) land 0xffff;
+  let seq = 1 in
+  Hashtbl.replace s.pending (id, seq) cb;
+  (match s.sent with
+  | Some tbl -> Hashtbl.replace tbl (id, seq) (Host.now host)
+  | None -> ());
+  Host.ip_output host ~protocol:Ipv4.proto_icmp ~dst
+    (encode { msg_type = type_echo_request; code = 0; id; seq; payload })
+
+let echoed host = (get host).echoed

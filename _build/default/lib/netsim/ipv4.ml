@@ -1,0 +1,123 @@
+(* IPv4 header codec (RFC 791), faithful enough for the FBS mapping: the
+   FBS header is inserted *between* this header and the payload, exactly as
+   the paper's FreeBSD implementation does, so total-length fixups,
+   fragmentation fields and the header checksum all matter. *)
+
+open Fbsr_util
+
+type header = {
+  tos : int;
+  total_length : int;
+  ident : int;
+  dont_fragment : bool;
+  more_fragments : bool;
+  frag_offset : int; (* in 8-byte units *)
+  ttl : int;
+  protocol : int;
+  src : Addr.t;
+  dst : Addr.t;
+  options : string; (* raw option bytes, length a multiple of 4, <= 40 *)
+}
+
+let header_size = 20
+let max_options = 40
+let header_length h = header_size + String.length h.options
+let proto_icmp = 1
+let proto_tcp = 6
+let proto_udp = 17
+
+let make ?(tos = 0) ?(ident = 0) ?(dont_fragment = false) ?(more_fragments = false)
+    ?(frag_offset = 0) ?(ttl = 64) ?(options = "") ~protocol ~src ~dst ~payload_length
+    () =
+  if String.length options > max_options then invalid_arg "Ipv4.make: options too long";
+  if String.length options mod 4 <> 0 then
+    invalid_arg "Ipv4.make: options must be padded to 32-bit words";
+  {
+    tos;
+    total_length = header_size + String.length options + payload_length;
+    ident;
+    dont_fragment;
+    more_fragments;
+    frag_offset;
+    ttl;
+    protocol;
+    src;
+    dst;
+    options;
+  }
+
+let encode_header h =
+  let ihl_words = (header_size + String.length h.options) / 4 in
+  let w = Byte_writer.create ~capacity:(header_size + String.length h.options) () in
+  Byte_writer.u8 w ((4 lsl 4) lor ihl_words);
+  Byte_writer.u8 w h.tos;
+  Byte_writer.u16 w h.total_length;
+  Byte_writer.u16 w h.ident;
+  let flags = (if h.dont_fragment then 0x4000 else 0) lor (if h.more_fragments then 0x2000 else 0) in
+  Byte_writer.u16 w (flags lor (h.frag_offset land 0x1fff));
+  Byte_writer.u8 w h.ttl;
+  Byte_writer.u8 w h.protocol;
+  Byte_writer.u16 w 0; (* checksum placeholder *)
+  Byte_writer.u32_int w (Addr.to_int h.src);
+  Byte_writer.u32_int w (Addr.to_int h.dst);
+  Byte_writer.bytes w h.options;
+  let raw = Bytes.of_string (Byte_writer.contents w) in
+  let ck = Inet_checksum.string (Bytes.to_string raw) in
+  Bytes.set raw 10 (Char.chr (ck lsr 8));
+  Bytes.set raw 11 (Char.chr (ck land 0xff));
+  Bytes.unsafe_to_string raw
+
+let encode h payload =
+  if h.total_length <> header_length h + String.length payload then
+    invalid_arg "Ipv4.encode: total_length does not match payload";
+  encode_header h ^ payload
+
+exception Bad_packet of string
+
+let decode raw =
+  let r = Byte_reader.of_string raw in
+  (try
+     if Byte_reader.remaining r < header_size then raise (Bad_packet "short header")
+   with Byte_reader.Truncated -> raise (Bad_packet "short header"));
+  let vihl = Byte_reader.u8 r in
+  if vihl lsr 4 <> 4 then raise (Bad_packet "not IPv4");
+  let ihl = (vihl land 0xf) * 4 in
+  if ihl < header_size then raise (Bad_packet "bad IHL");
+  let tos = Byte_reader.u8 r in
+  let total_length = Byte_reader.u16 r in
+  let ident = Byte_reader.u16 r in
+  let flags_frag = Byte_reader.u16 r in
+  let ttl = Byte_reader.u8 r in
+  let protocol = Byte_reader.u8 r in
+  let _checksum = Byte_reader.u16 r in
+  let src = Addr.of_int (Byte_reader.u32_int r) in
+  let dst = Addr.of_int (Byte_reader.u32_int r) in
+  if total_length > String.length raw then raise (Bad_packet "truncated packet");
+  if ihl > total_length then raise (Bad_packet "IHL exceeds total length");
+  if not (Inet_checksum.verify (String.sub raw 0 ihl)) then
+    raise (Bad_packet "header checksum");
+  let options = String.sub raw header_size (ihl - header_size) in
+  let payload = String.sub raw ihl (total_length - ihl) in
+  let h =
+    {
+      tos;
+      total_length;
+      ident;
+      dont_fragment = flags_frag land 0x4000 <> 0;
+      more_fragments = flags_frag land 0x2000 <> 0;
+      frag_offset = flags_frag land 0x1fff;
+      ttl;
+      protocol;
+      src;
+      dst;
+      options;
+    }
+  in
+  (h, payload)
+
+let pp_header ppf h =
+  Fmt.pf ppf "IPv4 %a -> %a proto=%d len=%d id=%d%s%s off=%d ttl=%d" Addr.pp h.src
+    Addr.pp h.dst h.protocol h.total_length h.ident
+    (if h.dont_fragment then " DF" else "")
+    (if h.more_fragments then " MF" else "")
+    h.frag_offset h.ttl

@@ -1,0 +1,56 @@
+(** IPv4 header codec (RFC 791). *)
+
+type header = {
+  tos : int;
+  total_length : int;
+  ident : int;
+  dont_fragment : bool;
+  more_fragments : bool;
+  frag_offset : int;  (** in 8-byte units *)
+  ttl : int;
+  protocol : int;
+  src : Addr.t;
+  dst : Addr.t;
+  options : string;  (** raw option bytes: 4-byte multiple, at most 40 *)
+}
+
+val header_size : int
+(** 20 bytes (without options). *)
+
+val max_options : int
+(** 40 bytes — "the 40 byte maximum is fairly limiting" (paper §7.2). *)
+
+val header_length : header -> int
+(** [header_size] + options length. *)
+
+val proto_icmp : int
+val proto_tcp : int
+val proto_udp : int
+
+val make :
+  ?tos:int ->
+  ?ident:int ->
+  ?dont_fragment:bool ->
+  ?more_fragments:bool ->
+  ?frag_offset:int ->
+  ?ttl:int ->
+  ?options:string ->
+  protocol:int ->
+  src:Addr.t ->
+  dst:Addr.t ->
+  payload_length:int ->
+  unit ->
+  header
+
+val encode_header : header -> string
+(** 20 bytes with a valid checksum. *)
+
+val encode : header -> string -> string
+
+exception Bad_packet of string
+
+val decode : string -> header * string
+(** @raise Bad_packet on malformed input (bad version, checksum,
+    truncation). *)
+
+val pp_header : Format.formatter -> header -> unit

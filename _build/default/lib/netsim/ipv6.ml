@@ -1,0 +1,168 @@
+(* IPv6 header codec (RFC 1883, the version the paper cites as [8]).
+
+   The paper's flow concept deliberately echoes IPv6's: the base header
+   carries a 20-bit *flow label* "to which the paper's sfl is a natural
+   companion" — RFC 1809 (the paper's [19]) discusses using it for
+   special handling by routers.  [Fbsr_fbs_ip.Flow_label] bridges FBS
+   security flow labels onto IPv6 flow labels so QoS routers can classify
+   exactly the flows FBS protects.
+
+   Wire layout (40 bytes):
+     u32: version(4) | traffic class(8) | flow label(20)
+     u16 payload length | u8 next header | u8 hop limit
+     16B source | 16B destination *)
+
+open Fbsr_util
+
+(* --- Addresses --- *)
+
+module Addr6 = struct
+  type t = string (* exactly 16 bytes *)
+
+  let of_bytes s =
+    if String.length s <> 16 then invalid_arg "Addr6.of_bytes: need 16 bytes";
+    s
+
+  let to_bytes t = t
+
+  let of_groups groups =
+    if Array.length groups <> 8 then invalid_arg "Addr6.of_groups: need 8 groups";
+    String.init 16 (fun i ->
+        let g = groups.(i / 2) in
+        if g < 0 || g > 0xffff then invalid_arg "Addr6.of_groups: group out of range";
+        Char.chr (if i mod 2 = 0 then g lsr 8 else g land 0xff))
+
+  let groups t = Array.init 8 (fun i -> (Char.code t.[2 * i] lsl 8) lor Char.code t.[(2 * i) + 1])
+
+  (* RFC 4291 text form with '::' compression. *)
+  let of_string s =
+    let halves = String.split_on_char ':' s in
+    (* Split on "::" by detecting the empty component(s). *)
+    let parse_group g =
+      if String.length g = 0 || String.length g > 4 then failwith "bad group"
+      else int_of_string ("0x" ^ g)
+    in
+    try
+      let parts =
+        match String.index_opt s ':' with
+        | None -> failwith "not an ipv6 address"
+        | Some _ -> halves
+      in
+      (* Locate a "::" (one empty string in the middle, or leading/trailing
+         pair of empties). *)
+      let rec split_double acc = function
+        | "" :: "" :: rest when acc = [] -> Some (List.rev acc, rest) (* leading :: *)
+        | [ ""; "" ] -> Some (List.rev acc, []) (* trailing :: *)
+        | "" :: rest -> Some (List.rev acc, rest)
+        | g :: rest -> split_double (g :: acc) rest
+        | [] -> None
+      in
+      let expand before after =
+        let nb = List.length before and na = List.length after in
+        if nb + na > 8 then failwith "too many groups";
+        List.map parse_group before
+        @ List.init (8 - nb - na) (fun _ -> 0)
+        @ List.map parse_group after
+      in
+      let groups =
+        match split_double [] parts with
+        | Some (before, after) ->
+            let after = List.filter (fun g -> g <> "") after in
+            expand before after
+        | None ->
+            if List.length parts <> 8 then failwith "wrong group count";
+            List.map parse_group parts
+      in
+      of_groups (Array.of_list groups)
+    with _ -> invalid_arg ("Addr6.of_string: " ^ s)
+
+  let to_string t =
+    (* Compress the longest run of zero groups (ties: first). *)
+    let gs = groups t in
+    let best_start = ref (-1) and best_len = ref 0 in
+    let i = ref 0 in
+    while !i < 8 do
+      if gs.(!i) = 0 then begin
+        let j = ref !i in
+        while !j < 8 && gs.(!j) = 0 do
+          incr j
+        done;
+        if !j - !i > !best_len then begin
+          best_start := !i;
+          best_len := !j - !i
+        end;
+        i := !j
+      end
+      else incr i
+    done;
+    if !best_len < 2 then
+      String.concat ":" (List.init 8 (fun i -> Printf.sprintf "%x" gs.(i)))
+    else begin
+      let part lo hi =
+        String.concat ":"
+          (List.filter_map
+             (fun i -> if i >= lo && i < hi then Some (Printf.sprintf "%x" gs.(i)) else None)
+             (List.init 8 Fun.id))
+      in
+      part 0 !best_start ^ "::" ^ part (!best_start + !best_len) 8
+    end
+
+  let equal = String.equal
+  let compare = String.compare
+  let pp ppf t = Fmt.string ppf (to_string t)
+end
+
+(* --- Header --- *)
+
+type header = {
+  traffic_class : int;
+  flow_label : int; (* 20 bits *)
+  payload_length : int;
+  next_header : int;
+  hop_limit : int;
+  src : Addr6.t;
+  dst : Addr6.t;
+}
+
+let header_size = 40
+let max_flow_label = 0xfffff
+
+let make ?(traffic_class = 0) ?(flow_label = 0) ?(hop_limit = 64) ~next_header ~src
+    ~dst ~payload_length () =
+  if flow_label < 0 || flow_label > max_flow_label then
+    invalid_arg "Ipv6.make: flow label exceeds 20 bits";
+  { traffic_class; flow_label; payload_length; next_header; hop_limit; src; dst }
+
+let encode h payload =
+  if h.payload_length <> String.length payload then
+    invalid_arg "Ipv6.encode: payload_length mismatch";
+  let w = Byte_writer.create ~capacity:(header_size + String.length payload) () in
+  Byte_writer.u32_int w
+    ((6 lsl 28) lor ((h.traffic_class land 0xff) lsl 20) lor (h.flow_label land max_flow_label));
+  Byte_writer.u16 w h.payload_length;
+  Byte_writer.u8 w h.next_header;
+  Byte_writer.u8 w h.hop_limit;
+  Byte_writer.bytes w (Addr6.to_bytes h.src);
+  Byte_writer.bytes w (Addr6.to_bytes h.dst);
+  Byte_writer.bytes w payload;
+  Byte_writer.contents w
+
+exception Bad_packet of string
+
+let decode raw =
+  if String.length raw < header_size then raise (Bad_packet "short header");
+  let r = Byte_reader.of_string raw in
+  let first = Byte_reader.u32_int r in
+  if first lsr 28 <> 6 then raise (Bad_packet "not IPv6");
+  let traffic_class = (first lsr 20) land 0xff in
+  let flow_label = first land max_flow_label in
+  let payload_length = Byte_reader.u16 r in
+  let next_header = Byte_reader.u8 r in
+  let hop_limit = Byte_reader.u8 r in
+  let src = Addr6.of_bytes (Byte_reader.bytes r 16) in
+  let dst = Addr6.of_bytes (Byte_reader.bytes r 16) in
+  if header_size + payload_length > String.length raw then
+    raise (Bad_packet "truncated payload");
+  let payload = String.sub raw header_size payload_length in
+  ({ traffic_class; flow_label; payload_length; next_header; hop_limit; src; dst },
+   payload)

@@ -1,0 +1,48 @@
+(** IPv6 header codec (RFC 1883) with the 20-bit flow label the paper's
+    flow concept is kin to. *)
+
+module Addr6 : sig
+  type t
+
+  val of_bytes : string -> t
+  val to_bytes : t -> string
+  val of_groups : int array -> t
+  val groups : t -> int array
+  val of_string : string -> t
+  (** RFC 4291 text form, including [::] compression. *)
+
+  val to_string : t -> string
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+type header = {
+  traffic_class : int;
+  flow_label : int;  (** 20 bits *)
+  payload_length : int;
+  next_header : int;
+  hop_limit : int;
+  src : Addr6.t;
+  dst : Addr6.t;
+}
+
+val header_size : int
+val max_flow_label : int
+
+val make :
+  ?traffic_class:int ->
+  ?flow_label:int ->
+  ?hop_limit:int ->
+  next_header:int ->
+  src:Addr6.t ->
+  dst:Addr6.t ->
+  payload_length:int ->
+  unit ->
+  header
+
+val encode : header -> string -> string
+
+exception Bad_packet of string
+
+val decode : string -> header * string

@@ -1,0 +1,42 @@
+(** Miniature TCP: handshake, cumulative ACK, go-back-N, FIN teardown.
+
+    Exists to run ttcp-style bulk transfers (Figure 8) and to exercise the
+    paper's tcp_output MSS fix: the MSS calculation subtracts the security
+    header allowance published via {!set_mss_reduction}. *)
+
+type state =
+  | Syn_sent
+  | Syn_received
+  | Established
+  | Fin_wait
+  | Close_wait
+  | Last_ack
+  | Closed
+
+type conn
+
+val install : Host.t -> unit
+val listen : Host.t -> port:int -> (conn -> unit) -> unit
+val connect : Host.t -> dst:Addr.t -> dst_port:int -> conn
+
+val send : conn -> string -> unit
+val close : conn -> unit
+val abort : conn -> unit
+
+val on_receive : conn -> (string -> unit) -> unit
+val on_established : conn -> (unit -> unit) -> unit
+val on_close : conn -> (unit -> unit) -> unit
+
+val state : conn -> state
+val mss : conn -> int
+val bytes_delivered : conn -> int
+val retransmits : conn -> int
+val segments_out : conn -> int
+val local_port : conn -> int
+val peer : conn -> Addr.t * int
+
+val set_mss_reduction : Host.t -> int -> unit
+(** Published by the security layer (FBS header size); the paper's
+    tcp_output change. *)
+
+val mss_reduction : Host.t -> int

@@ -1,0 +1,10 @@
+(** Deterministic binary min-heap (FIFO among equal priorities). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+val push : 'a t -> float -> 'a -> unit
+val pop : 'a t -> (float * 'a) option
+val peek : 'a t -> (float * 'a) option

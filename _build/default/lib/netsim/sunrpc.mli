@@ -1,0 +1,32 @@
+(** Sun RPC-style request/reply over UDP (RFC 1057 shape): XIDs,
+    at-least-once retries, duplicate-reply suppression — the third
+    datagram service the paper's introduction names. *)
+
+type procedure = string -> string
+
+module Server : sig
+  type t
+
+  val install : ?port:int -> Host.t -> t
+  val register : t -> prog:int -> proc:int -> procedure -> unit
+  val calls_served : t -> int
+end
+
+type t
+
+type error = Timed_out | No_such_procedure
+
+val create : ?local_port:int -> ?timeout:float -> ?max_attempts:int -> Host.t -> t
+
+val call :
+  t ->
+  server:Addr.t ->
+  server_port:int ->
+  prog:int ->
+  proc:int ->
+  string ->
+  ((string, error) result -> unit) ->
+  unit
+
+val retransmissions : t -> int
+val duplicate_replies : t -> int

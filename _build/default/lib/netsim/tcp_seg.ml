@@ -1,0 +1,98 @@
+(* TCP segment codec (header only; the reliable-delivery machinery lives in
+   [Minitcp]).  Sequence numbers are 32-bit; we keep flags minimal. *)
+
+open Fbsr_util
+
+type flags = { syn : bool; ack : bool; fin : bool; rst : bool; psh : bool }
+
+let no_flags = { syn = false; ack = false; fin = false; rst = false; psh = false }
+
+type header = {
+  src_port : int;
+  dst_port : int;
+  seq : int32;
+  ack_seq : int32;
+  flags : flags;
+  window : int;
+}
+
+let header_size = 20
+
+let pseudo_header ~src ~dst ~tcp_length =
+  let w = Byte_writer.create ~capacity:12 () in
+  Byte_writer.u32_int w (Addr.to_int src);
+  Byte_writer.u32_int w (Addr.to_int dst);
+  Byte_writer.u8 w 0;
+  Byte_writer.u8 w Ipv4.proto_tcp;
+  Byte_writer.u16 w tcp_length;
+  Byte_writer.contents w
+
+let flags_to_int f =
+  (if f.fin then 0x01 else 0)
+  lor (if f.syn then 0x02 else 0)
+  lor (if f.rst then 0x04 else 0)
+  lor (if f.psh then 0x08 else 0)
+  lor if f.ack then 0x10 else 0
+
+let flags_of_int v =
+  {
+    fin = v land 0x01 <> 0;
+    syn = v land 0x02 <> 0;
+    rst = v land 0x04 <> 0;
+    psh = v land 0x08 <> 0;
+    ack = v land 0x10 <> 0;
+  }
+
+let encode ~src ~dst (h : header) payload =
+  let length = header_size + String.length payload in
+  let w = Byte_writer.create ~capacity:length () in
+  Byte_writer.u16 w h.src_port;
+  Byte_writer.u16 w h.dst_port;
+  Byte_writer.u32 w h.seq;
+  Byte_writer.u32 w h.ack_seq;
+  Byte_writer.u8 w (5 lsl 4); (* data offset 5 words, no options *)
+  Byte_writer.u8 w (flags_to_int h.flags);
+  Byte_writer.u16 w h.window;
+  Byte_writer.u16 w 0; (* checksum *)
+  Byte_writer.u16 w 0; (* urgent *)
+  Byte_writer.bytes w payload;
+  let raw = Bytes.of_string (Byte_writer.contents w) in
+  let sum =
+    Inet_checksum.sum
+      ~acc:(Inet_checksum.sum (pseudo_header ~src ~dst ~tcp_length:length) 0 12)
+      (Bytes.to_string raw) 0 length
+  in
+  let ck = Inet_checksum.finish sum in
+  Bytes.set raw 16 (Char.chr (ck lsr 8));
+  Bytes.set raw 17 (Char.chr (ck land 0xff));
+  Bytes.unsafe_to_string raw
+
+exception Bad_segment of string
+
+let decode ~src ~dst raw =
+  let len = String.length raw in
+  if len < header_size then raise (Bad_segment "short header");
+  let sum =
+    Inet_checksum.sum
+      ~acc:(Inet_checksum.sum (pseudo_header ~src ~dst ~tcp_length:len) 0 12)
+      raw 0 len
+  in
+  if sum <> 0xffff then raise (Bad_segment "checksum");
+  let r = Byte_reader.of_string raw in
+  let src_port = Byte_reader.u16 r in
+  let dst_port = Byte_reader.u16 r in
+  let seq = Byte_reader.u32 r in
+  let ack_seq = Byte_reader.u32 r in
+  let data_off = (Byte_reader.u8 r lsr 4) * 4 in
+  if data_off < header_size || data_off > len then raise (Bad_segment "bad offset");
+  let flags = flags_of_int (Byte_reader.u8 r) in
+  let window = Byte_reader.u16 r in
+  let _checksum = Byte_reader.u16 r in
+  let _urgent = Byte_reader.u16 r in
+  let payload = String.sub raw data_off (len - data_off) in
+  ({ src_port; dst_port; seq; ack_seq; flags; window }, payload)
+
+(* 32-bit sequence arithmetic. *)
+let seq_add (s : int32) n = Int32.add s (Int32.of_int n)
+let seq_cmp (a : int32) (b : int32) = Int32.compare (Int32.sub a b) 0l
+let seq_diff (a : int32) (b : int32) = Int32.to_int (Int32.sub a b)

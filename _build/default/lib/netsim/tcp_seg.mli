@@ -1,0 +1,28 @@
+(** TCP segment codec (header + checksum only). *)
+
+type flags = { syn : bool; ack : bool; fin : bool; rst : bool; psh : bool }
+
+val no_flags : flags
+
+type header = {
+  src_port : int;
+  dst_port : int;
+  seq : int32;
+  ack_seq : int32;
+  flags : flags;
+  window : int;
+}
+
+val header_size : int
+
+val encode : src:Addr.t -> dst:Addr.t -> header -> string -> string
+
+exception Bad_segment of string
+
+val decode : src:Addr.t -> dst:Addr.t -> string -> header * string
+
+val seq_add : int32 -> int -> int32
+val seq_cmp : int32 -> int32 -> int
+(** Wrap-around-aware comparison. *)
+
+val seq_diff : int32 -> int32 -> int

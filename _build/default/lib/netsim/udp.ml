@@ -1,0 +1,63 @@
+(* UDP header codec (RFC 768), with the pseudo-header checksum. *)
+
+open Fbsr_util
+
+type header = { src_port : int; dst_port : int; length : int }
+
+let header_size = 8
+
+let pseudo_header ~src ~dst ~udp_length =
+  let w = Byte_writer.create ~capacity:12 () in
+  Byte_writer.u32_int w (Addr.to_int src);
+  Byte_writer.u32_int w (Addr.to_int dst);
+  Byte_writer.u8 w 0;
+  Byte_writer.u8 w Ipv4.proto_udp;
+  Byte_writer.u16 w udp_length;
+  Byte_writer.contents w
+
+let encode ~src ~dst ~src_port ~dst_port payload =
+  let length = header_size + String.length payload in
+  let w = Byte_writer.create ~capacity:length () in
+  Byte_writer.u16 w src_port;
+  Byte_writer.u16 w dst_port;
+  Byte_writer.u16 w length;
+  Byte_writer.u16 w 0;
+  Byte_writer.bytes w payload;
+  let raw = Bytes.of_string (Byte_writer.contents w) in
+  let sum =
+    Inet_checksum.sum
+      ~acc:(Inet_checksum.sum (pseudo_header ~src ~dst ~udp_length:length) 0 12)
+      (Bytes.to_string raw) 0 length
+  in
+  let ck = Inet_checksum.finish sum in
+  (* An all-zero checksum is transmitted as 0xffff (RFC 768). *)
+  let ck = if ck = 0 then 0xffff else ck in
+  Bytes.set raw 6 (Char.chr (ck lsr 8));
+  Bytes.set raw 7 (Char.chr (ck land 0xff));
+  Bytes.unsafe_to_string raw
+
+exception Bad_datagram of string
+
+let decode ~src ~dst raw =
+  let r = Byte_reader.of_string raw in
+  let src_port, dst_port, length, checksum =
+    try
+      let sp = Byte_reader.u16 r in
+      let dp = Byte_reader.u16 r in
+      let len = Byte_reader.u16 r in
+      let ck = Byte_reader.u16 r in
+      (sp, dp, len, ck)
+    with Byte_reader.Truncated -> raise (Bad_datagram "short header")
+  in
+  if length < header_size || length > String.length raw then
+    raise (Bad_datagram "bad length");
+  if checksum <> 0 then begin
+    let sum =
+      Inet_checksum.sum
+        ~acc:(Inet_checksum.sum (pseudo_header ~src ~dst ~udp_length:length) 0 12)
+        raw 0 length
+    in
+    if sum <> 0xffff then raise (Bad_datagram "checksum")
+  end;
+  let payload = String.sub raw header_size (length - header_size) in
+  ({ src_port; dst_port; length }, payload)

@@ -1,0 +1,13 @@
+(** UDP codec (RFC 768) with pseudo-header checksum. *)
+
+type header = { src_port : int; dst_port : int; length : int }
+
+val header_size : int
+
+val encode :
+  src:Addr.t -> dst:Addr.t -> src_port:int -> dst_port:int -> string -> string
+
+exception Bad_datagram of string
+
+val decode : src:Addr.t -> dst:Addr.t -> string -> header * string
+(** @raise Bad_datagram on malformed input or checksum failure. *)

@@ -1,0 +1,68 @@
+(* Per-host UDP: a port table dispatching decoded datagrams to listeners.
+   Installed as the protocol-17 handler on a host. *)
+
+type listener = src:Addr.t -> src_port:int -> string -> unit
+
+type state = {
+  ports : (int, listener) Hashtbl.t;
+  mutable default : (dst_port:int -> listener) option;
+  mutable next_ephemeral : int;
+  mutable rx_bad : int;
+  mutable rx_no_port : int;
+}
+
+exception E of state
+
+let tag = "udp-stack"
+
+let get host =
+  match Host.find_extension host ~tag with
+  | Some (E s) -> s
+  | Some _ | None -> invalid_arg "Udp_stack: not installed on this host"
+
+let handle host (h : Ipv4.header) payload =
+  let s = get host in
+  match Udp.decode ~src:h.src ~dst:h.dst payload with
+  | exception Udp.Bad_datagram _ -> s.rx_bad <- s.rx_bad + 1
+  | uh, data -> (
+      match Hashtbl.find_opt s.ports uh.dst_port with
+      | Some f -> f ~src:h.src ~src_port:uh.src_port data
+      | None -> (
+          match s.default with
+          | Some f -> f ~dst_port:uh.dst_port ~src:h.src ~src_port:uh.src_port data
+          | None -> s.rx_no_port <- s.rx_no_port + 1))
+
+let install host =
+  let s =
+    { ports = Hashtbl.create 8; default = None; next_ephemeral = 0xc000; rx_bad = 0;
+      rx_no_port = 0 }
+  in
+  Host.set_extension host ~tag (E s);
+  Host.register_protocol host ~protocol:Ipv4.proto_udp handle
+
+let listen host ~port f =
+  let s = get host in
+  if Hashtbl.mem s.ports port then invalid_arg "Udp_stack.listen: port in use";
+  Hashtbl.replace s.ports port f
+
+let unlisten host ~port = Hashtbl.remove (get host).ports port
+
+let listen_default host f = (get host).default <- Some f
+
+let ephemeral_port host =
+  let s = get host in
+  let rec go tries =
+    if tries > 0x4000 then failwith "Udp_stack: no free ephemeral ports";
+    let p = s.next_ephemeral in
+    s.next_ephemeral <- (if p >= 0xffff then 0xc000 else p + 1);
+    if Hashtbl.mem s.ports p then go (tries + 1) else p
+  in
+  go 0
+
+let send host ~src_port ~dst ~dst_port payload =
+  let raw = Udp.encode ~src:(Host.addr host) ~dst ~src_port ~dst_port payload in
+  Host.ip_output host ~protocol:Ipv4.proto_udp ~dst raw
+
+let stats host =
+  let s = get host in
+  (s.rx_bad, s.rx_no_port)

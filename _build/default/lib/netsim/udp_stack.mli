@@ -1,0 +1,17 @@
+(** Per-host UDP port table. *)
+
+type listener = src:Addr.t -> src_port:int -> string -> unit
+
+val install : Host.t -> unit
+val listen : Host.t -> port:int -> listener -> unit
+val unlisten : Host.t -> port:int -> unit
+
+val listen_default : Host.t -> (dst_port:int -> listener) -> unit
+(** Catch-all handler for datagrams addressed to otherwise-closed ports
+    (used by trace replay). *)
+
+val ephemeral_port : Host.t -> int
+val send : Host.t -> src_port:int -> dst:Addr.t -> dst_port:int -> string -> unit
+
+val stats : Host.t -> int * int
+(** (malformed datagrams, datagrams to closed ports). *)

@@ -1,0 +1,1 @@
+lib/traffic/analysis.ml: Array Fbsr_util Fmt Hashtbl List Option Record

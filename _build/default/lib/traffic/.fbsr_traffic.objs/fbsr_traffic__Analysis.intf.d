@@ -1,0 +1,1 @@
+lib/traffic/analysis.mli: Format Record

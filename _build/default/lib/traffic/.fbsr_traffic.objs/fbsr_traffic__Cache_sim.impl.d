@@ -1,0 +1,1 @@
+lib/traffic/cache_sim.ml: Char Fbsr_fbs Fbsr_util Hashtbl Int64 List Record String

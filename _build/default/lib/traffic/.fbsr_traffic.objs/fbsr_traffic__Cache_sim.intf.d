@@ -1,0 +1,1 @@
+lib/traffic/cache_sim.mli: Fbsr_fbs Record

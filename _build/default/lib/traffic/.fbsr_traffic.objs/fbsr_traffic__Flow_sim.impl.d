@@ -1,0 +1,1 @@
+lib/traffic/flow_sim.ml: Array Fbsr_fbs Fbsr_util Float Hashtbl List Option Record

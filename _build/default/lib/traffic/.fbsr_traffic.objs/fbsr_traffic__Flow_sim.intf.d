@@ -1,0 +1,1 @@
+lib/traffic/flow_sim.mli: Record

@@ -1,0 +1,1 @@
+lib/traffic/record.ml: Fun List Printf String

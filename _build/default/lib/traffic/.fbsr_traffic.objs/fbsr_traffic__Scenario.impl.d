@@ -1,0 +1,1 @@
+lib/traffic/scenario.ml: Array Fbsr_util Hashtbl List Printf Record Rng Workload

@@ -1,0 +1,1 @@
+lib/traffic/scenario.mli: Record

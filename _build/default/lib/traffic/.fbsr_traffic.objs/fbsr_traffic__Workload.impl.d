@@ -1,0 +1,1 @@
+lib/traffic/workload.ml: Fbsr_util Float List Record Rng

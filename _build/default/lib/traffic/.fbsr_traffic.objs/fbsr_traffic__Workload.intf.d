@@ -1,0 +1,1 @@
+lib/traffic/workload.mli: Fbsr_util Record

@@ -1,0 +1,114 @@
+(* Trace analysis: the summary statistics a tcpdump post-processor would
+   produce, used by the fbs-tracegen tool and by sanity checks on the
+   synthetic workloads (the paper cautions that "flow characteristics are
+   very much dependent on the type of traffic and network environment" —
+   these numbers characterize ours). *)
+
+type per_port = {
+  port : int;
+  service : string;
+  packets : int;
+  bytes : int;
+}
+
+type t = {
+  packets : int;
+  bytes : int;
+  duration : float;
+  udp_packets : int;
+  tcp_packets : int;
+  hosts : int;
+  mean_rate_bps : float;
+  mean_packet_size : float;
+  packet_size_p50 : float;
+  packet_size_p99 : float;
+  interarrival_p50 : float;
+  interarrival_p99 : float;
+  top_services : per_port list; (* by bytes, descending *)
+}
+
+let service_name = function
+  | 20 -> "ftp-data"
+  | 23 -> "telnet"
+  | 53 -> "dns"
+  | 80 -> "www"
+  | 2049 -> "nfs"
+  | 6000 -> "x11"
+  | p -> string_of_int p
+
+let known_services = [ 20; 23; 53; 80; 2049; 6000 ]
+let well_known port = List.mem port known_services
+
+let analyse (records : Record.t list) : t =
+  let packets = List.length records in
+  let bytes = Record.total_bytes records in
+  let duration = Record.duration records in
+  let udp = ref 0 and tcp = ref 0 in
+  let hosts = Hashtbl.create 64 in
+  let services : (int, int * int) Hashtbl.t = Hashtbl.create 32 in
+  let sizes = Array.make (max packets 1) 0.0 in
+  let interarrivals = ref [] in
+  let last_time = ref None in
+  List.iteri
+    (fun i (r : Record.t) ->
+      if r.protocol = 17 then incr udp else if r.protocol = 6 then incr tcp;
+      Hashtbl.replace hosts r.src ();
+      Hashtbl.replace hosts r.dst ();
+      sizes.(i) <- float_of_int r.size;
+      (* Attribute traffic to the well-known end of the conversation. *)
+      let svc_port =
+        if well_known r.dst_port then r.dst_port
+        else if well_known r.src_port then r.src_port
+        else 0
+      in
+      let p, b = Option.value ~default:(0, 0) (Hashtbl.find_opt services svc_port) in
+      Hashtbl.replace services svc_port (p + 1, b + r.size);
+      (match !last_time with
+      | Some t when r.time >= t -> interarrivals := (r.time -. t) :: !interarrivals
+      | _ -> ());
+      last_time := Some r.time)
+    records;
+  let inter = Array.of_list !interarrivals in
+  let percentile_or_zero xs p =
+    if Array.length xs = 0 then 0.0 else Fbsr_util.Stats.percentile xs p
+  in
+  let top_services =
+    Hashtbl.fold
+      (fun port (p, b) acc ->
+        ({ port; service = service_name port; packets = p; bytes = b } : per_port)
+        :: acc)
+      services []
+    |> List.sort (fun (a : per_port) (b : per_port) -> compare b.bytes a.bytes)
+  in
+  {
+    packets;
+    bytes;
+    duration;
+    udp_packets = !udp;
+    tcp_packets = !tcp;
+    hosts = Hashtbl.length hosts;
+    mean_rate_bps =
+      (if duration > 0.0 then float_of_int (bytes * 8) /. duration else 0.0);
+    mean_packet_size =
+      (if packets > 0 then float_of_int bytes /. float_of_int packets else 0.0);
+    packet_size_p50 = percentile_or_zero sizes 50.0;
+    packet_size_p99 = percentile_or_zero sizes 99.0;
+    interarrival_p50 = percentile_or_zero inter 50.0;
+    interarrival_p99 = percentile_or_zero inter 99.0;
+    top_services;
+  }
+
+let pp ppf a =
+  Fmt.pf ppf "packets: %d (%d udp, %d tcp) over %.0f s across %d hosts@." a.packets
+    a.udp_packets a.tcp_packets a.duration a.hosts;
+  Fmt.pf ppf "bytes:   %d (%.1f kb/s mean)@." a.bytes (a.mean_rate_bps /. 1e3);
+  Fmt.pf ppf "packet size: mean %.0f B, p50 %.0f B, p99 %.0f B@." a.mean_packet_size
+    a.packet_size_p50 a.packet_size_p99;
+  Fmt.pf ppf "interarrival: p50 %.4f s, p99 %.4f s@." a.interarrival_p50
+    a.interarrival_p99;
+  Fmt.pf ppf "top services by bytes:@.";
+  List.iteri
+    (fun i s ->
+      if i < 8 then
+        Fmt.pf ppf "  %-10s %10d pkts %12d bytes@." s.service s.packets s.bytes)
+    a.top_services

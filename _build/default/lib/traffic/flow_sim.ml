@@ -1,0 +1,211 @@
+(* The flow simulation programs of Section 7.3: feed a packet trace through
+   the Section 7.1 security flow policy and report the flow characteristics
+   of Figures 9, 10, 12, 13 and 14.
+
+   Faithfulness point: classification runs through the *actual*
+   [Fbsr_fbs.Policy_five_tuple] implementation (one FST per source host,
+   exactly as each FBS sender would run it), so hash collisions, THRESHOLD
+   expiry and rekeying behave as in the protocol, not as in a re-derivation
+   of it. *)
+
+type flow = {
+  tuple : int * string * int * string * int;
+  sfl : int64;
+  start : float;
+  mutable last : float;
+  mutable packets : int;
+  mutable bytes : int;
+}
+
+type result = {
+  flows : flow list; (* in order of first packet *)
+  threshold : float;
+  trace_duration : float;
+  datagrams : int;
+  collisions : int; (* flows prematurely split by an FST hash collision *)
+}
+
+let run ?(threshold = 600.0) ?(fst_size = 4096) ?(seed = 3) (records : Record.t list) =
+  let per_source :
+      (string, Fbsr_fbs.Policy_five_tuple.t) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let rng = Fbsr_util.Rng.create seed in
+  let state_for src =
+    match Hashtbl.find_opt per_source src with
+    | Some s -> s
+    | None ->
+        let alloc = Fbsr_fbs.Sfl.allocator ~rng in
+        let s = Fbsr_fbs.Policy_five_tuple.make ~fst_size ~threshold ~alloc () in
+        Hashtbl.replace per_source src s;
+        s
+  in
+  let by_sfl : (int64, flow) Hashtbl.t = Hashtbl.create 1024 in
+  let flows_rev = ref [] in
+  let datagrams = ref 0 in
+  let t_end = ref 0.0 in
+  List.iter
+    (fun (r : Record.t) ->
+      incr datagrams;
+      t_end := Float.max !t_end r.Record.time;
+      let state = state_for r.Record.src in
+      let attrs =
+        Fbsr_fbs.Fam.attrs ~protocol:r.Record.protocol ~src_port:r.Record.src_port
+          ~dst_port:r.Record.dst_port ~size:r.Record.size
+          ~src:(Fbsr_fbs.Principal.of_string r.Record.src)
+          ~dst:(Fbsr_fbs.Principal.of_string r.Record.dst)
+          ()
+      in
+      let sfl, decision =
+        Fbsr_fbs.Policy_five_tuple.map state ~now:r.Record.time attrs
+      in
+      let sfl = Fbsr_fbs.Sfl.to_int64 sfl in
+      match decision with
+      | Fbsr_fbs.Fam.Fresh ->
+          let f =
+            {
+              tuple = Record.five_tuple r;
+              sfl;
+              start = r.Record.time;
+              last = r.Record.time;
+              packets = 1;
+              bytes = r.Record.size;
+            }
+          in
+          Hashtbl.replace by_sfl sfl f;
+          flows_rev := f :: !flows_rev
+      | Fbsr_fbs.Fam.Existing -> (
+          match Hashtbl.find_opt by_sfl sfl with
+          | Some f ->
+              f.last <- r.Record.time;
+              f.packets <- f.packets + 1;
+              f.bytes <- f.bytes + r.Record.size
+          | None -> assert false))
+    records;
+  let collisions =
+    Hashtbl.fold
+      (fun _ s acc -> acc + (Fbsr_fbs.Policy_five_tuple.counters s).collisions)
+      per_source 0
+  in
+  {
+    flows = List.rev !flows_rev;
+    threshold;
+    trace_duration = !t_end;
+    datagrams = !datagrams;
+    collisions;
+  }
+
+(* --- Derived characteristics --- *)
+
+let sizes_packets result =
+  Array.of_list (List.map (fun f -> float_of_int f.packets) result.flows)
+
+let sizes_bytes result =
+  Array.of_list (List.map (fun f -> float_of_int f.bytes) result.flows)
+
+let durations result =
+  Array.of_list (List.map (fun f -> f.last -. f.start) result.flows)
+
+(* Figure 12/13: number of simultaneously active flows over time.  A flow
+   occupies its FST entry from its first packet until THRESHOLD after its
+   last. *)
+let active_series ?(bin = 60.0) result =
+  let n = int_of_float (ceil (result.trace_duration /. bin)) + 1 in
+  let series = Array.make (max n 1) 0 in
+  List.iter
+    (fun f ->
+      let first = int_of_float (f.start /. bin) in
+      let last = int_of_float ((f.last +. result.threshold) /. bin) in
+      for i = first to min last (Array.length series - 1) do
+        series.(i) <- series.(i) + 1
+      done)
+    result.flows;
+  series
+
+(* Figure 12, per-host view: each sender's FST holds only its own outgoing
+   flows, so "the number of simultaneous active flows in a host" is a
+   per-source-host count.  Returns the busiest host's series and the mean
+   peak across hosts. *)
+let active_series_per_host ?(bin = 60.0) result =
+  let n = int_of_float (ceil (result.trace_duration /. bin)) + 1 in
+  let per_host : (string, int array) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun f ->
+      let _, src, _, _, _ = f.tuple in
+      let series =
+        match Hashtbl.find_opt per_host src with
+        | Some s -> s
+        | None ->
+            let s = Array.make (max n 1) 0 in
+            Hashtbl.replace per_host src s;
+            s
+      in
+      let first = int_of_float (f.start /. bin) in
+      let last = int_of_float ((f.last +. result.threshold) /. bin) in
+      for i = first to min last (Array.length series - 1) do
+        series.(i) <- series.(i) + 1
+      done)
+    result.flows;
+  let busiest = ref [||] and busiest_host = ref "" and peaks = ref [] in
+  Hashtbl.iter
+    (fun host series ->
+      let peak = Array.fold_left max 0 series in
+      peaks := peak :: !peaks;
+      if peak > Array.fold_left max 0 !busiest then begin
+        busiest := series;
+        busiest_host := host
+      end)
+    per_host;
+  let mean_peak =
+    if !peaks = [] then 0.0
+    else
+      float_of_int (List.fold_left ( + ) 0 !peaks) /. float_of_int (List.length !peaks)
+  in
+  (!busiest_host, !busiest, mean_peak)
+
+(* Figure 14: repeated flows — "different flows with the same 5-tuple". *)
+let repeated_flows result =
+  let tuples = Hashtbl.create 1024 in
+  List.iter
+    (fun f ->
+      Hashtbl.replace tuples f.tuple (1 + Option.value ~default:0 (Hashtbl.find_opt tuples f.tuple)))
+    result.flows;
+  Hashtbl.fold (fun _ n acc -> if n > 1 then acc + (n - 1) else acc) tuples 0
+
+(* Section 7.1's two-way orthogonality, measured: a TCP repeated flow is a
+   connection broken into multiple flows by quiet periods; a UDP repeated
+   flow is periodic datagram traffic re-keyed across gaps. *)
+let repeated_flows_by_protocol result =
+  let tuples = Hashtbl.create 1024 in
+  List.iter
+    (fun f ->
+      Hashtbl.replace tuples f.tuple
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tuples f.tuple)))
+    result.flows;
+  Hashtbl.fold
+    (fun (proto, _, _, _, _) n (tcp, udp) ->
+      if n > 1 then
+        if proto = 6 then (tcp + (n - 1), udp) else (tcp, udp + (n - 1))
+      else (tcp, udp))
+    tuples (0, 0)
+
+let distinct_tuples result =
+  let tuples = Hashtbl.create 1024 in
+  List.iter (fun f -> Hashtbl.replace tuples f.tuple ()) result.flows;
+  Hashtbl.length tuples
+
+(* The share of total bytes carried by the largest [fraction] of flows —
+   quantifies "a few long-lived flows carry the bulk of the traffic". *)
+let bytes_in_top result ~fraction =
+  let flows = Array.of_list result.flows in
+  let total = Array.fold_left (fun acc f -> acc + f.bytes) 0 flows in
+  if total = 0 || Array.length flows = 0 then 0.0
+  else begin
+    Array.sort (fun a b -> compare b.bytes a.bytes) flows;
+    let top = max 1 (int_of_float (fraction *. float_of_int (Array.length flows))) in
+    let top_bytes = ref 0 in
+    for i = 0 to top - 1 do
+      top_bytes := !top_bytes + flows.(i).bytes
+    done;
+    float_of_int !top_bytes /. float_of_int total
+  end

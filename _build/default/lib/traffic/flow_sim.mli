@@ -1,0 +1,38 @@
+(** Flow simulation over packet traces using the real Section 7.1 policy
+    implementation (Figures 9, 10, 12, 13, 14). *)
+
+type flow = {
+  tuple : int * string * int * string * int;
+  sfl : int64;
+  start : float;
+  mutable last : float;
+  mutable packets : int;
+  mutable bytes : int;
+}
+
+type result = {
+  flows : flow list;
+  threshold : float;
+  trace_duration : float;
+  datagrams : int;
+  collisions : int;
+}
+
+val run : ?threshold:float -> ?fst_size:int -> ?seed:int -> Record.t list -> result
+
+val sizes_packets : result -> float array
+val sizes_bytes : result -> float array
+val durations : result -> float array
+val active_series : ?bin:float -> result -> int array
+
+val active_series_per_host : ?bin:float -> result -> string * int array * float
+(** [(busiest_host, its_series, mean_per_host_peak)]. *)
+
+val repeated_flows : result -> int
+
+val repeated_flows_by_protocol : result -> int * int
+(** [(tcp, udp)] split of {!repeated_flows}: connections broken into
+    multiple flows vs periodic UDP traffic re-keyed across gaps. *)
+
+val distinct_tuples : result -> int
+val bytes_in_top : result -> fraction:float -> float

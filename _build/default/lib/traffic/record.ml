@@ -1,0 +1,74 @@
+(* Packet trace records — the tcpdump-equivalent input to the paper's
+   "flow simulation programs" (Section 7.3).
+
+   One record per datagram: timestamp, 5-tuple, payload size.  Principals
+   are dotted-quad strings so records feed the FBS policy modules
+   directly.  A simple line format supports saving and reloading traces
+   with the fbs-tracegen tool. *)
+
+type t = {
+  time : float;
+  src : string;
+  src_port : int;
+  dst : string;
+  dst_port : int;
+  protocol : int; (* 6 = TCP, 17 = UDP *)
+  size : int; (* transport payload bytes *)
+}
+
+let five_tuple r = (r.protocol, r.src, r.src_port, r.dst, r.dst_port)
+
+let to_line r =
+  Printf.sprintf "%.6f %d %s %d %s %d %d" r.time r.protocol r.src r.src_port r.dst
+    r.dst_port r.size
+
+exception Bad_line of string
+
+let of_line line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ time; protocol; src; src_port; dst; dst_port; size ] -> (
+      try
+        {
+          time = float_of_string time;
+          protocol = int_of_string protocol;
+          src;
+          src_port = int_of_string src_port;
+          dst;
+          dst_port = int_of_string dst_port;
+          size = int_of_string size;
+        }
+      with Failure _ -> raise (Bad_line line))
+  | _ -> raise (Bad_line line)
+
+let save path records =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun r ->
+          output_string oc (to_line r);
+          output_char oc '\n')
+        records)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (if String.trim line = "" then acc else of_line line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let duration records =
+  match records with
+  | [] -> 0.0
+  | first :: _ ->
+      let last = List.fold_left (fun _ r -> r.time) first.time records in
+      last -. first.time
+
+let count = List.length
+let total_bytes records = List.fold_left (fun acc r -> acc + r.size) 0 records

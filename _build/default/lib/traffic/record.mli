@@ -1,0 +1,24 @@
+(** Packet trace records (tcpdump-equivalent input to the flow
+    simulators). *)
+
+type t = {
+  time : float;
+  src : string;
+  src_port : int;
+  dst : string;
+  dst_port : int;
+  protocol : int;
+  size : int;
+}
+
+val five_tuple : t -> int * string * int * string * int
+val to_line : t -> string
+
+exception Bad_line of string
+
+val of_line : string -> t
+val save : string -> t list -> unit
+val load : string -> t list
+val duration : t list -> float
+val count : t list -> int
+val total_bytes : t list -> int

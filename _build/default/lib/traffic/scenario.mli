@@ -1,0 +1,28 @@
+(** Synthetic versions of the paper's two trace environments. *)
+
+type t = {
+  records : Record.t list;
+  duration : float;
+  hosts : string list;
+  name : string;
+}
+
+val campus_lan :
+  ?seed:int ->
+  ?duration:float ->
+  ?desktops:int ->
+  ?file_servers:int ->
+  ?compute_servers:int ->
+  ?conversation_rate:float ->
+  unit ->
+  t
+(** The workgroup LAN: desktops talking to file/compute/WWW/DNS servers. *)
+
+val www_server :
+  ?seed:int ->
+  ?duration:float ->
+  ?hits_per_day:float ->
+  ?client_population:int ->
+  unit ->
+  t
+(** The lightly-hit (~10k hits/day) WWW server. *)

@@ -1,0 +1,1 @@
+lib/util/chart.ml: Array Float Fmt List String

@@ -1,0 +1,1 @@
+lib/util/crc32.ml: Array Char Int64 Lazy String

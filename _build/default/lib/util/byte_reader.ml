@@ -1,0 +1,75 @@
+(* Big-endian byte reader over an immutable string, with bounds checking.
+   All wire decoders raise [Truncated] rather than Invalid_argument so that
+   protocol code can treat short packets as a normal error condition. *)
+
+exception Truncated
+
+type t = { src : string; mutable pos : int; limit : int }
+
+let of_string ?(pos = 0) ?len src =
+  let limit =
+    match len with None -> String.length src | Some l -> pos + l
+  in
+  if pos < 0 || limit > String.length src || pos > limit then
+    invalid_arg "Byte_reader.of_string: bad bounds";
+  { src; pos; limit }
+
+let remaining t = t.limit - t.pos
+let position t = t.pos
+let check t n = if t.pos + n > t.limit then raise Truncated
+
+let u8 t =
+  check t 1;
+  let v = Char.code t.src.[t.pos] in
+  t.pos <- t.pos + 1;
+  v
+
+let u16 t =
+  check t 2;
+  let v = (Char.code t.src.[t.pos] lsl 8) lor Char.code t.src.[t.pos + 1] in
+  t.pos <- t.pos + 2;
+  v
+
+let u32 t =
+  check t 4;
+  let b i = Int32.of_int (Char.code t.src.[t.pos + i]) in
+  let v =
+    Int32.logor
+      (Int32.shift_left (b 0) 24)
+      (Int32.logor
+         (Int32.shift_left (b 1) 16)
+         (Int32.logor (Int32.shift_left (b 2) 8) (b 3)))
+  in
+  t.pos <- t.pos + 4;
+  v
+
+let u32_int t =
+  check t 4;
+  let b i = Char.code t.src.[t.pos + i] in
+  let v = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+  t.pos <- t.pos + 4;
+  v
+
+let u64 t =
+  check t 8;
+  let v = ref 0L in
+  for i = 0 to 7 do
+    v := Int64.logor (Int64.shift_left !v 8)
+           (Int64.of_int (Char.code t.src.[t.pos + i]))
+  done;
+  t.pos <- t.pos + 8;
+  !v
+
+let bytes t n =
+  if n < 0 then invalid_arg "Byte_reader.bytes: negative length";
+  check t n;
+  let s = String.sub t.src t.pos n in
+  t.pos <- t.pos + n;
+  s
+
+let rest t = bytes t (remaining t)
+
+let skip t n =
+  if n < 0 then invalid_arg "Byte_reader.skip: negative length";
+  check t n;
+  t.pos <- t.pos + n

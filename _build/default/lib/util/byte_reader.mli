@@ -1,0 +1,22 @@
+(** Big-endian byte reader with bounds checking.
+
+    Wire decoders raise {!Truncated} on short input so that protocol code can
+    treat malformed packets as an expected error rather than a programming
+    bug. *)
+
+exception Truncated
+
+type t
+
+val of_string : ?pos:int -> ?len:int -> string -> t
+val remaining : t -> int
+val position : t -> int
+
+val u8 : t -> int
+val u16 : t -> int
+val u32 : t -> int32
+val u32_int : t -> int
+val u64 : t -> int64
+val bytes : t -> int -> string
+val rest : t -> string
+val skip : t -> int -> unit

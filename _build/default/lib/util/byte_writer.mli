@@ -1,0 +1,30 @@
+(** Growable big-endian (network byte order) byte writer. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val length : t -> int
+
+val u8 : t -> int -> unit
+(** Append one byte (low 8 bits of the argument). *)
+
+val u16 : t -> int -> unit
+(** Append a 16-bit big-endian value. *)
+
+val u32 : t -> int32 -> unit
+(** Append a 32-bit big-endian value. *)
+
+val u32_int : t -> int -> unit
+(** Append the low 32 bits of a native int, big-endian. *)
+
+val u64 : t -> int64 -> unit
+(** Append a 64-bit big-endian value. *)
+
+val bytes : t -> string -> unit
+(** Append a raw byte string. *)
+
+val contents : t -> string
+(** Snapshot of everything written so far. *)
+
+val to_string : t -> string
+(** Alias for {!contents}. *)

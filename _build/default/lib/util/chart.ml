@@ -1,0 +1,48 @@
+(* Minimal ASCII charts for the experiment harness, so `fbs-experiments`
+   output reads like the paper's figures rather than bare tables. *)
+
+let bar width frac =
+  let frac = Float.max 0.0 (Float.min 1.0 frac) in
+  let n = int_of_float (frac *. float_of_int width) in
+  String.make n '#' ^ String.make (width - n) ' '
+
+(* Horizontal bars, one per labeled value, scaled to the maximum. *)
+let hbar ?(width = 42) ppf items =
+  let vmax = List.fold_left (fun acc (_, v) -> Float.max acc v) 0.0 items in
+  let vmax = if vmax <= 0.0 then 1.0 else vmax in
+  let label_width =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 items
+  in
+  List.iter
+    (fun (label, v) ->
+      Fmt.pf ppf "%-*s |%s %g@." label_width label (bar width (v /. vmax)) v)
+    items
+
+(* A y-over-x line chart drawn with rows of characters (top row = max). *)
+let timeseries ?(width = 64) ?(height = 12) ppf ~x_label ~y_label (ys : float array) =
+  let n = Array.length ys in
+  if n = 0 then Fmt.pf ppf "(empty series)@."
+  else begin
+    let vmax = Array.fold_left Float.max 0.0 ys in
+    let vmax = if vmax <= 0.0 then 1.0 else vmax in
+    (* Downsample/average into [width] columns. *)
+    let cols = min width n in
+    let col_value c =
+      let lo = c * n / cols and hi = max (((c + 1) * n / cols) - 1) (c * n / cols) in
+      let sum = ref 0.0 in
+      for i = lo to hi do
+        sum := !sum +. ys.(i)
+      done;
+      !sum /. float_of_int (hi - lo + 1)
+    in
+    let values = Array.init cols col_value in
+    Fmt.pf ppf "%s@." y_label;
+    for row = height downto 1 do
+      let lo = float_of_int (row - 1) /. float_of_int height *. vmax in
+      Fmt.pf ppf "%8.0f |" (float_of_int row /. float_of_int height *. vmax);
+      Array.iter (fun v -> Fmt.pf ppf "%c" (if v > lo then '*' else ' ')) values;
+      Fmt.pf ppf "@."
+    done;
+    Fmt.pf ppf "%8s +%s@." "" (String.make cols '-');
+    Fmt.pf ppf "%8s  %s@." "" x_label
+  end

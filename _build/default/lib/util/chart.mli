@@ -1,0 +1,17 @@
+(** ASCII charts for the experiment harness. *)
+
+val bar : int -> float -> string
+(** [bar width frac] is a [width]-character bar filled to [frac] in [0,1]. *)
+
+val hbar : ?width:int -> Format.formatter -> (string * float) list -> unit
+(** Labeled horizontal bars scaled to the maximum value. *)
+
+val timeseries :
+  ?width:int ->
+  ?height:int ->
+  Format.formatter ->
+  x_label:string ->
+  y_label:string ->
+  float array ->
+  unit
+(** Character line chart of a series, downsampled to [width] columns. *)

@@ -1,0 +1,49 @@
+(* CRC-32 (IEEE 802.3 polynomial, reflected).  The paper (Section 5.3)
+   recommends CRC-32 as the randomising hash for indexing the key caches,
+   because cache inputs (local addresses, sequential sfl values) are highly
+   correlated and simple modulo/XOR hashing would cluster them. *)
+
+let polynomial = 0xedb88320
+
+let table =
+  lazy
+    (let t = Array.make 256 0 in
+     for n = 0 to 255 do
+       let c = ref n in
+       for _ = 0 to 7 do
+         if !c land 1 = 1 then c := polynomial lxor (!c lsr 1)
+         else c := !c lsr 1
+       done;
+       t.(n) <- !c
+     done;
+     t)
+
+let update crc s pos len =
+  let t = Lazy.force table in
+  let c = ref (crc lxor 0xffffffff) in
+  for i = pos to pos + len - 1 do
+    c := t.((!c lxor Char.code s.[i]) land 0xff) lxor (!c lsr 8)
+  done;
+  !c lxor 0xffffffff
+
+let string s = update 0 s 0 (String.length s)
+
+(* Hash helpers used by the cache modules: fold small integers through the
+   CRC without building an intermediate string. *)
+
+let update_byte crc b =
+  let t = Lazy.force table in
+  let c = crc lxor 0xffffffff in
+  let c = t.((c lxor (b land 0xff)) land 0xff) lxor (c lsr 8) in
+  c lxor 0xffffffff
+
+let update_int32 crc v =
+  let crc = update_byte crc (v lsr 24) in
+  let crc = update_byte crc (v lsr 16) in
+  let crc = update_byte crc (v lsr 8) in
+  update_byte crc v
+
+let update_int64 crc (v : int64) =
+  let hi = Int64.to_int (Int64.shift_right_logical v 32) land 0xffffffff in
+  let lo = Int64.to_int (Int64.logand v 0xffffffffL) in
+  update_int32 (update_int32 crc hi) lo

@@ -1,0 +1,24 @@
+(* The Internet checksum (RFC 1071): one's-complement sum of 16-bit words.
+   Used by the simulated IPv4 and UDP codecs. *)
+
+let sum ?(acc = 0) s pos len =
+  let acc = ref acc in
+  let i = ref pos in
+  let stop = pos + len in
+  while !i + 1 < stop do
+    acc := !acc + ((Char.code s.[!i] lsl 8) lor Char.code s.[!i + 1]);
+    i := !i + 2
+  done;
+  if !i < stop then acc := !acc + (Char.code s.[!i] lsl 8);
+  (* Fold carries. *)
+  let a = ref !acc in
+  while !a lsr 16 <> 0 do
+    a := (!a land 0xffff) + (!a lsr 16)
+  done;
+  !a
+
+let finish acc = lnot acc land 0xffff
+
+let string s = finish (sum s 0 (String.length s))
+
+let verify s = sum s 0 (String.length s) = 0xffff

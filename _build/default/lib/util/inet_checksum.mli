@@ -1,0 +1,15 @@
+(** Internet checksum (RFC 1071), used by the IPv4/UDP codecs. *)
+
+val sum : ?acc:int -> string -> int -> int -> int
+(** Running one's-complement 16-bit sum with carries folded.  Chain partial
+    sums by passing the previous result as [acc]. *)
+
+val finish : int -> int
+(** One's complement of the folded sum: the checksum field value. *)
+
+val string : string -> int
+(** Checksum of a whole buffer (with the checksum field zeroed). *)
+
+val verify : string -> bool
+(** [verify s] is true iff the buffer including its checksum field sums to
+    0xffff. *)

@@ -1,0 +1,40 @@
+(* Linear congruential generator.
+
+   Section 5.3 of the paper: "a confounder needs only be statistically
+   random, as opposed to cryptographically random.  For example, the
+   confounder can be generated using the highly efficient linear
+   congruential generators [Knuth]."
+
+   We use the MMIX multiplier from Knuth TAOCP vol. 2 with a 64-bit state
+   and return the high 32 bits, which are the strongest bits of an LCG. *)
+
+type t = { mutable state : int64 }
+
+let multiplier = 6364136223846793005L
+let increment = 1442695040888963407L
+
+let create seed = { state = Int64.of_int seed }
+
+let next_int64 t =
+  t.state <- Int64.add (Int64.mul t.state multiplier) increment;
+  t.state
+
+let next_u32 t =
+  (* High 32 bits of the 64-bit state. *)
+  Int64.to_int (Int64.shift_right_logical (next_int64 t) 32) land 0xffffffff
+
+let next_block t n =
+  (* n bytes of LCG output, used when a cipher block sized confounder is
+     needed (the paper duplicates the 32-bit confounder for DES's 64-bit
+     IV; [Fbs.Header] does that explicitly). *)
+  let b = Bytes.create n in
+  let i = ref 0 in
+  while !i < n do
+    let v = next_u32 t in
+    let take = min 4 (n - !i) in
+    for j = 0 to take - 1 do
+      Bytes.set b (!i + j) (Char.chr ((v lsr (24 - (8 * j))) land 0xff))
+    done;
+    i := !i + take
+  done;
+  Bytes.unsafe_to_string b

@@ -1,0 +1,1 @@
+test/test_bignum.ml: Alcotest Fbsr_bignum Fbsr_util List Nat QCheck QCheck_alcotest String

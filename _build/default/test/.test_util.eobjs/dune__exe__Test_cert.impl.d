@@ -1,0 +1,1 @@
+test/test_cert.ml: Alcotest Authority Certificate Chain Fbsr_bignum Fbsr_cert Fbsr_crypto Fbsr_util List

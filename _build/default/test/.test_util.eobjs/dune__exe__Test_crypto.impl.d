@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Bbs Bytes Char Ct Des Des3 Dh Fbsr_bignum Fbsr_crypto Fbsr_util Fused Hash Lazy List Mac Md5 QCheck QCheck_alcotest Rsa Sha1 String

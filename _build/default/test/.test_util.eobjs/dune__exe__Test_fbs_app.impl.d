@@ -1,0 +1,1 @@
+test/test_fbs_app.ml: Alcotest App_socket Ca_server Engine Fbsr_baselines Fbsr_cert Fbsr_crypto Fbsr_fbs Fbsr_fbs_app Fbsr_fbs_ip Fbsr_netsim Fbsr_util Host Ipv4 List Mkd String Testbed Udp

@@ -1,0 +1,1 @@
+test/test_traffic.ml: Alcotest Analysis Array Cache_sim Fbsr_traffic Fbsr_util Filename Flow_sim Fun Lazy List QCheck QCheck_alcotest Record Scenario Sys Workload

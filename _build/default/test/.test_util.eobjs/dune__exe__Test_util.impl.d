@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Buffer Byte_queue Byte_reader Byte_writer Bytes Char Chart Crc32 Fbsr_util Fmt Gen Hashtbl Hex Inet_checksum Lcg List QCheck QCheck_alcotest Rng Stats String

@@ -1,0 +1,321 @@
+(* Tests for the comparison schemes of Section 2: host-pair keying
+   (SKIP-like, direct and per-datagram-key variants) and KDC session
+   keying — plus the attack-harness primitives. *)
+
+open Fbsr_netsim
+open Fbsr_baselines
+
+let check = Alcotest.check
+
+(* Shared scaffolding: a testbed whose hosts run a given baseline. *)
+
+let make_hostpair_site ?(variant = Hostpair.Direct) () =
+  let tb = Fbsr_fbs_ip.Testbed.create () in
+  let a = Fbsr_fbs_ip.Testbed.add_plain_host tb ~name:"a" ~addr:"10.0.0.1" in
+  let b = Fbsr_fbs_ip.Testbed.add_plain_host tb ~name:"b" ~addr:"10.0.0.2" in
+  let authority = Fbsr_fbs_ip.Testbed.authority tb in
+  let group = Fbsr_fbs_ip.Testbed.group tb in
+  let install host =
+    let rng = Fbsr_util.Rng.create (Addr.to_int (Host.addr host)) in
+    let private_value = Fbsr_crypto.Dh.gen_private group rng in
+    let public = Fbsr_crypto.Dh.public group private_value in
+    let (_ : Fbsr_cert.Certificate.t) =
+      Fbsr_cert.Authority.enroll authority ~now:0.0
+        ~subject:(Addr.to_string (Host.addr host))
+        ~group:group.Fbsr_crypto.Dh.name
+        ~public_value:(Fbsr_crypto.Dh.public_to_bytes group public)
+    in
+    let resolver peer k =
+      match
+        Fbsr_cert.Authority.lookup authority (Fbsr_fbs.Principal.to_string peer)
+      with
+      | Some c -> k (Ok c)
+      | None -> k (Error "unknown")
+    in
+    Hostpair.install ~variant ~bbs_modulus_bits:64 ~private_value ~group
+      ~ca_public:(Fbsr_cert.Authority.public authority)
+      ~ca_hash:(Fbsr_cert.Authority.hash authority)
+      ~resolver host
+  in
+  let sa = install a and sb = install b in
+  (tb, a, b, sa, sb)
+
+(* --- Host-pair keying --- *)
+
+let hostpair_roundtrip variant () =
+  let tb, a, b, sa, sb = make_hostpair_site ~variant () in
+  let got = ref [] in
+  Udp_stack.listen b ~port:7 (fun ~src:_ ~src_port:_ d -> got := d :: !got);
+  List.iter
+    (fun m -> Udp_stack.send a ~src_port:7 ~dst:(Host.addr b) ~dst_port:7 m)
+    [ "first"; "second" ];
+  Fbsr_fbs_ip.Testbed.run tb;
+  check Alcotest.(list string) "delivered" [ "first"; "second" ] (List.rev !got);
+  check Alcotest.int "sent" 2 (Hostpair.counters sa).Hostpair.sent;
+  check Alcotest.int "received" 2 (Hostpair.counters sb).Hostpair.received;
+  (* Per-datagram keying pays BBS for every datagram; direct pays none. *)
+  match variant with
+  | Hostpair.Per_datagram ->
+      check Alcotest.int "bbs bytes drawn" 16 (Hostpair.counters sa).Hostpair.bbs_bytes
+  | Hostpair.Direct ->
+      check Alcotest.int "no bbs" 0 (Hostpair.counters sa).Hostpair.bbs_bytes
+
+let test_hostpair_direct_roundtrip () = hostpair_roundtrip Hostpair.Direct ()
+let test_hostpair_pdk_roundtrip () = hostpair_roundtrip Hostpair.Per_datagram ()
+
+let test_hostpair_tamper_rejected () =
+  let tb, a, b, _, sb = make_hostpair_site () in
+  let tap = Attacks.tap (Fbsr_fbs_ip.Testbed.medium tb) in
+  let got = ref 0 in
+  Udp_stack.listen b ~port:7 (fun ~src:_ ~src_port:_ _ -> incr got);
+  Udp_stack.send a ~src_port:7 ~dst:(Host.addr b) ~dst_port:7 "genuine";
+  Fbsr_fbs_ip.Testbed.run tb;
+  check Alcotest.int "genuine delivered" 1 !got;
+  let _, frame = List.hd (Attacks.between tap ~src:(Host.addr a) ~dst:(Host.addr b)) in
+  (* Corrupt a body byte (well past the headers). *)
+  let corrupted = Attacks.flip_byte ~offset:(String.length frame - 2) frame in
+  Attacks.inject (Fbsr_fbs_ip.Testbed.medium tb) corrupted;
+  Fbsr_fbs_ip.Testbed.run tb;
+  check Alcotest.int "tampered rejected" 1 !got;
+  check Alcotest.bool "drop counted" true ((Hostpair.counters sb).Hostpair.dropped >= 1)
+
+let test_hostpair_cut_and_paste_succeeds () =
+  (* The Section 2.2 weakness: under one master key per host pair, a
+     protected payload from conversation B can be re-bound into
+     conversation A's envelope and still verifies. *)
+  let tb, a, b, _, _ = make_hostpair_site () in
+  let tap = Attacks.tap (Fbsr_fbs_ip.Testbed.medium tb) in
+  let seen = ref [] in
+  Udp_stack.listen b ~port:7 (fun ~src:_ ~src_port:_ d -> seen := ("7:" ^ d) :: !seen);
+  Udp_stack.listen b ~port:8 (fun ~src:_ ~src_port:_ d -> seen := ("8:" ^ d) :: !seen);
+  Udp_stack.send a ~src_port:7 ~dst:(Host.addr b) ~dst_port:7 "conversation A";
+  Udp_stack.send a ~src_port:8 ~dst:(Host.addr b) ~dst_port:8 "conversation B";
+  Fbsr_fbs_ip.Testbed.run tb;
+  match Attacks.between tap ~src:(Host.addr a) ~dst:(Host.addr b) with
+  | (_, fa) :: (_, fb) :: _ ->
+      let before = List.length !seen in
+      (match Attacks.splice_hostpair ~envelope_from:fa ~body_from:fb with
+      | Some forged ->
+          Attacks.inject (Fbsr_fbs_ip.Testbed.medium tb) forged;
+          Fbsr_fbs_ip.Testbed.run tb;
+          check Alcotest.bool "splice accepted (the documented weakness)" true
+            (List.length !seen > before)
+      | None -> Alcotest.fail "could not splice")
+  | _ -> Alcotest.fail "frames not captured"
+
+let test_hostpair_mss_reduction () =
+  let _, a, _, sa, _ = make_hostpair_site () in
+  ignore sa;
+  check Alcotest.bool "mss reduced" true (Minitcp.mss_reduction a > 0)
+
+let test_hostpair_unprotect_errors () =
+  let _, _, _, sa, _ = make_hostpair_site () in
+  let master = "some master key material" in
+  (match Hostpair.unprotect sa ~master ~wire:"x" with
+  | Error Hostpair.Truncated -> ()
+  | _ -> Alcotest.fail "truncated accepted");
+  match Hostpair.unprotect sa ~master ~wire:(String.make 40 '\x07') with
+  | Error Hostpair.Bad_variant -> ()
+  | _ -> Alcotest.fail "bad variant accepted"
+
+(* --- KDC session keying --- *)
+
+let make_kdc_site () =
+  let tb = Fbsr_fbs_ip.Testbed.create () in
+  let a = Fbsr_fbs_ip.Testbed.add_plain_host tb ~name:"a" ~addr:"10.0.0.1" in
+  let b = Fbsr_fbs_ip.Testbed.add_plain_host tb ~name:"b" ~addr:"10.0.0.2" in
+  let kdc_host = Fbsr_fbs_ip.Testbed.add_plain_host tb ~name:"kdc" ~addr:"10.0.0.50" in
+  let server = Kdc.Server.install kdc_host in
+  let enroll host =
+    let key = Kdc.Server.enroll server ~name:(Addr.to_string (Host.addr host)) in
+    Kdc.install ~kdc_addr:(Host.addr kdc_host) ~shared_key:key host
+  in
+  let sa = enroll a and sb = enroll b in
+  (tb, a, b, server, sa, sb)
+
+let test_kdc_roundtrip () =
+  let tb, a, b, server, sa, sb = make_kdc_site () in
+  let got = ref [] in
+  Udp_stack.listen b ~port:7 (fun ~src:_ ~src_port:_ d -> got := d :: !got);
+  List.iter
+    (fun m -> Udp_stack.send a ~src_port:7 ~dst:(Host.addr b) ~dst_port:7 m)
+    [ "one"; "two"; "three" ];
+  Fbsr_fbs_ip.Testbed.run tb;
+  check Alcotest.(list string) "all delivered in order" [ "one"; "two"; "three" ]
+    (List.rev !got);
+  (* The defining costs of session keying (Section 2.1): an explicit setup
+     exchange before the first datagram, and hard state at both ends. *)
+  check Alcotest.int "one KDC request for the whole session" 1
+    (Kdc.counters sa).Kdc.kdc_requests;
+  check Alcotest.int "one ticket issued" 1 (Kdc.Server.tickets_issued server);
+  check Alcotest.int "hard state at sender" 1 (Kdc.sessions_out sa);
+  check Alcotest.int "hard state at receiver" 1 (Kdc.sessions_in sb)
+
+let test_kdc_unknown_destination () =
+  let tb, a, _, _, sa, _ = make_kdc_site () in
+  (* 10.0.0.77 is not enrolled with the KDC: setup fails, nothing leaves. *)
+  Udp_stack.send a ~src_port:7 ~dst:(Addr.of_string "10.0.0.77") ~dst_port:7 "void";
+  Fbsr_fbs_ip.Testbed.run tb;
+  check Alcotest.int "nothing sent" 0 (Kdc.counters sa).Kdc.sent
+
+let test_kdc_ticket_corruption_rejected () =
+  let tb, a, b, _, _, sb = make_kdc_site () in
+  let tap = Attacks.tap (Fbsr_fbs_ip.Testbed.medium tb) in
+  let got = ref 0 in
+  Udp_stack.listen b ~port:7 (fun ~src:_ ~src_port:_ _ -> incr got);
+  Udp_stack.send a ~src_port:7 ~dst:(Host.addr b) ~dst_port:7 "msg";
+  Fbsr_fbs_ip.Testbed.run tb;
+  check Alcotest.int "delivered" 1 !got;
+  let _, frame = List.hd (Attacks.between tap ~src:(Host.addr a) ~dst:(Host.addr b)) in
+  let corrupted = Attacks.flip_byte ~offset:(String.length frame - 3) frame in
+  Attacks.inject (Fbsr_fbs_ip.Testbed.medium tb) corrupted;
+  Fbsr_fbs_ip.Testbed.run tb;
+  check Alcotest.int "corrupt rejected" 1 !got;
+  check Alcotest.bool "drop counted" true ((Kdc.counters sb).Kdc.dropped >= 1)
+
+(* --- Photuris-style session keying (no third party) --- *)
+
+let make_photuris_site () =
+  let tb = Fbsr_fbs_ip.Testbed.create () in
+  let a = Fbsr_fbs_ip.Testbed.add_plain_host tb ~name:"a" ~addr:"10.0.0.1" in
+  let b = Fbsr_fbs_ip.Testbed.add_plain_host tb ~name:"b" ~addr:"10.0.0.2" in
+  let group = Fbsr_fbs_ip.Testbed.group tb in
+  let sa = Photuris.install ~group a in
+  let sb = Photuris.install ~group b in
+  (tb, a, b, sa, sb)
+
+let test_photuris_roundtrip () =
+  let tb, a, b, sa, sb = make_photuris_site () in
+  let got = ref [] in
+  Udp_stack.listen b ~port:7 (fun ~src:_ ~src_port:_ d -> got := d :: !got);
+  List.iter
+    (fun m -> Udp_stack.send a ~src_port:7 ~dst:(Host.addr b) ~dst_port:7 m)
+    [ "one"; "two"; "three" ];
+  Fbsr_fbs_ip.Testbed.run tb;
+  check Alcotest.(list string) "in order" [ "one"; "two"; "three" ] (List.rev !got);
+  (* The Section 2.1 costs, quantified: *)
+  let ca = Photuris.counters sa in
+  check Alcotest.int "four setup messages (2 RTT) for one peer" 4
+    (ca.Photuris.setup_messages + (Photuris.counters sb).Photuris.setup_messages);
+  check Alcotest.int "hard state at initiator" 1 (Photuris.sessions_out sa);
+  check Alcotest.int "hard state at responder" 1 (Photuris.sessions_in sb);
+  check Alcotest.bool "ephemeral modexps spent" true (ca.Photuris.modexps >= 2)
+
+let test_photuris_tamper_rejected () =
+  let tb, a, b, _, sb = make_photuris_site () in
+  let tap = Attacks.tap (Fbsr_fbs_ip.Testbed.medium tb) in
+  let got = ref 0 in
+  Udp_stack.listen b ~port:7 (fun ~src:_ ~src_port:_ _ -> incr got);
+  Udp_stack.send a ~src_port:7 ~dst:(Host.addr b) ~dst_port:7 "genuine";
+  Fbsr_fbs_ip.Testbed.run tb;
+  check Alcotest.int "delivered" 1 !got;
+  (* Corrupt the protected data packet: it is the last a->b frame. *)
+  let frames = Attacks.between tap ~src:(Host.addr a) ~dst:(Host.addr b) in
+  let _, data_frame = List.nth frames (List.length frames - 1) in
+  Attacks.inject (Fbsr_fbs_ip.Testbed.medium tb)
+    (Attacks.flip_byte ~offset:(String.length data_frame - 2) data_frame);
+  Fbsr_fbs_ip.Testbed.run tb;
+  check Alcotest.int "tampered rejected" 1 !got;
+  check Alcotest.bool "drop counted" true ((Photuris.counters sb).Photuris.dropped >= 1)
+
+let test_photuris_no_long_term_secret () =
+  (* The Section 6.1 contrast: ephemeral-DH session keying has no long-term
+     secret whose compromise exposes traffic; FBS (zero-message) cannot
+     avoid one.  This is the trade the paper concedes. *)
+  let _, _, _, sa, _ = make_photuris_site () in
+  check Alcotest.bool "no long-term secrets" false (Photuris.has_long_term_secrets sa)
+
+(* --- Attack harness primitives --- *)
+
+let arbitrary_bytes = QCheck.string_gen (QCheck.Gen.char_range '\000' '\255')
+
+let prop_baselines_never_crash_on_garbage =
+  (* The baselines' unprotect paths must be as robust as FBS's. *)
+  let _, _, _, hp, _ = make_hostpair_site () in
+  let _, _, _, _, _, kdc = make_kdc_site () in
+  let _, _, _, ph, _ = make_photuris_site () in
+  QCheck.Test.make ~name:"baseline unprotect(garbage) never raises" ~count:200
+    arbitrary_bytes (fun garbage ->
+      let ok1 =
+        match Hostpair.unprotect hp ~master:"some master key bytes" ~wire:garbage with
+        | Ok _ | Error _ -> true
+        | exception _ -> false
+      in
+      let ok2 =
+        match Kdc.unprotect kdc ~now:0.0 ~wire:garbage with
+        | Ok _ | Error _ -> true
+        | exception _ -> false
+      in
+      let ok3 =
+        match Photuris.unprotect ph ~wire:garbage with
+        | Ok _ | Error _ -> true
+        | exception _ -> false
+      in
+      ok1 && ok2 && ok3)
+
+let test_attacks_tap_and_filter () =
+  let tb = Fbsr_fbs_ip.Testbed.create () in
+  let a = Fbsr_fbs_ip.Testbed.add_plain_host tb ~name:"a" ~addr:"10.0.0.1" in
+  let b = Fbsr_fbs_ip.Testbed.add_plain_host tb ~name:"b" ~addr:"10.0.0.2" in
+  let tap = Attacks.tap (Fbsr_fbs_ip.Testbed.medium tb) in
+  Udp_stack.listen b ~port:7 (fun ~src ~src_port d ->
+      Udp_stack.send b ~src_port:7 ~dst:src ~dst_port:src_port d);
+  Udp_stack.listen a ~port:5 (fun ~src:_ ~src_port:_ _ -> ());
+  Udp_stack.send a ~src_port:5 ~dst:(Host.addr b) ~dst_port:7 "ping";
+  Fbsr_fbs_ip.Testbed.run tb;
+  check Alcotest.int "both directions captured" 2 (List.length (Attacks.frames tap));
+  check Alcotest.int "a->b filter" 1
+    (List.length (Attacks.between tap ~src:(Host.addr a) ~dst:(Host.addr b)));
+  check Alcotest.int "b->a filter" 1
+    (List.length (Attacks.between tap ~src:(Host.addr b) ~dst:(Host.addr a)));
+  Attacks.clear tap;
+  check Alcotest.int "cleared" 0 (List.length (Attacks.frames tap))
+
+let test_attacks_flip_byte_keeps_ip_valid () =
+  let h =
+    Ipv4.make ~protocol:17 ~src:(Addr.of_string "1.2.3.4") ~dst:(Addr.of_string "5.6.7.8")
+      ~payload_length:10 ()
+  in
+  let raw = Ipv4.encode h "0123456789" in
+  let flipped = Attacks.flip_byte ~offset:25 raw in
+  (* The IP header must still parse (checksum repaired); the payload byte
+     differs. *)
+  let _, payload = Ipv4.decode flipped in
+  check Alcotest.bool "payload changed" true (payload <> "0123456789")
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "hostpair",
+        [
+          Alcotest.test_case "direct roundtrip" `Quick test_hostpair_direct_roundtrip;
+          Alcotest.test_case "per-datagram-key roundtrip" `Quick
+            test_hostpair_pdk_roundtrip;
+          Alcotest.test_case "tamper rejected" `Quick test_hostpair_tamper_rejected;
+          Alcotest.test_case "cut-and-paste succeeds (Section 2.2)" `Quick
+            test_hostpair_cut_and_paste_succeeds;
+          Alcotest.test_case "mss reduction" `Quick test_hostpair_mss_reduction;
+          Alcotest.test_case "unprotect errors" `Quick test_hostpair_unprotect_errors;
+        ] );
+      ( "kdc",
+        [
+          Alcotest.test_case "session roundtrip" `Quick test_kdc_roundtrip;
+          Alcotest.test_case "unknown destination" `Quick test_kdc_unknown_destination;
+          Alcotest.test_case "corruption rejected" `Quick
+            test_kdc_ticket_corruption_rejected;
+        ] );
+      ( "photuris",
+        [
+          Alcotest.test_case "session roundtrip" `Quick test_photuris_roundtrip;
+          Alcotest.test_case "tamper rejected" `Quick test_photuris_tamper_rejected;
+          Alcotest.test_case "no long-term secret (PFS)" `Quick
+            test_photuris_no_long_term_secret;
+        ] );
+      ( "attack-harness",
+        [
+          Alcotest.test_case "tap + filters" `Quick test_attacks_tap_and_filter;
+          Alcotest.test_case "flip_byte keeps IP valid" `Quick
+            test_attacks_flip_byte_keeps_ip_valid;
+          QCheck_alcotest.to_alcotest prop_baselines_never_crash_on_garbage;
+        ] );
+    ]

@@ -1,0 +1,283 @@
+(* Tests for the arbitrary-precision naturals underlying Diffie-Hellman and
+   RSA: ring laws, division invariants, Montgomery exponentiation, modular
+   inverse, primality. *)
+
+open Fbsr_bignum
+
+let check = Alcotest.check
+let qtest t = QCheck_alcotest.to_alcotest t
+
+let nat = Alcotest.testable Nat.pp Nat.equal
+
+(* Generator for naturals of up to ~256 bits. *)
+let gen_nat =
+  QCheck.Gen.(
+    map
+      (fun bytes -> Nat.of_bytes_be (String.concat "" (List.map (String.make 1) bytes)))
+      (list_size (int_range 0 32) (char_range '\000' '\255')))
+
+let arb_nat = QCheck.make ~print:Nat.to_hex gen_nat
+
+let gen_small = QCheck.Gen.(map Nat.of_int (int_range 0 1_000_000))
+let arb_small = QCheck.make ~print:Nat.to_hex gen_small
+
+(* --- Conversions --- *)
+
+let test_of_int () =
+  check nat "zero" Nat.zero (Nat.of_int 0);
+  check nat "one" Nat.one (Nat.of_int 1);
+  check Alcotest.(option int) "roundtrip" (Some 123456789)
+    (Nat.to_int_opt (Nat.of_int 123456789));
+  check Alcotest.(option int) "max_int" (Some max_int) (Nat.to_int_opt (Nat.of_int max_int));
+  Alcotest.check_raises "negative" (Invalid_argument "Nat.of_int: negative") (fun () ->
+      ignore (Nat.of_int (-1)))
+
+let test_hex () =
+  check Alcotest.string "to_hex" "deadbeef" (Nat.to_hex (Nat.of_hex "deadbeef"));
+  check Alcotest.string "odd digits" "abc" (Nat.to_hex (Nat.of_hex "abc"));
+  check Alcotest.string "zero" "0" (Nat.to_hex Nat.zero);
+  check nat "leading zeros" (Nat.of_hex "ff") (Nat.of_hex "00000000ff")
+
+let test_decimal () =
+  check Alcotest.string "decimal" "0" (Nat.to_string Nat.zero);
+  check Alcotest.string "decimal" "123456789012345678901234567890"
+    (Nat.to_string (Nat.of_hex "18ee90ff6c373e0ee4e3f0ad2"))
+
+let prop_bytes_roundtrip =
+  QCheck.Test.make ~name:"bytes roundtrip with padding" ~count:200 arb_nat (fun a ->
+      let width = ((Nat.bit_length a + 7) / 8) + 3 in
+      Nat.equal a (Nat.of_bytes_be (Nat.to_bytes_be ~length:width a)))
+
+let test_to_bytes_too_narrow () =
+  Alcotest.check_raises "too narrow"
+    (Invalid_argument "Nat.to_bytes_be: value too wide") (fun () ->
+      ignore (Nat.to_bytes_be ~length:1 (Nat.of_hex "10000")))
+
+(* --- Ring laws --- *)
+
+let prop_add_commutative =
+  QCheck.Test.make ~name:"a+b = b+a" ~count:200 (QCheck.pair arb_nat arb_nat)
+    (fun (a, b) -> Nat.equal (Nat.add a b) (Nat.add b a))
+
+let prop_mul_commutative =
+  QCheck.Test.make ~name:"a*b = b*a" ~count:200 (QCheck.pair arb_nat arb_nat)
+    (fun (a, b) -> Nat.equal (Nat.mul a b) (Nat.mul b a))
+
+let prop_distributive =
+  QCheck.Test.make ~name:"(a+b)*c = ac+bc" ~count:200
+    (QCheck.triple arb_nat arb_nat arb_nat) (fun (a, b, c) ->
+      Nat.equal (Nat.mul (Nat.add a b) c) (Nat.add (Nat.mul a c) (Nat.mul b c)))
+
+let prop_add_sub =
+  QCheck.Test.make ~name:"(a+b)-b = a" ~count:200 (QCheck.pair arb_nat arb_nat)
+    (fun (a, b) -> Nat.equal a (Nat.sub (Nat.add a b) b))
+
+let prop_small_agrees_with_int =
+  QCheck.Test.make ~name:"small arithmetic agrees with int" ~count:500
+    QCheck.(pair (int_range 0 100000) (int_range 1 100000))
+    (fun (a, b) ->
+      let na = Nat.of_int a and nb = Nat.of_int b in
+      Nat.to_int_opt (Nat.add na nb) = Some (a + b)
+      && Nat.to_int_opt (Nat.mul na nb) = Some (a * b)
+      && Nat.to_int_opt (Nat.div na nb) = Some (a / b)
+      && Nat.to_int_opt (Nat.rem na nb) = Some (a mod b))
+
+(* --- Division --- *)
+
+let prop_divmod_invariant =
+  QCheck.Test.make ~name:"a = q*b + r, r < b" ~count:200 (QCheck.pair arb_nat arb_nat)
+    (fun (a, b) ->
+      QCheck.assume (not (Nat.is_zero b));
+      let q, r = Nat.divmod a b in
+      Nat.equal a (Nat.add (Nat.mul q b) r) && Nat.compare r b < 0)
+
+let test_div_by_zero () =
+  Alcotest.check_raises "division by zero" Division_by_zero (fun () ->
+      ignore (Nat.divmod Nat.one Nat.zero))
+
+(* --- Shifts and bits --- *)
+
+let prop_shift_roundtrip =
+  QCheck.Test.make ~name:"shift left then right" ~count:200
+    QCheck.(pair arb_nat (int_range 0 100))
+    (fun (a, k) -> Nat.equal a (Nat.shift_right (Nat.shift_left a k) k))
+
+let prop_shift_is_mul =
+  QCheck.Test.make ~name:"shift_left = mul by 2^k" ~count:200
+    QCheck.(pair arb_nat (int_range 0 64))
+    (fun (a, k) ->
+      Nat.equal (Nat.shift_left a k) (Nat.mul a (Nat.shift_left Nat.one k)))
+
+let test_bit_length () =
+  check Alcotest.int "0" 0 (Nat.bit_length Nat.zero);
+  check Alcotest.int "1" 1 (Nat.bit_length Nat.one);
+  check Alcotest.int "255" 8 (Nat.bit_length (Nat.of_int 255));
+  check Alcotest.int "256" 9 (Nat.bit_length (Nat.of_int 256));
+  check Alcotest.int "2^100" 101 (Nat.bit_length (Nat.shift_left Nat.one 100))
+
+let prop_testbit =
+  QCheck.Test.make ~name:"testbit matches shift" ~count:200
+    QCheck.(pair arb_nat (int_range 0 120))
+    (fun (a, i) ->
+      Nat.testbit a i = not (Nat.is_zero (Nat.rem (Nat.shift_right a i) Nat.two)))
+
+(* --- Modular exponentiation --- *)
+
+let naive_mod_pow base e m =
+  let result = ref (Nat.rem Nat.one m) in
+  for i = Nat.bit_length e - 1 downto 0 do
+    result := Nat.rem (Nat.mul !result !result) m;
+    if Nat.testbit e i then result := Nat.rem (Nat.mul !result base) m
+  done;
+  !result
+
+let prop_mod_pow_vs_naive =
+  QCheck.Test.make ~name:"Montgomery mod_pow = naive" ~count:50
+    QCheck.(triple arb_small arb_small arb_small)
+    (fun (base, e, m) ->
+      QCheck.assume (Nat.compare m Nat.two > 0);
+      (* Force odd modulus to exercise the Montgomery path. *)
+      let m = if Nat.testbit m 0 then m else Nat.add m Nat.one in
+      Nat.equal (Nat.mod_pow base e m) (naive_mod_pow base e m))
+
+let prop_mod_pow_even_modulus =
+  QCheck.Test.make ~name:"mod_pow handles even modulus" ~count:50
+    QCheck.(triple arb_small arb_small arb_small)
+    (fun (base, e, m) ->
+      QCheck.assume (Nat.compare m Nat.two > 0);
+      let m = if Nat.testbit m 0 then Nat.add m Nat.one else m in
+      Nat.equal (Nat.mod_pow base e m) (naive_mod_pow base e m))
+
+let test_fermat () =
+  (* a^(p-1) = 1 mod p for prime p not dividing a. *)
+  let p = Nat.of_int 1_000_000_007 in
+  List.iter
+    (fun a ->
+      let r = Nat.mod_pow (Nat.of_int a) (Nat.sub p Nat.one) p in
+      check Alcotest.bool "fermat" true (Nat.is_one r))
+    [ 2; 3; 12345; 999999937 ]
+
+let test_mod_pow_large () =
+  (* 2^(2^16) mod a 128-bit odd modulus, cross-checked with the naive
+     square-and-reduce loop. *)
+  let m = Nat.of_hex "f0000000000000000000000000000001" in
+  let e = Nat.shift_left Nat.one 16 in
+  check nat "large modexp" (naive_mod_pow Nat.two e m) (Nat.mod_pow Nat.two e m)
+
+(* --- Modular inverse and gcd --- *)
+
+let prop_mod_inv =
+  QCheck.Test.make ~name:"a * inv(a) = 1 mod m" ~count:200
+    QCheck.(pair arb_small arb_small)
+    (fun (a, m) ->
+      QCheck.assume (Nat.compare m Nat.two > 0 && not (Nat.is_zero (Nat.rem a m)));
+      QCheck.assume (Nat.is_one (Nat.gcd a m));
+      let inv = Nat.mod_inv a m in
+      Nat.is_one (Nat.rem (Nat.mul (Nat.rem a m) inv) m))
+
+let test_mod_inv_no_inverse () =
+  Alcotest.check_raises "no inverse" Not_found (fun () ->
+      ignore (Nat.mod_inv (Nat.of_int 6) (Nat.of_int 9)))
+
+let prop_gcd =
+  QCheck.Test.make ~name:"gcd divides both" ~count:200 (QCheck.pair arb_small arb_small)
+    (fun (a, b) ->
+      QCheck.assume (not (Nat.is_zero a) || not (Nat.is_zero b));
+      let g = Nat.gcd a b in
+      (Nat.is_zero a || Nat.is_zero (Nat.rem a g))
+      && (Nat.is_zero b || Nat.is_zero (Nat.rem b g)))
+
+(* --- Primality --- *)
+
+let test_known_primes () =
+  let rng = Fbsr_util.Rng.create 55 in
+  List.iter
+    (fun p ->
+      check Alcotest.bool (string_of_int p) true
+        (Nat.is_probably_prime rng (Nat.of_int p)))
+    [ 2; 3; 5; 7; 104729; 1_000_000_007; 2147483647 ]
+
+let test_known_composites () =
+  let rng = Fbsr_util.Rng.create 56 in
+  (* Includes Carmichael numbers, which fool the Fermat test but not
+     Miller-Rabin. *)
+  List.iter
+    (fun n ->
+      check Alcotest.bool (string_of_int n) false
+        (Nat.is_probably_prime rng (Nat.of_int n)))
+    [ 1; 4; 561; 1105; 6601; 41041; 104730 ]
+
+let test_mersenne61 () =
+  let rng = Fbsr_util.Rng.create 57 in
+  check Alcotest.bool "2^61-1 prime" true
+    (Nat.is_probably_prime rng (Nat.of_hex "1fffffffffffffff"))
+
+let test_random_prime () =
+  let rng = Fbsr_util.Rng.create 58 in
+  List.iter
+    (fun bits ->
+      let p = Nat.random_prime rng ~bits in
+      check Alcotest.int "exact bit length" bits (Nat.bit_length p);
+      check Alcotest.bool "is prime" true (Nat.is_probably_prime rng p);
+      check Alcotest.bool "is odd" true (Nat.testbit p 0))
+    [ 8; 16; 64; 128 ]
+
+let prop_random_below =
+  QCheck.Test.make ~name:"random_below in range" ~count:100
+    QCheck.(pair small_int arb_small)
+    (fun (seed, bound) ->
+      QCheck.assume (not (Nat.is_zero bound));
+      let rng = Fbsr_util.Rng.create seed in
+      Nat.compare (Nat.random_below rng bound) bound < 0)
+
+let () =
+  Alcotest.run "bignum"
+    [
+      ( "conversions",
+        [
+          Alcotest.test_case "of_int" `Quick test_of_int;
+          Alcotest.test_case "hex" `Quick test_hex;
+          Alcotest.test_case "decimal" `Quick test_decimal;
+          Alcotest.test_case "narrow bytes" `Quick test_to_bytes_too_narrow;
+          qtest prop_bytes_roundtrip;
+        ] );
+      ( "ring",
+        [
+          qtest prop_add_commutative;
+          qtest prop_mul_commutative;
+          qtest prop_distributive;
+          qtest prop_add_sub;
+          qtest prop_small_agrees_with_int;
+        ] );
+      ( "division",
+        [ Alcotest.test_case "by zero" `Quick test_div_by_zero; qtest prop_divmod_invariant ] );
+      ( "bits",
+        [
+          Alcotest.test_case "bit_length" `Quick test_bit_length;
+          qtest prop_shift_roundtrip;
+          qtest prop_shift_is_mul;
+          qtest prop_testbit;
+        ] );
+      ( "mod-pow",
+        [
+          Alcotest.test_case "fermat" `Quick test_fermat;
+          Alcotest.test_case "large" `Quick test_mod_pow_large;
+          qtest prop_mod_pow_vs_naive;
+          qtest prop_mod_pow_even_modulus;
+        ] );
+      ( "inverse-gcd",
+        [
+          Alcotest.test_case "no inverse" `Quick test_mod_inv_no_inverse;
+          qtest prop_mod_inv;
+          qtest prop_gcd;
+        ] );
+      ( "primality",
+        [
+          Alcotest.test_case "known primes" `Quick test_known_primes;
+          Alcotest.test_case "known composites (incl. Carmichael)" `Quick
+            test_known_composites;
+          Alcotest.test_case "mersenne 61" `Quick test_mersenne61;
+          Alcotest.test_case "random primes" `Quick test_random_prime;
+          qtest prop_random_below;
+        ] );
+    ]

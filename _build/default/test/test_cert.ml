@@ -1,0 +1,198 @@
+(* Tests for the certificate substrate: public-value certificates, the
+   authority, and certification-hierarchy chains. *)
+
+open Fbsr_cert
+
+let check = Alcotest.check
+let rng = Fbsr_util.Rng.create 2024
+let hash = Fbsr_crypto.Hash.md5
+
+let fresh_authority ?(validity = 1000.0) () =
+  Authority.create ~validity ~rng ~bits:512 ()
+
+(* --- Certificate --- *)
+
+let test_certificate_roundtrip () =
+  let ca = fresh_authority () in
+  let cert =
+    Authority.enroll ca ~now:100.0 ~subject:"host-a" ~group:"test-group"
+      ~public_value:"public bytes here"
+  in
+  let cert' = Certificate.decode (Certificate.encode cert) in
+  check Alcotest.string "subject" "host-a" cert'.Certificate.subject;
+  check Alcotest.string "group" "test-group" cert'.Certificate.group;
+  check Alcotest.string "public value" "public bytes here" cert'.Certificate.public_value;
+  check Alcotest.bool "verifies after roundtrip" true
+    (Certificate.verify ~ca_public:(Authority.public ca) ~hash ~now:100.0 cert' = Ok ())
+
+let test_certificate_verify_errors () =
+  let ca = fresh_authority () in
+  let other_ca = fresh_authority () in
+  let cert =
+    Authority.enroll ca ~now:100.0 ~subject:"host-a" ~group:"g" ~public_value:"pv"
+  in
+  (match
+     Certificate.verify ~ca_public:(Authority.public other_ca) ~hash ~now:100.0 cert
+   with
+  | Error Certificate.Bad_signature -> ()
+  | _ -> Alcotest.fail "wrong CA accepted");
+  (match Certificate.verify ~ca_public:(Authority.public ca) ~hash ~now:99999.0 cert with
+  | Error (Certificate.Expired _) -> ()
+  | _ -> Alcotest.fail "expired accepted");
+  (match
+     Certificate.verify ~ca_public:(Authority.public ca) ~hash ~now:100.0
+       ~expected_subject:"host-b" cert
+   with
+  | Error (Certificate.Wrong_subject _) -> ()
+  | _ -> Alcotest.fail "wrong subject accepted");
+  (* Any field tamper breaks the signature. *)
+  let tampered = { cert with Certificate.subject = "host-evil" } in
+  match Certificate.verify ~ca_public:(Authority.public ca) ~hash ~now:100.0 tampered with
+  | Error Certificate.Bad_signature -> ()
+  | _ -> Alcotest.fail "tampered subject accepted"
+
+let test_certificate_decode_garbage () =
+  List.iter
+    (fun raw ->
+      match Certificate.decode raw with
+      | _ -> Alcotest.failf "accepted %S" raw
+      | exception Certificate.Bad_certificate _ -> ())
+    [ ""; "\x00\x05ab" ]
+
+(* --- Authority --- *)
+
+let test_authority_directory () =
+  let ca = fresh_authority () in
+  check Alcotest.bool "empty" true (Authority.lookup ca "x" = None);
+  let _ = Authority.enroll ca ~now:0.0 ~subject:"x" ~group:"g" ~public_value:"p" in
+  check Alcotest.bool "found" true (Authority.lookup ca "x" <> None);
+  check Alcotest.int "issued" 1 (Authority.issued ca);
+  Authority.revoke ca "x";
+  check Alcotest.bool "revoked" true (Authority.lookup ca "x" = None)
+
+(* --- Chains --- *)
+
+let build_hierarchy () =
+  (* root -> site CA -> leaf host certificate *)
+  let root = fresh_authority () in
+  let site = fresh_authority () in
+  let site_cert =
+    Chain.sign_ca
+      ~parent_key:(Authority.signing_key root)
+      ~hash ~name:"site-ca" ~public:(Authority.public site) ~not_before:0.0
+      ~not_after:1000.0
+  in
+  let leaf =
+    Authority.enroll site ~now:10.0 ~subject:"10.1.0.1" ~group:"g" ~public_value:"pv"
+  in
+  (root, site, site_cert, leaf)
+
+let test_chain_valid () =
+  let root, _, site_cert, leaf = build_hierarchy () in
+  check Alcotest.bool "valid chain" true
+    (Chain.verify_chain ~root:(Authority.public root) ~hash ~now:50.0
+       ~intermediates:[ site_cert ] ~expected_subject:"10.1.0.1" leaf
+    = Ok ())
+
+let test_chain_broken_link () =
+  let root, site, _site_cert, leaf = build_hierarchy () in
+  (* An intermediate signed by the WRONG parent. *)
+  let rogue = fresh_authority () in
+  let forged =
+    Chain.sign_ca
+      ~parent_key:(Authority.signing_key rogue)
+      ~hash ~name:"site-ca" ~public:(Authority.public site) ~not_before:0.0
+      ~not_after:1000.0
+  in
+  match
+    Chain.verify_chain ~root:(Authority.public root) ~hash ~now:50.0
+      ~intermediates:[ forged ] leaf
+  with
+  | Error (Chain.Bad_link "site-ca") -> ()
+  | _ -> Alcotest.fail "forged intermediate accepted"
+
+let test_chain_expired_link () =
+  let root, site, _, leaf = build_hierarchy () in
+  let stale =
+    Chain.sign_ca
+      ~parent_key:(Authority.signing_key root)
+      ~hash ~name:"site-ca" ~public:(Authority.public site) ~not_before:0.0
+      ~not_after:20.0
+  in
+  match
+    Chain.verify_chain ~root:(Authority.public root) ~hash ~now:50.0
+      ~intermediates:[ stale ] leaf
+  with
+  | Error (Chain.Link_expired "site-ca") -> ()
+  | _ -> Alcotest.fail "expired intermediate accepted"
+
+let test_chain_wrong_leaf () =
+  let root, _, site_cert, _ = build_hierarchy () in
+  (* A leaf signed by a different (unchained) authority. *)
+  let stranger = fresh_authority () in
+  let bad_leaf =
+    Authority.enroll stranger ~now:10.0 ~subject:"10.1.0.1" ~group:"g" ~public_value:"pv"
+  in
+  match
+    Chain.verify_chain ~root:(Authority.public root) ~hash ~now:50.0
+      ~intermediates:[ site_cert ] bad_leaf
+  with
+  | Error (Chain.Leaf_invalid Certificate.Bad_signature) -> ()
+  | _ -> Alcotest.fail "unchained leaf accepted"
+
+let test_chain_three_levels () =
+  (* root -> region -> site -> leaf. *)
+  let root = fresh_authority () in
+  let region = fresh_authority () in
+  let site = fresh_authority () in
+  let region_cert =
+    Chain.sign_ca ~parent_key:(Authority.signing_key root) ~hash ~name:"region"
+      ~public:(Authority.public region) ~not_before:0.0 ~not_after:1000.0
+  in
+  let site_cert =
+    Chain.sign_ca ~parent_key:(Authority.signing_key region) ~hash ~name:"site"
+      ~public:(Authority.public site) ~not_before:0.0 ~not_after:1000.0
+  in
+  let leaf = Authority.enroll site ~now:5.0 ~subject:"h" ~group:"g" ~public_value:"pv" in
+  check Alcotest.bool "three-level chain" true
+    (Chain.verify_chain ~root:(Authority.public root) ~hash ~now:50.0
+       ~intermediates:[ region_cert; site_cert ] leaf
+    = Ok ());
+  (* Order matters: swapping intermediates must fail. *)
+  check Alcotest.bool "misordered chain rejected" false
+    (Chain.verify_chain ~root:(Authority.public root) ~hash ~now:50.0
+       ~intermediates:[ site_cert; region_cert ] leaf
+    = Ok ())
+
+let test_ca_cert_wire_roundtrip () =
+  let root, _, site_cert, _ = build_hierarchy () in
+  ignore root;
+  let c = Chain.decode (Chain.encode site_cert) in
+  check Alcotest.string "name" site_cert.Chain.name c.Chain.name;
+  check Alcotest.bool "modulus survives" true
+    (Fbsr_bignum.Nat.equal c.Chain.public.Fbsr_crypto.Rsa.n
+       site_cert.Chain.public.Fbsr_crypto.Rsa.n);
+  match Chain.decode "garbage" with
+  | _ -> Alcotest.fail "garbage decoded"
+  | exception Chain.Bad_certificate _ -> ()
+
+let () =
+  Alcotest.run "cert"
+    [
+      ( "certificate",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_certificate_roundtrip;
+          Alcotest.test_case "verify errors" `Quick test_certificate_verify_errors;
+          Alcotest.test_case "garbage" `Quick test_certificate_decode_garbage;
+        ] );
+      ("authority", [ Alcotest.test_case "directory" `Quick test_authority_directory ]);
+      ( "chain",
+        [
+          Alcotest.test_case "valid two-level" `Quick test_chain_valid;
+          Alcotest.test_case "broken link" `Quick test_chain_broken_link;
+          Alcotest.test_case "expired link" `Quick test_chain_expired_link;
+          Alcotest.test_case "wrong leaf" `Quick test_chain_wrong_leaf;
+          Alcotest.test_case "three levels + ordering" `Quick test_chain_three_levels;
+          Alcotest.test_case "CA cert wire roundtrip" `Quick test_ca_cert_wire_roundtrip;
+        ] );
+    ]

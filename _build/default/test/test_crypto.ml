@@ -1,0 +1,564 @@
+(* Tests for the crypto substrate: published known-answer tests (RFC 1321,
+   FIPS 180, FIPS 46 KATs, RFC 2202) plus structural properties
+   (streaming = one-shot, DES complementation, mode roundtrips, DH
+   commutativity, RSA sign/verify). *)
+
+open Fbsr_crypto
+
+let check = Alcotest.check
+let qtest t = QCheck_alcotest.to_alcotest t
+let hex = Fbsr_util.Hex.encode
+let unhex = Fbsr_util.Hex.decode
+let arbitrary_bytes = QCheck.string_gen (QCheck.Gen.char_range '\000' '\255')
+
+let key8 =
+  QCheck.make
+    ~print:(fun s -> hex s)
+    QCheck.Gen.(map (String.concat "") (list_repeat 8 (map (String.make 1) (char_range '\000' '\255'))))
+
+(* --- MD5 (RFC 1321 appendix A.5) --- *)
+
+let md5_vectors =
+  [
+    ("", "d41d8cd98f00b204e9800998ecf8427e");
+    ("a", "0cc175b9c0f1b6a831c399e269772661");
+    ("abc", "900150983cd24fb0d6963f7d28e17f72");
+    ("message digest", "f96b697d7cb7938d525a2f31aaf161d0");
+    ("abcdefghijklmnopqrstuvwxyz", "c3fcd3d76192e4007dfb496cca67e13b");
+    ( "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+      "d174ab98d277d9f5a5611c2c9f419d9f" );
+    ( "12345678901234567890123456789012345678901234567890123456789012345678901234567890",
+      "57edf4a22be3c955ac49da2e2107b67a" );
+  ]
+
+let test_md5_vectors () =
+  List.iter
+    (fun (input, expected) ->
+      check Alcotest.string input expected (Md5.hexdigest input))
+    md5_vectors
+
+let prop_md5_streaming =
+  QCheck.Test.make ~name:"md5 streaming = one-shot" ~count:200
+    QCheck.(pair arbitrary_bytes (int_bound 200))
+    (fun (s, cut) ->
+      let cut = if String.length s = 0 then 0 else cut mod (String.length s + 1) in
+      let ctx = Md5.init () in
+      Md5.update ctx (String.sub s 0 cut);
+      Md5.update ctx (String.sub s cut (String.length s - cut));
+      Md5.final ctx = Md5.digest s)
+
+let test_md5_digest_list () =
+  check Alcotest.string "digest_list = concat"
+    (hex (Md5.digest "onetwothree"))
+    (hex (Md5.digest_list [ "one"; "two"; "three" ]))
+
+let test_md5_block_boundaries () =
+  (* Lengths around the 64-byte block and 56-byte padding boundaries. *)
+  List.iter
+    (fun n ->
+      let s = String.make n 'x' in
+      let ctx = Md5.init () in
+      String.iter (fun c -> Md5.update ctx (String.make 1 c)) s;
+      check Alcotest.string (string_of_int n) (hex (Md5.digest s)) (hex (Md5.final ctx)))
+    [ 55; 56; 57; 63; 64; 65; 119; 120; 128 ]
+
+(* --- SHA-1 (FIPS 180 examples) --- *)
+
+let test_sha1_vectors () =
+  check Alcotest.string "empty" "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+    (Sha1.hexdigest "");
+  check Alcotest.string "abc" "a9993e364706816aba3e25717850c26c9cd0d89d"
+    (Sha1.hexdigest "abc");
+  check Alcotest.string "two-block" "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+    (Sha1.hexdigest "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")
+
+let test_sha1_million_a () =
+  check Alcotest.string "million a" "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+    (Sha1.hexdigest (String.make 1_000_000 'a'))
+
+let prop_sha1_streaming =
+  QCheck.Test.make ~name:"sha1 streaming = one-shot" ~count:200
+    QCheck.(pair arbitrary_bytes (int_bound 200))
+    (fun (s, cut) ->
+      let cut = if String.length s = 0 then 0 else cut mod (String.length s + 1) in
+      let ctx = Sha1.init () in
+      Sha1.update ctx (String.sub s 0 cut);
+      Sha1.update ctx (String.sub s cut (String.length s - cut));
+      Sha1.final ctx = Sha1.digest s)
+
+(* --- DES block cipher --- *)
+
+let test_des_kat () =
+  (* The classic worked example (key 133457799BBCDFF1). *)
+  let k = Des.of_string (unhex "133457799bbcdff1") in
+  check Alcotest.string "encrypt" "85e813540f0ab405"
+    (hex (Des.encrypt_block_bytes k (unhex "0123456789abcdef")));
+  check Alcotest.string "decrypt" "0123456789abcdef"
+    (hex (Des.decrypt_block_bytes k (unhex "85e813540f0ab405")));
+  (* All-zero key/plaintext KAT. *)
+  let k0 = Des.of_string (String.make 8 '\000') in
+  check Alcotest.string "zero KAT" "8ca64de9c1b123a7"
+    (hex (Des.encrypt_block_bytes k0 (String.make 8 '\000')))
+
+let prop_des_roundtrip =
+  QCheck.Test.make ~name:"DES block roundtrip" ~count:200 (QCheck.pair key8 key8)
+    (fun (key, block) ->
+      let k = Des.of_string key in
+      Des.decrypt_block_bytes k (Des.encrypt_block_bytes k block) = block)
+
+let prop_des_complementation =
+  (* DES(~K, ~P) = ~DES(K, P) — a structural property of the cipher that
+     any table transcription error would destroy. *)
+  QCheck.Test.make ~name:"DES complementation property" ~count:100
+    (QCheck.pair key8 key8) (fun (key, block) ->
+      let compl s = String.map (fun c -> Char.chr (lnot (Char.code c) land 0xff)) s in
+      let c1 = Des.encrypt_block_bytes (Des.of_string key) block in
+      let c2 = Des.encrypt_block_bytes (Des.of_string (compl key)) (compl block) in
+      c2 = compl c1)
+
+let test_des_weak_keys () =
+  check Alcotest.bool "weak" true (Des.is_weak_key (unhex "0101010101010101"));
+  check Alcotest.bool "weak with parity variation" true
+    (Des.is_weak_key (unhex "0000000000000000"));
+  check Alcotest.bool "not weak" false (Des.is_weak_key (unhex "133457799bbcdff1"));
+  Alcotest.check_raises "of_string check_weak" Des.Weak_key (fun () ->
+      ignore (Des.of_string ~check_weak:true (unhex "fefefefefefefefe")))
+
+let test_des_parity () =
+  let adjusted = Des.adjust_parity (unhex "0000000000000000") in
+  check Alcotest.string "odd parity forced" "0101010101010101" (hex adjusted);
+  (* Idempotent. *)
+  check Alcotest.string "idempotent" (hex adjusted) (hex (Des.adjust_parity adjusted))
+
+let test_des_bad_key_length () =
+  Alcotest.check_raises "short key" (Invalid_argument "Des: key must be 8 bytes")
+    (fun () -> ignore (Des.of_string "short"))
+
+(* --- DES modes --- *)
+
+let mode_roundtrip name encrypt decrypt =
+  QCheck.Test.make ~name ~count:150 (QCheck.triple key8 key8 arbitrary_bytes)
+    (fun (key, iv, msg) ->
+      let k = Des.of_string key in
+      decrypt ~iv k (encrypt ~iv k msg) = msg)
+
+let prop_cbc_roundtrip = mode_roundtrip "CBC roundtrip" Des.encrypt_cbc Des.decrypt_cbc
+let prop_cfb_roundtrip = mode_roundtrip "CFB roundtrip" Des.encrypt_cfb Des.decrypt_cfb
+let prop_ofb_roundtrip = mode_roundtrip "OFB roundtrip" Des.encrypt_ofb Des.decrypt_ofb
+
+let prop_ecb_roundtrip =
+  QCheck.Test.make ~name:"ECB+confounder roundtrip" ~count:150
+    (QCheck.triple key8 key8 arbitrary_bytes) (fun (key, conf, msg) ->
+      let k = Des.of_string key in
+      Des.decrypt_ecb ~confounder:conf k (Des.encrypt_ecb ~confounder:conf k msg) = msg)
+
+let test_cbc_fips81_sample () =
+  (* The FIPS PUB 81 CBC worked example: key 0123456789abcdef, IV
+     1234567890abcdef, plaintext "Now is the time for all ".  Our fourth
+     block is the PKCS#7 padding block (the sample's plaintext is an exact
+     multiple of the block size). *)
+  let k = Des.of_string (unhex "0123456789abcdef") in
+  let iv = unhex "1234567890abcdef" in
+  let ct = Des.encrypt_cbc ~iv k "Now is the time for all " in
+  check Alcotest.string "first three blocks match FIPS 81"
+    "e5c7cdde872bf27c43e934008c389c0f683788499a7c05f6"
+    (hex (String.sub ct 0 24))
+
+let test_stream_modes_length () =
+  let k = Des.of_string "abcdefgh" in
+  List.iter
+    (fun n ->
+      let msg = String.make n 'm' in
+      check Alcotest.int "cfb length" n (String.length (Des.encrypt_cfb ~iv:"12345678" k msg));
+      check Alcotest.int "ofb length" n (String.length (Des.encrypt_ofb ~iv:"12345678" k msg)))
+    [ 0; 1; 7; 8; 9; 100 ]
+
+let test_cbc_iv_matters () =
+  let k = Des.of_string "abcdefgh" in
+  let msg = "same plaintext every time" in
+  let c1 = Des.encrypt_cbc ~iv:"11111111" k msg in
+  let c2 = Des.encrypt_cbc ~iv:"22222222" k msg in
+  check Alcotest.bool "different IV, different ciphertext" true (c1 <> c2)
+
+let test_ecb_confounder_hides_identical_blocks () =
+  (* Raw ECB leaks identical plaintext blocks; the paper's confounder
+     whitening does not help within one datagram (same confounder for
+     every block) but differs across datagrams. *)
+  let k = Des.of_string "abcdefgh" in
+  let two_identical = String.make 16 'z' in
+  let c_a = Des.encrypt_ecb ~confounder:"AAAAAAAA" k two_identical in
+  let c_b = Des.encrypt_ecb ~confounder:"BBBBBBBB" k two_identical in
+  check Alcotest.bool "different confounder, different ciphertext" true (c_a <> c_b);
+  (* Within one datagram, identical blocks still encrypt identically in
+     ECB (that is ECB's nature). *)
+  check Alcotest.string "block 0 = block 1 within a datagram"
+    (hex (String.sub c_a 0 8))
+    (hex (String.sub c_a 8 8))
+
+let test_unpad_corrupt () =
+  List.iter
+    (fun s ->
+      Alcotest.check_raises ("unpad " ^ hex s)
+        (Invalid_argument "Des.unpad: corrupt padding") (fun () ->
+          ignore (Des.unpad s)))
+    [ String.make 8 '\x00'; String.make 8 '\x09'; "1234567" ^ "\x02" ]
+
+let prop_cbc_tamper_detected_by_length =
+  QCheck.Test.make ~name:"CBC decrypt of truncated input fails" ~count:100
+    (QCheck.pair key8 arbitrary_bytes) (fun (key, msg) ->
+      QCheck.assume (String.length msg > 0);
+      let k = Des.of_string key in
+      let ct = Des.encrypt_cbc ~iv:"12345678" k msg in
+      let truncated = String.sub ct 0 (String.length ct - 1) in
+      match Des.decrypt_cbc ~iv:"12345678" k truncated with
+      | _ -> String.length truncated mod 8 = 0 (* only whole blocks can even parse *)
+      | exception Invalid_argument _ -> true)
+
+(* --- Triple DES --- *)
+
+let prop_des3_roundtrip =
+  QCheck.Test.make ~name:"3DES CBC roundtrip" ~count:100
+    (QCheck.triple key8 key8 arbitrary_bytes) (fun (k, iv, msg) ->
+      (* Build a 24-byte key from three rotations of the 8-byte sample. *)
+      let rot s n = String.sub s n (8 - n) ^ String.sub s 0 n in
+      let key = Des3.of_string (k ^ rot k 3 ^ rot k 5) in
+      Des3.decrypt_cbc ~iv key (Des3.encrypt_cbc ~iv key msg) = msg)
+
+let test_des3_degenerates_to_des () =
+  (* EDE with k1=k2=k3 is single DES: E(k,D(k,E(k,b))) = E(k,b). *)
+  let k8 = unhex "133457799bbcdff1" in
+  let des = Des.of_string k8 in
+  let des3 = Des3.degenerate_of_des_key k8 in
+  let block = 0x0123456789abcdefL in
+  check Alcotest.bool "degenerate 3DES = DES" true
+    (Des3.encrypt_block des3 block = Des.encrypt_block des block)
+
+let test_des3_key_length () =
+  Alcotest.check_raises "bad key" (Invalid_argument "Des3: key must be 24 bytes")
+    (fun () -> ignore (Des3.of_string "short"))
+
+(* --- Fused single-pass MAC+encrypt (Section 5.3 optimization) --- *)
+
+let prop_fused_equals_two_pass =
+  QCheck.Test.make ~name:"fused = mac-then-encrypt" ~count:150
+    (QCheck.triple key8 key8 arbitrary_bytes) (fun (key, iv, payload) ->
+      let des_key = Des.of_string key in
+      let prefix_parts = [ "conf"; "tstamp" ] in
+      Fused.mac_and_encrypt ~mac_key:"the mac key!" ~des_key ~iv ~prefix_parts payload
+      = Fused.mac_then_encrypt ~mac_key:"the mac key!" ~des_key ~iv ~prefix_parts
+          payload)
+
+let prop_incremental_cbc =
+  QCheck.Test.make ~name:"incremental CBC = one-shot CBC" ~count:150
+    QCheck.(triple key8 key8 (pair arbitrary_bytes (int_bound 50)))
+    (fun (key, iv, (payload, cut)) ->
+      let des_key = Des.of_string key in
+      let cut = if String.length payload = 0 then 0 else cut mod (String.length payload + 1) in
+      let ctx = Des.cbc_init ~iv des_key in
+      let c1 = Des.cbc_update ctx (String.sub payload 0 cut) in
+      let c2 = Des.cbc_update ctx (String.sub payload cut (String.length payload - cut)) in
+      let c3 = Des.cbc_finish ctx in
+      c1 ^ c2 ^ c3 = Des.encrypt_cbc ~iv des_key payload)
+
+(* --- MACs (RFC 2202) --- *)
+
+let test_hmac_md5_rfc2202 () =
+  let cases =
+    [
+      (String.make 16 '\x0b', "Hi There", "9294727a3638bb1c13f48ef8158bfc9d");
+      ("Jefe", "what do ya want for nothing?", "750c783e6ab0b503eaa86e310a5db738");
+      ( String.make 16 '\xaa',
+        String.make 50 '\xdd',
+        "56be34521d144c88dbb8c733f0e8b3f6" );
+      ( unhex "0102030405060708090a0b0c0d0e0f10111213141516171819",
+        String.make 50 '\xcd',
+        "697eaf0aca3a3aea3a75164746ffaa79" );
+      (String.make 80 '\xaa', "Test Using Larger Than Block-Size Key - Hash Key First",
+       "6b1ab7fe4bd7bf8f0b62e6ce61b9d0cd");
+    ]
+  in
+  List.iter
+    (fun (key, data, expected) ->
+      check Alcotest.string data expected (hex (Mac.hmac Hash.md5 ~key [ data ])))
+    cases
+
+let test_hmac_sha1_rfc2202 () =
+  let cases =
+    [
+      (String.make 20 '\x0b', "Hi There", "b617318655057264e28bc0b6fb378c8ef146be00");
+      ("Jefe", "what do ya want for nothing?", "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+      ( String.make 20 '\xaa',
+        String.make 50 '\xdd',
+        "125d7342b9ac11cd91a39af48aa17b4f63f175d3" );
+    ]
+  in
+  List.iter
+    (fun (key, data, expected) ->
+      check Alcotest.string data expected (hex (Mac.hmac Hash.sha1 ~key [ data ])))
+    cases
+
+let test_des_cbc_mac () =
+  (* 8-byte tag, deterministic, key- and message-sensitive, and equal to
+     the last CBC block by construction. *)
+  let key = String.make 16 'k' in
+  let m1 = Mac.des_cbc ~key [ "hello "; "world" ] in
+  check Alcotest.int "tag size" 8 (String.length m1);
+  check Alcotest.string "deterministic" m1 (Mac.des_cbc ~key [ "hello world" ]);
+  check Alcotest.bool "message sensitive" true (m1 <> Mac.des_cbc ~key [ "hello worlt" ]);
+  (* Note: 'k' and 'j' differ only in the DES parity bit, which the cipher
+     discards — use a key that differs in effective bits. *)
+  check Alcotest.bool "key sensitive" true
+    (m1 <> Mac.des_cbc ~key:(String.make 16 'm') [ "hello world" ]);
+  let des_key = Des.of_string (Des.adjust_parity (String.sub key 0 8)) in
+  let ct = Des.encrypt_cbc ~iv:(String.make 8 '\000') des_key "hello world" in
+  check Alcotest.string "last CBC block" (String.sub ct (String.length ct - 8) 8) m1;
+  (* Dispatch through the suite mechanism. *)
+  check Alcotest.string "compute dispatch" m1
+    (Mac.compute ~algorithm:Mac.Des_cbc_mac Hash.md5 ~key [ "hello world" ])
+
+let test_prefix_mac_definition () =
+  (* The paper's MAC is literally H(key | message). *)
+  check Alcotest.string "prefix = digest of concat"
+    (hex (Md5.digest ("secretkey" ^ "payload")))
+    (hex (Mac.prefix Hash.md5 ~key:"secretkey" [ "payload" ]))
+
+let prop_mac_verify =
+  QCheck.Test.make ~name:"mac verify accepts genuine, rejects tampered" ~count:200
+    QCheck.(triple arbitrary_bytes arbitrary_bytes (int_bound 1000))
+    (fun (key, msg, pos) ->
+      let mac = Mac.compute Hash.md5 ~key [ msg ] in
+      Mac.verify Hash.md5 ~key [ msg ] ~expected:mac
+      &&
+      if String.length msg = 0 then true
+      else begin
+        let pos = pos mod String.length msg in
+        let tampered = Bytes.of_string msg in
+        Bytes.set tampered pos (Char.chr (Char.code msg.[pos] lxor 1));
+        not (Mac.verify Hash.md5 ~key [ Bytes.to_string tampered ] ~expected:mac)
+      end)
+
+let test_mac_truncate () =
+  let mac = Mac.compute Hash.md5 ~key:"k" [ "m" ] in
+  check Alcotest.int "truncate" 8 (String.length (Mac.truncate mac 8));
+  Alcotest.check_raises "too long" (Invalid_argument "Mac.truncate: too long")
+    (fun () -> ignore (Mac.truncate mac 99))
+
+(* --- Constant-time compare --- *)
+
+let prop_ct_equal =
+  QCheck.Test.make ~name:"ct equal agrees with (=)" ~count:300
+    QCheck.(pair arbitrary_bytes arbitrary_bytes)
+    (fun (a, b) -> Ct.equal a b = (a = b))
+
+(* --- Hash registry --- *)
+
+let test_hash_registry () =
+  check Alcotest.string "md5 name" "md5" (Hash.name Hash.md5);
+  check Alcotest.int "md5 size" 16 (Hash.digest_size Hash.md5);
+  check Alcotest.int "sha1 size" 20 (Hash.digest_size Hash.sha1);
+  check Alcotest.string "of_name" "sha1" (Hash.name (Hash.of_name "sha1"));
+  Alcotest.check_raises "unknown" (Invalid_argument "Hash.of_name: unknown hash nope")
+    (fun () -> ignore (Hash.of_name "nope"))
+
+(* --- BBS --- *)
+
+let test_bbs_deterministic () =
+  let rng = Fbsr_util.Rng.create 4 in
+  let bbs1 = Bbs.create ~modulus_bits:128 rng ~seed:"same seed" in
+  let rng2 = Fbsr_util.Rng.create 4 in
+  let bbs2 = Bbs.create ~modulus_bits:128 rng2 ~seed:"same seed" in
+  check Alcotest.string "same modulus+seed => same stream" (Bbs.bytes bbs1 16)
+    (Bbs.bytes bbs2 16)
+
+let test_bbs_seed_sensitivity () =
+  let rng = Fbsr_util.Rng.create 4 in
+  let bbs1 = Bbs.create ~modulus_bits:128 rng ~seed:"seed-one" in
+  let rng2 = Fbsr_util.Rng.create 4 in
+  let bbs2 = Bbs.create ~modulus_bits:128 rng2 ~seed:"seed-two" in
+  check Alcotest.bool "different seeds differ" true (Bbs.bytes bbs1 16 <> Bbs.bytes bbs2 16)
+
+let test_bbs_bits () =
+  let rng = Fbsr_util.Rng.create 5 in
+  let bbs = Bbs.create ~modulus_bits:128 rng ~seed:"bits" in
+  let ones = ref 0 in
+  for _ = 1 to 512 do
+    let b = Bbs.next_bit bbs in
+    check Alcotest.bool "bit" true (b = 0 || b = 1);
+    ones := !ones + b
+  done;
+  (* Crude balance check: a CSPRNG should not be wildly biased. *)
+  check Alcotest.bool "roughly balanced" true (!ones > 150 && !ones < 360)
+
+(* --- Diffie-Hellman --- *)
+
+let test_dh_commutativity () =
+  let g = Lazy.force Dh.test_group in
+  let rng = Fbsr_util.Rng.create 6 in
+  for _ = 1 to 20 do
+    let a = Dh.gen_private g rng and b = Dh.gen_private g rng in
+    check Alcotest.string "shared secret agrees"
+      (hex (Dh.shared_bytes g a (Dh.public g b)))
+      (hex (Dh.shared_bytes g b (Dh.public g a)))
+  done
+
+let test_dh_oakley2 () =
+  let g = Lazy.force Dh.oakley2 in
+  let rng = Fbsr_util.Rng.create 7 in
+  check Alcotest.int "1024 bits" 1024 (Fbsr_bignum.Nat.bit_length g.Dh.p);
+  check Alcotest.bool "prime" true
+    (Fbsr_bignum.Nat.is_probably_prime ~rounds:4 rng g.Dh.p);
+  let a = Dh.gen_private g rng and b = Dh.gen_private g rng in
+  check Alcotest.string "shared agrees on oakley2"
+    (hex (Dh.shared_bytes g a (Dh.public g b)))
+    (hex (Dh.shared_bytes g b (Dh.public g a)))
+
+let test_dh_rejects_bad_public () =
+  let g = Lazy.force Dh.test_group in
+  let rng = Fbsr_util.Rng.create 8 in
+  let a = Dh.gen_private g rng in
+  List.iter
+    (fun bad ->
+      match Dh.shared g a bad with
+      | _ -> Alcotest.fail "accepted out-of-range public value"
+      | exception Invalid_argument _ -> ())
+    [ Fbsr_bignum.Nat.zero; Fbsr_bignum.Nat.one; g.Dh.p ]
+
+let test_dh_generated_group () =
+  let rng = Fbsr_util.Rng.create 9 in
+  let g = Dh.generate_group ~bits:64 rng in
+  check Alcotest.int "group size" 64 (Fbsr_bignum.Nat.bit_length g.Dh.p);
+  check Alcotest.bool "p prime" true (Fbsr_bignum.Nat.is_probably_prime rng g.Dh.p);
+  (* Safe prime: (p-1)/2 is prime too. *)
+  let q = Fbsr_bignum.Nat.shift_right (Fbsr_bignum.Nat.sub g.Dh.p Fbsr_bignum.Nat.one) 1 in
+  check Alcotest.bool "q prime" true (Fbsr_bignum.Nat.is_probably_prime rng q);
+  let a = Dh.gen_private g rng and b = Dh.gen_private g rng in
+  check Alcotest.string "shared agrees"
+    (hex (Dh.shared_bytes g a (Dh.public g b)))
+    (hex (Dh.shared_bytes g b (Dh.public g a)))
+
+let test_dh_public_bytes_roundtrip () =
+  let g = Lazy.force Dh.test_group in
+  let rng = Fbsr_util.Rng.create 10 in
+  let a = Dh.gen_private g rng in
+  let pub = Dh.public g a in
+  check Alcotest.bool "roundtrip" true
+    (Fbsr_bignum.Nat.equal pub (Dh.public_of_bytes (Dh.public_to_bytes g pub)))
+
+(* --- RSA --- *)
+
+let test_rsa_sign_verify () =
+  let rng = Fbsr_util.Rng.create 11 in
+  let key = Rsa.generate rng ~bits:512 in
+  let pub = Rsa.public_key key in
+  let s = Rsa.sign key ~hash:Hash.md5 "a signed message" in
+  check Alcotest.bool "verifies" true
+    (Rsa.verify pub ~hash:Hash.md5 "a signed message" ~signature:s);
+  check Alcotest.bool "wrong message" false
+    (Rsa.verify pub ~hash:Hash.md5 "another message" ~signature:s);
+  check Alcotest.bool "wrong hash" false
+    (Rsa.verify pub ~hash:Hash.sha1 "a signed message" ~signature:s);
+  let tampered = Bytes.of_string s in
+  Bytes.set tampered 10 (Char.chr (Char.code s.[10] lxor 1));
+  check Alcotest.bool "tampered signature" false
+    (Rsa.verify pub ~hash:Hash.md5 "a signed message" ~signature:(Bytes.to_string tampered));
+  check Alcotest.bool "truncated signature" false
+    (Rsa.verify pub ~hash:Hash.md5 "a signed message"
+       ~signature:(String.sub s 0 (String.length s - 1)))
+
+let test_rsa_wrong_key () =
+  let rng = Fbsr_util.Rng.create 12 in
+  let k1 = Rsa.generate rng ~bits:512 in
+  let k2 = Rsa.generate rng ~bits:512 in
+  let s = Rsa.sign k1 ~hash:Hash.md5 "msg" in
+  check Alcotest.bool "other key rejects" false
+    (Rsa.verify (Rsa.public_key k2) ~hash:Hash.md5 "msg" ~signature:s)
+
+let prop_rsa_crt_consistent =
+  (* public_op (private_op m) = m for m < n: validates the CRT path. *)
+  QCheck.Test.make ~name:"RSA CRT private op inverts public op" ~count:20
+    QCheck.(int_range 2 1_000_000)
+    (fun m ->
+      let rng = Fbsr_util.Rng.create 13 in
+      let key = Rsa.generate rng ~bits:256 in
+      let m = Fbsr_bignum.Nat.of_int m in
+      Fbsr_bignum.Nat.equal m (Rsa.public_op (Rsa.public_key key) (Rsa.private_op key m)))
+
+let () =
+  Alcotest.run "crypto"
+    [
+      ( "md5",
+        [
+          Alcotest.test_case "RFC 1321 vectors" `Quick test_md5_vectors;
+          Alcotest.test_case "digest_list" `Quick test_md5_digest_list;
+          Alcotest.test_case "block boundaries" `Quick test_md5_block_boundaries;
+          qtest prop_md5_streaming;
+        ] );
+      ( "sha1",
+        [
+          Alcotest.test_case "FIPS vectors" `Quick test_sha1_vectors;
+          Alcotest.test_case "million a" `Slow test_sha1_million_a;
+          qtest prop_sha1_streaming;
+        ] );
+      ( "des",
+        [
+          Alcotest.test_case "known answers" `Quick test_des_kat;
+          Alcotest.test_case "weak keys" `Quick test_des_weak_keys;
+          Alcotest.test_case "parity" `Quick test_des_parity;
+          Alcotest.test_case "bad key length" `Quick test_des_bad_key_length;
+          qtest prop_des_roundtrip;
+          qtest prop_des_complementation;
+        ] );
+      ( "fused",
+        [ qtest prop_fused_equals_two_pass; qtest prop_incremental_cbc ] );
+      ( "des3",
+        [
+          Alcotest.test_case "degenerates to DES" `Quick test_des3_degenerates_to_des;
+          Alcotest.test_case "key length" `Quick test_des3_key_length;
+          qtest prop_des3_roundtrip;
+        ] );
+      ( "des-modes",
+        [
+          Alcotest.test_case "FIPS 81 CBC sample" `Quick test_cbc_fips81_sample;
+          Alcotest.test_case "stream modes keep length" `Quick test_stream_modes_length;
+          Alcotest.test_case "CBC IV matters" `Quick test_cbc_iv_matters;
+          Alcotest.test_case "ECB confounder across datagrams" `Quick
+            test_ecb_confounder_hides_identical_blocks;
+          Alcotest.test_case "unpad rejects corrupt padding" `Quick test_unpad_corrupt;
+          qtest prop_cbc_roundtrip;
+          qtest prop_cfb_roundtrip;
+          qtest prop_ofb_roundtrip;
+          qtest prop_ecb_roundtrip;
+          qtest prop_cbc_tamper_detected_by_length;
+        ] );
+      ( "mac",
+        [
+          Alcotest.test_case "HMAC-MD5 RFC 2202" `Quick test_hmac_md5_rfc2202;
+          Alcotest.test_case "HMAC-SHA1 RFC 2202" `Quick test_hmac_sha1_rfc2202;
+          Alcotest.test_case "prefix MAC definition" `Quick test_prefix_mac_definition;
+          Alcotest.test_case "DES-CBC-MAC (footnote 12)" `Quick test_des_cbc_mac;
+          Alcotest.test_case "truncate" `Quick test_mac_truncate;
+          qtest prop_mac_verify;
+        ] );
+      ("ct", [ qtest prop_ct_equal ]);
+      ("hash-registry", [ Alcotest.test_case "registry" `Quick test_hash_registry ]);
+      ( "bbs",
+        [
+          Alcotest.test_case "deterministic" `Quick test_bbs_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_bbs_seed_sensitivity;
+          Alcotest.test_case "bit balance" `Quick test_bbs_bits;
+        ] );
+      ( "dh",
+        [
+          Alcotest.test_case "commutativity (test group)" `Quick test_dh_commutativity;
+          Alcotest.test_case "oakley group 2" `Quick test_dh_oakley2;
+          Alcotest.test_case "rejects bad public values" `Quick test_dh_rejects_bad_public;
+          Alcotest.test_case "generated safe-prime group" `Quick test_dh_generated_group;
+          Alcotest.test_case "public bytes roundtrip" `Quick test_dh_public_bytes_roundtrip;
+        ] );
+      ( "rsa",
+        [
+          Alcotest.test_case "sign/verify" `Quick test_rsa_sign_verify;
+          Alcotest.test_case "wrong key" `Quick test_rsa_wrong_key;
+          qtest prop_rsa_crt_consistent;
+        ] );
+    ]

@@ -1,0 +1,1253 @@
+(* Tests for the core FBS protocol: sfl allocation, the security flow
+   header, replay windows, the soft-state caches, zero-message keying, the
+   FAM policies, and the full send/receive engine of Figures 4 and 6. *)
+
+open Fbsr_fbs
+
+let check = Alcotest.check
+let qtest t = QCheck_alcotest.to_alcotest t
+let arbitrary_bytes = QCheck.string_gen (QCheck.Gen.char_range '\000' '\255')
+
+(* --- Sfl --- *)
+
+let test_sfl_unique () =
+  let alloc = Sfl.allocator ~rng:(Fbsr_util.Rng.create 1) in
+  let seen = Hashtbl.create 64 in
+  for _ = 1 to 10_000 do
+    let s = Sfl.fresh alloc in
+    if Hashtbl.mem seen s then Alcotest.fail "duplicate sfl";
+    Hashtbl.replace seen s ()
+  done;
+  check Alcotest.int "allocated count" 10_000 (Sfl.allocated alloc)
+
+let test_sfl_randomized_start () =
+  let a = Sfl.allocator ~rng:(Fbsr_util.Rng.create 1) in
+  let b = Sfl.allocator ~rng:(Fbsr_util.Rng.create 2) in
+  check Alcotest.bool "different seeds, different starts" false
+    (Sfl.equal (Sfl.fresh a) (Sfl.fresh b))
+
+(* --- Suite --- *)
+
+let test_suite_registry () =
+  List.iter
+    (fun s ->
+      match Suite.of_id s.Suite.id with
+      | Some s' -> check Alcotest.int "id roundtrip" s.Suite.id s'.Suite.id
+      | None -> Alcotest.fail "suite not found by id")
+    Suite.all;
+  check Alcotest.bool "unknown id" true (Suite.of_id 99 = None);
+  check Alcotest.bool "nop flag" true (Suite.is_nop Suite.nop);
+  check Alcotest.bool "paper suite not nop" false (Suite.is_nop Suite.paper_md5_des)
+
+(* --- Header --- *)
+
+let gen_header =
+  QCheck.Gen.(
+    map
+      (fun (sfl, (secret, confounder, timestamp)) ->
+        {
+          Header.sfl = Sfl.of_int64 (Int64.of_int sfl);
+          suite = Suite.paper_md5_des;
+          secret;
+          confounder = confounder land 0xffffffff;
+          timestamp = timestamp land 0xffffffff;
+          mac = String.make 16 (Char.chr (sfl land 0xff));
+        })
+      (pair nat (triple bool nat nat)))
+
+let arb_header = QCheck.make ~print:(fun h -> Fmt.str "%a" Header.pp h) gen_header
+
+let header_equal (a : Header.t) (b : Header.t) =
+  Sfl.equal a.Header.sfl b.Header.sfl
+  && a.Header.suite.Suite.id = b.Header.suite.Suite.id
+  && a.Header.secret = b.Header.secret
+  && a.Header.confounder = b.Header.confounder
+  && a.Header.timestamp = b.Header.timestamp
+  && String.equal a.Header.mac b.Header.mac
+
+let prop_header_roundtrip =
+  QCheck.Test.make ~name:"header encode/decode roundtrip" ~count:300
+    (QCheck.pair arb_header arbitrary_bytes) (fun (h, body) ->
+      match Header.decode (Header.encode h ^ body) with
+      | Ok (h', body') -> header_equal h' h && body' = body
+      | Error _ -> false)
+
+let prop_header_truncation =
+  QCheck.Test.make ~name:"truncated headers rejected" ~count:100
+    (QCheck.pair arb_header (QCheck.int_bound 100)) (fun (h, cut) ->
+      let wire = Header.encode h in
+      let cut = cut mod String.length wire in
+      match Header.decode (String.sub wire 0 cut) with
+      | Error Header.Truncated -> true
+      | Error (Header.Unknown_suite _ | Header.Bad_flags _) -> false
+      | Ok _ -> false)
+
+let test_header_unknown_suite () =
+  let h =
+    {
+      Header.sfl = Sfl.of_int64 5L;
+      suite = Suite.paper_md5_des;
+      secret = false;
+      confounder = 1;
+      timestamp = 2;
+      mac = String.make 16 'm';
+    }
+  in
+  let wire = Bytes.of_string (Header.encode h ^ "body") in
+  Bytes.set wire 8 '\x63' (* suite byte := 99 *);
+  match Header.decode (Bytes.to_string wire) with
+  | Error (Header.Unknown_suite 99) -> ()
+  | _ -> Alcotest.fail "expected Unknown_suite"
+
+let test_header_confounder_iv () =
+  let h =
+    {
+      Header.sfl = Sfl.of_int64 5L;
+      suite = Suite.paper_md5_des;
+      secret = true;
+      confounder = 0x01020304;
+      timestamp = 0;
+      mac = String.make 16 'm';
+    }
+  in
+  check Alcotest.string "duplicated confounder" "\x01\x02\x03\x04\x01\x02\x03\x04"
+    (Header.confounder_iv h);
+  check Alcotest.int "size" (Header.fixed_size + 16) (Header.size h)
+
+(* --- Replay --- *)
+
+let test_replay_window () =
+  let r = Replay.create ~window_minutes:2 () in
+  let sfl = Sfl.of_int64 1L in
+  let at now ts = Replay.check r ~now ~sfl ~confounder:1 ~timestamp:ts in
+  let now = 600.0 in
+  (* now = minute 10 *)
+  check Alcotest.bool "current accepted" true (at now 10 = Replay.Fresh);
+  check Alcotest.bool "edge -2 accepted" true (at now 8 = Replay.Fresh);
+  check Alcotest.bool "edge +2 accepted" true (at now 12 = Replay.Fresh);
+  check Alcotest.bool "-3 stale" true (at now 7 = Replay.Stale);
+  check Alcotest.bool "+3 stale" true (at now 13 = Replay.Stale);
+  let s = Replay.stats r in
+  check Alcotest.int "accepted" 3 s.Replay.accepted;
+  check Alcotest.int "stale" 2 s.Replay.rejected_stale
+
+let test_replay_strict_duplicates () =
+  let r = Replay.create ~window_minutes:2 ~strict:true () in
+  let sfl = Sfl.of_int64 9L in
+  let go conf = Replay.check r ~now:600.0 ~sfl ~confounder:conf ~timestamp:10 in
+  check Alcotest.bool "first" true (go 7 = Replay.Fresh);
+  check Alcotest.bool "exact duplicate" true (go 7 = Replay.Duplicate);
+  check Alcotest.bool "different confounder ok" true (go 8 = Replay.Fresh);
+  (* A different flow with the same confounder is not a duplicate. *)
+  check Alcotest.bool "different sfl ok" true
+    (Replay.check r ~now:600.0 ~sfl:(Sfl.of_int64 10L) ~confounder:7 ~timestamp:10
+     = Replay.Fresh)
+
+let test_replay_strict_gc () =
+  let r = Replay.create ~window_minutes:1 ~strict:true () in
+  let sfl = Sfl.of_int64 2L in
+  ignore (Replay.check r ~now:60.0 ~sfl ~confounder:1 ~timestamp:1);
+  (* Long after the window the entry is gone, and the timestamp is stale
+     anyway: strict mode state cannot grow without bound. *)
+  check Alcotest.bool "stale later" true
+    (Replay.check r ~now:6000.0 ~sfl ~confounder:1 ~timestamp:1 = Replay.Stale)
+
+let test_minutes_encoding () =
+  check Alcotest.int "0s" 0 (Replay.minutes_of_seconds 0.0);
+  check Alcotest.int "59s" 0 (Replay.minutes_of_seconds 59.0);
+  check Alcotest.int "60s" 1 (Replay.minutes_of_seconds 60.0);
+  check Alcotest.int "1h" 60 (Replay.minutes_of_seconds 3600.0)
+
+(* --- Cache --- *)
+
+let int_cache ?(assoc = 1) ~sets () : (int, string) Cache.t =
+  Cache.create ~assoc ~sets ~hash:(fun k -> Fbsr_util.Crc32.update_int32 0 k)
+    ~equal:Int.equal ()
+
+let test_cache_basic () =
+  let c = int_cache ~sets:8 () in
+  check Alcotest.bool "miss on empty" true (Cache.find c 1 = None);
+  Cache.insert c 1 "one";
+  check Alcotest.(option string) "hit" (Some "one") (Cache.find c 1);
+  Cache.insert c 1 "uno";
+  check Alcotest.(option string) "update in place" (Some "uno") (Cache.find c 1);
+  Cache.invalidate c 1;
+  check Alcotest.bool "gone" true (Cache.find c 1 = None);
+  let s = Cache.stats c in
+  check Alcotest.int "hits" 2 s.Cache.hits
+
+let test_cache_peek_silent () =
+  let c = int_cache ~sets:8 () in
+  Cache.insert c 1 "one";
+  let before = (Cache.stats c).Cache.hits in
+  ignore (Cache.peek c 1);
+  ignore (Cache.peek c 2);
+  check Alcotest.int "peek does not count" before (Cache.stats c).Cache.hits
+
+let test_cache_direct_mapped_conflict () =
+  (* With one set, any two keys conflict. *)
+  let c = int_cache ~sets:1 () in
+  Cache.insert c 1 "one";
+  Cache.insert c 2 "two";
+  check Alcotest.bool "evicted" true (Cache.peek c 1 = None);
+  check Alcotest.(option string) "resident" (Some "two") (Cache.peek c 2);
+  check Alcotest.int "eviction counted" 1 (Cache.stats c).Cache.evictions
+
+let test_cache_assoc_lru () =
+  let c = int_cache ~assoc:2 ~sets:1 () in
+  Cache.insert c 1 "one";
+  Cache.insert c 2 "two";
+  (* Touch 1 so that 2 is the LRU victim. *)
+  ignore (Cache.find c 1);
+  Cache.insert c 3 "three";
+  check Alcotest.bool "lru (2) evicted" true (Cache.peek c 2 = None);
+  check Alcotest.(option string) "mru (1) kept" (Some "one") (Cache.peek c 1);
+  check Alcotest.(option string) "new resident" (Some "three") (Cache.peek c 3)
+
+let test_cache_miss_classification () =
+  let c = int_cache ~sets:1 () in
+  (* Cold miss. *)
+  ignore (Cache.find c 1);
+  Cache.insert c 1 "one";
+  (* Cold miss for 2, evicts 1. *)
+  ignore (Cache.find c 2);
+  Cache.insert c 2 "two";
+  (* Miss for 1 again: it IS in the shadow fully-associative cache of
+     capacity 1? No — shadow capacity is 1 and 2 displaced it: capacity
+     miss.  With a bigger cache this becomes a conflict miss. *)
+  ignore (Cache.find c 1);
+  let s = Cache.stats c in
+  check Alcotest.int "cold misses" 2 s.Cache.misses_cold;
+  check Alcotest.int "capacity misses" 1 s.Cache.misses_capacity;
+  (* Now a 2-entry direct-mapped cache where both keys stay in shadow:
+     re-missing a seen key that fits capacity counts as conflict. *)
+  let c2 : (int, string) Cache.t =
+    Cache.create ~sets:2 ~hash:(fun _ -> 0) (* adversarial hash: everything集 maps to set 0 *)
+      ~equal:Int.equal ()
+  in
+  ignore (Cache.find c2 1);
+  Cache.insert c2 1 "one";
+  ignore (Cache.find c2 2);
+  Cache.insert c2 2 "two";
+  ignore (Cache.find c2 1);
+  let s2 = Cache.stats c2 in
+  check Alcotest.int "conflict miss" 1 s2.Cache.misses_conflict
+
+let test_cache_replacement_policies () =
+  (* FIFO evicts by insertion order even if the oldest entry was just
+     touched; LRU keeps the touched one. *)
+  let mk replacement : (int, string) Cache.t =
+    Cache.create ~assoc:2 ~sets:1 ~replacement
+      ~hash:(fun k -> Fbsr_util.Crc32.update_int32 0 k)
+      ~equal:Int.equal ()
+  in
+  let lru = mk Cache.Lru and fifo = mk Cache.Fifo in
+  List.iter
+    (fun c ->
+      Cache.insert c 1 "one";
+      Cache.insert c 2 "two";
+      ignore (Cache.find c 1);
+      (* touch 1 *)
+      Cache.insert c 3 "three")
+    [ lru; fifo ];
+  check Alcotest.bool "LRU keeps the touched entry" true (Cache.peek lru 1 <> None);
+  check Alcotest.bool "LRU evicted the stale one" true (Cache.peek lru 2 = None);
+  check Alcotest.bool "FIFO evicted the oldest insertion" true (Cache.peek fifo 1 = None);
+  check Alcotest.bool "FIFO kept the newer one" true (Cache.peek fifo 2 <> None);
+  (* Random replacement evicts *something* in the set, keeping occupancy. *)
+  let rnd = mk (Cache.Random (Fbsr_util.Rng.create 3)) in
+  Cache.insert rnd 1 "one";
+  Cache.insert rnd 2 "two";
+  Cache.insert rnd 3 "three";
+  check Alcotest.int "random stays full" 2 (Cache.occupancy rnd);
+  check Alcotest.bool "new entry resident" true (Cache.peek rnd 3 <> None)
+
+let prop_fully_associative_no_conflicts =
+  (* With a single set holding all ways, the shadow fully-associative model
+     and the cache coincide: conflict misses are impossible by definition. *)
+  QCheck.Test.make ~name:"fully-associative cache has zero conflict misses" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 200) (int_bound 30))
+    (fun keys ->
+      let c : (int, int) Cache.t =
+        Cache.create ~assoc:8 ~sets:1
+          ~hash:(fun k -> Fbsr_util.Crc32.update_int32 0 k)
+          ~equal:Int.equal ()
+      in
+      List.iter
+        (fun k ->
+          match Cache.find c k with
+          | Some _ -> ()
+          | None -> Cache.insert c k k)
+        keys;
+      (Cache.stats c).Cache.misses_conflict = 0)
+
+let prop_cache_cold_bounded_by_distinct =
+  QCheck.Test.make ~name:"cold misses = distinct keys touched" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 200) (int_bound 50))
+    (fun keys ->
+      let c : (int, int) Cache.t =
+        Cache.create ~assoc:2 ~sets:4
+          ~hash:(fun k -> Fbsr_util.Crc32.update_int32 0 k)
+          ~equal:Int.equal ()
+      in
+      List.iter
+        (fun k ->
+          match Cache.find c k with
+          | Some _ -> ()
+          | None -> Cache.insert c k k)
+        keys;
+      let distinct = List.length (List.sort_uniq compare keys) in
+      (Cache.stats c).Cache.misses_cold = distinct)
+
+let prop_cache_find_after_insert =
+  QCheck.Test.make ~name:"find after insert hits" ~count:200
+    QCheck.(pair (int_bound 1000) (int_range 1 64))
+    (fun (key, sets) ->
+      let c = int_cache ~sets () in
+      Cache.insert c key "v";
+      Cache.find c key = Some "v")
+
+let test_cache_occupancy_clear () =
+  let c = int_cache ~sets:16 () in
+  for i = 1 to 10 do
+    Cache.insert c i "x"
+  done;
+  check Alcotest.bool "occupancy bounded" true (Cache.occupancy c <= 10);
+  Cache.clear c;
+  check Alcotest.int "cleared" 0 (Cache.occupancy c)
+
+(* --- Keying --- *)
+
+let make_world () =
+  let rng = Fbsr_util.Rng.create 31 in
+  let group = Lazy.force Fbsr_crypto.Dh.test_group in
+  let ca = Fbsr_cert.Authority.create ~rng ~bits:512 () in
+  let clock = ref 1000.0 in
+  let enroll name =
+    let priv = Fbsr_crypto.Dh.gen_private group rng in
+    let pub = Fbsr_crypto.Dh.public group priv in
+    let cert =
+      Fbsr_cert.Authority.enroll ca ~now:!clock ~subject:name
+        ~group:group.Fbsr_crypto.Dh.name
+        ~public_value:(Fbsr_crypto.Dh.public_to_bytes group pub)
+    in
+    (Principal.of_string name, priv, cert)
+  in
+  let resolver_calls = ref 0 in
+  let resolver peer k =
+    incr resolver_calls;
+    match Fbsr_cert.Authority.lookup ca (Principal.to_string peer) with
+    | Some c -> k (Ok c)
+    | None -> k (Error "unknown principal")
+  in
+  let keying_for local priv =
+    Keying.create ~local ~group ~private_value:priv
+      ~ca_public:(Fbsr_cert.Authority.public ca) ~ca_hash:(Fbsr_cert.Authority.hash ca)
+      ~resolver
+      ~clock:(fun () -> !clock)
+      ()
+  in
+  (rng, group, ca, clock, enroll, resolver_calls, keying_for)
+
+let test_keying_master_symmetric () =
+  let _, _, _, _, enroll, _, keying_for = make_world () in
+  let s, s_priv, _ = enroll "sender" in
+  let d, d_priv, _ = enroll "receiver" in
+  let ks = keying_for s s_priv and kd = keying_for d d_priv in
+  match (Keying.get_master_sync ks d, Keying.get_master_sync kd s) with
+  | Ok m1, Ok m2 -> check Alcotest.string "same master key" m1 m2
+  | _ -> Alcotest.fail "master key resolution failed"
+
+let test_keying_caches_resolver () =
+  let _, _, _, _, enroll, resolver_calls, keying_for = make_world () in
+  let s, s_priv, _ = enroll "sender" in
+  let d, _, _ = enroll "receiver" in
+  let ks = keying_for s s_priv in
+  ignore (Keying.get_master_sync ks d);
+  ignore (Keying.get_master_sync ks d);
+  ignore (Keying.get_master_sync ks d);
+  check Alcotest.int "resolver called once" 1 !resolver_calls;
+  check Alcotest.int "one DH computation" 1
+    (Keying.counters ks).Keying.master_key_computations
+
+let test_keying_pinned_certificate () =
+  let _, _, _, _, enroll, resolver_calls, keying_for = make_world () in
+  let s, s_priv, _ = enroll "sender" in
+  let d, _, d_cert = enroll "receiver" in
+  let ks = keying_for s s_priv in
+  Keying.pin_certificate ks d_cert;
+  (match Keying.get_master_sync ks d with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "pinned cert should resolve");
+  check Alcotest.int "no fetch needed" 0 !resolver_calls
+
+let test_keying_rejects_expired_certificate () =
+  let _, _, _, clock, enroll, _, keying_for = make_world () in
+  let s, s_priv, _ = enroll "sender" in
+  let d, _, _ = enroll "receiver" in
+  let ks = keying_for s s_priv in
+  clock := !clock +. (400.0 *. 86400.0);
+  (* past the 30-day validity *)
+  match Keying.get_master_sync ks d with
+  | Error (Keying.Bad_certificate _) -> ()
+  | Ok _ -> Alcotest.fail "expired certificate accepted"
+  | Error e -> Alcotest.failf "unexpected error %a" Keying.pp_error e
+
+let test_keying_refetches_after_expiry () =
+  (* A cached master key dies with its certificate; if the CA has since
+     reissued, resolution fetches the fresh certificate and recomputes. *)
+  let _, group, ca, clock, enroll, resolver_calls, keying_for = make_world () in
+  ignore group;
+  let s, s_priv, _ = enroll "sender" in
+  let d, _, _ = enroll "receiver" in
+  let ks = keying_for s s_priv in
+  (match Keying.get_master_sync ks d with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "initial resolution failed: %a" Keying.pp_error e);
+  check Alcotest.int "one fetch so far" 1 !resolver_calls;
+  (* Jump past the certificate's 30-day validity; the CA re-enrolls the
+     receiver (fresh validity window, same public value). *)
+  clock := !clock +. (40.0 *. 86400.0);
+  let receiver_cert = Option.get (Fbsr_cert.Authority.lookup ca "receiver") in
+  let (_ : Fbsr_cert.Certificate.t) =
+    Fbsr_cert.Authority.enroll ca ~now:!clock ~subject:"receiver"
+      ~group:receiver_cert.Fbsr_cert.Certificate.group
+      ~public_value:receiver_cert.Fbsr_cert.Certificate.public_value
+  in
+  (match Keying.get_master_sync ks d with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "post-expiry resolution failed: %a" Keying.pp_error e);
+  check Alcotest.int "stale cert triggered a refetch" 2 !resolver_calls;
+  check Alcotest.int "master key recomputed" 2
+    (Keying.counters ks).Keying.master_key_computations
+
+let test_keying_unknown_principal () =
+  let _, _, _, _, enroll, _, keying_for = make_world () in
+  let s, s_priv, _ = enroll "sender" in
+  let ks = keying_for s s_priv in
+  match Keying.get_master_sync ks (Principal.of_string "stranger") with
+  | Error (Keying.No_certificate _) -> ()
+  | _ -> Alcotest.fail "unknown principal resolved"
+
+let test_keying_wrong_subject () =
+  (* A certificate for a different name must not satisfy a lookup, even if
+     pinned under the right key slot by a confused caller. *)
+  let _, _, _, _, enroll, _, keying_for = make_world () in
+  let s, s_priv, _ = enroll "sender" in
+  let _, _, mallory_cert = enroll "mallory" in
+  let ks = keying_for s s_priv in
+  (* Pinning stores under the certificate's own subject, so asking for
+     "receiver" still fails. *)
+  Keying.pin_certificate ks mallory_cert;
+  match Keying.get_master_sync ks (Principal.of_string "receiver") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "resolved against wrong certificate"
+
+let test_keying_coalesces () =
+  (* With an async resolver, concurrent requests for the same peer share
+     one fetch and one DH computation. *)
+  let rng = Fbsr_util.Rng.create 32 in
+  let group = Lazy.force Fbsr_crypto.Dh.test_group in
+  let ca = Fbsr_cert.Authority.create ~rng ~bits:512 () in
+  let enroll name =
+    let priv = Fbsr_crypto.Dh.gen_private group rng in
+    let pub = Fbsr_crypto.Dh.public group priv in
+    ignore
+      (Fbsr_cert.Authority.enroll ca ~now:0.0 ~subject:name
+         ~group:group.Fbsr_crypto.Dh.name
+         ~public_value:(Fbsr_crypto.Dh.public_to_bytes group pub));
+    (Principal.of_string name, priv)
+  in
+  let s, s_priv = enroll "sender" in
+  let d, _ = enroll "receiver" in
+  let pending = ref [] in
+  let fetches = ref 0 in
+  let resolver peer k =
+    incr fetches;
+    pending := (peer, k) :: !pending
+  in
+  let ks =
+    Keying.create ~local:s ~group ~private_value:s_priv
+      ~ca_public:(Fbsr_cert.Authority.public ca) ~ca_hash:(Fbsr_cert.Authority.hash ca)
+      ~resolver
+      ~clock:(fun () -> 0.0)
+      ()
+  in
+  let results = ref 0 in
+  Keying.get_master ks d (fun _ -> incr results);
+  Keying.get_master ks d (fun _ -> incr results);
+  Keying.get_master ks d (fun _ -> incr results);
+  check Alcotest.int "single fetch in flight" 1 !fetches;
+  (* Complete the fetch. *)
+  (match !pending with
+  | [ (peer, k) ] ->
+      k (Ok (Option.get (Fbsr_cert.Authority.lookup ca (Principal.to_string peer))))
+  | _ -> Alcotest.fail "expected one pending fetch");
+  check Alcotest.int "all continuations ran" 3 !results;
+  check Alcotest.int "one DH computation" 1
+    (Keying.counters ks).Keying.master_key_computations
+
+let test_flow_key_derivation () =
+  let sfl = Sfl.of_int64 42L in
+  let master = "master-key-bytes" in
+  let src = Principal.of_string "a" and dst = Principal.of_string "b" in
+  let k1 = Keying.flow_key ~hash:Fbsr_crypto.Hash.md5 ~sfl ~master ~src ~dst in
+  check Alcotest.int "digest size" 16 (String.length k1);
+  (* Deterministic. *)
+  check Alcotest.string "deterministic" k1
+    (Keying.flow_key ~hash:Fbsr_crypto.Hash.md5 ~sfl ~master ~src ~dst);
+  (* Sensitive to every input. *)
+  let differs k2 = check Alcotest.bool "differs" true (k1 <> k2) in
+  differs (Keying.flow_key ~hash:Fbsr_crypto.Hash.md5 ~sfl:(Sfl.of_int64 43L) ~master ~src ~dst);
+  differs (Keying.flow_key ~hash:Fbsr_crypto.Hash.md5 ~sfl ~master:"other master!!" ~src ~dst);
+  differs (Keying.flow_key ~hash:Fbsr_crypto.Hash.md5 ~sfl ~master ~src:dst ~dst:src)
+
+(* --- FAM policies --- *)
+
+let mk_alloc () = Sfl.allocator ~rng:(Fbsr_util.Rng.create 71)
+let pa = Principal.of_string "10.0.0.1"
+let pb = Principal.of_string "10.0.0.2"
+let pc = Principal.of_string "10.0.0.3"
+
+let attrs ?(sp = 1000) ?(dp = 80) ?(proto = 6) ?(size = 100) ?(dst = pb) () =
+  Fam.attrs ~protocol:proto ~src_port:sp ~dst_port:dp ~size ~src:pa ~dst ()
+
+let test_five_tuple_same_flow () =
+  let p = Policy_five_tuple.make ~threshold:600.0 ~alloc:(mk_alloc ()) () in
+  let s1, d1 = Policy_five_tuple.map p ~now:0.0 (attrs ()) in
+  let s2, d2 = Policy_five_tuple.map p ~now:100.0 (attrs ()) in
+  check Alcotest.bool "fresh then existing" true (d1 = Fam.Fresh && d2 = Fam.Existing);
+  check Alcotest.bool "same sfl" true (Sfl.equal s1 s2)
+
+let test_five_tuple_distinct_tuples () =
+  let p = Policy_five_tuple.make ~alloc:(mk_alloc ()) () in
+  let s1, _ = Policy_five_tuple.map p ~now:0.0 (attrs ~sp:1000 ()) in
+  let s2, _ = Policy_five_tuple.map p ~now:0.0 (attrs ~sp:1001 ()) in
+  let s3, _ = Policy_five_tuple.map p ~now:0.0 (attrs ~proto:17 ()) in
+  let s4, _ = Policy_five_tuple.map p ~now:0.0 (attrs ~dst:pc ()) in
+  check Alcotest.bool "all distinct" true
+    (not (Sfl.equal s1 s2) && not (Sfl.equal s1 s3) && not (Sfl.equal s1 s4)
+     && not (Sfl.equal s2 s3))
+
+let test_five_tuple_threshold_expiry () =
+  let p = Policy_five_tuple.make ~threshold:600.0 ~alloc:(mk_alloc ()) () in
+  let s1, _ = Policy_five_tuple.map p ~now:0.0 (attrs ()) in
+  (* Within threshold: same flow; the clock of last use advances. *)
+  let s2, _ = Policy_five_tuple.map p ~now:500.0 (attrs ()) in
+  let s3, _ = Policy_five_tuple.map p ~now:900.0 (attrs ()) in
+  (* Past threshold since last use: new flow. *)
+  let s4, d4 = Policy_five_tuple.map p ~now:1600.0 (attrs ()) in
+  check Alcotest.bool "rolling threshold keeps flow" true
+    (Sfl.equal s1 s2 && Sfl.equal s2 s3);
+  check Alcotest.bool "expired starts fresh" true
+    (d4 = Fam.Fresh && not (Sfl.equal s3 s4));
+  check Alcotest.int "expiry counted" 1 (Policy_five_tuple.counters p).Policy_five_tuple.expirations
+
+let test_five_tuple_collision () =
+  (* FSTSIZE=1 forces every distinct tuple to collide: the paper's
+     footnote 11 behaviour (premature termination, no security impact). *)
+  let p = Policy_five_tuple.make ~fst_size:1 ~alloc:(mk_alloc ()) () in
+  let s1, _ = Policy_five_tuple.map p ~now:0.0 (attrs ~sp:1000 ()) in
+  let _s2, d2 = Policy_five_tuple.map p ~now:0.0 (attrs ~sp:1001 ()) in
+  let s3, d3 = Policy_five_tuple.map p ~now:0.0 (attrs ~sp:1000 ()) in
+  check Alcotest.bool "collision evicts" true (d2 = Fam.Fresh && d3 = Fam.Fresh);
+  check Alcotest.bool "returning tuple gets new flow" true (not (Sfl.equal s1 s3));
+  check Alcotest.int "collisions counted" 2
+    (Policy_five_tuple.counters p).Policy_five_tuple.collisions
+
+let test_five_tuple_rekey_bytes () =
+  let p =
+    Policy_five_tuple.make ~max_flow_bytes:1000 ~alloc:(mk_alloc ()) ()
+  in
+  let s1, _ = Policy_five_tuple.map p ~now:0.0 (attrs ~size:600 ()) in
+  let s2, _ = Policy_five_tuple.map p ~now:1.0 (attrs ~size:600 ()) in
+  (* 1200 bytes so far >= 1000: next datagram gets a fresh key. *)
+  let s3, d3 = Policy_five_tuple.map p ~now:2.0 (attrs ~size:600 ()) in
+  check Alcotest.bool "same flow before limit" true (Sfl.equal s1 s2);
+  check Alcotest.bool "rekeyed" true (d3 = Fam.Fresh && not (Sfl.equal s1 s3));
+  check Alcotest.int "rekey counted" 1 (Policy_five_tuple.counters p).Policy_five_tuple.rekeys
+
+let test_five_tuple_rekey_life () =
+  let p = Policy_five_tuple.make ~threshold:600.0 ~max_flow_life:100.0 ~alloc:(mk_alloc ()) () in
+  let s1, _ = Policy_five_tuple.map p ~now:0.0 (attrs ()) in
+  let s2, _ = Policy_five_tuple.map p ~now:50.0 (attrs ()) in
+  let s3, d3 = Policy_five_tuple.map p ~now:150.0 (attrs ()) in
+  check Alcotest.bool "young flow persists" true (Sfl.equal s1 s2);
+  check Alcotest.bool "old flow rotated" true (d3 = Fam.Fresh && not (Sfl.equal s1 s3))
+
+let test_five_tuple_sweeper () =
+  let p = Policy_five_tuple.make ~threshold:100.0 ~alloc:(mk_alloc ()) () in
+  ignore (Policy_five_tuple.map p ~now:0.0 (attrs ~sp:1 ()));
+  ignore (Policy_five_tuple.map p ~now:0.0 (attrs ~sp:2 ()));
+  ignore (Policy_five_tuple.map p ~now:90.0 (attrs ~sp:3 ()));
+  check Alcotest.int "active before sweep" 3 (Policy_five_tuple.active p ~now:95.0);
+  check Alcotest.int "sweeper expires idle" 2 (Policy_five_tuple.sweep p ~now:150.0);
+  check Alcotest.int "active after sweep" 1 (Policy_five_tuple.active p ~now:150.0)
+
+let test_host_pair_policy () =
+  let alloc = mk_alloc () in
+  let p = Policy_host_pair.make ~threshold:1000.0 ~alloc () in
+  let s1, _ = Policy_host_pair.map p ~now:0.0 (attrs ~sp:1 ~dp:2 ()) in
+  let s2, _ = Policy_host_pair.map p ~now:0.0 (attrs ~sp:3 ~dp:4 ()) in
+  check Alcotest.bool "ports irrelevant: one flow per host" true (Sfl.equal s1 s2);
+  let s3, _ = Policy_host_pair.map p ~now:0.0 (attrs ~dst:pc ()) in
+  check Alcotest.bool "different host, different flow" false (Sfl.equal s1 s3)
+
+let test_app_policy () =
+  let alloc = mk_alloc () in
+  let p = Policy_app.make ~alloc () in
+  let a tag = Fam.attrs ~app_tag:tag ~src:pa ~dst:pb () in
+  let s1, _ = Policy_app.map p ~now:0.0 (a "video") in
+  let s2, _ = Policy_app.map p ~now:1.0 (a "video") in
+  let s3, _ = Policy_app.map p ~now:1.0 (a "audio") in
+  check Alcotest.bool "same tag same flow" true (Sfl.equal s1 s2);
+  check Alcotest.bool "different tag different flow" false (Sfl.equal s1 s3)
+
+let test_per_datagram_policy () =
+  let alloc = mk_alloc () in
+  let p = Policy_per_datagram.make ~alloc () in
+  let s1, d1 = Policy_per_datagram.map p ~now:0.0 (attrs ()) in
+  let s2, d2 = Policy_per_datagram.map p ~now:0.0 (attrs ()) in
+  check Alcotest.bool "always fresh" true (d1 = Fam.Fresh && d2 = Fam.Fresh);
+  check Alcotest.bool "never reused" false (Sfl.equal s1 s2)
+
+(* Model-based property: with a collision-free table, the five-tuple
+   policy's flow partitioning must match a reference implementation (a map
+   keyed by the 5-tuple, new flow iff the gap since the tuple's last
+   datagram exceeds THRESHOLD). *)
+let prop_five_tuple_matches_model =
+  QCheck.Test.make ~name:"five-tuple policy = reference model" ~count:100
+    QCheck.(
+      list_of_size (Gen.int_range 1 120)
+        (pair (pair (int_bound 3) (int_bound 3)) (int_bound 50)))
+    (fun ops ->
+      let threshold = 100.0 in
+      let policy =
+        Policy_five_tuple.make ~fst_size:4096 ~threshold
+          ~alloc:(Sfl.allocator ~rng:(Fbsr_util.Rng.create 17))
+          ()
+      in
+      let model : (int * int, float) Hashtbl.t = Hashtbl.create 16 in
+      let now = ref 0.0 in
+      List.for_all
+        (fun ((sp, dp), gap) ->
+          now := !now +. float_of_int gap;
+          let a = attrs ~sp:(1000 + sp) ~dp:(80 + dp) () in
+          let _, decision = Policy_five_tuple.map policy ~now:!now a in
+          let expected =
+            match Hashtbl.find_opt model (sp, dp) with
+            | Some last when !now -. last <= threshold -> Fam.Existing
+            | _ -> Fam.Fresh
+          in
+          Hashtbl.replace model (sp, dp) !now;
+          decision = expected)
+        ops)
+
+let test_fam_stats () =
+  let alloc = mk_alloc () in
+  let fam = Fam.create (Policy_five_tuple.policy ~alloc ()) in
+  ignore (Fam.classify fam ~now:0.0 (attrs ~sp:1 ()));
+  ignore (Fam.classify fam ~now:0.0 (attrs ~sp:1 ()));
+  ignore (Fam.classify fam ~now:0.0 (attrs ~sp:2 ()));
+  let s = Fam.stats fam in
+  check Alcotest.int "datagrams" 3 s.Fam.datagrams;
+  check Alcotest.int "flows" 2 s.Fam.flows_started;
+  check Alcotest.string "policy name" "five-tuple" (Fam.policy_name fam)
+
+(* --- Engine --- *)
+
+let make_engines ?(suite = Suite.paper_md5_des) ?(strict_replay = false) () =
+  let _, _, _, clock, enroll, _, keying_for = make_world () in
+  let s, s_priv, _ = enroll "10.0.0.1" in
+  let d, d_priv, _ = enroll "10.0.0.2" in
+  let engine_for p priv seed =
+    let alloc = Sfl.allocator ~rng:(Fbsr_util.Rng.create seed) in
+    let fam = Fam.create (Policy_five_tuple.policy ~alloc ()) in
+    Engine.create ~suite ~strict_replay ~keying:(keying_for p priv) ~fam ()
+  in
+  (clock, s, d, engine_for s s_priv 1, engine_for d d_priv 2)
+
+let test_engine_roundtrips_all_suites () =
+  List.iter
+    (fun suite ->
+      let clock, s, d, es, ed = make_engines ~suite () in
+      let attrs = Fam.attrs ~protocol:17 ~src_port:1 ~dst_port:2 ~src:s ~dst:d () in
+      List.iter
+        (fun (secret, payload) ->
+          match Engine.send_sync es ~now:!clock ~attrs ~secret ~payload with
+          | Error e -> Alcotest.failf "send: %a" Engine.pp_error e
+          | Ok wire -> (
+              match Engine.receive_sync ed ~now:!clock ~src:s ~wire with
+              | Ok acc ->
+                  check Alcotest.string
+                    (Suite.name suite ^ if secret then " secret" else " plain")
+                    payload acc.Engine.payload
+              | Error e -> Alcotest.failf "receive: %a" Engine.pp_error e))
+        [ (false, "plain payload"); (true, "secret payload"); (true, "");
+          (false, ""); (true, String.make 5000 'z') ])
+    [
+      Suite.paper_md5_des; Suite.hmac_md5_des; Suite.sha1_des; Suite.des_mac_des;
+      Suite.md5_des3; Suite.nop;
+    ]
+
+let test_engine_ciphertext_hides_plaintext () =
+  let clock, s, d, es, _ = make_engines () in
+  ignore d;
+  let attrs = Fam.attrs ~protocol:17 ~src_port:1 ~dst_port:2 ~src:s ~dst:d () in
+  let payload = "extremely confidential payroll" in
+  match Engine.send_sync es ~now:!clock ~attrs ~secret:true ~payload with
+  | Error e -> Alcotest.failf "send: %a" Engine.pp_error e
+  | Ok wire ->
+      let contains hay needle =
+        let nl = String.length needle and hl = String.length hay in
+        let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+        go 0
+      in
+      check Alcotest.bool "no plaintext on the wire" false (contains wire "payroll")
+
+let prop_engine_tamper_rejected =
+  (* Flipping any single bit of the wire representation must be rejected
+     (header fields change the MAC input or key; body bits break the MAC). *)
+  QCheck.Test.make ~name:"any bit flip rejected" ~count:60 QCheck.(int_bound 10_000)
+    (fun seed ->
+      let clock, s, d, es, ed = make_engines () in
+      let attrs = Fam.attrs ~protocol:17 ~src_port:1 ~dst_port:2 ~src:s ~dst:d () in
+      match
+        Engine.send_sync es ~now:!clock ~attrs ~secret:true
+          ~payload:"the payload to protect"
+      with
+      | Error _ -> false
+      | Ok wire -> (
+          let pos = seed mod String.length wire in
+          let bit = seed / String.length wire mod 8 in
+          let tampered = Bytes.of_string wire in
+          Bytes.set tampered pos
+            (Char.chr (Char.code wire.[pos] lxor (1 lsl bit)));
+          match
+            Engine.receive_sync ed ~now:!clock ~src:s ~wire:(Bytes.to_string tampered)
+          with
+          | Error _ -> true
+          | Ok acc ->
+              (* The only acceptable "success" is when the flip landed in a
+                 wire position that does not affect security NOR content —
+                 there is none: header+mac+ciphertext are all covered. *)
+              acc.Engine.payload = "the payload to protect" && false))
+
+let test_engine_replay_window () =
+  let clock, s, d, es, ed = make_engines () in
+  let attrs = Fam.attrs ~protocol:17 ~src_port:1 ~dst_port:2 ~src:s ~dst:d () in
+  let wire =
+    Result.get_ok (Engine.send_sync es ~now:!clock ~attrs ~secret:true ~payload:"x")
+  in
+  (* Fresh. *)
+  (match Engine.receive_sync ed ~now:!clock ~src:s ~wire with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "fresh rejected: %a" Engine.pp_error e);
+  (* Replay within the window is accepted (the paper's stated limit). *)
+  (match Engine.receive_sync ed ~now:(!clock +. 30.0) ~src:s ~wire with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "in-window replay rejected: %a" Engine.pp_error e);
+  (* Replay past the window is rejected. *)
+  match Engine.receive_sync ed ~now:(!clock +. 600.0) ~src:s ~wire with
+  | Error (Engine.Stale _) -> ()
+  | _ -> Alcotest.fail "stale replay accepted"
+
+let test_engine_strict_replay () =
+  let clock, s, d, es, ed = make_engines ~strict_replay:true () in
+  let attrs = Fam.attrs ~protocol:17 ~src_port:1 ~dst_port:2 ~src:s ~dst:d () in
+  let wire =
+    Result.get_ok (Engine.send_sync es ~now:!clock ~attrs ~secret:true ~payload:"x")
+  in
+  (match Engine.receive_sync ed ~now:!clock ~src:s ~wire with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "fresh rejected: %a" Engine.pp_error e);
+  match Engine.receive_sync ed ~now:(!clock +. 10.0) ~src:s ~wire with
+  | Error Engine.Duplicate -> ()
+  | _ -> Alcotest.fail "duplicate accepted in strict mode"
+
+let test_engine_wrong_source_rejected () =
+  (* A datagram received with a claimed source that differs from the real
+     sender derives a different flow key, so the MAC fails: this is the
+     paper's "flow authentication". *)
+  let clock, s, d, es, ed = make_engines () in
+  let attrs = Fam.attrs ~protocol:17 ~src_port:1 ~dst_port:2 ~src:s ~dst:d () in
+  let wire =
+    Result.get_ok (Engine.send_sync es ~now:!clock ~attrs ~secret:false ~payload:"x")
+  in
+  (* Claim the datagram came from the receiver itself. *)
+  match Engine.receive_sync ed ~now:!clock ~src:d ~wire with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted datagram with spoofed source"
+
+let test_engine_cross_flow_splice_rejected () =
+  let clock, s, d, es, ed = make_engines () in
+  let a1 = Fam.attrs ~protocol:17 ~src_port:1 ~dst_port:2 ~src:s ~dst:d () in
+  let a2 = Fam.attrs ~protocol:17 ~src_port:9 ~dst_port:2 ~src:s ~dst:d () in
+  let w1 = Result.get_ok (Engine.send_sync es ~now:!clock ~attrs:a1 ~secret:true ~payload:"flow one") in
+  let w2 = Result.get_ok (Engine.send_sync es ~now:!clock ~attrs:a2 ~secret:true ~payload:"flow two") in
+  let hdr = Engine.header_overhead es in
+  let spliced = String.sub w1 0 hdr ^ String.sub w2 hdr (String.length w2 - hdr) in
+  match Engine.receive_sync ed ~now:!clock ~src:s ~wire:spliced with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "cross-flow splice accepted"
+
+let test_engine_caches_amortize () =
+  let clock, s, d, es, ed = make_engines () in
+  let attrs = Fam.attrs ~protocol:17 ~src_port:1 ~dst_port:2 ~src:s ~dst:d () in
+  for i = 1 to 50 do
+    let wire =
+      Result.get_ok
+        (Engine.send_sync es ~now:!clock ~attrs ~secret:true
+           ~payload:(Printf.sprintf "datagram %d" i))
+    in
+    match Engine.receive_sync ed ~now:!clock ~src:s ~wire with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "receive %d: %a" i Engine.pp_error e
+  done;
+  (* One flow: one flow-key derivation each side, one master key each. *)
+  check Alcotest.int "sender flow keys" 1
+    (Engine.counters es).Engine.flow_key_computations;
+  check Alcotest.int "receiver flow keys" 1
+    (Engine.counters ed).Engine.flow_key_computations;
+  check Alcotest.int "sender DH" 1
+    (Keying.counters (Engine.keying es)).Keying.master_key_computations;
+  check Alcotest.int "receiver DH" 1
+    (Keying.counters (Engine.keying ed)).Keying.master_key_computations;
+  check Alcotest.int "sends" 50 (Engine.counters es).Engine.sends;
+  check Alcotest.int "accepted" 50 (Engine.counters ed).Engine.accepted
+
+let test_engine_header_garbage () =
+  let clock, s, _, _, ed = make_engines () in
+  ignore clock;
+  (match Engine.receive_sync ed ~now:0.0 ~src:s ~wire:"too short" with
+  | Error (Engine.Header_error Header.Truncated) -> ()
+  | _ -> Alcotest.fail "short wire accepted");
+  (* Unknown suite byte. *)
+  let junk = String.make 64 '\x63' in
+  match Engine.receive_sync ed ~now:0.0 ~src:s ~wire:junk with
+  | Error (Engine.Header_error (Header.Unknown_suite _)) -> ()
+  | _ -> Alcotest.fail "unknown suite accepted"
+
+let test_engine_suite_mismatch () =
+  (* A receiver configured for the paper suite refuses a NOP-suite packet:
+     no algorithm downgrade. *)
+  let _, s, d, _, ed = make_engines () in
+  let _, _, _, clock2, enroll2, _, keying_for2 = make_world () in
+  ignore clock2;
+  ignore (enroll2 "unused");
+  ignore keying_for2;
+  let clock, _, _, es_nop, _ = make_engines ~suite:Suite.nop () in
+  let attrs = Fam.attrs ~protocol:17 ~src_port:1 ~dst_port:2 ~src:s ~dst:d () in
+  let wire =
+    Result.get_ok (Engine.send_sync es_nop ~now:!clock ~attrs ~secret:true ~payload:"x")
+  in
+  match Engine.receive_sync ed ~now:!clock ~src:s ~wire with
+  | Error (Engine.Header_error (Header.Unknown_suite 255)) -> ()
+  | Error e -> Alcotest.failf "unexpected error: %a" Engine.pp_error e
+  | Ok _ -> Alcotest.fail "downgrade accepted"
+
+let test_engine_async_send () =
+  (* With a deferred resolver, send completes only when the certificate
+     arrives. *)
+  let rng = Fbsr_util.Rng.create 33 in
+  let group = Lazy.force Fbsr_crypto.Dh.test_group in
+  let ca = Fbsr_cert.Authority.create ~rng ~bits:512 () in
+  let enroll name =
+    let priv = Fbsr_crypto.Dh.gen_private group rng in
+    let pub = Fbsr_crypto.Dh.public group priv in
+    ignore
+      (Fbsr_cert.Authority.enroll ca ~now:0.0 ~subject:name
+         ~group:group.Fbsr_crypto.Dh.name
+         ~public_value:(Fbsr_crypto.Dh.public_to_bytes group pub));
+    (Principal.of_string name, priv)
+  in
+  let s, s_priv = enroll "10.0.0.1" in
+  let d, _ = enroll "10.0.0.2" in
+  let pending = ref None in
+  let resolver peer k = pending := Some (peer, k) in
+  let keying =
+    Keying.create ~local:s ~group ~private_value:s_priv
+      ~ca_public:(Fbsr_cert.Authority.public ca) ~ca_hash:(Fbsr_cert.Authority.hash ca)
+      ~resolver
+      ~clock:(fun () -> 0.0)
+      ()
+  in
+  let fam =
+    Fam.create (Policy_five_tuple.policy ~alloc:(Sfl.allocator ~rng:(Fbsr_util.Rng.create 3)) ())
+  in
+  let es = Engine.create ~keying ~fam () in
+  let attrs = Fam.attrs ~protocol:17 ~src_port:1 ~dst_port:2 ~src:s ~dst:d () in
+  let result = ref None in
+  Engine.send es ~now:60.0 ~attrs ~secret:true ~payload:"deferred" (fun r ->
+      result := Some r);
+  check Alcotest.bool "suspended" true (!result = None);
+  (match !pending with
+  | Some (peer, k) ->
+      k (Ok (Option.get (Fbsr_cert.Authority.lookup ca (Principal.to_string peer))))
+  | None -> Alcotest.fail "resolver not consulted");
+  match !result with
+  | Some (Ok _) -> ()
+  | _ -> Alcotest.fail "continuation did not complete"
+
+let test_engine_async_receive () =
+  (* The receive side can also suspend on a certificate fetch: the
+     receiver needs the *sender's* public value to compute the master key
+     (its first inbound datagram from a new peer). *)
+  let rng = Fbsr_util.Rng.create 34 in
+  let group = Lazy.force Fbsr_crypto.Dh.test_group in
+  let ca = Fbsr_cert.Authority.create ~rng ~bits:512 () in
+  let enroll name =
+    let priv = Fbsr_crypto.Dh.gen_private group rng in
+    let pub = Fbsr_crypto.Dh.public group priv in
+    ignore
+      (Fbsr_cert.Authority.enroll ca ~now:0.0 ~subject:name
+         ~group:group.Fbsr_crypto.Dh.name
+         ~public_value:(Fbsr_crypto.Dh.public_to_bytes group pub));
+    (Principal.of_string name, priv)
+  in
+  let s, s_priv = enroll "10.0.0.1" in
+  let d, d_priv = enroll "10.0.0.2" in
+  let sync_resolver peer k =
+    match Fbsr_cert.Authority.lookup ca (Principal.to_string peer) with
+    | Some c -> k (Ok c)
+    | None -> k (Error "unknown")
+  in
+  let deferred = ref None in
+  let deferred_resolver peer k = deferred := Some (peer, k) in
+  let mk resolver p priv seed =
+    let keying =
+      Keying.create ~local:p ~group ~private_value:priv
+        ~ca_public:(Fbsr_cert.Authority.public ca)
+        ~ca_hash:(Fbsr_cert.Authority.hash ca)
+        ~resolver
+        ~clock:(fun () -> 0.0)
+        ()
+    in
+    let alloc = Sfl.allocator ~rng:(Fbsr_util.Rng.create seed) in
+    let fam = Fam.create (Policy_five_tuple.policy ~alloc ()) in
+    Engine.create ~keying ~fam ()
+  in
+  let es = mk sync_resolver s s_priv 1 in
+  let ed = mk deferred_resolver d d_priv 2 in
+  let attrs = Fam.attrs ~protocol:17 ~src_port:1 ~dst_port:2 ~src:s ~dst:d () in
+  let wire =
+    Result.get_ok (Engine.send_sync es ~now:60.0 ~attrs ~secret:true ~payload:"late")
+  in
+  let result = ref None in
+  Engine.receive ed ~now:60.0 ~src:s ~wire (fun r -> result := Some r);
+  check Alcotest.bool "receive suspended" true (!result = None);
+  (match !deferred with
+  | Some (peer, k) ->
+      k (Ok (Option.get (Fbsr_cert.Authority.lookup ca (Principal.to_string peer))))
+  | None -> Alcotest.fail "resolver not consulted");
+  match !result with
+  | Some (Ok acc) -> check Alcotest.string "payload" "late" acc.Engine.payload
+  | _ -> Alcotest.fail "continuation did not complete"
+
+let test_no_pfs_by_design () =
+  (* Section 6.1: "no zero-message keying protocol can provide [perfect
+     forward secrecy]".  Demonstrate the concession: an attacker who
+     records traffic and LATER steals a principal's DH private value can
+     reconstruct the master key, re-derive the flow key from the public
+     sfl, and decrypt the recording. *)
+  let _, _, ca, clock, enroll, _, keying_for = make_world () in
+  let s, s_priv, _ = enroll "sender" in
+  let d, d_priv, _ = enroll "receiver" in
+  let es =
+    let alloc = Sfl.allocator ~rng:(Fbsr_util.Rng.create 1) in
+    Engine.create ~keying:(keying_for s s_priv)
+      ~fam:(Fam.create (Policy_five_tuple.policy ~alloc ()))
+      ()
+  in
+  let attrs = Fam.attrs ~protocol:17 ~src_port:1 ~dst_port:2 ~src:s ~dst:d () in
+  let wire =
+    Result.get_ok
+      (Engine.send_sync es ~now:!clock ~attrs ~secret:true ~payload:"recorded secret")
+  in
+  (* The attack, from first principles (no engine access): steal d_priv,
+     fetch the sender's public certificate, recompute everything. *)
+  let group = Lazy.force Fbsr_crypto.Dh.test_group in
+  let sender_cert = Option.get (Fbsr_cert.Authority.lookup ca "sender") in
+  let master =
+    Fbsr_crypto.Dh.shared_bytes group d_priv
+      (Fbsr_cert.Certificate.public_nat sender_cert)
+  in
+  match Header.decode wire with
+  | Error _ -> Alcotest.fail "could not parse recorded wire"
+  | Ok (header, body) ->
+      let flow_key =
+        Keying.flow_key ~hash:Fbsr_crypto.Hash.md5 ~sfl:header.Header.sfl ~master
+          ~src:s ~dst:d
+      in
+      let des_key =
+        Fbsr_crypto.Des.of_string
+          (Fbsr_crypto.Des.adjust_parity (String.sub flow_key 0 8))
+      in
+      let plaintext =
+        Fbsr_crypto.Des.decrypt_cbc ~iv:(Header.confounder_iv header) des_key body
+      in
+      check Alcotest.string "stolen long-term key decrypts past traffic"
+        "recorded secret" plaintext
+
+let test_flow_key_isolation () =
+  (* Section 6.1's counterpart claim: "breaking a flow key does not help in
+     recovering the master key nor compromising other flow keys."  A
+     compromised flow key decrypts only its own flow. *)
+  let clock, s, d, es, _ = make_engines () in
+  let a1 = Fam.attrs ~protocol:17 ~src_port:1 ~dst_port:2 ~src:s ~dst:d () in
+  let a2 = Fam.attrs ~protocol:17 ~src_port:9 ~dst_port:2 ~src:s ~dst:d () in
+  let w1 =
+    Result.get_ok (Engine.send_sync es ~now:!clock ~attrs:a1 ~secret:true ~payload:"flow one data")
+  in
+  let w2 =
+    Result.get_ok (Engine.send_sync es ~now:!clock ~attrs:a2 ~secret:true ~payload:"flow two data")
+  in
+  (* "Break" flow 1's key by brute force of the test setup: recompute it
+     legitimately via the sender's keying (stand-in for a compromise). *)
+  let master = Result.get_ok (Keying.get_master_sync (Engine.keying es) d) in
+  let sfl1 =
+    match Header.decode w1 with Ok (h, _) -> h.Header.sfl | Error _ -> assert false
+  in
+  let k1 = Keying.flow_key ~hash:Fbsr_crypto.Hash.md5 ~sfl:sfl1 ~master ~src:s ~dst:d in
+  let des1 =
+    Fbsr_crypto.Des.of_string (Fbsr_crypto.Des.adjust_parity (String.sub k1 0 8))
+  in
+  (match Header.decode w1 with
+  | Ok (h1, body1) ->
+      check Alcotest.string "compromised key reads its own flow" "flow one data"
+        (Fbsr_crypto.Des.decrypt_cbc ~iv:(Header.confounder_iv h1) des1 body1)
+  | Error _ -> Alcotest.fail "parse w1");
+  match Header.decode w2 with
+  | Ok (h2, body2) -> (
+      (* The same key against flow 2 must NOT yield the plaintext. *)
+      match Fbsr_crypto.Des.decrypt_cbc ~iv:(Header.confounder_iv h2) des1 body2 with
+      | plaintext ->
+          check Alcotest.bool "other flow stays opaque" true
+            (plaintext <> "flow two data")
+      | exception Invalid_argument _ -> () (* padding garbage: also fine *))
+  | Error _ -> Alcotest.fail "parse w2"
+
+let prop_engine_never_crashes_on_garbage =
+  (* Robustness: arbitrary bytes fed to receive must produce a clean error,
+     never an exception — malformed traffic is normal input for a datagram
+     security layer. *)
+  let _, s, _, _, ed = make_engines () in
+  QCheck.Test.make ~name:"receive(garbage) returns Error, never raises" ~count:300
+    arbitrary_bytes (fun garbage ->
+      match Engine.receive_sync ed ~now:60.0 ~src:s ~wire:garbage with
+      | Error _ -> true
+      | Ok _ -> false (* random bytes passing MAC verification: impossible *)
+      | exception _ -> false)
+
+let test_engine_confounder_hides_repetition () =
+  (* Section 5.2: "A confounder helps to hide the presence of identical
+     datagrams in the same flow."  Two identical payloads in one flow must
+     produce different ciphertexts (fresh confounder = fresh IV). *)
+  let clock, s, d, es, _ = make_engines () in
+  let attrs = Fam.attrs ~protocol:17 ~src_port:1 ~dst_port:2 ~src:s ~dst:d () in
+  let send () =
+    Result.get_ok
+      (Engine.send_sync es ~now:!clock ~attrs ~secret:true ~payload:"IDENTICAL DATA")
+  in
+  let w1 = send () and w2 = send () in
+  let hdr = Engine.header_overhead es in
+  let body w = String.sub w hdr (String.length w - hdr) in
+  check Alcotest.bool "same flow, same plaintext, different ciphertext" true
+    (body w1 <> body w2)
+
+let test_engine_inbound_flow_view () =
+  (* The receiver's passive demultiplexing view: per-flow packet/byte
+     counts keyed by (sfl, peer). *)
+  let clock, s, d, es, ed = make_engines () in
+  let a1 = Fam.attrs ~protocol:17 ~src_port:1 ~dst_port:2 ~src:s ~dst:d () in
+  let a2 = Fam.attrs ~protocol:17 ~src_port:9 ~dst_port:2 ~src:s ~dst:d () in
+  let deliver attrs payload =
+    let wire =
+      Result.get_ok (Engine.send_sync es ~now:!clock ~attrs ~secret:true ~payload)
+    in
+    match Engine.receive_sync ed ~now:!clock ~src:s ~wire with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "receive: %a" Engine.pp_error e
+  in
+  deliver a1 "11111";
+  deliver a1 "222";
+  deliver a2 "x";
+  let flows = Engine.inbound_flows ed in
+  check Alcotest.int "two inbound flows" 2 (List.length flows);
+  let total_packets =
+    List.fold_left (fun acc (_, _, f) -> acc + f.Engine.packets) 0 flows
+  in
+  let total_bytes = List.fold_left (fun acc (_, _, f) -> acc + f.Engine.bytes) 0 flows in
+  check Alcotest.int "packets tracked" 3 total_packets;
+  check Alcotest.int "bytes tracked" 9 total_bytes;
+  List.iter
+    (fun (_, peer, _) ->
+      check Alcotest.string "peer recorded" (Principal.to_string s)
+        (Principal.to_string peer))
+    flows
+
+let prop_engine_random_interleaving =
+  (* State-machine fuzz: random interleavings of sends on several flows,
+     in-window replays, tampered copies and time jumps.  Invariants: a
+     fresh untampered wire always verifies to its own payload; a tampered
+     one never does; nothing ever raises. *)
+  let _, s, d, es, ed = make_engines () in
+  let now = ref 1000.0 in
+  QCheck.Test.make ~name:"random op interleaving keeps invariants" ~count:60
+    QCheck.(
+      list_of_size (Gen.int_range 1 40)
+        (triple (int_bound 3) (int_bound 3) (int_bound 100)))
+    (fun ops ->
+      let last_wire = ref None in
+      List.for_all
+        (fun (op, flow, dt) ->
+          now := !now +. float_of_int dt;
+          let attrs =
+            Fam.attrs ~protocol:17 ~src_port:(6000 + flow) ~dst_port:2 ~src:s ~dst:d ()
+          in
+          match op with
+          | 0 | 1 -> (
+              (* Send a fresh datagram and verify it. *)
+              let payload = Printf.sprintf "flow %d at %.0f" flow !now in
+              match Engine.send_sync es ~now:!now ~attrs ~secret:(op = 0) ~payload with
+              | Error _ -> false
+              | Ok wire -> (
+                  last_wire := Some wire;
+                  match Engine.receive_sync ed ~now:!now ~src:s ~wire with
+                  | Ok acc -> acc.Engine.payload = payload
+                  | Error _ -> false))
+          | 2 -> (
+              (* Replay the last wire: inside the window it may be
+                 accepted (paper-conceded) or stale — never a crash, and
+                 never a MAC failure. *)
+              match !last_wire with
+              | None -> true
+              | Some wire -> (
+                  match Engine.receive_sync ed ~now:!now ~src:s ~wire with
+                  | Ok _ | Error (Engine.Stale _) -> true
+                  | Error Engine.Duplicate -> true
+                  | Error _ -> false))
+          | _ -> (
+              (* Tampered copy of the last wire must be rejected. *)
+              match !last_wire with
+              | None -> true
+              | Some wire -> (
+                  let b = Bytes.of_string wire in
+                  let pos = dt mod String.length wire in
+                  Bytes.set b pos (Char.chr (Char.code wire.[pos] lxor 0x80));
+                  let wire' = Bytes.to_string b in
+                  if wire' = wire then true
+                  else
+                    match Engine.receive_sync ed ~now:!now ~src:s ~wire:wire' with
+                    | Error _ -> true
+                    | Ok _ -> false)))
+        ops)
+
+let test_engine_wire_overhead () =
+  let clock, s, d, es, _ = make_engines () in
+  let attrs = Fam.attrs ~protocol:17 ~src_port:1 ~dst_port:2 ~src:s ~dst:d () in
+  let payload = String.make 100 'p' in
+  let wire =
+    Result.get_ok (Engine.send_sync es ~now:!clock ~attrs ~secret:true ~payload)
+  in
+  check Alcotest.bool "within declared overhead" true
+    (String.length wire <= String.length payload + Engine.wire_overhead es);
+  check Alcotest.bool "at least header" true
+    (String.length wire >= String.length payload + Engine.header_overhead es)
+
+let () =
+  Alcotest.run "fbs"
+    [
+      ( "sfl",
+        [
+          Alcotest.test_case "uniqueness" `Quick test_sfl_unique;
+          Alcotest.test_case "randomized start" `Quick test_sfl_randomized_start;
+        ] );
+      ("suite", [ Alcotest.test_case "registry" `Quick test_suite_registry ]);
+      ( "header",
+        [
+          Alcotest.test_case "unknown suite" `Quick test_header_unknown_suite;
+          Alcotest.test_case "confounder IV + size" `Quick test_header_confounder_iv;
+          qtest prop_header_roundtrip;
+          qtest prop_header_truncation;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "window" `Quick test_replay_window;
+          Alcotest.test_case "strict duplicates" `Quick test_replay_strict_duplicates;
+          Alcotest.test_case "strict gc" `Quick test_replay_strict_gc;
+          Alcotest.test_case "minutes encoding" `Quick test_minutes_encoding;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "basic" `Quick test_cache_basic;
+          Alcotest.test_case "peek silent" `Quick test_cache_peek_silent;
+          Alcotest.test_case "direct-mapped conflict" `Quick
+            test_cache_direct_mapped_conflict;
+          Alcotest.test_case "LRU within set" `Quick test_cache_assoc_lru;
+          Alcotest.test_case "miss classification" `Quick test_cache_miss_classification;
+          Alcotest.test_case "occupancy + clear" `Quick test_cache_occupancy_clear;
+          Alcotest.test_case "replacement policies" `Quick
+            test_cache_replacement_policies;
+          qtest prop_cache_find_after_insert;
+          qtest prop_fully_associative_no_conflicts;
+          qtest prop_cache_cold_bounded_by_distinct;
+        ] );
+      ( "keying",
+        [
+          Alcotest.test_case "master key symmetric" `Quick test_keying_master_symmetric;
+          Alcotest.test_case "caches amortize resolver" `Quick test_keying_caches_resolver;
+          Alcotest.test_case "pinned certificate" `Quick test_keying_pinned_certificate;
+          Alcotest.test_case "expired certificate" `Quick
+            test_keying_rejects_expired_certificate;
+          Alcotest.test_case "refetch after expiry" `Quick
+            test_keying_refetches_after_expiry;
+          Alcotest.test_case "unknown principal" `Quick test_keying_unknown_principal;
+          Alcotest.test_case "wrong subject" `Quick test_keying_wrong_subject;
+          Alcotest.test_case "coalesces concurrent fetches" `Quick test_keying_coalesces;
+          Alcotest.test_case "flow key derivation" `Quick test_flow_key_derivation;
+        ] );
+      ( "fam",
+        [
+          Alcotest.test_case "same tuple, same flow" `Quick test_five_tuple_same_flow;
+          Alcotest.test_case "distinct tuples" `Quick test_five_tuple_distinct_tuples;
+          Alcotest.test_case "threshold expiry" `Quick test_five_tuple_threshold_expiry;
+          Alcotest.test_case "collision (footnote 11)" `Quick test_five_tuple_collision;
+          Alcotest.test_case "rekey by bytes" `Quick test_five_tuple_rekey_bytes;
+          Alcotest.test_case "rekey by lifetime" `Quick test_five_tuple_rekey_life;
+          Alcotest.test_case "sweeper" `Quick test_five_tuple_sweeper;
+          Alcotest.test_case "host-pair policy" `Quick test_host_pair_policy;
+          Alcotest.test_case "app-tag policy" `Quick test_app_policy;
+          Alcotest.test_case "per-datagram policy" `Quick test_per_datagram_policy;
+          Alcotest.test_case "fam stats" `Quick test_fam_stats;
+          qtest prop_five_tuple_matches_model;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "roundtrip all suites" `Quick
+            test_engine_roundtrips_all_suites;
+          Alcotest.test_case "ciphertext hides plaintext" `Quick
+            test_engine_ciphertext_hides_plaintext;
+          Alcotest.test_case "replay window" `Quick test_engine_replay_window;
+          Alcotest.test_case "strict replay" `Quick test_engine_strict_replay;
+          Alcotest.test_case "spoofed source" `Quick test_engine_wrong_source_rejected;
+          Alcotest.test_case "cross-flow splice" `Quick
+            test_engine_cross_flow_splice_rejected;
+          Alcotest.test_case "caches amortize" `Quick test_engine_caches_amortize;
+          Alcotest.test_case "garbage wire" `Quick test_engine_header_garbage;
+          Alcotest.test_case "suite mismatch refused" `Quick test_engine_suite_mismatch;
+          Alcotest.test_case "async send" `Quick test_engine_async_send;
+          Alcotest.test_case "async receive" `Quick test_engine_async_receive;
+          Alcotest.test_case "confounder hides repetition" `Quick
+            test_engine_confounder_hides_repetition;
+          Alcotest.test_case "inbound flow view" `Quick test_engine_inbound_flow_view;
+          Alcotest.test_case "wire overhead bound" `Quick test_engine_wire_overhead;
+          Alcotest.test_case "no PFS by design (Section 6.1)" `Quick
+            test_no_pfs_by_design;
+          Alcotest.test_case "flow key isolation (Section 6.1)" `Quick
+            test_flow_key_isolation;
+          qtest prop_engine_tamper_rejected;
+          qtest prop_engine_never_crashes_on_garbage;
+          qtest prop_engine_random_interleaving;
+        ] );
+    ]

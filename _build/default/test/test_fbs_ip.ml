@@ -1,0 +1,875 @@
+(* Tests for the FBS-to-IP mapping: MKD protocol and daemon, CA service,
+   the stack hooks, bypass, suspension across certificate fetches,
+   fragmentation interplay and the Section 7.1 port-reuse attack. *)
+
+open Fbsr_netsim
+open Fbsr_fbs_ip
+
+let check = Alcotest.check
+
+(* --- MKD protocol codec --- *)
+
+let test_mkd_protocol_roundtrip () =
+  let req = Mkd_protocol.Request "10.0.0.9" in
+  (match Mkd_protocol.decode (Mkd_protocol.encode req) with
+  | Mkd_protocol.Request n -> check Alcotest.string "request" "10.0.0.9" n
+  | _ -> Alcotest.fail "wrong message");
+  let fail_msg = Mkd_protocol.Failure "nope" in
+  (match Mkd_protocol.decode (Mkd_protocol.encode fail_msg) with
+  | Mkd_protocol.Failure m -> check Alcotest.string "failure" "nope" m
+  | _ -> Alcotest.fail "wrong message");
+  (* Certificate roundtrip. *)
+  let rng = Fbsr_util.Rng.create 1 in
+  let ca = Fbsr_cert.Authority.create ~rng ~bits:512 () in
+  let cert =
+    Fbsr_cert.Authority.enroll ca ~now:0.0 ~subject:"10.0.0.9" ~group:"g"
+      ~public_value:"pub"
+  in
+  match Mkd_protocol.decode (Mkd_protocol.encode (Mkd_protocol.Certificate cert)) with
+  | Mkd_protocol.Certificate c ->
+      check Alcotest.string "subject survives" "10.0.0.9" c.Fbsr_cert.Certificate.subject
+  | _ -> Alcotest.fail "wrong message"
+
+let test_mkd_protocol_garbage () =
+  List.iter
+    (fun raw ->
+      match Mkd_protocol.decode raw with
+      | _ -> Alcotest.failf "accepted %S" raw
+      | exception Mkd_protocol.Bad_message _ -> ())
+    [ ""; "FBS"; "XXXX\x01\x01\x00\x01a"; "FBSC\x02\x01\x00\x01a"; "FBSC\x01\x09\x00\x01a" ]
+
+(* --- Testbed-level plumbing --- *)
+
+let make_pair ?config () =
+  let tb = Testbed.create ?config () in
+  let a = Testbed.add_host tb ~name:"a" ~addr:"10.0.0.1" in
+  let b = Testbed.add_host tb ~name:"b" ~addr:"10.0.0.2" in
+  (tb, a, b)
+
+let test_mkd_fetch_roundtrip () =
+  let tb, a, b = make_pair () in
+  let resolver = Mkd.resolver a.Testbed.mkd in
+  let got = ref None in
+  resolver
+    (Fbsr_fbs.Principal.of_string (Addr.to_string (Host.addr b.Testbed.host)))
+    (fun r -> got := Some r);
+  check Alcotest.bool "pending until network runs" true (!got = None);
+  Testbed.run tb;
+  (match !got with
+  | Some (Ok cert) ->
+      check Alcotest.string "right subject"
+        (Addr.to_string (Host.addr b.Testbed.host))
+        cert.Fbsr_cert.Certificate.subject
+  | _ -> Alcotest.fail "fetch failed");
+  check Alcotest.int "served" 1 (Ca_server.requests_served (Testbed.ca_server tb))
+
+let test_mkd_unknown_principal () =
+  let tb, a, _ = make_pair () in
+  let resolver = Mkd.resolver a.Testbed.mkd in
+  let got = ref None in
+  resolver (Fbsr_fbs.Principal.of_string "10.99.99.99") (fun r -> got := Some r);
+  Testbed.run tb;
+  match !got with
+  | Some (Error _) -> ()
+  | _ -> Alcotest.fail "unknown principal resolved"
+
+let test_mkd_coalesces_requests () =
+  let tb, a, b = make_pair () in
+  let resolver = Mkd.resolver a.Testbed.mkd in
+  let peer = Fbsr_fbs.Principal.of_string (Addr.to_string (Host.addr b.Testbed.host)) in
+  let done_count = ref 0 in
+  resolver peer (fun _ -> incr done_count);
+  resolver peer (fun _ -> incr done_count);
+  resolver peer (fun _ -> incr done_count);
+  Testbed.run tb;
+  check Alcotest.int "all continuations" 3 !done_count;
+  check Alcotest.int "one fetch" 1 (Mkd.stats a.Testbed.mkd).Mkd.fetches
+
+let test_mkd_retransmits_on_loss () =
+  let tb = Testbed.create () in
+  let a = Testbed.add_host tb ~name:"a" ~addr:"10.0.0.1" in
+  let b = Testbed.add_host tb ~name:"b" ~addr:"10.0.0.2" in
+  Medium.set_loss (Testbed.medium tb) 1.0;
+  let resolver = Mkd.resolver a.Testbed.mkd in
+  let got = ref None in
+  resolver
+    (Fbsr_fbs.Principal.of_string (Addr.to_string (Host.addr b.Testbed.host)))
+    (fun r -> got := Some r);
+  Testbed.run ~until:60.0 tb;
+  (match !got with
+  | Some (Error _) -> () (* timed out after retries *)
+  | Some (Ok _) -> Alcotest.fail "fetch succeeded through a dead network"
+  | None -> Alcotest.fail "fetch never completed");
+  check Alcotest.bool "retransmissions happened" true
+    ((Mkd.stats a.Testbed.mkd).Mkd.retransmissions >= 1)
+
+(* --- Stack end-to-end --- *)
+
+let test_stack_udp_end_to_end () =
+  let tb, a, b = make_pair () in
+  let got = ref [] in
+  Udp_stack.listen b.Testbed.host ~port:7 (fun ~src:_ ~src_port:_ d -> got := d :: !got);
+  List.iter
+    (fun m ->
+      Udp_stack.send a.Testbed.host ~src_port:7 ~dst:(Host.addr b.Testbed.host)
+        ~dst_port:7 m)
+    [ "one"; "two"; "three" ];
+  Testbed.run tb;
+  check Alcotest.int "all delivered" 3 (List.length !got);
+  let sc = Stack.counters a.Testbed.stack in
+  check Alcotest.int "suspended on cold start" 3 sc.Stack.suspended_out;
+  check Alcotest.int "all resumed" 3 sc.Stack.resumed;
+  check Alcotest.int "one fetch" 1 (Mkd.stats a.Testbed.mkd).Mkd.fetches
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_stack_wire_is_protected () =
+  let tb, a, b = make_pair () in
+  let fbs_frames = ref 0 and bypass_frames = ref 0 and leaked = ref false in
+  let ca = Testbed.ca_addr tb in
+  Medium.add_sniffer (Testbed.medium tb) (fun _ raw ->
+      match Ipv4.decode raw with
+      | h, payload ->
+          if contains payload "SECRET-MARKER" then leaked := true;
+          if Addr.equal h.Ipv4.src ca || Addr.equal h.Ipv4.dst ca then
+            incr bypass_frames
+          else if
+            Addr.equal h.Ipv4.src (Host.addr a.Testbed.host)
+            && h.Ipv4.protocol = Ipv4.proto_udp
+          then begin
+            match Fbsr_fbs.Header.decode payload with
+            | Ok _ -> incr fbs_frames
+            | Error _ -> ()
+          end
+      | exception Ipv4.Bad_packet _ -> ());
+  Udp_stack.listen b.Testbed.host ~port:7 (fun ~src:_ ~src_port:_ _ -> ());
+  Udp_stack.send a.Testbed.host ~src_port:7 ~dst:(Host.addr b.Testbed.host) ~dst_port:7
+    "SECRET-MARKER payload";
+  Testbed.run tb;
+  check Alcotest.bool "fbs header on data frames" true (!fbs_frames >= 1);
+  check Alcotest.bool "bypass traffic happened" true (!bypass_frames >= 2);
+  check Alcotest.bool "plaintext never on the wire" false !leaked
+
+let test_stack_auth_only_policy () =
+  let config =
+    Stack.default_config
+      ~secret_policy:(fun ~protocol:_ ~src_port:_ ~dst_port -> dst_port <> 7)
+      ()
+  in
+  let tb, a, b = make_pair ~config () in
+  let saw_plain = ref false in
+  Medium.add_sniffer (Testbed.medium tb) (fun _ raw ->
+      match Ipv4.decode raw with
+      | _, payload -> if contains payload "VISIBLE" then saw_plain := true
+      | exception Ipv4.Bad_packet _ -> ());
+  let got = ref "" in
+  Udp_stack.listen b.Testbed.host ~port:7 (fun ~src:_ ~src_port:_ d -> got := d);
+  Udp_stack.send a.Testbed.host ~src_port:7 ~dst:(Host.addr b.Testbed.host) ~dst_port:7
+    "VISIBLE payload";
+  Testbed.run tb;
+  check Alcotest.string "delivered" "VISIBLE payload" !got;
+  check Alcotest.bool "plaintext visible (auth-only)" true !saw_plain
+
+let test_stack_fragmentation_of_big_datagrams () =
+  let tb, a, b = make_pair () in
+  let got = ref "" in
+  Udp_stack.listen b.Testbed.host ~port:9 (fun ~src:_ ~src_port:_ d -> got := d);
+  let payload = String.init 6000 (fun i -> Char.chr ((i * 3) land 0xff)) in
+  Udp_stack.send a.Testbed.host ~src_port:9 ~dst:(Host.addr b.Testbed.host) ~dst_port:9
+    payload;
+  Testbed.run tb;
+  check Alcotest.string "big datagram through FBS + fragmentation" payload !got;
+  check Alcotest.bool "was fragmented" true
+    ((Host.stats a.Testbed.host).Host.fragments_out > 0)
+
+let test_stack_tcp_with_mss_fix () =
+  let tb, a, b = make_pair () in
+  let received = Buffer.create 1000 in
+  Minitcp.listen b.Testbed.host ~port:80 (fun conn ->
+      Minitcp.on_receive conn (fun d -> Buffer.add_string received d);
+      Minitcp.on_close conn (fun () -> Minitcp.close conn));
+  let c = Minitcp.connect a.Testbed.host ~dst:(Host.addr b.Testbed.host) ~dst_port:80 in
+  let expected_mss =
+    1500 - Ipv4.header_size - Tcp_seg.header_size
+    - Fbsr_fbs.Engine.wire_overhead (Stack.engine a.Testbed.stack)
+  in
+  check Alcotest.int "MSS shrunk by FBS overhead" expected_mss (Minitcp.mss c);
+  let payload = String.init 50_000 (fun i -> Char.chr ((i * 7) land 0xff)) in
+  Minitcp.on_established c (fun () ->
+      Minitcp.send c payload;
+      Minitcp.close c);
+  Testbed.run tb;
+  check Alcotest.string "bulk data intact" payload (Buffer.contents received);
+  check Alcotest.int "no send errors" 0 (Host.stats a.Testbed.host).Host.send_errors
+
+let test_stack_uninstall () =
+  let tb, a, b = make_pair () in
+  Stack.uninstall a.Testbed.stack;
+  Stack.uninstall b.Testbed.stack;
+  let got = ref "" in
+  Udp_stack.listen b.Testbed.host ~port:7 (fun ~src:_ ~src_port:_ d -> got := d);
+  Udp_stack.send a.Testbed.host ~src_port:7 ~dst:(Host.addr b.Testbed.host) ~dst_port:7
+    "plain again";
+  Testbed.run tb;
+  check Alcotest.string "plain traffic after uninstall" "plain again" !got;
+  check Alcotest.int "mss reduction cleared" 0 (Minitcp.mss_reduction a.Testbed.host)
+
+let test_peek_ports () =
+  let payload = "\x12\x34\x56\x78rest" in
+  check
+    Alcotest.(pair int int)
+    "tcp ports" (0x1234, 0x5678)
+    (Stack.peek_ports ~protocol:Ipv4.proto_tcp payload);
+  check
+    Alcotest.(pair int int)
+    "unknown proto" (0, 0)
+    (Stack.peek_ports ~protocol:47 payload);
+  check
+    Alcotest.(pair int int)
+    "short payload" (0, 0)
+    (Stack.peek_ports ~protocol:Ipv4.proto_udp "ab")
+
+(* --- The Section 7.2 combined fast path --- *)
+
+let test_fast_path_end_to_end () =
+  let config = Stack.default_config ~combined_fast_path:true () in
+  let tb, a, b = make_pair ~config () in
+  let got = ref [] in
+  Udp_stack.listen b.Testbed.host ~port:7 (fun ~src:_ ~src_port:_ d -> got := d :: !got);
+  (* First datagram starts the flow (MKD round trip); the rest ride the
+     combined table once the key is installed. *)
+  Udp_stack.send a.Testbed.host ~src_port:7 ~dst:(Host.addr b.Testbed.host) ~dst_port:7
+    "msg 1";
+  Engine.schedule (Testbed.engine tb) ~delay:1.0 (fun () ->
+      for i = 2 to 10 do
+        Udp_stack.send a.Testbed.host ~src_port:7 ~dst:(Host.addr b.Testbed.host)
+          ~dst_port:7
+          (Printf.sprintf "msg %d" i)
+      done);
+  Testbed.run tb;
+  check Alcotest.int "all delivered" 10 (List.length !got);
+  match Stack.fast_path a.Testbed.stack with
+  | None -> Alcotest.fail "fast path not installed"
+  | Some fp ->
+      let c = Fast_path.counters fp in
+      check Alcotest.int "one miss (flow start)" 1 c.Fast_path.misses;
+      check Alcotest.int "nine hits" 9 c.Fast_path.hits;
+      (* The combined path bypasses the FAM and TFKC entirely. *)
+      let fam_stats =
+        Fbsr_fbs.Fam.stats (Fbsr_fbs.Engine.fam (Stack.engine a.Testbed.stack))
+      in
+      check Alcotest.int "FAM untouched" 0 fam_stats.Fbsr_fbs.Fam.datagrams
+
+let test_fast_path_equivalent_on_the_wire () =
+  (* A combined-path sender interoperates with a generic-path receiver:
+     the optimization is invisible on the wire. *)
+  let config = Stack.default_config ~combined_fast_path:true () in
+  let tb = Testbed.create ~config () in
+  let a = Testbed.add_host tb ~name:"a" ~addr:"10.0.0.1" in
+  (* Receiver uses the default (generic) configuration. *)
+  let tb_cfg_b = Stack.default_config () in
+  ignore tb_cfg_b;
+  let b = Testbed.add_host tb ~name:"b" ~addr:"10.0.0.2" in
+  let got = ref "" in
+  Udp_stack.listen b.Testbed.host ~port:7 (fun ~src:_ ~src_port:_ d -> got := d);
+  Udp_stack.send a.Testbed.host ~src_port:7 ~dst:(Host.addr b.Testbed.host) ~dst_port:7
+    "interop";
+  Testbed.run tb;
+  check Alcotest.string "delivered" "interop" !got
+
+let test_fast_path_threshold_rotation () =
+  let config = Stack.default_config ~combined_fast_path:true ~threshold:60.0 () in
+  let tb, a, b = make_pair ~config () in
+  let sfls = ref [] in
+  Medium.add_sniffer (Testbed.medium tb) (fun _ raw ->
+      match Ipv4.decode raw with
+      | h, payload
+        when Addr.equal h.Ipv4.src (Host.addr a.Testbed.host)
+             && h.Ipv4.protocol = Ipv4.proto_udp -> (
+          match Fbsr_fbs.Header.decode payload with
+          | Ok (fh, _) ->
+              let s = Fbsr_fbs.Sfl.to_int64 fh.Fbsr_fbs.Header.sfl in
+              if not (List.mem s !sfls) then sfls := s :: !sfls
+          | Error _ -> ())
+      | _ -> ()
+      | exception Ipv4.Bad_packet _ -> ());
+  Udp_stack.listen b.Testbed.host ~port:7 (fun ~src:_ ~src_port:_ _ -> ());
+  let send () =
+    Udp_stack.send a.Testbed.host ~src_port:7 ~dst:(Host.addr b.Testbed.host)
+      ~dst_port:7 "x"
+  in
+  send ();
+  Engine.schedule (Testbed.engine tb) ~delay:30.0 send;
+  (* Past the 60 s threshold since last use: new flow, new sfl. *)
+  Engine.schedule (Testbed.engine tb) ~delay:200.0 send;
+  Testbed.run tb;
+  check Alcotest.int "two distinct sfls" 2 (List.length !sfls)
+
+(* --- ICMP through FBS: raw IP as host-level flows (footnote 10) --- *)
+
+let test_icmp_through_fbs () =
+  let tb, a, b = make_pair () in
+  Icmp.install a.Testbed.host;
+  Icmp.install b.Testbed.host;
+  let replies = ref 0 in
+  for _ = 1 to 5 do
+    Icmp.ping a.Testbed.host ~dst:(Host.addr b.Testbed.host) (fun _rtt _payload ->
+        incr replies)
+  done;
+  Testbed.run tb;
+  check Alcotest.int "all pings answered through FBS" 5 !replies;
+  check Alcotest.int "b echoed" 5 (Icmp.echoed b.Testbed.host);
+  (* All port-less ICMP datagrams to one destination share a single
+     host-level flow. *)
+  let fam_stats =
+    Fbsr_fbs.Fam.stats (Fbsr_fbs.Engine.fam (Stack.engine a.Testbed.stack))
+  in
+  check Alcotest.int "one flow for all pings" 1 fam_stats.Fbsr_fbs.Fam.flows_started
+
+(* --- The Section 7.1 port-reuse attack --- *)
+
+let test_port_reuse_attack () =
+  (* An attacker records a flow's datagrams, then grabs the destination
+     port right after the victim releases it (within THRESHOLD) and
+     replays: FBS happily decrypts for the attacker.  The paper's proposed
+     fix is to delay port reallocation, making the replay stale. *)
+  let replay_window_minutes = 30 in
+  let config = Stack.default_config ~threshold:600.0 ~replay_window_minutes () in
+  let tb = Testbed.create ~config () in
+  let alice = Testbed.add_host tb ~name:"alice" ~addr:"10.0.0.1" in
+  let bob = Testbed.add_host tb ~name:"bob" ~addr:"10.0.0.2" in
+  let tap = Fbsr_baselines.Attacks.tap (Testbed.medium tb) in
+  let victim_got = ref 0 in
+  Udp_stack.listen bob.Testbed.host ~port:7777 (fun ~src:_ ~src_port:_ _ ->
+      incr victim_got);
+  Udp_stack.send alice.Testbed.host ~src_port:5000 ~dst:(Host.addr bob.Testbed.host)
+    ~dst_port:7777 "for the victim only";
+  Testbed.run tb;
+  check Alcotest.int "victim got it" 1 !victim_got;
+  (* Victim exits; attacker grabs the port immediately (within THRESHOLD). *)
+  Udp_stack.unlisten bob.Testbed.host ~port:7777;
+  let attacker_got = ref [] in
+  Udp_stack.listen bob.Testbed.host ~port:7777 (fun ~src:_ ~src_port:_ d ->
+      attacker_got := d :: !attacker_got);
+  let frames =
+    Fbsr_baselines.Attacks.between tap ~src:(Host.addr alice.Testbed.host)
+      ~dst:(Host.addr bob.Testbed.host)
+  in
+  let _, captured = List.hd frames in
+  Fbsr_baselines.Attacks.replay (Testbed.medium tb) captured;
+  Testbed.run tb;
+  check
+    Alcotest.(list string)
+    "attack succeeds within THRESHOLD" [ "for the victim only" ] !attacker_got;
+  (* The fix: delay port reallocation; by then the replay is stale. *)
+  attacker_got := [];
+  Engine.schedule (Testbed.engine tb)
+    ~delay:(float_of_int (replay_window_minutes * 60) +. 700.0)
+    (fun () -> Fbsr_baselines.Attacks.replay (Testbed.medium tb) captured);
+  Testbed.run tb;
+  check
+    Alcotest.(list string)
+    "delayed reallocation defeats the replay" [] !attacker_got
+
+(* --- Key-server outage and recovery --- *)
+
+let test_ca_outage_recovery () =
+  (* The key server is unreachable at first contact: the parked datagram
+     is eventually dropped when the MKD exhausts its retries.  When the
+     network heals, traffic flows (and only pays the fetch once). *)
+  let tb, a, b = make_pair () in
+  let got = ref 0 in
+  Udp_stack.listen b.Testbed.host ~port:7 (fun ~src:_ ~src_port:_ _ -> incr got);
+  Medium.set_loss (Testbed.medium tb) 1.0;
+  Udp_stack.send a.Testbed.host ~src_port:7 ~dst:(Host.addr b.Testbed.host) ~dst_port:7
+    "lost to the outage";
+  Testbed.run ~until:30.0 tb;
+  check Alcotest.int "nothing through during outage" 0 !got;
+  check Alcotest.bool "fetch failed after retries" true
+    ((Mkd.stats a.Testbed.mkd).Mkd.failures >= 1);
+  check Alcotest.int "datagram dropped, not wedged" 1
+    (Stack.counters a.Testbed.stack).Stack.dropped_error;
+  (* Network heals. *)
+  Medium.set_loss (Testbed.medium tb) 0.0;
+  Udp_stack.send a.Testbed.host ~src_port:7 ~dst:(Host.addr b.Testbed.host) ~dst_port:7
+    "after recovery";
+  Testbed.run tb;
+  check Alcotest.int "delivered after recovery" 1 !got
+
+(* --- The standalone sweeper (Figure 7) --- *)
+
+let test_stack_sweeper () =
+  let tb, a, b = make_pair () in
+  Stack.start_sweeper ~period:30.0 a.Testbed.stack;
+  Udp_stack.listen b.Testbed.host ~port:7 (fun ~src:_ ~src_port:_ _ -> ());
+  Udp_stack.send a.Testbed.host ~src_port:7 ~dst:(Host.addr b.Testbed.host) ~dst_port:7
+    "start a flow";
+  (* Run well past THRESHOLD (600 s): the sweeper must have expired the
+     idle flow from the FST even though no further packet probed it. *)
+  Testbed.run ~until:700.0 tb;
+  let st = Stack.policy_state a.Testbed.stack in
+  check Alcotest.int "flow swept" 0 (Fbsr_fbs.Policy_five_tuple.active st ~now:700.0);
+  check Alcotest.bool "sweeper did the expiry" true
+    ((Fbsr_fbs.Policy_five_tuple.counters st).Fbsr_fbs.Policy_five_tuple.expirations >= 1)
+
+(* --- IPv6 flow-label bridging (the QoS-flow coincidence) --- *)
+
+let test_flow_label_bridge () =
+  let alloc = Fbsr_fbs.Sfl.allocator ~rng:(Fbsr_util.Rng.create 5) in
+  let sfl1 = Fbsr_fbs.Sfl.fresh alloc in
+  let sfl2 = Fbsr_fbs.Sfl.fresh alloc in
+  let l1 = Flow_label.of_sfl sfl1 and l2 = Flow_label.of_sfl sfl2 in
+  check Alcotest.bool "20 bits" true (l1 >= 0 && l1 <= Ipv6.max_flow_label);
+  check Alcotest.bool "deterministic" true (l1 = Flow_label.of_sfl sfl1);
+  check Alcotest.bool "distinct flows, distinct labels" true (l1 <> l2);
+  let src = Ipv6.Addr6.of_string "2001:db8::1" in
+  let dst = Ipv6.Addr6.of_string "2001:db8::2" in
+  let h = Ipv6.make ~next_header:17 ~src ~dst ~payload_length:0 () in
+  let stamped = Flow_label.stamp_header ~sfl:sfl1 h in
+  check Alcotest.bool "stamped consistently" true (Flow_label.consistent ~sfl:sfl1 stamped);
+  check Alcotest.bool "wrong flow detected" false (Flow_label.consistent ~sfl:sfl2 stamped);
+  (* Survives the wire. *)
+  let h', _ = Ipv6.decode (Ipv6.encode stamped "") in
+  check Alcotest.bool "label survives encoding" true (Flow_label.consistent ~sfl:sfl1 h')
+
+let test_flow_label_spread () =
+  (* Sequential sfls must not produce clustered labels (RFC 1809 wants
+     router-hashable labels). *)
+  let alloc = Fbsr_fbs.Sfl.allocator ~rng:(Fbsr_util.Rng.create 6) in
+  let labels =
+    List.init 1000 (fun _ -> Flow_label.of_sfl (Fbsr_fbs.Sfl.fresh alloc))
+  in
+  let distinct = List.sort_uniq compare labels in
+  check Alcotest.bool "nearly all distinct" true (List.length distinct > 990);
+  (* Spread across the label space, not bunched in one region. *)
+  let low = List.length (List.filter (fun l -> l < Ipv6.max_flow_label / 2) labels) in
+  check Alcotest.bool "roughly balanced halves" true (low > 350 && low < 650)
+
+(* --- IP-option encapsulation (the paper's §7.2 alternative) --- *)
+
+let test_ip_option_encapsulation () =
+  let config = Stack.default_config ~encapsulation:`Ip_option () in
+  let tb, a, b = make_pair ~config () in
+  (* Observe the wire: the FBS header must ride in the IP options and the
+     payload must still be ciphertext. *)
+  let saw_option = ref false and leaked = ref false in
+  Medium.add_sniffer (Testbed.medium tb) (fun _ raw ->
+      match Ipv4.decode raw with
+      | h, payload ->
+          if
+            Addr.equal h.Ipv4.src (Host.addr a.Testbed.host)
+            && String.length h.Ipv4.options >= 2
+            && Char.code h.Ipv4.options.[0] = 0x9e
+          then saw_option := true;
+          if contains payload "OPTION-SECRET" then leaked := true
+      | exception Ipv4.Bad_packet _ -> ());
+  let got = ref [] in
+  Udp_stack.listen b.Testbed.host ~port:7 (fun ~src:_ ~src_port:_ d -> got := d :: !got);
+  Udp_stack.send a.Testbed.host ~src_port:7 ~dst:(Host.addr b.Testbed.host) ~dst_port:7
+    "OPTION-SECRET payload";
+  Udp_stack.send a.Testbed.host ~src_port:7 ~dst:(Host.addr b.Testbed.host) ~dst_port:7
+    "second datagram";
+  Testbed.run tb;
+  check Alcotest.int "delivered" 2 (List.length !got);
+  check Alcotest.bool "FBS header in IP options" true !saw_option;
+  check Alcotest.bool "payload still protected" false !leaked
+
+let test_ip_option_budget_enforced () =
+  (* A hypothetical suite whose header exceeds the 40-byte option budget is
+     rejected at install time: "the 40 byte maximum is fairly limiting". *)
+  let fat_suite =
+    { Fbsr_fbs.Suite.paper_md5_des with Fbsr_fbs.Suite.id = 0; mac_length = 24 }
+  in
+  (* header = 18 fixed + 24 MAC = 42 > 40 - 2. *)
+  let config = Stack.default_config ~suite:fat_suite ~encapsulation:`Ip_option () in
+  let tb = Testbed.create () in
+  let host = Testbed.add_plain_host tb ~name:"x" ~addr:"10.0.0.9" in
+  let group = Testbed.group tb in
+  let rng = Fbsr_util.Rng.create 1 in
+  let private_value = Fbsr_crypto.Dh.gen_private group rng in
+  match
+    Stack.install ~config ~private_value ~group
+      ~ca_public:(Fbsr_cert.Authority.public (Testbed.authority tb))
+      ~ca_hash:(Fbsr_cert.Authority.hash (Testbed.authority tb))
+      ~resolver:(fun _ k -> k (Error "n/a"))
+      host
+  with
+  | _ -> Alcotest.fail "oversized suite accepted in option mode"
+  | exception Invalid_argument msg ->
+      check Alcotest.bool "mentions the limit" true
+        (String.length msg > 0 && contains msg "40")
+
+(* --- FBS across a forwarding router (the transparency claim) --- *)
+
+let test_fbs_across_router () =
+  (* "A forwarding router also will not see anything 'strange' about FBS
+     processed IP packets": two FBS hosts on different segments, a plain
+     IP router between them, a key server on segment A reachable via a
+     static route — everything still verifies, even with the router
+     re-fragmenting onto a smaller-MTU segment. *)
+  let eng = Engine.create () in
+  let seg_a = Medium.create ~seed:31 eng in
+  let seg_b = Medium.create ~seed:32 eng in
+  let router = Router.create ~name:"r" () in
+  ignore (Router.attach router ~addr:(Addr.of_string "10.0.1.1") ~prefix:24 seg_a);
+  ignore
+    (Router.attach router ~addr:(Addr.of_string "10.0.2.1") ~prefix:24 ~mtu:576 seg_b);
+  (* Build the FBS machinery by hand on the two segments. *)
+  let rng = Fbsr_util.Rng.create 88 in
+  let group = Lazy.force Fbsr_crypto.Dh.test_group in
+  let authority = Fbsr_cert.Authority.create ~rng ~bits:512 () in
+  let ca_host = Host.create ~name:"ca" ~addr:(Addr.of_string "10.0.1.100") eng in
+  Host.attach ca_host seg_a;
+  Host.set_gateway ca_host ~prefix:24 ~gateway:(Addr.of_string "10.0.1.1");
+  Udp_stack.install ca_host;
+  let ca_server = Ca_server.install ~authority ca_host in
+  let make_node ~name ~addr ~gw segment =
+    let host = Host.create ~name ~addr:(Addr.of_string addr) eng in
+    Host.attach host segment;
+    Host.set_gateway host ~prefix:24 ~gateway:(Addr.of_string gw);
+    Udp_stack.install host;
+    Minitcp.install host;
+    let private_value = Fbsr_crypto.Dh.gen_private group rng in
+    let public = Fbsr_crypto.Dh.public group private_value in
+    let (_ : Fbsr_cert.Certificate.t) =
+      Fbsr_cert.Authority.enroll authority ~now:0.0 ~subject:addr
+        ~group:group.Fbsr_crypto.Dh.name
+        ~public_value:(Fbsr_crypto.Dh.public_to_bytes group public)
+    in
+    let mkd =
+      Mkd.create ~ca_addr:(Host.addr ca_host) ~ca_port:(Ca_server.port ca_server) host
+    in
+    let config =
+      Stack.default_config ~bypass:(fun a -> Addr.equal a (Host.addr ca_host)) ()
+    in
+    let stack =
+      Stack.install ~config ~private_value ~group
+        ~ca_public:(Fbsr_cert.Authority.public authority)
+        ~ca_hash:(Fbsr_cert.Authority.hash authority)
+        ~resolver:(Mkd.resolver mkd) host
+    in
+    (host, stack)
+  in
+  let a, _ = make_node ~name:"a" ~addr:"10.0.1.10" ~gw:"10.0.1.1" seg_a in
+  let b, stack_b = make_node ~name:"b" ~addr:"10.0.2.10" ~gw:"10.0.2.1" seg_b in
+  let got = ref [] in
+  Udp_stack.listen b ~port:7 (fun ~src:_ ~src_port:_ d -> got := d :: !got);
+  (* Small datagram plus one large enough that the router must fragment it
+     onto the 576-byte segment. *)
+  Udp_stack.send a ~src_port:7 ~dst:(Host.addr b) ~dst_port:7 "short one";
+  Udp_stack.send a ~src_port:7 ~dst:(Host.addr b) ~dst_port:7 (String.make 1200 'R');
+  Engine.run eng;
+  check Alcotest.int "both delivered through the router" 2 (List.length !got);
+  check Alcotest.bool "router re-fragmented FBS traffic" true
+    ((Router.stats router).Router.fragmented > 0);
+  check Alcotest.int "no verification errors" 0
+    (Fbsr_fbs.Engine.counters (Stack.engine stack_b)).Fbsr_fbs.Engine.errors_mac
+
+(* --- Clock skew end-to-end (loose time synchronization) --- *)
+
+let test_clock_skew_end_to_end () =
+  (* Receiver's clock runs 60 s behind: inside the +-2 min window, traffic
+     flows.  10 minutes behind: every datagram is "from the future" and is
+     rejected as stale. *)
+  let run_with_skew skew =
+    let tb, a, b = make_pair () in
+    Host.set_clock_offset b.Testbed.host skew;
+    let got = ref 0 in
+    Udp_stack.listen b.Testbed.host ~port:7 (fun ~src:_ ~src_port:_ _ -> incr got);
+    (* Move simulated time away from 0 so negative skews stay positive. *)
+    Engine.schedule (Testbed.engine tb) ~delay:1200.0 (fun () ->
+        Udp_stack.send a.Testbed.host ~src_port:7 ~dst:(Host.addr b.Testbed.host)
+          ~dst_port:7 "tick");
+    Testbed.run tb;
+    !got
+  in
+  check Alcotest.int "60s skew tolerated" 1 (run_with_skew (-60.0));
+  check Alcotest.int "600s skew rejected" 0 (run_with_skew (-600.0))
+
+(* --- FBS over IPv6 (packet level) --- *)
+
+let make_v6_engines () =
+  (* Two FBS engines whose principals are IPv6 addresses, with a local
+     synchronous resolver. *)
+  let rng = Fbsr_util.Rng.create 66 in
+  let group = Lazy.force Fbsr_crypto.Dh.test_group in
+  let ca = Fbsr_cert.Authority.create ~rng ~bits:512 () in
+  let enroll name =
+    let priv = Fbsr_crypto.Dh.gen_private group rng in
+    let pub = Fbsr_crypto.Dh.public group priv in
+    ignore
+      (Fbsr_cert.Authority.enroll ca ~now:0.0 ~subject:name
+         ~group:group.Fbsr_crypto.Dh.name
+         ~public_value:(Fbsr_crypto.Dh.public_to_bytes group pub));
+    priv
+  in
+  let resolver peer k =
+    match Fbsr_cert.Authority.lookup ca (Fbsr_fbs.Principal.to_string peer) with
+    | Some c -> k (Ok c)
+    | None -> k (Error "unknown")
+  in
+  let mk name seed =
+    let priv = enroll name in
+    let keying =
+      Fbsr_fbs.Keying.create
+        ~local:(Fbsr_fbs.Principal.of_string name)
+        ~group ~private_value:priv
+        ~ca_public:(Fbsr_cert.Authority.public ca)
+        ~ca_hash:(Fbsr_cert.Authority.hash ca)
+        ~resolver
+        ~clock:(fun () -> 0.0)
+        ()
+    in
+    let alloc = Fbsr_fbs.Sfl.allocator ~rng:(Fbsr_util.Rng.create seed) in
+    let fam = Fbsr_fbs.Fam.create (Fbsr_fbs.Policy_five_tuple.policy ~alloc ()) in
+    Fbsr_fbs.Engine.create ~keying ~fam ()
+  in
+  let a6 = Ipv6.Addr6.of_string "2001:db8::1" in
+  let b6 = Ipv6.Addr6.of_string "2001:db8::2" in
+  (a6, b6, mk (Ipv6.Addr6.to_string a6) 1, mk (Ipv6.Addr6.to_string b6) 2)
+
+let test_ipv6_mapping_roundtrip () =
+  let a6, b6, es, ed = make_v6_engines () in
+  let sent = ref None in
+  Stack6.seal_packet es ~now:120.0 ~src:a6 ~dst:b6 ~next_header:17 ~src_port:1
+    ~dst_port:2 ~secret:true "v6 protected payload" (fun r -> sent := Some r);
+  let raw =
+    match !sent with
+    | Some (Ok raw) -> raw
+    | _ -> Alcotest.fail "seal did not complete"
+  in
+  (* The packet parses as IPv6 and carries an sfl-consistent flow label. *)
+  let h, _ = Ipv6.decode raw in
+  check Alcotest.bool "flow label stamped" true (h.Ipv6.flow_label <> 0);
+  let opened = ref None in
+  Stack6.open_packet ed ~now:120.0 raw (fun r -> opened := Some r);
+  (match !opened with
+  | Some (Ok o) ->
+      check Alcotest.string "payload" "v6 protected payload"
+        o.Stack6.accepted.Fbsr_fbs.Engine.payload;
+      check Alcotest.bool "label consistent with sfl" true o.Stack6.label_consistent
+  | _ -> Alcotest.fail "open failed");
+  (* Same conversation: second datagram keeps the same flow label. *)
+  let sent2 = ref None in
+  Stack6.seal_packet es ~now:121.0 ~src:a6 ~dst:b6 ~next_header:17 ~src_port:1
+    ~dst_port:2 ~secret:true "second" (fun r -> sent2 := Some r);
+  (match !sent2 with
+  | Some (Ok raw2) ->
+      let h2, _ = Ipv6.decode raw2 in
+      check Alcotest.int "stable label within the flow" h.Ipv6.flow_label
+        h2.Ipv6.flow_label
+  | _ -> Alcotest.fail "second seal failed");
+  (* A different conversation gets a different label. *)
+  let sent3 = ref None in
+  Stack6.seal_packet es ~now:121.0 ~src:a6 ~dst:b6 ~next_header:17 ~src_port:9
+    ~dst_port:2 ~secret:true "other flow" (fun r -> sent3 := Some r);
+  match !sent3 with
+  | Some (Ok raw3) ->
+      let h3, _ = Ipv6.decode raw3 in
+      check Alcotest.bool "different flow, different label" true
+        (h3.Ipv6.flow_label <> h.Ipv6.flow_label)
+  | _ -> Alcotest.fail "third seal failed"
+
+let test_ipv6_mapping_tamper () =
+  let a6, b6, es, ed = make_v6_engines () in
+  let sent = ref None in
+  Stack6.seal_packet es ~now:120.0 ~src:a6 ~dst:b6 ~next_header:17 ~secret:true
+    "tamper target" (fun r -> sent := Some r);
+  let raw = match !sent with Some (Ok r) -> r | _ -> Alcotest.fail "seal failed" in
+  let b = Bytes.of_string raw in
+  Bytes.set b (String.length raw - 1) 'X';
+  let opened = ref None in
+  Stack6.open_packet ed ~now:120.0 (Bytes.to_string b) (fun r -> opened := Some r);
+  match !opened with
+  | Some (Error (Stack6.Fbs _)) -> ()
+  | _ -> Alcotest.fail "tampered v6 packet accepted"
+
+(* --- Gateway-to-gateway FBS (Section 7.1 host/gateway granularity) --- *)
+
+let test_gateway_tunnel () =
+  (* Two sites whose hosts run NO security at all; the site gateways
+     tunnel inter-site traffic through FBS.  Plaintext is visible on the
+     trusted site segments, never on the backbone. *)
+  let eng = Engine.create () in
+  let site_a = Medium.create ~seed:41 eng in
+  let site_b = Medium.create ~seed:42 eng in
+  let backbone = Medium.create ~seed:43 eng in
+  (* Key infrastructure on the backbone. *)
+  let rng = Fbsr_util.Rng.create 90 in
+  let group = Lazy.force Fbsr_crypto.Dh.test_group in
+  let authority = Fbsr_cert.Authority.create ~rng ~bits:512 () in
+  let ca_host = Host.create ~name:"ca" ~addr:(Addr.of_string "10.0.0.100") eng in
+  Host.attach ca_host backbone;
+  Udp_stack.install ca_host;
+  let ca_server = Ca_server.install ~authority ca_host in
+  let make_outer ~addr =
+    let host = Host.create ~name:("gw-" ^ addr) ~addr:(Addr.of_string addr) eng in
+    Host.attach host backbone;
+    Udp_stack.install host;
+    let private_value = Fbsr_crypto.Dh.gen_private group rng in
+    let public = Fbsr_crypto.Dh.public group private_value in
+    let (_ : Fbsr_cert.Certificate.t) =
+      Fbsr_cert.Authority.enroll authority ~now:0.0 ~subject:addr
+        ~group:group.Fbsr_crypto.Dh.name
+        ~public_value:(Fbsr_crypto.Dh.public_to_bytes group public)
+    in
+    let mkd =
+      Mkd.create ~ca_addr:(Host.addr ca_host) ~ca_port:(Ca_server.port ca_server) host
+    in
+    let config =
+      Stack.default_config ~bypass:(fun a -> Addr.equal a (Host.addr ca_host)) ()
+    in
+    let (_ : Stack.t) =
+      Stack.install ~config ~private_value ~group
+        ~ca_public:(Fbsr_cert.Authority.public authority)
+        ~ca_hash:(Fbsr_cert.Authority.hash authority)
+        ~resolver:(Mkd.resolver mkd) host
+    in
+    host
+  in
+  let gw_a_outer = make_outer ~addr:"10.0.0.1" in
+  let gw_b_outer = make_outer ~addr:"10.0.0.2" in
+  let gw_a =
+    Gateway.create ~inside:site_a ~inside_addr:(Addr.of_string "10.1.0.1")
+      ~outer:gw_a_outer ()
+  in
+  let gw_b =
+    Gateway.create ~inside:site_b ~inside_addr:(Addr.of_string "10.2.0.1")
+      ~outer:gw_b_outer ()
+  in
+  Gateway.add_peer gw_a ~network:(Addr.of_string "10.2.0.0") ~prefix:24
+    ~gateway:(Host.addr gw_b_outer);
+  Gateway.add_peer gw_b ~network:(Addr.of_string "10.1.0.0") ~prefix:24
+    ~gateway:(Host.addr gw_a_outer);
+  (* Plain hosts on each site. *)
+  let a1 = Host.create ~name:"a1" ~addr:(Addr.of_string "10.1.0.10") eng in
+  Host.attach a1 site_a;
+  Host.set_gateway a1 ~prefix:24 ~gateway:(Addr.of_string "10.1.0.1");
+  Udp_stack.install a1;
+  let b1 = Host.create ~name:"b1" ~addr:(Addr.of_string "10.2.0.10") eng in
+  Host.attach b1 site_b;
+  Host.set_gateway b1 ~prefix:24 ~gateway:(Addr.of_string "10.2.0.1");
+  Udp_stack.install b1;
+  (* Observe both the backbone and a site segment. *)
+  let backbone_leak = ref false and site_saw_plain = ref false in
+  Medium.add_sniffer backbone (fun _ raw ->
+      if contains raw "TUNNEL-SECRET" then backbone_leak := true);
+  Medium.add_sniffer site_b (fun _ raw ->
+      if contains raw "TUNNEL-SECRET" then site_saw_plain := true);
+  let got = ref [] in
+  Udp_stack.listen b1 ~port:7 (fun ~src ~src_port:_ d ->
+      got := (Addr.to_string src, d) :: !got);
+  Udp_stack.send a1 ~src_port:7 ~dst:(Host.addr b1) ~dst_port:7
+    "TUNNEL-SECRET payload one";
+  Udp_stack.send a1 ~src_port:7 ~dst:(Host.addr b1) ~dst_port:7
+    "TUNNEL-SECRET payload two";
+  Engine.run eng;
+  check Alcotest.int "delivered across sites" 2 (List.length !got);
+  (* End-to-end transparency: b1 sees a1's real address as the source. *)
+  List.iter
+    (fun (src, _) -> check Alcotest.string "inner source preserved" "10.1.0.10" src)
+    !got;
+  check Alcotest.bool "backbone never sees plaintext" false !backbone_leak;
+  check Alcotest.bool "site segment is plaintext (trusted zone)" true !site_saw_plain;
+  check Alcotest.int "gw_a encapsulated" 2 (Gateway.counters gw_a).Gateway.encapsulated;
+  check Alcotest.int "gw_b decapsulated" 2 (Gateway.counters gw_b).Gateway.decapsulated;
+  check Alcotest.int "no routing failures" 0 (Gateway.counters gw_a).Gateway.no_route;
+  (* A near-MTU inner datagram: outer = inner + IP + FBS overhead exceeds
+     the backbone MTU, so the tunnel datagram fragments and reassembles
+     transparently. *)
+  let big = ref "" in
+  Udp_stack.listen b1 ~port:8 (fun ~src:_ ~src_port:_ d -> big := d);
+  let payload = String.init 1450 (fun i -> Char.chr ((i * 7) land 0xff)) in
+  Udp_stack.send a1 ~src_port:8 ~dst:(Host.addr b1) ~dst_port:8 payload;
+  Engine.run eng;
+  check Alcotest.string "near-MTU datagram through the tunnel" payload !big;
+  check Alcotest.bool "outer fragmented" true
+    ((Host.stats gw_a_outer).Host.fragments_out > 0)
+
+(* --- Testbed with a real-size group --- *)
+
+let test_oakley_group_end_to_end () =
+  let tb = Testbed.create ~group_bits:1024 () in
+  let a = Testbed.add_host tb ~name:"a" ~addr:"10.0.0.1" in
+  let b = Testbed.add_host tb ~name:"b" ~addr:"10.0.0.2" in
+  let got = ref "" in
+  Udp_stack.listen b.Testbed.host ~port:7 (fun ~src:_ ~src_port:_ d -> got := d);
+  Udp_stack.send a.Testbed.host ~src_port:7 ~dst:(Host.addr b.Testbed.host) ~dst_port:7
+    "real group size";
+  Testbed.run tb;
+  check Alcotest.string "delivered under oakley2" "real group size" !got
+
+let () =
+  Alcotest.run "fbs_ip"
+    [
+      ( "mkd-protocol",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_mkd_protocol_roundtrip;
+          Alcotest.test_case "garbage" `Quick test_mkd_protocol_garbage;
+        ] );
+      ( "mkd",
+        [
+          Alcotest.test_case "fetch roundtrip" `Quick test_mkd_fetch_roundtrip;
+          Alcotest.test_case "unknown principal" `Quick test_mkd_unknown_principal;
+          Alcotest.test_case "coalesces" `Quick test_mkd_coalesces_requests;
+          Alcotest.test_case "retransmits on loss" `Quick test_mkd_retransmits_on_loss;
+        ] );
+      ( "stack",
+        [
+          Alcotest.test_case "udp end-to-end" `Quick test_stack_udp_end_to_end;
+          Alcotest.test_case "wire is protected" `Quick test_stack_wire_is_protected;
+          Alcotest.test_case "auth-only policy" `Quick test_stack_auth_only_policy;
+          Alcotest.test_case "fragmentation" `Quick
+            test_stack_fragmentation_of_big_datagrams;
+          Alcotest.test_case "tcp + MSS fix" `Quick test_stack_tcp_with_mss_fix;
+          Alcotest.test_case "uninstall" `Quick test_stack_uninstall;
+          Alcotest.test_case "peek ports" `Quick test_peek_ports;
+          Alcotest.test_case "standalone sweeper (Figure 7)" `Quick test_stack_sweeper;
+          Alcotest.test_case "key-server outage + recovery" `Quick
+            test_ca_outage_recovery;
+        ] );
+      ( "fast-path",
+        [
+          Alcotest.test_case "end-to-end" `Quick test_fast_path_end_to_end;
+          Alcotest.test_case "wire-equivalent" `Quick
+            test_fast_path_equivalent_on_the_wire;
+          Alcotest.test_case "threshold rotation" `Quick
+            test_fast_path_threshold_rotation;
+        ] );
+      ( "icmp",
+        [ Alcotest.test_case "raw IP host-level flows" `Quick test_icmp_through_fbs ]
+      );
+      ( "attacks",
+        [ Alcotest.test_case "port reuse (Section 7.1)" `Quick test_port_reuse_attack ]
+      );
+      ( "flow-label",
+        [
+          Alcotest.test_case "sfl -> IPv6 label bridge" `Quick test_flow_label_bridge;
+          Alcotest.test_case "labels spread uniformly" `Quick test_flow_label_spread;
+        ] );
+      ( "ipv6-mapping",
+        [
+          Alcotest.test_case "roundtrip + label stability" `Quick
+            test_ipv6_mapping_roundtrip;
+          Alcotest.test_case "tamper rejected" `Quick test_ipv6_mapping_tamper;
+        ] );
+      ( "ip-option-mode",
+        [
+          Alcotest.test_case "end-to-end via options" `Quick
+            test_ip_option_encapsulation;
+          Alcotest.test_case "40-byte budget enforced" `Quick
+            test_ip_option_budget_enforced;
+        ] );
+      ( "topology",
+        [
+          Alcotest.test_case "FBS across a router" `Quick test_fbs_across_router;
+          Alcotest.test_case "clock skew end-to-end" `Quick test_clock_skew_end_to_end;
+          Alcotest.test_case "gateway-to-gateway tunnel" `Quick test_gateway_tunnel;
+        ] );
+      ( "real-group",
+        [ Alcotest.test_case "oakley2 end-to-end" `Slow test_oakley_group_end_to_end ]
+      );
+    ]

@@ -1,0 +1,348 @@
+(* Tests for the workload/trace substrate and the flow & cache simulators
+   that regenerate Figures 9-14. *)
+
+open Fbsr_traffic
+
+let check = Alcotest.check
+let qtest t = QCheck_alcotest.to_alcotest t
+
+(* --- Record --- *)
+
+let gen_record =
+  QCheck.Gen.(
+    map
+      (fun ((t, proto), (sp, dp), sz) ->
+        {
+          Record.time = float_of_int t /. 1000.0;
+          src = "10.1.0.1";
+          src_port = sp;
+          dst = "10.1.0.2";
+          dst_port = dp;
+          protocol = (if proto then 6 else 17);
+          size = sz;
+        })
+      (triple (pair (int_bound 1_000_000) bool)
+         (pair (int_bound 0xffff) (int_bound 0xffff))
+         (int_bound 65535)))
+
+let arb_record = QCheck.make ~print:Record.to_line gen_record
+
+let prop_record_line_roundtrip =
+  QCheck.Test.make ~name:"record line roundtrip" ~count:300 arb_record (fun r ->
+      let r' = Record.of_line (Record.to_line r) in
+      r'.Record.src = r.Record.src
+      && r'.Record.src_port = r.Record.src_port
+      && r'.Record.dst = r.Record.dst
+      && r'.Record.dst_port = r.Record.dst_port
+      && r'.Record.protocol = r.Record.protocol
+      && r'.Record.size = r.Record.size
+      && abs_float (r'.Record.time -. r.Record.time) < 1e-6)
+
+let test_record_bad_line () =
+  List.iter
+    (fun line ->
+      match Record.of_line line with
+      | _ -> Alcotest.failf "accepted %S" line
+      | exception Record.Bad_line _ -> ())
+    [ ""; "1.0 17 a"; "x 17 a 1 b 2 3" ]
+
+let test_record_save_load () =
+  let records =
+    [
+      { Record.time = 1.5; src = "10.0.0.1"; src_port = 1000; dst = "10.0.0.2";
+        dst_port = 80; protocol = 6; size = 512 };
+      { Record.time = 2.5; src = "10.0.0.2"; src_port = 80; dst = "10.0.0.1";
+        dst_port = 1000; protocol = 6; size = 1024 };
+    ]
+  in
+  let path = Filename.temp_file "fbs-trace" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Record.save path records;
+      let loaded = Record.load path in
+      check Alcotest.int "count" 2 (List.length loaded);
+      check Alcotest.int "bytes" (Record.total_bytes records) (Record.total_bytes loaded))
+
+(* --- Workload --- *)
+
+let test_conversations_well_formed () =
+  let rng = Fbsr_util.Rng.create 5 in
+  List.iter
+    (fun app ->
+      let conv = Workload.generate rng app in
+      check Alcotest.bool (Workload.app_name app ^ " non-empty") true
+        (conv.Workload.events <> []);
+      List.iter
+        (fun e ->
+          check Alcotest.bool "time nonneg" true (e.Workload.at >= 0.0);
+          check Alcotest.bool "size positive" true (e.Workload.size > 0);
+          check Alcotest.bool "size sane" true (e.Workload.size <= 1460))
+        conv.Workload.events)
+    Workload.all_apps
+
+let test_bulk_packets_account () =
+  let events = Workload.bulk_packets ~t0:1.0 ~bytes:5000 ~rate_bps:1e6 ~c2s:false in
+  let total = List.fold_left (fun acc e -> acc + e.Workload.size) 0 events in
+  check Alcotest.int "bytes conserved" 5000 total;
+  (* Monotone times. *)
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a.Workload.at <= b.Workload.at && monotone rest
+    | _ -> true
+  in
+  check Alcotest.bool "monotone" true (monotone events)
+
+let test_to_records_endpoints () =
+  let rng = Fbsr_util.Rng.create 6 in
+  let conv = Workload.generate rng Workload.Www in
+  let records =
+    Workload.to_records ~start:100.0 ~client:"10.1.0.5" ~client_port:2000
+      ~server:"10.2.0.1" conv
+  in
+  List.iter
+    (fun (r : Record.t) ->
+      check Alcotest.int "protocol" (Workload.protocol Workload.Www) r.Record.protocol;
+      check Alcotest.bool "start offset applied" true (r.Record.time >= 100.0);
+      if r.Record.src = "10.1.0.5" then begin
+        check Alcotest.int "c2s ports" 2000 r.Record.src_port;
+        check Alcotest.int "server port" 80 r.Record.dst_port
+      end
+      else begin
+        check Alcotest.string "s2c source" "10.2.0.1" r.Record.src;
+        check Alcotest.int "s2c source port" 80 r.Record.src_port
+      end)
+    records
+
+(* --- Scenario --- *)
+
+let small_trace =
+  lazy (Scenario.campus_lan ~seed:3 ~duration:1800.0 ~desktops:6 ())
+
+let test_scenario_deterministic () =
+  let a = Scenario.campus_lan ~seed:3 ~duration:600.0 ~desktops:4 () in
+  let b = Scenario.campus_lan ~seed:3 ~duration:600.0 ~desktops:4 () in
+  check Alcotest.int "same record count" (Record.count a.Scenario.records)
+    (Record.count b.Scenario.records);
+  check Alcotest.int "same bytes" (Record.total_bytes a.Scenario.records)
+    (Record.total_bytes b.Scenario.records);
+  let c = Scenario.campus_lan ~seed:4 ~duration:600.0 ~desktops:4 () in
+  check Alcotest.bool "different seed differs" true
+    (Record.total_bytes a.Scenario.records <> Record.total_bytes c.Scenario.records)
+
+let test_scenario_sorted_and_bounded () =
+  let sc = Lazy.force small_trace in
+  let rec sorted = function
+    | (a : Record.t) :: (b :: _ as rest) -> a.Record.time <= b.Record.time && sorted rest
+    | _ -> true
+  in
+  check Alcotest.bool "sorted" true (sorted sc.Scenario.records);
+  check Alcotest.bool "non-trivial" true (Record.count sc.Scenario.records > 1000);
+  List.iter
+    (fun (r : Record.t) ->
+      check Alcotest.bool "inside window" true
+        (r.Record.time >= 0.0 && r.Record.time < sc.Scenario.duration))
+    sc.Scenario.records
+
+let test_www_scenario () =
+  let sc = Scenario.www_server ~seed:5 ~duration:3600.0 ~hits_per_day:5000.0 () in
+  check Alcotest.bool "records exist" true (Record.count sc.Scenario.records > 100);
+  (* All conversations touch the single server. *)
+  List.iter
+    (fun (r : Record.t) ->
+      check Alcotest.bool "server involved" true
+        (r.Record.src = "10.2.0.1" || r.Record.dst = "10.2.0.1"))
+    sc.Scenario.records
+
+(* --- Flow_sim --- *)
+
+let test_flow_sim_conservation () =
+  let sc = Lazy.force small_trace in
+  let res = Flow_sim.run ~threshold:600.0 sc.Scenario.records in
+  let total_packets =
+    List.fold_left (fun acc f -> acc + f.Flow_sim.packets) 0 res.Flow_sim.flows
+  in
+  let total_bytes =
+    List.fold_left (fun acc f -> acc + f.Flow_sim.bytes) 0 res.Flow_sim.flows
+  in
+  check Alcotest.int "every datagram in exactly one flow" res.Flow_sim.datagrams
+    total_packets;
+  check Alcotest.int "bytes conserved" (Record.total_bytes sc.Scenario.records)
+    total_bytes;
+  List.iter
+    (fun f ->
+      check Alcotest.bool "flow interval sane" true (f.Flow_sim.last >= f.Flow_sim.start))
+    res.Flow_sim.flows
+
+let test_flow_sim_threshold_monotone () =
+  let sc = Lazy.force small_trace in
+  let flows th =
+    List.length (Flow_sim.run ~threshold:th sc.Scenario.records).Flow_sim.flows
+  in
+  let repeated th = Flow_sim.repeated_flows (Flow_sim.run ~threshold:th sc.Scenario.records) in
+  (* Larger THRESHOLD merges flows: both counts must be non-increasing. *)
+  check Alcotest.bool "flows non-increasing" true
+    (flows 300.0 >= flows 600.0 && flows 600.0 >= flows 1200.0);
+  check Alcotest.bool "repeated non-increasing" true
+    (repeated 300.0 >= repeated 600.0 && repeated 600.0 >= repeated 1200.0)
+
+let test_flow_sim_heavy_tail () =
+  let sc = Lazy.force small_trace in
+  let res = Flow_sim.run ~threshold:600.0 sc.Scenario.records in
+  let share = Flow_sim.bytes_in_top res ~fraction:0.1 in
+  (* The Figure 9 shape: the top decile of flows carries most bytes. *)
+  check Alcotest.bool "top 10% flows carry > 50% of bytes" true (share > 0.5);
+  check Alcotest.bool "share bounded" true (share <= 1.0);
+  let pk = Flow_sim.sizes_packets res in
+  check Alcotest.bool "median much smaller than max" true
+    (Fbsr_util.Stats.median pk *. 10.0 < (Fbsr_util.Stats.summary pk).Fbsr_util.Stats.max)
+
+let test_flow_sim_active_series () =
+  let sc = Lazy.force small_trace in
+  let res = Flow_sim.run ~threshold:600.0 sc.Scenario.records in
+  let series = Flow_sim.active_series ~bin:60.0 res in
+  check Alcotest.bool "series non-empty" true (Array.length series > 0);
+  Array.iter (fun n -> check Alcotest.bool "nonneg" true (n >= 0)) series;
+  let host, hseries, mean_peak = Flow_sim.active_series_per_host res in
+  check Alcotest.bool "busiest host named" true (host <> "");
+  check Alcotest.bool "per-host peak <= LAN peak" true
+    (Array.fold_left max 0 hseries <= Array.fold_left max 0 series);
+  check Alcotest.bool "mean peak positive" true (mean_peak > 0.0)
+
+let test_flow_sim_tuples () =
+  let sc = Lazy.force small_trace in
+  let res = Flow_sim.run ~threshold:600.0 sc.Scenario.records in
+  let flows = List.length res.Flow_sim.flows in
+  let tuples = Flow_sim.distinct_tuples res in
+  let repeated = Flow_sim.repeated_flows res in
+  check Alcotest.int "flows = tuples + repeats" flows (tuples + repeated);
+  let tcp_rep, udp_rep = Flow_sim.repeated_flows_by_protocol res in
+  check Alcotest.int "protocol split sums" repeated (tcp_rep + udp_rep)
+
+(* --- Analysis --- *)
+
+let test_analysis_accounting () =
+  let sc = Lazy.force small_trace in
+  let a = Analysis.analyse sc.Scenario.records in
+  check Alcotest.int "packets" (Record.count sc.Scenario.records) a.Analysis.packets;
+  check Alcotest.int "bytes" (Record.total_bytes sc.Scenario.records) a.Analysis.bytes;
+  check Alcotest.int "udp+tcp = all" a.Analysis.packets
+    (a.Analysis.udp_packets + a.Analysis.tcp_packets);
+  check Alcotest.bool "hosts counted" true (a.Analysis.hosts > 2);
+  check Alcotest.bool "sizes ordered" true
+    (a.Analysis.packet_size_p50 <= a.Analysis.packet_size_p99);
+  (* Per-service packet counts cover the whole trace. *)
+  let svc_packets =
+    List.fold_left
+      (fun acc (s : Analysis.per_port) -> acc + s.Analysis.packets)
+      0 a.Analysis.top_services
+  in
+  check Alcotest.int "service attribution total" a.Analysis.packets svc_packets;
+  (* The named services of the paper's environment all appear. *)
+  let names =
+    List.map (fun (s : Analysis.per_port) -> s.Analysis.service) a.Analysis.top_services
+  in
+  List.iter
+    (fun n -> check Alcotest.bool ("service " ^ n) true (List.mem n names))
+    [ "nfs"; "telnet"; "www"; "dns"; "x11"; "ftp-data" ]
+
+let test_analysis_empty () =
+  let a = Analysis.analyse [] in
+  check Alcotest.int "no packets" 0 a.Analysis.packets;
+  check (Alcotest.float 1e-9) "no rate" 0.0 a.Analysis.mean_rate_bps
+
+(* --- Cache_sim --- *)
+
+let test_cache_sim_size_monotone () =
+  let sc = Lazy.force small_trace in
+  let results =
+    Cache_sim.size_sweep ~sizes:[ 4; 16; 64; 256 ] sc.Scenario.records
+  in
+  let rates = List.map (fun r -> r.Cache_sim.miss_rate) results in
+  let rec non_increasing = function
+    | a :: (b :: _ as rest) -> a >= b -. 1e-9 && non_increasing rest
+    | _ -> true
+  in
+  check Alcotest.bool "miss rate falls with size" true (non_increasing rates);
+  List.iter
+    (fun r ->
+      check Alcotest.bool "rate in [0,1]" true
+        (r.Cache_sim.miss_rate >= 0.0 && r.Cache_sim.miss_rate <= 1.0);
+      check Alcotest.int "accounting"
+        (r.Cache_sim.hits + r.Cache_sim.misses_cold + r.Cache_sim.misses_capacity
+        + r.Cache_sim.misses_conflict)
+        r.Cache_sim.accesses)
+    results
+
+let test_cache_sim_sides () =
+  let sc = Lazy.force small_trace in
+  let run side =
+    Cache_sim.run ~config:{ Cache_sim.default_config with Cache_sim.side } sc.Scenario.records
+  in
+  let tfkc = run Cache_sim.Tfkc and rfkc = run Cache_sim.Rfkc in
+  (* Both sides see one access per datagram. *)
+  check Alcotest.int "tfkc accesses = datagrams"
+    (Record.count sc.Scenario.records) tfkc.Cache_sim.accesses;
+  check Alcotest.int "rfkc accesses = datagrams"
+    (Record.count sc.Scenario.records) rfkc.Cache_sim.accesses
+
+let test_cache_sim_crc_beats_cheap_hashes () =
+  (* Section 5.3's claim: with correlated inputs (sequential sfl values),
+     CRC-32 indexing conflicts strictly less than low-bit "modulo"
+     indexing would suggest... at minimum it must not be dramatically
+     worse, and on this trace it wins. *)
+  let sc = Lazy.force small_trace in
+  let run hash =
+    (Cache_sim.run
+       ~config:{ Cache_sim.default_config with Cache_sim.sets = 32; hash }
+       sc.Scenario.records)
+      .Cache_sim.miss_rate
+  in
+  let crc = run Cache_sim.Crc32 and xor = run Cache_sim.Xor_fold in
+  check Alcotest.bool "crc not worse than xor-fold" true (crc <= xor +. 0.02)
+
+let () =
+  Alcotest.run "traffic"
+    [
+      ( "record",
+        [
+          Alcotest.test_case "bad lines" `Quick test_record_bad_line;
+          Alcotest.test_case "save/load" `Quick test_record_save_load;
+          qtest prop_record_line_roundtrip;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "well-formed conversations" `Quick
+            test_conversations_well_formed;
+          Alcotest.test_case "bulk packets account" `Quick test_bulk_packets_account;
+          Alcotest.test_case "to_records endpoints" `Quick test_to_records_endpoints;
+        ] );
+      ( "scenario",
+        [
+          Alcotest.test_case "deterministic" `Quick test_scenario_deterministic;
+          Alcotest.test_case "sorted + bounded" `Quick test_scenario_sorted_and_bounded;
+          Alcotest.test_case "www server" `Quick test_www_scenario;
+        ] );
+      ( "flow-sim",
+        [
+          Alcotest.test_case "conservation" `Quick test_flow_sim_conservation;
+          Alcotest.test_case "threshold monotonicity" `Quick
+            test_flow_sim_threshold_monotone;
+          Alcotest.test_case "heavy tail (Figure 9)" `Quick test_flow_sim_heavy_tail;
+          Alcotest.test_case "active series (Figure 12)" `Quick
+            test_flow_sim_active_series;
+          Alcotest.test_case "tuple accounting (Figure 14)" `Quick test_flow_sim_tuples;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "accounting" `Quick test_analysis_accounting;
+          Alcotest.test_case "empty trace" `Quick test_analysis_empty;
+        ] );
+      ( "cache-sim",
+        [
+          Alcotest.test_case "size monotonicity (Figure 11)" `Quick
+            test_cache_sim_size_monotone;
+          Alcotest.test_case "both cache sides" `Quick test_cache_sim_sides;
+          Alcotest.test_case "hash quality (Section 5.3)" `Quick
+            test_cache_sim_crc_beats_cheap_hashes;
+        ] );
+    ]
