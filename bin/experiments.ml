@@ -51,6 +51,8 @@ let commands =
       (with_trace_args ablation_replacement);
     cmd "live-site" "Drive the campus workload through real FBS stacks"
       Term.(const (fun seed -> live_site ~seed ()) $ seed_arg);
+    cmd "faults" "Datagram delivery and forgery rejection over faulty links"
+      Term.(const (fun seed -> faults ~seed ()) $ seed_arg);
     cmd "all" "Run every experiment"
       Term.(const run_all $ seed_arg $ duration_arg $ bytes_arg);
   ]

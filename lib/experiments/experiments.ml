@@ -713,6 +713,8 @@ let live_site ~seed () =
   pf "the offline simulator (the paper's methodology) and the live protocol agree \
       on the miss-rate shape.\n"
 
+let faults ~seed () = Faults.report ~seed ()
+
 let run_all seed duration bytes =
   crypto_table ();
   fig8 ~bytes ();
@@ -731,4 +733,5 @@ let run_all seed duration bytes =
   ablation_fused ();
   www_flows ~seed ~duration ();
   ablation_replay_window ();
-  live_site ~seed ()
+  live_site ~seed ();
+  faults ~seed ()

@@ -30,10 +30,10 @@ type result = {
 }
 
 let run ?(seed = 7) ?(duration = 1800.0) ?(desktops = 6) ?(tfkc_sets = 64)
-    ?(rfkc_sets = 64) ?(suite = Fbsr_fbs.Suite.paper_md5_des) () =
+    ?(rfkc_sets = 64) ?(suite = Fbsr_fbs.Suite.paper_md5_des) ?faults () =
   let scenario = Fbsr_traffic.Scenario.campus_lan ~seed ~duration ~desktops () in
   let config = Stack.default_config ~suite ~tfkc_sets ~rfkc_sets () in
-  let tb = Testbed.create ~config ~bandwidth_bps:100_000_000.0 () in
+  let tb = Testbed.create ~config ~bandwidth_bps:100_000_000.0 ?faults () in
   (* 100 Mb/s so the wire never throttles the trace's timing. *)
   let nodes = Hashtbl.create 32 in
   List.iter
@@ -109,6 +109,8 @@ let run ?(seed = 7) ?(duration = 1800.0) ?(desktops = 6) ?(tfkc_sets = 64)
       (if tfkc_den = 0 then 1.0 else float_of_int tfkc_num /. float_of_int tfkc_den);
     rfkc_hit_rate =
       (if rfkc_den = 0 then 1.0 else float_of_int rfkc_num /. float_of_int rfkc_den);
-    replay_rejections = engine_counter (fun c -> c.Fbsr_fbs.Engine.errors_stale);
+    replay_rejections =
+      engine_counter (fun c ->
+          c.Fbsr_fbs.Engine.errors_stale + c.Fbsr_fbs.Engine.errors_duplicate);
     mac_failures = engine_counter (fun c -> c.Fbsr_fbs.Engine.errors_mac);
   }

@@ -23,5 +23,9 @@ val run :
   ?tfkc_sets:int ->
   ?rfkc_sets:int ->
   ?suite:Fbsr_fbs.Suite.t ->
+  ?faults:Fbsr_netsim.Link.profile ->
   unit ->
   result
+(** [faults] runs the whole site over fault-injection links (see
+    {!Fbsr_netsim.Link}); delivery then measures the stacks' loss
+    tolerance rather than the clean-wire baseline. *)

@@ -119,6 +119,13 @@ let classify_miss t key =
     t.stats.misses_conflict <- t.stats.misses_conflict + 1
   else t.stats.misses_capacity <- t.stats.misses_capacity + 1
 
+(* Has this key ever missed in this cache?  (Population happens on first
+   miss, so for find-before-insert access patterns this means "ever
+   accessed".)  Survives {!clear}: it is the memory that lets a caller
+   distinguish a compulsory first computation from a *recomputation* after
+   soft-state loss.  Always false when classification is disabled. *)
+let was_seen t key = Hashtbl.mem t.seen key
+
 let find t key =
   t.tick <- t.tick + 1;
   let base = set_base t key in

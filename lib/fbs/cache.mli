@@ -33,6 +33,10 @@ val find : ('k, 'v) t -> 'k -> 'v option
 val peek : ('k, 'v) t -> 'k -> 'v option
 (** Like {!find} but does not touch statistics or LRU state. *)
 
+val was_seen : ('k, 'v) t -> 'k -> bool
+(** Whether this key has ever missed here (never cleared, soft-state-loss
+    detector; always [false] when [classify:false]). *)
+
 val insert : ('k, 'v) t -> 'k -> 'v -> unit
 val invalidate : ('k, 'v) t -> 'k -> unit
 val clear : ('k, 'v) t -> unit

@@ -33,18 +33,41 @@ let pp_error ppf = function
   | Bad_mac -> Fmt.string ppf "MAC verification failed"
   | Decrypt_error -> Fmt.string ppf "decryption failed"
 
+(* Drops are counted by cause so graceful degradation is observable: under
+   an adversarial network the split between MAC failures (corruption or
+   forgery), duplicates (replay), and keying errors (certificate fetch
+   lost) tells the operator *why* datagrams are being refused.
+   [flow_key_recoveries] counts flow keys recomputed for a key the cache
+   had seen before — i.e. successful soft-state recovery after eviction or
+   invalidation, never a hidden hard failure. *)
 type counters = {
   mutable sends : int;
   mutable receives : int;
   mutable accepted : int;
   mutable flow_key_computations : int;
+  mutable flow_key_recoveries : int;
   mutable macs_computed : int;
   mutable encryptions : int;
   mutable decryptions : int;
+  mutable errors_header : int;
   mutable errors_stale : int;
+  mutable errors_duplicate : int;
+  mutable errors_keying : int;
   mutable errors_mac : int;
-  mutable errors_other : int;
+  mutable errors_decrypt : int;
 }
+
+let drops_by_cause c =
+  [
+    ("header", c.errors_header);
+    ("stale", c.errors_stale);
+    ("duplicate", c.errors_duplicate);
+    ("keying", c.errors_keying);
+    ("mac", c.errors_mac);
+    ("decrypt", c.errors_decrypt);
+  ]
+
+let drops c = List.fold_left (fun acc (_, n) -> acc + n) 0 (drops_by_cause c)
 
 (* Receive-side demultiplexing record: the receiver "passively
    demultiplexes a datagram, based on its flow assignment, into the
@@ -106,12 +129,16 @@ let create ?(suite = Suite.paper_md5_des) ?(tfkc_sets = 128) ?(rfkc_sets = 128)
         receives = 0;
         accepted = 0;
         flow_key_computations = 0;
+        flow_key_recoveries = 0;
         macs_computed = 0;
         encryptions = 0;
         decryptions = 0;
+        errors_header = 0;
         errors_stale = 0;
+        errors_duplicate = 0;
+        errors_keying = 0;
         errors_mac = 0;
-        errors_other = 0;
+        errors_decrypt = 0;
       };
   }
 
@@ -146,6 +173,10 @@ let track_inbound t ~now ~sfl ~peer ~bytes =
    certificate fetch. *)
 let flow_key_via t cache ~sfl ~peer ~src ~dst (k : (string, error) result -> unit) =
   let key = (Sfl.to_int64 sfl, Principal.to_string peer, Principal.to_string (local t)) in
+  (* Captured before [find], which registers the key as seen: a miss on a
+     previously-seen key means the entry was evicted or invalidated and we
+     are recovering by recomputation — the soft-state guarantee at work. *)
+  let revisit = Cache.was_seen cache key in
   match Cache.find cache key with
   | Some fk -> k (Ok fk)
   | None ->
@@ -153,6 +184,8 @@ let flow_key_via t cache ~sfl ~peer ~src ~dst (k : (string, error) result -> uni
         | Error e -> k (Error (Keying_error e))
         | Ok master ->
             t.counters.flow_key_computations <- t.counters.flow_key_computations + 1;
+            if revisit then
+              t.counters.flow_key_recoveries <- t.counters.flow_key_recoveries + 1;
             let fk =
               Keying.flow_key ~hash:t.suite.Suite.kdf_hash ~sfl ~master ~src ~dst
             in
@@ -284,14 +317,14 @@ let receive t ~now ~src ~wire (k : (accepted, error) result -> unit) =
   t.counters.receives <- t.counters.receives + 1;
   match Header.decode wire with
   | Error e ->
-      t.counters.errors_other <- t.counters.errors_other + 1;
+      t.counters.errors_header <- t.counters.errors_header + 1;
       k (Error (Header_error e))
   | Ok (header, body) -> (
       (* The suite is taken from the header only to the extent we accept
          it: a receiver enforces its own configured suite to prevent
          algorithm-downgrade games (the paper leaves this open). *)
       if header.Header.suite.Suite.id <> t.suite.Suite.id then begin
-        t.counters.errors_other <- t.counters.errors_other + 1;
+        t.counters.errors_header <- t.counters.errors_header + 1;
         k (Error (Header_error (Header.Unknown_suite header.Header.suite.Suite.id)))
       end
       else
@@ -309,13 +342,13 @@ let receive t ~now ~src ~wire (k : (accepted, error) result -> unit) =
                       now_minutes = Replay.minutes_of_seconds now;
                     }))
         | Replay.Duplicate ->
-            t.counters.errors_stale <- t.counters.errors_stale + 1;
+            t.counters.errors_duplicate <- t.counters.errors_duplicate + 1;
             k (Error Duplicate)
         | Replay.Fresh ->
             let dst = local t in
             flow_key_via t t.rfkc ~sfl:header.Header.sfl ~peer:src ~src ~dst (function
               | Error e ->
-                  t.counters.errors_other <- t.counters.errors_other + 1;
+                  t.counters.errors_keying <- t.counters.errors_keying + 1;
                   k (Error e)
               | Ok flow_key -> (
                   let finish plaintext =
@@ -337,7 +370,7 @@ let receive t ~now ~src ~wire (k : (accepted, error) result -> unit) =
                     with
                     | Ok plaintext -> finish plaintext
                     | Error e ->
-                        t.counters.errors_mac <- t.counters.errors_mac + 1;
+                        t.counters.errors_decrypt <- t.counters.errors_decrypt + 1;
                         k (Error e)
                   else finish body)))
 

@@ -22,13 +22,27 @@ type counters = {
   mutable receives : int;
   mutable accepted : int;
   mutable flow_key_computations : int;
+  mutable flow_key_recoveries : int;
+      (** Of the computations, those for a key the cache had seen before:
+          recomputation after eviction/invalidation — soft-state recovery,
+          never a hidden hard failure. *)
   mutable macs_computed : int;
   mutable encryptions : int;
   mutable decryptions : int;
-  mutable errors_stale : int;
-  mutable errors_mac : int;
-  mutable errors_other : int;
+  mutable errors_header : int;  (** undecodable header or suite mismatch *)
+  mutable errors_stale : int;  (** timestamp outside the freshness window *)
+  mutable errors_duplicate : int;  (** strict-mode duplicate suppression *)
+  mutable errors_keying : int;  (** certificate fetch / verification failed *)
+  mutable errors_mac : int;  (** MAC verification failed *)
+  mutable errors_decrypt : int;  (** ciphertext would not decrypt *)
 }
+
+val drops_by_cause : counters -> (string * int) list
+(** Receive-side rejections as [(cause, count)] pairs, one per
+    [errors_*] counter, in a fixed order. *)
+
+val drops : counters -> int
+(** Total receive-side rejections (sum of {!drops_by_cause}). *)
 
 type t
 

@@ -34,6 +34,7 @@ type resolver = Principal.t -> (fetch_result -> unit) -> unit
 type counters = {
   mutable master_key_computations : int; (* modular exponentiations *)
   mutable certificate_fetches : int;
+  mutable certificate_fetch_retries : int; (* resolver failures retried *)
   mutable certificate_verifications : int;
 }
 
@@ -45,6 +46,10 @@ type t = {
   ca_public : Fbsr_crypto.Rsa.public_key;
   ca_hash : Fbsr_crypto.Hash.t;
   resolver : resolver;
+  fetch_retries : int;
+      (* Extra resolver attempts after a failed fetch: the resolver's own
+         failure (MKD gave up, CA unreachable) is itself soft — retrying
+         from the keying layer recovers once the network heals. *)
   clock : unit -> float;
   pvc : (string, Fbsr_cert.Certificate.t) Cache.t;
   (* MKC entries carry the expiry of the certificate they were computed
@@ -59,8 +64,9 @@ type t = {
 
 let principal_hash name = Fbsr_util.Crc32.string name
 
-let create ?(pvc_sets = 64) ?(mkc_sets = 64) ?(assoc = 2) ~local ~group ~private_value
-    ~ca_public ~ca_hash ~resolver ~clock () =
+let create ?(pvc_sets = 64) ?(mkc_sets = 64) ?(assoc = 2) ?(fetch_retries = 0) ~local
+    ~group ~private_value ~ca_public ~ca_hash ~resolver ~clock () =
+  if fetch_retries < 0 then invalid_arg "Keying.create: negative fetch_retries";
   {
     local;
     group;
@@ -69,6 +75,7 @@ let create ?(pvc_sets = 64) ?(mkc_sets = 64) ?(assoc = 2) ~local ~group ~private
     ca_public;
     ca_hash;
     resolver;
+    fetch_retries;
     clock;
     pvc =
       Cache.create ~assoc ~sets:pvc_sets ~hash:principal_hash ~equal:String.equal ();
@@ -76,7 +83,7 @@ let create ?(pvc_sets = 64) ?(mkc_sets = 64) ?(assoc = 2) ~local ~group ~private
       Cache.create ~assoc ~sets:mkc_sets ~hash:principal_hash ~equal:String.equal ();
     counters =
       { master_key_computations = 0; certificate_fetches = 0;
-        certificate_verifications = 0 };
+        certificate_fetch_retries = 0; certificate_verifications = 0 };
     pending = Hashtbl.create 8;
   }
 
@@ -140,6 +147,21 @@ let get_master t peer (k : (string, error) result -> unit) =
             complete (Ok key)
         | Error e -> complete (Error e)
       in
+      (* Fetch via the resolver, retrying a failed fetch up to
+         [t.fetch_retries] extra times: the resolver's failure is itself
+         soft state (an MKD that gave up, a momentarily unreachable CA). *)
+      let rec fetch attempts_left =
+        t.counters.certificate_fetches <- t.counters.certificate_fetches + 1;
+        t.resolver peer (function
+          | Error _ when attempts_left > 0 ->
+              t.counters.certificate_fetch_retries <-
+                t.counters.certificate_fetch_retries + 1;
+              fetch (attempts_left - 1)
+          | Error m -> complete (Error (No_certificate m))
+          | Ok cert ->
+              Cache.insert t.pvc name cert;
+              from_cert cert)
+      in
       match Hashtbl.find_opt t.pending name with
       | Some waiters -> waiters := k :: !waiters
       | None -> (
@@ -150,19 +172,8 @@ let get_master t peer (k : (string, error) result -> unit) =
           | Some _ ->
               (* Cached certificate has expired: evict and refetch. *)
               Cache.invalidate t.pvc name;
-              t.counters.certificate_fetches <- t.counters.certificate_fetches + 1;
-              t.resolver peer (function
-                | Error m -> complete (Error (No_certificate m))
-                | Ok cert ->
-                    Cache.insert t.pvc name cert;
-                    from_cert cert)
-          | None ->
-              t.counters.certificate_fetches <- t.counters.certificate_fetches + 1;
-              t.resolver peer (function
-                | Error m -> complete (Error (No_certificate m))
-                | Ok cert ->
-                    Cache.insert t.pvc name cert;
-                    from_cert cert)))
+              fetch t.fetch_retries
+          | None -> fetch t.fetch_retries))
 
 (* Synchronous variant: usable when the resolver completes inline (local
    directory / pinned certificates).  Returns an error if it would block. *)

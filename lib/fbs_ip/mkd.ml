@@ -8,11 +8,36 @@
    communication delay."
 
    This implementation is a UDP client with per-name request coalescing,
-   retransmission and a bounded retry budget.  It implements the
-   [Keying.resolver] interface, so a PVC miss suspends the datagram in the
-   FBS stack until the continuation fires. *)
+   retransmission and a bounded retry budget.  Because the CA round trip
+   shares the same unreliable network as the datagrams themselves (requests
+   or responses may be dropped, reordered or corrupted by a fault-injected
+   link), the retransmission timer backs off exponentially with
+   deterministic seeded jitter: timeout for attempt n is
+
+       min(max_timeout, timeout * backoff^(n-1)) * (1 +- jitter)
+
+   It implements the [Keying.resolver] interface, so a PVC miss suspends
+   the datagram in the FBS stack until the continuation fires. *)
 
 open Fbsr_netsim
+
+type config = {
+  timeout : float;  (* first-attempt timeout, seconds *)
+  max_attempts : int;  (* total transmissions before giving up *)
+  backoff : float;  (* timeout multiplier per retry (>= 1) *)
+  max_timeout : float;  (* ceiling on the backed-off timeout *)
+  jitter : float;  (* fractional +- spread on each timeout, in [0,1) *)
+}
+
+let default_config =
+  { timeout = 2.0; max_attempts = 3; backoff = 2.0; max_timeout = 30.0; jitter = 0.1 }
+
+let validate_config c =
+  if c.timeout <= 0.0 then invalid_arg "Mkd: nonpositive timeout";
+  if c.max_attempts < 1 then invalid_arg "Mkd: max_attempts must be >= 1";
+  if c.backoff < 1.0 then invalid_arg "Mkd: backoff must be >= 1";
+  if c.max_timeout < c.timeout then invalid_arg "Mkd: max_timeout below timeout";
+  if c.jitter < 0.0 || c.jitter >= 1.0 then invalid_arg "Mkd: jitter not in [0,1)"
 
 type pending = {
   name : string;
@@ -26,8 +51,8 @@ type t = {
   ca_addr : Addr.t;
   ca_port : int;
   local_port : int;
-  timeout : float;
-  max_attempts : int;
+  config : config;
+  rng : Fbsr_util.Rng.t; (* jitter source; seeded, so runs are reproducible *)
   pending : (string, pending) Hashtbl.t;
   mutable fetches : int;
   mutable retransmissions : int;
@@ -47,11 +72,23 @@ let complete t name result =
       if Result.is_error result then t.failures <- t.failures + 1;
       List.iter (fun k -> k result) (List.rev p.continuations)
 
+(* Timeout for the [attempt]-th transmission (1-based): exponential backoff
+   capped at [max_timeout], spread by +-jitter so coordinated fetches from
+   many hosts do not retransmit in lockstep. *)
+let attempt_timeout t attempt =
+  let c = t.config in
+  let base =
+    Float.min c.max_timeout (c.timeout *. (c.backoff ** float_of_int (attempt - 1)))
+  in
+  if c.jitter = 0.0 then base
+  else base *. (1.0 +. (c.jitter *. ((2.0 *. Fbsr_util.Rng.uniform t.rng) -. 1.0)))
+
 let rec arm_timeout t p =
   let gen = p.generation in
-  Engine.schedule (Host.engine t.host) ~delay:t.timeout (fun () ->
+  Engine.schedule (Host.engine t.host) ~delay:(attempt_timeout t p.attempts)
+    (fun () ->
       if gen = p.generation && Hashtbl.mem t.pending p.name then begin
-        if p.attempts >= t.max_attempts then
+        if p.attempts >= t.config.max_attempts then
           complete t p.name (Error "certificate fetch timed out")
         else begin
           p.attempts <- p.attempts + 1;
@@ -84,16 +121,17 @@ let fetch t name k =
       send_request t name;
       arm_timeout t p
 
-let create ?(local_port = 563) ?(timeout = 2.0) ?(max_attempts = 3) ~ca_addr ~ca_port
-    host =
+let create ?(local_port = 563) ?(config = default_config) ?(seed = 0xbac0ff) ~ca_addr
+    ~ca_port host =
+  validate_config config;
   let t =
     {
       host;
       ca_addr;
       ca_port;
       local_port;
-      timeout;
-      max_attempts;
+      config;
+      rng = Fbsr_util.Rng.create (seed lxor Addr.to_int (Host.addr host));
       pending = Hashtbl.create 8;
       fetches = 0;
       retransmissions = 0;
@@ -103,6 +141,8 @@ let create ?(local_port = 563) ?(timeout = 2.0) ?(max_attempts = 3) ~ca_addr ~ca
   Udp_stack.listen host ~port:local_port (fun ~src ~src_port:_ raw ->
       if Addr.equal src ca_addr then handle_response t raw);
   t
+
+let config t = t.config
 
 let resolver t : Fbsr_fbs.Keying.resolver =
  fun peer k -> fetch t (Fbsr_fbs.Principal.to_string peer) k

@@ -1,21 +1,36 @@
 (** Master key daemon (client side): fetches public-value certificates from
-    the CA over UDP with coalescing and retries; implements
+    the CA over UDP with coalescing and retransmission — bounded retries,
+    exponential backoff, deterministic seeded jitter; implements
     [Fbsr_fbs.Keying.resolver]. *)
 
 open Fbsr_netsim
+
+type config = {
+  timeout : float;  (** first-attempt timeout, seconds *)
+  max_attempts : int;  (** total transmissions before giving up *)
+  backoff : float;  (** timeout multiplier per retry (>= 1) *)
+  max_timeout : float;  (** ceiling on the backed-off timeout *)
+  jitter : float;  (** fractional +- spread on each timeout, in [0,1) *)
+}
+
+val default_config : config
+(** 2 s initial timeout, 3 attempts, 2x backoff capped at 30 s, 10% jitter. *)
 
 type t
 
 val create :
   ?local_port:int ->
-  ?timeout:float ->
-  ?max_attempts:int ->
+  ?config:config ->
+  ?seed:int ->
   ca_addr:Addr.t ->
   ca_port:int ->
   Host.t ->
   t
-(** The host must already have a UDP stack installed. *)
+(** The host must already have a UDP stack installed.  [seed] decorrelates
+    the jitter stream (mixed with the host address by default).
+    @raise Invalid_argument on a nonsensical [config]. *)
 
+val config : t -> config
 val resolver : t -> Fbsr_fbs.Keying.resolver
 
 type stats = { fetches : int; retransmissions : int; failures : int }

@@ -38,6 +38,9 @@ type config = {
   cache_assoc : int;
   max_flow_bytes : int option;
   max_flow_life : float option;
+  keying_fetch_retries : int;
+      (** Extra keying-layer attempts after a failed certificate fetch
+          (on top of the MKD's own retransmissions). *)
   combined_fast_path : bool;
       (** Use the Section 7.2 combined FST+TFKC table on the send side
           (one probe instead of FAM classification + TFKC lookup). *)
@@ -52,8 +55,8 @@ let default_config ?(suite = Fbsr_fbs.Suite.paper_md5_des) ?(threshold = 600.0)
     ?(fst_size = 256) ?(replay_window_minutes = 2) ?(strict_replay = false)
     ?(secret_policy = fun ~protocol:_ ~src_port:_ ~dst_port:_ -> true)
     ?(bypass = fun _ -> false) ?(tfkc_sets = 128) ?(rfkc_sets = 128) ?(cache_assoc = 1)
-    ?max_flow_bytes ?max_flow_life ?(combined_fast_path = false)
-    ?(encapsulation = `Shim) () =
+    ?max_flow_bytes ?max_flow_life ?(keying_fetch_retries = 0)
+    ?(combined_fast_path = false) ?(encapsulation = `Shim) () =
   {
     suite;
     threshold;
@@ -67,6 +70,7 @@ let default_config ?(suite = Fbsr_fbs.Suite.paper_md5_des) ?(threshold = 600.0)
     cache_assoc;
     max_flow_bytes;
     max_flow_life;
+    keying_fetch_retries;
     combined_fast_path;
     encapsulation;
   }
@@ -301,7 +305,8 @@ let install ?(config = default_config ()) ?(sfl_seed = 0x5f1) ~private_value ~gr
     ~ca_public ~ca_hash ~resolver host =
   let local = principal_of_addr (Host.addr host) in
   let keying =
-    Fbsr_fbs.Keying.create ~local ~group ~private_value ~ca_public ~ca_hash ~resolver
+    Fbsr_fbs.Keying.create ~fetch_retries:config.keying_fetch_retries ~local ~group
+      ~private_value ~ca_public ~ca_hash ~resolver
       ~clock:(fun () -> Host.now host)
       ()
   in

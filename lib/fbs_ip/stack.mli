@@ -18,6 +18,9 @@ type config = {
   cache_assoc : int;
   max_flow_bytes : int option;
   max_flow_life : float option;
+  keying_fetch_retries : int;
+      (** Extra keying-layer attempts after a failed certificate fetch
+          (on top of the MKD's own retransmissions). *)
   combined_fast_path : bool;
   encapsulation : [ `Shim | `Ip_option ];
       (** [`Shim]: header between IP header and payload (the paper's
@@ -38,6 +41,7 @@ val default_config :
   ?cache_assoc:int ->
   ?max_flow_bytes:int ->
   ?max_flow_life:float ->
+  ?keying_fetch_retries:int ->
   ?combined_fast_path:bool ->
   ?encapsulation:[ `Shim | `Ip_option ] ->
   unit ->

@@ -22,9 +22,29 @@ type t = {
   rng : Fbsr_util.Rng.t;
   mutable nodes : node list;
   config : Stack.config option; (* base config; bypass is forced *)
+  mkd_config : Mkd.config;
+  faults : Link.profile option;
+  link_seed : int; (* base seed; each host's link derives from it *)
+  mutable links : Link.t list;
 }
 
-let create ?(seed = 42) ?(bandwidth_bps = 10_000_000.0) ?(group_bits = 0) ?config () =
+(* Attach a fault-injection link to a host when the testbed has a fault
+   profile.  Each host gets its own link with a seed derived from the
+   testbed seed and the host address, so runs are reproducible and
+   per-host fault sequences are decorrelated. *)
+let attach_link t host =
+  match t.faults with
+  | None -> ()
+  | Some profile ->
+      let link =
+        Link.create ~seed:(t.link_seed lxor Addr.to_int (Host.addr host)) ~profile
+          t.engine
+      in
+      Host.set_link host link;
+      t.links <- link :: t.links
+
+let create ?(seed = 42) ?(bandwidth_bps = 10_000_000.0) ?(group_bits = 0) ?config
+    ?(mkd_config = Mkd.default_config) ?faults () =
   let rng = Fbsr_util.Rng.create seed in
   let engine = Engine.create () in
   let medium = Medium.create ~bandwidth_bps ~seed:(seed + 1) engine in
@@ -41,17 +61,28 @@ let create ?(seed = 42) ?(bandwidth_bps = 10_000_000.0) ?(group_bits = 0) ?confi
   Host.attach ca_host medium;
   Udp_stack.install ca_host;
   let ca_server = Ca_server.install ~authority ca_host in
-  {
-    engine;
-    medium;
-    group;
-    authority;
-    ca_host;
-    ca_server;
-    rng;
-    nodes = [];
-    config;
-  }
+  let t =
+    {
+      engine;
+      medium;
+      group;
+      authority;
+      ca_host;
+      ca_server;
+      rng;
+      nodes = [];
+      config;
+      mkd_config;
+      faults;
+      link_seed = seed lxor 0x1a5e;
+      links = [];
+    }
+  in
+  (* The key server's egress is faulty too: certificate responses must
+     survive the same network the datagrams do (that is what the MKD's
+     retry/backoff is for). *)
+  attach_link t ca_host;
+  t
 
 let ca_addr t = Host.addr t.ca_host
 
@@ -65,6 +96,7 @@ let add_host t ~name ~addr =
   let addr = Addr.of_string addr in
   let host = Host.create ~name ~addr t.engine in
   Host.attach host t.medium;
+  attach_link t host;
   Udp_stack.install host;
   Minitcp.install host;
   let private_value = Fbsr_crypto.Dh.gen_private t.group t.rng in
@@ -76,7 +108,8 @@ let add_host t ~name ~addr =
       ~public_value:(Fbsr_crypto.Dh.public_to_bytes t.group public)
   in
   let mkd =
-    Mkd.create ~ca_addr:(ca_addr t) ~ca_port:(Ca_server.port t.ca_server) host
+    Mkd.create ~config:t.mkd_config ~ca_addr:(ca_addr t)
+      ~ca_port:(Ca_server.port t.ca_server) host
   in
   let stack =
     Stack.install ~config:(node_config t) ~private_value ~group:t.group
@@ -94,12 +127,30 @@ let add_plain_host t ~name ~addr =
   let addr = Addr.of_string addr in
   let host = Host.create ~name ~addr t.engine in
   Host.attach host t.medium;
+  attach_link t host;
   Udp_stack.install host;
   Minitcp.install host;
   host
 
 let engine t = t.engine
 let medium t = t.medium
+let links t = t.links
+
+(* Aggregate fault statistics across every link in the site. *)
+let link_stats t =
+  let acc = Link.new_stats () in
+  List.iter
+    (fun l ->
+      let s = Link.stats l in
+      acc.Link.offered <- acc.Link.offered + s.Link.offered;
+      acc.Link.delivered <- acc.Link.delivered + s.Link.delivered;
+      acc.Link.dropped <- acc.Link.dropped + s.Link.dropped;
+      acc.Link.duplicated <- acc.Link.duplicated + s.Link.duplicated;
+      acc.Link.reordered <- acc.Link.reordered + s.Link.reordered;
+      acc.Link.truncated <- acc.Link.truncated + s.Link.truncated;
+      acc.Link.corrupted <- acc.Link.corrupted + s.Link.corrupted)
+    t.links;
+  acc
 let group t = t.group
 let authority t = t.authority
 let ca_server t = t.ca_server

@@ -17,11 +17,17 @@ val create :
   ?bandwidth_bps:float ->
   ?group_bits:int ->
   ?config:Stack.config ->
+  ?mkd_config:Mkd.config ->
+  ?faults:Link.profile ->
   unit ->
   t
 (** [group_bits = 0] (default) uses the fast 61-bit test group; [1024]
     selects Oakley group 2; other values generate a fresh safe-prime
-    group. *)
+    group.  [mkd_config] sets every node's certificate-fetch retry/backoff
+    policy.  [faults] attaches a fault-injection {!Fbsr_netsim.Link} (with
+    a per-host seed derived from [seed]) to the egress of every host added
+    afterwards — including the key server, so certificate traffic suffers
+    the same network as the datagrams. *)
 
 val add_host : t -> name:string -> addr:string -> node
 val add_plain_host : t -> name:string -> addr:string -> Host.t
@@ -30,6 +36,13 @@ val add_plain_host : t -> name:string -> addr:string -> Host.t
 val ca_addr : t -> Addr.t
 val engine : t -> Engine.t
 val medium : t -> Medium.t
+
+val links : t -> Link.t list
+(** The fault-injection links attached so far (empty without [faults]). *)
+
+val link_stats : t -> Link.stats
+(** Aggregate fault statistics across every link in the site. *)
+
 val group : t -> Fbsr_crypto.Dh.group
 val authority : t -> Fbsr_cert.Authority.t
 val ca_server : t -> Ca_server.t

@@ -54,6 +54,9 @@ type t = {
   addr : Addr.t;
   engine : Engine.t;
   mutable medium : Medium.t option;
+  mutable link : Link.t option;
+      (* Fault-injection stage between this host and the medium; egress
+         frames pass through it when present. *)
   mtu : int;
   protocols : (int, t -> Ipv4.header -> string -> unit) Hashtbl.t;
   mutable output_hook : hook option;
@@ -80,6 +83,7 @@ let create ~name ~addr ?(mtu = 1500) engine =
     addr;
     engine;
     medium = None;
+    link = None;
     mtu;
     protocols = Hashtbl.create 8;
     output_hook = None;
@@ -113,6 +117,10 @@ let link_dst t dst =
   match (t.subnet_prefix, t.gateway) with
   | Some prefix, Some gw when not (Addr.in_subnet ~network:t.addr ~prefix dst) -> gw
   | _ -> dst
+
+let set_link t link = t.link <- Some link
+let clear_link t = t.link <- None
+let link t = t.link
 
 let set_output_hook t h = t.output_hook <- Some h
 let set_input_hook t h = t.input_hook <- Some h
@@ -163,53 +171,9 @@ let attach t medium =
 
 exception Send_error of string
 
-let fresh_ident t =
-  let id = t.next_ident in
-  t.next_ident <- (t.next_ident + 1) land 0xffff;
-  id
-
-let ip_output t ?(dont_fragment = false) ?(ttl = 64) ~protocol ~dst payload =
-  let medium =
-    match t.medium with
-    | Some m -> m
-    | None -> raise (Send_error "host not attached to a network")
-  in
-  (* Part 1: header construction (route selection is trivial: one medium). *)
-  let h =
-    Ipv4.make ~ident:(fresh_ident t) ~dont_fragment ~ttl ~protocol ~src:t.addr ~dst
-      ~payload_length:(String.length payload) ()
-  in
-  (* FBS send hook: between part 1 and fragmentation. *)
-  let verdict =
-    match t.output_hook with None -> Pass (h, payload) | Some hook -> hook h payload
-  in
-  match verdict with
-  | Drop _ -> t.stats.drops_hook <- t.stats.drops_hook + 1
-  | Pass (h, payload) -> (
-      (* The hook may have grown the payload: fix the length (as FBSSend()
-         fixes the IP header after insertion). *)
-      let h = { h with Ipv4.total_length = Ipv4.header_length h + String.length payload } in
-      (* Part 2: fragmentation. *)
-      match Frag.fragment h payload ~mtu:t.mtu with
-      | exception Frag.Cannot_fragment ->
-          t.stats.send_errors <- t.stats.send_errors + 1;
-          raise (Send_error "message too long (DF set)")
-      | fragments ->
-          if List.length fragments > 1 then
-            t.stats.fragments_out <- t.stats.fragments_out + List.length fragments;
-          (* Part 3: transmit. *)
-          List.iter
-            (fun (fh, fp) ->
-              let raw = Ipv4.encode fh fp in
-              t.stats.packets_out <- t.stats.packets_out + 1;
-              t.stats.bytes_out <- t.stats.bytes_out + String.length raw;
-              Medium.transmit medium ~dst:(link_dst t fh.Ipv4.dst) raw)
-            fragments)
-
-(* Part 2+3 of output only: fragment and transmit a prepared header and
-   payload, skipping the output hook.  Used by a security layer to finish
-   sending a datagram whose processing had to wait for key material. *)
-let transmit_prepared t (h : Ipv4.header) payload =
+(* Parts 2+3 of output: fix the length, fragment, and transmit each
+   fragment — through the fault-injection link when one is attached. *)
+let fragment_and_transmit t (h : Ipv4.header) payload =
   let medium =
     match t.medium with
     | Some m -> m
@@ -228,8 +192,40 @@ let transmit_prepared t (h : Ipv4.header) payload =
           let raw = Ipv4.encode fh fp in
           t.stats.packets_out <- t.stats.packets_out + 1;
           t.stats.bytes_out <- t.stats.bytes_out + String.length raw;
-          Medium.transmit medium ~dst:(link_dst t fh.Ipv4.dst) raw)
+          let dst = link_dst t fh.Ipv4.dst in
+          match t.link with
+          | None -> Medium.transmit medium ~dst raw
+          | Some link ->
+              Link.transmit link ~deliver:(fun raw -> Medium.transmit medium ~dst raw) raw)
         fragments
+
+let fresh_ident t =
+  let id = t.next_ident in
+  t.next_ident <- (t.next_ident + 1) land 0xffff;
+  id
+
+let ip_output t ?(dont_fragment = false) ?(ttl = 64) ~protocol ~dst payload =
+  if t.medium = None then raise (Send_error "host not attached to a network");
+  (* Part 1: header construction (route selection is trivial: one medium). *)
+  let h =
+    Ipv4.make ~ident:(fresh_ident t) ~dont_fragment ~ttl ~protocol ~src:t.addr ~dst
+      ~payload_length:(String.length payload) ()
+  in
+  (* FBS send hook: between part 1 and fragmentation. *)
+  let verdict =
+    match t.output_hook with None -> Pass (h, payload) | Some hook -> hook h payload
+  in
+  match verdict with
+  | Drop _ -> t.stats.drops_hook <- t.stats.drops_hook + 1
+  | Pass (h, payload) ->
+      (* The hook may have grown the payload: [fragment_and_transmit] fixes
+         the length (as FBSSend() fixes the IP header after insertion). *)
+      fragment_and_transmit t h payload
+
+(* Part 2+3 of output only: fragment and transmit a prepared header and
+   payload, skipping the output hook.  Used by a security layer to finish
+   sending a datagram whose processing had to wait for key material. *)
+let transmit_prepared t (h : Ipv4.header) payload = fragment_and_transmit t h payload
 
 (* Part 3 of input only: hand a datagram to its protocol handler, skipping
    the input hook.  Used by a security layer to finish delivery of a

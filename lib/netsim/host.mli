@@ -48,6 +48,13 @@ val set_gateway : t -> prefix:int -> gateway:Addr.t -> unit
 (** Off-subnet destinations are framed to [gateway] at the link layer; the
     IP destination is unchanged so a {!Router} can forward. *)
 
+val set_link : t -> Link.t -> unit
+(** Route every egress frame through a fault-injection {!Link} (applied
+    after fragmentation, before the medium). *)
+
+val clear_link : t -> unit
+val link : t -> Link.t option
+
 val set_output_hook : t -> hook -> unit
 val set_input_hook : t -> hook -> unit
 val clear_hooks : t -> unit

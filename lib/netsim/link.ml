@@ -1,0 +1,141 @@
+(* Fault-injection link layer.
+
+   The paper's central robustness claim (Sections 5.3, 6) is that FBS is
+   built entirely from soft state over an *insecure, unreliable* datagram
+   substrate: any cache entry may be dropped at any time and the protocol
+   merely recomputes, and any datagram may be lost, duplicated, reordered
+   or tampered with and the protocol merely rejects or recovers.  The
+   perfect in-memory medium never exercises that claim, so every host's
+   egress can be routed through a [Link.t]: a deterministic (seeded-RNG)
+   fault stage that drops, duplicates, reorders, truncates, and bit-flips
+   frames, with per-link statistics.
+
+   Faults are applied in a fixed order per frame — drop, then mutation
+   (truncate / bit-flip), then scheduling (reorder hold-back, duplicate) —
+   so a single uniform draw per fault keeps runs reproducible from one
+   integer seed regardless of which faults are enabled.
+
+   Reordering uses a bounded delay queue: a reordered frame is held back a
+   uniform time in (0, reorder_delay] while later frames overtake it.  The
+   bound means no frame is delayed indefinitely, so "eventual delivery"
+   remains meaningful. *)
+
+type profile = {
+  drop : float;  (* P(frame silently discarded) *)
+  duplicate : float;  (* P(frame delivered twice) *)
+  reorder : float;  (* P(frame held back so later frames overtake it) *)
+  reorder_delay : float;  (* bound (seconds) on the hold-back *)
+  truncate : float;  (* P(frame cut to a random proper prefix) *)
+  corrupt : float;  (* P(one random bit flipped) *)
+}
+
+let perfect =
+  {
+    drop = 0.0;
+    duplicate = 0.0;
+    reorder = 0.0;
+    reorder_delay = 0.01;
+    truncate = 0.0;
+    corrupt = 0.0;
+  }
+
+let validate_profile p =
+  let prob name v =
+    if v < 0.0 || v > 1.0 then
+      invalid_arg (Printf.sprintf "Link: %s probability %g not in [0,1]" name v)
+  in
+  prob "drop" p.drop;
+  prob "duplicate" p.duplicate;
+  prob "reorder" p.reorder;
+  prob "truncate" p.truncate;
+  prob "corrupt" p.corrupt;
+  if p.reorder_delay < 0.0 then invalid_arg "Link: negative reorder_delay"
+
+type stats = {
+  mutable offered : int;  (* frames handed to the link *)
+  mutable delivered : int;  (* deliveries performed (duplicates included) *)
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable reordered : int;
+  mutable truncated : int;
+  mutable corrupted : int;
+}
+
+let new_stats () =
+  {
+    offered = 0;
+    delivered = 0;
+    dropped = 0;
+    duplicated = 0;
+    reordered = 0;
+    truncated = 0;
+    corrupted = 0;
+  }
+
+type t = {
+  engine : Engine.t;
+  rng : Fbsr_util.Rng.t;
+  mutable profile : profile;
+  stats : stats;
+}
+
+let create ?(seed = 0x7a11) ?(profile = perfect) engine =
+  validate_profile profile;
+  { engine; rng = Fbsr_util.Rng.create seed; profile; stats = new_stats () }
+
+let profile t = t.profile
+
+let set_profile t p =
+  validate_profile p;
+  t.profile <- p
+
+let stats t = t.stats
+
+let hit t p = p > 0.0 && Fbsr_util.Rng.uniform t.rng < p
+
+(* Cut the frame to a uniformly random proper prefix (possibly empty). *)
+let truncate_frame t raw =
+  t.stats.truncated <- t.stats.truncated + 1;
+  String.sub raw 0 (Fbsr_util.Rng.int t.rng (String.length raw))
+
+(* Flip one uniformly random bit. *)
+let corrupt_frame t raw =
+  t.stats.corrupted <- t.stats.corrupted + 1;
+  let b = Bytes.of_string raw in
+  let bit = Fbsr_util.Rng.int t.rng (8 * Bytes.length b) in
+  let i = bit / 8 in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl (bit mod 8))));
+  Bytes.unsafe_to_string b
+
+let transmit t ~deliver raw =
+  t.stats.offered <- t.stats.offered + 1;
+  let p = t.profile in
+  if hit t p.drop then t.stats.dropped <- t.stats.dropped + 1
+  else begin
+    let raw =
+      if String.length raw > 0 && hit t p.truncate then truncate_frame t raw else raw
+    in
+    let raw =
+      if String.length raw > 0 && hit t p.corrupt then corrupt_frame t raw else raw
+    in
+    let send_one () =
+      t.stats.delivered <- t.stats.delivered + 1;
+      if hit t p.reorder && p.reorder_delay > 0.0 then begin
+        t.stats.reordered <- t.stats.reordered + 1;
+        let delay = Fbsr_util.Rng.float t.rng p.reorder_delay in
+        Engine.schedule t.engine ~delay (fun () -> deliver raw)
+      end
+      else deliver raw
+    in
+    send_one ();
+    if hit t p.duplicate then begin
+      t.stats.duplicated <- t.stats.duplicated + 1;
+      send_one ()
+    end
+  end
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "offered=%d delivered=%d dropped=%d duplicated=%d reordered=%d truncated=%d \
+     corrupted=%d"
+    s.offered s.delivered s.dropped s.duplicated s.reordered s.truncated s.corrupted

@@ -1,0 +1,282 @@
+(* Adversarial-network suite: the fault-injection link layer itself, and
+   FBS's behaviour over it.
+
+   The properties under test are the paper's soft-state robustness claims
+   (Sections 5.3 and 6): no corrupted or replayed datagram is ever
+   accepted, and every loss is recovered by retransmission above and
+   recomputation below — never by hidden hard state. *)
+
+open Fbsr_netsim
+open Fbsr_fbs_ip
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* The Link stage in isolation.                                        *)
+(* ------------------------------------------------------------------ *)
+
+let drive ~seed ~profile n =
+  let engine = Engine.create () in
+  let link = Link.create ~seed ~profile engine in
+  let delivered = ref [] in
+  for i = 0 to n - 1 do
+    Link.transmit link
+      ~deliver:(fun raw -> delivered := raw :: !delivered)
+      (Printf.sprintf "frame-%04d" i)
+  done;
+  Engine.run engine;
+  (Link.stats link, List.rev !delivered)
+
+let chaos =
+  {
+    Link.drop = 0.2;
+    duplicate = 0.1;
+    reorder = 0.3;
+    reorder_delay = 0.05;
+    truncate = 0.05;
+    corrupt = 0.1;
+  }
+
+let test_link_determinism () =
+  let s1, d1 = drive ~seed:99 ~profile:chaos 500 in
+  let s2, d2 = drive ~seed:99 ~profile:chaos 500 in
+  check (Alcotest.list Alcotest.string) "same seed, same delivery sequence" d1 d2;
+  check Alcotest.int "same drops" s1.Link.dropped s2.Link.dropped;
+  check Alcotest.int "same duplicates" s1.Link.duplicated s2.Link.duplicated;
+  check Alcotest.int "same corruptions" s1.Link.corrupted s2.Link.corrupted;
+  let _, d3 = drive ~seed:100 ~profile:chaos 500 in
+  check Alcotest.bool "different seed, different run" true (d1 <> d3)
+
+let test_link_perfect_is_identity () =
+  let stats, delivered = drive ~seed:1 ~profile:Link.perfect 100 in
+  check Alcotest.int "all delivered" 100 (List.length delivered);
+  check Alcotest.int "none dropped" 0 stats.Link.dropped;
+  check
+    (Alcotest.list Alcotest.string)
+    "in order, unmodified"
+    (List.init 100 (Printf.sprintf "frame-%04d"))
+    delivered
+
+let test_link_drop_rate () =
+  let profile = { Link.perfect with Link.drop = 0.3 } in
+  let stats, delivered = drive ~seed:4 ~profile 2000 in
+  check Alcotest.int "offered" 2000 stats.Link.offered;
+  check Alcotest.int "conservation" 2000 (stats.Link.delivered + stats.Link.dropped);
+  check Alcotest.int "delivered list matches stats" stats.Link.delivered
+    (List.length delivered);
+  check Alcotest.bool "drop rate in the right ballpark" true
+    (stats.Link.dropped > 500 && stats.Link.dropped < 700)
+
+let test_link_reorder () =
+  let profile = { Link.perfect with Link.reorder = 1.0; reorder_delay = 0.5 } in
+  let stats, delivered = drive ~seed:7 ~profile 50 in
+  check Alcotest.int "nothing lost" 50 (List.length delivered);
+  check Alcotest.int "all held back" 50 stats.Link.reordered;
+  check Alcotest.bool "order actually changed" true
+    (delivered <> List.sort compare delivered);
+  check
+    (Alcotest.list Alcotest.string)
+    "a permutation, not a mutation"
+    (List.init 50 (Printf.sprintf "frame-%04d"))
+    (List.sort compare delivered)
+
+let test_link_truncate () =
+  let profile = { Link.perfect with Link.truncate = 1.0 } in
+  let _, delivered = drive ~seed:3 ~profile 100 in
+  List.iter
+    (fun frame ->
+      check Alcotest.bool "proper prefix" true (String.length frame < 10);
+      check Alcotest.string "prefix content intact"
+        (String.sub "frame-" 0 (min 6 (String.length frame)))
+        (String.sub frame 0 (min 6 (String.length frame))))
+    delivered
+
+let test_link_corrupt_flips_one_bit () =
+  let profile = { Link.perfect with Link.corrupt = 1.0 } in
+  let _, delivered = drive ~seed:5 ~profile 100 in
+  check Alcotest.int "nothing lost" 100 (List.length delivered);
+  List.iteri
+    (fun i frame ->
+      let original = Printf.sprintf "frame-%04d" i in
+      check Alcotest.int "same length" (String.length original) (String.length frame);
+      let flipped =
+        let bits = ref 0 in
+        String.iteri
+          (fun j c ->
+            let x = Char.code c lxor Char.code original.[j] in
+            for b = 0 to 7 do
+              if x land (1 lsl b) <> 0 then incr bits
+            done)
+          frame;
+        !bits
+      in
+      check Alcotest.int "exactly one bit flipped" 1 flipped)
+    delivered
+
+let test_link_profile_validation () =
+  let engine = Engine.create () in
+  let expect_invalid profile =
+    match Link.create ~profile engine with
+    | (_ : Link.t) -> Alcotest.fail "nonsense profile accepted"
+    | exception Invalid_argument _ -> ()
+  in
+  expect_invalid { Link.perfect with Link.drop = 1.5 };
+  expect_invalid { Link.perfect with Link.corrupt = -0.1 };
+  expect_invalid { Link.perfect with Link.reorder_delay = -1.0 };
+  let link = Link.create engine in
+  match Link.set_profile link { Link.perfect with Link.duplicate = 2.0 } with
+  | () -> Alcotest.fail "set_profile accepted nonsense"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* FBS end to end over faulty links.                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_no_forgery_under_corruption () =
+  (* 5% bit flips: heavy enough that some flips are guaranteed to land
+     inside FBS-protected bytes, not just the IP header. *)
+  let faults = { Link.perfect with Link.corrupt = 0.05 } in
+  let r = Fbsr_experiments.Faults.run ~seed:5 ~messages:120 ~faults () in
+  check Alcotest.int "zero forgeries reach the application" 0 r.Fbsr_experiments.Faults.forgeries_accepted;
+  check Alcotest.bool "corruption actually happened on the wire" true
+    (r.Fbsr_experiments.Faults.link.Link.corrupted > 0);
+  check Alcotest.bool "and was caught by the security layer" true
+    (r.Fbsr_experiments.Faults.mac_failures + r.Fbsr_experiments.Faults.header_failures
+       + r.Fbsr_experiments.Faults.decrypt_failures
+     > 0);
+  check Alcotest.int "and every message still got through (retries)"
+    r.Fbsr_experiments.Faults.offered r.Fbsr_experiments.Faults.accepted
+
+let test_loss_recovered_by_retransmission () =
+  let r =
+    Fbsr_experiments.Faults.run ~seed:5 ~messages:120
+      ~faults:Fbsr_experiments.Faults.lossy ()
+  in
+  check Alcotest.bool ">= 99% eventual acceptance" true
+    (Fbsr_experiments.Faults.acceptance_rate r >= 0.99);
+  check Alcotest.bool "loss actually happened" true
+    (r.Fbsr_experiments.Faults.link.Link.dropped > 0);
+  check Alcotest.bool "recovery came from retransmissions" true
+    (r.Fbsr_experiments.Faults.transmissions > r.Fbsr_experiments.Faults.offered);
+  check Alcotest.int "no forgeries" 0 r.Fbsr_experiments.Faults.forgeries_accepted
+
+let test_hostile_network_invariants () =
+  let r =
+    Fbsr_experiments.Faults.run ~seed:23 ~messages:120
+      ~faults:Fbsr_experiments.Faults.hostile ()
+  in
+  check Alcotest.int "zero forgeries under combined faults" 0
+    r.Fbsr_experiments.Faults.forgeries_accepted;
+  check Alcotest.bool "acceptance still >= 99%" true
+    (Fbsr_experiments.Faults.acceptance_rate r >= 0.99)
+
+(* A sniffing adversary replays every captured frame verbatim; with
+   strict replay suppression the application sees nothing new. *)
+let test_replayed_capture_rejected () =
+  let config = Stack.default_config ~strict_replay:true () in
+  let tb = Testbed.create ~seed:3 ~config () in
+  let a = Testbed.add_host tb ~name:"a" ~addr:"10.0.0.1" in
+  let b = Testbed.add_host tb ~name:"b" ~addr:"10.0.0.2" in
+  let delivered = ref [] in
+  Udp_stack.listen b.Testbed.host ~port:7000 (fun ~src:_ ~src_port:_ msg ->
+      delivered := msg :: !delivered);
+  let captured = ref [] in
+  Medium.add_sniffer (Testbed.medium tb) (fun _time raw -> captured := raw :: !captured);
+  for i = 1 to 5 do
+    Udp_stack.send a.Testbed.host ~src_port:6000 ~dst:(Host.addr b.Testbed.host)
+      ~dst_port:7000 (Printf.sprintf "payment %d" i)
+  done;
+  Testbed.run tb;
+  check Alcotest.int "all delivered once" 5 (List.length !delivered);
+  (* Keep only frames addressed to b (the tap also saw MKD traffic). *)
+  let to_b =
+    List.filter
+      (fun raw ->
+        match Ipv4.decode raw with
+        | h, _ -> Addr.equal h.Ipv4.dst (Host.addr b.Testbed.host)
+        | exception Ipv4.Bad_packet _ -> false)
+      !captured
+  in
+  check Alcotest.bool "captured the data frames" true (List.length to_b >= 5);
+  List.iter (fun raw -> Medium.transmit (Testbed.medium tb) ~dst:(Host.addr b.Testbed.host) raw) to_b;
+  Testbed.run tb;
+  check Alcotest.int "replay delivered nothing new" 5 (List.length !delivered);
+  let c = Fbsr_fbs.Engine.counters (Stack.engine b.Testbed.stack) in
+  check Alcotest.bool "replays rejected as duplicates" true
+    (c.Fbsr_fbs.Engine.errors_duplicate >= 5)
+
+(* Wipe every piece of soft state mid-conversation — flow-key caches,
+   master-key cache, certificate cache — and show the conversation
+   continues: keys are recomputed (counted as recoveries), certificates
+   are refetched, and no datagram is lost to the amnesia. *)
+let test_soft_state_wipe_recovers () =
+  let tb = Testbed.create ~seed:9 () in
+  let a = Testbed.add_host tb ~name:"a" ~addr:"10.0.0.1" in
+  let b = Testbed.add_host tb ~name:"b" ~addr:"10.0.0.2" in
+  let delivered = ref 0 in
+  Udp_stack.listen b.Testbed.host ~port:7000 (fun ~src:_ ~src_port:_ _ ->
+      incr delivered);
+  let send i =
+    Udp_stack.send a.Testbed.host ~src_port:6000 ~dst:(Host.addr b.Testbed.host)
+      ~dst_port:7000 (Printf.sprintf "msg %d" i)
+  in
+  for i = 1 to 3 do send i done;
+  Testbed.run tb;
+  check Alcotest.int "first batch delivered" 3 !delivered;
+  let wipe (node : Testbed.node) =
+    let e = Stack.engine node.Testbed.stack in
+    Fbsr_fbs.Cache.clear (Fbsr_fbs.Engine.tfkc e);
+    Fbsr_fbs.Cache.clear (Fbsr_fbs.Engine.rfkc e);
+    let keying = Fbsr_fbs.Engine.keying e in
+    Fbsr_fbs.Cache.clear (Fbsr_fbs.Keying.pvc keying);
+    Fbsr_fbs.Cache.clear (Fbsr_fbs.Keying.mkc keying)
+  in
+  wipe a;
+  wipe b;
+  let fetches_before =
+    (Mkd.stats a.Testbed.mkd).Mkd.fetches + (Mkd.stats b.Testbed.mkd).Mkd.fetches
+  in
+  for i = 4 to 6 do send i done;
+  Testbed.run tb;
+  check Alcotest.int "second batch delivered despite the wipe" 6 !delivered;
+  let recoveries (node : Testbed.node) =
+    (Fbsr_fbs.Engine.counters (Stack.engine node.Testbed.stack))
+      .Fbsr_fbs.Engine.flow_key_recoveries
+  in
+  check Alcotest.bool "sender recomputed its flow key" true (recoveries a > 0);
+  check Alcotest.bool "receiver recomputed its flow key" true (recoveries b > 0);
+  let fetches_after =
+    (Mkd.stats a.Testbed.mkd).Mkd.fetches + (Mkd.stats b.Testbed.mkd).Mkd.fetches
+  in
+  check Alcotest.bool "certificates were refetched" true
+    (fetches_after > fetches_before)
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "link",
+        [
+          Alcotest.test_case "deterministic from seed" `Quick test_link_determinism;
+          Alcotest.test_case "perfect profile is identity" `Quick
+            test_link_perfect_is_identity;
+          Alcotest.test_case "drop rate" `Quick test_link_drop_rate;
+          Alcotest.test_case "reorder permutes" `Quick test_link_reorder;
+          Alcotest.test_case "truncate yields proper prefixes" `Quick test_link_truncate;
+          Alcotest.test_case "corrupt flips one bit" `Quick
+            test_link_corrupt_flips_one_bit;
+          Alcotest.test_case "profile validation" `Quick test_link_profile_validation;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "no forgery under corruption" `Quick
+            test_no_forgery_under_corruption;
+          Alcotest.test_case "loss recovered by retransmission" `Quick
+            test_loss_recovered_by_retransmission;
+          Alcotest.test_case "hostile network invariants" `Quick
+            test_hostile_network_invariants;
+          Alcotest.test_case "replayed capture rejected" `Quick
+            test_replayed_capture_rejected;
+          Alcotest.test_case "soft-state wipe recovers" `Quick
+            test_soft_state_wipe_recovers;
+        ] );
+    ]

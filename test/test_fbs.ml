@@ -82,6 +82,72 @@ let prop_header_truncation =
       | Error (Header.Unknown_suite _ | Header.Bad_flags _) -> false
       | Ok _ -> false)
 
+let prop_header_fuzz_no_exception =
+  QCheck.Test.make ~name:"decode of arbitrary bytes never raises" ~count:1000
+    arbitrary_bytes (fun raw ->
+      match Header.decode raw with
+      | Ok _ -> true
+      | Error (Header.Truncated | Header.Unknown_suite _ | Header.Bad_flags _) -> true
+      | exception _ -> false)
+
+(* Decoding is canonical: whenever arbitrary bytes decode, re-encoding the
+   header and body reproduces the input exactly — so no two distinct wire
+   strings parse to the same datagram.  The suite and flags bytes are
+   pinned to valid values so the property actually exercises the Ok
+   branch; all other bytes stay adversarial. *)
+let prop_header_decode_canonical =
+  QCheck.Test.make ~name:"decode is canonical (re-encode = raw)" ~count:500
+    (QCheck.pair arbitrary_bytes QCheck.bool) (fun (raw, secret) ->
+      let raw =
+        if String.length raw > 9 then begin
+          let b = Bytes.of_string raw in
+          Bytes.set b 8 (Char.chr Suite.paper_md5_des.Suite.id);
+          Bytes.set b 9 (if secret then '\001' else '\000');
+          Bytes.to_string b
+        end
+        else raw
+      in
+      match Header.decode raw with
+      | Error _ -> true
+      | Ok (h, body) -> String.equal (Header.encode h ^ body) raw)
+
+(* Deterministic sweep over EVERY prefix length of a valid wire datagram:
+   short prefixes must decode to Truncated (never raise, never
+   misclassify), and once the full header is present the decode succeeds
+   with the corresponding body prefix. *)
+let test_header_every_prefix () =
+  let h =
+    {
+      Header.sfl = Sfl.of_int64 0x0102030405060708L;
+      suite = Suite.paper_md5_des;
+      secret = true;
+      confounder = 0xdeadbeef;
+      timestamp = 77;
+      mac = String.init 16 (fun i -> Char.chr (0x40 + i));
+    }
+  in
+  let header_len = Header.size h in
+  let wire = Header.encode h ^ "body bytes here" in
+  for n = 0 to String.length wire do
+    match Header.decode (String.sub wire 0 n) with
+    | Ok (h', body) ->
+        if n < header_len then
+          Alcotest.failf "prefix %d decoded despite truncated header" n;
+        check Alcotest.bool (Printf.sprintf "prefix %d header" n) true
+          (header_equal h h');
+        check Alcotest.string
+          (Printf.sprintf "prefix %d body" n)
+          (String.sub wire header_len (n - header_len))
+          body
+    | Error Header.Truncated ->
+        if n >= header_len then
+          Alcotest.failf "prefix %d rejected despite complete header" n
+    | Error (Header.Unknown_suite _ | Header.Bad_flags _) ->
+        Alcotest.failf "prefix %d of a valid wire misclassified" n
+    | exception e ->
+        Alcotest.failf "prefix %d raised %s" n (Printexc.to_string e)
+  done
+
 let test_header_unknown_suite () =
   let h =
     {
@@ -151,6 +217,44 @@ let test_replay_strict_gc () =
      anyway: strict mode state cannot grow without bound. *)
   check Alcotest.bool "stale later" true
     (Replay.check r ~now:6000.0 ~sfl ~confounder:1 ~timestamp:1 = Replay.Stale)
+
+let test_replay_clock_skew () =
+  (* Sender/receiver clock skew in either direction up to the window is
+     tolerated; one minute beyond it is stale.  Receiver sits at minute
+     100; the timestamp plays the part of the skewed sender clock. *)
+  let r = Replay.create ~window_minutes:3 () in
+  let at now ts =
+    Replay.check r ~now ~sfl:(Sfl.of_int64 4L) ~confounder:9 ~timestamp:ts
+  in
+  check Alcotest.bool "sender 3 min ahead" true (at 6000.0 103 = Replay.Fresh);
+  check Alcotest.bool "sender 4 min ahead" true (at 6000.0 104 = Replay.Stale);
+  check Alcotest.bool "sender 3 min behind" true (at 6000.0 97 = Replay.Fresh);
+  check Alcotest.bool "sender 4 min behind" true (at 6000.0 96 = Replay.Stale);
+  (* Sub-minute receiver time does not widen the window: 100m59s is still
+     minute 100. *)
+  check Alcotest.bool "fractional minute, boundary holds" true
+    (at 6059.0 103 = Replay.Fresh);
+  check Alcotest.bool "fractional minute, beyond boundary" true
+    (at 6059.0 104 = Replay.Stale)
+
+let test_replay_duplicate_after_eviction () =
+  (* Strict-mode GC evicts entries that leave the window — but an evicted
+     datagram cannot sneak back in, because leaving the window is exactly
+     what makes it stale.  Eviction never re-opens acceptance. *)
+  let r = Replay.create ~window_minutes:1 ~strict:true () in
+  let go now ts =
+    Replay.check r ~now ~sfl:(Sfl.of_int64 3L) ~confounder:5 ~timestamp:ts
+  in
+  check Alcotest.bool "fresh at minute 10" true (go 600.0 10 = Replay.Fresh);
+  check Alcotest.bool "duplicate at minute 11 (still in window)" true
+    (go 660.0 10 = Replay.Duplicate);
+  (* At minute 12 the GC drops the ts=10 entry; the same datagram is now
+     stale, not fresh. *)
+  check Alcotest.bool "stale at minute 12 (after eviction)" true
+    (go 720.0 10 = Replay.Stale);
+  let s = Replay.stats r in
+  check Alcotest.int "one duplicate" 1 s.Replay.rejected_duplicate;
+  check Alcotest.int "one stale" 1 s.Replay.rejected_stale
 
 let test_minutes_encoding () =
   check Alcotest.int "0s" 0 (Replay.minutes_of_seconds 0.0);
@@ -306,6 +410,126 @@ let prop_cache_find_after_insert =
       let c = int_cache ~sets () in
       Cache.insert c key "v";
       Cache.find c key = Some "v")
+
+(* The 3-C classification against a from-scratch reference model: a
+   byte-for-byte reimplementation of the documented semantics (tick on
+   every find and insert, shadow fully-associative LRU touched by both,
+   seen-set grown on first miss, per-set LRU replacement).  Random
+   find/insert/invalidate workloads must produce identical statistics,
+   and the counters must add up: every find is exactly one of
+   hit/cold/capacity/conflict. *)
+let prop_cache_classification_matches_reference =
+  QCheck.Test.make ~name:"3-C classification = brute-force reference" ~count:200
+    QCheck.(
+      list_of_size (Gen.int_range 1 300) (pair (int_bound 5) (int_bound 40)))
+    (fun ops ->
+      let sets = 4 and assoc = 2 in
+      let cache = Cache.create ~assoc ~sets ~hash:(fun k -> k) ~equal:Int.equal () in
+      (* Reference state. *)
+      let capacity = sets * assoc in
+      let tick = ref 0 in
+      let slots = Array.make capacity None (* (key, last_used) *) in
+      let seen = Hashtbl.create 16 in
+      let shadow = Hashtbl.create 16 (* key -> last tick *) in
+      let hits = ref 0
+      and cold = ref 0
+      and cap = ref 0
+      and conf = ref 0
+      and evictions = ref 0
+      and finds = ref 0 in
+      let base key = key mod sets * assoc in
+      let shadow_touch key =
+        Hashtbl.replace shadow key !tick;
+        if Hashtbl.length shadow > capacity then begin
+          (* Ticks are unique, so the LRU victim is unambiguous. *)
+          let victim =
+            Hashtbl.fold
+              (fun k t acc ->
+                match acc with Some (_, bt) when bt < t -> acc | _ -> Some (k, t))
+              shadow None
+          in
+          match victim with Some (k, _) -> Hashtbl.remove shadow k | None -> ()
+        end
+      in
+      let ref_find key =
+        incr tick;
+        incr finds;
+        let b = base key in
+        let hit = ref false in
+        for w = 0 to assoc - 1 do
+          match slots.(b + w) with
+          | Some (k, _) when k = key ->
+              slots.(b + w) <- Some (k, !tick);
+              hit := true
+          | _ -> ()
+        done;
+        (if !hit then incr hits
+         else if not (Hashtbl.mem seen key) then begin
+           Hashtbl.replace seen key ();
+           incr cold
+         end
+         else if Hashtbl.mem shadow key then incr conf
+         else incr cap);
+        shadow_touch key
+      in
+      let ref_insert key =
+        incr tick;
+        let b = base key in
+        let existing = ref None and empty = ref None in
+        for w = 0 to assoc - 1 do
+          match slots.(b + w) with
+          | Some (k, _) when k = key -> existing := Some (b + w)
+          | Some _ -> ()
+          | None -> if !empty = None then empty := Some (b + w)
+        done;
+        let idx =
+          match (!existing, !empty) with
+          | Some i, _ -> i
+          | None, Some i -> i
+          | None, None ->
+              incr evictions;
+              (* LRU within the set. *)
+              let best = ref b in
+              for w = 1 to assoc - 1 do
+                match (slots.(b + w), slots.(!best)) with
+                | Some (_, t), Some (_, bt) when t < bt -> best := b + w
+                | _ -> ()
+              done;
+              !best
+        in
+        slots.(idx) <- Some (key, !tick);
+        shadow_touch key
+      in
+      let ref_invalidate key =
+        let b = base key in
+        for w = 0 to assoc - 1 do
+          match slots.(b + w) with
+          | Some (k, _) when k = key -> slots.(b + w) <- None
+          | _ -> ()
+        done
+      in
+      List.iter
+        (fun (op, key) ->
+          match op with
+          | 0 | 1 | 2 ->
+              ref_find key;
+              ignore (Cache.find cache key)
+          | 3 | 4 ->
+              ref_insert key;
+              Cache.insert cache key (string_of_int key)
+          | _ ->
+              ref_invalidate key;
+              Cache.invalidate cache key)
+        ops;
+      let s = Cache.stats cache in
+      s.Cache.hits = !hits
+      && s.Cache.misses_cold = !cold
+      && s.Cache.misses_capacity = !cap
+      && s.Cache.misses_conflict = !conf
+      && s.Cache.evictions = !evictions
+      (* The invariant the classification must preserve: every find is
+         exactly one of the four outcomes. *)
+      && s.Cache.hits + Cache.total_misses s = !finds)
 
 let test_cache_occupancy_clear () =
   let c = int_cache ~sets:16 () in
@@ -486,6 +710,58 @@ let test_keying_coalesces () =
   check Alcotest.int "all continuations ran" 3 !results;
   check Alcotest.int "one DH computation" 1
     (Keying.counters ks).Keying.master_key_computations
+
+let test_keying_fetch_retries () =
+  (* A resolver that fails transiently: with [fetch_retries] the keying
+     layer re-asks and succeeds; the counters record both the total
+     fetches and how many were retries. *)
+  let _, _, ca, _, enroll, resolver_calls, _ = make_world () in
+  let s, s_priv, _ = enroll "sender" in
+  let d, _, _ = enroll "receiver" in
+  let group = Lazy.force Fbsr_crypto.Dh.test_group in
+  let failures_left = ref 2 in
+  let flaky peer k =
+    incr resolver_calls;
+    if !failures_left > 0 then begin
+      decr failures_left;
+      k (Error "fetch lost in transit")
+    end
+    else
+      match Fbsr_cert.Authority.lookup ca (Principal.to_string peer) with
+      | Some c -> k (Ok c)
+      | None -> k (Error "unknown principal")
+  in
+  let keying ~fetch_retries =
+    Keying.create ~fetch_retries ~local:s ~group ~private_value:s_priv
+      ~ca_public:(Fbsr_cert.Authority.public ca)
+      ~ca_hash:(Fbsr_cert.Authority.hash ca) ~resolver:flaky
+      ~clock:(fun () -> 1000.0)
+      ()
+  in
+  let ks = keying ~fetch_retries:2 in
+  (match Keying.get_master_sync ks d with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "retries did not recover: %a" Keying.pp_error e);
+  let c = Keying.counters ks in
+  check Alcotest.int "three fetches" 3 c.Keying.certificate_fetches;
+  check Alcotest.int "two were retries" 2 c.Keying.certificate_fetch_retries;
+  (* Without retries the same transient failure is fatal. *)
+  failures_left := 2;
+  let k0 = keying ~fetch_retries:0 in
+  (match Keying.get_master_sync k0 d with
+  | Error (Keying.No_certificate _) -> ()
+  | Ok _ -> Alcotest.fail "succeeded without the failing fetch being retried"
+  | Error e -> Alcotest.failf "unexpected error: %a" Keying.pp_error e);
+  check Alcotest.int "no retries recorded" 0
+    (Keying.counters k0).Keying.certificate_fetch_retries;
+  (* Retries are bounded: 1 retry cannot absorb 2 failures. *)
+  failures_left := 2;
+  let k1 = keying ~fetch_retries:1 in
+  match Keying.get_master_sync k1 d with
+  | Error (Keying.No_certificate _) ->
+      check Alcotest.int "single retry recorded" 1
+        (Keying.counters k1).Keying.certificate_fetch_retries
+  | _ -> Alcotest.fail "1 retry absorbed 2 failures"
 
 let test_flow_key_derivation () =
   let sfl = Sfl.of_int64 42L in
@@ -815,6 +1091,43 @@ let test_engine_caches_amortize () =
     (Keying.counters (Engine.keying ed)).Keying.master_key_computations;
   check Alcotest.int "sends" 50 (Engine.counters es).Engine.sends;
   check Alcotest.int "accepted" 50 (Engine.counters ed).Engine.accepted
+
+let test_engine_flow_key_recovery () =
+  (* Soft-state recovery is observable: clearing the flow-key caches
+     mid-conversation forces recomputation, counted as a recovery — the
+     conversation itself never notices. *)
+  let clock, s, d, es, ed = make_engines () in
+  let attrs = Fam.attrs ~protocol:17 ~src_port:1 ~dst_port:2 ~src:s ~dst:d () in
+  let exchange payload =
+    match Engine.send_sync es ~now:!clock ~attrs ~secret:true ~payload with
+    | Error e -> Alcotest.failf "send: %a" Engine.pp_error e
+    | Ok wire -> (
+        match Engine.receive_sync ed ~now:!clock ~src:s ~wire with
+        | Ok acc -> check Alcotest.string "payload survives" payload acc.Engine.payload
+        | Error e -> Alcotest.failf "receive: %a" Engine.pp_error e)
+  in
+  exchange "before the crash";
+  check Alcotest.int "no recoveries yet (sender)" 0
+    (Engine.counters es).Engine.flow_key_recoveries;
+  check Alcotest.int "no recoveries yet (receiver)" 0
+    (Engine.counters ed).Engine.flow_key_recoveries;
+  (* The caches evaporate (reboot, pressure, operator): soft state only. *)
+  Cache.clear (Engine.tfkc es);
+  Cache.clear (Engine.rfkc ed);
+  exchange "after the crash";
+  check Alcotest.int "sender recovered" 1
+    (Engine.counters es).Engine.flow_key_recoveries;
+  check Alcotest.int "receiver recovered" 1
+    (Engine.counters ed).Engine.flow_key_recoveries;
+  check Alcotest.int "two computations each" 2
+    (Engine.counters es).Engine.flow_key_computations;
+  (* A fresh flow is a computation but NOT a recovery. *)
+  let attrs2 = Fam.attrs ~protocol:17 ~src_port:999 ~dst_port:2 ~src:s ~dst:d () in
+  (match Engine.send_sync es ~now:!clock ~attrs:attrs2 ~secret:false ~payload:"new flow" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "send: %a" Engine.pp_error e);
+  check Alcotest.int "still one recovery" 1
+    (Engine.counters es).Engine.flow_key_recoveries
 
 let test_engine_header_garbage () =
   let clock, s, _, _, ed = make_engines () in
@@ -1168,14 +1481,20 @@ let () =
         [
           Alcotest.test_case "unknown suite" `Quick test_header_unknown_suite;
           Alcotest.test_case "confounder IV + size" `Quick test_header_confounder_iv;
+          Alcotest.test_case "every prefix length" `Quick test_header_every_prefix;
           qtest prop_header_roundtrip;
           qtest prop_header_truncation;
+          qtest prop_header_fuzz_no_exception;
+          qtest prop_header_decode_canonical;
         ] );
       ( "replay",
         [
           Alcotest.test_case "window" `Quick test_replay_window;
           Alcotest.test_case "strict duplicates" `Quick test_replay_strict_duplicates;
           Alcotest.test_case "strict gc" `Quick test_replay_strict_gc;
+          Alcotest.test_case "clock skew boundaries" `Quick test_replay_clock_skew;
+          Alcotest.test_case "duplicate after eviction" `Quick
+            test_replay_duplicate_after_eviction;
           Alcotest.test_case "minutes encoding" `Quick test_minutes_encoding;
         ] );
       ( "cache",
@@ -1192,6 +1511,7 @@ let () =
           qtest prop_cache_find_after_insert;
           qtest prop_fully_associative_no_conflicts;
           qtest prop_cache_cold_bounded_by_distinct;
+          qtest prop_cache_classification_matches_reference;
         ] );
       ( "keying",
         [
@@ -1205,6 +1525,7 @@ let () =
           Alcotest.test_case "unknown principal" `Quick test_keying_unknown_principal;
           Alcotest.test_case "wrong subject" `Quick test_keying_wrong_subject;
           Alcotest.test_case "coalesces concurrent fetches" `Quick test_keying_coalesces;
+          Alcotest.test_case "fetch retries" `Quick test_keying_fetch_retries;
           Alcotest.test_case "flow key derivation" `Quick test_flow_key_derivation;
         ] );
       ( "fam",
@@ -1234,6 +1555,8 @@ let () =
           Alcotest.test_case "cross-flow splice" `Quick
             test_engine_cross_flow_splice_rejected;
           Alcotest.test_case "caches amortize" `Quick test_engine_caches_amortize;
+          Alcotest.test_case "flow key recovery counted" `Quick
+            test_engine_flow_key_recovery;
           Alcotest.test_case "garbage wire" `Quick test_engine_header_garbage;
           Alcotest.test_case "suite mismatch refused" `Quick test_engine_suite_mismatch;
           Alcotest.test_case "async send" `Quick test_engine_async_send;
