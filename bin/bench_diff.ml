@@ -1,0 +1,115 @@
+(* bench_diff: compare two BENCH_*.json artifacts (bench/main.exe --json)
+   and fail past a regression threshold.
+
+   Usage: bench_diff OLD.json NEW.json [--threshold 0.25]
+
+   A benchmark regresses when new > old * (1 + threshold).  Benchmarks are
+   the gate; registry counters are printed informationally (a counter shift
+   means behaviour changed, which a timing gate should not conflate with
+   being slower).  Exit status: 0 clean, 1 regression(s), 2 usage or parse
+   error. *)
+
+let usage () =
+  prerr_endline "usage: bench_diff OLD.json NEW.json [--threshold FRACTION]";
+  exit 2
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("bench_diff: " ^ m); exit 2) fmt
+
+let load path =
+  let ic = try open_in_bin path with Sys_error m -> fail "%s" m in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  match Fbsr_util.Json.parse s with
+  | j -> j
+  | exception Fbsr_util.Json.Parse_error m -> fail "%s: %s" path m
+
+let obj_members name j =
+  match Fbsr_util.Json.member name j with
+  | Some (Fbsr_util.Json.Obj kvs) -> kvs
+  | Some _ | None -> []
+
+let schema j =
+  match Fbsr_util.Json.member "schema" j with
+  | Some (Fbsr_util.Json.String s) -> s
+  | _ -> "?"
+
+let () =
+  let threshold = ref 0.25 in
+  let files = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--threshold" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some f when f >= 0.0 ->
+            threshold := f;
+            parse rest
+        | _ -> fail "bad --threshold %S" v)
+    | arg :: _ when String.length arg > 2 && String.sub arg 0 2 = "--" ->
+        usage ()
+    | arg :: rest ->
+        files := arg :: !files;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let old_path, new_path =
+    match List.rev !files with [ a; b ] -> (a, b) | _ -> usage ()
+  in
+  let old_doc = load old_path and new_doc = load new_path in
+  List.iter
+    (fun (p, d) ->
+      if schema d <> "fbsr-bench/1" then
+        fail "%s: unexpected schema %S (want \"fbsr-bench/1\")" p (schema d))
+    [ (old_path, old_doc); (new_path, new_doc) ];
+  let old_benches = obj_members "benchmarks" old_doc in
+  let new_benches = obj_members "benchmarks" new_doc in
+  let regressions = ref 0 in
+  Printf.printf "%-50s %12s %12s %9s\n" "benchmark" "old ns/op" "new ns/op" "delta";
+  Printf.printf "%s\n" (String.make 86 '-');
+  List.iter
+    (fun (name, old_v) ->
+      match
+        (Fbsr_util.Json.to_float_opt old_v,
+         Option.bind (List.assoc_opt name new_benches) Fbsr_util.Json.to_float_opt)
+      with
+      | Some old_ns, Some new_ns ->
+          let delta =
+            if old_ns > 0.0 then (new_ns -. old_ns) /. old_ns *. 100.0 else 0.0
+          in
+          let regressed = old_ns > 0.0 && new_ns > old_ns *. (1.0 +. !threshold) in
+          if regressed then incr regressions;
+          Printf.printf "%-50s %12.1f %12.1f %+8.1f%%%s\n" name old_ns new_ns delta
+            (if regressed then "  REGRESSED" else "")
+      | _ -> Printf.printf "%-50s (missing from %s)\n" name new_path)
+    old_benches;
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name old_benches) then
+        Printf.printf "%-50s (new benchmark)\n" name)
+    new_benches;
+  (* Counters: informational only. *)
+  let old_counters = obj_members "counters" old_doc in
+  let new_counters = obj_members "counters" new_doc in
+  let changed =
+    List.filter_map
+      (fun (name, v) ->
+        match List.assoc_opt name old_counters with
+        | Some v' when v' <> v -> Some (name, v', v)
+        | Some _ -> None
+        | None -> Some (name, Fbsr_util.Json.Null, v))
+      new_counters
+  in
+  if changed <> [] then begin
+    Printf.printf "\ncounters that differ (informational, not gated):\n";
+    List.iter
+      (fun (name, o, n) ->
+        Printf.printf "  %-48s %s -> %s\n" name
+          (Fbsr_util.Json.to_string o) (Fbsr_util.Json.to_string n))
+      changed
+  end;
+  if !regressions > 0 then begin
+    Printf.printf "\n%d benchmark(s) regressed beyond +%.0f%%\n" !regressions
+      (100.0 *. !threshold);
+    exit 1
+  end
+  else Printf.printf "\nno regressions beyond +%.0f%%\n" (100.0 *. !threshold)

@@ -17,6 +17,13 @@ let bytes_arg =
     value & opt int 2_000_000
     & info [ "bytes" ] ~doc:"Bytes to transfer in the Figure 8 runs.")
 
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"PATH"
+        ~doc:"Also write the headline counters as a JSON artifact to $(docv).")
+
 let cmd name doc f = Cmd.v (Cmd.info name ~doc) f
 
 let with_trace_args f =
@@ -52,9 +59,11 @@ let commands =
     cmd "live-site" "Drive the campus workload through real FBS stacks"
       Term.(const (fun seed -> live_site ~seed ()) $ seed_arg);
     cmd "faults" "Datagram delivery and forgery rejection over faulty links"
-      Term.(const (fun seed -> faults ~seed ()) $ seed_arg);
+      Term.(const (fun seed json -> faults ?json ~seed ()) $ seed_arg $ json_arg);
     cmd "all" "Run every experiment"
-      Term.(const run_all $ seed_arg $ duration_arg $ bytes_arg);
+      Term.(
+        const (fun seed duration bytes json -> run_all ?json seed duration bytes)
+        $ seed_arg $ duration_arg $ bytes_arg $ json_arg);
   ]
 
 let () =

@@ -617,48 +617,24 @@ let ablation_replay_window () =
   pf "%12s %22s %22s\n" "window (min)" "skew 90s accepted?" "replay +5min accepted?";
   List.iter
     (fun window_minutes ->
-      let rng = Fbsr_util.Rng.create 61 in
-      let group = Lazy.force Fbsr_crypto.Dh.test_group in
-      let ca = Fbsr_cert.Authority.create ~rng ~bits:512 () in
-      let enroll name =
-        let priv = Fbsr_crypto.Dh.gen_private group rng in
-        let pub = Fbsr_crypto.Dh.public group priv in
-        ignore
-          (Fbsr_cert.Authority.enroll ca ~now:0.0 ~subject:name
-             ~group:group.Fbsr_crypto.Dh.name
-             ~public_value:(Fbsr_crypto.Dh.public_to_bytes group pub));
-        (Fbsr_fbs.Principal.of_string name, priv)
+      let p =
+        Fixture.engine_pair ~seed:61 ~replay_window_minutes:window_minutes
+          ~src:"10.0.0.1" ~dst:"10.0.0.2" ()
       in
-      let s, s_priv = enroll "10.0.0.1" in
-      let d, d_priv = enroll "10.0.0.2" in
-      let resolver peer k =
-        match Fbsr_cert.Authority.lookup ca (Fbsr_fbs.Principal.to_string peer) with
-        | Some c -> k (Ok c)
-        | None -> k (Error "unknown")
+      let attrs =
+        Fbsr_fbs.Fam.attrs ~protocol:17 ~src_port:1 ~dst_port:2
+          ~src:p.Fixture.src ~dst:p.Fixture.dst ()
       in
-      let mk p priv seed =
-        let keying =
-          Fbsr_fbs.Keying.create ~local:p ~group ~private_value:priv
-            ~ca_public:(Fbsr_cert.Authority.public ca)
-            ~ca_hash:(Fbsr_cert.Authority.hash ca)
-            ~resolver
-            ~clock:(fun () -> 0.0)
-            ()
-        in
-        let alloc = Fbsr_fbs.Sfl.allocator ~rng:(Fbsr_util.Rng.create seed) in
-        let fam =
-          Fbsr_fbs.Fam.create (Fbsr_fbs.Policy_five_tuple.policy ~alloc ())
-        in
-        Fbsr_fbs.Engine.create ~replay_window_minutes:window_minutes ~keying ~fam ()
-      in
-      let es = mk s s_priv 1 and ed = mk d d_priv 2 in
-      let attrs = Fbsr_fbs.Fam.attrs ~protocol:17 ~src_port:1 ~dst_port:2 ~src:s ~dst:d () in
       let wire =
         Result.get_ok
-          (Fbsr_fbs.Engine.send_sync es ~now:600.0 ~attrs ~secret:true ~payload:"x")
+          (Fbsr_fbs.Engine.send_sync p.Fixture.sender ~now:600.0 ~attrs
+             ~secret:true ~payload:"x")
       in
       let accepted_at recv_now =
-        match Fbsr_fbs.Engine.receive_sync ed ~now:recv_now ~src:s ~wire with
+        match
+          Fbsr_fbs.Engine.receive_sync p.Fixture.receiver ~now:recv_now
+            ~src:p.Fixture.src ~wire
+        with
         | Ok _ -> "yes"
         | Error _ -> "no"
       in
@@ -713,9 +689,9 @@ let live_site ~seed () =
   pf "the offline simulator (the paper's methodology) and the live protocol agree \
       on the miss-rate shape.\n"
 
-let faults ~seed () = Faults.report ~seed ()
+let faults ?json ~seed () = Faults.report ~seed ?json ()
 
-let run_all seed duration bytes =
+let run_all ?json seed duration bytes =
   crypto_table ();
   fig8 ~bytes ();
   fig9 ~seed ~duration ();
@@ -734,4 +710,4 @@ let run_all seed duration bytes =
   www_flows ~seed ~duration ();
   ablation_replay_window ();
   live_site ~seed ();
-  faults ~seed ()
+  faults ?json ~seed ()

@@ -51,7 +51,7 @@ let payload_for seq = Printf.sprintf "D%08d|%s" seq (String.make 64 'x')
    dumb — the point is the network and the security layer under it, not
    ARQ sophistication. *)
 let run ?(seed = 11) ?(messages = 200) ?(max_attempts = 8) ?(rto = 0.5)
-    ?(spacing = 0.05) ?(strict_replay = true) ?faults () =
+    ?(spacing = 0.05) ?(strict_replay = true) ?faults ?metrics ?trace () =
   let config =
     Stack.default_config ~strict_replay ~keying_fetch_retries:2 ()
   in
@@ -60,7 +60,7 @@ let run ?(seed = 11) ?(messages = 200) ?(max_attempts = 8) ?(rto = 0.5)
        when several fetch attempts are lost in a row. *)
     { Mkd.default_config with Mkd.timeout = 0.25; max_attempts = 6 }
   in
-  let tb = Testbed.create ~seed ~config ~mkd_config ?faults () in
+  let tb = Testbed.create ~seed ~config ~mkd_config ?faults ?metrics ?trace () in
   let sender = Testbed.add_host tb ~name:"sender" ~addr:"10.0.0.1" in
   let receiver = Testbed.add_host tb ~name:"receiver" ~addr:"10.0.0.2" in
   let engine = Testbed.engine tb in
@@ -143,6 +143,37 @@ let run ?(seed = 11) ?(messages = 200) ?(max_attempts = 8) ?(rto = 0.5)
     link = Testbed.link_stats tb;
   }
 
+let to_json (r : result) =
+  let open Fbsr_util.Json in
+  let l = r.link in
+  Obj
+    [
+      ("offered", Int r.offered);
+      ("accepted", Int r.accepted);
+      ("transmissions", Int r.transmissions);
+      ("duplicates_delivered", Int r.duplicates_delivered);
+      ("forgeries_accepted", Int r.forgeries_accepted);
+      ("mac_failures", Int r.mac_failures);
+      ("header_failures", Int r.header_failures);
+      ("stale_rejections", Int r.stale_rejections);
+      ("duplicate_rejections", Int r.duplicate_rejections);
+      ("decrypt_failures", Int r.decrypt_failures);
+      ("flow_key_recoveries", Int r.flow_key_recoveries);
+      ("mkd_fetches", Int r.mkd_fetches);
+      ("mkd_retransmissions", Int r.mkd_retransmissions);
+      ( "link",
+        Obj
+          [
+            ("offered", Int l.Link.offered);
+            ("delivered", Int l.Link.delivered);
+            ("dropped", Int l.Link.dropped);
+            ("duplicated", Int l.Link.duplicated);
+            ("reordered", Int l.Link.reordered);
+            ("truncated", Int l.Link.truncated);
+            ("corrupted", Int l.Link.corrupted);
+          ] );
+    ]
+
 (* The fault profiles the report sweeps. *)
 let lossy =
   { Link.perfect with Link.drop = 0.10; reorder = 0.05; reorder_delay = 0.2 }
@@ -159,7 +190,7 @@ let hostile =
     corrupt = 0.01;
   }
 
-let report ?(seed = 11) () =
+let report ?(seed = 11) ?json () =
   let pf = Printf.printf in
   pf "\n================================================================\n";
   pf "Adversarial network: FBS over fault-injection links\n";
@@ -188,4 +219,25 @@ let report ?(seed = 11) () =
   pf "[%s] zero forgeries accepted under 1%% corruption (got %d, %d MAC rejections)\n"
     (verdict (corrupt.forgeries_accepted = 0))
     corrupt.forgeries_accepted corrupt.mac_failures;
-  ignore clean
+  match json with
+  | None -> ()
+  | Some path ->
+      let doc =
+        Fbsr_util.Json.Obj
+          [
+            ("schema", Fbsr_util.Json.String "fbsr-faults/1");
+            ("seed", Fbsr_util.Json.Int seed);
+            ( "profiles",
+              Fbsr_util.Json.Obj
+                [
+                  ("clean", to_json clean);
+                  ("lossy", to_json loss);
+                  ("corrupting", to_json corrupt);
+                  ("hostile", to_json combined);
+                ] );
+          ]
+      in
+      let oc = open_out path in
+      output_string oc (Fbsr_util.Json.to_string_pretty doc);
+      close_out oc;
+      pf "\nwrote %s\n" path

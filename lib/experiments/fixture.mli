@@ -1,0 +1,38 @@
+(** Shared engine-pair fixture for benchmarks and ablations: two FBS
+    engines wired to a synchronous in-process certificate authority — the
+    common setup bench/main.ml and the experiment harness both need. *)
+
+type t = {
+  src : Fbsr_fbs.Principal.t;
+  dst : Fbsr_fbs.Principal.t;
+  sender : Fbsr_fbs.Engine.t;
+  receiver : Fbsr_fbs.Engine.t;
+}
+
+val mtu_payload : string
+(** An MTU-sized (1460-byte) payload. *)
+
+val engine_pair :
+  ?seed:int ->
+  ?suite:Fbsr_fbs.Suite.t ->
+  ?replay_window_minutes:int ->
+  ?strict_replay:bool ->
+  ?src:string ->
+  ?dst:string ->
+  unit ->
+  t
+(** Enroll both principals with a fresh 512-bit authority over the fast
+    61-bit test group and build one engine per side.  Deterministic in
+    [seed]. *)
+
+val warm_pair :
+  ?seed:int ->
+  ?suite:Fbsr_fbs.Suite.t ->
+  ?secret:bool ->
+  ?payload:string ->
+  unit ->
+  t * Fbsr_fbs.Fam.attrs * string
+(** {!engine_pair} plus one send/receive round trip at [now = 60.0] so
+    every cache is warm; returns the pair, the attrs used, and the wire
+    bytes of the warm-up datagram (for receive-side benchmarks).
+    @raise Failure if the warm-up round trip fails. *)

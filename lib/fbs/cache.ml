@@ -50,6 +50,8 @@ type ('k, 'v) t = {
   seen : ('k, unit) Hashtbl.t;
   shadow : ('k, int) Hashtbl.t; (* key -> last use tick in the shadow LRU *)
   mutable classify : bool;
+  name : string; (* observability label, e.g. "tfkc" *)
+  trace : Fbsr_util.Trace.t;
 }
 
 let new_stats () =
@@ -62,7 +64,8 @@ let new_stats () =
     invalidations = 0;
   }
 
-let create ?(assoc = 1) ?(classify = true) ?(replacement = Lru) ~sets ~hash ~equal () =
+let create ?(assoc = 1) ?(classify = true) ?(replacement = Lru) ?(name = "cache")
+    ?(trace = Fbsr_util.Trace.none) ~sets ~hash ~equal () =
   if sets <= 0 || assoc <= 0 then invalid_arg "Cache.create: bad geometry";
   {
     sets;
@@ -76,10 +79,29 @@ let create ?(assoc = 1) ?(classify = true) ?(replacement = Lru) ~sets ~hash ~equ
     seen = Hashtbl.create 64;
     shadow = Hashtbl.create 64;
     classify;
+    name;
+    trace;
   }
 
 let capacity t = t.sets * t.assoc
 let stats t = t.stats
+let name t = t.name
+
+(* Expose the statistics record through the metrics registry, under the
+   registry's current prefix (callers scope it, e.g. "fbs.cache.tfkc").
+   Pull-probes: the record stays the single source of truth and the hot
+   path is untouched. *)
+let register_metrics t m =
+  let open Fbsr_util.Metrics in
+  let s = t.stats in
+  register_probe m "hits" (fun () -> s.hits);
+  register_probe m "misses.cold" (fun () -> s.misses_cold);
+  register_probe m "misses.capacity" (fun () -> s.misses_capacity);
+  register_probe m "misses.conflict" (fun () -> s.misses_conflict);
+  register_probe m "misses.total" (fun () ->
+      s.misses_cold + s.misses_capacity + s.misses_conflict);
+  register_probe m "evictions" (fun () -> s.evictions);
+  register_probe m "invalidations" (fun () -> s.invalidations)
 
 let total_misses s = s.misses_cold + s.misses_capacity + s.misses_conflict
 let accesses s = s.hits + total_misses s
@@ -187,6 +209,12 @@ let insert t key value =
     | None, Some i -> i
     | None, None ->
         t.stats.evictions <- t.stats.evictions + 1;
+        if Fbsr_util.Trace.enabled t.trace then
+          Fbsr_util.Trace.emit t.trace "fbs.cache.evict"
+            [
+              ("cache", Fbsr_util.Json.String t.name);
+              ("evictions", Fbsr_util.Json.Int t.stats.evictions);
+            ];
         victim_index t base
   in
   t.slots.(idx) <- Some { key; value; last_used = t.tick; inserted = t.tick };

@@ -20,13 +20,26 @@ val create :
   ?assoc:int ->
   ?classify:bool ->
   ?replacement:replacement ->
+  ?name:string ->
+  ?trace:Fbsr_util.Trace.t ->
   sets:int ->
   hash:('k -> int) ->
   equal:('k -> 'k -> bool) ->
   unit ->
   ('k, 'v) t
 (** [classify:false] disables the shadow-LRU bookkeeping (faster; all
-    non-cold misses count as capacity).  Default replacement is [Lru]. *)
+    non-cold misses count as capacity).  Default replacement is [Lru].
+    [name] labels the cache in metrics/trace output; [trace] (default
+    disabled) receives an ["fbs.cache.evict"] event per eviction. *)
+
+val name : ('k, 'v) t -> string
+
+val register_metrics : ('k, 'v) t -> Fbsr_util.Metrics.t -> unit
+(** Register pull-probes for every {!stats} field under the registry's
+    current prefix ([hits], [misses.cold], [misses.capacity],
+    [misses.conflict], [misses.total], [evictions], [invalidations]) —
+    scope the registry first, e.g.
+    [register_metrics c (Metrics.sub m "fbs.cache.tfkc")]. *)
 
 val capacity : ('k, 'v) t -> int
 val find : ('k, 'v) t -> 'k -> 'v option

@@ -90,6 +90,7 @@ type t = {
   replay : Replay.t;
   confounder_gen : Fbsr_util.Lcg.t;
   counters : counters;
+  trace : Fbsr_util.Trace.t;
 }
 
 let triple_hash (sfl, peer, local) =
@@ -103,26 +104,27 @@ let triple_equal (a1, b1, c1) (a2, b2, c2) =
 
 let create ?(suite = Suite.paper_md5_des) ?(tfkc_sets = 128) ?(rfkc_sets = 128)
     ?(cache_assoc = 1) ?(replay_window_minutes = 2) ?(strict_replay = false)
-    ?(confounder_seed = 0x5eed) ~keying ~fam () =
+    ?(confounder_seed = 0x5eed) ?(trace = Fbsr_util.Trace.none) ~keying ~fam () =
   {
     keying;
     fam;
     suite;
     tfkc =
       Cache.create ~assoc:cache_assoc ~sets:tfkc_sets ~hash:triple_hash
-        ~equal:triple_equal ();
+        ~equal:triple_equal ~name:"tfkc" ~trace ();
     rfkc =
       Cache.create ~assoc:cache_assoc ~sets:rfkc_sets ~hash:triple_hash
-        ~equal:triple_equal ();
+        ~equal:triple_equal ~name:"rfkc" ~trace ();
     inbound =
       Cache.create ~assoc:2 ~classify:false ~sets:rfkc_sets
         ~hash:(fun (sfl, peer) ->
           Fbsr_util.Crc32.update (Fbsr_util.Crc32.update_int64 0 sfl) peer 0
             (String.length peer))
         ~equal:(fun (s1, p1) (s2, p2) -> Int64.equal s1 s2 && String.equal p1 p2)
-        ();
+        ~name:"inbound" ~trace ();
     replay = Replay.create ~window_minutes:replay_window_minutes ~strict:strict_replay ();
     confounder_gen = Fbsr_util.Lcg.create confounder_seed;
+    trace;
     counters =
       {
         sends = 0;
@@ -150,6 +152,40 @@ let tfkc t = t.tfkc
 let rfkc t = t.rfkc
 let replay t = t.replay
 let counters t = t.counters
+
+(* Register the whole fbs.* subtree for this engine: its own counters
+   (including drops.<cause>), all five cache levels, replay and FAM
+   bookkeeping, and the keying counters.  Names are relative to the
+   registry's scope, so the root registry yields "fbs.engine.sends" while
+   [Metrics.sub m "host.10.0.0.1"] yields a per-host view; registering
+   several engines on one registry sums them (probes accumulate). *)
+let register_metrics (t : t) m =
+  let open Fbsr_util.Metrics in
+  let e = sub m "fbs.engine" in
+  let c = t.counters in
+  register_probe e "sends" (fun () -> c.sends);
+  register_probe e "receives" (fun () -> c.receives);
+  register_probe e "accepted" (fun () -> c.accepted);
+  register_probe e "flow_key_computations" (fun () -> c.flow_key_computations);
+  register_probe e "flow_key_recoveries" (fun () -> c.flow_key_recoveries);
+  register_probe e "macs_computed" (fun () -> c.macs_computed);
+  register_probe e "encryptions" (fun () -> c.encryptions);
+  register_probe e "decryptions" (fun () -> c.decryptions);
+  register_probe e "drops.header" (fun () -> c.errors_header);
+  register_probe e "drops.stale" (fun () -> c.errors_stale);
+  register_probe e "drops.duplicate" (fun () -> c.errors_duplicate);
+  register_probe e "drops.keying" (fun () -> c.errors_keying);
+  register_probe e "drops.mac" (fun () -> c.errors_mac);
+  register_probe e "drops.decrypt" (fun () -> c.errors_decrypt);
+  register_probe e "drops.total" (fun () -> drops c);
+  Cache.register_metrics t.tfkc (sub m "fbs.cache.tfkc");
+  Cache.register_metrics t.rfkc (sub m "fbs.cache.rfkc");
+  Cache.register_metrics t.inbound (sub m "fbs.cache.inbound");
+  Cache.register_metrics (Keying.pvc t.keying) (sub m "fbs.cache.pvc");
+  Cache.register_metrics (Keying.mkc t.keying) (sub m "fbs.cache.mkc");
+  Replay.register_metrics t.replay (sub m "fbs.replay");
+  Fam.register_metrics t.fam (sub m "fbs.fam");
+  Keying.register_metrics t.keying (sub m "fbs.keying")
 
 (* Snapshot of the inbound flows currently tracked: (sfl, peer, stats). *)
 let inbound_flows t =
@@ -186,6 +222,13 @@ let flow_key_via t cache ~sfl ~peer ~src ~dst (k : (string, error) result -> uni
             t.counters.flow_key_computations <- t.counters.flow_key_computations + 1;
             if revisit then
               t.counters.flow_key_recoveries <- t.counters.flow_key_recoveries + 1;
+            if Fbsr_util.Trace.enabled t.trace then
+              Fbsr_util.Trace.emit t.trace "fbs.engine.key.derive"
+                [
+                  ("sfl", Fbsr_util.Json.String (Fmt.str "%a" Sfl.pp sfl));
+                  ("cache", Fbsr_util.Json.String (Cache.name cache));
+                  ("recovered", Fbsr_util.Json.Bool revisit);
+                ];
             let fk =
               Keying.flow_key ~hash:t.suite.Suite.kdf_hash ~sfl ~master ~src ~dst
             in
@@ -294,8 +337,15 @@ let derive_flow_key t ~sfl ~src ~dst (k : (string, error) result -> unit) =
    encrypted) body. *)
 let send t ~now ~attrs ~secret ~payload (k : (string, error) result -> unit) =
   t.counters.sends <- t.counters.sends + 1;
-  let sfl, _decision = Fam.classify t.fam ~now attrs in
+  let sfl, decision = Fam.classify t.fam ~now attrs in
   let src = attrs.Fam.src and dst = attrs.Fam.dst in
+  if decision = Fam.Fresh && Fbsr_util.Trace.enabled t.trace then
+    Fbsr_util.Trace.emit t.trace ~time:now "fbs.engine.flow.setup"
+      [
+        ("sfl", Fbsr_util.Json.String (Fmt.str "%a" Sfl.pp sfl));
+        ("src", Fbsr_util.Json.String (Principal.to_string src));
+        ("dst", Fbsr_util.Json.String (Principal.to_string dst));
+      ];
   flow_key_via t t.tfkc ~sfl ~peer:dst ~src ~dst (function
     | Error e -> k (Error e)
     | Ok flow_key -> k (Ok (seal t ~now ~sfl ~flow_key ~secret ~payload)))
@@ -334,6 +384,14 @@ let receive t ~now ~src ~wire (k : (accepted, error) result -> unit) =
         with
         | Replay.Stale ->
             t.counters.errors_stale <- t.counters.errors_stale + 1;
+            if Fbsr_util.Trace.enabled t.trace then
+              Fbsr_util.Trace.emit t.trace ~time:now "fbs.engine.replay.reject"
+                [
+                  ("sfl", Fbsr_util.Json.String (Fmt.str "%a" Sfl.pp header.Header.sfl));
+                  ("cause", Fbsr_util.Json.String "stale");
+                  ("timestamp", Fbsr_util.Json.Int header.Header.timestamp);
+                  ("now_minutes", Fbsr_util.Json.Int (Replay.minutes_of_seconds now));
+                ];
             k
               (Error
                  (Stale
@@ -343,6 +401,12 @@ let receive t ~now ~src ~wire (k : (accepted, error) result -> unit) =
                     }))
         | Replay.Duplicate ->
             t.counters.errors_duplicate <- t.counters.errors_duplicate + 1;
+            if Fbsr_util.Trace.enabled t.trace then
+              Fbsr_util.Trace.emit t.trace ~time:now "fbs.engine.replay.reject"
+                [
+                  ("sfl", Fbsr_util.Json.String (Fmt.str "%a" Sfl.pp header.Header.sfl));
+                  ("cause", Fbsr_util.Json.String "duplicate");
+                ];
             k (Error Duplicate)
         | Replay.Fresh ->
             let dst = local t in

@@ -54,10 +54,16 @@ val create :
   ?replay_window_minutes:int ->
   ?strict_replay:bool ->
   ?confounder_seed:int ->
+  ?trace:Fbsr_util.Trace.t ->
   keying:Keying.t ->
   fam:Fam.t ->
   unit ->
   t
+(** [trace] (default disabled) receives structured events from the engine
+    and its caches: ["fbs.engine.flow.setup"] per fresh flow,
+    ["fbs.engine.key.derive"] per flow-key computation (with a [recovered]
+    flag for post-eviction recomputation), ["fbs.engine.replay.reject"]
+    per stale/duplicate rejection, and ["fbs.cache.evict"] per eviction. *)
 
 val local : t -> Principal.t
 val suite : t -> Suite.t
@@ -67,6 +73,15 @@ val tfkc : t -> (int64 * string * string, string) Cache.t
 val rfkc : t -> (int64 * string * string, string) Cache.t
 val replay : t -> Replay.t
 val counters : t -> counters
+
+val register_metrics : t -> Fbsr_util.Metrics.t -> unit
+(** Register the engine's whole [fbs.*] subtree on [m]: its counters under
+    [fbs.engine.] (drop causes as [fbs.engine.drops.<cause>]), all five
+    cache levels under [fbs.cache.{tfkc,rfkc,inbound,pvc,mkc}.], replay
+    under [fbs.replay.], FAM under [fbs.fam.] and keying under
+    [fbs.keying.].  All pull-probes — zero cost on the protocol paths.
+    Pass [Metrics.sub m "host.<addr>"] for a per-host view; registering
+    several engines on one registry sums them. *)
 
 val send :
   t ->

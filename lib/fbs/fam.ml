@@ -62,3 +62,12 @@ let sweep t ~now =
 let active t ~now = t.policy.active ~now
 let stats t = t.stats
 let policy_name t = t.policy.policy_name
+
+(* Registry names relative to the caller's scope (e.g. "fbs.fam"). *)
+let register_metrics (t : t) m =
+  let open Fbsr_util.Metrics in
+  let s = t.stats in
+  register_probe m "datagrams" (fun () -> s.datagrams);
+  register_probe m "flows_started" (fun () -> s.flows_started);
+  register_probe m "sweeps" (fun () -> s.sweeps);
+  register_probe m "expired" (fun () -> s.expired)

@@ -46,3 +46,8 @@ val sweep : t -> now:float -> int
 val active : t -> now:float -> int
 val stats : t -> stats
 val policy_name : t -> string
+
+val register_metrics : t -> Fbsr_util.Metrics.t -> unit
+(** Register pull-probes ([datagrams], [flows_started], [sweeps],
+    [expired]) under the registry's current prefix — scope it first,
+    e.g. [register_metrics f (Metrics.sub m "fbs.fam")]. *)

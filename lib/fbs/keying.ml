@@ -51,6 +51,7 @@ type t = {
          failure (MKD gave up, CA unreachable) is itself soft — retrying
          from the keying layer recovers once the network heals. *)
   clock : unit -> float;
+  trace : Fbsr_util.Trace.t;
   pvc : (string, Fbsr_cert.Certificate.t) Cache.t;
   (* MKC entries carry the expiry of the certificate they were computed
      from: "a certificate can be verified each time it is used" — caching
@@ -64,8 +65,9 @@ type t = {
 
 let principal_hash name = Fbsr_util.Crc32.string name
 
-let create ?(pvc_sets = 64) ?(mkc_sets = 64) ?(assoc = 2) ?(fetch_retries = 0) ~local
-    ~group ~private_value ~ca_public ~ca_hash ~resolver ~clock () =
+let create ?(pvc_sets = 64) ?(mkc_sets = 64) ?(assoc = 2) ?(fetch_retries = 0)
+    ?(trace = Fbsr_util.Trace.none) ~local ~group ~private_value ~ca_public ~ca_hash
+    ~resolver ~clock () =
   if fetch_retries < 0 then invalid_arg "Keying.create: negative fetch_retries";
   {
     local;
@@ -77,10 +79,13 @@ let create ?(pvc_sets = 64) ?(mkc_sets = 64) ?(assoc = 2) ?(fetch_retries = 0) ~
     resolver;
     fetch_retries;
     clock;
+    trace;
     pvc =
-      Cache.create ~assoc ~sets:pvc_sets ~hash:principal_hash ~equal:String.equal ();
+      Cache.create ~assoc ~sets:pvc_sets ~hash:principal_hash ~equal:String.equal
+        ~name:"pvc" ~trace ();
     mkc =
-      Cache.create ~assoc ~sets:mkc_sets ~hash:principal_hash ~equal:String.equal ();
+      Cache.create ~assoc ~sets:mkc_sets ~hash:principal_hash ~equal:String.equal
+        ~name:"mkc" ~trace ();
     counters =
       { master_key_computations = 0; certificate_fetches = 0;
         certificate_fetch_retries = 0; certificate_verifications = 0 };
@@ -93,6 +98,18 @@ let public_value t = t.public_value
 let counters t = t.counters
 let pvc t = t.pvc
 let mkc t = t.mkc
+
+(* Registry names relative to the caller's scope (e.g. "fbs.keying").
+   The PVC/MKC caches are registered separately by the engine under the
+   site-wide "fbs.cache.{pvc,mkc}" prefixes. *)
+let register_metrics (t : t) m =
+  let open Fbsr_util.Metrics in
+  let c = t.counters in
+  register_probe m "master_key_computations" (fun () -> c.master_key_computations);
+  register_probe m "certificate_fetches" (fun () -> c.certificate_fetches);
+  register_probe m "certificate_fetch_retries" (fun () -> c.certificate_fetch_retries);
+  register_probe m "certificate_verifications" (fun () ->
+      c.certificate_verifications)
 
 let find_live_master t name =
   match Cache.find t.mkc name with
@@ -152,6 +169,12 @@ let get_master t peer (k : (string, error) result -> unit) =
          soft state (an MKD that gave up, a momentarily unreachable CA). *)
       let rec fetch attempts_left =
         t.counters.certificate_fetches <- t.counters.certificate_fetches + 1;
+        if Fbsr_util.Trace.enabled t.trace then
+          Fbsr_util.Trace.emit t.trace ~time:(t.clock ()) "fbs.keying.cert.fetch"
+            [
+              ("peer", Fbsr_util.Json.String name);
+              ("attempts_left", Fbsr_util.Json.Int attempts_left);
+            ];
         t.resolver peer (function
           | Error _ when attempts_left > 0 ->
               t.counters.certificate_fetch_retries <-

@@ -28,6 +28,7 @@ val create :
   ?mkc_sets:int ->
   ?assoc:int ->
   ?fetch_retries:int ->
+  ?trace:Fbsr_util.Trace.t ->
   local:Principal.t ->
   group:Fbsr_crypto.Dh.group ->
   private_value:Fbsr_crypto.Dh.private_value ->
@@ -38,7 +39,9 @@ val create :
   unit ->
   t
 (** [fetch_retries] (default 0) is the number of extra resolver attempts
-    after a failed certificate fetch before giving up on a keying request. *)
+    after a failed certificate fetch before giving up on a keying request.
+    [trace] (default disabled) receives an ["fbs.keying.cert.fetch"] event
+    per resolver attempt, plus cache-eviction events from the PVC/MKC. *)
 
 val local : t -> Principal.t
 val group : t -> Fbsr_crypto.Dh.group
@@ -50,6 +53,12 @@ val mkc : t -> (string, string * float) Cache.t
 (** Master keys with the expiry of the certificate they derive from; an
     expired entry is treated as a miss and the stale certificate is dropped
     from the PVC. *)
+
+val register_metrics : t -> Fbsr_util.Metrics.t -> unit
+(** Register pull-probes for every {!counters} field under the registry's
+    current prefix — scope it first, e.g.
+    [register_metrics k (Metrics.sub m "fbs.keying")].  The PVC/MKC caches
+    are not included; register them via {!Cache.register_metrics}. *)
 
 val get_master : t -> Principal.t -> ((string, error) result -> unit) -> unit
 val get_master_sync : t -> Principal.t -> (string, error) result

@@ -83,3 +83,11 @@ let stats (t : t) =
     rejected_stale = t.rejected_stale;
     rejected_duplicate = t.rejected_duplicate;
   }
+
+(* Registry names relative to the caller's scope (e.g. "fbs.replay"). *)
+let register_metrics (t : t) m =
+  let open Fbsr_util.Metrics in
+  register_probe m "accepted" (fun () -> t.accepted);
+  register_probe m "rejected.stale" (fun () -> t.rejected_stale);
+  register_probe m "rejected.duplicate" (fun () -> t.rejected_duplicate);
+  register_probe m "window.entries" (fun () -> Hashtbl.length t.seen)

@@ -16,3 +16,9 @@ val check : t -> now:float -> sfl:Sfl.t -> confounder:int -> timestamp:int -> ve
 type stats = { accepted : int; rejected_stale : int; rejected_duplicate : int }
 
 val stats : t -> stats
+
+val register_metrics : t -> Fbsr_util.Metrics.t -> unit
+(** Register pull-probes ([accepted], [rejected.stale],
+    [rejected.duplicate], [window.entries]) under the registry's current
+    prefix — scope it first, e.g.
+    [register_metrics r (Metrics.sub m "fbs.replay")]. *)

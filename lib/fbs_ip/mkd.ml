@@ -57,11 +57,35 @@ type t = {
   mutable fetches : int;
   mutable retransmissions : int;
   mutable failures : int;
+  backoff_hist : Fbsr_util.Metrics.histogram; (* armed timeout spans, seconds *)
+  trace : Fbsr_util.Trace.t;
 }
+
+(* Counter probes, relative to the caller's scope (e.g. "fbs_ip.mkd").
+   [create ?metrics] calls this on its own registry; Testbed calls it again
+   per host so the same daemon shows up under both the aggregate and the
+   "host.<addr>." prefixed names.  The backoff histogram is an owned cell
+   and lives only in the registry given to [create]. *)
+let register_metrics (t : t) m =
+  let open Fbsr_util.Metrics in
+  register_probe m "fetches" (fun () -> t.fetches);
+  register_probe m "retransmissions" (fun () -> t.retransmissions);
+  register_probe m "failures" (fun () -> t.failures)
 
 let send_request t name =
   Udp_stack.send t.host ~src_port:t.local_port ~dst:t.ca_addr ~dst_port:t.ca_port
     (Mkd_protocol.encode (Mkd_protocol.Request name))
+
+(* One trace event per transmission (initial or retransmitted). *)
+let trace_attempt t name attempt =
+  if Fbsr_util.Trace.enabled t.trace then
+    Fbsr_util.Trace.emit t.trace
+      ~time:(Engine.now (Host.engine t.host))
+      "fbs_ip.mkd.fetch"
+      [
+        ("name", Fbsr_util.Json.String name);
+        ("attempt", Fbsr_util.Json.Int attempt);
+      ]
 
 let complete t name result =
   match Hashtbl.find_opt t.pending name with
@@ -85,7 +109,9 @@ let attempt_timeout t attempt =
 
 let rec arm_timeout t p =
   let gen = p.generation in
-  Engine.schedule (Host.engine t.host) ~delay:(attempt_timeout t p.attempts)
+  let timeout = attempt_timeout t p.attempts in
+  Fbsr_util.Metrics.observe t.backoff_hist timeout;
+  Engine.schedule (Host.engine t.host) ~delay:timeout
     (fun () ->
       if gen = p.generation && Hashtbl.mem t.pending p.name then begin
         if p.attempts >= t.config.max_attempts then
@@ -93,6 +119,7 @@ let rec arm_timeout t p =
         else begin
           p.attempts <- p.attempts + 1;
           t.retransmissions <- t.retransmissions + 1;
+          trace_attempt t p.name p.attempts;
           send_request t p.name;
           arm_timeout t p
         end
@@ -118,12 +145,18 @@ let fetch t name k =
       t.fetches <- t.fetches + 1;
       let p = { name; continuations = [ k ]; attempts = 1; generation = 0 } in
       Hashtbl.replace t.pending name p;
+      trace_attempt t name 1;
       send_request t name;
       arm_timeout t p
 
-let create ?(local_port = 563) ?(config = default_config) ?(seed = 0xbac0ff) ~ca_addr
-    ~ca_port host =
+let create ?(local_port = 563) ?(config = default_config) ?(seed = 0xbac0ff) ?metrics
+    ?(trace = Fbsr_util.Trace.none) ~ca_addr ~ca_port host =
   validate_config config;
+  (* Without a caller-supplied registry the histogram lives in a private
+     throwaway one: the observation code stays unconditional. *)
+  let m =
+    match metrics with Some m -> m | None -> Fbsr_util.Metrics.create ()
+  in
   let t =
     {
       host;
@@ -136,8 +169,11 @@ let create ?(local_port = 563) ?(config = default_config) ?(seed = 0xbac0ff) ~ca
       fetches = 0;
       retransmissions = 0;
       failures = 0;
+      backoff_hist = Fbsr_util.Metrics.histogram m "backoff_seconds";
+      trace;
     }
   in
+  register_metrics t m;
   Udp_stack.listen host ~port:local_port (fun ~src ~src_port:_ raw ->
       if Addr.equal src ca_addr then handle_response t raw);
   t

@@ -22,13 +22,25 @@ val create :
   ?local_port:int ->
   ?config:config ->
   ?seed:int ->
+  ?metrics:Fbsr_util.Metrics.t ->
+  ?trace:Fbsr_util.Trace.t ->
   ca_addr:Addr.t ->
   ca_port:int ->
   Host.t ->
   t
 (** The host must already have a UDP stack installed.  [seed] decorrelates
     the jitter stream (mixed with the host address by default).
+    [metrics] (scope it first, e.g. [Metrics.sub m "fbs_ip.mkd"]) receives
+    [fetches]/[retransmissions]/[failures] probes and the owned
+    [backoff_seconds] histogram of armed retransmission timeouts; [trace]
+    (default disabled) receives one ["fbs_ip.mkd.fetch"] event per
+    transmission.
     @raise Invalid_argument on a nonsensical [config]. *)
+
+val register_metrics : t -> Fbsr_util.Metrics.t -> unit
+(** Register the counter probes on an additional registry scope (the
+    [backoff_seconds] histogram stays in the registry given to
+    {!create}). *)
 
 val config : t -> config
 val resolver : t -> Fbsr_fbs.Keying.resolver

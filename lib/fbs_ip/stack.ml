@@ -97,6 +97,22 @@ type t = {
 let engine t = t.engine
 let counters t = t.counters
 let host t = t.host
+
+(* Register the stack's own counters (under "fbs_ip.stack.") and the whole
+   engine subtree (under "fbs.") on [m].  Pass [Metrics.sub m
+   "host.<addr>"] for a per-host view; several stacks on one registry sum. *)
+let register_metrics (t : t) m =
+  let open Fbsr_util.Metrics in
+  let s = sub m "fbs_ip.stack" in
+  let c = t.counters in
+  register_probe s "sent" (fun () -> c.sent);
+  register_probe s "received" (fun () -> c.received);
+  register_probe s "suspended_out" (fun () -> c.suspended_out);
+  register_probe s "suspended_in" (fun () -> c.suspended_in);
+  register_probe s "resumed" (fun () -> c.resumed);
+  register_probe s "dropped_error" (fun () -> c.dropped_error);
+  register_probe s "bypassed" (fun () -> c.bypassed);
+  Fbsr_fbs.Engine.register_metrics t.engine m
 let policy_state t = t.policy_state
 let fast_path t = t.fast_path
 let principal_of_addr addr = Fbsr_fbs.Principal.of_string (Addr.to_string addr)
@@ -301,12 +317,13 @@ let input_hook t (h : Ipv4.header) payload : Host.hook_result =
         Host.Drop "fbs awaiting master key"
   end
 
-let install ?(config = default_config ()) ?(sfl_seed = 0x5f1) ~private_value ~group
-    ~ca_public ~ca_hash ~resolver host =
+let install ?(config = default_config ()) ?(sfl_seed = 0x5f1)
+    ?(trace = Fbsr_util.Trace.none) ~private_value ~group ~ca_public ~ca_hash
+    ~resolver host =
   let local = principal_of_addr (Host.addr host) in
   let keying =
-    Fbsr_fbs.Keying.create ~fetch_retries:config.keying_fetch_retries ~local ~group
-      ~private_value ~ca_public ~ca_hash ~resolver
+    Fbsr_fbs.Keying.create ~fetch_retries:config.keying_fetch_retries ~trace ~local
+      ~group ~private_value ~ca_public ~ca_hash ~resolver
       ~clock:(fun () -> Host.now host)
       ()
   in
@@ -321,7 +338,7 @@ let install ?(config = default_config ()) ?(sfl_seed = 0x5f1) ~private_value ~gr
     Fbsr_fbs.Engine.create ~suite:config.suite ~tfkc_sets:config.tfkc_sets
       ~rfkc_sets:config.rfkc_sets ~cache_assoc:config.cache_assoc
       ~replay_window_minutes:config.replay_window_minutes
-      ~strict_replay:config.strict_replay ~keying ~fam ()
+      ~strict_replay:config.strict_replay ~trace ~keying ~fam ()
   in
   let fast_path =
     if config.combined_fast_path then

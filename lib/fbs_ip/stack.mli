@@ -62,6 +62,7 @@ type t
 val install :
   ?config:config ->
   ?sfl_seed:int ->
+  ?trace:Fbsr_util.Trace.t ->
   private_value:Fbsr_crypto.Dh.private_value ->
   group:Fbsr_crypto.Dh.group ->
   ca_public:Fbsr_crypto.Rsa.public_key ->
@@ -69,11 +70,19 @@ val install :
   resolver:Fbsr_fbs.Keying.resolver ->
   Host.t ->
   t
+(** [trace] (default disabled) is threaded to the engine and keying layers
+    — see {!Fbsr_fbs.Engine.create}. *)
 
 val uninstall : t -> unit
 
 val engine : t -> Fbsr_fbs.Engine.t
 val counters : t -> counters
+
+val register_metrics : t -> Fbsr_util.Metrics.t -> unit
+(** Register the stack's counters under [fbs_ip.stack.] and the engine's
+    whole [fbs.*] subtree on [m] (see {!Fbsr_fbs.Engine.register_metrics}).
+    Pass [Metrics.sub m "host.<addr>"] for a per-host view. *)
+
 val host : t -> Host.t
 val policy_state : t -> Fbsr_fbs.Policy_five_tuple.t
 val fast_path : t -> Fast_path.t option

@@ -26,6 +26,8 @@ type t = {
   faults : Link.profile option;
   link_seed : int; (* base seed; each host's link derives from it *)
   mutable links : Link.t list;
+  metrics : Fbsr_util.Metrics.t;
+  trace : Fbsr_util.Trace.t;
 }
 
 (* Attach a fault-injection link to a host when the testbed has a fault
@@ -41,10 +43,17 @@ let attach_link t host =
           t.engine
       in
       Host.set_link host link;
+      (* Every link feeds the site-wide "netsim.link.*" totals (summed
+         probes) plus its own "host.<addr>.netsim.link.*" view. *)
+      Link.register_metrics link (Fbsr_util.Metrics.sub t.metrics "netsim.link");
+      Link.register_metrics link
+        (Fbsr_util.Metrics.sub t.metrics
+           ("host." ^ Addr.to_string (Host.addr host) ^ ".netsim.link"));
       t.links <- link :: t.links
 
 let create ?(seed = 42) ?(bandwidth_bps = 10_000_000.0) ?(group_bits = 0) ?config
-    ?(mkd_config = Mkd.default_config) ?faults () =
+    ?(mkd_config = Mkd.default_config) ?faults ?metrics
+    ?(trace = Fbsr_util.Trace.none) () =
   let rng = Fbsr_util.Rng.create seed in
   let engine = Engine.create () in
   let medium = Medium.create ~bandwidth_bps ~seed:(seed + 1) engine in
@@ -76,6 +85,9 @@ let create ?(seed = 42) ?(bandwidth_bps = 10_000_000.0) ?(group_bits = 0) ?confi
       faults;
       link_seed = seed lxor 0x1a5e;
       links = [];
+      metrics =
+        (match metrics with Some m -> m | None -> Fbsr_util.Metrics.create ());
+      trace;
     }
   in
   (* The key server's egress is faulty too: certificate responses must
@@ -107,16 +119,24 @@ let add_host t ~name ~addr =
       ~group:t.group.Fbsr_crypto.Dh.name
       ~public_value:(Fbsr_crypto.Dh.public_to_bytes t.group public)
   in
+  let host_scope = "host." ^ subject in
   let mkd =
-    Mkd.create ~config:t.mkd_config ~ca_addr:(ca_addr t)
-      ~ca_port:(Ca_server.port t.ca_server) host
+    Mkd.create ~config:t.mkd_config
+      ~metrics:(Fbsr_util.Metrics.sub t.metrics "fbs_ip.mkd")
+      ~trace:t.trace ~ca_addr:(ca_addr t) ~ca_port:(Ca_server.port t.ca_server) host
   in
+  Mkd.register_metrics mkd
+    (Fbsr_util.Metrics.sub t.metrics (host_scope ^ ".fbs_ip.mkd"));
   let stack =
-    Stack.install ~config:(node_config t) ~private_value ~group:t.group
+    Stack.install ~config:(node_config t) ~trace:t.trace ~private_value ~group:t.group
       ~ca_public:(Fbsr_cert.Authority.public t.authority)
       ~ca_hash:(Fbsr_cert.Authority.hash t.authority)
       ~resolver:(Mkd.resolver mkd) host
   in
+  (* Site-wide aggregate (bare names, summed across hosts) and the
+     per-host "host.<addr>." view of the same records. *)
+  Stack.register_metrics stack t.metrics;
+  Stack.register_metrics stack (Fbsr_util.Metrics.sub t.metrics host_scope);
   let node = { host; stack; mkd; private_value } in
   t.nodes <- node :: t.nodes;
   node
@@ -153,6 +173,8 @@ let link_stats t =
   acc
 let group t = t.group
 let authority t = t.authority
+let metrics t = t.metrics
+let trace t = t.trace
 let ca_server t = t.ca_server
 let nodes t = t.nodes
 let run ?until t = Engine.run ?until t.engine

@@ -19,6 +19,8 @@ val create :
   ?config:Stack.config ->
   ?mkd_config:Mkd.config ->
   ?faults:Link.profile ->
+  ?metrics:Fbsr_util.Metrics.t ->
+  ?trace:Fbsr_util.Trace.t ->
   unit ->
   t
 (** [group_bits = 0] (default) uses the fast 61-bit test group; [1024]
@@ -27,7 +29,13 @@ val create :
     policy.  [faults] attaches a fault-injection {!Fbsr_netsim.Link} (with
     a per-host seed derived from [seed]) to the egress of every host added
     afterwards — including the key server, so certificate traffic suffers
-    the same network as the datagrams. *)
+    the same network as the datagrams.
+
+    [metrics] (default: a fresh private registry, readable via {!metrics})
+    receives every component's counters twice: once at the bare site-wide
+    names ("fbs.engine.sends", "netsim.link.corrupted", ... — summed
+    across hosts) and once under a per-host "host.<addr>." prefix.
+    [trace] (default disabled) is threaded to every stack and MKD. *)
 
 val add_host : t -> name:string -> addr:string -> node
 val add_plain_host : t -> name:string -> addr:string -> Host.t
@@ -45,6 +53,12 @@ val link_stats : t -> Link.stats
 
 val group : t -> Fbsr_crypto.Dh.group
 val authority : t -> Fbsr_cert.Authority.t
+
+val metrics : t -> Fbsr_util.Metrics.t
+(** The site's registry (the one passed to {!create}, or the private
+    default). *)
+
+val trace : t -> Fbsr_util.Trace.t
 val ca_server : t -> Ca_server.t
 val nodes : t -> node list
 val run : ?until:float -> t -> unit

@@ -91,6 +91,20 @@ let set_profile t p =
 
 let stats t = t.stats
 
+(* Registry names relative to the caller's scope (e.g. "netsim.link").
+   Registering every link of a medium under one scope sums them into the
+   site-wide fault totals. *)
+let register_metrics (t : t) m =
+  let open Fbsr_util.Metrics in
+  let s = t.stats in
+  register_probe m "offered" (fun () -> s.offered);
+  register_probe m "delivered" (fun () -> s.delivered);
+  register_probe m "dropped" (fun () -> s.dropped);
+  register_probe m "duplicated" (fun () -> s.duplicated);
+  register_probe m "reordered" (fun () -> s.reordered);
+  register_probe m "truncated" (fun () -> s.truncated);
+  register_probe m "corrupted" (fun () -> s.corrupted)
+
 let hit t p = p > 0.0 && Fbsr_util.Rng.uniform t.rng < p
 
 (* Cut the frame to a uniformly random proper prefix (possibly empty). *)

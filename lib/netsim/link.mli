@@ -41,6 +41,12 @@ val profile : t -> profile
 val set_profile : t -> profile -> unit
 val stats : t -> stats
 
+val register_metrics : t -> Fbsr_util.Metrics.t -> unit
+(** Register pull-probes for every {!stats} field under the registry's
+    current prefix — scope it first, e.g.
+    [register_metrics l (Metrics.sub m "netsim.link")].  Registering
+    several links under one scope sums their statistics. *)
+
 val transmit : t -> deliver:(string -> unit) -> string -> unit
 (** Pass one frame through the fault stage.  [deliver] is called zero, one
     or two times — immediately, or up to [reorder_delay] seconds later for

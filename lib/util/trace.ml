@@ -1,0 +1,78 @@
+(* Bounded ring of structured trace events.
+
+   Where Metrics answers "how many", Trace answers "what happened, in what
+   order": flow setups, key derivations, cache evictions, replay rejects,
+   MKD fetch attempts.  Experiments and tests snapshot the ring and assert
+   on the sequence; the ring is bounded so tracing can stay attached to a
+   long run without growing memory — old events fall off the back and are
+   counted in [dropped].
+
+   Tracing is opt-in per component: the shared [none] instance has zero
+   capacity and [enabled none = false], so instrumented code guards its
+   event construction with [if Trace.enabled t then ...] and the default
+   configuration pays one branch, no allocation. *)
+
+type event = {
+  seq : int; (* monotone across the whole ring's lifetime *)
+  time : float; (* caller-supplied clock; nan when not provided *)
+  name : string; (* dotted event kind, e.g. "fbs.engine.flow.setup" *)
+  fields : (string * Json.t) list;
+}
+
+type t = {
+  capacity : int;
+  ring : event option array; (* slot = seq mod capacity *)
+  mutable next_seq : int;
+}
+
+let create ?(capacity = 1024) () =
+  if capacity < 0 then invalid_arg "Trace.create: negative capacity";
+  { capacity; ring = Array.make (max capacity 1) None; next_seq = 0 }
+
+let none = create ~capacity:0 ()
+let enabled t = t.capacity > 0
+let capacity t = t.capacity
+
+let emit t ?(time = Float.nan) name fields =
+  if t.capacity > 0 then begin
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    t.ring.(seq mod t.capacity) <- Some { seq; time; name; fields }
+  end
+
+let total t = t.next_seq
+let length t = min t.next_seq t.capacity
+let dropped t = t.next_seq - length t
+
+(* Oldest first. *)
+let events t =
+  let n = length t in
+  List.init n (fun i ->
+      match t.ring.((t.next_seq - n + i) mod t.capacity) with
+      | Some e -> e
+      | None -> assert false)
+
+let find t name = List.filter (fun e -> String.equal e.name name) (events t)
+let count t name = List.length (find t name)
+
+let clear t =
+  Array.fill t.ring 0 (Array.length t.ring) None;
+  t.next_seq <- 0
+
+let event_to_json e =
+  Json.Obj
+    (("seq", Json.Int e.seq)
+     ::
+     (if Float.is_nan e.time then [] else [ ("time", Json.Float e.time) ])
+    @ [ ("event", Json.String e.name) ]
+    @ e.fields)
+
+let to_json t = Json.List (List.map event_to_json (events t))
+
+let pp ppf t =
+  List.iter
+    (fun e ->
+      Fmt.pf ppf "#%d %s%s@." e.seq e.name
+        (String.concat ""
+           (List.map (fun (k, v) -> " " ^ k ^ "=" ^ Json.to_string v) e.fields)))
+    (events t)

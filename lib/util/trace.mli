@@ -1,0 +1,51 @@
+(** Bounded ring buffer of structured events — the "what happened, in what
+    order" half of the observability layer (Metrics is the "how many").
+
+    Instrumented components take a [Trace.t] and emit events such as flow
+    setup, key derivation, cache eviction, replay reject and MKD fetch
+    attempts; tests and experiments snapshot the ring with {!events} and
+    assert on it.  The shared {!none} instance is disabled (zero capacity):
+    guard event construction with [if Trace.enabled t then ...] so the
+    default configuration pays one branch and allocates nothing. *)
+
+type event = {
+  seq : int;  (** monotone event number since creation/clear *)
+  time : float;  (** caller-supplied clock; [nan] when not provided *)
+  name : string;  (** dotted event kind, e.g. ["fbs.engine.flow.setup"] *)
+  fields : (string * Json.t) list;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 1024.  When full, new events overwrite the oldest.
+    @raise Invalid_argument on negative capacity. *)
+
+val none : t
+(** The shared disabled trace: [enabled none = false], [emit] is a no-op. *)
+
+val enabled : t -> bool
+val capacity : t -> int
+
+val emit : t -> ?time:float -> string -> (string * Json.t) list -> unit
+
+val events : t -> event list
+(** The retained window, oldest first. *)
+
+val find : t -> string -> event list
+(** Retained events with the given name, oldest first. *)
+
+val count : t -> string -> int
+val total : t -> int
+(** Events emitted since creation/clear, including overwritten ones. *)
+
+val length : t -> int
+(** Events currently retained. *)
+
+val dropped : t -> int
+(** [total - length]: events lost to ring overwrite. *)
+
+val clear : t -> unit
+val event_to_json : event -> Json.t
+val to_json : t -> Json.t
+val pp : Format.formatter -> t -> unit

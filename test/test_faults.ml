@@ -57,6 +57,24 @@ let test_link_perfect_is_identity () =
     (List.init 100 (Printf.sprintf "frame-%04d"))
     delivered
 
+let test_link_metrics_probes () =
+  let engine = Engine.create () in
+  let link = Link.create ~seed:8 ~profile:chaos engine in
+  let m = Fbsr_util.Metrics.create () in
+  Link.register_metrics link (Fbsr_util.Metrics.sub m "netsim.link");
+  for i = 0 to 199 do
+    Link.transmit link ~deliver:ignore (Printf.sprintf "frame-%04d" i)
+  done;
+  Engine.run engine;
+  let stats = Link.stats link in
+  let get n = Fbsr_util.Metrics.get m ("netsim.link." ^ n) in
+  check Alcotest.int "offered via registry" stats.Link.offered (get "offered");
+  check Alcotest.int "delivered via registry" stats.Link.delivered
+    (get "delivered");
+  check Alcotest.int "dropped via registry" stats.Link.dropped (get "dropped");
+  check Alcotest.int "corrupted via registry" stats.Link.corrupted
+    (get "corrupted")
+
 let test_link_drop_rate () =
   let profile = { Link.perfect with Link.drop = 0.3 } in
   let stats, delivered = drive ~seed:4 ~profile 2000 in
@@ -174,7 +192,9 @@ let test_hostile_network_invariants () =
    strict replay suppression the application sees nothing new. *)
 let test_replayed_capture_rejected () =
   let config = Stack.default_config ~strict_replay:true () in
-  let tb = Testbed.create ~seed:3 ~config () in
+  let metrics = Fbsr_util.Metrics.create () in
+  let trace = Fbsr_util.Trace.create () in
+  let tb = Testbed.create ~seed:3 ~config ~metrics ~trace () in
   let a = Testbed.add_host tb ~name:"a" ~addr:"10.0.0.1" in
   let b = Testbed.add_host tb ~name:"b" ~addr:"10.0.0.2" in
   let delivered = ref [] in
@@ -201,16 +221,23 @@ let test_replayed_capture_rejected () =
   List.iter (fun raw -> Medium.transmit (Testbed.medium tb) ~dst:(Host.addr b.Testbed.host) raw) to_b;
   Testbed.run tb;
   check Alcotest.int "replay delivered nothing new" 5 (List.length !delivered);
-  let c = Fbsr_fbs.Engine.counters (Stack.engine b.Testbed.stack) in
-  check Alcotest.bool "replays rejected as duplicates" true
-    (c.Fbsr_fbs.Engine.errors_duplicate >= 5)
+  (* The rejections are visible both per host and in the aggregate view of
+     the shared registry. *)
+  check Alcotest.bool "replays rejected as duplicates (per-host metric)" true
+    (Fbsr_util.Metrics.get metrics "host.10.0.0.2.fbs.engine.drops.duplicate"
+    >= 5);
+  check Alcotest.bool "aggregate view agrees" true
+    (Fbsr_util.Metrics.get metrics "fbs.engine.drops.duplicate" >= 5);
+  check Alcotest.bool "replay rejects were traced" true
+    (Fbsr_util.Trace.count trace "fbs.engine.replay.reject" >= 5)
 
 (* Wipe every piece of soft state mid-conversation — flow-key caches,
    master-key cache, certificate cache — and show the conversation
    continues: keys are recomputed (counted as recoveries), certificates
    are refetched, and no datagram is lost to the amnesia. *)
 let test_soft_state_wipe_recovers () =
-  let tb = Testbed.create ~seed:9 () in
+  let metrics = Fbsr_util.Metrics.create () in
+  let tb = Testbed.create ~seed:9 ~metrics () in
   let a = Testbed.add_host tb ~name:"a" ~addr:"10.0.0.1" in
   let b = Testbed.add_host tb ~name:"b" ~addr:"10.0.0.2" in
   let delivered = ref 0 in
@@ -233,21 +260,21 @@ let test_soft_state_wipe_recovers () =
   in
   wipe a;
   wipe b;
-  let fetches_before =
-    (Mkd.stats a.Testbed.mkd).Mkd.fetches + (Mkd.stats b.Testbed.mkd).Mkd.fetches
-  in
+  (* "fbs_ip.mkd.fetches" carries one probe per host, so reading it from
+     the shared registry sums both MKDs. *)
+  let fetches_before = Fbsr_util.Metrics.get metrics "fbs_ip.mkd.fetches" in
   for i = 4 to 6 do send i done;
   Testbed.run tb;
   check Alcotest.int "second batch delivered despite the wipe" 6 !delivered;
-  let recoveries (node : Testbed.node) =
-    (Fbsr_fbs.Engine.counters (Stack.engine node.Testbed.stack))
-      .Fbsr_fbs.Engine.flow_key_recoveries
+  let recoveries addr =
+    Fbsr_util.Metrics.get metrics
+      ("host." ^ addr ^ ".fbs.engine.flow_key_recoveries")
   in
-  check Alcotest.bool "sender recomputed its flow key" true (recoveries a > 0);
-  check Alcotest.bool "receiver recomputed its flow key" true (recoveries b > 0);
-  let fetches_after =
-    (Mkd.stats a.Testbed.mkd).Mkd.fetches + (Mkd.stats b.Testbed.mkd).Mkd.fetches
-  in
+  check Alcotest.bool "sender recomputed its flow key" true
+    (recoveries "10.0.0.1" > 0);
+  check Alcotest.bool "receiver recomputed its flow key" true
+    (recoveries "10.0.0.2" > 0);
+  let fetches_after = Fbsr_util.Metrics.get metrics "fbs_ip.mkd.fetches" in
   check Alcotest.bool "certificates were refetched" true
     (fetches_after > fetches_before)
 
@@ -265,6 +292,8 @@ let () =
           Alcotest.test_case "corrupt flips one bit" `Quick
             test_link_corrupt_flips_one_bit;
           Alcotest.test_case "profile validation" `Quick test_link_profile_validation;
+          Alcotest.test_case "stats visible through the registry" `Quick
+            test_link_metrics_probes;
         ] );
       ( "end-to-end",
         [

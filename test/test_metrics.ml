@@ -1,0 +1,236 @@
+(* The observability layer itself: Metrics registry semantics (monotone
+   counters, histogram bucket edges, probe summing, scoped views) and the
+   Trace ring (bounded retention, drop accounting), plus JSON round-trips
+   through the hand-rolled parser — the same path the BENCH_*.json
+   artifacts and bench_diff rely on. *)
+
+open Fbsr_util
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Counters.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_monotone () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "requests" in
+  check Alcotest.int "starts at zero" 0 (Metrics.counter_value c);
+  Metrics.incr c;
+  Metrics.incr ~by:4 c;
+  Metrics.incr ~by:0 c;
+  check Alcotest.int "accumulates" 5 (Metrics.counter_value c);
+  (match Metrics.incr ~by:(-1) c with
+  | () -> Alcotest.fail "negative increment accepted"
+  | exception Invalid_argument _ -> ());
+  check Alcotest.int "unchanged after rejected decrement" 5
+    (Metrics.counter_value c);
+  (* Create-or-fetch: the same name is the same cell. *)
+  let c' = Metrics.counter m "requests" in
+  Metrics.incr c';
+  check Alcotest.int "same name, same cell" 6 (Metrics.counter_value c)
+
+let test_kind_collision_rejected () =
+  let m = Metrics.create () in
+  let (_ : Metrics.counter) = Metrics.counter m "x" in
+  match Metrics.gauge m "x" with
+  | (_ : Metrics.gauge) -> Alcotest.fail "gauge reused a counter name"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Histograms.                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_histogram_bucket_edges () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram ~buckets:[| 1.0; 10.0; 100.0 |] m "lat" in
+  (* Edge semantics: bucket i counts bounds.(i-1) < v <= bounds.(i). *)
+  List.iter (Metrics.observe h) [ 0.5; 1.0; 1.5; 10.0; 100.0; 1000.0 ];
+  check Alcotest.int "count" 6 (Metrics.histogram_count h);
+  check (Alcotest.float 1e-9) "sum" 1113.0 (Metrics.histogram_sum h);
+  (match Metrics.histogram_buckets h with
+  | [ (lo0, up0, n0); (_, up1, n1); (_, up2, n2); (_, up3, n3) ] ->
+      check Alcotest.bool "first lower is -inf" true (lo0 = neg_infinity);
+      check (Alcotest.float 0.0) "first upper" 1.0 up0;
+      check Alcotest.int "<= 1.0 (incl. underflow and the edge)" 2 n0;
+      check (Alcotest.float 0.0) "second upper" 10.0 up1;
+      check Alcotest.int "(1, 10]" 2 n1;
+      check (Alcotest.float 0.0) "third upper" 100.0 up2;
+      check Alcotest.int "(10, 100]" 1 n2;
+      check Alcotest.bool "overflow upper is +inf" true (up3 = infinity);
+      check Alcotest.int "overflow" 1 n3
+  | bs -> Alcotest.failf "expected 4 buckets, got %d" (List.length bs));
+  match Metrics.histogram ~buckets:[| 2.0; 1.0 |] m "bad" with
+  | (_ : Metrics.histogram) -> Alcotest.fail "non-increasing bounds accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_histogram_time () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "span" in
+  let now = ref 0.0 in
+  let clock () = !now in
+  let r = Metrics.time h ~clock (fun () -> now := !now +. 0.25; 42) in
+  check Alcotest.int "thunk result returned" 42 r;
+  check Alcotest.int "one observation" 1 (Metrics.histogram_count h);
+  check (Alcotest.float 1e-9) "elapsed span observed" 0.25
+    (Metrics.histogram_sum h)
+
+(* ------------------------------------------------------------------ *)
+(* Probes and scoped views.                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_probe_summing () =
+  let m = Metrics.create () in
+  let a = ref 3 and b = ref 4 in
+  Metrics.register_probe m "drops" (fun () -> !a);
+  Metrics.register_probe m "drops" (fun () -> !b);
+  check Alcotest.int "probes under one name sum" 7 (Metrics.get m "drops");
+  a := 10;
+  check Alcotest.int "reads are live" 14 (Metrics.get m "drops")
+
+let test_sub_scoping () =
+  let m = Metrics.create () in
+  let host = Metrics.sub m "host.10.0.0.1" in
+  let c = Metrics.counter host "sends" in
+  Metrics.incr ~by:2 c;
+  check Alcotest.int "visible under the full name from the root" 2
+    (Metrics.get m "host.10.0.0.1.sends");
+  check Alcotest.int "visible under the short name from the view" 2
+    (Metrics.get host "sends");
+  let (_ : Metrics.counter) = Metrics.counter m "other" in
+  check
+    (Alcotest.list Alcotest.string)
+    "sub view lists only its prefix" [ "host.10.0.0.1.sends" ]
+    (Metrics.names host);
+  check Alcotest.bool "mem respects the prefix" false (Metrics.mem host "other")
+
+let test_reset_spares_probes () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "owned" in
+  Metrics.incr ~by:9 c;
+  let live = ref 5 in
+  Metrics.register_probe m "probed" (fun () -> !live);
+  Metrics.reset m;
+  check Alcotest.int "owned cell zeroed" 0 (Metrics.get m "owned");
+  check Alcotest.int "probe untouched" 5 (Metrics.get m "probed")
+
+(* ------------------------------------------------------------------ *)
+(* JSON round-trips.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_json_roundtrip () =
+  let m = Metrics.create () in
+  Metrics.incr ~by:7 (Metrics.counter m "c");
+  Metrics.set (Metrics.gauge m "g") 2.5;
+  Metrics.register_probe m "p" (fun () -> 11);
+  let h = Metrics.histogram ~buckets:[| 1.0; 10.0 |] m "h" in
+  Metrics.observe h 0.5;
+  Metrics.observe h 5.0;
+  let parsed = Json.parse (Json.to_string (Metrics.to_json m)) in
+  let num name =
+    match Option.bind (Json.member name parsed) Json.to_float_opt with
+    | Some v -> v
+    | None -> Alcotest.failf "missing %s" name
+  in
+  check (Alcotest.float 0.0) "counter survives" 7.0 (num "c");
+  check (Alcotest.float 0.0) "gauge survives" 2.5 (num "g");
+  check (Alcotest.float 0.0) "probe survives" 11.0 (num "p");
+  match Json.member "h" parsed with
+  | Some hist ->
+      check (Alcotest.float 0.0) "hist count" 2.0
+        (Option.get (Option.bind (Json.member "count" hist) Json.to_float_opt));
+      check (Alcotest.float 1e-9) "hist sum" 5.5
+        (Option.get (Option.bind (Json.member "sum" hist) Json.to_float_opt))
+  | None -> Alcotest.fail "histogram missing from JSON"
+
+let test_json_parse_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("i", Json.Int 42);
+        ("f", Json.Float 1.5);
+        ("s", Json.String "a \"quoted\" \n string");
+        ("l", Json.List [ Json.Bool true; Json.Null; Json.Int (-3) ]);
+        ("o", Json.Obj [ ("nested", Json.Float 1e-6) ]);
+      ]
+  in
+  check Alcotest.bool "compact form parses back equal" true
+    (Json.parse (Json.to_string doc) = doc);
+  check Alcotest.bool "pretty form parses back equal" true
+    (Json.parse (Json.to_string_pretty doc) = doc);
+  match Json.parse "[1, 2] trailing" with
+  | (_ : Json.t) -> Alcotest.fail "trailing garbage accepted"
+  | exception Json.Parse_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Trace ring.                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_ring_bounds () =
+  let t = Trace.create ~capacity:4 () in
+  check Alcotest.bool "enabled" true (Trace.enabled t);
+  for i = 1 to 6 do
+    Trace.emit t ~time:(float_of_int i) "ev" [ ("i", Json.Int i) ]
+  done;
+  check Alcotest.int "retained bounded by capacity" 4 (Trace.length t);
+  check Alcotest.int "total counts everything" 6 (Trace.total t);
+  check Alcotest.int "dropped = total - retained" 2 (Trace.dropped t);
+  let seqs = List.map (fun e -> e.Trace.seq) (Trace.events t) in
+  check (Alcotest.list Alcotest.int) "oldest overwritten first" [ 2; 3; 4; 5 ]
+    seqs;
+  check Alcotest.int "count by name" 4 (Trace.count t "ev");
+  Trace.clear t;
+  check Alcotest.int "clear empties the ring" 0 (Trace.length t);
+  match Trace.create ~capacity:(-1) () with
+  | (_ : Trace.t) -> Alcotest.fail "negative capacity accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_trace_none_disabled () =
+  check Alcotest.bool "none is disabled" false (Trace.enabled Trace.none);
+  Trace.emit Trace.none "ev" [];
+  check Alcotest.int "emit on none is a no-op" 0 (Trace.total Trace.none)
+
+let test_trace_json () =
+  let t = Trace.create ~capacity:8 () in
+  Trace.emit t ~time:1.5 "fbs.engine.flow.setup" [ ("sfl", Json.String "ab") ];
+  match Json.parse (Json.to_string (Trace.to_json t)) with
+  | Json.List [ ev ] ->
+      check (Alcotest.option Alcotest.string) "event name survives"
+        (Some "fbs.engine.flow.setup")
+        (Option.bind (Json.member "event" ev) Json.to_string_opt);
+      check (Alcotest.option (Alcotest.float 0.0)) "event time survives"
+        (Some 1.5)
+        (Option.bind (Json.member "time" ev) Json.to_float_opt)
+  | _ -> Alcotest.fail "expected one event in trace JSON"
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counters are monotone" `Quick test_counter_monotone;
+          Alcotest.test_case "kind collisions rejected" `Quick
+            test_kind_collision_rejected;
+          Alcotest.test_case "histogram bucket edges" `Quick
+            test_histogram_bucket_edges;
+          Alcotest.test_case "histogram timing" `Quick test_histogram_time;
+          Alcotest.test_case "probes sum" `Quick test_probe_summing;
+          Alcotest.test_case "sub views scope" `Quick test_sub_scoping;
+          Alcotest.test_case "reset spares probes" `Quick
+            test_reset_spares_probes;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "metrics round-trip" `Quick
+            test_metrics_json_roundtrip;
+          Alcotest.test_case "parser round-trip" `Quick
+            test_json_parse_roundtrip;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "ring bounds and drops" `Quick
+            test_trace_ring_bounds;
+          Alcotest.test_case "none is disabled" `Quick test_trace_none_disabled;
+          Alcotest.test_case "to_json" `Quick test_trace_json;
+        ] );
+    ]
