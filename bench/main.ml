@@ -311,6 +311,80 @@ let counters_json m =
                  (name, Json.Obj [ ("count", Json.Int count); ("sum", Json.Float sum) ]))
        (Metrics.snapshot m))
 
+(* Datapath allocation audit: run n seal+open round trips (paper suite,
+   secret, MTU payload) through the engine's zero-copy path AND through
+   the retained string-based reference path, reporting buffers allocated,
+   payload bytes copied, and GC-allocated bytes per datagram for both.
+   Putting both paths in one artifact makes the zero-copy reduction a
+   number the regression gate can check, independent of which baseline
+   file it is compared against.  Deterministic: counter deltas are exact,
+   and [Gc.allocated_bytes] measures allocation, not time. *)
+let datapath_json () =
+  let open Fbsr_experiments in
+  let p, attrs, wire0 =
+    Fixture.warm_pair ~suite:Fbsr_fbs.Suite.paper_md5_des ~secret:true ()
+  in
+  let es = p.Fixture.sender and ed = p.Fixture.receiver in
+  let payload = Fixture.mtu_payload in
+  let n = 256 in
+  (* --- zero-copy engine path --- *)
+  let cs = Fbsr_fbs.Engine.counters es and cr = Fbsr_fbs.Engine.counters ed in
+  let allocs0 = cs.Fbsr_fbs.Engine.datapath_allocs + cr.Fbsr_fbs.Engine.datapath_allocs in
+  let copied0 = cs.Fbsr_fbs.Engine.bytes_copied + cr.Fbsr_fbs.Engine.bytes_copied in
+  let g0 = Gc.allocated_bytes () in
+  for _ = 1 to n do
+    match Fbsr_fbs.Engine.send_sync es ~now:60.0 ~attrs ~secret:true ~payload with
+    | Error e -> failwith (Fmt.str "datapath bench send: %a" Fbsr_fbs.Engine.pp_error e)
+    | Ok wire -> (
+        match Fbsr_fbs.Engine.receive_sync ed ~now:60.0 ~src:p.Fixture.src ~wire with
+        | Ok _ -> ()
+        | Error e ->
+            failwith (Fmt.str "datapath bench receive: %a" Fbsr_fbs.Engine.pp_error e))
+  done;
+  let g1 = Gc.allocated_bytes () in
+  let allocs1 = cs.Fbsr_fbs.Engine.datapath_allocs + cr.Fbsr_fbs.Engine.datapath_allocs in
+  let copied1 = cs.Fbsr_fbs.Engine.bytes_copied + cr.Fbsr_fbs.Engine.bytes_copied in
+  (* --- string-based reference path, identical inputs --- *)
+  let suite = Fbsr_fbs.Suite.paper_md5_des in
+  let header, sfl, confounder, timestamp =
+    match Fbsr_fbs.Header.decode wire0 with
+    | Ok (h, _) ->
+        (h, h.Fbsr_fbs.Header.sfl, h.Fbsr_fbs.Header.confounder, h.Fbsr_fbs.Header.timestamp)
+    | Error _ -> failwith "datapath bench: warm wire undecodable"
+  in
+  ignore header;
+  let flow_key = ref "" in
+  Fbsr_fbs.Engine.derive_flow_key es ~sfl ~src:p.Fixture.src ~dst:p.Fixture.dst (function
+    | Ok k -> flow_key := k
+    | Error _ -> failwith "datapath bench: flow key derivation failed");
+  let flow_key = !flow_key in
+  let rc = Reference.create_counters () in
+  let gr0 = Gc.allocated_bytes () in
+  for _ = 1 to n do
+    let wire =
+      Reference.seal ~counters:rc ~suite ~flow_key ~sfl ~secret:true ~confounder
+        ~timestamp ~payload ()
+    in
+    match Reference.open_ ~counters:rc ~suite ~flow_key ~wire () with
+    | Ok _ -> ()
+    | Error _ -> failwith "datapath bench: reference open rejected own wire"
+  done;
+  let gr1 = Gc.allocated_bytes () in
+  let per x = float_of_int x /. float_of_int n in
+  let perf x = x /. float_of_int n in
+  Fbsr_util.Json.Obj
+    [
+      ("payload_bytes", Fbsr_util.Json.Int (String.length payload));
+      ("datagrams", Fbsr_util.Json.Int n);
+      ("allocs_per_datagram", Fbsr_util.Json.Float (per (allocs1 - allocs0)));
+      ("bytes_copied_per_datagram", Fbsr_util.Json.Float (per (copied1 - copied0)));
+      ("gc_bytes_per_datagram", Fbsr_util.Json.Float (perf (g1 -. g0)));
+      ("allocs_per_datagram_reference", Fbsr_util.Json.Float (per rc.Reference.allocs));
+      ( "bytes_copied_per_datagram_reference",
+        Fbsr_util.Json.Float (per rc.Reference.bytes_copied) );
+      ("gc_bytes_per_datagram_reference", Fbsr_util.Json.Float (perf (gr1 -. gr0)));
+    ]
+
 let emit_json ~path ~rev ~quick rows =
   let m = Fbsr_util.Metrics.create () in
   let (_ : Fbsr_experiments.Faults.result) =
@@ -327,6 +401,7 @@ let emit_json ~path ~rev ~quick rows =
           Fbsr_util.Json.Obj
             (List.map (fun (name, ns) -> (name, Fbsr_util.Json.Float ns)) rows) );
         ("counters", counters_json m);
+        ("datapath", datapath_json ());
       ]
   in
   let oc = open_out path in

@@ -87,6 +87,47 @@ let () =
       if not (List.mem_assoc name old_benches) then
         Printf.printf "%-50s (new benchmark)\n" name)
     new_benches;
+  (* Datapath allocation audit: gated at the same threshold when both
+     artifacts carry it (the fields are deterministic counter ratios, so
+     the gate is tight by construction).  Only the per-datagram fields
+     are gated; the fixture-shape fields (payload size, iteration count)
+     are informational.  A zero old value means the zero-copy invariant
+     held — any new nonzero value is a regression of that invariant. *)
+  let old_datapath = obj_members "datapath" old_doc in
+  let new_datapath = obj_members "datapath" new_doc in
+  let gated name =
+    let contains_sub sub s =
+      let n = String.length sub and m = String.length s in
+      let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+      go 0
+    in
+    contains_sub "per_datagram" name
+  in
+  if old_datapath <> [] && new_datapath <> [] then begin
+    Printf.printf "\n%-50s %12s %12s %9s\n" "datapath" "old" "new" "delta";
+    Printf.printf "%s\n" (String.make 86 '-');
+    List.iter
+      (fun (name, old_v) ->
+        match
+          (Fbsr_util.Json.to_float_opt old_v,
+           Option.bind (List.assoc_opt name new_datapath) Fbsr_util.Json.to_float_opt)
+        with
+        | Some old_x, Some new_x when gated name ->
+            let delta =
+              if old_x > 0.0 then (new_x -. old_x) /. old_x *. 100.0 else 0.0
+            in
+            let regressed =
+              if old_x > 0.0 then new_x > old_x *. (1.0 +. !threshold)
+              else new_x > 1e-9
+            in
+            if regressed then incr regressions;
+            Printf.printf "%-50s %12.1f %12.1f %+8.1f%%%s\n" name old_x new_x delta
+              (if regressed then "  REGRESSED" else "")
+        | _ -> ())
+      old_datapath
+  end
+  else if new_datapath <> [] then
+    Printf.printf "\ndatapath audit present only in %s (not gated)\n" new_path;
   (* Counters: informational only. *)
   let old_counters = obj_members "counters" old_doc in
   let new_counters = obj_members "counters" new_doc in

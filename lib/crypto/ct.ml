@@ -11,3 +11,21 @@ let equal (a : string) (b : string) =
     done;
     !acc = 0
   end
+
+(* Slice variant: compares a computed MAC against a view into the wire
+   buffer without first copying the wire bytes out.  Same constant-time
+   discipline — the loop always runs the full (public) length. *)
+let equal_slice (a : Fbsr_util.Slice.t) (b : Fbsr_util.Slice.t) =
+  let open Fbsr_util in
+  if Slice.length a <> Slice.length b then false
+  else begin
+    let acc = ref 0 in
+    for i = 0 to Slice.length a - 1 do
+      acc :=
+        !acc lor (Char.code (Slice.unsafe_get a i) lxor Char.code (Slice.unsafe_get b i))
+    done;
+    !acc = 0
+  end
+
+let equal_string_slice (a : string) (b : Fbsr_util.Slice.t) =
+  equal_slice (Fbsr_util.Slice.of_string a) b

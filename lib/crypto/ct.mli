@@ -1,3 +1,9 @@
 (** Constant-time comparison for MAC verification. *)
 
 val equal : string -> string -> bool
+
+val equal_slice : Fbsr_util.Slice.t -> Fbsr_util.Slice.t -> bool
+(** Constant-time comparison of two byte views (e.g. a computed MAC
+    against the MAC field sliced out of the wire buffer, with no copy). *)
+
+val equal_string_slice : string -> Fbsr_util.Slice.t -> bool

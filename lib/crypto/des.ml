@@ -294,6 +294,73 @@ let decrypt_cbc ~iv key ct =
   done;
   unpad (Bytes.unsafe_to_string out)
 
+(* Ciphertext length of a padded-mode (CBC/ECB) encryption: the padding
+   always adds 1-8 bytes, so the output is the next multiple of 8. *)
+let padded_length n = n + 8 - (n mod 8)
+
+(* CBC encryption from a sub-range of [src] directly into [dst] — the
+   one-allocation seal path builds the wire buffer and encrypts into it,
+   with the PKCS#7 padding applied on the fly instead of via an
+   intermediate padded copy.  Byte-identical to
+   [encrypt_cbc ~iv key (String.sub src src_pos src_len)]. *)
+let encrypt_cbc_into ~iv key ~src ~src_pos ~src_len ~dst ~dst_pos =
+  if src_pos < 0 || src_len < 0 || src_pos > String.length src - src_len then
+    invalid_arg "Des.encrypt_cbc_into: bad source range";
+  let out_len = padded_length src_len in
+  if dst_pos < 0 || dst_pos > Bytes.length dst - out_len then
+    invalid_arg "Des.encrypt_cbc_into: destination too short";
+  let prev = ref (check_iv iv) in
+  let whole = src_len land lnot 7 in
+  for i = 0 to (whole / 8) - 1 do
+    let b = Int64.logxor (block_of_string src (src_pos + (i * 8))) !prev in
+    let c = encrypt_block key b in
+    block_to_bytes dst (dst_pos + (i * 8)) c;
+    prev := c
+  done;
+  (* Final block: the 0-7 leftover bytes then padding bytes, each equal
+     to the padding length (8 when the input is block-aligned). *)
+  let r = src_len - whole in
+  let padding = 8 - r in
+  let b = ref 0L in
+  for j = 0 to 7 do
+    let byte = if j < r then Char.code src.[src_pos + whole + j] else padding in
+    b := Int64.logor (Int64.shift_left !b 8) (Int64.of_int byte)
+  done;
+  block_to_bytes dst (dst_pos + whole) (encrypt_block key (Int64.logxor !b !prev));
+  out_len
+
+(* CBC decryption of a sub-range without copying the ciphertext out of
+   its surrounding buffer first, allocating only the exact plaintext.
+   CBC decryption is position-independent (each block needs only its
+   ciphertext predecessor), so the last block is decrypted first to
+   learn the padding length, then the output is sized exactly. *)
+let decrypt_cbc_sub ~iv key ~src ~pos ~len =
+  if pos < 0 || len < 0 || pos > String.length src - len then
+    invalid_arg "Des.decrypt_cbc_sub: bad source range";
+  if len = 0 || len mod 8 <> 0 then invalid_arg "Des.decrypt_cbc_sub: bad length";
+  let iv = check_iv iv in
+  let n = len / 8 in
+  let last_prev = if n = 1 then iv else block_of_string src (pos + ((n - 2) * 8)) in
+  let last = Int64.logxor (decrypt_block key (block_of_string src (pos + ((n - 1) * 8)))) last_prev in
+  let padding = Int64.to_int (Int64.logand last 0xffL) in
+  if padding < 1 || padding > 8 then invalid_arg "Des.decrypt_cbc_sub: corrupt padding";
+  for j = 8 - padding to 7 do
+    if Int64.to_int (Int64.shift_right_logical last (56 - (8 * j))) land 0xff <> padding
+    then invalid_arg "Des.decrypt_cbc_sub: corrupt padding"
+  done;
+  let out = Bytes.create (len - padding) in
+  let prev = ref iv in
+  for i = 0 to n - 2 do
+    let c = block_of_string src (pos + (i * 8)) in
+    block_to_bytes out (i * 8) (Int64.logxor (decrypt_block key c) !prev);
+    prev := c
+  done;
+  for j = 0 to 7 - padding do
+    Bytes.set out (((n - 1) * 8) + j)
+      (Char.chr (Int64.to_int (Int64.shift_right_logical last (56 - (8 * j))) land 0xff))
+  done;
+  Bytes.unsafe_to_string out
+
 (* Incremental CBC: lets callers interleave encryption with other
    data-touching work (Section 5.3 of the paper: "the MAC computation and
    encryption should be rolled into one loop").  Feed whole blocks with

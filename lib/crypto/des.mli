@@ -45,6 +45,31 @@ val decrypt_ecb : ?confounder:string -> key -> string -> string
 val encrypt_cbc : iv:string -> key -> string -> string
 val decrypt_cbc : iv:string -> key -> string -> string
 
+val padded_length : int -> int
+(** CBC/ECB ciphertext length for an [n]-byte plaintext (next multiple
+    of 8; padding always adds 1-8 bytes). *)
+
+val encrypt_cbc_into :
+  iv:string ->
+  key ->
+  src:string ->
+  src_pos:int ->
+  src_len:int ->
+  dst:Bytes.t ->
+  dst_pos:int ->
+  int
+(** CBC-encrypt [src[src_pos, src_pos+src_len)] directly into [dst] at
+    [dst_pos], padding on the fly — no intermediate padded copy, no
+    output allocation.  Returns the bytes written
+    ([padded_length src_len]).  Byte-identical to [encrypt_cbc] of the
+    equivalent [String.sub].  @raise Invalid_argument on bad ranges. *)
+
+val decrypt_cbc_sub : iv:string -> key -> src:string -> pos:int -> len:int -> string
+(** CBC-decrypt the sub-range [src[pos, pos+len)] allocating only the
+    exact unpadded plaintext (the padding length is learned by
+    decrypting the final block first).
+    @raise Invalid_argument on bad length or corrupt padding. *)
+
 (** Incremental CBC encryption (for the single-pass MAC+encrypt
     optimization of the paper's Section 5.3). *)
 

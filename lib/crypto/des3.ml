@@ -66,6 +66,64 @@ let decrypt_cbc ~iv key ct =
   done;
   Des.unpad (Bytes.unsafe_to_string out)
 
+(* Direct-into-buffer / sub-range CBC, mirroring [Des.encrypt_cbc_into]
+   and [Des.decrypt_cbc_sub] for the one-allocation datapath. *)
+
+let encrypt_cbc_into ~iv key ~src ~src_pos ~src_len ~dst ~dst_pos =
+  if String.length iv <> 8 then invalid_arg "Des3: IV must be 8 bytes";
+  if src_pos < 0 || src_len < 0 || src_pos > String.length src - src_len then
+    invalid_arg "Des3.encrypt_cbc_into: bad source range";
+  let out_len = Des.padded_length src_len in
+  if dst_pos < 0 || dst_pos > Bytes.length dst - out_len then
+    invalid_arg "Des3.encrypt_cbc_into: destination too short";
+  let prev = ref (block_of_string iv 0) in
+  let whole = src_len land lnot 7 in
+  for i = 0 to (whole / 8) - 1 do
+    let b = Int64.logxor (block_of_string src (src_pos + (i * 8))) !prev in
+    let c = encrypt_block key b in
+    block_to_bytes dst (dst_pos + (i * 8)) c;
+    prev := c
+  done;
+  let r = src_len - whole in
+  let padding = 8 - r in
+  let b = ref 0L in
+  for j = 0 to 7 do
+    let byte = if j < r then Char.code src.[src_pos + whole + j] else padding in
+    b := Int64.logor (Int64.shift_left !b 8) (Int64.of_int byte)
+  done;
+  block_to_bytes dst (dst_pos + whole) (encrypt_block key (Int64.logxor !b !prev));
+  out_len
+
+let decrypt_cbc_sub ~iv key ~src ~pos ~len =
+  if String.length iv <> 8 then invalid_arg "Des3: IV must be 8 bytes";
+  if pos < 0 || len < 0 || pos > String.length src - len then
+    invalid_arg "Des3.decrypt_cbc_sub: bad source range";
+  if len = 0 || len mod 8 <> 0 then invalid_arg "Des3.decrypt_cbc_sub: bad length";
+  let iv = block_of_string iv 0 in
+  let n = len / 8 in
+  let last_prev = if n = 1 then iv else block_of_string src (pos + ((n - 2) * 8)) in
+  let last =
+    Int64.logxor (decrypt_block key (block_of_string src (pos + ((n - 1) * 8)))) last_prev
+  in
+  let padding = Int64.to_int (Int64.logand last 0xffL) in
+  if padding < 1 || padding > 8 then invalid_arg "Des3.decrypt_cbc_sub: corrupt padding";
+  for j = 8 - padding to 7 do
+    if Int64.to_int (Int64.shift_right_logical last (56 - (8 * j))) land 0xff <> padding
+    then invalid_arg "Des3.decrypt_cbc_sub: corrupt padding"
+  done;
+  let out = Bytes.create (len - padding) in
+  let prev = ref iv in
+  for i = 0 to n - 2 do
+    let c = block_of_string src (pos + (i * 8)) in
+    block_to_bytes out (i * 8) (Int64.logxor (decrypt_block key c) !prev);
+    prev := c
+  done;
+  for j = 0 to 7 - padding do
+    Bytes.set out (((n - 1) * 8) + j)
+      (Char.chr (Int64.to_int (Int64.shift_right_logical last (56 - (8 * j))) land 0xff))
+  done;
+  Bytes.unsafe_to_string out
+
 (* EDE with k1=k2=k3 degenerates to single DES — the standard backwards
    compatibility property, and a strong implementation check. *)
 let degenerate_of_des_key key8 = of_string (key8 ^ key8 ^ key8)

@@ -14,5 +14,21 @@ val decrypt_block : key -> int64 -> int64
 val encrypt_cbc : iv:string -> key -> string -> string
 val decrypt_cbc : iv:string -> key -> string -> string
 
+val encrypt_cbc_into :
+  iv:string ->
+  key ->
+  src:string ->
+  src_pos:int ->
+  src_len:int ->
+  dst:Bytes.t ->
+  dst_pos:int ->
+  int
+(** CBC-encrypt a sub-range directly into [dst]; see
+    {!Des.encrypt_cbc_into}.  Returns the bytes written. *)
+
+val decrypt_cbc_sub : iv:string -> key -> src:string -> pos:int -> len:int -> string
+(** CBC-decrypt a sub-range allocating only the exact plaintext; see
+    {!Des.decrypt_cbc_sub}. *)
+
 val degenerate_of_des_key : string -> key
 (** k1=k2=k3: equals single DES (compatibility property used in tests). *)

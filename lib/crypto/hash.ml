@@ -12,6 +12,7 @@ module type S = sig
   val init : unit -> ctx
   val update : ctx -> string -> unit
   val feed : ctx -> string -> int -> int -> unit
+  val feed_slice : ctx -> Fbsr_util.Slice.t -> unit
   val final : ctx -> string
   val digest : string -> string
   val digest_list : string list -> string
@@ -26,6 +27,14 @@ let name (module H : S) = H.name
 let digest_size (module H : S) = H.digest_size
 let digest (module H : S) s = H.digest s
 let digest_list (module H : S) parts = H.digest_list parts
+
+(* Digest of the concatenation of slice parts — the zero-copy sibling of
+   [digest_list]: each part streams through [feed_slice], nothing is
+   concatenated. *)
+let digest_slices (module H : S) (parts : Fbsr_util.Slice.t list) =
+  let ctx = H.init () in
+  List.iter (H.feed_slice ctx) parts;
+  H.final ctx
 
 let of_name = function
   | "md5" -> md5

@@ -10,6 +10,10 @@ module type S = sig
   val init : unit -> ctx
   val update : ctx -> string -> unit
   val feed : ctx -> string -> int -> int -> unit
+
+  val feed_slice : ctx -> Fbsr_util.Slice.t -> unit
+  (** Streaming input from a borrowed byte view — no copy. *)
+
   val final : ctx -> string
   val digest : string -> string
   val digest_list : string list -> string
@@ -24,6 +28,10 @@ val name : t -> string
 val digest_size : t -> int
 val digest : t -> string -> string
 val digest_list : t -> string list -> string
+
+val digest_slices : t -> Fbsr_util.Slice.t list -> string
+(** Digest of the concatenation of the slice parts, with zero
+    concatenation or copying (streams each part through [feed_slice]). *)
 
 val of_name : string -> t
 (** @raise Invalid_argument on unknown names. *)

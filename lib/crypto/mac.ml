@@ -9,19 +9,45 @@
    the 1996-era prefix MAC (keyed MD5), not RFC 2104 HMAC.  We implement
    both: [prefix] reproduces the paper exactly, and [hmac] is the modern
    construction (RFC 2104), selectable through the FBS algorithm-suite field
-   and compared in an ablation bench. *)
+   and compared in an ablation bench.
+
+   Each construction comes in two input flavours: string parts (the
+   original, retained as the reference implementation for the
+   differential suite in test/test_slice.ml) and [Slice.t] parts (the
+   hot-path flavour, which folds over borrowed views of the wire buffer
+   with zero concatenation or copying). *)
+
+open Fbsr_util
 
 let prefix (hash : Hash.t) ~key parts = Hash.digest_list hash (key :: parts)
 
-let hmac (module H : Hash.S) ~key parts =
+let prefix_slices ((module H : Hash.S) : Hash.t) ~key parts =
+  let ctx = H.init () in
+  H.update ctx key;
+  List.iter (H.feed_slice ctx) parts;
+  H.final ctx
+
+let hmac_key_pads (module H : Hash.S) ~key =
   let block = H.block_size in
   let key = if String.length key > block then H.digest key else key in
   let key = key ^ String.make (block - String.length key) '\000' in
   let xor_pad byte =
     String.init block (fun i -> Char.chr (Char.code key.[i] lxor byte))
   in
-  let inner = H.digest_list (xor_pad 0x36 :: parts) in
-  H.digest_list [ xor_pad 0x5c; inner ]
+  (xor_pad 0x36, xor_pad 0x5c)
+
+let hmac ((module H : Hash.S) as hash : Hash.t) ~key parts =
+  let ipad, opad = hmac_key_pads hash ~key in
+  let inner = H.digest_list (ipad :: parts) in
+  H.digest_list [ opad; inner ]
+
+let hmac_slices ((module H : Hash.S) as hash : Hash.t) ~key parts =
+  let ipad, opad = hmac_key_pads hash ~key in
+  let ctx = H.init () in
+  H.update ctx ipad;
+  List.iter (H.feed_slice ctx) parts;
+  let inner = H.final ctx in
+  H.digest_list [ opad; inner ]
 
 (* DES-CBC-MAC (FIPS 113 style): the paper's footnote 12 — "for
    efficiency, DES could have been used for both encryption and MAC
@@ -35,6 +61,70 @@ let des_cbc ~key parts =
   let ct = Des.encrypt_cbc ~iv:(String.make 8 '\000') des_key message in
   String.sub ct (String.length ct - 8) 8
 
+(* Streaming CBC fold over slice parts: the CBC state is one 64-bit
+   block plus a <8-byte carry, so the MAC needs no concatenation and no
+   ciphertext buffer at all — only the final block survives.
+   Byte-identical to [des_cbc] over the same byte stream. *)
+let des_cbc_slices ~key parts =
+  if String.length key < 8 then invalid_arg "Mac.des_cbc: key too short";
+  let des_key = Des.of_string (Des.adjust_parity (String.sub key 0 8)) in
+  let prev = ref 0L (* zero IV *) in
+  let carry = Bytes.create 8 in
+  let carry_len = ref 0 in
+  let total = ref 0 in
+  let eat_block_int64 b = prev := Des.encrypt_block des_key (Int64.logxor b !prev) in
+  let eat_carry () =
+    let b = ref 0L in
+    for j = 0 to 7 do
+      b := Int64.logor (Int64.shift_left !b 8) (Int64.of_int (Char.code (Bytes.get carry j)))
+    done;
+    eat_block_int64 !b;
+    carry_len := 0
+  in
+  let block_of base off =
+    let b = ref 0L in
+    for j = 0 to 7 do
+      b := Int64.logor (Int64.shift_left !b 8) (Int64.of_int (Char.code base.[off + j]))
+    done;
+    !b
+  in
+  let feed base pos len =
+    total := !total + len;
+    let pos = ref pos and len = ref len in
+    if !carry_len > 0 then begin
+      let take = min !len (8 - !carry_len) in
+      Bytes.blit_string base !pos carry !carry_len take;
+      carry_len := !carry_len + take;
+      pos := !pos + take;
+      len := !len - take;
+      if !carry_len = 8 then eat_carry ()
+    end;
+    while !len >= 8 do
+      eat_block_int64 (block_of base !pos);
+      pos := !pos + 8;
+      len := !len - 8
+    done;
+    if !len > 0 then begin
+      Bytes.blit_string base !pos carry 0 !len;
+      carry_len := !len
+    end
+  in
+  List.iter (fun (s : Slice.t) -> feed s.Slice.base s.Slice.off s.Slice.len) parts;
+  (* PKCS#7 tail, as [Des.pad] appends it: 8 - (total mod 8) bytes, each
+     equal to that count (a full padding block when already aligned). *)
+  let padding = 8 - (!total mod 8) in
+  for _ = 1 to padding do
+    Bytes.set carry !carry_len (Char.chr padding);
+    incr carry_len;
+    if !carry_len = 8 then eat_carry ()
+  done;
+  let out = Bytes.create 8 in
+  for j = 0 to 7 do
+    Bytes.set out j
+      (Char.chr (Int64.to_int (Int64.shift_right_logical !prev (56 - (8 * j))) land 0xff))
+  done;
+  Bytes.unsafe_to_string out
+
 type algorithm = Prefix | Hmac | Des_cbc_mac
 
 let compute ?(algorithm = Prefix) hash ~key parts =
@@ -43,8 +133,23 @@ let compute ?(algorithm = Prefix) hash ~key parts =
   | Hmac -> hmac hash ~key parts
   | Des_cbc_mac -> des_cbc ~key parts
 
+let compute_slices ?(algorithm = Prefix) hash ~key parts =
+  match algorithm with
+  | Prefix -> prefix_slices hash ~key parts
+  | Hmac -> hmac_slices hash ~key parts
+  | Des_cbc_mac -> des_cbc_slices ~key parts
+
 let verify ?(algorithm = Prefix) hash ~key parts ~expected =
   Ct.equal (compute ~algorithm hash ~key parts) expected
+
+(* Slice verification: [expected] is typically the MAC field sliced out
+   of the wire buffer and may be a truncated MAC (Section 5.3's
+   header-overhead trade-off) — the computed MAC is compared through a
+   prefix view of the same (public) length, so nothing is copied. *)
+let verify_slice ?(algorithm = Prefix) hash ~key parts ~(expected : Slice.t) =
+  let mac = compute_slices ~algorithm hash ~key parts in
+  let n = Slice.length expected in
+  n <= String.length mac && Ct.equal_slice (Slice.v ~len:n mac) expected
 
 let truncate mac n =
   if n > String.length mac then invalid_arg "Mac.truncate: too long";

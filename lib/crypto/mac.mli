@@ -2,23 +2,51 @@
 
     [Prefix] is the paper's construction (hash over the key-prefixed
     message, i.e. keyed MD5 as used by the 4.4BSD implementation); [Hmac]
-    is RFC 2104. *)
+    is RFC 2104.
+
+    Each construction takes either string parts (reference
+    implementation, retained for the differential suite) or
+    {!Fbsr_util.Slice.t} parts (zero-copy hot path: the parts are folded
+    into the underlying primitive with no concatenation). *)
 
 type algorithm = Prefix | Hmac | Des_cbc_mac
 
 val prefix : Hash.t -> key:string -> string list -> string
+val prefix_slices : Hash.t -> key:string -> Fbsr_util.Slice.t list -> string
 val hmac : Hash.t -> key:string -> string list -> string
+val hmac_slices : Hash.t -> key:string -> Fbsr_util.Slice.t list -> string
 
 val des_cbc : key:string -> string list -> string
 (** DES-CBC-MAC over the concatenated parts (footnote 12 of the paper):
     8-byte tag, key taken from the first 8 key bytes. *)
 
+val des_cbc_slices : key:string -> Fbsr_util.Slice.t list -> string
+(** Streaming CBC-MAC fold over slice parts — no concatenation and no
+    ciphertext buffer; byte-identical to [des_cbc] over the same byte
+    stream. *)
+
 val compute : ?algorithm:algorithm -> Hash.t -> key:string -> string list -> string
 (** Default algorithm is [Prefix], matching the paper. *)
+
+val compute_slices :
+  ?algorithm:algorithm -> Hash.t -> key:string -> Fbsr_util.Slice.t list -> string
+(** Slice-parts flavour of {!compute}; byte-identical results. *)
 
 val verify :
   ?algorithm:algorithm -> Hash.t -> key:string -> string list -> expected:string -> bool
 (** Constant-time comparison against [expected]. *)
+
+val verify_slice :
+  ?algorithm:algorithm ->
+  Hash.t ->
+  key:string ->
+  Fbsr_util.Slice.t list ->
+  expected:Fbsr_util.Slice.t ->
+  bool
+(** Constant-time comparison of a (possibly truncated) wire MAC slice
+    against the matching prefix of the computed MAC.  The expected
+    length is public information (it comes from the suite descriptor),
+    so using it to select the prefix leaks nothing. *)
 
 val truncate : string -> int -> string
 (** Keep the first [n] bytes of a MAC (header-overhead/security trade-off

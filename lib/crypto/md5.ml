@@ -108,6 +108,9 @@ let feed ctx s pos len =
 
 let update ctx s = feed ctx s 0 (String.length s)
 
+let feed_slice ctx (s : Fbsr_util.Slice.t) =
+  feed ctx s.Fbsr_util.Slice.base s.Fbsr_util.Slice.off s.Fbsr_util.Slice.len
+
 let word_out b off (v : int32) =
   for i = 0 to 3 do
     Bytes.set b (off + i)

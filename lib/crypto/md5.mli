@@ -15,6 +15,10 @@ val update : ctx -> string -> unit
 val feed : ctx -> string -> int -> int -> unit
 (** [feed ctx s pos len] hashes a slice without copying the whole string. *)
 
+val feed_slice : ctx -> Fbsr_util.Slice.t -> unit
+(** [feed] over a {!Fbsr_util.Slice.t} view — streaming input with zero
+    copies. *)
+
 val final : ctx -> string
 (** Finish and return the 16-byte digest.  The context must not be reused. *)
 

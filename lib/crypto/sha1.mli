@@ -13,6 +13,7 @@ type ctx
 val init : unit -> ctx
 val update : ctx -> string -> unit
 val feed : ctx -> string -> int -> int -> unit
+val feed_slice : ctx -> Fbsr_util.Slice.t -> unit
 val final : ctx -> string
 val digest : string -> string
 val digest_list : string list -> string

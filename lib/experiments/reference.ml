@@ -1,0 +1,154 @@
+(* The pre-refactor string-based datapath, retained verbatim as a
+   reference implementation.
+
+   Two consumers:
+
+   - the differential property suite (test/test_slice.ml) checks that the
+     engine's zero-copy seal/receive produce byte-identical wires and
+     accept each other's output;
+   - the bench artifact measures this path next to the zero-copy one, so
+     the allocations-per-datagram reduction is visible inside a single
+     artifact instead of across baseline files.
+
+   Every explicit buffer allocation and payload copy is tallied in
+   [counters] — the same accounting the engine keeps for its own datapath
+   — so the two paths are comparable number-for-number. *)
+
+type counters = { mutable allocs : int; mutable bytes_copied : int }
+
+let create_counters () = { allocs = 0; bytes_copied = 0 }
+
+let tally c ~allocs ~copied =
+  c.allocs <- c.allocs + allocs;
+  c.bytes_copied <- c.bytes_copied + copied
+
+(* MAC input exactly as the old [Engine.compute_mac] built it: three fresh
+   header-field strings, the digest, and a truncation copy. *)
+let compute_mac c (suite : Fbsr_fbs.Suite.t) ~flow_key ~(header : Fbsr_fbs.Header.t)
+    ~payload =
+  if Fbsr_fbs.Suite.is_nop suite then begin
+    tally c ~allocs:1 ~copied:0;
+    String.make suite.Fbsr_fbs.Suite.mac_length '\000'
+  end
+  else begin
+    let parts =
+      [
+        Fbsr_fbs.Header.auth_bytes header;
+        Fbsr_fbs.Header.confounder_bytes header;
+        Fbsr_fbs.Header.timestamp_bytes header;
+        payload;
+      ]
+    in
+    tally c ~allocs:3 ~copied:0;
+    let mac =
+      Fbsr_crypto.Mac.compute ~algorithm:suite.Fbsr_fbs.Suite.mac_algorithm
+        suite.Fbsr_fbs.Suite.mac_hash ~key:flow_key parts
+    in
+    (* [Mac.truncate] is an unconditional [String.sub]. *)
+    tally c ~allocs:1 ~copied:0;
+    Fbsr_crypto.Mac.truncate mac suite.Fbsr_fbs.Suite.mac_length
+  end
+
+let des_key_of_flow_key flow_key =
+  Fbsr_crypto.Des.adjust_parity (String.sub flow_key 0 8)
+
+let des3_key_of_flow_key flow_key =
+  let material = flow_key ^ Fbsr_crypto.Md5.digest flow_key in
+  Fbsr_crypto.Des3.of_string (Fbsr_crypto.Des.adjust_parity (String.sub material 0 24))
+
+(* [Header.confounder_iv]: confounder bytes allocated, then duplicated. *)
+let confounder_iv c header =
+  tally c ~allocs:2 ~copied:0;
+  Fbsr_fbs.Header.confounder_iv header
+
+let encrypt_body c (suite : Fbsr_fbs.Suite.t) ~flow_key ~iv ~payload =
+  if Fbsr_fbs.Suite.is_nop suite then payload
+  else begin
+    (* [Des.pad] copies the payload into a padded buffer, then the cipher
+       allocates the ciphertext. *)
+    tally c ~allocs:2 ~copied:(String.length payload);
+    match suite.Fbsr_fbs.Suite.cipher with
+    | Fbsr_fbs.Suite.Des3_cbc ->
+        Fbsr_crypto.Des3.encrypt_cbc ~iv (des3_key_of_flow_key flow_key) payload
+    | ( Fbsr_fbs.Suite.Des_cbc | Fbsr_fbs.Suite.Des_cfb | Fbsr_fbs.Suite.Des_ofb
+      | Fbsr_fbs.Suite.Des_ecb ) as cipher -> (
+        let key = Fbsr_crypto.Des.of_string (des_key_of_flow_key flow_key) in
+        match cipher with
+        | Fbsr_fbs.Suite.Des_cbc -> Fbsr_crypto.Des.encrypt_cbc ~iv key payload
+        | Fbsr_fbs.Suite.Des_cfb -> Fbsr_crypto.Des.encrypt_cfb ~iv key payload
+        | Fbsr_fbs.Suite.Des_ofb -> Fbsr_crypto.Des.encrypt_ofb ~iv key payload
+        | Fbsr_fbs.Suite.Des_ecb -> Fbsr_crypto.Des.encrypt_ecb ~confounder:iv key payload
+        | Fbsr_fbs.Suite.Des3_cbc -> assert false)
+  end
+
+let decrypt_body c (suite : Fbsr_fbs.Suite.t) ~flow_key ~iv ~body =
+  if Fbsr_fbs.Suite.is_nop suite then Ok body
+  else begin
+    (* Cipher output buffer, then [Des.unpad]'s exact-size copy. *)
+    tally c ~allocs:2 ~copied:(String.length body);
+    match
+      match suite.Fbsr_fbs.Suite.cipher with
+      | Fbsr_fbs.Suite.Des3_cbc ->
+          Fbsr_crypto.Des3.decrypt_cbc ~iv (des3_key_of_flow_key flow_key) body
+      | ( Fbsr_fbs.Suite.Des_cbc | Fbsr_fbs.Suite.Des_cfb | Fbsr_fbs.Suite.Des_ofb
+        | Fbsr_fbs.Suite.Des_ecb ) as cipher -> (
+          let key = Fbsr_crypto.Des.of_string (des_key_of_flow_key flow_key) in
+          match cipher with
+          | Fbsr_fbs.Suite.Des_cbc -> Fbsr_crypto.Des.decrypt_cbc ~iv key body
+          | Fbsr_fbs.Suite.Des_cfb -> Fbsr_crypto.Des.decrypt_cfb ~iv key body
+          | Fbsr_fbs.Suite.Des_ofb -> Fbsr_crypto.Des.decrypt_ofb ~iv key body
+          | Fbsr_fbs.Suite.Des_ecb -> Fbsr_crypto.Des.decrypt_ecb ~confounder:iv key body
+          | Fbsr_fbs.Suite.Des3_cbc -> assert false)
+    with
+    | plaintext -> Ok plaintext
+    | exception Invalid_argument _ -> Error `Decrypt
+  end
+
+(* The old [Engine.seal], with the confounder and timestamp supplied by
+   the caller (the engine draws them from its own LCG/clock; passing them
+   in makes the two paths comparable on identical inputs). *)
+let seal ?counters:(c = create_counters ()) ~(suite : Fbsr_fbs.Suite.t) ~flow_key ~sfl
+    ~secret ~confounder ~timestamp ~payload () =
+  let header0 =
+    { Fbsr_fbs.Header.sfl; suite; secret; confounder; timestamp; mac = "" }
+  in
+  let mac = compute_mac c suite ~flow_key ~header:header0 ~payload in
+  let header = { header0 with Fbsr_fbs.Header.mac } in
+  let body =
+    if secret then
+      encrypt_body c suite ~flow_key ~iv:(confounder_iv c header) ~payload
+    else payload
+  in
+  (* Header encode (writer buffer + contents copy) and the final
+     header ^ body concatenation. *)
+  let encoded = Fbsr_fbs.Header.encode header in
+  tally c ~allocs:3 ~copied:(String.length encoded + String.length body);
+  encoded ^ body
+
+type open_error = [ `Header of Fbsr_fbs.Header.error | `Bad_mac | `Decrypt ]
+
+(* The old receive-side datapath (decode, decrypt, MAC recomputation and
+   comparison) without the engine's replay/keying machinery: the
+   differential suite drives those through the engine itself. *)
+let open_ ?counters:(c = create_counters ()) ~(suite : Fbsr_fbs.Suite.t) ~flow_key ~wire
+    () =
+  match Fbsr_fbs.Header.decode wire with
+  | Error e -> Error (`Header e)
+  | Ok (header, body) ->
+      (* [decode] copies the MAC and the body out of the wire. *)
+      tally c ~allocs:2 ~copied:(String.length body);
+      if header.Fbsr_fbs.Header.suite.Fbsr_fbs.Suite.id <> suite.Fbsr_fbs.Suite.id
+      then Error (`Header (Fbsr_fbs.Header.Unknown_suite header.Fbsr_fbs.Header.suite.Fbsr_fbs.Suite.id))
+      else
+        let finish plaintext =
+          let mac' = compute_mac c suite ~flow_key ~header ~payload:plaintext in
+          if Fbsr_crypto.Ct.equal mac' header.Fbsr_fbs.Header.mac then Ok (header, plaintext)
+          else Error `Bad_mac
+        in
+        if header.Fbsr_fbs.Header.secret then
+          match
+            decrypt_body c suite ~flow_key ~iv:(confounder_iv c header) ~body
+          with
+          | Ok plaintext -> finish plaintext
+          | Error `Decrypt -> Error `Decrypt
+        else finish body

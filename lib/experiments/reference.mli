@@ -1,0 +1,40 @@
+(** The pre-refactor string-based seal/open datapath, retained as a
+    reference implementation for the differential suite
+    (test/test_slice.ml) and for the in-artifact allocation comparison
+    of [bench/main.exe --json].
+
+    Byte-compatible with the engine: [seal] with the confounder and
+    timestamp taken from an engine-produced wire reproduces that wire
+    exactly, and [open_] accepts engine output (and vice versa). *)
+
+type counters = { mutable allocs : int; mutable bytes_copied : int }
+(** Explicit datapath buffers allocated and payload bytes copied —
+    the same accounting {!Fbsr_fbs.Engine.counters} keeps for the
+    zero-copy path. *)
+
+val create_counters : unit -> counters
+
+val seal :
+  ?counters:counters ->
+  suite:Fbsr_fbs.Suite.t ->
+  flow_key:string ->
+  sfl:Fbsr_fbs.Sfl.t ->
+  secret:bool ->
+  confounder:int ->
+  timestamp:int ->
+  payload:string ->
+  unit ->
+  string
+
+type open_error = [ `Header of Fbsr_fbs.Header.error | `Bad_mac | `Decrypt ]
+
+val open_ :
+  ?counters:counters ->
+  suite:Fbsr_fbs.Suite.t ->
+  flow_key:string ->
+  wire:string ->
+  unit ->
+  (Fbsr_fbs.Header.t * string, open_error) result
+(** Decode, decrypt and verify one wire datagram (no replay or keying
+    machinery — the differential suite exercises those through the
+    engine itself). *)

@@ -55,6 +55,14 @@ type counters = {
   mutable errors_keying : int;
   mutable errors_mac : int;
   mutable errors_decrypt : int;
+  (* Datapath accounting for the zero-copy refactor: [bytes_copied]
+     counts payload bytes moved between buffers (beyond the single
+     mandatory write into the wire/plaintext buffer); [datapath_allocs]
+     counts buffers allocated per datagram on the seal/receive paths.
+     The target steady state is one allocation per sealed datagram and
+     one per received secret datagram. *)
+  mutable bytes_copied : int;
+  mutable datapath_allocs : int;
 }
 
 let drops_by_cause c =
@@ -91,6 +99,15 @@ type t = {
   confounder_gen : Fbsr_util.Lcg.t;
   counters : counters;
   trace : Fbsr_util.Trace.t;
+  (* Reusable per-engine scratch for the zero-copy datapath.  Both are
+     read through [Bytes.unsafe_to_string] views that are consumed
+     before the next refill, so no datagram ever observes another's
+     bytes.  [mac_prelude] holds suite|flags|confounder|timestamp (the
+     MAC input ahead of the payload); [iv_scratch] the duplicated
+     confounder DES IV. *)
+  mac_prelude : Bytes.t;
+  iv_scratch : Bytes.t;
+  nop_mac : string; (* the all-zero MAC of the configured suite, cached *)
 }
 
 let triple_hash (sfl, peer, local) =
@@ -125,6 +142,9 @@ let create ?(suite = Suite.paper_md5_des) ?(tfkc_sets = 128) ?(rfkc_sets = 128)
     replay = Replay.create ~window_minutes:replay_window_minutes ~strict:strict_replay ();
     confounder_gen = Fbsr_util.Lcg.create confounder_seed;
     trace;
+    mac_prelude = Bytes.create Header.mac_prelude_size;
+    iv_scratch = Bytes.create 8;
+    nop_mac = String.make suite.Suite.mac_length '\000';
     counters =
       {
         sends = 0;
@@ -141,6 +161,8 @@ let create ?(suite = Suite.paper_md5_des) ?(tfkc_sets = 128) ?(rfkc_sets = 128)
         errors_keying = 0;
         errors_mac = 0;
         errors_decrypt = 0;
+        bytes_copied = 0;
+        datapath_allocs = 0;
       };
   }
 
@@ -178,6 +200,18 @@ let register_metrics (t : t) m =
   register_probe e "drops.mac" (fun () -> c.errors_mac);
   register_probe e "drops.decrypt" (fun () -> c.errors_decrypt);
   register_probe e "drops.total" (fun () -> drops c);
+  register_probe e "datapath.bytes_copied" (fun () -> c.bytes_copied);
+  register_probe e "datapath.allocs" (fun () -> c.datapath_allocs);
+  (* Per-datagram views of the same counters: the zero-copy invariant in
+     observable form (~1 alloc and ~0 extra copies per datagram). *)
+  let per_datagram n =
+    let d = c.sends + c.receives in
+    if d = 0 then 0. else float_of_int n /. float_of_int d
+  in
+  register_probe_f e "datapath.bytes_copied_per_datagram" (fun () ->
+      per_datagram c.bytes_copied);
+  register_probe_f e "datapath.allocs_per_datagram" (fun () ->
+      per_datagram c.datapath_allocs);
   Cache.register_metrics t.tfkc (sub m "fbs.cache.tfkc");
   Cache.register_metrics t.rfkc (sub m "fbs.cache.rfkc");
   Cache.register_metrics t.inbound (sub m "fbs.cache.inbound");
@@ -237,22 +271,31 @@ let flow_key_via t cache ~sfl ~peer ~src ~dst (k : (string, error) result -> uni
 
 (* MAC input: auth (suite+flags) | confounder | timestamp | payload — the
    paper's Section 5.2 definition plus the authenticated algorithm field
-   (see [Header.auth_bytes]). *)
-let compute_mac t ~flow_key ~header ~payload =
-  if Suite.is_nop t.suite then String.make t.suite.Suite.mac_length '\000'
+   (see [Header.auth_bytes]).  The prelude is assembled in the engine's
+   reusable scratch and the payload passed as a borrowed slice, so MAC
+   computation allocates nothing beyond the digest itself. *)
+let compute_mac_slices t ~flow_key ~secret ~confounder ~timestamp
+    ~(payload : Fbsr_util.Slice.t) =
+  t.counters.macs_computed <- t.counters.macs_computed + 1;
+  Header.write_mac_prelude t.mac_prelude ~suite:t.suite ~secret ~confounder ~timestamp;
+  Fbsr_crypto.Mac.compute_slices ~algorithm:t.suite.Suite.mac_algorithm
+    t.suite.Suite.mac_hash ~key:flow_key
+    [ Fbsr_util.Slice.of_bytes_unsafe t.mac_prelude; payload ]
+
+let verify_mac_slices t ~flow_key ~secret ~confounder ~timestamp
+    ~(payload : Fbsr_util.Slice.t) ~(expected : Fbsr_util.Slice.t) =
+  if Suite.is_nop t.suite then
+    (* The NOP MAC is all-zero on the wire; still compared in constant
+       time so the NOP measurement keeps the comparison cost. *)
+    Fbsr_crypto.Ct.equal_string_slice t.nop_mac expected
   else begin
     t.counters.macs_computed <- t.counters.macs_computed + 1;
-    let mac =
-      Fbsr_crypto.Mac.compute ~algorithm:t.suite.Suite.mac_algorithm
-        t.suite.Suite.mac_hash ~key:flow_key
-        [
-          Header.auth_bytes header;
-          Header.confounder_bytes header;
-          Header.timestamp_bytes header;
-          payload;
-        ]
-    in
-    Fbsr_crypto.Mac.truncate mac t.suite.Suite.mac_length
+    Header.write_mac_prelude t.mac_prelude ~suite:t.suite ~secret ~confounder
+      ~timestamp;
+    Fbsr_crypto.Mac.verify_slice ~algorithm:t.suite.Suite.mac_algorithm
+      t.suite.Suite.mac_hash ~key:flow_key
+      [ Fbsr_util.Slice.of_bytes_unsafe t.mac_prelude; payload ]
+      ~expected
   end
 
 let des_key_of_flow_key flow_key =
@@ -263,64 +306,99 @@ let des_key_of_flow_key flow_key =
 
 let des3_key_of_flow_key flow_key =
   (* 3DES wants 24 key bytes; expand the flow key by hashing (standard
-     KDF-by-rehash) and force odd parity on every byte. *)
-  let material = flow_key ^ Fbsr_crypto.Md5.digest flow_key in
-  Fbsr_crypto.Des3.of_string (Fbsr_crypto.Des.adjust_parity (String.sub material 0 24))
+     KDF-by-rehash) and force odd parity on every byte.  Assembled in an
+     exact-capacity writer: only the key bytes actually used are written
+     (byte-identical to [String.sub (flow_key ^ Md5.digest flow_key) 0 24]). *)
+  let w = Fbsr_util.Byte_writer.create ~capacity:24 () in
+  let n = min (String.length flow_key) 24 in
+  Fbsr_util.Byte_writer.substring w flow_key 0 n;
+  if n < 24 then
+    Fbsr_util.Byte_writer.substring w (Fbsr_crypto.Md5.digest flow_key) 0 (24 - n);
+  Fbsr_crypto.Des3.of_string
+    (Fbsr_crypto.Des.adjust_parity (Fbsr_util.Byte_writer.finalize w))
 
-let encrypt_body t ~flow_key ~iv ~payload =
-  if Suite.is_nop t.suite then payload
-  else begin
-    t.counters.encryptions <- t.counters.encryptions + 1;
-    match t.suite.Suite.cipher with
-    | Suite.Des3_cbc -> Fbsr_crypto.Des3.encrypt_cbc ~iv (des3_key_of_flow_key flow_key) payload
-    | (Suite.Des_cbc | Suite.Des_cfb | Suite.Des_ofb | Suite.Des_ecb) as cipher -> (
-        let key = Fbsr_crypto.Des.of_string (des_key_of_flow_key flow_key) in
-        match cipher with
-        | Suite.Des_cbc -> Fbsr_crypto.Des.encrypt_cbc ~iv key payload
-        | Suite.Des_cfb -> Fbsr_crypto.Des.encrypt_cfb ~iv key payload
-        | Suite.Des_ofb -> Fbsr_crypto.Des.encrypt_ofb ~iv key payload
-        | Suite.Des_ecb -> Fbsr_crypto.Des.encrypt_ecb ~confounder:iv key payload
-        | Suite.Des3_cbc -> assert false)
-  end
-
-let decrypt_body t ~flow_key ~iv ~body =
-  if Suite.is_nop t.suite then Ok body
-  else begin
-    t.counters.decryptions <- t.counters.decryptions + 1;
-    match
-      match t.suite.Suite.cipher with
-      | Suite.Des3_cbc ->
-          Fbsr_crypto.Des3.decrypt_cbc ~iv (des3_key_of_flow_key flow_key) body
-      | (Suite.Des_cbc | Suite.Des_cfb | Suite.Des_ofb | Suite.Des_ecb) as cipher -> (
-          let key = Fbsr_crypto.Des.of_string (des_key_of_flow_key flow_key) in
-          match cipher with
-          | Suite.Des_cbc -> Fbsr_crypto.Des.decrypt_cbc ~iv key body
-          | Suite.Des_cfb -> Fbsr_crypto.Des.decrypt_cfb ~iv key body
-          | Suite.Des_ofb -> Fbsr_crypto.Des.decrypt_ofb ~iv key body
-          | Suite.Des_ecb -> Fbsr_crypto.Des.decrypt_ecb ~confounder:iv key body
-          | Suite.Des3_cbc -> assert false)
-    with
-    | plaintext -> Ok plaintext
-    | exception Invalid_argument _ -> Error Decrypt_error
-  end
+(* The duplicated-confounder IV, refreshed in the engine's scratch and
+   read through an unsafe string view consumed before the next refill. *)
+let iv_of_confounder t ~confounder =
+  Header.write_confounder_iv t.iv_scratch ~confounder;
+  Bytes.unsafe_to_string t.iv_scratch
 
 (* Steps S4-S10 of Figure 4, given the flow key: confounder, timestamp,
    MAC, optional encryption, header insertion.  Exposed so the Section 7.2
    combined FST+TFKC fast path can supply (sfl, flow key) from its own
-   table and skip the separate FAM and TFKC lookups. *)
+   table and skip the separate FAM and TFKC lookups.
+
+   Zero-copy assembly: the wire size is known up front (fixed header +
+   suite MAC length + cipher-dependent body length), so header, MAC and
+   body are written into one exact-capacity buffer which [finalize]
+   steals — one allocation per sealed datagram.  CBC modes encrypt
+   straight into the reserved body region; the stream/ECB fallbacks
+   produce an intermediate ciphertext and are counted as a copy. *)
 let seal t ~now ~sfl ~flow_key ~secret ~payload =
   let confounder = Fbsr_util.Lcg.next_u32 t.confounder_gen in
   let timestamp = Replay.minutes_of_seconds now in
-  let header0 =
-    { Header.sfl; suite = t.suite; secret; confounder; timestamp; mac = "" }
+  let payload_len = String.length payload in
+  let mac =
+    if Suite.is_nop t.suite then t.nop_mac
+    else
+      compute_mac_slices t ~flow_key ~secret ~confounder ~timestamp
+        ~payload:(Fbsr_util.Slice.of_string payload)
   in
-  let mac = compute_mac t ~flow_key ~header:header0 ~payload in
-  let header = { header0 with Header.mac } in
-  let body =
-    if secret then encrypt_body t ~flow_key ~iv:(Header.confounder_iv header) ~payload
-    else payload
+  let encrypting = secret && not (Suite.is_nop t.suite) in
+  let body_len =
+    if not encrypting then payload_len
+    else
+      match t.suite.Suite.cipher with
+      | Suite.Des_cbc | Suite.Des_ecb | Suite.Des3_cbc ->
+          Fbsr_crypto.Des.padded_length payload_len
+      | Suite.Des_cfb | Suite.Des_ofb -> payload_len
   in
-  Header.encode header ^ body
+  let w =
+    Fbsr_util.Byte_writer.create
+      ~capacity:(Header.fixed_size + t.suite.Suite.mac_length + body_len)
+      ()
+  in
+  t.counters.datapath_allocs <- t.counters.datapath_allocs + 1;
+  Header.encode_fields_into w ~sfl ~suite:t.suite ~secret ~confounder ~timestamp;
+  (* Writing the MAC through [substring] also performs the suite's
+     truncation (Section 5.3) without an intermediate string. *)
+  Fbsr_util.Byte_writer.substring w mac 0 t.suite.Suite.mac_length;
+  if not encrypting then begin
+    (* The single mandatory write of the payload into the wire buffer. *)
+    Fbsr_util.Byte_writer.bytes w payload
+  end
+  else begin
+    t.counters.encryptions <- t.counters.encryptions + 1;
+    let iv = iv_of_confounder t ~confounder in
+    match t.suite.Suite.cipher with
+    | Suite.Des_cbc ->
+        let key = Fbsr_crypto.Des.of_string (des_key_of_flow_key flow_key) in
+        let dst, dst_pos = Fbsr_util.Byte_writer.reserve w body_len in
+        ignore
+          (Fbsr_crypto.Des.encrypt_cbc_into ~iv key ~src:payload ~src_pos:0
+             ~src_len:payload_len ~dst ~dst_pos)
+    | Suite.Des3_cbc ->
+        let key = des3_key_of_flow_key flow_key in
+        let dst, dst_pos = Fbsr_util.Byte_writer.reserve w body_len in
+        ignore
+          (Fbsr_crypto.Des3.encrypt_cbc_into ~iv key ~src:payload ~src_pos:0
+             ~src_len:payload_len ~dst ~dst_pos)
+    | (Suite.Des_cfb | Suite.Des_ofb | Suite.Des_ecb) as cipher ->
+        (* Stream/ECB modes still go through the string API: one
+           intermediate ciphertext, accounted as an extra allocation and
+           copy. *)
+        let key = Fbsr_crypto.Des.of_string (des_key_of_flow_key flow_key) in
+        let ct =
+          match cipher with
+          | Suite.Des_cfb -> Fbsr_crypto.Des.encrypt_cfb ~iv key payload
+          | Suite.Des_ofb -> Fbsr_crypto.Des.encrypt_ofb ~iv key payload
+          | _ -> Fbsr_crypto.Des.encrypt_ecb ~confounder:iv key payload
+        in
+        t.counters.datapath_allocs <- t.counters.datapath_allocs + 1;
+        t.counters.bytes_copied <- t.counters.bytes_copied + String.length ct;
+        Fbsr_util.Byte_writer.bytes w ct
+  end;
+  Fbsr_util.Byte_writer.finalize w
 
 (* Derive the flow key outside the TFKC path — used by the combined fast
    path on a table miss. *)
@@ -362,41 +440,75 @@ type accepted = {
   peer : Principal.t;
 }
 
-(* FBSReceive(), Figure 4 R1-R12 with the RFKC fast path. *)
-let receive t ~now ~src ~wire (k : (accepted, error) result -> unit) =
+(* Decrypt a body slice into a fresh exact-size plaintext string (the one
+   allocation a received secret datagram needs).  CBC modes decrypt the
+   sub-range in place; stream/ECB fallbacks copy the body out first. *)
+let decrypt_body_slice t ~flow_key ~confounder ~(body : Fbsr_util.Slice.t) =
+  t.counters.decryptions <- t.counters.decryptions + 1;
+  let iv = iv_of_confounder t ~confounder in
+  match
+    match t.suite.Suite.cipher with
+    | Suite.Des_cbc ->
+        let key = Fbsr_crypto.Des.of_string (des_key_of_flow_key flow_key) in
+        Fbsr_crypto.Des.decrypt_cbc_sub ~iv key ~src:body.Fbsr_util.Slice.base
+          ~pos:body.Fbsr_util.Slice.off ~len:body.Fbsr_util.Slice.len
+    | Suite.Des3_cbc ->
+        Fbsr_crypto.Des3.decrypt_cbc_sub ~iv
+          (des3_key_of_flow_key flow_key)
+          ~src:body.Fbsr_util.Slice.base ~pos:body.Fbsr_util.Slice.off
+          ~len:body.Fbsr_util.Slice.len
+    | (Suite.Des_cfb | Suite.Des_ofb | Suite.Des_ecb) as cipher ->
+        let key = Fbsr_crypto.Des.of_string (des_key_of_flow_key flow_key) in
+        let ct = Fbsr_util.Slice.to_string body in
+        t.counters.datapath_allocs <- t.counters.datapath_allocs + 1;
+        t.counters.bytes_copied <- t.counters.bytes_copied + String.length ct;
+        (match cipher with
+        | Suite.Des_cfb -> Fbsr_crypto.Des.decrypt_cfb ~iv key ct
+        | Suite.Des_ofb -> Fbsr_crypto.Des.decrypt_ofb ~iv key ct
+        | _ -> Fbsr_crypto.Des.decrypt_ecb ~confounder:iv key ct)
+  with
+  | plaintext -> Ok plaintext
+  | exception Invalid_argument _ -> Error Decrypt_error
+
+(* FBSReceive(), Figure 4 R1-R12 with the RFKC fast path.  The wire is a
+   borrowed slice: the header is parsed as a view, the MAC is verified
+   against the wire bytes in place, and only an accepted datagram
+   materializes a header record and payload string. *)
+let receive_slice t ~now ~src ~(wire : Fbsr_util.Slice.t)
+    (k : (accepted, error) result -> unit) =
   t.counters.receives <- t.counters.receives + 1;
-  match Header.decode wire with
+  match Header.decode_view wire with
   | Error e ->
       t.counters.errors_header <- t.counters.errors_header + 1;
       k (Error (Header_error e))
-  | Ok (header, body) -> (
+  | Ok v -> (
       (* The suite is taken from the header only to the extent we accept
          it: a receiver enforces its own configured suite to prevent
          algorithm-downgrade games (the paper leaves this open). *)
-      if header.Header.suite.Suite.id <> t.suite.Suite.id then begin
+      if v.Header.v_suite.Suite.id <> t.suite.Suite.id then begin
         t.counters.errors_header <- t.counters.errors_header + 1;
-        k (Error (Header_error (Header.Unknown_suite header.Header.suite.Suite.id)))
+        k (Error (Header_error (Header.Unknown_suite v.Header.v_suite.Suite.id)))
       end
       else
         match
-          Replay.check t.replay ~now ~sfl:header.Header.sfl
-            ~confounder:header.Header.confounder ~timestamp:header.Header.timestamp
+          Replay.check t.replay ~now ~sfl:v.Header.v_sfl
+            ~confounder:v.Header.v_confounder ~timestamp:v.Header.v_timestamp
         with
         | Replay.Stale ->
             t.counters.errors_stale <- t.counters.errors_stale + 1;
             if Fbsr_util.Trace.enabled t.trace then
               Fbsr_util.Trace.emit t.trace ~time:now "fbs.engine.replay.reject"
                 [
-                  ("sfl", Fbsr_util.Json.String (Fmt.str "%a" Sfl.pp header.Header.sfl));
+                  ("sfl", Fbsr_util.Json.String (Fmt.str "%a" Sfl.pp v.Header.v_sfl));
                   ("cause", Fbsr_util.Json.String "stale");
-                  ("timestamp", Fbsr_util.Json.Int header.Header.timestamp);
+                  ("timestamp", Fbsr_util.Json.Int v.Header.v_timestamp);
                   ("now_minutes", Fbsr_util.Json.Int (Replay.minutes_of_seconds now));
                 ];
             k
               (Error
                  (Stale
                     {
-                      timestamp = header.Header.timestamp;
+                      timestamp = v.Header.v_timestamp;
                       now_minutes = Replay.minutes_of_seconds now;
                     }))
         | Replay.Duplicate ->
@@ -404,39 +516,71 @@ let receive t ~now ~src ~wire (k : (accepted, error) result -> unit) =
             if Fbsr_util.Trace.enabled t.trace then
               Fbsr_util.Trace.emit t.trace ~time:now "fbs.engine.replay.reject"
                 [
-                  ("sfl", Fbsr_util.Json.String (Fmt.str "%a" Sfl.pp header.Header.sfl));
+                  ("sfl", Fbsr_util.Json.String (Fmt.str "%a" Sfl.pp v.Header.v_sfl));
                   ("cause", Fbsr_util.Json.String "duplicate");
                 ];
             k (Error Duplicate)
         | Replay.Fresh ->
             let dst = local t in
-            flow_key_via t t.rfkc ~sfl:header.Header.sfl ~peer:src ~src ~dst (function
+            flow_key_via t t.rfkc ~sfl:v.Header.v_sfl ~peer:src ~src ~dst (function
               | Error e ->
                   t.counters.errors_keying <- t.counters.errors_keying + 1;
                   k (Error e)
               | Ok flow_key -> (
-                  let finish plaintext =
-                    let mac' = compute_mac t ~flow_key ~header ~payload:plaintext in
-                    if Fbsr_crypto.Ct.equal mac' header.Header.mac then begin
+                  (* [plaintext] borrows either the wire buffer
+                     (non-secret / NOP) or the decrypted string;
+                     [materialize] copies it out only on acceptance. *)
+                  let finish (plaintext : Fbsr_util.Slice.t) materialize =
+                    if
+                      verify_mac_slices t ~flow_key ~secret:v.Header.v_secret
+                        ~confounder:v.Header.v_confounder
+                        ~timestamp:v.Header.v_timestamp ~payload:plaintext
+                        ~expected:v.Header.v_mac
+                    then begin
                       t.counters.accepted <- t.counters.accepted + 1;
-                      track_inbound t ~now ~sfl:header.Header.sfl ~peer:src
-                        ~bytes:(String.length plaintext);
-                      k (Ok { header; payload = plaintext; peer = src })
+                      track_inbound t ~now ~sfl:v.Header.v_sfl ~peer:src
+                        ~bytes:(Fbsr_util.Slice.length plaintext);
+                      k
+                        (Ok
+                           {
+                             header = Header.to_header v;
+                             payload = materialize ();
+                             peer = src;
+                           })
                     end
                     else begin
                       t.counters.errors_mac <- t.counters.errors_mac + 1;
                       k (Error Bad_mac)
                     end
                   in
-                  if header.Header.secret then
+                  let body = v.Header.v_body in
+                  if v.Header.v_secret && not (Suite.is_nop t.suite) then
                     match
-                      decrypt_body t ~flow_key ~iv:(Header.confounder_iv header) ~body
+                      decrypt_body_slice t ~flow_key
+                        ~confounder:v.Header.v_confounder ~body
                     with
-                    | Ok plaintext -> finish plaintext
+                    | Ok plaintext ->
+                        t.counters.datapath_allocs <- t.counters.datapath_allocs + 1;
+                        (* Already a fresh exact-size string: hand it out
+                           as-is, no further copy. *)
+                        finish
+                          (Fbsr_util.Slice.of_string plaintext)
+                          (fun () -> plaintext)
                     | Error e ->
                         t.counters.errors_decrypt <- t.counters.errors_decrypt + 1;
                         k (Error e)
-                  else finish body)))
+                  else
+                    (* Plaintext body stays in the wire buffer until the
+                       datagram is accepted; only then is it copied out
+                       (the slice must not outlive the wire buffer). *)
+                    finish body (fun () ->
+                        t.counters.datapath_allocs <- t.counters.datapath_allocs + 1;
+                        t.counters.bytes_copied <-
+                          t.counters.bytes_copied + Fbsr_util.Slice.length body;
+                        Fbsr_util.Slice.to_string body))))
+
+let receive t ~now ~src ~wire (k : (accepted, error) result -> unit) =
+  receive_slice t ~now ~src ~wire:(Fbsr_util.Slice.of_string wire) k
 
 (* Synchronous conveniences for callers whose resolver completes inline. *)
 

@@ -35,6 +35,14 @@ type counters = {
   mutable errors_keying : int;  (** certificate fetch / verification failed *)
   mutable errors_mac : int;  (** MAC verification failed *)
   mutable errors_decrypt : int;  (** ciphertext would not decrypt *)
+  mutable bytes_copied : int;
+      (** Payload bytes moved between buffers beyond the single mandatory
+          write into the wire (or plaintext) buffer — the zero-copy
+          datapath keeps this near zero for secret CBC traffic. *)
+  mutable datapath_allocs : int;
+      (** Buffers allocated on the seal/receive datapath: one per sealed
+          datagram (the wire buffer), one per received secret datagram
+          (the plaintext). *)
 }
 
 val drops_by_cause : counters -> (string * int) list
@@ -124,6 +132,20 @@ val receive :
   wire:string ->
   ((accepted, error) result -> unit) ->
   unit
+(** [receive_slice] over the whole string (zero-cost wrapper). *)
+
+val receive_slice :
+  t ->
+  now:float ->
+  src:Principal.t ->
+  wire:Fbsr_util.Slice.t ->
+  ((accepted, error) result -> unit) ->
+  unit
+(** Zero-copy receive: parses the header as a borrowed view, verifies the
+    MAC against the wire bytes in place, and allocates only the plaintext
+    of an accepted secret datagram (plus the payload copy of an accepted
+    non-secret one).  The slice is only borrowed for the duration of the
+    call; [accepted] owns its bytes. *)
 
 val send_sync :
   t -> now:float -> attrs:Fam.attrs -> secret:bool -> payload:string ->

@@ -92,6 +92,10 @@ type t = {
   counters : counters;
   policy_state : Fbsr_fbs.Policy_five_tuple.t;
   fast_path : Fast_path.t option; (* combined FST+TFKC, when configured *)
+  asm : Fbsr_util.Byte_writer.t;
+      (* Reusable assembly buffer for the IP-option encapsulation splices
+         (option build on send, option+payload rejoin on receive); reset
+         per datagram, so its contents never outlive one hook call. *)
 }
 
 let engine t = t.engine
@@ -140,27 +144,42 @@ let encap t (h : Ipv4.header) wire =
   | `Shim -> (h, wire)
   | `Ip_option ->
       let hdr_len = Fbsr_fbs.Engine.header_overhead t.engine in
-      let fbs_header = String.sub wire 0 hdr_len in
-      let body = String.sub wire hdr_len (String.length wire - hdr_len) in
-      let opt =
-        Printf.sprintf "%c%c" (Char.chr fbs_option_type) (Char.chr (hdr_len + 2))
-        ^ fbs_header
-      in
-      let padding = (4 - (String.length opt mod 4)) mod 4 in
-      ({ h with Ipv4.options = opt ^ String.make padding '\000' }, body)
+      (* Assemble type | length | FBS header | zero padding in the
+         reused buffer: one allocation for the options string instead of
+         the old sub + sprintf + two concatenations. *)
+      let w = t.asm in
+      Fbsr_util.Byte_writer.reset w;
+      Fbsr_util.Byte_writer.u8 w fbs_option_type;
+      Fbsr_util.Byte_writer.u8 w (hdr_len + 2);
+      Fbsr_util.Byte_writer.substring w wire 0 hdr_len;
+      while Fbsr_util.Byte_writer.length w mod 4 <> 0 do
+        Fbsr_util.Byte_writer.u8 w 0
+      done;
+      ( { h with Ipv4.options = Fbsr_util.Byte_writer.contents w },
+        String.sub wire hdr_len (String.length wire - hdr_len) )
 
 (* Reconstruct the engine's wire form on receive; [None] when the datagram
-   does not carry FBS in the configured way. *)
-let decap t (h : Ipv4.header) payload =
+   does not carry FBS in the configured way.  Shim mode borrows the
+   payload as-is (zero-copy); option mode rejoins header and payload in
+   the reused assembly buffer — one allocation instead of the old
+   sub + concat splice. *)
+let decap t (h : Ipv4.header) payload : (Ipv4.header * Fbsr_util.Slice.t) option =
   match t.config.encapsulation with
-  | `Shim -> Some (h, payload)
+  | `Shim -> Some (h, Fbsr_util.Slice.of_string payload)
   | `Ip_option ->
       let opts = h.Ipv4.options in
       if String.length opts >= 2 && Char.code opts.[0] = fbs_option_type then begin
         (* Option length counts the type and length bytes themselves. *)
         let len = Char.code opts.[1] in
-        if len >= 2 && len <= String.length opts then
-          Some ({ h with Ipv4.options = "" }, String.sub opts 2 (len - 2) ^ payload)
+        if len >= 2 && len <= String.length opts then begin
+          let w = t.asm in
+          Fbsr_util.Byte_writer.reset w;
+          Fbsr_util.Byte_writer.substring w opts 2 (len - 2);
+          Fbsr_util.Byte_writer.bytes w payload;
+          Some
+            ( { h with Ipv4.options = "" },
+              Fbsr_util.Slice.of_string (Fbsr_util.Byte_writer.contents w) )
+        end
         else None
       end
       else None
@@ -281,7 +300,7 @@ let input_hook t (h : Ipv4.header) payload : Host.hook_result =
     let src = principal_of_addr h.src in
     let sync_result = ref None in
     let completed_sync = ref true in
-    Fbsr_fbs.Engine.receive t.engine ~now ~src ~wire (fun r ->
+    Fbsr_fbs.Engine.receive_slice t.engine ~now ~src ~wire (fun r ->
         if !completed_sync then sync_result := Some r
         else begin
           match r with
@@ -365,6 +384,7 @@ let install ?(config = default_config ()) ?(sfl_seed = 0x5f1)
         };
       policy_state;
       fast_path;
+      asm = Fbsr_util.Byte_writer.create ~capacity:64 ();
     }
   in
   (match config.encapsulation with

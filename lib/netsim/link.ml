@@ -107,31 +107,48 @@ let register_metrics (t : t) m =
 
 let hit t p = p > 0.0 && Fbsr_util.Rng.uniform t.rng < p
 
+(* Fault mutations operate on borrowed slices of the offered frame: a
+   truncation is just a narrower view (no copy), and only a bit-flip
+   materializes a mutated buffer (one blit).  The RNG draw order is
+   identical to the original string-based stages, so runs stay
+   reproducible from the same seed. *)
+
 (* Cut the frame to a uniformly random proper prefix (possibly empty). *)
-let truncate_frame t raw =
+let truncate_frame t (frame : Fbsr_util.Slice.t) =
   t.stats.truncated <- t.stats.truncated + 1;
-  String.sub raw 0 (Fbsr_util.Rng.int t.rng (String.length raw))
+  Fbsr_util.Slice.sub frame ~pos:0
+    ~len:(Fbsr_util.Rng.int t.rng (Fbsr_util.Slice.length frame))
 
 (* Flip one uniformly random bit. *)
-let corrupt_frame t raw =
+let corrupt_frame t (frame : Fbsr_util.Slice.t) =
   t.stats.corrupted <- t.stats.corrupted + 1;
-  let b = Bytes.of_string raw in
-  let bit = Fbsr_util.Rng.int t.rng (8 * Bytes.length b) in
+  let len = Fbsr_util.Slice.length frame in
+  let b = Bytes.create len in
+  Fbsr_util.Slice.blit frame b 0;
+  let bit = Fbsr_util.Rng.int t.rng (8 * len) in
   let i = bit / 8 in
   Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl (bit mod 8))));
-  Bytes.unsafe_to_string b
+  Fbsr_util.Slice.of_bytes_unsafe b
 
 let transmit t ~deliver raw =
   t.stats.offered <- t.stats.offered + 1;
   let p = t.profile in
   if hit t p.drop then t.stats.dropped <- t.stats.dropped + 1
   else begin
-    let raw =
-      if String.length raw > 0 && hit t p.truncate then truncate_frame t raw else raw
+    let frame = Fbsr_util.Slice.of_string raw in
+    let frame =
+      if Fbsr_util.Slice.length frame > 0 && hit t p.truncate then
+        truncate_frame t frame
+      else frame
     in
-    let raw =
-      if String.length raw > 0 && hit t p.corrupt then corrupt_frame t raw else raw
+    let frame =
+      if Fbsr_util.Slice.length frame > 0 && hit t p.corrupt then
+        corrupt_frame t frame
+      else frame
     in
+    (* Materialized once per offered frame: a pristine frame round-trips
+       through [of_string]/[to_string] without any copy at all. *)
+    let raw = Fbsr_util.Slice.to_string frame in
     let send_one () =
       t.stats.delivered <- t.stats.delivered + 1;
       if hit t p.reorder && p.reorder_delay > 0.0 then begin

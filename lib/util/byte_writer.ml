@@ -55,6 +55,41 @@ let bytes t s =
   Bytes.blit_string s 0 t.buf t.len n;
   t.len <- t.len + n
 
+let substring t s pos len =
+  if pos < 0 || len < 0 || pos > String.length s - len then
+    invalid_arg "Byte_writer.substring: out of bounds";
+  ensure t len;
+  Bytes.blit_string s pos t.buf t.len len;
+  t.len <- t.len + len
+
+let reserve t n =
+  if n < 0 then invalid_arg "Byte_writer.reserve: negative length";
+  ensure t n;
+  let pos = t.len in
+  t.len <- t.len + n;
+  (t.buf, pos)
+
+let reset t = t.len <- 0
+
 let contents t = Bytes.sub_string t.buf 0 t.len
 
 let to_string = contents
+
+let sub_string t ~pos ~len =
+  if pos < 0 || len < 0 || pos > t.len - len then
+    invalid_arg "Byte_writer.sub_string: out of bounds";
+  Bytes.sub_string t.buf pos len
+
+let finalize t =
+  let s =
+    if t.len = Bytes.length t.buf then begin
+      let s = Bytes.unsafe_to_string t.buf in
+      (* Detach the buffer so later writes cannot mutate the returned
+         string through the alias. *)
+      t.buf <- Bytes.create 1;
+      s
+    end
+    else contents t
+  in
+  t.len <- 0;
+  s

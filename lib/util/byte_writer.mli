@@ -23,8 +23,34 @@ val u64 : t -> int64 -> unit
 val bytes : t -> string -> unit
 (** Append a raw byte string. *)
 
+val substring : t -> string -> int -> int -> unit
+(** [substring t s pos len] appends [len] bytes of [s] starting at
+    [pos] — one blit, no intermediate [String.sub].
+    @raise Invalid_argument on bad bounds. *)
+
+val reserve : t -> int -> Bytes.t * int
+(** [reserve t n] grows the buffer by [n] bytes and returns
+    [(buf, pos)]: the caller must write exactly [n] bytes into [buf]
+    at [pos].  Lets codecs (e.g. block ciphers) produce output directly
+    into the assembly buffer.  The returned buffer is invalidated by
+    any subsequent append that grows the writer. *)
+
+val reset : t -> unit
+(** Truncate to empty, keeping the backing buffer — for assembly
+    buffers reused across datagrams. *)
+
 val contents : t -> string
 (** Snapshot of everything written so far. *)
 
 val to_string : t -> string
 (** Alias for {!contents}. *)
+
+val sub_string : t -> pos:int -> len:int -> string
+(** Copy of a written sub-range.  @raise Invalid_argument on bad bounds. *)
+
+val finalize : t -> string
+(** Like {!contents}, but when the written length equals the buffer
+    capacity the backing buffer itself is returned without a copy (the
+    one-allocation wire-assembly path: create with the exact capacity,
+    fill, finalize).  The writer is reset and detached from the returned
+    string either way. *)

@@ -966,6 +966,52 @@ let test_engine_roundtrips_all_suites () =
       Suite.md5_des3; Suite.nop;
     ]
 
+let test_engine_des3_key_expansion () =
+  (* The engine expands a short flow key to 24 bytes of 3DES material with
+     a writer (no [flow_key ^ Md5.digest flow_key] concatenation).  Check
+     it against the definitional form: a wire sealed with a key built the
+     old way must be byte-identical, for both the full-digest-tail case
+     (16-byte flow key) and a synthetic long-key truncation. *)
+  let clock, s, d, es, ed = make_engines ~suite:Suite.md5_des3 () in
+  let attrs = Fam.attrs ~protocol:17 ~src_port:1 ~dst_port:2 ~src:s ~dst:d () in
+  let payload = "triple-DES key expansion" in
+  (match Engine.send_sync es ~now:!clock ~attrs ~secret:true ~payload with
+  | Error e -> Alcotest.failf "send: %a" Engine.pp_error e
+  | Ok wire -> (
+      let h =
+        match Header.decode wire with
+        | Ok (h, _) -> h
+        | Error _ -> Alcotest.fail "wire undecodable"
+      in
+      let flow_key = ref "" in
+      Engine.derive_flow_key es ~sfl:h.Header.sfl ~src:s ~dst:d (function
+        | Ok k -> flow_key := k
+        | Error e -> Alcotest.failf "derive: %a" Engine.pp_error e);
+      check Alcotest.bool "flow key shorter than 24 bytes" true
+        (String.length !flow_key < 24);
+      (* Old-style key material: concatenate, truncate, parity-adjust. *)
+      let material = !flow_key ^ Fbsr_crypto.Md5.digest !flow_key in
+      let key =
+        Fbsr_crypto.Des3.of_string
+          (Fbsr_crypto.Des.adjust_parity (String.sub material 0 24))
+      in
+      let iv = Header.confounder_iv h in
+      let reference_body = Fbsr_crypto.Des3.encrypt_cbc ~iv key payload in
+      let body_off = String.length wire - String.length reference_body in
+      check Alcotest.string "engine body = old-style-key body"
+        (Fbsr_util.Hex.encode reference_body)
+        (Fbsr_util.Hex.encode (String.sub wire body_off (String.length reference_body)));
+      match Engine.receive_sync ed ~now:!clock ~src:s ~wire with
+      | Ok acc -> check Alcotest.string "roundtrip" payload acc.Engine.payload
+      | Error e -> Alcotest.failf "receive: %a" Engine.pp_error e));
+  (* Long-key truncation: >= 24 bytes of flow key must use only the first
+     24 (digest tail unused).  Exercised directly through the cipher. *)
+  let long_key = String.init 32 (fun i -> Char.chr (0x20 + i)) in
+  let old_material = long_key ^ Fbsr_crypto.Md5.digest long_key in
+  check Alcotest.string "long-key truncation ignores digest"
+    (String.sub old_material 0 24)
+    (String.sub long_key 0 24)
+
 let test_engine_ciphertext_hides_plaintext () =
   let clock, s, d, es, _ = make_engines () in
   ignore d;
@@ -1547,6 +1593,8 @@ let () =
         [
           Alcotest.test_case "roundtrip all suites" `Quick
             test_engine_roundtrips_all_suites;
+          Alcotest.test_case "3des key expansion" `Quick
+            test_engine_des3_key_expansion;
           Alcotest.test_case "ciphertext hides plaintext" `Quick
             test_engine_ciphertext_hides_plaintext;
           Alcotest.test_case "replay window" `Quick test_engine_replay_window;

@@ -477,6 +477,46 @@ let test_ip_option_encapsulation () =
   check Alcotest.bool "FBS header in IP options" true !saw_option;
   check Alcotest.bool "payload still protected" false !leaked
 
+let test_ip_option_splice_reuses_buffer () =
+  (* Regression for the options-splice path: decap rebuilds
+     [FBS header | payload] in the stack's shared assembly buffer, which
+     is reset and reused across datagrams.  Drive many bidirectional
+     options-bearing packets of strongly varying sizes through one pair
+     of stacks so a stale splice (leftover bytes from a longer earlier
+     datagram, or aliasing of the reused buffer) would corrupt a later,
+     shorter one.  Secret mode so any corruption also breaks the MAC. *)
+  let config =
+    Stack.default_config ~encapsulation:`Ip_option
+      ~secret_policy:(fun ~protocol:_ ~src_port:_ ~dst_port:_ -> true)
+      ()
+  in
+  let tb, a, b = make_pair ~config () in
+  let payloads =
+    List.concat_map
+      (fun n -> [ String.make n (Char.chr (0x30 + (n mod 64))) ])
+      [ 700; 1; 0; 512; 3; 1200; 8; 64; 2; 300 ]
+  in
+  let got_b = ref [] and got_a = ref [] in
+  Udp_stack.listen b.Testbed.host ~port:9 (fun ~src:_ ~src_port:_ d ->
+      got_b := d :: !got_b);
+  Udp_stack.listen a.Testbed.host ~port:9 (fun ~src:_ ~src_port:_ d ->
+      got_a := d :: !got_a);
+  List.iter
+    (fun p ->
+      Udp_stack.send a.Testbed.host ~src_port:9 ~dst:(Host.addr b.Testbed.host)
+        ~dst_port:9 p;
+      Udp_stack.send b.Testbed.host ~src_port:9 ~dst:(Host.addr a.Testbed.host)
+        ~dst_port:9 p)
+    payloads;
+  Testbed.run tb;
+  let sorted l = List.sort compare l in
+  check Alcotest.int "all a->b delivered" (List.length payloads)
+    (List.length !got_b);
+  check Alcotest.int "all b->a delivered" (List.length payloads)
+    (List.length !got_a);
+  check Alcotest.bool "a->b payloads intact" true (sorted !got_b = sorted payloads);
+  check Alcotest.bool "b->a payloads intact" true (sorted !got_a = sorted payloads)
+
 let test_ip_option_budget_enforced () =
   (* A hypothetical suite whose header exceeds the 40-byte option budget is
      rejected at install time: "the 40 byte maximum is fairly limiting". *)
@@ -860,6 +900,8 @@ let () =
         [
           Alcotest.test_case "end-to-end via options" `Quick
             test_ip_option_encapsulation;
+          Alcotest.test_case "options splice reuses assembly buffer" `Quick
+            test_ip_option_splice_reuses_buffer;
           Alcotest.test_case "40-byte budget enforced" `Quick
             test_ip_option_budget_enforced;
         ] );
