@@ -294,14 +294,19 @@ let print_results rows =
 (* counters from one small deterministic adversarial-network run.      *)
 (* ------------------------------------------------------------------ *)
 
-(* Site-wide counters only: the per-host "host.<addr>." views are noise
-   in an artifact meant for run-over-run comparison. *)
+(* Site-wide counters only: the per-host "host.<addr>." views are noise in
+   an artifact meant for run-over-run comparison, and the "span." latency
+   histograms are wall-clock sums (nondeterministic; their stable summary
+   is the separate "stages" object). *)
+let prefixed p name =
+  String.length name >= String.length p && String.sub name 0 (String.length p) = p
+
 let counters_json m =
   let open Fbsr_util in
   Json.Obj
     (List.filter_map
        (fun (name, v) ->
-         if String.length name >= 5 && String.sub name 0 5 = "host." then None
+         if prefixed "host." name || prefixed "span." name then None
          else
            match v with
            | Metrics.Int i -> Some (name, Json.Int i)
@@ -385,11 +390,32 @@ let datapath_json () =
       ("gc_bytes_per_datagram_reference", Fbsr_util.Json.Float (perf (gr1 -. gr0)));
     ]
 
-let emit_json ~path ~rev ~quick rows =
+(* Per-stage latency summary from the traced run: span costs come from the
+   wall clock (Unix.gettimeofday), so p50/p99 measure real per-stage CPU
+   cost — the per-stage decomposition of the paper's Section 7.2 numbers. *)
+let stages_json spans =
+  let open Fbsr_util in
+  Json.Obj
+    (List.map
+       (fun (s : Span.stage_stat) ->
+         ( s.Span.stat_stage,
+           Json.Obj
+             [
+               ("count", Json.Int s.Span.count);
+               ("p50_ns", Json.Float (s.Span.p50 *. 1e9));
+               ("p99_ns", Json.Float (s.Span.p99 *. 1e9));
+             ] ))
+       (Span.stage_stats spans))
+
+let emit_json ~path ~spans_path ~rev ~quick rows =
   let m = Fbsr_util.Metrics.create () in
-  let (_ : Fbsr_experiments.Faults.result) =
+  (* Causal tracing is ON for this run: the datapath allocation audit below
+     uses separate untraced engines, so the 2.0 allocs/datagram gate still
+     measures the disabled-tracing path. *)
+  let r =
     Fbsr_experiments.Faults.run ~seed:11 ~messages:50
-      ~faults:Fbsr_experiments.Faults.lossy ~metrics:m ()
+      ~faults:Fbsr_experiments.Faults.lossy ~metrics:m ~span_capacity:16384
+      ~span_cost_clock:Unix.gettimeofday ()
   in
   let doc =
     Fbsr_util.Json.Obj
@@ -402,19 +428,33 @@ let emit_json ~path ~rev ~quick rows =
             (List.map (fun (name, ns) -> (name, Fbsr_util.Json.Float ns)) rows) );
         ("counters", counters_json m);
         ("datapath", datapath_json ());
+        ("stages", stages_json r.Fbsr_experiments.Faults.spans);
       ]
   in
   let oc = open_out path in
   output_string oc (Fbsr_util.Json.to_string_pretty doc);
   close_out oc;
-  Printf.printf "wrote %s\n%!" path
+  Printf.printf "wrote %s\n%!" path;
+  match spans_path with
+  | None -> ()
+  | Some sp ->
+      let oc = open_out sp in
+      output_string oc
+        (Fbsr_util.Json.to_string_pretty
+           (Fbsr_util.Span.to_json r.Fbsr_experiments.Faults.spans));
+      close_out oc;
+      Printf.printf "wrote %s (%d spans)\n%!" sp
+        (List.length r.Fbsr_experiments.Faults.spans)
 
 let () =
-  let json = ref None and quick = ref false and rev = ref "dev" in
+  let json = ref None and spans = ref None and quick = ref false and rev = ref "dev" in
   let rec parse = function
     | [] -> ()
     | "--json" :: path :: rest ->
         json := Some path;
+        parse rest
+    | "--spans" :: path :: rest ->
+        spans := Some path;
         parse rest
     | "--quick" :: rest ->
         quick := true;
@@ -423,7 +463,9 @@ let () =
         rev := r;
         parse rest
     | arg :: _ ->
-        Printf.eprintf "usage: %s [--json PATH] [--quick] [--rev STR]\n(unknown argument %S)\n"
+        Printf.eprintf
+          "usage: %s [--json PATH] [--spans PATH] [--quick] [--rev STR]\n\
+           (unknown argument %S)\n"
           Sys.executable_name arg;
         exit 2
   in
@@ -436,7 +478,7 @@ let () =
   | Some path ->
       (* Artifact mode: medians + a deterministic counter run; skip the
          long figure harness. *)
-      emit_json ~path ~rev:!rev ~quick:!quick rows
+      emit_json ~path ~spans_path:!spans ~rev:!rev ~quick:!quick rows
   | None ->
       (* Part 2: regenerate the paper's tables and figures. *)
       let seed = 7 and duration = 7200.0 and bytes = 1_000_000 in

@@ -128,6 +128,57 @@ let () =
   end
   else if new_datapath <> [] then
     Printf.printf "\ndatapath audit present only in %s (not gated)\n" new_path;
+  (* Per-stage span latencies (p50/p99 of wall-clock stage cost): gated
+     like benchmarks, but with a per-column absolute noise floor on top of
+     the relative threshold.  The medians are quantized at the clock
+     granularity (~1 us), so a floor of two quanta absorbs quantization
+     flips; the p99s are near-max statistics over only a few hundred
+     samples, where a single GC pause or scheduler blip moves the tail by
+     tens of microseconds, so their floor is a quarter millisecond —
+     the gate still catches order-of-magnitude tail regressions. *)
+  let old_stages = obj_members "stages" old_doc in
+  let new_stages = obj_members "stages" new_doc in
+  if old_stages <> [] && new_stages <> [] then begin
+    Printf.printf "\n%-50s %12s %12s %9s\n" "stage (p50/p99 ns)" "old" "new" "delta";
+    Printf.printf "%s\n" (String.make 86 '-');
+    List.iter
+      (fun (stage, old_v) ->
+        match List.assoc_opt stage new_stages with
+        | None -> Printf.printf "%-50s (missing from %s)\n" stage new_path
+        | Some new_v ->
+            List.iter
+              (fun (field, floor_ns) ->
+                match
+                  ( Option.bind (Fbsr_util.Json.member field old_v)
+                      Fbsr_util.Json.to_float_opt,
+                    Option.bind (Fbsr_util.Json.member field new_v)
+                      Fbsr_util.Json.to_float_opt )
+                with
+                | Some old_x, Some new_x ->
+                    let delta =
+                      if old_x > 0.0 then (new_x -. old_x) /. old_x *. 100.0
+                      else 0.0
+                    in
+                    let regressed =
+                      old_x > 0.0
+                      && new_x > old_x *. (1.0 +. !threshold)
+                      && new_x -. old_x > floor_ns
+                    in
+                    if regressed then incr regressions;
+                    Printf.printf "%-50s %12.1f %12.1f %+8.1f%%%s\n"
+                      (stage ^ "." ^ field) old_x new_x delta
+                      (if regressed then "  REGRESSED" else "")
+                | _ -> ())
+              [ ("p50_ns", 2_000.0); ("p99_ns", 250_000.0) ])
+      old_stages;
+    List.iter
+      (fun (stage, _) ->
+        if not (List.mem_assoc stage old_stages) then
+          Printf.printf "%-50s (new stage)\n" stage)
+      new_stages
+  end
+  else if new_stages <> [] then
+    Printf.printf "\nstage latencies present only in %s (not gated)\n" new_path;
   (* Counters: informational only. *)
   let old_counters = obj_members "counters" old_doc in
   let new_counters = obj_members "counters" new_doc in

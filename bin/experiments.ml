@@ -24,6 +24,25 @@ let json_arg =
     & info [ "json" ] ~docv:"PATH"
         ~doc:"Also write the headline counters as a JSON artifact to $(docv).")
 
+let spans_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "spans" ] ~docv:"PATH"
+        ~doc:
+          "Enable per-datagram causal tracing and write the hostile run's \
+           spans as an fbsr-spans/1 JSON artifact to $(docv) (feed it to \
+           fbs-tracedump).")
+
+let metrics_text_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-text" ] ~docv:"PATH"
+        ~doc:
+          "Write the sweep's metrics registry in Prometheus text exposition \
+           format to $(docv).")
+
 let cmd name doc f = Cmd.v (Cmd.info name ~doc) f
 
 let with_trace_args f =
@@ -59,7 +78,10 @@ let commands =
     cmd "live-site" "Drive the campus workload through real FBS stacks"
       Term.(const (fun seed -> live_site ~seed ()) $ seed_arg);
     cmd "faults" "Datagram delivery and forgery rejection over faulty links"
-      Term.(const (fun seed json -> faults ?json ~seed ()) $ seed_arg $ json_arg);
+      Term.(
+        const (fun seed json spans_out metrics_text ->
+            faults ?json ?spans_out ?metrics_text ~seed ())
+        $ seed_arg $ json_arg $ spans_arg $ metrics_text_arg);
     cmd "all" "Run every experiment"
       Term.(
         const (fun seed duration bytes json -> run_all ?json seed duration bytes)

@@ -1,0 +1,77 @@
+(* fbs-tracedump: exporters for fbsr-spans/1 causal-trace artifacts.
+
+   Reads the span JSON written by `fbs-experiments faults --spans` or
+   `fbs-bench --spans` and renders it as either a plain-text per-flow
+   timeline (default, or one flow with --flow) or Chrome trace-event JSON
+   loadable in chrome://tracing and Perfetto (--chrome).
+
+   Plain Sys.argv parsing, same style as bench_diff: this tool must stay
+   dependency-free so CI can build it in the smoke job. *)
+
+let usage () =
+  prerr_endline
+    "usage: tracedump SPANS.json [--chrome OUT.json] [--flow HEXID]\n\n\
+     SPANS.json      an fbsr-spans/1 artifact (fbs-experiments faults \
+     --spans,\n\
+    \                fbs-bench --spans)\n\
+     --chrome OUT    write Chrome trace-event JSON to OUT (chrome://tracing,\n\
+    \                Perfetto) instead of printing timelines\n\
+     --flow HEXID    print only the flow with this 16-hex-digit trace id";
+  exit 2
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("tracedump: " ^ s); exit 2) fmt
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  with Sys_error e -> fail "%s" e
+
+let parse_id s =
+  match Int64.of_string_opt ("0x" ^ s) with
+  | Some id when not (Int64.equal id 0L) -> id
+  | _ -> fail "--flow wants a 16-hex-digit trace id, got %S" s
+
+let () =
+  let input = ref None and chrome = ref None and flow = ref None in
+  let rec args = function
+    | [] -> ()
+    | "--chrome" :: path :: rest ->
+        chrome := Some path;
+        args rest
+    | "--flow" :: id :: rest ->
+        flow := Some (parse_id id);
+        args rest
+    | ("--help" | "-h") :: _ -> usage ()
+    | arg :: rest ->
+        if String.length arg > 0 && arg.[0] = '-' then
+          fail "unknown option %s" arg;
+        (match !input with
+        | None -> input := Some arg
+        | Some _ -> fail "more than one input file");
+        args rest
+  in
+  args (List.tl (Array.to_list Sys.argv));
+  let path = match !input with Some p -> p | None -> usage () in
+  let spans =
+    match Fbsr_util.Json.parse_opt (read_file path) with
+    | None -> fail "%s: not valid JSON" path
+    | Some doc -> (
+        try Fbsr_util.Span.of_json doc
+        with Invalid_argument msg -> fail "%s: %s" path msg)
+  in
+  if spans = [] then prerr_endline "tracedump: no spans in input";
+  match !chrome with
+  | Some out ->
+      let oc = open_out out in
+      output_string oc
+        (Fbsr_util.Json.to_string (Fbsr_util.Span.chrome_json spans));
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote %s (%d spans, %d flows)\n" out (List.length spans)
+        (List.length (Fbsr_util.Span.ids spans))
+  | None ->
+      Format.printf "%a@." (Fbsr_util.Span.pp_timeline ?id:!flow) spans

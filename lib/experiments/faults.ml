@@ -36,6 +36,9 @@ type result = {
   mkd_fetches : int;
   mkd_retransmissions : int;
   link : Link.stats;
+  spans : Fbsr_util.Span.span list;
+      (** merged causal-trace spans from every host's flight recorder
+          (empty unless [run ~span_capacity] was positive) *)
 }
 
 let acceptance_rate r =
@@ -51,7 +54,8 @@ let payload_for seq = Printf.sprintf "D%08d|%s" seq (String.make 64 'x')
    dumb — the point is the network and the security layer under it, not
    ARQ sophistication. *)
 let run ?(seed = 11) ?(messages = 200) ?(max_attempts = 8) ?(rto = 0.5)
-    ?(spacing = 0.05) ?(strict_replay = true) ?faults ?metrics ?trace () =
+    ?(spacing = 0.05) ?(strict_replay = true) ?faults ?metrics ?trace
+    ?(span_capacity = 0) ?span_cost_clock () =
   let config =
     Stack.default_config ~strict_replay ~keying_fetch_retries:2 ()
   in
@@ -60,7 +64,10 @@ let run ?(seed = 11) ?(messages = 200) ?(max_attempts = 8) ?(rto = 0.5)
        when several fetch attempts are lost in a row. *)
     { Mkd.default_config with Mkd.timeout = 0.25; max_attempts = 6 }
   in
-  let tb = Testbed.create ~seed ~config ~mkd_config ?faults ?metrics ?trace () in
+  let tb =
+    Testbed.create ~seed ~config ~mkd_config ?faults ?metrics ?trace
+      ~span_capacity ?span_cost_clock ()
+  in
   let sender = Testbed.add_host tb ~name:"sender" ~addr:"10.0.0.1" in
   let receiver = Testbed.add_host tb ~name:"receiver" ~addr:"10.0.0.2" in
   let engine = Testbed.engine tb in
@@ -141,6 +148,7 @@ let run ?(seed = 11) ?(messages = 200) ?(max_attempts = 8) ?(rto = 0.5)
     mkd_fetches = mkd (fun s -> s.Mkd.fetches);
     mkd_retransmissions = mkd (fun s -> s.Mkd.retransmissions);
     link = Testbed.link_stats tb;
+    spans = Testbed.collect_spans tb;
   }
 
 let to_json (r : result) =
@@ -190,15 +198,23 @@ let hostile =
     corrupt = 0.01;
   }
 
-let report ?(seed = 11) ?json () =
+let report ?(seed = 11) ?json ?spans_out ?metrics_text () =
   let pf = Printf.printf in
   pf "\n================================================================\n";
   pf "Adversarial network: FBS over fault-injection links\n";
   pf "================================================================\n";
   pf "%-28s %9s %8s %7s %7s %7s %7s\n" "profile" "accepted" "xmit" "macerr"
     "dup rej" "forged" "recov";
+  (* One registry across all four runs: the exposition dump aggregates the
+     whole sweep.  Tracing is armed only when a spans path was asked for. *)
+  let metrics =
+    match metrics_text with
+    | Some _ -> Some (Fbsr_util.Metrics.create ())
+    | None -> None
+  in
+  let span_capacity = match spans_out with Some _ -> 32768 | None -> 0 in
   let row name faults =
-    let r = run ~seed ?faults () in
+    let r = run ~seed ?faults ?metrics ~span_capacity () in
     pf "%-28s %4d/%-4d %8d %7d %7d %7d %7d\n" name r.accepted r.offered
       r.transmissions r.mac_failures r.duplicate_rejections r.forgeries_accepted
       r.flow_key_recoveries;
@@ -219,7 +235,7 @@ let report ?(seed = 11) ?json () =
   pf "[%s] zero forgeries accepted under 1%% corruption (got %d, %d MAC rejections)\n"
     (verdict (corrupt.forgeries_accepted = 0))
     corrupt.forgeries_accepted corrupt.mac_failures;
-  match json with
+  (match json with
   | None -> ()
   | Some path ->
       let doc =
@@ -240,4 +256,26 @@ let report ?(seed = 11) ?json () =
       let oc = open_out path in
       output_string oc (Fbsr_util.Json.to_string_pretty doc);
       close_out oc;
-      pf "\nwrote %s\n" path
+      pf "\nwrote %s\n" path);
+  (match spans_out with
+  | None -> ()
+  | Some path ->
+      (* The hostile run's spans: the richest timeline — drops, duplicates,
+         reorders and MKD fetch chains all appear.  Feed the file to
+         tracedump for text timelines or Chrome trace-event conversion. *)
+      let oc = open_out path in
+      output_string oc
+        (Fbsr_util.Json.to_string_pretty (Fbsr_util.Span.to_json combined.spans));
+      close_out oc;
+      pf "wrote %s (%d spans from the hostile run)\n" path
+        (List.length combined.spans));
+  match metrics_text with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc
+        (match metrics with
+        | Some m -> Fbsr_util.Metrics.to_text m
+        | None -> "");
+      close_out oc;
+      pf "wrote %s\n" path

@@ -99,6 +99,7 @@ type t = {
   confounder_gen : Fbsr_util.Lcg.t;
   counters : counters;
   trace : Fbsr_util.Trace.t;
+  spans : Fbsr_util.Span.t;
   (* Reusable per-engine scratch for the zero-copy datapath.  Both are
      read through [Bytes.unsafe_to_string] views that are consumed
      before the next refill, so no datagram ever observes another's
@@ -121,7 +122,8 @@ let triple_equal (a1, b1, c1) (a2, b2, c2) =
 
 let create ?(suite = Suite.paper_md5_des) ?(tfkc_sets = 128) ?(rfkc_sets = 128)
     ?(cache_assoc = 1) ?(replay_window_minutes = 2) ?(strict_replay = false)
-    ?(confounder_seed = 0x5eed) ?(trace = Fbsr_util.Trace.none) ~keying ~fam () =
+    ?(confounder_seed = 0x5eed) ?(trace = Fbsr_util.Trace.none)
+    ?(spans = Fbsr_util.Span.none) ~keying ~fam () =
   {
     keying;
     fam;
@@ -142,6 +144,7 @@ let create ?(suite = Suite.paper_md5_des) ?(tfkc_sets = 128) ?(rfkc_sets = 128)
     replay = Replay.create ~window_minutes:replay_window_minutes ~strict:strict_replay ();
     confounder_gen = Fbsr_util.Lcg.create confounder_seed;
     trace;
+    spans;
     mac_prelude = Bytes.create Header.mac_prelude_size;
     iv_scratch = Bytes.create 8;
     nop_mac = String.make suite.Suite.mac_length '\000';
@@ -174,6 +177,7 @@ let tfkc t = t.tfkc
 let rfkc t = t.rfkc
 let replay t = t.replay
 let counters t = t.counters
+let spans t = t.spans
 
 (* Register the whole fbs.* subtree for this engine: its own counters
    (including drops.<cause>), all five cache levels, replay and FAM
@@ -241,17 +245,45 @@ let track_inbound t ~now ~sfl ~peer ~bytes =
 (* Obtain the flow key for (sfl, peer), using the given cache (TFKC on
    send, RFKC on receive).  CPS because the master key may need a
    certificate fetch. *)
+(* Span bookkeeping for key derivation: the timer plus the trace id
+   captured at stage entry (the continuation may resume in a later
+   scheduler event, when the ambient id belongs to someone else). *)
+let finish_derive t (tm : (Fbsr_util.Span.timer * int64) option) ~cache ~hit
+    ~revisit ~master =
+  match tm with
+  | None -> ()
+  | Some (tm, id) ->
+      Fbsr_util.Span.finish t.spans tm ~id "keying.derive"
+        ~detail:
+          [
+            ("cache", Fbsr_util.Json.String cache);
+            ("hit", Fbsr_util.Json.Bool hit);
+            ("master", Fbsr_util.Json.String master);
+            ("recovered", Fbsr_util.Json.Bool revisit);
+          ]
+
 let flow_key_via t cache ~sfl ~peer ~src ~dst (k : (string, error) result -> unit) =
   let key = (Sfl.to_int64 sfl, Principal.to_string peer, Principal.to_string (local t)) in
   (* Captured before [find], which registers the key as seen: a miss on a
      previously-seen key means the entry was evicted or invalidated and we
      are recovering by recomputation — the soft-state guarantee at work. *)
   let revisit = Cache.was_seen cache key in
+  let tm =
+    if Fbsr_util.Span.enabled t.spans then
+      Some (Fbsr_util.Span.start t.spans, Fbsr_util.Span.current ())
+    else None
+  in
   match Cache.find cache key with
-  | Some fk -> k (Ok fk)
+  | Some fk ->
+      finish_derive t tm ~cache:(Cache.name cache) ~hit:true ~revisit
+        ~master:"cached";
+      k (Ok fk)
   | None ->
       Keying.get_master t.keying peer (function
-        | Error e -> k (Error (Keying_error e))
+        | Error e ->
+            finish_derive t tm ~cache:(Cache.name cache) ~hit:false ~revisit
+              ~master:"error";
+            k (Error (Keying_error e))
         | Ok master ->
             t.counters.flow_key_computations <- t.counters.flow_key_computations + 1;
             if revisit then
@@ -267,6 +299,8 @@ let flow_key_via t cache ~sfl ~peer ~src ~dst (k : (string, error) result -> uni
               Keying.flow_key ~hash:t.suite.Suite.kdf_hash ~sfl ~master ~src ~dst
             in
             Cache.insert cache key fk;
+            finish_derive t tm ~cache:(Cache.name cache) ~hit:false ~revisit
+              ~master:(Keying.last_resolution t.keying);
             k (Ok fk))
 
 (* MAC input: auth (suite+flags) | confounder | timestamp | payload — the
@@ -335,6 +369,10 @@ let iv_of_confounder t ~confounder =
    straight into the reserved body region; the stream/ECB fallbacks
    produce an intermediate ciphertext and are counted as a copy. *)
 let seal t ~now ~sfl ~flow_key ~secret ~payload =
+  let stm =
+    if Fbsr_util.Span.enabled t.spans then Some (Fbsr_util.Span.start t.spans)
+    else None
+  in
   let confounder = Fbsr_util.Lcg.next_u32 t.confounder_gen in
   let timestamp = Replay.minutes_of_seconds now in
   let payload_len = String.length payload in
@@ -398,7 +436,17 @@ let seal t ~now ~sfl ~flow_key ~secret ~payload =
         t.counters.bytes_copied <- t.counters.bytes_copied + String.length ct;
         Fbsr_util.Byte_writer.bytes w ct
   end;
-  Fbsr_util.Byte_writer.finalize w
+  let wire = Fbsr_util.Byte_writer.finalize w in
+  (match stm with
+  | Some tm ->
+      Fbsr_util.Span.finish t.spans tm "engine.seal"
+        ~detail:
+          [
+            ("bytes", Fbsr_util.Json.Int (String.length wire));
+            ("secret", Fbsr_util.Json.Bool secret);
+          ]
+  | None -> ());
+  wire
 
 (* Derive the flow key outside the TFKC path — used by the combined fast
    path on a table miss. *)
@@ -415,8 +463,32 @@ let derive_flow_key t ~sfl ~src ~dst (k : (string, error) result -> unit) =
    encrypted) body. *)
 let send t ~now ~attrs ~secret ~payload (k : (string, error) result -> unit) =
   t.counters.sends <- t.counters.sends + 1;
+  (* Each datagram entering the send path opens a new trace: a fresh
+     64-bit id in the ambient sidecar context.  Everything downstream —
+     seal, link transit, the receiver's whole pipeline — attributes its
+     spans to this id.  [tm] also captures the id so continuations that
+     resume in a later scheduler event (certificate fetch in flight)
+     still record under it. *)
+  let tm =
+    if Fbsr_util.Span.enabled t.spans then begin
+      Fbsr_util.Span.set_current (Fbsr_util.Span.fresh_id ());
+      Some (Fbsr_util.Span.start t.spans, Fbsr_util.Span.current ())
+    end
+    else None
+  in
   let sfl, decision = Fam.classify t.fam ~now attrs in
   let src = attrs.Fam.src and dst = attrs.Fam.dst in
+  (match tm with
+  | Some (stm, id) ->
+      Fbsr_util.Span.finish t.spans stm ~id "fam.classify"
+        ~detail:
+          [
+            ("sfl", Fbsr_util.Json.String (Fmt.str "%a" Sfl.pp sfl));
+            ( "decision",
+              Fbsr_util.Json.String
+                (if decision = Fam.Fresh then "fresh" else "established") );
+          ]
+  | None -> ());
   if decision = Fam.Fresh && Fbsr_util.Trace.enabled t.trace then
     Fbsr_util.Trace.emit t.trace ~time:now "fbs.engine.flow.setup"
       [
@@ -425,13 +497,31 @@ let send t ~now ~attrs ~secret ~payload (k : (string, error) result -> unit) =
         ("dst", Fbsr_util.Json.String (Principal.to_string dst));
       ];
   flow_key_via t t.tfkc ~sfl ~peer:dst ~src ~dst (function
-    | Error e -> k (Error e)
-    | Ok flow_key -> k (Ok (seal t ~now ~sfl ~flow_key ~secret ~payload)))
+    | Error e ->
+        (* The datagram dies on the sender: terminal span here (the
+           receive-side terminal stage never runs). *)
+        (match tm with
+        | Some (stm, id) ->
+            Fbsr_util.Span.finish t.spans stm ~id ~outcome:"drop:keying"
+              "engine.send"
+        | None -> ());
+        k (Error e)
+    | Ok flow_key -> (
+        match tm with
+        | Some (_, id) ->
+            (* Restore the datagram's id for seal and the caller's
+               transmit hook — the continuation may be running under a
+               later event's ambient context. *)
+            Fbsr_util.Span.with_current id (fun () ->
+                k (Ok (seal t ~now ~sfl ~flow_key ~secret ~payload)))
+        | None -> k (Ok (seal t ~now ~sfl ~flow_key ~secret ~payload))))
 
 (* The combined-path sibling of [send]: counts the datagram but leaves flow
    association and key lookup to the caller. *)
 let send_sealed t ~now ~sfl ~flow_key ~secret ~payload =
   t.counters.sends <- t.counters.sends + 1;
+  if Fbsr_util.Span.enabled t.spans then
+    Fbsr_util.Span.set_current (Fbsr_util.Span.fresh_id ());
   seal t ~now ~sfl ~flow_key ~secret ~payload
 
 type accepted = {
@@ -470,6 +560,17 @@ let decrypt_body_slice t ~flow_key ~confounder ~(body : Fbsr_util.Slice.t) =
   | plaintext -> Ok plaintext
   | exception Invalid_argument _ -> Error Decrypt_error
 
+(* Terminal span of the receive pipeline: exactly one per received
+   datagram, carrying the verdict — "delivered" or "drop:<cause>", the
+   causes mirroring [drops_by_cause].  A top-level function taking the
+   optional timer keeps the disabled path a constant [None] with no
+   closure allocation at the exit points. *)
+let conclude_receive t (tm : (Fbsr_util.Span.timer * int64) option) outcome =
+  match tm with
+  | None -> ()
+  | Some (stm, id) ->
+      Fbsr_util.Span.finish t.spans stm ~id ~outcome "engine.receive"
+
 (* FBSReceive(), Figure 4 R1-R12 with the RFKC fast path.  The wire is a
    borrowed slice: the header is parsed as a view, the MAC is verified
    against the wire bytes in place, and only an accepted datagram
@@ -477,9 +578,18 @@ let decrypt_body_slice t ~flow_key ~confounder ~(body : Fbsr_util.Slice.t) =
 let receive_slice t ~now ~src ~(wire : Fbsr_util.Slice.t)
     (k : (accepted, error) result -> unit) =
   t.counters.receives <- t.counters.receives + 1;
+  (* The ambient id was restored by the delivery path (netsim) from the
+     sender's transmit-time capture — this is where the receive-side
+     chain joins the sender's trace. *)
+  let tm =
+    if Fbsr_util.Span.enabled t.spans then
+      Some (Fbsr_util.Span.start t.spans, Fbsr_util.Span.current ())
+    else None
+  in
   match Header.decode_view wire with
   | Error e ->
       t.counters.errors_header <- t.counters.errors_header + 1;
+      conclude_receive t tm "drop:header";
       k (Error (Header_error e))
   | Ok v -> (
       (* The suite is taken from the header only to the extent we accept
@@ -487,13 +597,34 @@ let receive_slice t ~now ~src ~(wire : Fbsr_util.Slice.t)
          algorithm-downgrade games (the paper leaves this open). *)
       if v.Header.v_suite.Suite.id <> t.suite.Suite.id then begin
         t.counters.errors_header <- t.counters.errors_header + 1;
+        conclude_receive t tm "drop:header";
         k (Error (Header_error (Header.Unknown_suite v.Header.v_suite.Suite.id)))
       end
       else
-        match
+        let rtm =
+          if Fbsr_util.Span.enabled t.spans then
+            Some (Fbsr_util.Span.start t.spans)
+          else None
+        in
+        let verdict =
           Replay.check t.replay ~now ~sfl:v.Header.v_sfl
             ~confounder:v.Header.v_confounder ~timestamp:v.Header.v_timestamp
-        with
+        in
+        (match rtm with
+        | Some stm ->
+            let id = match tm with Some (_, id) -> id | None -> 0L in
+            Fbsr_util.Span.finish t.spans stm ~id "replay.check"
+              ~detail:
+                [
+                  ( "verdict",
+                    Fbsr_util.Json.String
+                      (match verdict with
+                      | Replay.Fresh -> "fresh"
+                      | Replay.Stale -> "stale"
+                      | Replay.Duplicate -> "duplicate") );
+                ]
+        | None -> ());
+        match verdict with
         | Replay.Stale ->
             t.counters.errors_stale <- t.counters.errors_stale + 1;
             if Fbsr_util.Trace.enabled t.trace then
@@ -504,6 +635,7 @@ let receive_slice t ~now ~src ~(wire : Fbsr_util.Slice.t)
                   ("timestamp", Fbsr_util.Json.Int v.Header.v_timestamp);
                   ("now_minutes", Fbsr_util.Json.Int (Replay.minutes_of_seconds now));
                 ];
+            conclude_receive t tm "drop:stale";
             k
               (Error
                  (Stale
@@ -519,12 +651,14 @@ let receive_slice t ~now ~src ~(wire : Fbsr_util.Slice.t)
                   ("sfl", Fbsr_util.Json.String (Fmt.str "%a" Sfl.pp v.Header.v_sfl));
                   ("cause", Fbsr_util.Json.String "duplicate");
                 ];
+            conclude_receive t tm "drop:duplicate";
             k (Error Duplicate)
         | Replay.Fresh ->
             let dst = local t in
             flow_key_via t t.rfkc ~sfl:v.Header.v_sfl ~peer:src ~src ~dst (function
               | Error e ->
                   t.counters.errors_keying <- t.counters.errors_keying + 1;
+                  conclude_receive t tm "drop:keying";
                   k (Error e)
               | Ok flow_key -> (
                   (* [plaintext] borrows either the wire buffer
@@ -540,16 +674,27 @@ let receive_slice t ~now ~src ~(wire : Fbsr_util.Slice.t)
                       t.counters.accepted <- t.counters.accepted + 1;
                       track_inbound t ~now ~sfl:v.Header.v_sfl ~peer:src
                         ~bytes:(Fbsr_util.Slice.length plaintext);
-                      k
-                        (Ok
-                           {
-                             header = Header.to_header v;
-                             payload = materialize ();
-                             peer = src;
-                           })
+                      conclude_receive t tm "delivered";
+                      let accepted =
+                        Ok
+                          {
+                            header = Header.to_header v;
+                            payload = materialize ();
+                            peer = src;
+                          }
+                      in
+                      match tm with
+                      | Some (_, id) ->
+                          (* Deliver under the datagram's id even when the
+                             keying continuation resumed in a later event;
+                             an acknowledgement sent from the handler opens
+                             its own trace and this scope restores ours. *)
+                          Fbsr_util.Span.with_current id (fun () -> k accepted)
+                      | None -> k accepted
                     end
                     else begin
                       t.counters.errors_mac <- t.counters.errors_mac + 1;
+                      conclude_receive t tm "drop:mac";
                       k (Error Bad_mac)
                     end
                   in
@@ -568,6 +713,7 @@ let receive_slice t ~now ~src ~(wire : Fbsr_util.Slice.t)
                           (fun () -> plaintext)
                     | Error e ->
                         t.counters.errors_decrypt <- t.counters.errors_decrypt + 1;
+                        conclude_receive t tm "drop:decrypt";
                         k (Error e)
                   else
                     (* Plaintext body stays in the wire buffer until the

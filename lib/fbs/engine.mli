@@ -63,6 +63,7 @@ val create :
   ?strict_replay:bool ->
   ?confounder_seed:int ->
   ?trace:Fbsr_util.Trace.t ->
+  ?spans:Fbsr_util.Span.t ->
   keying:Keying.t ->
   fam:Fam.t ->
   unit ->
@@ -71,7 +72,18 @@ val create :
     and its caches: ["fbs.engine.flow.setup"] per fresh flow,
     ["fbs.engine.key.derive"] per flow-key computation (with a [recovered]
     flag for post-eviction recomputation), ["fbs.engine.replay.reject"]
-    per stale/duplicate rejection, and ["fbs.cache.evict"] per eviction. *)
+    per stale/duplicate rejection, and ["fbs.cache.evict"] per eviction.
+
+    [spans] (default disabled) receives per-datagram causal spans.  Each
+    {!send} opens a fresh trace id in the {!Fbsr_util.Span} sidecar
+    context and records ["fam.classify"], ["keying.derive"] (with
+    TFKC/RFKC hit-or-miss and MKC/PVC/fetch attribution) and
+    ["engine.seal"]; each {!receive_slice} records ["replay.check"] and a
+    terminal ["engine.receive"] span whose outcome is ["delivered"] or
+    ["drop:<cause>"] with causes mirroring {!drops_by_cause} (a send-side
+    keying failure terminates as ["engine.send"]/["drop:keying"]).  With
+    spans disabled the datapath pays one branch per stage and allocates
+    nothing. *)
 
 val local : t -> Principal.t
 val suite : t -> Suite.t
@@ -81,6 +93,9 @@ val tfkc : t -> (int64 * string * string, string) Cache.t
 val rfkc : t -> (int64 * string * string, string) Cache.t
 val replay : t -> Replay.t
 val counters : t -> counters
+
+val spans : t -> Fbsr_util.Span.t
+(** The engine's span recorder ({!Fbsr_util.Span.none} when disabled). *)
 
 val register_metrics : t -> Fbsr_util.Metrics.t -> unit
 (** Register the engine's whole [fbs.*] subtree on [m]: its counters under

@@ -61,6 +61,13 @@ type t = {
   (* Fetches in flight, so a burst of datagrams to one peer triggers a
      single certificate fetch and a single master-key computation. *)
   pending : (string, ((string, error) result -> unit) list ref) Hashtbl.t;
+  (* Which cache level satisfied the most recent [get_master] completion:
+     "mkc" (live master key), "pvc" (cached certificate), or "fetch"
+     (resolver round trip, including coalesced waiters).  Read by the
+     engine's span instrumentation for hit/miss attribution; the
+     continuation runs synchronously from the completing path, so the
+     field is accurate inside it. *)
+  mutable last_resolution : string;
 }
 
 let principal_hash name = Fbsr_util.Crc32.string name
@@ -90,11 +97,13 @@ let create ?(pvc_sets = 64) ?(mkc_sets = 64) ?(assoc = 2) ?(fetch_retries = 0)
       { master_key_computations = 0; certificate_fetches = 0;
         certificate_fetch_retries = 0; certificate_verifications = 0 };
     pending = Hashtbl.create 8;
+    last_resolution = "none";
   }
 
 let local t = t.local
 let group t = t.group
 let public_value t = t.public_value
+let last_resolution t = t.last_resolution
 let counters t = t.counters
 let pvc t = t.pvc
 let mkc t = t.mkc
@@ -148,7 +157,9 @@ let master_from_certificate t peer (cert : Fbsr_cert.Certificate.t) =
 let get_master t peer (k : (string, error) result -> unit) =
   let name = Principal.to_string peer in
   match find_live_master t name with
-  | Some key -> k (Ok key)
+  | Some key ->
+      t.last_resolution <- "mkc";
+      k (Ok key)
   | None -> (
       let complete result =
         match Hashtbl.find_opt t.pending name with
@@ -168,6 +179,7 @@ let get_master t peer (k : (string, error) result -> unit) =
          [t.fetch_retries] extra times: the resolver's failure is itself
          soft state (an MKD that gave up, a momentarily unreachable CA). *)
       let rec fetch attempts_left =
+        t.last_resolution <- "fetch";
         t.counters.certificate_fetches <- t.counters.certificate_fetches + 1;
         if Fbsr_util.Trace.enabled t.trace then
           Fbsr_util.Trace.emit t.trace ~time:(t.clock ()) "fbs.keying.cert.fetch"
@@ -191,6 +203,7 @@ let get_master t peer (k : (string, error) result -> unit) =
           Hashtbl.replace t.pending name (ref [ k ]);
           match Cache.find t.pvc name with
           | Some cert when t.clock () <= cert.Fbsr_cert.Certificate.not_after ->
+              t.last_resolution <- "pvc";
               from_cert cert
           | Some _ ->
               (* Cached certificate has expired: evict and refetch. *)

@@ -62,6 +62,13 @@ val register_metrics : t -> Fbsr_util.Metrics.t -> unit
 
 val get_master : t -> Principal.t -> ((string, error) result -> unit) -> unit
 val get_master_sync : t -> Principal.t -> (string, error) result
+
+val last_resolution : t -> string
+(** Which cache level satisfied the most recent {!get_master} completion:
+    ["mkc"], ["pvc"] or ["fetch"] (["none"] before any resolution).
+    Stable inside the completion's continuation (completions run it
+    synchronously); used by span instrumentation for miss attribution. *)
+
 val pin_certificate : t -> Fbsr_cert.Certificate.t -> unit
 
 val flow_key :

@@ -44,6 +44,9 @@ type pending = {
   mutable continuations : (Fbsr_fbs.Keying.fetch_result -> unit) list;
   mutable attempts : int;
   mutable generation : int; (* invalidates stale timeout events *)
+  span : (Fbsr_util.Span.timer * int64) option;
+      (* causal-tracing sidecar: the fetch's own trace id and begin
+         timestamp, carried across retransmissions until [complete] *)
 }
 
 type t = {
@@ -59,6 +62,7 @@ type t = {
   mutable failures : int;
   backoff_hist : Fbsr_util.Metrics.histogram; (* armed timeout spans, seconds *)
   trace : Fbsr_util.Trace.t;
+  spans : Fbsr_util.Span.t;
 }
 
 (* Counter probes, relative to the caller's scope (e.g. "fbs_ip.mkd").
@@ -75,6 +79,17 @@ let register_metrics (t : t) m =
 let send_request t name =
   Udp_stack.send t.host ~src_port:t.local_port ~dst:t.ca_addr ~dst_port:t.ca_port
     (Mkd_protocol.encode (Mkd_protocol.Request name))
+
+(* Every transmission of a fetch (initial or retransmitted) runs under the
+   fetch's own trace id, so the CA request frame — and the CA's reply,
+   whose transmit happens while the id is still ambient at the CA host —
+   appears in the recorders as one ["mkd.fetch"] chain, distinct from the
+   datagram that suspended on it. *)
+let send_request_traced t p =
+  match p.span with
+  | Some (_, id) ->
+      Fbsr_util.Span.with_current id (fun () -> send_request t p.name)
+  | None -> send_request t p.name
 
 (* One trace event per transmission (initial or retransmitted). *)
 let trace_attempt t name attempt =
@@ -94,6 +109,16 @@ let complete t name result =
       Hashtbl.remove t.pending name;
       p.generation <- p.generation + 1;
       if Result.is_error result then t.failures <- t.failures + 1;
+      (match p.span with
+      | Some (tm, id) ->
+          Fbsr_util.Span.finish t.spans tm ~id "mkd.fetch"
+            ~detail:
+              [
+                ("name", Fbsr_util.Json.String p.name);
+                ("attempts", Fbsr_util.Json.Int p.attempts);
+                ("ok", Fbsr_util.Json.Bool (Result.is_ok result));
+              ]
+      | None -> ());
       List.iter (fun k -> k result) (List.rev p.continuations)
 
 (* Timeout for the [attempt]-th transmission (1-based): exponential backoff
@@ -120,7 +145,7 @@ let rec arm_timeout t p =
           p.attempts <- p.attempts + 1;
           t.retransmissions <- t.retransmissions + 1;
           trace_attempt t p.name p.attempts;
-          send_request t p.name;
+          send_request_traced t p;
           arm_timeout t p
         end
       end)
@@ -143,14 +168,22 @@ let fetch t name k =
   | Some p -> p.continuations <- k :: p.continuations
   | None ->
       t.fetches <- t.fetches + 1;
-      let p = { name; continuations = [ k ]; attempts = 1; generation = 0 } in
+      let span =
+        if Fbsr_util.Span.enabled t.spans then
+          Some (Fbsr_util.Span.start t.spans, Fbsr_util.Span.fresh_id ())
+        else None
+      in
+      let p =
+        { name; continuations = [ k ]; attempts = 1; generation = 0; span }
+      in
       Hashtbl.replace t.pending name p;
       trace_attempt t name 1;
-      send_request t name;
+      send_request_traced t p;
       arm_timeout t p
 
 let create ?(local_port = 563) ?(config = default_config) ?(seed = 0xbac0ff) ?metrics
-    ?(trace = Fbsr_util.Trace.none) ~ca_addr ~ca_port host =
+    ?(trace = Fbsr_util.Trace.none) ?(spans = Fbsr_util.Span.none) ~ca_addr
+    ~ca_port host =
   validate_config config;
   (* Without a caller-supplied registry the histogram lives in a private
      throwaway one: the observation code stays unconditional. *)
@@ -171,6 +204,7 @@ let create ?(local_port = 563) ?(config = default_config) ?(seed = 0xbac0ff) ?me
       failures = 0;
       backoff_hist = Fbsr_util.Metrics.histogram m "backoff_seconds";
       trace;
+      spans;
     }
   in
   register_metrics t m;

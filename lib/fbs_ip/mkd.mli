@@ -24,6 +24,7 @@ val create :
   ?seed:int ->
   ?metrics:Fbsr_util.Metrics.t ->
   ?trace:Fbsr_util.Trace.t ->
+  ?spans:Fbsr_util.Span.t ->
   ca_addr:Addr.t ->
   ca_port:int ->
   Host.t ->
@@ -34,7 +35,10 @@ val create :
     [fetches]/[retransmissions]/[failures] probes and the owned
     [backoff_seconds] histogram of armed retransmission timeouts; [trace]
     (default disabled) receives one ["fbs_ip.mkd.fetch"] event per
-    transmission.
+    transmission.  [spans] (default disabled) records one ["mkd.fetch"]
+    span per coalesced fetch, begin-to-completion across every
+    retransmission, under a fresh trace id of its own; the request frames
+    (and the CA's replies) travel the network under that id.
     @raise Invalid_argument on a nonsensical [config]. *)
 
 val register_metrics : t -> Fbsr_util.Metrics.t -> unit

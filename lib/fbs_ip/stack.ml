@@ -90,6 +90,7 @@ type t = {
   engine : Fbsr_fbs.Engine.t;
   config : config;
   counters : counters;
+  spans : Fbsr_util.Span.t;
   policy_state : Fbsr_fbs.Policy_five_tuple.t;
   fast_path : Fast_path.t option; (* combined FST+TFKC, when configured *)
   asm : Fbsr_util.Byte_writer.t;
@@ -291,11 +292,29 @@ let input_hook t (h : Ipv4.header) payload : Host.hook_result =
     Host.Pass (h, payload)
   end
   else begin
+    let dtm =
+      if Fbsr_util.Span.enabled t.spans then Some (Fbsr_util.Span.start t.spans)
+      else None
+    in
     match decap t h payload with
     | None ->
+        (match dtm with
+        | Some stm ->
+            Fbsr_util.Span.finish t.spans stm "stack.decap"
+              ~detail:[ ("ok", Fbsr_util.Json.Bool false) ]
+        | None -> ());
         t.counters.dropped_error <- t.counters.dropped_error + 1;
         Host.Drop "fbs: no security header in configured encapsulation"
     | Some (h, wire) ->
+    (match dtm with
+    | Some stm ->
+        Fbsr_util.Span.finish t.spans stm "stack.decap"
+          ~detail:
+            [
+              ("ok", Fbsr_util.Json.Bool true);
+              ("bytes", Fbsr_util.Json.Int (Fbsr_util.Slice.length wire));
+            ]
+    | None -> ());
     let now = Host.now t.host in
     let src = principal_of_addr h.src in
     let sync_result = ref None in
@@ -337,8 +356,8 @@ let input_hook t (h : Ipv4.header) payload : Host.hook_result =
   end
 
 let install ?(config = default_config ()) ?(sfl_seed = 0x5f1)
-    ?(trace = Fbsr_util.Trace.none) ~private_value ~group ~ca_public ~ca_hash
-    ~resolver host =
+    ?(trace = Fbsr_util.Trace.none) ?(spans = Fbsr_util.Span.none)
+    ~private_value ~group ~ca_public ~ca_hash ~resolver host =
   let local = principal_of_addr (Host.addr host) in
   let keying =
     Fbsr_fbs.Keying.create ~fetch_retries:config.keying_fetch_retries ~trace ~local
@@ -357,7 +376,7 @@ let install ?(config = default_config ()) ?(sfl_seed = 0x5f1)
     Fbsr_fbs.Engine.create ~suite:config.suite ~tfkc_sets:config.tfkc_sets
       ~rfkc_sets:config.rfkc_sets ~cache_assoc:config.cache_assoc
       ~replay_window_minutes:config.replay_window_minutes
-      ~strict_replay:config.strict_replay ~trace ~keying ~fam ()
+      ~strict_replay:config.strict_replay ~trace ~spans ~keying ~fam ()
   in
   let fast_path =
     if config.combined_fast_path then
@@ -372,6 +391,7 @@ let install ?(config = default_config ()) ?(sfl_seed = 0x5f1)
       host;
       engine;
       config;
+      spans;
       counters =
         {
           sent = 0;

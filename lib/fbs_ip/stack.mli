@@ -63,6 +63,7 @@ val install :
   ?config:config ->
   ?sfl_seed:int ->
   ?trace:Fbsr_util.Trace.t ->
+  ?spans:Fbsr_util.Span.t ->
   private_value:Fbsr_crypto.Dh.private_value ->
   group:Fbsr_crypto.Dh.group ->
   ca_public:Fbsr_crypto.Rsa.public_key ->
@@ -71,7 +72,10 @@ val install :
   Host.t ->
   t
 (** [trace] (default disabled) is threaded to the engine and keying layers
-    — see {!Fbsr_fbs.Engine.create}. *)
+    — see {!Fbsr_fbs.Engine.create}.  [spans] (default disabled) is the
+    host's per-datagram flight recorder: threaded to the engine for the
+    classify/derive/seal/replay/receive stages, and used directly by the
+    input hook for the ["stack.decap"] stage. *)
 
 val uninstall : t -> unit
 

@@ -10,6 +10,7 @@ type node = {
   stack : Stack.t;
   mkd : Mkd.t;
   private_value : Fbsr_crypto.Dh.private_value;
+  spans : Fbsr_util.Span.t;
 }
 
 type t = {
@@ -28,19 +29,40 @@ type t = {
   mutable links : Link.t list;
   metrics : Fbsr_util.Metrics.t;
   trace : Fbsr_util.Trace.t;
+  span_capacity : int; (* 0 = causal tracing disabled *)
+  span_cost_clock : (unit -> float) option;
+  mutable recorders : Fbsr_util.Span.t list; (* one per host, newest first *)
 }
+
+(* One bounded flight recorder per host, on the shared simulated clock so
+   merged cross-host timelines align.  The per-stage latency histograms of
+   every recorder share the site registry's "span." scope, so
+   "span.stage.<stage>" aggregates across hosts. *)
+let new_recorder t label =
+  if t.span_capacity = 0 then Fbsr_util.Span.none
+  else begin
+    let sp =
+      Fbsr_util.Span.create ~capacity:t.span_capacity ~host:label
+        ~clock:(fun () -> Engine.now t.engine)
+        ?cost_clock:t.span_cost_clock
+        ~metrics:(Fbsr_util.Metrics.sub t.metrics "span")
+        ()
+    in
+    t.recorders <- sp :: t.recorders;
+    sp
+  end
 
 (* Attach a fault-injection link to a host when the testbed has a fault
    profile.  Each host gets its own link with a seed derived from the
    testbed seed and the host address, so runs are reproducible and
    per-host fault sequences are decorrelated. *)
-let attach_link t host =
+let attach_link t ~spans host =
   match t.faults with
   | None -> ()
   | Some profile ->
       let link =
         Link.create ~seed:(t.link_seed lxor Addr.to_int (Host.addr host)) ~profile
-          t.engine
+          ~spans t.engine
       in
       Host.set_link host link;
       (* Every link feeds the site-wide "netsim.link.*" totals (summed
@@ -53,7 +75,8 @@ let attach_link t host =
 
 let create ?(seed = 42) ?(bandwidth_bps = 10_000_000.0) ?(group_bits = 0) ?config
     ?(mkd_config = Mkd.default_config) ?faults ?metrics
-    ?(trace = Fbsr_util.Trace.none) () =
+    ?(trace = Fbsr_util.Trace.none) ?(span_capacity = 0) ?span_cost_clock () =
+  if span_capacity < 0 then invalid_arg "Testbed: negative span_capacity";
   let rng = Fbsr_util.Rng.create seed in
   let engine = Engine.create () in
   let medium = Medium.create ~bandwidth_bps ~seed:(seed + 1) engine in
@@ -88,12 +111,17 @@ let create ?(seed = 42) ?(bandwidth_bps = 10_000_000.0) ?(group_bits = 0) ?confi
       metrics =
         (match metrics with Some m -> m | None -> Fbsr_util.Metrics.create ());
       trace;
+      span_capacity;
+      span_cost_clock;
+      recorders = [];
     }
   in
   (* The key server's egress is faulty too: certificate responses must
      survive the same network the datagrams do (that is what the MKD's
-     retry/backoff is for). *)
-  attach_link t ca_host;
+     retry/backoff is for).  Its link records transit spans into the key
+     server's own recorder, so certificate round trips show up as a lane
+     in the merged timeline. *)
+  attach_link t ~spans:(new_recorder t (Addr.to_string ca_addr)) ca_host;
   t
 
 let ca_addr t = Host.addr t.ca_host
@@ -108,7 +136,8 @@ let add_host t ~name ~addr =
   let addr = Addr.of_string addr in
   let host = Host.create ~name ~addr t.engine in
   Host.attach host t.medium;
-  attach_link t host;
+  let spans = new_recorder t (Addr.to_string addr) in
+  attach_link t ~spans host;
   Udp_stack.install host;
   Minitcp.install host;
   let private_value = Fbsr_crypto.Dh.gen_private t.group t.rng in
@@ -123,12 +152,14 @@ let add_host t ~name ~addr =
   let mkd =
     Mkd.create ~config:t.mkd_config
       ~metrics:(Fbsr_util.Metrics.sub t.metrics "fbs_ip.mkd")
-      ~trace:t.trace ~ca_addr:(ca_addr t) ~ca_port:(Ca_server.port t.ca_server) host
+      ~trace:t.trace ~spans ~ca_addr:(ca_addr t)
+      ~ca_port:(Ca_server.port t.ca_server) host
   in
   Mkd.register_metrics mkd
     (Fbsr_util.Metrics.sub t.metrics (host_scope ^ ".fbs_ip.mkd"));
   let stack =
-    Stack.install ~config:(node_config t) ~trace:t.trace ~private_value ~group:t.group
+    Stack.install ~config:(node_config t) ~trace:t.trace ~spans ~private_value
+      ~group:t.group
       ~ca_public:(Fbsr_cert.Authority.public t.authority)
       ~ca_hash:(Fbsr_cert.Authority.hash t.authority)
       ~resolver:(Mkd.resolver mkd) host
@@ -137,7 +168,7 @@ let add_host t ~name ~addr =
      per-host "host.<addr>." view of the same records. *)
   Stack.register_metrics stack t.metrics;
   Stack.register_metrics stack (Fbsr_util.Metrics.sub t.metrics host_scope);
-  let node = { host; stack; mkd; private_value } in
+  let node = { host; stack; mkd; private_value; spans } in
   t.nodes <- node :: t.nodes;
   node
 
@@ -147,7 +178,7 @@ let add_plain_host t ~name ~addr =
   let addr = Addr.of_string addr in
   let host = Host.create ~name ~addr t.engine in
   Host.attach host t.medium;
-  attach_link t host;
+  attach_link t ~spans:(new_recorder t (Addr.to_string addr)) host;
   Udp_stack.install host;
   Minitcp.install host;
   host
@@ -175,6 +206,8 @@ let group t = t.group
 let authority t = t.authority
 let metrics t = t.metrics
 let trace t = t.trace
+let span_recorders t = List.rev t.recorders
+let collect_spans t = Fbsr_util.Span.collect (List.rev t.recorders)
 let ca_server t = t.ca_server
 let nodes t = t.nodes
 let run ?until t = Engine.run ?until t.engine

@@ -8,6 +8,7 @@ type node = {
   stack : Stack.t;
   mkd : Mkd.t;
   private_value : Fbsr_crypto.Dh.private_value;
+  spans : Fbsr_util.Span.t;  (** the host's flight recorder (may be [none]) *)
 }
 
 type t
@@ -21,6 +22,8 @@ val create :
   ?faults:Link.profile ->
   ?metrics:Fbsr_util.Metrics.t ->
   ?trace:Fbsr_util.Trace.t ->
+  ?span_capacity:int ->
+  ?span_cost_clock:(unit -> float) ->
   unit ->
   t
 (** [group_bits = 0] (default) uses the fast 61-bit test group; [1024]
@@ -35,7 +38,18 @@ val create :
     receives every component's counters twice: once at the bare site-wide
     names ("fbs.engine.sends", "netsim.link.corrupted", ... — summed
     across hosts) and once under a per-host "host.<addr>." prefix.
-    [trace] (default disabled) is threaded to every stack and MKD. *)
+    [trace] (default disabled) is threaded to every stack and MKD.
+
+    [span_capacity] (default 0 = causal tracing disabled) gives every host
+    — including the key server — a bounded per-datagram flight recorder of
+    that capacity ({!Fbsr_util.Span}) on the shared simulated clock,
+    threaded to the host's engine, stack, MKD and fault-injection link;
+    each recorder's per-stage latency histograms land in the site registry
+    under "span.stage.<stage>".  [span_cost_clock] (default: the simulated
+    clock) supplies the per-stage cost measurement — pass a wall clock
+    (e.g. [Unix.gettimeofday]) to measure real per-stage CPU latency from
+    a simulated run.
+    @raise Invalid_argument on negative [span_capacity]. *)
 
 val add_host : t -> name:string -> addr:string -> node
 val add_plain_host : t -> name:string -> addr:string -> Host.t
@@ -59,6 +73,15 @@ val metrics : t -> Fbsr_util.Metrics.t
     default). *)
 
 val trace : t -> Fbsr_util.Trace.t
+
+val span_recorders : t -> Fbsr_util.Span.t list
+(** Every host's flight recorder, in host-creation order (key server
+    first).  Empty when [span_capacity] was 0. *)
+
+val collect_spans : t -> Fbsr_util.Span.span list
+(** Merge every recorder's retained spans into one globally ordered list
+    (see {!Fbsr_util.Span.collect}) — the input to the exporters. *)
+
 val ca_server : t -> Ca_server.t
 val nodes : t -> node list
 val run : ?until:float -> t -> unit

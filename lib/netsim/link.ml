@@ -77,12 +77,21 @@ type t = {
   rng : Fbsr_util.Rng.t;
   mutable profile : profile;
   stats : stats;
+  mutable spans : Fbsr_util.Span.t;
 }
 
-let create ?(seed = 0x7a11) ?(profile = perfect) engine =
+let create ?(seed = 0x7a11) ?(profile = perfect)
+    ?(spans = Fbsr_util.Span.none) engine =
   validate_profile profile;
-  { engine; rng = Fbsr_util.Rng.create seed; profile; stats = new_stats () }
+  {
+    engine;
+    rng = Fbsr_util.Rng.create seed;
+    profile;
+    stats = new_stats ();
+    spans;
+  }
 
+let set_spans t spans = t.spans <- spans
 let profile t = t.profile
 
 let set_profile t p =
@@ -132,36 +141,75 @@ let corrupt_frame t (frame : Fbsr_util.Slice.t) =
 
 let transmit t ~deliver raw =
   t.stats.offered <- t.stats.offered + 1;
+  (* Sidecar capture: the frame carries no trace bytes, so the ambient
+     trace id is read at transmit time and restored around each delivery
+     callback — this is how receive-side spans join the sender's trace.
+     An id of 0 (no trace in scope, or tracing disabled) records nothing.
+     The RNG draw order below is unchanged from the untraced code, so
+     runs stay reproducible from the same seed with tracing on or off. *)
+  let tid =
+    if Fbsr_util.Span.enabled t.spans then Fbsr_util.Span.current () else 0L
+  in
+  let tm = if Int64.equal tid 0L then None else Some (Fbsr_util.Span.start t.spans) in
   let p = t.profile in
-  if hit t p.drop then t.stats.dropped <- t.stats.dropped + 1
+  if hit t p.drop then begin
+    t.stats.dropped <- t.stats.dropped + 1;
+    match tm with
+    | Some stm ->
+        (* Terminal: the datagram's life ends on this link. *)
+        Fbsr_util.Span.finish t.spans stm ~id:tid ~outcome:"drop:link"
+          "netsim.link"
+          ~detail:[ ("verdict", Fbsr_util.Json.String "drop") ]
+    | None -> ()
+  end
   else begin
     let frame = Fbsr_util.Slice.of_string raw in
-    let frame =
-      if Fbsr_util.Slice.length frame > 0 && hit t p.truncate then
-        truncate_frame t frame
-      else frame
-    in
-    let frame =
-      if Fbsr_util.Slice.length frame > 0 && hit t p.corrupt then
-        corrupt_frame t frame
-      else frame
-    in
+    let truncated = Fbsr_util.Slice.length frame > 0 && hit t p.truncate in
+    let frame = if truncated then truncate_frame t frame else frame in
+    let corrupted = Fbsr_util.Slice.length frame > 0 && hit t p.corrupt in
+    let frame = if corrupted then corrupt_frame t frame else frame in
     (* Materialized once per offered frame: a pristine frame round-trips
        through [of_string]/[to_string] without any copy at all. *)
     let raw = Fbsr_util.Slice.to_string frame in
-    let send_one () =
+    let record_transit stm ~reordered ~dup =
+      Fbsr_util.Span.finish t.spans stm ~id:tid "netsim.link"
+        ~detail:
+          [
+            ("truncated", Fbsr_util.Json.Bool truncated);
+            ("corrupted", Fbsr_util.Json.Bool corrupted);
+            ("reordered", Fbsr_util.Json.Bool reordered);
+            ("duplicate", Fbsr_util.Json.Bool dup);
+          ]
+    in
+    let deliver_traced () =
+      if Int64.equal tid 0L then deliver raw
+      else Fbsr_util.Span.with_current tid (fun () -> deliver raw)
+    in
+    let send_one ~dup =
       t.stats.delivered <- t.stats.delivered + 1;
       if hit t p.reorder && p.reorder_delay > 0.0 then begin
         t.stats.reordered <- t.stats.reordered + 1;
         let delay = Fbsr_util.Rng.float t.rng p.reorder_delay in
-        Engine.schedule t.engine ~delay (fun () -> deliver raw)
+        Engine.schedule t.engine ~delay (fun () ->
+            (* One span per delivery (a duplicated frame records two,
+               sharing the begin timestamp); a held-back frame's span ends
+               at its delayed delivery, making the hold-back visible. *)
+            (match tm with
+            | Some stm -> record_transit stm ~reordered:true ~dup
+            | None -> ());
+            deliver_traced ())
       end
-      else deliver raw
+      else begin
+        (match tm with
+        | Some stm -> record_transit stm ~reordered:false ~dup
+        | None -> ());
+        deliver_traced ()
+      end
     in
-    send_one ();
+    send_one ~dup:false;
     if hit t p.duplicate then begin
       t.stats.duplicated <- t.stats.duplicated + 1;
-      send_one ()
+      send_one ~dup:true
     end
   end
 

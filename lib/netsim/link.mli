@@ -33,12 +33,20 @@ val new_stats : unit -> stats
 
 type t
 
-val create : ?seed:int -> ?profile:profile -> Engine.t -> t
-(** @raise Invalid_argument if a probability is outside [0,1] or
+val create :
+  ?seed:int -> ?profile:profile -> ?spans:Fbsr_util.Span.t -> Engine.t -> t
+(** [spans] (default disabled) records one ["netsim.link"] span per
+    delivery of a traced frame (the ambient {!Fbsr_util.Span.current} id
+    at transmit time; untraced frames record nothing), with fault
+    verdicts in the detail and a terminal ["drop:link"] outcome for
+    dropped frames.  The ambient id is restored around each [deliver]
+    callback, so the receive side joins the sender's trace.
+    @raise Invalid_argument if a probability is outside [0,1] or
     [reorder_delay] is negative. *)
 
 val profile : t -> profile
 val set_profile : t -> profile -> unit
+val set_spans : t -> Fbsr_util.Span.t -> unit
 val stats : t -> stats
 
 val register_metrics : t -> Fbsr_util.Metrics.t -> unit

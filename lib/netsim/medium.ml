@@ -77,6 +77,11 @@ let transmit t ~dst (raw : string) =
   t.bytes_sent <- t.bytes_sent + String.length raw;
   let stamp = start in
   List.iter (fun sn -> sn stamp raw) t.sniffers;
+  (* Delivery metadata for causal tracing: the sender's ambient trace id
+     is captured here and restored around the delivery callback, so the
+     receiving stack processes the frame under the trace that sent it.
+     The frame itself carries no trace bytes. *)
+  let tid = Fbsr_util.Span.current () in
   let deliver_once () =
     match station_for t dst with
     | None -> t.frames_dropped <- t.frames_dropped + 1
@@ -85,7 +90,9 @@ let transmit t ~dst (raw : string) =
           if t.jitter > 0.0 then Fbsr_util.Rng.float t.rng t.jitter else 0.0
         in
         let arrival = t.busy_until +. t.propagation +. extra -. now in
-        Engine.schedule t.engine ~delay:arrival (fun () -> s.deliver raw)
+        Engine.schedule t.engine ~delay:arrival (fun () ->
+            if Int64.equal tid 0L then s.deliver raw
+            else Fbsr_util.Span.with_current tid (fun () -> s.deliver raw))
   in
   if t.loss > 0.0 && Fbsr_util.Rng.uniform t.rng < t.loss then
     t.frames_dropped <- t.frames_dropped + 1

@@ -310,3 +310,66 @@ let pp ppf t =
       | Float f -> Fmt.pf ppf "%s %g@." name f
       | Hist { count; sum; _ } -> Fmt.pf ppf "%s count=%d sum=%g@." name count sum)
     (snapshot t)
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus-style exposition                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Metric names admit [a-zA-Z0-9_:]; our dotted namespace maps onto it
+   with '.' (and anything else exotic) folded to '_'. *)
+let prometheus_name name =
+  String.map
+    (function ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':') as c -> c | _ -> '_')
+    name
+
+let prometheus_float f =
+  if Float.is_nan f then "NaN"
+  else if f = Float.infinity then "+Inf"
+  else if f = Float.neg_infinity then "-Inf"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.12g" f
+
+let to_text t =
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt t.cells name with
+      | None -> ()
+      | Some cell -> (
+          let p = prometheus_name name in
+          match cell with
+          | Counter c ->
+              line "# TYPE %s counter" p;
+              line "%s %d" p c.count
+          | Probe fs ->
+              (* Probes read monotone subsystem tallies; expose as counters. *)
+              line "# TYPE %s counter" p;
+              line "%s %d" p (List.fold_left (fun acc f -> acc + f ()) 0 !fs)
+          | Gauge g ->
+              line "# TYPE %s gauge" p;
+              line "%s %s" p (prometheus_float g.value)
+          | Probe_f fs ->
+              line "# TYPE %s gauge" p;
+              line "%s %s" p
+                (prometheus_float
+                   (List.fold_left (fun acc f -> acc +. f ()) 0.0 !fs))
+          | Histogram h ->
+              (* Prometheus buckets are cumulative over 'le' upper bounds and
+                 must end with +Inf; empty interior buckets are elided (any
+                 subset of the cumulative series is valid exposition). *)
+              line "# TYPE %s histogram" p;
+              let cumulative = ref 0 in
+              List.iter
+                (fun (_, upper, n) ->
+                  cumulative := !cumulative + n;
+                  if n > 0 && upper <> Float.infinity then
+                    line "%s_bucket{le=\"%s\"} %d" p (prometheus_float upper)
+                      !cumulative)
+                (histogram_buckets h);
+              line "%s_bucket{le=\"+Inf\"} %d" p h.observations;
+              line "%s_sum %s" p (prometheus_float h.sum);
+              line "%s_count %d" p h.observations))
+    (names t);
+  Buffer.contents buf

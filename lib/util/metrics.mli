@@ -106,4 +106,12 @@ val to_json : t -> Json.t
 (** Object keyed by full metric name; histograms serialize as
     [{count, sum, buckets: [[upper, n], ...]}] with empty buckets elided. *)
 
+val to_text : t -> string
+(** Prometheus-style text exposition of everything under this view's
+    prefix.  Dotted names fold to underscores; counters and int probes
+    emit as [counter], gauges and float probes as [gauge], histograms as
+    [histogram] with cumulative [_bucket{le="..."}] lines (empty interior
+    buckets elided, a final [le="+Inf"] always present) plus [_sum] and
+    [_count]. *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,398 @@
+(* Per-datagram causal tracing.  See span.mli for the model; the shape
+   deliberately mirrors Trace: a bounded ring, a shared disabled value,
+   and an [enabled] predicate so instrumented code pays one branch when
+   tracing is off. *)
+
+(* ---- Trace ids and the sidecar context ---------------------------------- *)
+
+(* SplitMix64: a full-period 64-bit sequence with good bit diffusion, so
+   ids from different subsystems (datagrams, MKD fetches) never collide
+   within a process and truncated hex prefixes stay distinguishable. *)
+let id_state = ref 0L
+
+let fresh_id () =
+  let z = Int64.add !id_state 0x9e3779b97f4a7c15L in
+  id_state := z;
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  if Int64.equal z 0L then 1L else z
+
+let current_id = ref 0L
+let current () = !current_id
+let set_current id = current_id := id
+let clear_current () = current_id := 0L
+
+let with_current id f =
+  let saved = !current_id in
+  current_id := id;
+  match f () with
+  | v ->
+      current_id := saved;
+      v
+  | exception e ->
+      current_id := saved;
+      raise e
+
+(* ---- Spans and recorders ------------------------------------------------ *)
+
+type span = {
+  seq : int;
+  id : int64;
+  stage : string;
+  host : string;
+  t_begin : float;
+  t_end : float;
+  cost : float;
+  outcome : string;
+  detail : (string * Json.t) list;
+}
+
+(* The seq counter is process-wide (not per recorder) so spans merged
+   from several hosts sort into their true record order even when the
+   simulated clock gives them identical timestamps. *)
+let seq_state = ref 0
+
+type t = {
+  cap : int;
+  host_label : string;
+  clock : unit -> float;
+  cost_clock : unit -> float;
+  metrics : Metrics.t option;
+  ring : span option array;
+  mutable recorded : int;
+}
+
+let zero_clock () = 0.0
+
+let create ?(capacity = 8192) ?(host = "") ?(clock = zero_clock) ?cost_clock
+    ?metrics () =
+  if capacity < 0 then invalid_arg "Span.create: negative capacity";
+  let cost_clock = Option.value cost_clock ~default:clock in
+  {
+    cap = capacity;
+    host_label = host;
+    clock;
+    cost_clock;
+    metrics;
+    ring = Array.make (max capacity 1) None;
+    recorded = 0;
+  }
+
+let none = create ~capacity:0 ()
+let enabled t = t.cap > 0
+let capacity t = t.cap
+let host t = t.host_label
+
+type timer = { t0 : float; c0 : float }
+
+let zero_timer = { t0 = 0.0; c0 = 0.0 }
+
+let start t =
+  if t.cap = 0 then zero_timer else { t0 = t.clock (); c0 = t.cost_clock () }
+
+let finish t tm ?(id = 0L) ?(outcome = "") ?(detail = []) stage =
+  if t.cap > 0 then begin
+    let id = if Int64.equal id 0L then !current_id else id in
+    let seq = !seq_state in
+    seq_state := seq + 1;
+    let t1 = t.clock () in
+    let cost = t.cost_clock () -. tm.c0 in
+    let s =
+      {
+        seq;
+        id;
+        stage;
+        host = t.host_label;
+        t_begin = tm.t0;
+        t_end = t1;
+        cost;
+        outcome;
+        detail;
+      }
+    in
+    t.ring.(t.recorded mod t.cap) <- Some s;
+    t.recorded <- t.recorded + 1;
+    match t.metrics with
+    | Some m -> Metrics.observe (Metrics.histogram m ("stage." ^ stage)) cost
+    | None -> ()
+  end
+
+let total t = t.recorded
+let retained t = min t.recorded t.cap
+let dropped t = t.recorded - retained t
+
+let clear t =
+  Array.fill t.ring 0 (Array.length t.ring) None;
+  t.recorded <- 0
+
+let spans t =
+  let n = retained t in
+  let first = t.recorded - n in
+  List.init n (fun i ->
+      match t.ring.((first + i) mod t.cap) with
+      | Some s -> s
+      | None -> assert false)
+
+(* ---- Working with collected spans --------------------------------------- *)
+
+let compare_span a b =
+  match compare a.t_begin b.t_begin with 0 -> compare a.seq b.seq | c -> c
+
+let collect ts = List.sort compare_span (List.concat_map spans ts)
+
+let ids spans =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun s ->
+      if Hashtbl.mem seen s.id then None
+      else begin
+        Hashtbl.add seen s.id ();
+        Some s.id
+      end)
+    spans
+
+let by_id id spans = List.filter (fun s -> Int64.equal s.id id) spans
+
+(* ---- JSON round trip ---------------------------------------------------- *)
+
+let hex_of_id id = Printf.sprintf "%016Lx" id
+
+let id_of_hex s =
+  match Int64.of_string_opt ("0x" ^ s) with
+  | Some id -> id
+  | None -> invalid_arg (Printf.sprintf "Span.of_json: bad trace id %S" s)
+
+let span_to_json s =
+  Json.Obj
+    [
+      ("seq", Json.Int s.seq);
+      ("id", Json.String (hex_of_id s.id));
+      ("stage", Json.String s.stage);
+      ("host", Json.String s.host);
+      ("begin", Json.Float s.t_begin);
+      ("end", Json.Float s.t_end);
+      ("cost", Json.Float s.cost);
+      ("outcome", Json.String s.outcome);
+      ("detail", Json.Obj s.detail);
+    ]
+
+let to_json spans =
+  Json.Obj
+    [
+      ("schema", Json.String "fbsr-spans/1");
+      ("spans", Json.List (List.map span_to_json spans));
+    ]
+
+let span_of_json j =
+  let str name d =
+    match Json.member name j with Some (Json.String s) -> s | _ -> d
+  in
+  let num name =
+    match Option.bind (Json.member name j) Json.to_float_opt with
+    | Some f -> f
+    | None -> 0.0
+  in
+  {
+    seq =
+      (match Json.member "seq" j with Some (Json.Int n) -> n | _ -> 0);
+    id = id_of_hex (str "id" "0000000000000000");
+    stage = str "stage" "?";
+    host = str "host" "";
+    t_begin = num "begin";
+    t_end = num "end";
+    cost = num "cost";
+    outcome = str "outcome" "";
+    detail =
+      (match Json.member "detail" j with Some (Json.Obj kvs) -> kvs | _ -> []);
+  }
+
+let of_json j =
+  (match Json.member "schema" j with
+  | Some (Json.String "fbsr-spans/1") -> ()
+  | _ -> invalid_arg "Span.of_json: not an fbsr-spans/1 document");
+  match Json.member "spans" j with
+  | Some (Json.List l) -> List.map span_of_json l
+  | _ -> invalid_arg "Span.of_json: missing spans array"
+
+(* ---- Stage ordering ----------------------------------------------------- *)
+
+(* Datapath order: sender-side stages first, then transit, then the
+   receive side.  Stages outside this list (e.g. a future subsystem's)
+   sort after it, alphabetically. *)
+let stage_rank = function
+  | "fam.classify" -> 0
+  | "keying.derive" -> 1
+  | "mkd.fetch" -> 2
+  | "engine.seal" -> 3
+  | "engine.send" -> 4
+  | "netsim.link" -> 5
+  | "stack.decap" -> 6
+  | "replay.check" -> 7
+  | "engine.receive" -> 8
+  | _ -> max_int
+
+let compare_stage a b =
+  match compare (stage_rank a) (stage_rank b) with
+  | 0 -> compare a b
+  | c -> c
+
+(* ---- Chrome trace-event exporter ---------------------------------------- *)
+
+let chrome_json spans =
+  let spans = List.sort compare_span spans in
+  let index keys =
+    let tbl = Hashtbl.create 16 in
+    List.iteri (fun i k -> Hashtbl.replace tbl k (i + 1)) keys;
+    tbl
+  in
+  let uniq l =
+    let seen = Hashtbl.create 16 in
+    List.filter
+      (fun k ->
+        if Hashtbl.mem seen k then false
+        else begin
+          Hashtbl.add seen k ();
+          true
+        end)
+      l
+  in
+  let hosts = uniq (List.map (fun s -> s.host) spans) in
+  let stages =
+    List.sort compare_stage (uniq (List.map (fun s -> s.stage) spans))
+  in
+  let pid_of = index hosts and tid_of = index stages in
+  let meta =
+    List.map
+      (fun h ->
+        Json.Obj
+          [
+            ("ph", Json.String "M");
+            ("name", Json.String "process_name");
+            ("pid", Json.Int (Hashtbl.find pid_of h));
+            ("args", Json.Obj [ ("name", Json.String (if h = "" then "(unattributed)" else h)) ]);
+          ])
+      hosts
+    @ List.concat_map
+        (fun h ->
+          List.map
+            (fun st ->
+              Json.Obj
+                [
+                  ("ph", Json.String "M");
+                  ("name", Json.String "thread_name");
+                  ("pid", Json.Int (Hashtbl.find pid_of h));
+                  ("tid", Json.Int (Hashtbl.find tid_of st));
+                  ("args", Json.Obj [ ("name", Json.String st) ]);
+                ])
+            stages)
+        hosts
+  in
+  let events =
+    List.map
+      (fun s ->
+        Json.Obj
+          [
+            ("name", Json.String s.stage);
+            ("cat", Json.String "fbsr");
+            ("ph", Json.String "X");
+            ("ts", Json.Float (s.t_begin *. 1e6));
+            ("dur", Json.Float (max 0.0 (s.t_end -. s.t_begin) *. 1e6));
+            ("pid", Json.Int (Hashtbl.find pid_of s.host));
+            ("tid", Json.Int (Hashtbl.find tid_of s.stage));
+            ( "args",
+              Json.Obj
+                ([
+                   ("trace_id", Json.String (hex_of_id s.id));
+                   ("outcome", Json.String s.outcome);
+                   ("cost_us", Json.Float (s.cost *. 1e6));
+                 ]
+                @ s.detail) );
+          ])
+      spans
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (meta @ events));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+(* ---- Plain-text timeline ------------------------------------------------ *)
+
+let pp_detail ppf detail =
+  List.iter
+    (fun (k, v) -> Format.fprintf ppf " %s=%s" k (Json.to_string v))
+    detail
+
+let pp_flow ppf id spans =
+  let t0 =
+    List.fold_left (fun acc s -> min acc s.t_begin) infinity spans
+  in
+  let t0 = if t0 = infinity then 0.0 else t0 in
+  let terminal =
+    List.fold_left
+      (fun acc s -> if s.outcome <> "" then s.outcome else acc)
+      "(in flight)" spans
+  in
+  Format.fprintf ppf "trace %s  %d span(s)  %s@." (hex_of_id id)
+    (List.length spans) terminal;
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "  %+12.1fus %-14s %-15s %9.1fus%s%a@."
+        ((s.t_begin -. t0) *. 1e6)
+        s.stage
+        (if s.host = "" then "-" else s.host)
+        (max 0.0 (s.t_end -. s.t_begin) *. 1e6)
+        (if s.outcome = "" then "" else "  [" ^ s.outcome ^ "]")
+        pp_detail s.detail)
+    spans
+
+let pp_timeline ?id ppf all =
+  let all = List.sort compare_span all in
+  let flow_ids =
+    match id with Some id -> [ id ] | None -> ids all
+  in
+  List.iteri
+    (fun i fid ->
+      if i > 0 then Format.pp_print_newline ppf ();
+      pp_flow ppf fid (by_id fid all))
+    flow_ids
+
+(* ---- Per-stage latency distribution ------------------------------------- *)
+
+type stage_stat = {
+  stat_stage : string;
+  count : int;
+  p50 : float;
+  p99 : float;
+  worst : float;
+}
+
+(* Nearest-rank percentile on a sorted array: the smallest value with at
+   least q of the mass at or below it. *)
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let rank = int_of_float (ceil (q *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let stage_stats spans =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      let l = try Hashtbl.find tbl s.stage with Not_found -> [] in
+      Hashtbl.replace tbl s.stage (s.cost :: l))
+    spans;
+  Hashtbl.fold (fun stage costs acc -> (stage, costs) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare_stage a b)
+  |> List.map (fun (stage, costs) ->
+         let arr = Array.of_list costs in
+         Array.sort compare arr;
+         {
+           stat_stage = stage;
+           count = Array.length arr;
+           p50 = percentile arr 0.50;
+           p99 = percentile arr 0.99;
+           worst = (if Array.length arr = 0 then 0.0 else arr.(Array.length arr - 1));
+         })

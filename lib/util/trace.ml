@@ -59,13 +59,16 @@ let clear t =
   Array.fill t.ring 0 (Array.length t.ring) None;
   t.next_seq <- 0
 
+(* Events recorded without a clock carry [nan]; JSON has no NaN, so the
+   member is emitted as an explicit [null] — omitting it entirely would
+   make "no clock" indistinguishable from "older schema" to consumers. *)
 let event_to_json e =
   Json.Obj
     (("seq", Json.Int e.seq)
-     ::
-     (if Float.is_nan e.time then [] else [ ("time", Json.Float e.time) ])
-    @ [ ("event", Json.String e.name) ]
-    @ e.fields)
+    :: ( "time",
+         if Float.is_nan e.time then Json.Null else Json.Float e.time )
+    :: ("event", Json.String e.name)
+    :: e.fields)
 
 let to_json t = Json.List (List.map event_to_json (events t))
 

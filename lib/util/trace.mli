@@ -46,6 +46,11 @@ val dropped : t -> int
 (** [total - length]: events lost to ring overwrite. *)
 
 val clear : t -> unit
+
 val event_to_json : event -> Json.t
+(** One event as an object.  The ["time"] member is always present;
+    events recorded without a clock (default [nan] time) carry
+    ["time": null] so the output stays spec-valid JSON. *)
+
 val to_json : t -> Json.t
 val pp : Format.formatter -> t -> unit

@@ -278,6 +278,159 @@ let test_soft_state_wipe_recovers () =
   check Alcotest.bool "certificates were refetched" true
     (fetches_after > fetches_before)
 
+(* ------------------------------------------------------------------ *)
+(* Causal tracing across the adversarial network.                      *)
+(* ------------------------------------------------------------------ *)
+
+module Span = Fbsr_util.Span
+
+let spans_of (r : Fbsr_experiments.Faults.result) = r.Fbsr_experiments.Faults.spans
+
+let stages_of id spans =
+  List.filter_map
+    (fun (s : Span.span) ->
+      if Int64.equal s.Span.id id then Some s.Span.stage else None)
+    spans
+
+let terminal_count outcome spans =
+  List.length
+    (List.filter
+       (fun (s : Span.span) -> String.equal s.Span.outcome outcome)
+       spans)
+
+(* On a fault-free network, some datagram's trace must cover the whole
+   datapath — sender classify/derive/seal, link transit, receiver
+   decap/replay/receive — under a single trace id, ending delivered. *)
+let test_span_full_chain () =
+  let r =
+    Fbsr_experiments.Faults.run ~seed:3 ~messages:20 ~faults:Link.perfect
+      ~span_capacity:65536 ()
+  in
+  let spans = spans_of r in
+  check Alcotest.bool "spans were recorded" true (spans <> []);
+  let required =
+    [
+      "fam.classify"; "keying.derive"; "engine.seal"; "netsim.link";
+      "stack.decap"; "replay.check"; "engine.receive";
+    ]
+  in
+  let full =
+    List.filter
+      (fun id ->
+        let st = stages_of id spans in
+        List.for_all (fun s -> List.mem s st) required)
+      (Span.ids spans)
+  in
+  check Alcotest.bool "one trace id covers all seven datapath stages" true
+    (full <> []);
+  check Alcotest.bool "and that flow ends delivered" true
+    (List.exists
+       (fun id ->
+         List.exists
+           (fun (s : Span.span) ->
+             Int64.equal s.Span.id id
+             && String.equal s.Span.stage "engine.receive"
+             && String.equal s.Span.outcome "delivered")
+           spans)
+       full)
+
+(* A duplicated frame is delivered twice, so its trace id must carry two
+   receive-side chains (the second typically ending drop:duplicate). *)
+let test_span_duplicate_chains () =
+  let faults = { Link.perfect with Link.duplicate = 0.5 } in
+  let r =
+    Fbsr_experiments.Faults.run ~seed:7 ~messages:40 ~faults
+      ~span_capacity:65536 ()
+  in
+  check Alcotest.bool "duplication actually happened" true
+    (r.Fbsr_experiments.Faults.link.Link.duplicated > 0);
+  let spans = spans_of r in
+  let receives id =
+    List.length
+      (List.filter
+         (fun (s : Span.span) ->
+           Int64.equal s.Span.id id && String.equal s.Span.stage "engine.receive")
+         spans)
+  in
+  check Alcotest.bool
+    "some trace id carries two receive-side span chains" true
+    (List.exists (fun id -> receives id >= 2) (Span.ids spans))
+
+(* Reordered delivery moves span *ends* into the future but can never
+   produce a span that ends before it began, and the collected list is
+   globally ordered by begin time. *)
+let test_span_monotone_under_reorder () =
+  let faults = { Link.perfect with Link.reorder = 0.5; reorder_delay = 0.3 } in
+  let r =
+    Fbsr_experiments.Faults.run ~seed:13 ~messages:60 ~faults
+      ~span_capacity:65536 ()
+  in
+  check Alcotest.bool "reordering actually happened" true
+    (r.Fbsr_experiments.Faults.link.Link.reordered > 0);
+  let spans = spans_of r in
+  List.iter
+    (fun (s : Span.span) ->
+      if not (s.Span.t_begin <= s.Span.t_end) then
+        Alcotest.failf "span %s begins after it ends (%g > %g)" s.Span.stage
+          s.Span.t_begin s.Span.t_end)
+    spans;
+  let rec sorted = function
+    | a :: (b :: _ as rest) ->
+        (a : Span.span).Span.t_begin <= b.Span.t_begin && sorted rest
+    | _ -> true
+  in
+  check Alcotest.bool "collected spans are ordered by begin time" true
+    (sorted spans)
+
+(* Every drop the engines and links counted appears as exactly one
+   terminal span outcome, and no span carries an unknown outcome. *)
+let test_span_terminal_accounting () =
+  let r =
+    Fbsr_experiments.Faults.run ~seed:23 ~messages:120
+      ~faults:Fbsr_experiments.Faults.hostile ~span_capacity:65536 ()
+  in
+  let spans = spans_of r in
+  let open Fbsr_experiments.Faults in
+  check Alcotest.int "every MAC failure is a drop:mac terminal"
+    r.mac_failures (terminal_count "drop:mac" spans);
+  check Alcotest.int "every header failure is a drop:header terminal"
+    r.header_failures (terminal_count "drop:header" spans);
+  check Alcotest.int "every stale rejection is a drop:stale terminal"
+    r.stale_rejections (terminal_count "drop:stale" spans);
+  check Alcotest.int "every duplicate rejection is a drop:duplicate terminal"
+    r.duplicate_rejections (terminal_count "drop:duplicate" spans);
+  check Alcotest.int "every decrypt failure is a drop:decrypt terminal"
+    r.decrypt_failures (terminal_count "drop:decrypt" spans);
+  check Alcotest.int "every link drop is a drop:link terminal"
+    r.link.Link.dropped (terminal_count "drop:link" spans);
+  check Alcotest.bool "delivered terminals exist" true
+    (terminal_count "delivered" spans > 0);
+  let known =
+    [
+      ""; "delivered"; "drop:header"; "drop:stale"; "drop:duplicate";
+      "drop:keying"; "drop:mac"; "drop:decrypt"; "drop:link";
+    ]
+  in
+  List.iter
+    (fun (s : Span.span) ->
+      if not (List.mem s.Span.outcome known) then
+        Alcotest.failf "unknown span outcome %S on stage %s" s.Span.outcome
+          s.Span.stage)
+    spans
+
+(* Tracing must not perturb the simulation: the same seed and profile
+   give byte-identical results with the recorders on or off. *)
+let test_span_tracing_is_transparent () =
+  let run cap =
+    let r =
+      Fbsr_experiments.Faults.run ~seed:23 ~messages:60
+        ~faults:Fbsr_experiments.Faults.hostile ~span_capacity:cap ()
+    in
+    { r with Fbsr_experiments.Faults.spans = [] }
+  in
+  check Alcotest.bool "identical result with tracing on and off" true
+    (run 0 = run 65536)
+
 let () =
   Alcotest.run "faults"
     [
@@ -307,5 +460,18 @@ let () =
             test_replayed_capture_rejected;
           Alcotest.test_case "soft-state wipe recovers" `Quick
             test_soft_state_wipe_recovers;
+        ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "full chain under one trace id" `Quick
+            test_span_full_chain;
+          Alcotest.test_case "duplicates yield two receive chains" `Quick
+            test_span_duplicate_chains;
+          Alcotest.test_case "monotone spans under reorder" `Quick
+            test_span_monotone_under_reorder;
+          Alcotest.test_case "terminal outcome accounting" `Quick
+            test_span_terminal_accounting;
+          Alcotest.test_case "tracing does not perturb the run" `Quick
+            test_span_tracing_is_transparent;
         ] );
     ]

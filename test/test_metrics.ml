@@ -163,6 +163,38 @@ let test_json_parse_roundtrip () =
   | exception Json.Parse_error _ -> ()
 
 (* ------------------------------------------------------------------ *)
+(* Prometheus text exposition.                                         *)
+(* ------------------------------------------------------------------ *)
+
+let contains sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_to_text () =
+  let m = Metrics.create () in
+  Metrics.incr ~by:3 (Metrics.counter m "fbs.engine.sends");
+  Metrics.set (Metrics.gauge m "depth") 1.5;
+  let h = Metrics.histogram ~buckets:[| 1.0; 10.0 |] m "lat" in
+  Metrics.observe h 0.5;
+  Metrics.observe h 5.0;
+  Metrics.observe h 50.0;
+  let text = Metrics.to_text m in
+  let has sub = check Alcotest.bool ("exposition contains " ^ sub) true (contains sub text) in
+  (* Dots sanitize to underscores; counters and gauges get TYPE lines. *)
+  has "# TYPE fbs_engine_sends counter";
+  has "fbs_engine_sends 3";
+  has "# TYPE depth gauge";
+  has "depth 1.5";
+  (* Histogram buckets are cumulative and always end at +Inf = count. *)
+  has "# TYPE lat histogram";
+  has "lat_bucket{le=\"1\"} 1";
+  has "lat_bucket{le=\"10\"} 2";
+  has "lat_bucket{le=\"+Inf\"} 3";
+  has "lat_sum 55.5";
+  has "lat_count 3"
+
+(* ------------------------------------------------------------------ *)
 (* Trace ring.                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -203,6 +235,173 @@ let test_trace_json () =
         (Option.bind (Json.member "time" ev) Json.to_float_opt)
   | _ -> Alcotest.fail "expected one event in trace JSON"
 
+(* Regression: an event emitted without ~time used to serialize its NaN
+   placeholder through Json.Float, which prints as null only by accident
+   of the printer; the "time" member must now be an explicit Json.Null. *)
+let test_trace_time_null () =
+  let t = Trace.create ~capacity:4 () in
+  Trace.emit t "untimed" [];
+  match Json.parse (Json.to_string (Trace.to_json t)) with
+  | Json.List [ ev ] ->
+      check Alcotest.bool "time member present and null" true
+        (Json.member "time" ev = Some Json.Null)
+  | _ -> Alcotest.fail "expected one event in trace JSON"
+
+(* ------------------------------------------------------------------ *)
+(* Span recorder (causal tracing).                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_ids () =
+  let a = Span.fresh_id () and b = Span.fresh_id () in
+  check Alcotest.bool "fresh ids are nonzero" false (Int64.equal a 0L);
+  check Alcotest.bool "fresh ids are distinct" false (Int64.equal a b);
+  check Alcotest.bool "no ambient id by default" true
+    (Int64.equal (Span.current ()) 0L);
+  Span.with_current a (fun () ->
+      check Alcotest.bool "ambient id visible inside" true
+        (Int64.equal (Span.current ()) a);
+      Span.with_current b (fun () ->
+          check Alcotest.bool "nesting shadows" true
+            (Int64.equal (Span.current ()) b));
+      check Alcotest.bool "inner restore" true
+        (Int64.equal (Span.current ()) a));
+  check Alcotest.bool "outer restore" true (Int64.equal (Span.current ()) 0L);
+  (match Span.with_current a (fun () -> failwith "boom") with
+  | () -> Alcotest.fail "exception swallowed"
+  | exception Failure _ -> ());
+  check Alcotest.bool "restored after exception" true
+    (Int64.equal (Span.current ()) 0L)
+
+let test_span_ring () =
+  let now = ref 0.0 in
+  let sp = Span.create ~capacity:3 ~host:"h" ~clock:(fun () -> !now) () in
+  check Alcotest.bool "enabled" true (Span.enabled sp);
+  for i = 1 to 5 do
+    let tm = Span.start sp in
+    now := !now +. 1.0;
+    Span.finish sp tm ~id:(Int64.of_int i) "stage"
+  done;
+  check Alcotest.int "retained bounded by capacity" 3
+    (List.length (Span.spans sp));
+  check Alcotest.int "total counts everything" 5 (Span.total sp);
+  check Alcotest.int "dropped = total - retained" 2 (Span.dropped sp);
+  check
+    (Alcotest.list Alcotest.int)
+    "oldest overwritten first"
+    [ 3; 4; 5 ]
+    (List.map (fun s -> Int64.to_int s.Span.id) (Span.spans sp));
+  Span.clear sp;
+  check Alcotest.int "clear empties the ring" 0 (List.length (Span.spans sp));
+  (* The disabled recorder records nothing and allocates nothing. *)
+  check Alcotest.bool "none is disabled" false (Span.enabled Span.none);
+  Span.finish Span.none (Span.start Span.none) "x";
+  check Alcotest.int "finish on none is a no-op" 0 (Span.total Span.none)
+
+let test_span_json_roundtrip () =
+  let now = ref 0.0 in
+  let sp = Span.create ~capacity:8 ~host:"10.0.0.1" ~clock:(fun () -> !now) () in
+  let id = Span.fresh_id () in
+  let tm = Span.start sp in
+  now := 0.5;
+  Span.finish sp tm ~id ~outcome:"delivered" "engine.receive"
+    ~detail:[ ("ok", Json.Bool true) ];
+  let tm2 = Span.start sp in
+  now := 0.75;
+  Span.finish sp tm2 ~id "replay.check";
+  let spans = Span.spans sp in
+  let back = Span.of_json (Json.parse (Json.to_string (Span.to_json spans))) in
+  check Alcotest.bool "spans survive a JSON round trip" true (back = spans);
+  check Alcotest.int "both spans share the trace id" 2
+    (List.length (Span.by_id id spans));
+  (match Span.of_json (Json.Obj [ ("schema", Json.String "nope/9") ]) with
+  | (_ : Span.span list) -> Alcotest.fail "wrong schema accepted"
+  | exception Invalid_argument _ -> ());
+  (* The plain-text timeline names the flow by its hex id. *)
+  let text = Format.asprintf "%a" (Span.pp_timeline ?id:None) spans in
+  check Alcotest.bool "timeline mentions the trace id" true
+    (contains (Printf.sprintf "%016Lx" id) text);
+  check Alcotest.bool "timeline mentions the terminal outcome" true
+    (contains "delivered" text)
+
+let test_span_chrome () =
+  let now = ref 0.0 in
+  let mk host = Span.create ~capacity:8 ~host ~clock:(fun () -> !now) () in
+  let s1 = mk "10.0.0.1" and s2 = mk "10.0.0.2" in
+  let id = Span.fresh_id () in
+  let tm = Span.start s1 in
+  now := 1e-3;
+  Span.finish s1 tm ~id "engine.seal";
+  let tm = Span.start s2 in
+  now := 2e-3;
+  Span.finish s2 tm ~id ~outcome:"delivered" "engine.receive";
+  match Span.chrome_json (Span.collect [ s1; s2 ]) with
+  | Json.Obj kvs -> (
+      match List.assoc_opt "traceEvents" kvs with
+      | Some (Json.List evs) ->
+          let ph p ev =
+            Json.member "ph" ev = Some (Json.String p)
+          in
+          let metas = List.filter (ph "M") evs in
+          let complete = List.filter (ph "X") evs in
+          (* Two process_name records (one per host) and a thread lane for
+             every host x stage combination (2 x 2). *)
+          check Alcotest.int "2 process + 4 thread metadata records" 6
+            (List.length metas);
+          check Alcotest.int "one complete event per span" 2
+            (List.length complete);
+          List.iter
+            (fun ev ->
+              match Json.member "args" ev with
+              | Some args ->
+                  check
+                    (Alcotest.option Alcotest.string)
+                    "trace id rides in args"
+                    (Some (Printf.sprintf "%016Lx" id))
+                    (Option.bind (Json.member "trace_id" args)
+                       Json.to_string_opt)
+              | None -> Alcotest.fail "X event without args")
+            complete
+      | _ -> Alcotest.fail "traceEvents missing or not a list")
+  | _ -> Alcotest.fail "chrome_json did not produce an object"
+
+let test_span_stage_stats () =
+  let cost = ref 0.0 in
+  let sp =
+    Span.create ~capacity:128 ~clock:(fun () -> 0.0)
+      ~cost_clock:(fun () -> !cost)
+      ()
+  in
+  for i = 1 to 100 do
+    cost := 0.0;
+    let tm = Span.start sp in
+    cost := float_of_int i /. 100.0;
+    Span.finish sp tm ~id:1L "engine.seal"
+  done;
+  match Span.stage_stats (Span.spans sp) with
+  | [ s ] ->
+      check Alcotest.string "stage" "engine.seal" s.Span.stat_stage;
+      check Alcotest.int "count" 100 s.Span.count;
+      check (Alcotest.float 1e-9) "p50 (nearest rank)" 0.50 s.Span.p50;
+      check (Alcotest.float 1e-9) "p99 (nearest rank)" 0.99 s.Span.p99;
+      check (Alcotest.float 1e-9) "worst" 1.0 s.Span.worst
+  | l -> Alcotest.failf "expected one stage, got %d" (List.length l)
+
+let test_span_metrics_histograms () =
+  let m = Metrics.create () in
+  let cost = ref 0.0 in
+  let sp =
+    Span.create ~capacity:8 ~clock:(fun () -> 0.0)
+      ~cost_clock:(fun () -> !cost)
+      ~metrics:(Metrics.sub m "span") ()
+  in
+  let tm = Span.start sp in
+  cost := 0.25;
+  Span.finish sp tm ~id:1L "engine.seal";
+  let h = Metrics.histogram (Metrics.sub m "span") "stage.engine.seal" in
+  check Alcotest.int "one observation per finish" 1 (Metrics.histogram_count h);
+  check (Alcotest.float 1e-9) "cost observed in seconds" 0.25
+    (Metrics.histogram_sum h)
+
 let () =
   Alcotest.run "metrics"
     [
@@ -218,6 +417,7 @@ let () =
           Alcotest.test_case "sub views scope" `Quick test_sub_scoping;
           Alcotest.test_case "reset spares probes" `Quick
             test_reset_spares_probes;
+          Alcotest.test_case "prometheus text exposition" `Quick test_to_text;
         ] );
       ( "json",
         [
@@ -232,5 +432,21 @@ let () =
             test_trace_ring_bounds;
           Alcotest.test_case "none is disabled" `Quick test_trace_none_disabled;
           Alcotest.test_case "to_json" `Quick test_trace_json;
+          Alcotest.test_case "default time serializes as null" `Quick
+            test_trace_time_null;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "ids and ambient context" `Quick test_span_ids;
+          Alcotest.test_case "ring bounds and disabled recorder" `Quick
+            test_span_ring;
+          Alcotest.test_case "json round-trip and timeline" `Quick
+            test_span_json_roundtrip;
+          Alcotest.test_case "chrome trace-event export" `Quick
+            test_span_chrome;
+          Alcotest.test_case "per-stage percentiles" `Quick
+            test_span_stage_stats;
+          Alcotest.test_case "per-stage latency histograms" `Quick
+            test_span_metrics_histograms;
         ] );
     ]
