@@ -6,7 +6,16 @@
    A benchmark regresses when new > old * (1 + threshold).  Benchmarks are
    the gate; registry counters are printed informationally (a counter shift
    means behaviour changed, which a timing gate should not conflate with
-   being slower).  Exit status: 0 clean, 1 regression(s), 2 usage or parse
+   being slower).  Improvements (new < old * (1 - threshold)) are reported
+   in their own section: they never fail the diff, but a stale baseline
+   stops guarding the improved rows — when an intentional speedup lands,
+   regenerate the baseline (see README "Regenerating the bench baseline").
+
+   Datapath columns named [allocs_per_datagram] are gated exactly: they
+   are deterministic counter ratios (the zero-copy invariant), so any
+   drift — in either direction — means the datapath changed shape and the
+   committed baseline must be re-examined, not absorbed by a timing
+   threshold.  Exit status: 0 clean, 1 regression(s), 2 usage or parse
    error. *)
 
 let usage () =
@@ -64,6 +73,7 @@ let () =
   let old_benches = obj_members "benchmarks" old_doc in
   let new_benches = obj_members "benchmarks" new_doc in
   let regressions = ref 0 in
+  let improvements = ref [] in
   Printf.printf "%-50s %12s %12s %9s\n" "benchmark" "old ns/op" "new ns/op" "delta";
   Printf.printf "%s\n" (String.make 86 '-');
   List.iter
@@ -77,9 +87,13 @@ let () =
             if old_ns > 0.0 then (new_ns -. old_ns) /. old_ns *. 100.0 else 0.0
           in
           let regressed = old_ns > 0.0 && new_ns > old_ns *. (1.0 +. !threshold) in
+          let improved = old_ns > 0.0 && new_ns < old_ns *. (1.0 -. !threshold) in
           if regressed then incr regressions;
+          if improved then improvements := (name, old_ns, new_ns, delta) :: !improvements;
           Printf.printf "%-50s %12.1f %12.1f %+8.1f%%%s\n" name old_ns new_ns delta
-            (if regressed then "  REGRESSED" else "")
+            (if regressed then "  REGRESSED"
+             else if improved then "  improved"
+             else "")
       | _ -> Printf.printf "%-50s (missing from %s)\n" name new_path)
     old_benches;
   List.iter
@@ -87,22 +101,39 @@ let () =
       if not (List.mem_assoc name old_benches) then
         Printf.printf "%-50s (new benchmark)\n" name)
     new_benches;
+  (* Improvements: never a failure, but called out separately — each one
+     means the baseline no longer guards that row (a later slowdown back
+     to the old speed would pass the gate unnoticed). *)
+  (match List.rev !improvements with
+  | [] -> ()
+  | imps ->
+      Printf.printf "\n%d benchmark(s) improved beyond -%.0f%% (baseline is stale for these):\n"
+        (List.length imps)
+        (100.0 *. !threshold);
+      List.iter
+        (fun (name, old_ns, new_ns, delta) ->
+          Printf.printf "  %-48s %12.1f -> %.1f  (%+.1f%%)\n" name old_ns new_ns delta)
+        imps;
+      Printf.printf
+        "  if intentional, regenerate the committed baseline (README: \"Regenerating the bench baseline\")\n");
   (* Datapath allocation audit: gated at the same threshold when both
      artifacts carry it (the fields are deterministic counter ratios, so
      the gate is tight by construction).  Only the per-datagram fields
      are gated; the fixture-shape fields (payload size, iteration count)
      are informational.  A zero old value means the zero-copy invariant
-     held — any new nonzero value is a regression of that invariant. *)
+     held — any new nonzero value is a regression of that invariant.
+     [allocs_per_datagram] is tighter still: exact equality with the
+     baseline, both directions, so a datapath shape change can never hide
+     inside the timing threshold. *)
   let old_datapath = obj_members "datapath" old_doc in
   let new_datapath = obj_members "datapath" new_doc in
-  let gated name =
-    let contains_sub sub s =
-      let n = String.length sub and m = String.length s in
-      let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
-      go 0
-    in
-    contains_sub "per_datagram" name
+  let contains_sub sub s =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    go 0
   in
+  let gated name = contains_sub "per_datagram" name in
+  let exact name = contains_sub "allocs_per_datagram" name in
   if old_datapath <> [] && new_datapath <> [] then begin
     Printf.printf "\n%-50s %12s %12s %9s\n" "datapath" "old" "new" "delta";
     Printf.printf "%s\n" (String.make 86 '-');
@@ -117,12 +148,15 @@ let () =
               if old_x > 0.0 then (new_x -. old_x) /. old_x *. 100.0 else 0.0
             in
             let regressed =
-              if old_x > 0.0 then new_x > old_x *. (1.0 +. !threshold)
+              if exact name then Float.abs (new_x -. old_x) > 1e-9
+              else if old_x > 0.0 then new_x > old_x *. (1.0 +. !threshold)
               else new_x > 1e-9
             in
             if regressed then incr regressions;
             Printf.printf "%-50s %12.1f %12.1f %+8.1f%%%s\n" name old_x new_x delta
-              (if regressed then "  REGRESSED" else "")
+              (if regressed then
+                 if exact name then "  REGRESSED (exact gate)" else "  REGRESSED"
+               else "")
         | _ -> ())
       old_datapath
   end

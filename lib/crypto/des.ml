@@ -3,140 +3,27 @@
    confounder in the FBS header is the IV for CBC/CFB/OFB, and in ECB mode
    it is XORed with every plaintext block before encryption (Section 5.2).
 
-   Representation: a 64-bit block is an int64 whose most significant bit is
-   "bit 1" in FIPS numbering.  Permutations are applied via a generic
-   bit-gather; the S-boxes are fused with the P permutation into eight
-   precomputed SP tables, which keeps the per-round work to an expansion,
-   a XOR and eight table lookups. *)
+   The block kernel lives in {!Des_kernel}: fused SP tables, byte-indexed
+   IP/FP, sixteen unrolled rounds on untagged native [int] halves.  This
+   module owns key handling (schedules, parity, weak keys) and the FIPS 81
+   mode loops.  The mode loops keep a block in a single reused 2-element
+   scratch array and load/store halves straight from the source/destination
+   buffers, so steady-state encryption allocates nothing per block.  The
+   original bit-gather implementation survives as {!Des_ref}, the
+   differential-testing oracle. *)
 
 exception Weak_key
 
 let block_size = 8
 let key_size = 8
 
-(* --- FIPS tables (entries are 1-based source bit positions, MSB first) --- *)
+(* A key is its expanded schedule, packed for the kernel: encrypt-order
+   and decrypt-order round words.  Expansion happens once in [of_string];
+   the engine additionally caches expanded keys per flow (TFKC/RFKC). *)
+type key = { ke : int array; kd : int array }
 
-let ip_table =
-  [| 58; 50; 42; 34; 26; 18; 10; 2; 60; 52; 44; 36; 28; 20; 12; 4;
-     62; 54; 46; 38; 30; 22; 14; 6; 64; 56; 48; 40; 32; 24; 16; 8;
-     57; 49; 41; 33; 25; 17;  9; 1; 59; 51; 43; 35; 27; 19; 11; 3;
-     61; 53; 45; 37; 29; 21; 13; 5; 63; 55; 47; 39; 31; 23; 15; 7 |]
-
-let fp_table =
-  [| 40; 8; 48; 16; 56; 24; 64; 32; 39; 7; 47; 15; 55; 23; 63; 31;
-     38; 6; 46; 14; 54; 22; 62; 30; 37; 5; 45; 13; 53; 21; 61; 29;
-     36; 4; 44; 12; 52; 20; 60; 28; 35; 3; 43; 11; 51; 19; 59; 27;
-     34; 2; 42; 10; 50; 18; 58; 26; 33; 1; 41;  9; 49; 17; 57; 25 |]
-
-let e_table =
-  [| 32;  1;  2;  3;  4;  5;  4;  5;  6;  7;  8;  9;
-      8;  9; 10; 11; 12; 13; 12; 13; 14; 15; 16; 17;
-     16; 17; 18; 19; 20; 21; 20; 21; 22; 23; 24; 25;
-     24; 25; 26; 27; 28; 29; 28; 29; 30; 31; 32;  1 |]
-
-let p_table =
-  [| 16;  7; 20; 21; 29; 12; 28; 17;  1; 15; 23; 26;  5; 18; 31; 10;
-      2;  8; 24; 14; 32; 27;  3;  9; 19; 13; 30;  6; 22; 11;  4; 25 |]
-
-let pc1_table =
-  [| 57; 49; 41; 33; 25; 17;  9;  1; 58; 50; 42; 34; 26; 18;
-     10;  2; 59; 51; 43; 35; 27; 19; 11;  3; 60; 52; 44; 36;
-     63; 55; 47; 39; 31; 23; 15;  7; 62; 54; 46; 38; 30; 22;
-     14;  6; 61; 53; 45; 37; 29; 21; 13;  5; 28; 20; 12;  4 |]
-
-let pc2_table =
-  [| 14; 17; 11; 24;  1;  5;  3; 28; 15;  6; 21; 10;
-     23; 19; 12;  4; 26;  8; 16;  7; 27; 20; 13;  2;
-     41; 52; 31; 37; 47; 55; 30; 40; 51; 45; 33; 48;
-     44; 49; 39; 56; 34; 53; 46; 42; 50; 36; 29; 32 |]
-
-let key_shifts = [| 1; 1; 2; 2; 2; 2; 2; 2; 1; 2; 2; 2; 2; 2; 2; 1 |]
-
-let sboxes =
-  [| (* S1 *)
-     [| 14;  4; 13;  1;  2; 15; 11;  8;  3; 10;  6; 12;  5;  9;  0;  7;
-         0; 15;  7;  4; 14;  2; 13;  1; 10;  6; 12; 11;  9;  5;  3;  8;
-         4;  1; 14;  8; 13;  6;  2; 11; 15; 12;  9;  7;  3; 10;  5;  0;
-        15; 12;  8;  2;  4;  9;  1;  7;  5; 11;  3; 14; 10;  0;  6; 13 |];
-     (* S2 *)
-     [| 15;  1;  8; 14;  6; 11;  3;  4;  9;  7;  2; 13; 12;  0;  5; 10;
-         3; 13;  4;  7; 15;  2;  8; 14; 12;  0;  1; 10;  6;  9; 11;  5;
-         0; 14;  7; 11; 10;  4; 13;  1;  5;  8; 12;  6;  9;  3;  2; 15;
-        13;  8; 10;  1;  3; 15;  4;  2; 11;  6;  7; 12;  0;  5; 14;  9 |];
-     (* S3 *)
-     [| 10;  0;  9; 14;  6;  3; 15;  5;  1; 13; 12;  7; 11;  4;  2;  8;
-        13;  7;  0;  9;  3;  4;  6; 10;  2;  8;  5; 14; 12; 11; 15;  1;
-        13;  6;  4;  9;  8; 15;  3;  0; 11;  1;  2; 12;  5; 10; 14;  7;
-         1; 10; 13;  0;  6;  9;  8;  7;  4; 15; 14;  3; 11;  5;  2; 12 |];
-     (* S4 *)
-     [|  7; 13; 14;  3;  0;  6;  9; 10;  1;  2;  8;  5; 11; 12;  4; 15;
-        13;  8; 11;  5;  6; 15;  0;  3;  4;  7;  2; 12;  1; 10; 14;  9;
-        10;  6;  9;  0; 12; 11;  7; 13; 15;  1;  3; 14;  5;  2;  8;  4;
-         3; 15;  0;  6; 10;  1; 13;  8;  9;  4;  5; 11; 12;  7;  2; 14 |];
-     (* S5 *)
-     [|  2; 12;  4;  1;  7; 10; 11;  6;  8;  5;  3; 15; 13;  0; 14;  9;
-        14; 11;  2; 12;  4;  7; 13;  1;  5;  0; 15; 10;  3;  9;  8;  6;
-         4;  2;  1; 11; 10; 13;  7;  8; 15;  9; 12;  5;  6;  3;  0; 14;
-        11;  8; 12;  7;  1; 14;  2; 13;  6; 15;  0;  9; 10;  4;  5;  3 |];
-     (* S6 *)
-     [| 12;  1; 10; 15;  9;  2;  6;  8;  0; 13;  3;  4; 14;  7;  5; 11;
-        10; 15;  4;  2;  7; 12;  9;  5;  6;  1; 13; 14;  0; 11;  3;  8;
-         9; 14; 15;  5;  2;  8; 12;  3;  7;  0;  4; 10;  1; 13; 11;  6;
-         4;  3;  2; 12;  9;  5; 15; 10; 11; 14;  1;  7;  6;  0;  8; 13 |];
-     (* S7 *)
-     [|  4; 11;  2; 14; 15;  0;  8; 13;  3; 12;  9;  7;  5; 10;  6;  1;
-        13;  0; 11;  7;  4;  9;  1; 10; 14;  3;  5; 12;  2; 15;  8;  6;
-         1;  4; 11; 13; 12;  3;  7; 14; 10; 15;  6;  8;  0;  5;  9;  2;
-         6; 11; 13;  8;  1;  4; 10;  7;  9;  5;  0; 15; 14;  2;  3; 12 |];
-     (* S8 *)
-     [| 13;  2;  8;  4;  6; 15; 11;  1; 10;  9;  3; 14;  5;  0; 12;  7;
-         1; 15; 13;  8; 10;  3;  7;  4; 12;  5;  6; 11;  0; 14;  9;  2;
-         7; 11;  4;  1;  9; 12; 14;  2;  0;  6; 10; 13; 15;  3;  5;  8;
-         2;  1; 14;  7;  4; 10;  8; 13; 15; 12;  9;  0;  3;  5;  6; 11 |] |]
-
-(* Generic bit gather: source value is [width] bits wide, bit 1 = MSB. *)
-let permute (v : int64) ~width table =
-  let out = ref 0L in
-  let n = Array.length table in
-  for i = 0 to n - 1 do
-    let src = table.(i) in
-    let bit = Int64.logand (Int64.shift_right_logical v (width - src)) 1L in
-    out := Int64.logor (Int64.shift_left !out 1) bit
-  done;
-  !out
-
-(* SP tables: S-box output already pushed through the P permutation, one
-   32-bit word per (box, 6-bit input). *)
-let sp_tables =
-  lazy
-    (Array.init 8 (fun box ->
-         Array.init 64 (fun six ->
-             let row = ((six lsr 4) land 2) lor (six land 1) in
-             let col = (six lsr 1) land 0xf in
-             let s = sboxes.(box).((row * 16) + col) in
-             (* Place the 4-bit output at its position in the 32-bit word. *)
-             let word = Int64.of_int (s lsl (28 - (4 * box))) in
-             Int64.to_int (permute word ~width:32 p_table))))
-
-(* Key schedule: sixteen 48-bit subkeys as int64. *)
-let key_schedule (key : string) : int64 array =
-  if String.length key <> key_size then invalid_arg "Des: key must be 8 bytes";
-  let k64 = ref 0L in
-  String.iter
-    (fun c -> k64 := Int64.logor (Int64.shift_left !k64 8) (Int64.of_int (Char.code c)))
-    key;
-  let k56 = permute !k64 ~width:64 pc1_table in
-  let c = ref (Int64.to_int (Int64.shift_right_logical k56 28)) in
-  let d = ref (Int64.to_int (Int64.logand k56 0xfffffffL)) in
-  let rot28 v n = ((v lsl n) lor (v lsr (28 - n))) land 0xfffffff in
-  Array.init 16 (fun round ->
-      let n = key_shifts.(round) in
-      c := rot28 !c n;
-      d := rot28 !d n;
-      let cd = Int64.logor (Int64.shift_left (Int64.of_int !c) 28) (Int64.of_int !d) in
-      permute cd ~width:56 pc2_table)
-
-type key = { subkeys : int64 array }
+let sched_e k = k.ke
+let sched_d k = k.kd
 
 let weak_keys =
   (* The four weak keys of FIPS 74, with standard odd parity. *)
@@ -151,8 +38,10 @@ let is_weak_key key =
   List.exists (fun w -> strip_parity (Fbsr_util.Hex.decode w) = k) weak_keys
 
 let of_string ?(check_weak = false) key =
+  if String.length key <> key_size then invalid_arg "Des: key must be 8 bytes";
   if check_weak && is_weak_key key then raise Weak_key;
-  { subkeys = key_schedule key }
+  let ke, kd = Des_kernel.schedule key in
+  { ke; kd }
 
 let adjust_parity key =
   String.init (String.length key) (fun i ->
@@ -163,33 +52,27 @@ let adjust_parity key =
       done;
       Char.chr (b lor if !ones land 1 = 0 then 1 else 0))
 
-(* The round function, on native ints for speed: r and the return value are
-   32-bit values stored in an int. *)
-let feistel sp (r : int) (subkey : int64) : int =
-  let er = permute (Int64.of_int r) ~width:32 e_table in
-  let x = Int64.logxor er subkey in
-  let out = ref 0 in
-  for box = 0 to 7 do
-    let six = Int64.to_int (Int64.shift_right_logical x (42 - (6 * box))) land 0x3f in
-    out := !out lor sp.(box).(six)
-  done;
-  !out
+(* One full DES pass over the scratch block. *)
+let[@inline] crypt_io ks io =
+  Des_kernel.ip io;
+  Des_kernel.rounds ks io;
+  Des_kernel.fp io
 
-let crypt_block key ~decrypt (block : int64) : int64 =
-  let sp = Lazy.force sp_tables in
-  let v = permute block ~width:64 ip_table in
-  let l = ref (Int64.to_int (Int64.shift_right_logical v 32)) in
-  let r = ref (Int64.to_int (Int64.logand v 0xffffffffL)) in
-  for round = 0 to 15 do
-    let k = if decrypt then key.subkeys.(15 - round) else key.subkeys.(round) in
-    let nl = !r in
-    let nr = !l lxor feistel sp !r k in
-    l := nl;
-    r := nr
-  done;
-  (* Final swap then FP. *)
-  let pre = Int64.logor (Int64.shift_left (Int64.of_int !r) 32) (Int64.of_int !l) in
-  permute pre ~width:64 fp_table
+(* Byte [j] (0..7, MSB first) of the block held as two 32-bit halves. *)
+let[@inline] blk_byte h l j =
+  if j < 4 then (h lsr (24 - (8 * j))) land 0xff else (l lsr (56 - (8 * j))) land 0xff
+
+(* --- Int64 block API (tests, oracles; not on the datagram path) --- *)
+
+let crypt_block_i64 ks (block : int64) : int64 =
+  let io = Array.make 2 0 in
+  io.(0) <- Int64.to_int (Int64.shift_right_logical block 32);
+  io.(1) <- Int64.to_int (Int64.logand block 0xffffffffL);
+  crypt_io ks io;
+  Int64.logor (Int64.shift_left (Int64.of_int io.(0)) 32) (Int64.of_int io.(1))
+
+let encrypt_block key pt = crypt_block_i64 key.ke pt
+let decrypt_block key ct = crypt_block_i64 key.kd ct
 
 let block_of_string s off =
   let v = ref 0L in
@@ -203,9 +86,6 @@ let block_to_bytes b off (v : int64) =
     Bytes.set b (off + i)
       (Char.chr (Int64.to_int (Int64.shift_right_logical v (56 - (8 * i))) land 0xff))
   done
-
-let encrypt_block key pt = crypt_block key ~decrypt:false pt
-let decrypt_block key ct = crypt_block key ~decrypt:true ct
 
 let encrypt_block_bytes key (pt : string) : string =
   if String.length pt <> 8 then invalid_arg "Des.encrypt_block_bytes: need 8 bytes";
@@ -240,63 +120,106 @@ let unpad s =
   done;
   String.sub s 0 (n - padding)
 
-let check_iv iv =
-  if String.length iv <> 8 then invalid_arg "Des: IV must be 8 bytes";
-  block_of_string iv 0
+let check_iv iv = if String.length iv <> 8 then invalid_arg "Des: IV must be 8 bytes"
 
 (* ECB with the paper's confounder whitening: the confounder (expanded to a
    64-bit block) is XORed with every plaintext block before encryption. *)
 let encrypt_ecb ?(confounder = String.make 8 '\000') key pt =
-  let cf = check_iv confounder in
+  check_iv confounder;
+  let cfh = Des_kernel.read32 confounder 0 and cfl = Des_kernel.read32 confounder 4 in
   let data = pad pt in
   let n = String.length data / 8 in
   let out = Bytes.create (n * 8) in
+  let io = Array.make 2 0 in
   for i = 0 to n - 1 do
-    let b = Int64.logxor (block_of_string data (i * 8)) cf in
-    block_to_bytes out (i * 8) (encrypt_block key b)
+    let pos = i * 8 in
+    io.(0) <- Des_kernel.read32 data pos lxor cfh;
+    io.(1) <- Des_kernel.read32 data (pos + 4) lxor cfl;
+    crypt_io key.ke io;
+    Des_kernel.write32 out pos io.(0);
+    Des_kernel.write32 out (pos + 4) io.(1)
   done;
   Bytes.unsafe_to_string out
 
 let decrypt_ecb ?(confounder = String.make 8 '\000') key ct =
-  let cf = check_iv confounder in
+  check_iv confounder;
+  let cfh = Des_kernel.read32 confounder 0 and cfl = Des_kernel.read32 confounder 4 in
   let n = String.length ct in
   if n = 0 || n mod 8 <> 0 then invalid_arg "Des.decrypt_ecb: bad length";
   let out = Bytes.create n in
+  let io = Array.make 2 0 in
   for i = 0 to (n / 8) - 1 do
-    let b = decrypt_block key (block_of_string ct (i * 8)) in
-    block_to_bytes out (i * 8) (Int64.logxor b cf)
+    let pos = i * 8 in
+    io.(0) <- Des_kernel.read32 ct pos;
+    io.(1) <- Des_kernel.read32 ct (pos + 4);
+    crypt_io key.kd io;
+    Des_kernel.write32 out pos (io.(0) lxor cfh);
+    Des_kernel.write32 out (pos + 4) (io.(1) lxor cfl)
   done;
   unpad (Bytes.unsafe_to_string out)
 
+(* The CBC inner loop: encrypt [n] whole blocks of [src] starting at
+   [src_pos] into [dst] at [dst_pos], chaining through [io]'s current
+   contents (the previous ciphertext block or IV), leaving the last
+   ciphertext block in [io].  Shared by the string, incremental and
+   into-buffer entry points; no allocation, no bounds checks. *)
+let cbc_blocks ks (io : int array) src src_pos n dst dst_pos =
+  for i = 0 to n - 1 do
+    let sp = src_pos + (i * 8) and dp = dst_pos + (i * 8) in
+    io.(0) <- io.(0) lxor Des_kernel.read32 src sp;
+    io.(1) <- io.(1) lxor Des_kernel.read32 src (sp + 4);
+    crypt_io ks io;
+    Des_kernel.write32 dst dp io.(0);
+    Des_kernel.write32 dst (dp + 4) io.(1)
+  done
+
 let encrypt_cbc ~iv key pt =
+  check_iv iv;
   let data = pad pt in
   let n = String.length data / 8 in
   let out = Bytes.create (n * 8) in
-  let prev = ref (check_iv iv) in
-  for i = 0 to n - 1 do
-    let b = Int64.logxor (block_of_string data (i * 8)) !prev in
-    let c = encrypt_block key b in
-    block_to_bytes out (i * 8) c;
-    prev := c
-  done;
+  let io = Array.make 2 0 in
+  io.(0) <- Des_kernel.read32 iv 0;
+  io.(1) <- Des_kernel.read32 iv 4;
+  cbc_blocks key.ke io data 0 n out 0;
   Bytes.unsafe_to_string out
 
 let decrypt_cbc ~iv key ct =
+  check_iv iv;
   let n = String.length ct in
   if n = 0 || n mod 8 <> 0 then invalid_arg "Des.decrypt_cbc: bad length";
   let out = Bytes.create n in
-  let prev = ref (check_iv iv) in
+  let io = Array.make 2 0 in
+  let ph = ref (Des_kernel.read32 iv 0) and pl = ref (Des_kernel.read32 iv 4) in
   for i = 0 to (n / 8) - 1 do
-    let c = block_of_string ct (i * 8) in
-    let p = Int64.logxor (decrypt_block key c) !prev in
-    block_to_bytes out (i * 8) p;
-    prev := c
+    let pos = i * 8 in
+    let ch = Des_kernel.read32 ct pos and cl = Des_kernel.read32 ct (pos + 4) in
+    io.(0) <- ch;
+    io.(1) <- cl;
+    crypt_io key.kd io;
+    Des_kernel.write32 out pos (io.(0) lxor !ph);
+    Des_kernel.write32 out (pos + 4) (io.(1) lxor !pl);
+    ph := ch;
+    pl := cl
   done;
   unpad (Bytes.unsafe_to_string out)
 
 (* Ciphertext length of a padded-mode (CBC/ECB) encryption: the padding
    always adds 1-8 bytes, so the output is the next multiple of 8. *)
 let padded_length n = n + 8 - (n mod 8)
+
+(* Encrypt the final CBC block: the 0-7 leftover source bytes then PKCS#7
+   padding bytes, chained through [io]. *)
+let cbc_final_block ks (io : int array) src src_pos r dst dst_pos =
+  let padding = 8 - r in
+  let byte j = if j < r then Char.code (String.unsafe_get src (src_pos + j)) else padding in
+  let bh = (byte 0 lsl 24) lor (byte 1 lsl 16) lor (byte 2 lsl 8) lor byte 3 in
+  let bl = (byte 4 lsl 24) lor (byte 5 lsl 16) lor (byte 6 lsl 8) lor byte 7 in
+  io.(0) <- io.(0) lxor bh;
+  io.(1) <- io.(1) lxor bl;
+  crypt_io ks io;
+  Des_kernel.write32 dst dst_pos io.(0);
+  Des_kernel.write32 dst (dst_pos + 4) io.(1)
 
 (* CBC encryption from a sub-range of [src] directly into [dst] — the
    one-allocation seal path builds the wire buffer and encrypts into it,
@@ -309,24 +232,13 @@ let encrypt_cbc_into ~iv key ~src ~src_pos ~src_len ~dst ~dst_pos =
   let out_len = padded_length src_len in
   if dst_pos < 0 || dst_pos > Bytes.length dst - out_len then
     invalid_arg "Des.encrypt_cbc_into: destination too short";
-  let prev = ref (check_iv iv) in
+  check_iv iv;
+  let io = Array.make 2 0 in
+  io.(0) <- Des_kernel.read32 iv 0;
+  io.(1) <- Des_kernel.read32 iv 4;
   let whole = src_len land lnot 7 in
-  for i = 0 to (whole / 8) - 1 do
-    let b = Int64.logxor (block_of_string src (src_pos + (i * 8))) !prev in
-    let c = encrypt_block key b in
-    block_to_bytes dst (dst_pos + (i * 8)) c;
-    prev := c
-  done;
-  (* Final block: the 0-7 leftover bytes then padding bytes, each equal
-     to the padding length (8 when the input is block-aligned). *)
-  let r = src_len - whole in
-  let padding = 8 - r in
-  let b = ref 0L in
-  for j = 0 to 7 do
-    let byte = if j < r then Char.code src.[src_pos + whole + j] else padding in
-    b := Int64.logor (Int64.shift_left !b 8) (Int64.of_int byte)
-  done;
-  block_to_bytes dst (dst_pos + whole) (encrypt_block key (Int64.logxor !b !prev));
+  cbc_blocks key.ke io src src_pos (whole / 8) dst dst_pos;
+  cbc_final_block key.ke io src (src_pos + whole) (src_len - whole) dst (dst_pos + whole);
   out_len
 
 (* CBC decryption of a sub-range without copying the ciphertext out of
@@ -338,48 +250,60 @@ let decrypt_cbc_sub ~iv key ~src ~pos ~len =
   if pos < 0 || len < 0 || pos > String.length src - len then
     invalid_arg "Des.decrypt_cbc_sub: bad source range";
   if len = 0 || len mod 8 <> 0 then invalid_arg "Des.decrypt_cbc_sub: bad length";
-  let iv = check_iv iv in
+  check_iv iv;
+  let ivh = Des_kernel.read32 iv 0 and ivl = Des_kernel.read32 iv 4 in
   let n = len / 8 in
-  let last_prev = if n = 1 then iv else block_of_string src (pos + ((n - 2) * 8)) in
-  let last = Int64.logxor (decrypt_block key (block_of_string src (pos + ((n - 1) * 8)))) last_prev in
-  let padding = Int64.to_int (Int64.logand last 0xffL) in
+  let io = Array.make 2 0 in
+  let lp_pos = pos + ((n - 2) * 8) in
+  let lph = if n = 1 then ivh else Des_kernel.read32 src lp_pos in
+  let lpl = if n = 1 then ivl else Des_kernel.read32 src (lp_pos + 4) in
+  io.(0) <- Des_kernel.read32 src (pos + ((n - 1) * 8));
+  io.(1) <- Des_kernel.read32 src (pos + ((n - 1) * 8) + 4);
+  crypt_io key.kd io;
+  let lh = io.(0) lxor lph and ll = io.(1) lxor lpl in
+  let padding = ll land 0xff in
   if padding < 1 || padding > 8 then invalid_arg "Des.decrypt_cbc_sub: corrupt padding";
   for j = 8 - padding to 7 do
-    if Int64.to_int (Int64.shift_right_logical last (56 - (8 * j))) land 0xff <> padding
-    then invalid_arg "Des.decrypt_cbc_sub: corrupt padding"
+    if blk_byte lh ll j <> padding then invalid_arg "Des.decrypt_cbc_sub: corrupt padding"
   done;
   let out = Bytes.create (len - padding) in
-  let prev = ref iv in
+  let ph = ref ivh and pl = ref ivl in
   for i = 0 to n - 2 do
-    let c = block_of_string src (pos + (i * 8)) in
-    block_to_bytes out (i * 8) (Int64.logxor (decrypt_block key c) !prev);
-    prev := c
+    let sp = pos + (i * 8) in
+    let ch = Des_kernel.read32 src sp and cl = Des_kernel.read32 src (sp + 4) in
+    io.(0) <- ch;
+    io.(1) <- cl;
+    crypt_io key.kd io;
+    Des_kernel.write32 out (i * 8) (io.(0) lxor !ph);
+    Des_kernel.write32 out ((i * 8) + 4) (io.(1) lxor !pl);
+    ph := ch;
+    pl := cl
   done;
   for j = 0 to 7 - padding do
-    Bytes.set out (((n - 1) * 8) + j)
-      (Char.chr (Int64.to_int (Int64.shift_right_logical last (56 - (8 * j))) land 0xff))
+    Bytes.set out (((n - 1) * 8) + j) (Char.chr (blk_byte lh ll j))
   done;
   Bytes.unsafe_to_string out
 
 (* Incremental CBC: lets callers interleave encryption with other
    data-touching work (Section 5.3 of the paper: "the MAC computation and
    encryption should be rolled into one loop").  Feed whole blocks with
-   [cbc_update]; [cbc_finish] pads the tail. *)
+   [cbc_update]; [cbc_finish] pads the tail.  The chaining block lives in
+   the context's scratch array, so whole-block updates do not box. *)
 
-type cbc_ctx = { cbc_key : key; mutable prev : int64; tail : Buffer.t }
+type cbc_ctx = { cbc_key : key; chain : int array; tail : Buffer.t }
 
-let cbc_init ~iv key = { cbc_key = key; prev = check_iv iv; tail = Buffer.create 8 }
+let cbc_init ~iv key =
+  check_iv iv;
+  let chain = Array.make 2 0 in
+  chain.(0) <- Des_kernel.read32 iv 0;
+  chain.(1) <- Des_kernel.read32 iv 4;
+  { cbc_key = key; chain; tail = Buffer.create 8 }
 
 let cbc_encrypt_blocks ctx data =
   (* data length must be a multiple of 8 *)
   let n = String.length data / 8 in
   let out = Bytes.create (n * 8) in
-  for i = 0 to n - 1 do
-    let b = Int64.logxor (block_of_string data (i * 8)) ctx.prev in
-    let c = crypt_block ctx.cbc_key ~decrypt:false b in
-    block_to_bytes out (i * 8) c;
-    ctx.prev <- c
-  done;
+  cbc_blocks ctx.cbc_key.ke ctx.chain data 0 n out 0;
   Bytes.unsafe_to_string out
 
 let cbc_update ctx data =
@@ -396,30 +320,70 @@ let cbc_update ctx data =
 let cbc_finish ctx =
   let rest = Buffer.contents ctx.tail in
   Buffer.clear ctx.tail;
-  cbc_encrypt_blocks ctx (pad rest)
+  let r = String.length rest in
+  let out = Bytes.create 8 in
+  cbc_final_block ctx.cbc_key.ke ctx.chain rest 0 r out 0;
+  Bytes.unsafe_to_string out
+
+(* Zero-allocation incremental CBC over whole blocks straight into a
+   caller buffer — the [Fused] single-pass MAC+encrypt loop.  [chain] is
+   a 2-element scratch holding the running ciphertext block (seed it with
+   [cbc_seed_chain]); [cbc_blocks_into] consumes [nblocks] whole blocks,
+   [cbc_tail_into] the final 0-7 leftover bytes plus padding (writes
+   exactly one block). *)
+
+let cbc_seed_chain ~iv chain =
+  check_iv iv;
+  chain.(0) <- Des_kernel.read32 iv 0;
+  chain.(1) <- Des_kernel.read32 iv 4
+
+let cbc_blocks_into key chain ~src ~src_pos ~nblocks ~dst ~dst_pos =
+  if src_pos < 0 || nblocks < 0 || src_pos > String.length src - (nblocks * 8) then
+    invalid_arg "Des.cbc_blocks_into: bad source range";
+  if dst_pos < 0 || dst_pos > Bytes.length dst - (nblocks * 8) then
+    invalid_arg "Des.cbc_blocks_into: destination too short";
+  cbc_blocks key.ke chain src src_pos nblocks dst dst_pos
+
+let cbc_tail_into key chain ~src ~src_pos ~src_len ~dst ~dst_pos =
+  if src_pos < 0 || src_len < 0 || src_len > 7 || src_pos > String.length src - src_len
+  then invalid_arg "Des.cbc_tail_into: bad source range";
+  if dst_pos < 0 || dst_pos > Bytes.length dst - 8 then
+    invalid_arg "Des.cbc_tail_into: destination too short";
+  cbc_final_block key.ke chain src src_pos src_len dst dst_pos
 
 (* Full-block (64-bit) CFB; stream-mode, no padding needed. *)
 let cfb_transform ~iv ~decrypt key input =
+  check_iv iv;
   let n = String.length input in
   let out = Bytes.create n in
-  let shiftreg = ref (check_iv iv) in
+  let io = Array.make 2 0 in
+  let sh = ref (Des_kernel.read32 iv 0) and sl = ref (Des_kernel.read32 iv 4) in
   let i = ref 0 in
   while !i < n do
-    let keystream = encrypt_block key !shiftreg in
+    io.(0) <- !sh;
+    io.(1) <- !sl;
+    crypt_io key.ke io;
     let take = min 8 (n - !i) in
-    let inblk = ref 0L in
+    (* Gather the input block, a short final block aligned to the top. *)
+    let bh = ref 0 and bl = ref 0 in
     for j = 0 to take - 1 do
-      inblk := Int64.logor (Int64.shift_left !inblk 8) (Int64.of_int (Char.code input.[!i + j]))
+      let c = Char.code input.[!i + j] in
+      if j < 4 then bh := !bh lor (c lsl (24 - (8 * j)))
+      else bl := !bl lor (c lsl (56 - (8 * j)))
     done;
-    (* Align a short final block to the top of the 64-bit word. *)
-    let inblk = Int64.shift_left !inblk (8 * (8 - take)) in
-    let outblk = Int64.logxor inblk keystream in
+    let oh = !bh lxor io.(0) and ol = !bl lxor io.(1) in
     for j = 0 to take - 1 do
-      Bytes.set out (!i + j)
-        (Char.chr (Int64.to_int (Int64.shift_right_logical outblk (56 - (8 * j))) land 0xff))
+      Bytes.set out (!i + j) (Char.chr (blk_byte oh ol j))
     done;
     (* Feedback is the ciphertext block. *)
-    shiftreg := (if decrypt then inblk else outblk);
+    if decrypt then begin
+      sh := !bh;
+      sl := !bl
+    end
+    else begin
+      sh := oh;
+      sl := ol
+    end;
     i := !i + take
   done;
   Bytes.unsafe_to_string out
@@ -429,15 +393,18 @@ let decrypt_cfb ~iv key ct = cfb_transform ~iv ~decrypt:true key ct
 
 (* OFB: keystream independent of the data, encrypt = decrypt. *)
 let ofb_transform ~iv key input =
+  check_iv iv;
   let n = String.length input in
   let out = Bytes.create n in
-  let reg = ref (check_iv iv) in
+  let io = Array.make 2 0 in
+  io.(0) <- Des_kernel.read32 iv 0;
+  io.(1) <- Des_kernel.read32 iv 4;
   let i = ref 0 in
   while !i < n do
-    reg := encrypt_block key !reg;
+    crypt_io key.ke io;
     let take = min 8 (n - !i) in
     for j = 0 to take - 1 do
-      let ks = Int64.to_int (Int64.shift_right_logical !reg (56 - (8 * j))) land 0xff in
+      let ks = blk_byte io.(0) io.(1) j in
       Bytes.set out (!i + j) (Char.chr (Char.code input.[!i + j] lxor ks))
     done;
     i := !i + take

@@ -83,6 +83,37 @@ val cbc_update : cbc_ctx -> string -> string
 val cbc_finish : cbc_ctx -> string
 (** Pad and flush; returns the final ciphertext block(s). *)
 
+(** Zero-allocation incremental CBC into a caller buffer, used by
+    {!Fused} to interleave MAC and encryption in one pass over the
+    payload.  The chaining block lives in a caller-owned 2-element
+    scratch array seeded with [cbc_seed_chain]. *)
+
+val cbc_seed_chain : iv:string -> int array -> unit
+
+val cbc_blocks_into :
+  key ->
+  int array ->
+  src:string ->
+  src_pos:int ->
+  nblocks:int ->
+  dst:Bytes.t ->
+  dst_pos:int ->
+  unit
+(** Encrypt [nblocks] whole blocks of [src] into [dst], advancing the
+    chain.  @raise Invalid_argument on bad ranges. *)
+
+val cbc_tail_into :
+  key ->
+  int array ->
+  src:string ->
+  src_pos:int ->
+  src_len:int ->
+  dst:Bytes.t ->
+  dst_pos:int ->
+  unit
+(** Encrypt the final [src_len] (0-7) leftover bytes plus PKCS#7 padding;
+    writes exactly one block.  @raise Invalid_argument on bad ranges. *)
+
 val encrypt_cfb : iv:string -> key -> string -> string
 (** 64-bit CFB; stream mode, output length = input length. *)
 
@@ -92,3 +123,10 @@ val decrypt_ofb : iv:string -> key -> string -> string
 
 val encrypt : mode:mode -> iv:string -> key -> string -> string
 val decrypt : mode:mode -> iv:string -> key -> string -> string
+
+(**/**)
+
+(* Internal: the packed {!Des_kernel} schedules, for sibling modules
+   ([Des3], [Mac], [Fused]) that drive the kernel directly. *)
+val sched_e : key -> int array
+val sched_d : key -> int array

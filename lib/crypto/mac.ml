@@ -54,39 +54,42 @@ let hmac_slices ((module H : Hash.S) as hash : Hash.t) ~key parts =
    computation".  The MAC is the last cipher block of a zero-IV CBC pass
    over the padded message; the 8-byte DES key is derived from the first
    key bytes with adjusted parity. *)
-let des_cbc ~key parts =
+(* The schedule expansion is the expensive part now that the block kernel
+   is table-driven; [des_cbc_prepare] exposes it so the engine can cache
+   the expanded MAC key per flow next to the cipher schedules. *)
+let des_cbc_prepare ~key =
   if String.length key < 8 then invalid_arg "Mac.des_cbc: key too short";
-  let des_key = Des.of_string (Des.adjust_parity (String.sub key 0 8)) in
+  Des.of_string (Des.adjust_parity (String.sub key 0 8))
+
+let des_cbc ~key parts =
+  let des_key = des_cbc_prepare ~key in
   let message = String.concat "" parts in
   let ct = Des.encrypt_cbc ~iv:(String.make 8 '\000') des_key message in
   String.sub ct (String.length ct - 8) 8
 
-(* Streaming CBC fold over slice parts: the CBC state is one 64-bit
-   block plus a <8-byte carry, so the MAC needs no concatenation and no
-   ciphertext buffer at all — only the final block survives.
-   Byte-identical to [des_cbc] over the same byte stream. *)
-let des_cbc_slices ~key parts =
-  if String.length key < 8 then invalid_arg "Mac.des_cbc: key too short";
-  let des_key = Des.of_string (Des.adjust_parity (String.sub key 0 8)) in
-  let prev = ref 0L (* zero IV *) in
+(* Streaming CBC fold over slice parts: the CBC state is one cipher block
+   (two native-int halves in a scratch array, fed straight to the
+   {!Des_kernel} rounds) plus a <8-byte carry, so the MAC needs no
+   concatenation and no ciphertext buffer at all — only the final block
+   survives.  Byte-identical to [des_cbc] over the same byte stream. *)
+let des_cbc_slices_keyed des_key parts =
+  let ks = Des.sched_e des_key in
+  let io = Array.make 2 0 in
+  (* io holds the running ciphertext block; starts at the zero IV. *)
   let carry = Bytes.create 8 in
+  let carry_view = Bytes.unsafe_to_string carry in
   let carry_len = ref 0 in
   let total = ref 0 in
-  let eat_block_int64 b = prev := Des.encrypt_block des_key (Int64.logxor b !prev) in
-  let eat_carry () =
-    let b = ref 0L in
-    for j = 0 to 7 do
-      b := Int64.logor (Int64.shift_left !b 8) (Int64.of_int (Char.code (Bytes.get carry j)))
-    done;
-    eat_block_int64 !b;
-    carry_len := 0
+  let eat_block hi lo =
+    io.(0) <- io.(0) lxor hi;
+    io.(1) <- io.(1) lxor lo;
+    Des_kernel.ip io;
+    Des_kernel.rounds ks io;
+    Des_kernel.fp io
   in
-  let block_of base off =
-    let b = ref 0L in
-    for j = 0 to 7 do
-      b := Int64.logor (Int64.shift_left !b 8) (Int64.of_int (Char.code base.[off + j]))
-    done;
-    !b
+  let eat_carry () =
+    eat_block (Des_kernel.read32 carry_view 0) (Des_kernel.read32 carry_view 4);
+    carry_len := 0
   in
   let feed base pos len =
     total := !total + len;
@@ -100,7 +103,7 @@ let des_cbc_slices ~key parts =
       if !carry_len = 8 then eat_carry ()
     end;
     while !len >= 8 do
-      eat_block_int64 (block_of base !pos);
+      eat_block (Des_kernel.read32 base !pos) (Des_kernel.read32 base (!pos + 4));
       pos := !pos + 8;
       len := !len - 8
     done;
@@ -119,11 +122,11 @@ let des_cbc_slices ~key parts =
     if !carry_len = 8 then eat_carry ()
   done;
   let out = Bytes.create 8 in
-  for j = 0 to 7 do
-    Bytes.set out j
-      (Char.chr (Int64.to_int (Int64.shift_right_logical !prev (56 - (8 * j))) land 0xff))
-  done;
+  Des_kernel.write32 out 0 io.(0);
+  Des_kernel.write32 out 4 io.(1);
   Bytes.unsafe_to_string out
+
+let des_cbc_slices ~key parts = des_cbc_slices_keyed (des_cbc_prepare ~key) parts
 
 type algorithm = Prefix | Hmac | Des_cbc_mac
 

@@ -25,6 +25,14 @@ val des_cbc_slices : key:string -> Fbsr_util.Slice.t list -> string
     ciphertext buffer; byte-identical to [des_cbc] over the same byte
     stream. *)
 
+val des_cbc_prepare : key:string -> Des.key
+(** Expand the DES-CBC-MAC key (parity-adjusted first 8 key bytes) into
+    its schedule.  Expansion dominates short-message MAC cost with the
+    table-driven kernel, so the engine caches this per flow. *)
+
+val des_cbc_slices_keyed : Des.key -> Fbsr_util.Slice.t list -> string
+(** [des_cbc_slices] with a pre-expanded key from {!des_cbc_prepare}. *)
+
 val compute : ?algorithm:algorithm -> Hash.t -> key:string -> string list -> string
 (** Default algorithm is [Prefix], matching the paper. *)
 

@@ -63,6 +63,13 @@ type counters = {
      one per received secret datagram. *)
   mutable bytes_copied : int;
   mutable datapath_allocs : int;
+  (* Key-schedule cache accounting: a hit reuses an expanded cipher/MAC
+     schedule stored in the flow entry; a miss pays the expansion (and
+     populates the entry).  With the table-driven kernel the expansion
+     is a visible fraction of per-datagram cost, so the cache is worth
+     observing in its own right. *)
+  mutable keysched_hits : int;
+  mutable keysched_misses : int;
 }
 
 let drops_by_cause c =
@@ -88,12 +95,27 @@ type inbound_flow = {
   mutable last_seen : float;
 }
 
+(* A TFKC/RFKC entry: the derived flow key plus the expanded key
+   schedules for whatever cipher/MAC the suite uses, populated lazily on
+   first use.  The schedules are owned by the entry — they share its
+   lifetime, so cache eviction or invalidation drops key material and
+   schedules together and there is no separate invalidation protocol. *)
+type flow_entry = {
+  fk : string;
+  mutable des_sched : Fbsr_crypto.Des.key option;
+  mutable des3_sched : Fbsr_crypto.Des3.key option;
+  mutable macsched : Fbsr_crypto.Des.key option; (* DES-CBC-MAC *)
+}
+
+let flow_entry_of_key fk = { fk; des_sched = None; des3_sched = None; macsched = None }
+let flow_entry_key e = e.fk
+
 type t = {
   keying : Keying.t;
   fam : Fam.t;
   suite : Suite.t;
-  tfkc : (int64 * string * string, string) Cache.t; (* (sfl, peer, local) *)
-  rfkc : (int64 * string * string, string) Cache.t;
+  tfkc : (int64 * string * string, flow_entry) Cache.t; (* (sfl, peer, local) *)
+  rfkc : (int64 * string * string, flow_entry) Cache.t;
   inbound : (int64 * string, inbound_flow) Cache.t; (* (sfl, peer) *)
   replay : Replay.t;
   confounder_gen : Fbsr_util.Lcg.t;
@@ -109,6 +131,11 @@ type t = {
   mac_prelude : Bytes.t;
   iv_scratch : Bytes.t;
   nop_mac : string; (* the all-zero MAC of the configured suite, cached *)
+  (* One-entry memo for the string-keyed [seal]/[send_sealed] path (the
+     combined FST+TFKC fast path supplies raw flow keys from its own
+     table): reuses the expanded schedules as long as consecutive calls
+     present the same flow key. *)
+  mutable seal_memo : flow_entry option;
 }
 
 let triple_hash (sfl, peer, local) =
@@ -148,6 +175,7 @@ let create ?(suite = Suite.paper_md5_des) ?(tfkc_sets = 128) ?(rfkc_sets = 128)
     mac_prelude = Bytes.create Header.mac_prelude_size;
     iv_scratch = Bytes.create 8;
     nop_mac = String.make suite.Suite.mac_length '\000';
+    seal_memo = None;
     counters =
       {
         sends = 0;
@@ -166,6 +194,8 @@ let create ?(suite = Suite.paper_md5_des) ?(tfkc_sets = 128) ?(rfkc_sets = 128)
         errors_decrypt = 0;
         bytes_copied = 0;
         datapath_allocs = 0;
+        keysched_hits = 0;
+        keysched_misses = 0;
       };
   }
 
@@ -206,6 +236,8 @@ let register_metrics (t : t) m =
   register_probe e "drops.total" (fun () -> drops c);
   register_probe e "datapath.bytes_copied" (fun () -> c.bytes_copied);
   register_probe e "datapath.allocs" (fun () -> c.datapath_allocs);
+  register_probe e "keysched.hits" (fun () -> c.keysched_hits);
+  register_probe e "keysched.misses" (fun () -> c.keysched_misses);
   (* Per-datagram views of the same counters: the zero-copy invariant in
      observable form (~1 alloc and ~0 extra copies per datagram). *)
   let per_datagram n =
@@ -262,7 +294,7 @@ let finish_derive t (tm : (Fbsr_util.Span.timer * int64) option) ~cache ~hit
             ("recovered", Fbsr_util.Json.Bool revisit);
           ]
 
-let flow_key_via t cache ~sfl ~peer ~src ~dst (k : (string, error) result -> unit) =
+let flow_key_via t cache ~sfl ~peer ~src ~dst (k : (flow_entry, error) result -> unit) =
   let key = (Sfl.to_int64 sfl, Principal.to_string peer, Principal.to_string (local t)) in
   (* Captured before [find], which registers the key as seen: a miss on a
      previously-seen key means the entry was evicted or invalidated and we
@@ -274,10 +306,10 @@ let flow_key_via t cache ~sfl ~peer ~src ~dst (k : (string, error) result -> uni
     else None
   in
   match Cache.find cache key with
-  | Some fk ->
+  | Some entry ->
       finish_derive t tm ~cache:(Cache.name cache) ~hit:true ~revisit
         ~master:"cached";
-      k (Ok fk)
+      k (Ok entry)
   | None ->
       Keying.get_master t.keying peer (function
         | Error e ->
@@ -298,25 +330,43 @@ let flow_key_via t cache ~sfl ~peer ~src ~dst (k : (string, error) result -> uni
             let fk =
               Keying.flow_key ~hash:t.suite.Suite.kdf_hash ~sfl ~master ~src ~dst
             in
-            Cache.insert cache key fk;
+            let entry = flow_entry_of_key fk in
+            Cache.insert cache key entry;
             finish_derive t tm ~cache:(Cache.name cache) ~hit:false ~revisit
               ~master:(Keying.last_resolution t.keying);
-            k (Ok fk))
+            k (Ok entry))
+
+(* The DES-CBC-MAC schedule for a flow entry, expanded on first use and
+   cached for the entry's lifetime. *)
+let mac_sched_of t entry =
+  match entry.macsched with
+  | Some k ->
+      t.counters.keysched_hits <- t.counters.keysched_hits + 1;
+      k
+  | None ->
+      t.counters.keysched_misses <- t.counters.keysched_misses + 1;
+      let k = Fbsr_crypto.Mac.des_cbc_prepare ~key:entry.fk in
+      entry.macsched <- Some k;
+      k
 
 (* MAC input: auth (suite+flags) | confounder | timestamp | payload — the
    paper's Section 5.2 definition plus the authenticated algorithm field
    (see [Header.auth_bytes]).  The prelude is assembled in the engine's
    reusable scratch and the payload passed as a borrowed slice, so MAC
    computation allocates nothing beyond the digest itself. *)
-let compute_mac_slices t ~flow_key ~secret ~confounder ~timestamp
+let compute_mac_slices t ~entry ~secret ~confounder ~timestamp
     ~(payload : Fbsr_util.Slice.t) =
   t.counters.macs_computed <- t.counters.macs_computed + 1;
   Header.write_mac_prelude t.mac_prelude ~suite:t.suite ~secret ~confounder ~timestamp;
-  Fbsr_crypto.Mac.compute_slices ~algorithm:t.suite.Suite.mac_algorithm
-    t.suite.Suite.mac_hash ~key:flow_key
-    [ Fbsr_util.Slice.of_bytes_unsafe t.mac_prelude; payload ]
+  let parts = [ Fbsr_util.Slice.of_bytes_unsafe t.mac_prelude; payload ] in
+  match t.suite.Suite.mac_algorithm with
+  | Fbsr_crypto.Mac.Des_cbc_mac ->
+      Fbsr_crypto.Mac.des_cbc_slices_keyed (mac_sched_of t entry) parts
+  | (Fbsr_crypto.Mac.Prefix | Fbsr_crypto.Mac.Hmac) as algorithm ->
+      Fbsr_crypto.Mac.compute_slices ~algorithm t.suite.Suite.mac_hash ~key:entry.fk
+        parts
 
-let verify_mac_slices t ~flow_key ~secret ~confounder ~timestamp
+let verify_mac_slices t ~entry ~secret ~confounder ~timestamp
     ~(payload : Fbsr_util.Slice.t) ~(expected : Fbsr_util.Slice.t) =
   if Suite.is_nop t.suite then
     (* The NOP MAC is all-zero on the wire; still compared in constant
@@ -326,10 +376,19 @@ let verify_mac_slices t ~flow_key ~secret ~confounder ~timestamp
     t.counters.macs_computed <- t.counters.macs_computed + 1;
     Header.write_mac_prelude t.mac_prelude ~suite:t.suite ~secret ~confounder
       ~timestamp;
-    Fbsr_crypto.Mac.verify_slice ~algorithm:t.suite.Suite.mac_algorithm
-      t.suite.Suite.mac_hash ~key:flow_key
-      [ Fbsr_util.Slice.of_bytes_unsafe t.mac_prelude; payload ]
-      ~expected
+    let parts = [ Fbsr_util.Slice.of_bytes_unsafe t.mac_prelude; payload ] in
+    match t.suite.Suite.mac_algorithm with
+    | Fbsr_crypto.Mac.Des_cbc_mac ->
+        (* [Mac.verify_slice] with the cached schedule: constant-time
+           comparison of the (possibly truncated) wire MAC against the
+           matching prefix of the computed one. *)
+        let mac = Fbsr_crypto.Mac.des_cbc_slices_keyed (mac_sched_of t entry) parts in
+        let n = Fbsr_util.Slice.length expected in
+        n <= String.length mac
+        && Fbsr_crypto.Ct.equal_slice (Fbsr_util.Slice.v ~len:n mac) expected
+    | (Fbsr_crypto.Mac.Prefix | Fbsr_crypto.Mac.Hmac) as algorithm ->
+        Fbsr_crypto.Mac.verify_slice ~algorithm t.suite.Suite.mac_hash ~key:entry.fk
+          parts ~expected
   end
 
 let des_key_of_flow_key flow_key =
@@ -351,6 +410,32 @@ let des3_key_of_flow_key flow_key =
   Fbsr_crypto.Des3.of_string
     (Fbsr_crypto.Des.adjust_parity (Fbsr_util.Byte_writer.finalize w))
 
+(* Cipher schedules for a flow entry, expanded on first use and cached
+   for the entry's lifetime — the per-datagram [Des.of_string] /
+   [Des3.of_string] calls the seal/receive paths used to pay on every
+   packet now happen once per flow (plus once per eviction). *)
+let des_sched_of t entry =
+  match entry.des_sched with
+  | Some k ->
+      t.counters.keysched_hits <- t.counters.keysched_hits + 1;
+      k
+  | None ->
+      t.counters.keysched_misses <- t.counters.keysched_misses + 1;
+      let k = Fbsr_crypto.Des.of_string (des_key_of_flow_key entry.fk) in
+      entry.des_sched <- Some k;
+      k
+
+let des3_sched_of t entry =
+  match entry.des3_sched with
+  | Some k ->
+      t.counters.keysched_hits <- t.counters.keysched_hits + 1;
+      k
+  | None ->
+      t.counters.keysched_misses <- t.counters.keysched_misses + 1;
+      let k = des3_key_of_flow_key entry.fk in
+      entry.des3_sched <- Some k;
+      k
+
 (* The duplicated-confounder IV, refreshed in the engine's scratch and
    read through an unsafe string view consumed before the next refill. *)
 let iv_of_confounder t ~confounder =
@@ -368,18 +453,20 @@ let iv_of_confounder t ~confounder =
    steals — one allocation per sealed datagram.  CBC modes encrypt
    straight into the reserved body region; the stream/ECB fallbacks
    produce an intermediate ciphertext and are counted as a copy. *)
-let seal t ~now ~sfl ~flow_key ~secret ~payload =
+let seal_entry t ~now ~sfl ~entry ~secret ~payload =
   let stm =
     if Fbsr_util.Span.enabled t.spans then Some (Fbsr_util.Span.start t.spans)
     else None
   in
+  (* Key-schedule cache deltas over this seal, for span cost attribution. *)
+  let ksh0 = t.counters.keysched_hits and ksm0 = t.counters.keysched_misses in
   let confounder = Fbsr_util.Lcg.next_u32 t.confounder_gen in
   let timestamp = Replay.minutes_of_seconds now in
   let payload_len = String.length payload in
   let mac =
     if Suite.is_nop t.suite then t.nop_mac
     else
-      compute_mac_slices t ~flow_key ~secret ~confounder ~timestamp
+      compute_mac_slices t ~entry ~secret ~confounder ~timestamp
         ~payload:(Fbsr_util.Slice.of_string payload)
   in
   let encrypting = secret && not (Suite.is_nop t.suite) in
@@ -410,13 +497,13 @@ let seal t ~now ~sfl ~flow_key ~secret ~payload =
     let iv = iv_of_confounder t ~confounder in
     match t.suite.Suite.cipher with
     | Suite.Des_cbc ->
-        let key = Fbsr_crypto.Des.of_string (des_key_of_flow_key flow_key) in
+        let key = des_sched_of t entry in
         let dst, dst_pos = Fbsr_util.Byte_writer.reserve w body_len in
         ignore
           (Fbsr_crypto.Des.encrypt_cbc_into ~iv key ~src:payload ~src_pos:0
              ~src_len:payload_len ~dst ~dst_pos)
     | Suite.Des3_cbc ->
-        let key = des3_key_of_flow_key flow_key in
+        let key = des3_sched_of t entry in
         let dst, dst_pos = Fbsr_util.Byte_writer.reserve w body_len in
         ignore
           (Fbsr_crypto.Des3.encrypt_cbc_into ~iv key ~src:payload ~src_pos:0
@@ -425,7 +512,7 @@ let seal t ~now ~sfl ~flow_key ~secret ~payload =
         (* Stream/ECB modes still go through the string API: one
            intermediate ciphertext, accounted as an extra allocation and
            copy. *)
-        let key = Fbsr_crypto.Des.of_string (des_key_of_flow_key flow_key) in
+        let key = des_sched_of t entry in
         let ct =
           match cipher with
           | Suite.Des_cfb -> Fbsr_crypto.Des.encrypt_cfb ~iv key payload
@@ -444,9 +531,28 @@ let seal t ~now ~sfl ~flow_key ~secret ~payload =
           [
             ("bytes", Fbsr_util.Json.Int (String.length wire));
             ("secret", Fbsr_util.Json.Bool secret);
+            ( "keysched_hits",
+              Fbsr_util.Json.Int (t.counters.keysched_hits - ksh0) );
+            ( "keysched_misses",
+              Fbsr_util.Json.Int (t.counters.keysched_misses - ksm0) );
           ]
   | None -> ());
   wire
+
+(* Flow entry for a caller-supplied raw flow key (the combined-path
+   [seal]/[send_sealed] API): a one-entry memo keyed on the flow key
+   keeps the expanded schedules across consecutive datagrams of the same
+   flow, which is the common pattern for the FST fast path. *)
+let entry_of_flow_key t flow_key =
+  match t.seal_memo with
+  | Some e when String.equal e.fk flow_key -> e
+  | _ ->
+      let e = flow_entry_of_key flow_key in
+      t.seal_memo <- Some e;
+      e
+
+let seal t ~now ~sfl ~flow_key ~secret ~payload =
+  seal_entry t ~now ~sfl ~entry:(entry_of_flow_key t flow_key) ~secret ~payload
 
 (* Derive the flow key outside the TFKC path — used by the combined fast
    path on a table miss. *)
@@ -506,15 +612,15 @@ let send t ~now ~attrs ~secret ~payload (k : (string, error) result -> unit) =
               "engine.send"
         | None -> ());
         k (Error e)
-    | Ok flow_key -> (
+    | Ok entry -> (
         match tm with
         | Some (_, id) ->
             (* Restore the datagram's id for seal and the caller's
                transmit hook — the continuation may be running under a
                later event's ambient context. *)
             Fbsr_util.Span.with_current id (fun () ->
-                k (Ok (seal t ~now ~sfl ~flow_key ~secret ~payload)))
-        | None -> k (Ok (seal t ~now ~sfl ~flow_key ~secret ~payload))))
+                k (Ok (seal_entry t ~now ~sfl ~entry ~secret ~payload)))
+        | None -> k (Ok (seal_entry t ~now ~sfl ~entry ~secret ~payload))))
 
 (* The combined-path sibling of [send]: counts the datagram but leaves flow
    association and key lookup to the caller. *)
@@ -533,22 +639,21 @@ type accepted = {
 (* Decrypt a body slice into a fresh exact-size plaintext string (the one
    allocation a received secret datagram needs).  CBC modes decrypt the
    sub-range in place; stream/ECB fallbacks copy the body out first. *)
-let decrypt_body_slice t ~flow_key ~confounder ~(body : Fbsr_util.Slice.t) =
+let decrypt_body_slice t ~entry ~confounder ~(body : Fbsr_util.Slice.t) =
   t.counters.decryptions <- t.counters.decryptions + 1;
   let iv = iv_of_confounder t ~confounder in
   match
     match t.suite.Suite.cipher with
     | Suite.Des_cbc ->
-        let key = Fbsr_crypto.Des.of_string (des_key_of_flow_key flow_key) in
+        let key = des_sched_of t entry in
         Fbsr_crypto.Des.decrypt_cbc_sub ~iv key ~src:body.Fbsr_util.Slice.base
           ~pos:body.Fbsr_util.Slice.off ~len:body.Fbsr_util.Slice.len
     | Suite.Des3_cbc ->
-        Fbsr_crypto.Des3.decrypt_cbc_sub ~iv
-          (des3_key_of_flow_key flow_key)
+        Fbsr_crypto.Des3.decrypt_cbc_sub ~iv (des3_sched_of t entry)
           ~src:body.Fbsr_util.Slice.base ~pos:body.Fbsr_util.Slice.off
           ~len:body.Fbsr_util.Slice.len
     | (Suite.Des_cfb | Suite.Des_ofb | Suite.Des_ecb) as cipher ->
-        let key = Fbsr_crypto.Des.of_string (des_key_of_flow_key flow_key) in
+        let key = des_sched_of t entry in
         let ct = Fbsr_util.Slice.to_string body in
         t.counters.datapath_allocs <- t.counters.datapath_allocs + 1;
         t.counters.bytes_copied <- t.counters.bytes_copied + String.length ct;
@@ -660,13 +765,13 @@ let receive_slice t ~now ~src ~(wire : Fbsr_util.Slice.t)
                   t.counters.errors_keying <- t.counters.errors_keying + 1;
                   conclude_receive t tm "drop:keying";
                   k (Error e)
-              | Ok flow_key -> (
+              | Ok entry -> (
                   (* [plaintext] borrows either the wire buffer
                      (non-secret / NOP) or the decrypted string;
                      [materialize] copies it out only on acceptance. *)
                   let finish (plaintext : Fbsr_util.Slice.t) materialize =
                     if
-                      verify_mac_slices t ~flow_key ~secret:v.Header.v_secret
+                      verify_mac_slices t ~entry ~secret:v.Header.v_secret
                         ~confounder:v.Header.v_confounder
                         ~timestamp:v.Header.v_timestamp ~payload:plaintext
                         ~expected:v.Header.v_mac
@@ -701,7 +806,7 @@ let receive_slice t ~now ~src ~(wire : Fbsr_util.Slice.t)
                   let body = v.Header.v_body in
                   if v.Header.v_secret && not (Suite.is_nop t.suite) then
                     match
-                      decrypt_body_slice t ~flow_key
+                      decrypt_body_slice t ~entry
                         ~confounder:v.Header.v_confounder ~body
                     with
                     | Ok plaintext ->

@@ -43,6 +43,12 @@ type counters = {
       (** Buffers allocated on the seal/receive datapath: one per sealed
           datagram (the wire buffer), one per received secret datagram
           (the plaintext). *)
+  mutable keysched_hits : int;
+      (** Cipher/MAC key-schedule reuses from a flow entry (TFKC/RFKC or
+          the seal memo) — the expansion was skipped. *)
+  mutable keysched_misses : int;
+      (** Key-schedule expansions paid: first use per flow entry, or
+          recomputation after eviction. *)
 }
 
 val drops_by_cause : counters -> (string * int) list
@@ -89,8 +95,17 @@ val local : t -> Principal.t
 val suite : t -> Suite.t
 val fam : t -> Fam.t
 val keying : t -> Keying.t
-val tfkc : t -> (int64 * string * string, string) Cache.t
-val rfkc : t -> (int64 * string * string, string) Cache.t
+type flow_entry
+(** A TFKC/RFKC entry: the derived flow key plus lazily-expanded cipher
+    and MAC key schedules.  The schedules share the entry's lifetime —
+    cache eviction or invalidation drops key material and schedules
+    together ([fbs.engine.keysched.{hits,misses}] observe the reuse). *)
+
+val flow_entry_key : flow_entry -> string
+(** The flow key the entry caches schedules for. *)
+
+val tfkc : t -> (int64 * string * string, flow_entry) Cache.t
+val rfkc : t -> (int64 * string * string, flow_entry) Cache.t
 val replay : t -> Replay.t
 val counters : t -> counters
 

@@ -134,6 +134,187 @@ let test_des_bad_key_length () =
   Alcotest.check_raises "short key" (Invalid_argument "Des: key must be 8 bytes")
     (fun () -> ignore (Des.of_string "short"))
 
+(* --- FIPS 46-3 / NBS SP 500-20 known-answer tables ---
+
+   These lock the kernel against golden outputs: the variable-plaintext
+   table exercises every bit position of the data path (IP, E, S-boxes, P,
+   FP), the variable-key table every bit position of the key schedule
+   (PC-1, rotations, PC-2).  Each entry is checked in both directions. *)
+
+let des_kat_both name key pt ct =
+  let k = Des.of_string (unhex key) in
+  check Alcotest.string (name ^ " encrypt") ct
+    (hex (Des.encrypt_block_bytes k (unhex pt)));
+  check Alcotest.string (name ^ " decrypt") pt
+    (hex (Des.decrypt_block_bytes k (unhex ct)))
+
+let test_des_variable_plaintext_kat () =
+  List.iter
+    (fun (pt, ct) -> des_kat_both ("pt " ^ pt) "0101010101010101" pt ct)
+    [
+      ("8000000000000000", "95f8a5e5dd31d900");
+      ("4000000000000000", "dd7f121ca5015619");
+      ("2000000000000000", "2e8653104f3834ea");
+      ("1000000000000000", "4bd388ff6cd81d4f");
+      ("0800000000000000", "20b9e767b2fb1456");
+      ("0400000000000000", "55579380d77138ef");
+      ("0200000000000000", "6cc5defaaf04512f");
+      ("0100000000000000", "0d9f279ba5d87260");
+    ]
+
+let test_des_variable_key_kat () =
+  List.iter
+    (fun (key, ct) -> des_kat_both ("key " ^ key) key "0000000000000000" ct)
+    [
+      ("8001010101010101", "95a8d72813daa94d");
+      ("4001010101010101", "0eec1487dd8c26d5");
+      ("2001010101010101", "7ad16ffb79c45926");
+      ("1001010101010101", "d3746294ca6a6cf3");
+      ("0801010101010101", "809f5f873c1fd761");
+      ("0401010101010101", "c02faffec989d1fc");
+      ("0201010101010101", "4615aa1d33e72f10");
+      ("0180010101010101", "2055123350c00858");
+    ]
+
+let test_des_rivest_chain () =
+  (* Rivest's chained self-test ("Testing the DES", 1985): X_{i+1} =
+     E_{X_i}(X_i) for even i, D_{X_i}(X_i) for odd i; sixteen iterations
+     from X0 = 9474B8E8C73BCA7D must land on the published X16.  One wrong
+     bit anywhere in the kernel diverges the chain irrecoverably — the
+     Monte-Carlo-lite of the FIPS validation suite. *)
+  let x = ref (unhex "9474b8e8c73bca7d") in
+  for i = 0 to 15 do
+    let k = Des.of_string !x in
+    x :=
+      (if i mod 2 = 0 then Des.encrypt_block_bytes k !x
+       else Des.decrypt_block_bytes k !x)
+  done;
+  check Alcotest.string "X16" "1b1a2ddb4c642438" (hex !x)
+
+let test_des_mode_kats () =
+  (* Mode KATs on the FIPS 81 sample key/IV/plaintext.  The CBC and ECB
+     expectations include our PKCS#7 padding block; CFB/OFB are
+     length-preserving (their first 8 bytes match the published FIPS 81
+     example outputs).  Golden values produced by the KAT-verified seed
+     kernel and locked here before the table-driven rewrite. *)
+  let k = Des.of_string (unhex "0123456789abcdef") in
+  let iv = unhex "1234567890abcdef" in
+  let pt = "Now is the time for all " in
+  check Alcotest.string "cbc"
+    "e5c7cdde872bf27c43e934008c389c0f683788499a7c05f662c16a27e4fcf277"
+    (hex (Des.encrypt_cbc ~iv k pt));
+  check Alcotest.string "cbc decrypt" pt
+    (Des.decrypt_cbc ~iv k
+       (unhex "e5c7cdde872bf27c43e934008c389c0f683788499a7c05f662c16a27e4fcf277"));
+  let k2 = Des.of_string (unhex "133457799bbcdff1") in
+  check Alcotest.string "ecb"
+    "aaea30f286270f219cf6359859f826914b1629b43f7863c0fdf2e174492922f8"
+    (hex (Des.encrypt_ecb k2 pt));
+  check Alcotest.string "cfb" "f3096249c7f46e51a69e839b1a92f78403467133898ea622"
+    (hex (Des.encrypt_cfb ~iv k pt));
+  check Alcotest.string "ofb" "f3096249c7f46e5135f24a242eeb3d3f3d6d5be3255af8c3"
+    (hex (Des.encrypt_ofb ~iv k pt))
+
+let test_des_mc_lite_cbc () =
+  (* Chained CBC Monte-Carlo-lite: 1000 iterations of encrypt, feeding the
+     first ciphertext block back as data, the last as IV, and key := key
+     XOR data — every iteration depends on the full previous state, so a
+     single-bit kernel error anywhere in 1000 encryptions diverges the
+     final triple.  Golden values locked from the KAT-verified seed
+     kernel. *)
+  let key = ref (unhex "0123456789abcdef") and data = ref (String.make 8 '\x2a') in
+  let iv = ref (unhex "fedcba9876543210") in
+  for _ = 1 to 1000 do
+    let k = Des.of_string (Des.adjust_parity !key) in
+    let ct = Des.encrypt_cbc ~iv:!iv k !data in
+    data := String.sub ct 0 8;
+    iv := String.sub ct (String.length ct - 8) 8;
+    key := String.init 8 (fun i -> Char.chr (Char.code !key.[i] lxor Char.code !data.[i]))
+  done;
+  check Alcotest.string "key" "7e4bfb45e7447548" (hex !key);
+  check Alcotest.string "data" "6cb7ff76be33bbd1" (hex !data);
+  check Alcotest.string "iv" "d95154f21859038e" (hex !iv)
+
+let test_des3_kat () =
+  (* EDE3 with three distinct keys: block and CBC golden values locked
+     from the seed kernel (whose E/D composition is pinned by the single-
+     DES KATs above plus the degenerate k1=k2=k3 property below). *)
+  let k3 = Des3.of_string (unhex "0123456789abcdef23456789abcdef01456789abcdef0123") in
+  let block_of s =
+    let b = ref 0L in
+    String.iter
+      (fun c -> b := Int64.logor (Int64.shift_left !b 8) (Int64.of_int (Char.code c)))
+      s;
+    !b
+  in
+  check Alcotest.bool "ede3 block" true
+    (Des3.encrypt_block k3 (block_of (unhex "0123456789abcde7")) = 0x403968fe84baa9a7L);
+  check Alcotest.bool "ede3 block decrypt" true
+    (Des3.decrypt_block k3 0x403968fe84baa9a7L = block_of (unhex "0123456789abcde7"));
+  let iv = unhex "1234567890abcdef" in
+  let pt = "Now is the time for all " in
+  check Alcotest.string "ede3 cbc"
+    "f3c0ff026c023089656fbb169def7edb30ba36075d6f0176c55961ed6a941845"
+    (hex (Des3.encrypt_cbc ~iv k3 pt));
+  check Alcotest.string "ede3 cbc decrypt" pt
+    (Des3.decrypt_cbc ~iv k3
+       (unhex "f3c0ff026c023089656fbb169def7edb30ba36075d6f0176c55961ed6a941845"))
+
+(* --- Differential suite: fast kernel vs the retained seed kernel ---
+
+   [Des_ref] is the original bit-gather implementation kept verbatim as an
+   oracle.  The fast kernel must agree byte-for-byte on every key, block,
+   mode, and length, in both directions. *)
+
+let ref_encrypt_block_bytes key pt =
+  let b = ref 0L in
+  String.iter
+    (fun c -> b := Int64.logor (Int64.shift_left !b 8) (Int64.of_int (Char.code c)))
+    pt;
+  let v = Des_ref.encrypt_block key !b in
+  String.init 8 (fun i ->
+      Char.chr (Int64.to_int (Int64.shift_right_logical v (56 - (8 * i))) land 0xff))
+
+let prop_differential_block =
+  QCheck.Test.make ~name:"kernel = reference kernel (single block)" ~count:500
+    (QCheck.pair key8 key8) (fun (key, block) ->
+      Des.encrypt_block_bytes (Des.of_string key) block
+      = ref_encrypt_block_bytes (Des_ref.of_string key) block)
+
+let modes4 = [ (Des.Ecb, Des_ref.Ecb); (Des.Cbc, Des_ref.Cbc);
+               (Des.Cfb, Des_ref.Cfb); (Des.Ofb, Des_ref.Ofb) ]
+
+let prop_differential_modes =
+  QCheck.Test.make ~name:"kernel = reference kernel (all four modes)" ~count:200
+    QCheck.(triple key8 key8 (pair arbitrary_bytes (int_bound 3)))
+    (fun (key, iv, (msg, mode_ix)) ->
+      let mode, ref_mode = List.nth modes4 mode_ix in
+      let k = Des.of_string key and rk = Des_ref.of_string key in
+      let ct = Des.encrypt ~mode ~iv k msg in
+      ct = Des_ref.encrypt ~mode:ref_mode ~iv rk msg
+      && Des.decrypt ~mode ~iv k ct = Des_ref.decrypt ~mode:ref_mode ~iv rk ct
+      && Des.decrypt ~mode ~iv k ct = msg)
+
+let prop_differential_into_sub =
+  (* The zero-copy entry points against the oracle's one-shot CBC: encrypt
+     a sub-range into an offset destination, decrypt it back from a padded
+     surrounding buffer. *)
+  QCheck.Test.make ~name:"cbc_into/cbc_sub = reference CBC" ~count:200
+    QCheck.(triple key8 key8 (pair arbitrary_bytes (int_bound 16)))
+    (fun (key, iv, (msg, dst_pad)) ->
+      let k = Des.of_string key and rk = Des_ref.of_string key in
+      let expected = Des_ref.encrypt_cbc ~iv rk msg in
+      let dst = Bytes.make (dst_pad + String.length expected) '\xee' in
+      let wrote =
+        Des.encrypt_cbc_into ~iv k ~src:msg ~src_pos:0
+          ~src_len:(String.length msg) ~dst ~dst_pos:dst_pad
+      in
+      wrote = String.length expected
+      && Bytes.sub_string dst dst_pad wrote = expected
+      && Des.decrypt_cbc_sub ~iv k
+           ~src:(Bytes.to_string dst) ~pos:dst_pad ~len:wrote
+         = msg)
+
 (* --- DES modes --- *)
 
 let mode_roundtrip name encrypt decrypt =
@@ -502,16 +683,30 @@ let () =
       ( "des",
         [
           Alcotest.test_case "known answers" `Quick test_des_kat;
+          Alcotest.test_case "variable-plaintext KAT table" `Quick
+            test_des_variable_plaintext_kat;
+          Alcotest.test_case "variable-key KAT table" `Quick test_des_variable_key_kat;
+          Alcotest.test_case "Rivest chain (Monte-Carlo-lite)" `Quick
+            test_des_rivest_chain;
+          Alcotest.test_case "mode KATs (ECB/CBC/CFB/OFB)" `Quick test_des_mode_kats;
+          Alcotest.test_case "chained CBC Monte-Carlo-lite" `Quick test_des_mc_lite_cbc;
           Alcotest.test_case "weak keys" `Quick test_des_weak_keys;
           Alcotest.test_case "parity" `Quick test_des_parity;
           Alcotest.test_case "bad key length" `Quick test_des_bad_key_length;
           qtest prop_des_roundtrip;
           qtest prop_des_complementation;
         ] );
+      ( "des-differential",
+        [
+          qtest prop_differential_block;
+          qtest prop_differential_modes;
+          qtest prop_differential_into_sub;
+        ] );
       ( "fused",
         [ qtest prop_fused_equals_two_pass; qtest prop_incremental_cbc ] );
       ( "des3",
         [
+          Alcotest.test_case "EDE3 KAT (block + CBC)" `Quick test_des3_kat;
           Alcotest.test_case "degenerates to DES" `Quick test_des3_degenerates_to_des;
           Alcotest.test_case "key length" `Quick test_des3_key_length;
           qtest prop_des3_roundtrip;

@@ -1012,6 +1012,48 @@ let test_engine_des3_key_expansion () =
     (String.sub old_material 0 24)
     (String.sub long_key 0 24)
 
+let test_engine_keysched_cache () =
+  (* Cipher/MAC key schedules are expanded once per flow entry and reused
+     for every subsequent datagram; eviction (here: an explicit clear)
+     drops the schedules with the entry and costs one fresh expansion. *)
+  let clock, s, d, es, ed = make_engines ~suite:Suite.des_mac_des () in
+  let attrs = Fam.attrs ~protocol:17 ~src_port:1 ~dst_port:2 ~src:s ~dst:d () in
+  let roundtrip () =
+    match Engine.send_sync es ~now:!clock ~attrs ~secret:true ~payload:"sched" with
+    | Error e -> Alcotest.failf "send: %a" Engine.pp_error e
+    | Ok wire -> (
+        match Engine.receive_sync ed ~now:!clock ~src:s ~wire with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "receive: %a" Engine.pp_error e)
+  in
+  roundtrip ();
+  let cs = Engine.counters es and cd = Engine.counters ed in
+  let m0_send = cs.Engine.keysched_misses in
+  let m0_recv = cd.Engine.keysched_misses in
+  check Alcotest.bool "first datagram expands (send)" true (m0_send > 0);
+  check Alcotest.bool "first datagram expands (recv)" true (m0_recv > 0);
+  let h0 = cs.Engine.keysched_hits in
+  for _ = 1 to 5 do
+    roundtrip ()
+  done;
+  check Alcotest.int "steady state pays no expansions (send)" m0_send
+    cs.Engine.keysched_misses;
+  check Alcotest.int "steady state pays no expansions (recv)" m0_recv
+    cd.Engine.keysched_misses;
+  check Alcotest.bool "steady state reuses schedules" true
+    (cs.Engine.keysched_hits > h0);
+  Cache.clear (Engine.tfkc es);
+  roundtrip ();
+  check Alcotest.bool "eviction drops schedules with the entry" true
+    (cs.Engine.keysched_misses > m0_send);
+  (* The counters are observable as registered metrics probes. *)
+  let m = Fbsr_util.Metrics.create () in
+  Engine.register_metrics es m;
+  check Alcotest.int "fbs.engine.keysched.hits probe" cs.Engine.keysched_hits
+    (Fbsr_util.Metrics.get m "fbs.engine.keysched.hits");
+  check Alcotest.int "fbs.engine.keysched.misses probe" cs.Engine.keysched_misses
+    (Fbsr_util.Metrics.get m "fbs.engine.keysched.misses")
+
 let test_engine_ciphertext_hides_plaintext () =
   let clock, s, d, es, _ = make_engines () in
   ignore d;
@@ -1595,6 +1637,8 @@ let () =
             test_engine_roundtrips_all_suites;
           Alcotest.test_case "3des key expansion" `Quick
             test_engine_des3_key_expansion;
+          Alcotest.test_case "key-schedule cache" `Quick
+            test_engine_keysched_cache;
           Alcotest.test_case "ciphertext hides plaintext" `Quick
             test_engine_ciphertext_hides_plaintext;
           Alcotest.test_case "replay window" `Quick test_engine_replay_window;
