@@ -39,6 +39,28 @@ let fbs_fixture suite ~secret =
 let es_paper, ed_paper, src_paper, attrs_paper, wire_paper =
   fbs_fixture suite_paper ~secret:true
 
+(* Cross-flow batched sealing fixture: one sender with [Des_bitslice.lanes]
+   warm flows (distinct source ports) and a batch sized to auto-flush
+   exactly when every lane is occupied.  The bench rotates through the
+   flows, so the measured per-call cost is the amortized per-datagram cost
+   of the bitsliced path: 62 enqueues plus one 63-chain lockstep flush. *)
+let batch_pair, batch_attrs = Fbsr_experiments.Fixture.warm_flows ~suite:suite_paper ()
+let send_batch = Fbsr_fbs.Engine.Batch.create batch_pair.Fbsr_experiments.Fixture.sender
+let batch_i = ref 0
+
+(* Bitsliced-kernel fixtures: one full flush of [lanes] MTU chains under
+   distinct keys, and one MTU ciphertext for the receive-side slicing. *)
+let bs_jobs =
+  let n = Fbsr_crypto.Des_bitslice.lanes in
+  let padded = Fbsr_crypto.Des.padded_length (String.length datagram) in
+  Array.init n (fun i ->
+      let key = Fbsr_crypto.Des.of_string (Printf.sprintf "bskey%03d" i) in
+      Fbsr_crypto.Des_bitslice.cbc_job ~key ~iv ~src:datagram ~src_pos:0
+        ~src_len:(String.length datagram)
+        ~dst:(Bytes.create padded) ~dst_pos:0)
+
+let des_ct_1460 = Fbsr_crypto.Des.encrypt_cbc ~iv des_key datagram
+
 let es_nop, _, _, attrs_nop, _ = fbs_fixture suite_nop ~secret:true
 
 let es_auth, ed_auth, src_auth, attrs_auth, wire_auth =
@@ -124,6 +146,15 @@ let crypto_tests =
       Test.make ~name:"des-cbc-1460B"
         (stage (fun () -> Fbsr_crypto.Des.encrypt_cbc ~iv des_key datagram));
       Test.make ~name:"md5-1460B" (stage (fun () -> Fbsr_crypto.Md5.digest datagram));
+      (* Bitsliced kernel (DESIGN.md §6c): a full 63-chain lockstep flush
+         (divide by [lanes] for the per-datagram cost) and the
+         single-ciphertext decrypt that slices one chain across lanes. *)
+      Test.make ~name:"des-bitsliced-cbc-63x1460B"
+        (stage (fun () -> Fbsr_crypto.Des_bitslice.encrypt_cbc_jobs bs_jobs));
+      Test.make ~name:"des-bitsliced-decrypt-1460B"
+        (stage (fun () ->
+             Fbsr_crypto.Des_bitslice.decrypt_cbc_sub ~iv des_key ~src:des_ct_1460
+               ~pos:0 ~len:(String.length des_ct_1460)));
       Test.make ~name:"sha1-1460B" (stage (fun () -> Fbsr_crypto.Sha1.digest datagram));
       Test.make ~name:"prefix-mac-md5-1460B"
         (stage (fun () ->
@@ -155,8 +186,20 @@ let crypto_tests =
 let fbs_tests =
   Test.make_grouped ~name:"fbs"
     [
-      (* Figure 8 FBS rows: per-datagram send/receive on the warm path. *)
+      (* Figure 8 FBS rows: per-datagram send/receive on the warm path.
+         The send row goes through cross-flow batched sealing (the
+         production gateway path): rotating over 63 warm flows, each call
+         enqueues one deferred chain and every 63rd triggers the bitsliced
+         flush, so the OLS slope is the amortized per-datagram cost.  The
+         [-scalar-] row keeps the unbatched measurement for continuity. *)
       Test.make ~name:"send-des+md5-1460B"
+        (stage (fun () ->
+             let i = !batch_i in
+             batch_i := if i + 1 = Array.length batch_attrs then 0 else i + 1;
+             Fbsr_fbs.Engine.send_batched send_batch ~now:60.0
+               ~attrs:(Array.unsafe_get batch_attrs i) ~secret:true ~payload:datagram
+               (fun _ -> ())));
+      Test.make ~name:"send-des+md5-scalar-1460B"
         (stage (fun () ->
              Fbsr_fbs.Engine.send_sync es_paper ~now:60.0 ~attrs:attrs_paper
                ~secret:true ~payload:datagram));

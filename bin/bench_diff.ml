@@ -213,7 +213,18 @@ let () =
   end
   else if new_stages <> [] then
     Printf.printf "\nstage latencies present only in %s (not gated)\n" new_path;
-  (* Counters: informational only. *)
+  (* Counters: informational, with one exception.  The MAC-midstate
+     cache counters come from a deterministic adversarial-network run
+     (fixed seed, fixed message count), so [fbs.engine.macmid.*] is an
+     exact both-direction gate like [allocs_per_datagram]: any drift
+     means the per-flow midstate cache changed shape — more misses says
+     midstates stopped surviving in the flow entries, more hits says the
+     workload (and thus the whole artifact) changed — and the committed
+     baseline must be re-examined, not absorbed. *)
+  let counter_exact name =
+    let p = "fbs.engine.macmid." in
+    String.length name >= String.length p && String.sub name 0 (String.length p) = p
+  in
   let old_counters = obj_members "counters" old_doc in
   let new_counters = obj_members "counters" new_doc in
   let changed =
@@ -226,12 +237,24 @@ let () =
       new_counters
   in
   if changed <> [] then begin
-    Printf.printf "\ncounters that differ (informational, not gated):\n";
-    List.iter
-      (fun (name, o, n) ->
-        Printf.printf "  %-48s %s -> %s\n" name
-          (Fbsr_util.Json.to_string o) (Fbsr_util.Json.to_string n))
-      changed
+    let gated, info = List.partition (fun (name, _, _) -> counter_exact name) changed in
+    if info <> [] then begin
+      Printf.printf "\ncounters that differ (informational, not gated):\n";
+      List.iter
+        (fun (name, o, n) ->
+          Printf.printf "  %-48s %s -> %s\n" name
+            (Fbsr_util.Json.to_string o) (Fbsr_util.Json.to_string n))
+        info
+    end;
+    if gated <> [] then begin
+      Printf.printf "\ncounters that differ (exact gate):\n";
+      List.iter
+        (fun (name, o, n) ->
+          incr regressions;
+          Printf.printf "  %-48s %s -> %s  REGRESSED (exact gate)\n" name
+            (Fbsr_util.Json.to_string o) (Fbsr_util.Json.to_string n))
+        gated
+    end
   end;
   if !regressions > 0 then begin
     Printf.printf "\n%d benchmark(s) regressed beyond +%.0f%%\n" !regressions

@@ -257,16 +257,13 @@ let schedule (key : string) : int array * int array =
   done;
   (ke, kd)
 
-(* Big-endian 32-bit loads/stores for the mode loops.  No bounds checks:
-   callers validate ranges once per call, not per block. *)
+(* Big-endian 32-bit loads/stores for the mode loops, via the stdlib's
+   word-at-a-time primitives (one load/store plus a byte swap; the
+   intermediate [int32] never escapes the expression, so it stays
+   unboxed even without flambda).  [Int32.to_int] sign-extends, hence
+   the mask on the load. *)
 let[@inline] read32 (s : string) pos =
-  (Char.code (String.unsafe_get s pos) lsl 24)
-  lor (Char.code (String.unsafe_get s (pos + 1)) lsl 16)
-  lor (Char.code (String.unsafe_get s (pos + 2)) lsl 8)
-  lor Char.code (String.unsafe_get s (pos + 3))
+  Int32.to_int (String.get_int32_be s pos) land 0xFFFFFFFF
 
 let[@inline] write32 (b : Bytes.t) pos v =
-  Bytes.unsafe_set b pos (Char.unsafe_chr ((v lsr 24) land 0xff));
-  Bytes.unsafe_set b (pos + 1) (Char.unsafe_chr ((v lsr 16) land 0xff));
-  Bytes.unsafe_set b (pos + 2) (Char.unsafe_chr ((v lsr 8) land 0xff));
-  Bytes.unsafe_set b (pos + 3) (Char.unsafe_chr (v land 0xff))
+  Bytes.set_int32_be b pos (Int32.of_int v)

@@ -35,3 +35,19 @@ val read32 : string -> int -> int
 
 val write32 : Bytes.t -> int -> int -> unit
 (** Big-endian 32-bit store; no bounds check. *)
+
+(** {1 FIPS permutation tables}
+
+    1-based source-bit tables (FIPS 46 numbering, bit 1 = MSB), exported
+    for {!Des_bitslice}: in the bitsliced domain every permutation is a
+    pure renaming of bit-vector words, so the kernels share one table
+    transcription instead of each risking its own typo. *)
+
+val ip_table : int array
+(** Initial permutation (64 entries). *)
+
+val fp_table : int array
+(** Final permutation, inverse of {!ip_table} (64 entries). *)
+
+val p_table : int array
+(** Round-function P permutation over the 32 S-box output bits. *)

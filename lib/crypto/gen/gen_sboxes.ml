@@ -1,0 +1,215 @@
+(* Generator for Des_sbox_circuits: straight-line boolean circuits for the
+   eight DES S-boxes, evaluated on whole machine words so one pass computes
+   the S-box for every lane of the bitsliced kernel at once.
+
+   Construction (per box): with x1..x6 the six S-box input bit-vectors
+   (x1 = FIPS input bit 1, the row MSB; x6 = the row LSB; x2..x5 the
+   column, MSB first), build
+
+     - complements  n_i = lnot x_i                       (as needed)
+     - pair products a_i over (x2,x3) and b_j over (x4,x5)
+     - the sixteen column minterms m_c = a_(c lsr 2) land b_(c land 3)
+     - the four row selectors r_0..r_3 over (x1,x6)
+
+   Each DES S-box row is a permutation of 0..15, so every (row, output
+   bit) pair has exactly eight ones: each output bit is an OR of four
+   (row selector AND (OR of eight minterms)) terms.  The sixteen
+   OR-of-eight trees per box share heavily; a greedy common-pair
+   extraction (most frequent minterm pair becomes a shared node,
+   repeat) cuts the OR count by roughly a third.
+
+   The round-function P permutation maps each S output bit to exactly
+   one L position, so instead of staging outputs in a scratch array the
+   emitted functions XOR each finished bit-vector straight into the
+   caller's L array at its P destination — the P step costs nothing.
+
+   The generator tracks which intermediate bindings each box actually
+   references and emits only those, because the generated module is
+   compiled under the CI profile's [-warn-error +a]. *)
+
+(* FIPS P: f bit j+1 = S-output bit p_table.(j). *)
+let p_table =
+  [| 16;  7; 20; 21; 29; 12; 28; 17;  1; 15; 23; 26;  5; 18; 31; 10;
+      2;  8; 24; 14; 32; 27;  3;  9; 19; 13; 30;  6; 22; 11;  4; 25 |]
+
+(* L destination of S-output bit [sb+1] (0-based). *)
+let p_dest sb =
+  let d = ref (-1) in
+  Array.iteri (fun j src -> if src = sb + 1 then d := j) p_table;
+  assert (!d >= 0);
+  !d
+
+let sboxes =
+  [| (* S1 *)
+     [| 14;  4; 13;  1;  2; 15; 11;  8;  3; 10;  6; 12;  5;  9;  0;  7;
+         0; 15;  7;  4; 14;  2; 13;  1; 10;  6; 12; 11;  9;  5;  3;  8;
+         4;  1; 14;  8; 13;  6;  2; 11; 15; 12;  9;  7;  3; 10;  5;  0;
+        15; 12;  8;  2;  4;  9;  1;  7;  5; 11;  3; 14; 10;  0;  6; 13 |];
+     (* S2 *)
+     [| 15;  1;  8; 14;  6; 11;  3;  4;  9;  7;  2; 13; 12;  0;  5; 10;
+         3; 13;  4;  7; 15;  2;  8; 14; 12;  0;  1; 10;  6;  9; 11;  5;
+         0; 14;  7; 11; 10;  4; 13;  1;  5;  8; 12;  6;  9;  3;  2; 15;
+        13;  8; 10;  1;  3; 15;  4;  2; 11;  6;  7; 12;  0;  5; 14;  9 |];
+     (* S3 *)
+     [| 10;  0;  9; 14;  6;  3; 15;  5;  1; 13; 12;  7; 11;  4;  2;  8;
+        13;  7;  0;  9;  3;  4;  6; 10;  2;  8;  5; 14; 12; 11; 15;  1;
+        13;  6;  4;  9;  8; 15;  3;  0; 11;  1;  2; 12;  5; 10; 14;  7;
+         1; 10; 13;  0;  6;  9;  8;  7;  4; 15; 14;  3; 11;  5;  2; 12 |];
+     (* S4 *)
+     [|  7; 13; 14;  3;  0;  6;  9; 10;  1;  2;  8;  5; 11; 12;  4; 15;
+        13;  8; 11;  5;  6; 15;  0;  3;  4;  7;  2; 12;  1; 10; 14;  9;
+        10;  6;  9;  0; 12; 11;  7; 13; 15;  1;  3; 14;  5;  2;  8;  4;
+         3; 15;  0;  6; 10;  1; 13;  8;  9;  4;  5; 11; 12;  7;  2; 14 |];
+     (* S5 *)
+     [|  2; 12;  4;  1;  7; 10; 11;  6;  8;  5;  3; 15; 13;  0; 14;  9;
+        14; 11;  2; 12;  4;  7; 13;  1;  5;  0; 15; 10;  3;  9;  8;  6;
+         4;  2;  1; 11; 10; 13;  7;  8; 15;  9; 12;  5;  6;  3;  0; 14;
+        11;  8; 12;  7;  1; 14;  2; 13;  6; 15;  0;  9; 10;  4;  5;  3 |];
+     (* S6 *)
+     [| 12;  1; 10; 15;  9;  2;  6;  8;  0; 13;  3;  4; 14;  7;  5; 11;
+        10; 15;  4;  2;  7; 12;  9;  5;  6;  1; 13; 14;  0; 11;  3;  8;
+         9; 14; 15;  5;  2;  8; 12;  3;  7;  0;  4; 10;  1; 13; 11;  6;
+         4;  3;  2; 12;  9;  5; 15; 10; 11; 14;  1;  7;  6;  0;  8; 13 |];
+     (* S7 *)
+     [|  4; 11;  2; 14; 15;  0;  8; 13;  3; 12;  9;  7;  5; 10;  6;  1;
+        13;  0; 11;  7;  4;  9;  1; 10; 14;  3;  5; 12;  2; 15;  8;  6;
+         1;  4; 11; 13; 12;  3;  7; 14; 10; 15;  6;  8;  0;  5;  9;  2;
+         6; 11; 13;  8;  1;  4; 10;  7;  9;  5;  0; 15; 14;  2;  3; 12 |];
+     (* S8 *)
+     [| 13;  2;  8;  4;  6; 15; 11;  1; 10;  9;  3; 14;  5;  0; 12;  7;
+         1; 15; 13;  8; 10;  3;  7;  4; 12;  5;  6; 11;  0; 14;  9;  2;
+         7; 11;  4;  1;  9; 12; 14;  2;  0;  6; 10; 13; 15;  3;  5;  8;
+         2;  1; 14;  7;  4; 10;  8; 13; 15; 12;  9;  0;  3;  5;  6; 11 |] |]
+
+let pf fmt = Printf.printf fmt
+
+(* Greedy common-pair extraction over the sixteen OR-subsets of one box.
+   Subsets are lists of node ids (0..15 = minterms, 16+ = shared OR
+   nodes); returns (shared nodes in creation order, reduced subsets). *)
+let cse subsets =
+  let nodes = ref [] (* (id, left, right), newest first *) in
+  let next = ref 16 in
+  let subsets = Array.map (fun l -> ref l) subsets in
+  let rec loop () =
+    let count = Hashtbl.create 64 in
+    Array.iter
+      (fun s ->
+        let l = List.sort compare !s in
+        let rec pairs = function
+          | [] -> ()
+          | x :: rest ->
+              List.iter
+                (fun y ->
+                  let k = (x, y) in
+                  Hashtbl.replace count k
+                    (1 + try Hashtbl.find count k with Not_found -> 0))
+                rest;
+              pairs rest
+        in
+        pairs l)
+      subsets;
+    let best = ref ((-1, -1), 1) in
+    Hashtbl.iter (fun k v -> if v > snd !best then best := (k, v)) count;
+    let (x, y), freq = !best in
+    if freq > 1 then begin
+      let id = !next in
+      incr next;
+      nodes := (id, x, y) :: !nodes;
+      Array.iter
+        (fun s ->
+          if List.mem x !s && List.mem y !s then
+            s := id :: List.filter (fun e -> e <> x && e <> y) !s)
+        subsets;
+      loop ()
+    end
+  in
+  loop ();
+  (List.rev !nodes, Array.map (fun s -> !s) subsets)
+
+let emit_box b =
+  let tbl = sboxes.(b) in
+  (* ones.(row).(k) = columns where output bit k (MSB-first) is set. *)
+  let ones =
+    Array.init 4 (fun row ->
+        Array.init 4 (fun k ->
+            List.filter
+              (fun c -> (tbl.((row * 16) + c) lsr (3 - k)) land 1 = 1)
+              (List.init 16 Fun.id)))
+  in
+  Array.iter
+    (fun per_bit ->
+      Array.iter (fun cols -> assert (List.length cols = 8)) per_bit)
+    ones;
+  (* subsets.(row*4+k) = minterm ids of output bit k in row [row] *)
+  let subsets = Array.init 16 (fun i -> ones.(i / 4).(i mod 4)) in
+  let nodes, reduced = cse subsets in
+  let node_name id =
+    if id < 16 then Printf.sprintf "m%d" id else Printf.sprintf "q%d" id
+  in
+  (* Liveness: minterms referenced by reduced subsets or shared nodes. *)
+  let m_used = Array.make 16 false in
+  let mark id = if id < 16 then m_used.(id) <- true in
+  Array.iter (List.iter mark) reduced;
+  List.iter
+    (fun (_, x, y) ->
+      mark x;
+      mark y)
+    nodes;
+  let a_used = Array.make 4 false and b_used = Array.make 4 false in
+  for c = 0 to 15 do
+    if m_used.(c) then begin
+      a_used.(c lsr 2) <- true;
+      b_used.(c land 3) <- true
+    end
+  done;
+  let need_n2 = a_used.(0) || a_used.(1) in
+  let need_n3 = a_used.(0) || a_used.(2) in
+  let need_n4 = b_used.(0) || b_used.(1) in
+  let need_n5 = b_used.(0) || b_used.(2) in
+  pf "let s%d x1 x2 x3 x4 x5 x6 (l : int array) =\n" (b + 1);
+  pf "  let n1 = lnot x1 and n6 = lnot x6 in\n";
+  if need_n2 then pf "  let n2 = lnot x2 in\n";
+  if need_n3 then pf "  let n3 = lnot x3 in\n";
+  if need_n4 then pf "  let n4 = lnot x4 in\n";
+  if need_n5 then pf "  let n5 = lnot x5 in\n";
+  let a_expr = [| "n2 land n3"; "n2 land x3"; "x2 land n3"; "x2 land x3" |] in
+  let b_expr = [| "n4 land n5"; "n4 land x5"; "x4 land n5"; "x4 land x5" |] in
+  for i = 0 to 3 do
+    if a_used.(i) then pf "  let a%d = %s in\n" i a_expr.(i)
+  done;
+  for j = 0 to 3 do
+    if b_used.(j) then pf "  let b%d = %s in\n" j b_expr.(j)
+  done;
+  for c = 0 to 15 do
+    if m_used.(c) then pf "  let m%d = a%d land b%d in\n" c (c lsr 2) (c land 3)
+  done;
+  pf "  let r0 = n1 land n6 and r1 = n1 land x6\n";
+  pf "  and r2 = x1 land n6 and r3 = x1 land x6 in\n";
+  List.iter
+    (fun (id, x, y) ->
+      pf "  let q%d = %s lor %s in\n" id (node_name x) (node_name y))
+    nodes;
+  for k = 0 to 3 do
+    let term row =
+      match reduced.((row * 4) + k) with
+      | [ id ] -> Printf.sprintf "(r%d land %s)" row (node_name id)
+      | ids ->
+          Printf.sprintf "(r%d land (%s))" row
+            (String.concat " lor " (List.map node_name ids))
+    in
+    let d = p_dest ((4 * b) + k) in
+    pf "  Array.unsafe_set l %d\n    (Array.unsafe_get l %d\n     lxor (%s\n           lor %s\n           lor %s\n           lor %s))%s\n"
+      d d (term 0) (term 1) (term 2) (term 3)
+      (if k = 3 then "" else ";")
+  done;
+  pf "\n"
+
+let () =
+  pf "(* Generated by gen/gen_sboxes.ml — do not edit.\n";
+  pf "   Word-parallel DES S-box circuits for the bitsliced kernel, with\n";
+  pf "   the round-function P permutation baked in: [s<b> x1..x6 l] XORs\n";
+  pf "   S-box [b]'s four output bit-vectors into the caller's L array at\n";
+  pf "   their P destinations. *)\n\n";
+  for b = 0 to 7 do
+    emit_box b
+  done

@@ -10,6 +10,7 @@ module type S = sig
   type ctx
 
   val init : unit -> ctx
+  val copy : ctx -> ctx
   val update : ctx -> string -> unit
   val feed : ctx -> string -> int -> int -> unit
   val feed_slice : ctx -> Fbsr_util.Slice.t -> unit
@@ -40,3 +41,32 @@ let of_name = function
   | "md5" -> md5
   | "sha1" -> sha1
   | n -> invalid_arg ("Hash.of_name: unknown hash " ^ n)
+
+(* A midstate is a frozen streaming context — typically the compression
+   state after absorbing a keyed prefix — packed with its hash module so
+   the existential context type never escapes.  Resuming copies the
+   context first, so one midstate serves any number of digests.  Cost
+   model: absorbing the prefix is paid once at construction; each resume
+   pays one context copy (~80 bytes) instead. *)
+type midstate = Mid : (module S with type ctx = 'a) * 'a -> midstate
+
+let midstate ((module H : S) : t) ~prefix =
+  let ctx = H.init () in
+  H.update ctx prefix;
+  Mid ((module H), ctx)
+
+let midstate_hash (Mid ((module H), _)) : t =
+  (* Recover the wrapped hash by name: the packed module is the same
+     underlying implementation, but its [ctx] is existential, so it
+     cannot be returned at type [t] directly. *)
+  of_name H.name
+
+let resume_slices (Mid ((module H), mid)) (parts : Fbsr_util.Slice.t list) =
+  let ctx = H.copy mid in
+  List.iter (H.feed_slice ctx) parts;
+  H.final ctx
+
+let resume_list (Mid ((module H), mid)) parts =
+  let ctx = H.copy mid in
+  List.iter (H.update ctx) parts;
+  H.final ctx

@@ -130,6 +130,39 @@ let des_cbc_slices ~key parts = des_cbc_slices_keyed (des_cbc_prepare ~key) part
 
 type algorithm = Prefix | Hmac | Des_cbc_mac
 
+(* Per-flow MAC midstates: everything about the key that can be absorbed
+   ahead of time, so the per-datagram MAC starts from a frozen state
+   instead of re-absorbing K_f (or re-expanding the DES-CBC-MAC key).
+
+   - [Prefix_mid]: the hash state after absorbing the key prefix — for
+     the paper's keyed-MD5 MAC this folds the whole key absorption into
+     flow setup.
+   - [Hmac_mid]: the inner hash state after absorbing ipad, plus opad
+     for the outer pass (the outer state cannot be frozen: it absorbs
+     the inner digest, which depends on the message).
+   - [Des_cbc_seed]: the pre-expanded CBC-MAC key schedule; the chain
+     itself starts from the zero IV, so the schedule is the entire
+     key-dependent precomputation. *)
+type midstate =
+  | Prefix_mid of Hash.midstate
+  | Hmac_mid of { inner : Hash.midstate; opad : string; hash : Hash.t }
+  | Des_cbc_seed of Des.key
+
+let prepare ?(algorithm = Prefix) hash ~key =
+  match algorithm with
+  | Prefix -> Prefix_mid (Hash.midstate hash ~prefix:key)
+  | Hmac ->
+      let ipad, opad = hmac_key_pads hash ~key in
+      Hmac_mid { inner = Hash.midstate hash ~prefix:ipad; opad; hash }
+  | Des_cbc_mac -> Des_cbc_seed (des_cbc_prepare ~key)
+
+let compute_midstate mid parts =
+  match mid with
+  | Prefix_mid m -> Hash.resume_slices m parts
+  | Hmac_mid { inner; opad; hash } ->
+      Hash.digest_list hash [ opad; Hash.resume_slices inner parts ]
+  | Des_cbc_seed k -> des_cbc_slices_keyed k parts
+
 let compute ?(algorithm = Prefix) hash ~key parts =
   match algorithm with
   | Prefix -> prefix hash ~key parts
@@ -151,6 +184,13 @@ let verify ?(algorithm = Prefix) hash ~key parts ~expected =
    prefix view of the same (public) length, so nothing is copied. *)
 let verify_slice ?(algorithm = Prefix) hash ~key parts ~(expected : Slice.t) =
   let mac = compute_slices ~algorithm hash ~key parts in
+  let n = Slice.length expected in
+  n <= String.length mac && Ct.equal_slice (Slice.v ~len:n mac) expected
+
+(* Midstate flavour of [verify_slice]: same truncated-prefix,
+   constant-time comparison discipline. *)
+let verify_midstate mid parts ~(expected : Slice.t) =
+  let mac = compute_midstate mid parts in
   let n = Slice.length expected in
   n <= String.length mac && Ct.equal_slice (Slice.v ~len:n mac) expected
 

@@ -59,3 +59,28 @@ val verify_slice :
 val truncate : string -> int -> string
 (** Keep the first [n] bytes of a MAC (header-overhead/security trade-off
     the paper mentions in Section 5.3). *)
+
+(** {1 Per-flow MAC midstates}
+
+    Everything about the key that can be absorbed ahead of time: the
+    hash state after the keyed prefix ([Prefix]), the inner-hash state
+    after ipad plus the retained opad ([Hmac]), or the pre-expanded
+    key schedule ([Des_cbc_mac]).  The engine caches one per flow
+    entry, so per-datagram MACs skip the key absorption/expansion
+    entirely. *)
+
+type midstate
+
+val prepare : ?algorithm:algorithm -> Hash.t -> key:string -> midstate
+(** Freeze the key-dependent precomputation of [algorithm] (default
+    [Prefix], matching {!compute}). *)
+
+val compute_midstate : midstate -> Fbsr_util.Slice.t list -> string
+(** Byte-identical to {!compute_slices} with the algorithm, hash and key
+    given to {!prepare}.  The midstate is reusable: any number of
+    computations, in any order. *)
+
+val verify_midstate :
+  midstate -> Fbsr_util.Slice.t list -> expected:Fbsr_util.Slice.t -> bool
+(** Midstate flavour of {!verify_slice}: constant-time comparison of a
+    (possibly truncated) wire MAC against the computed MAC's prefix. *)

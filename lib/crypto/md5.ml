@@ -9,24 +9,20 @@ let digest_size = 16
 let block_size = 64
 let name = "md5"
 
-(* K[i] = floor(2^32 * |sin(i+1)|), i = 0..63. *)
+(* K[i] = floor(2^32 * |sin(i+1)|), i = 0..63.  Held as native ints: the
+   whole compression runs on the native [int] with arithmetic masked to
+   32 bits, which keeps every word immediate (an [int32] pipeline boxes
+   each intermediate without flambda and costs ~3x). *)
 let k_table =
-  lazy
-    (Array.init 64 (fun i ->
-         let v = abs_float (sin (float_of_int (i + 1))) *. 4294967296.0 in
-         Int32.of_int (int_of_float v)))
-
-let s_table =
-  [| 7; 12; 17; 22; 7; 12; 17; 22; 7; 12; 17; 22; 7; 12; 17; 22;
-     5;  9; 14; 20; 5;  9; 14; 20; 5;  9; 14; 20; 5;  9; 14; 20;
-     4; 11; 16; 23; 4; 11; 16; 23; 4; 11; 16; 23; 4; 11; 16; 23;
-     6; 10; 15; 21; 6; 10; 15; 21; 6; 10; 15; 21; 6; 10; 15; 21 |]
+  Array.init 64 (fun i ->
+      let v = abs_float (sin (float_of_int (i + 1))) *. 4294967296.0 in
+      int_of_float v)
 
 type ctx = {
-  mutable a : int32;
-  mutable b : int32;
-  mutable c : int32;
-  mutable d : int32;
+  mutable a : int; (* chaining words, 32-bit values in native ints *)
+  mutable b : int;
+  mutable c : int;
+  mutable d : int;
   buf : Bytes.t; (* partial block *)
   mutable buf_len : int;
   mutable total : int64; (* bytes processed *)
@@ -34,50 +30,186 @@ type ctx = {
 
 let init () =
   {
-    a = 0x67452301l;
-    b = 0xefcdab89l;
-    c = 0x98badcfel;
-    d = 0x10325476l;
+    a = 0x67452301;
+    b = 0xefcdab89;
+    c = 0x98badcfe;
+    d = 0x10325476;
     buf = Bytes.create block_size;
     buf_len = 0;
     total = 0L;
   }
 
-let rotl32 x n =
-  Int32.logor (Int32.shift_left x n) (Int32.shift_right_logical x (32 - n))
+(* Independent snapshot of a streaming context: the midstate cache
+   resumes MAC computations from a copy, leaving the original pristine. *)
+let copy t = { t with buf = Bytes.copy t.buf }
 
-let word_le s off =
-  let b i = Int32.of_int (Char.code (Bytes.get s (off + i))) in
-  Int32.logor (b 0)
-    (Int32.logor
-       (Int32.shift_left (b 1) 8)
-       (Int32.logor (Int32.shift_left (b 2) 16) (Int32.shift_left (b 3) 24)))
+let mask = 0xFFFFFFFF
+
+(* Message-schedule scratch.  [compress] runs to completion before
+   returning, so sharing one scratch across contexts is safe (same
+   module-global-scratch contract as the cipher kernels). *)
+let m = Array.make 16 0
+
+(* Round state scratch: the quad functions below leave (a, b, c, d)
+   here instead of returning a tuple (which would box). *)
+let st = Array.make 4 0
+
+(* One round = four quad iterations; each quad is four steps with the
+   (a, b, c, d) rotation as static renaming, shift counts as literals,
+   and the state carried in function arguments so it lives in registers
+   (a [ref] pipeline pays a store-to-load forward on the serial chain
+   every step).
+
+   Masking is deferred: the state words carry garbage above bit 31
+   between steps.  That is sound because [land]/[lor]/[lxor]/[lnot]
+   are bitwise and addition only carries upward, so the low 32 bits of
+   every expression here are always exact; the one operation that
+   would smear high bits downward — the [lsr] half of the rotate — is
+   fed the explicitly masked [s0..s3].  The final state is masked once
+   in [compress].  This takes two serial ops per step off the
+   dependency chain, which is the whole cost of MD5. *)
+let rec quad1 i a b c d =
+  if i = 16 then quad2 16 a b c d
+  else begin
+    let k = k_table in
+    let s0 =
+      (a + ((b land c) lor (lnot b land d))
+      + Array.unsafe_get k i + Array.unsafe_get m i)
+      land mask
+    in
+    let a = b + ((s0 lsl 7) lor (s0 lsr 25)) in
+    let s1 =
+      (d + ((a land b) lor (lnot a land c))
+      + Array.unsafe_get k (i + 1) + Array.unsafe_get m (i + 1))
+      land mask
+    in
+    let d = a + ((s1 lsl 12) lor (s1 lsr 20)) in
+    let s2 =
+      (c + ((d land a) lor (lnot d land b))
+      + Array.unsafe_get k (i + 2) + Array.unsafe_get m (i + 2))
+      land mask
+    in
+    let c = d + ((s2 lsl 17) lor (s2 lsr 15)) in
+    let s3 =
+      (b + ((c land d) lor (lnot c land a))
+      + Array.unsafe_get k (i + 3) + Array.unsafe_get m (i + 3))
+      land mask
+    in
+    let b = c + ((s3 lsl 22) lor (s3 lsr 10)) in
+    quad1 (i + 4) a b c d
+  end
+
+and quad2 i a b c d =
+  if i = 32 then quad3 32 a b c d
+  else begin
+    let k = k_table in
+    let g = ((5 * i) + 1) land 15 in
+    let s0 =
+      (a + ((d land b) lor (lnot d land c))
+      + Array.unsafe_get k i + Array.unsafe_get m g)
+      land mask
+    in
+    let a = b + ((s0 lsl 5) lor (s0 lsr 27)) in
+    let s1 =
+      (d + ((c land a) lor (lnot c land b))
+      + Array.unsafe_get k (i + 1) + Array.unsafe_get m ((g + 5) land 15))
+      land mask
+    in
+    let d = a + ((s1 lsl 9) lor (s1 lsr 23)) in
+    let s2 =
+      (c + ((b land d) lor (lnot b land a))
+      + Array.unsafe_get k (i + 2) + Array.unsafe_get m ((g + 10) land 15))
+      land mask
+    in
+    let c = d + ((s2 lsl 14) lor (s2 lsr 18)) in
+    let s3 =
+      (b + ((a land c) lor (lnot a land d))
+      + Array.unsafe_get k (i + 3) + Array.unsafe_get m ((g + 15) land 15))
+      land mask
+    in
+    let b = c + ((s3 lsl 20) lor (s3 lsr 12)) in
+    quad2 (i + 4) a b c d
+  end
+
+and quad3 i a b c d =
+  if i = 48 then quad4 48 a b c d
+  else begin
+    let k = k_table in
+    let g = ((3 * i) + 5) land 15 in
+    let s0 =
+      (a + (b lxor c lxor d)
+      + Array.unsafe_get k i + Array.unsafe_get m g)
+      land mask
+    in
+    let a = b + ((s0 lsl 4) lor (s0 lsr 28)) in
+    let s1 =
+      (d + (a lxor b lxor c)
+      + Array.unsafe_get k (i + 1) + Array.unsafe_get m ((g + 3) land 15))
+      land mask
+    in
+    let d = a + ((s1 lsl 11) lor (s1 lsr 21)) in
+    let s2 =
+      (c + (d lxor a lxor b)
+      + Array.unsafe_get k (i + 2) + Array.unsafe_get m ((g + 6) land 15))
+      land mask
+    in
+    let c = d + ((s2 lsl 16) lor (s2 lsr 16)) in
+    let s3 =
+      (b + (c lxor d lxor a)
+      + Array.unsafe_get k (i + 3) + Array.unsafe_get m ((g + 9) land 15))
+      land mask
+    in
+    let b = c + ((s3 lsl 23) lor (s3 lsr 9)) in
+    quad3 (i + 4) a b c d
+  end
+
+and quad4 i a b c d =
+  if i = 64 then begin
+    Array.unsafe_set st 0 a;
+    Array.unsafe_set st 1 b;
+    Array.unsafe_set st 2 c;
+    Array.unsafe_set st 3 d
+  end
+  else begin
+    let k = k_table in
+    let g = 7 * i land 15 in
+    let s0 =
+      (a + (c lxor (b lor lnot d))
+      + Array.unsafe_get k i + Array.unsafe_get m g)
+      land mask
+    in
+    let a = b + ((s0 lsl 6) lor (s0 lsr 26)) in
+    let s1 =
+      (d + (b lxor (a lor lnot c))
+      + Array.unsafe_get k (i + 1) + Array.unsafe_get m ((g + 7) land 15))
+      land mask
+    in
+    let d = a + ((s1 lsl 10) lor (s1 lsr 22)) in
+    let s2 =
+      (c + (a lxor (d lor lnot b))
+      + Array.unsafe_get k (i + 2) + Array.unsafe_get m ((g + 14) land 15))
+      land mask
+    in
+    let c = d + ((s2 lsl 15) lor (s2 lsr 17)) in
+    let s3 =
+      (b + (d lxor (c lor lnot a))
+      + Array.unsafe_get k (i + 3) + Array.unsafe_get m ((g + 21) land 15))
+      land mask
+    in
+    let b = c + ((s3 lsl 21) lor (s3 lsr 11)) in
+    quad4 (i + 4) a b c d
+  end
 
 let compress ctx block off =
-  let k = Lazy.force k_table in
-  let m = Array.init 16 (fun i -> word_le block (off + (4 * i))) in
-  let a = ref ctx.a and b = ref ctx.b and c = ref ctx.c and d = ref ctx.d in
-  for i = 0 to 63 do
-    let f, g =
-      if i < 16 then
-        (Int32.logor (Int32.logand !b !c) (Int32.logand (Int32.lognot !b) !d), i)
-      else if i < 32 then
-        (Int32.logor (Int32.logand !d !b) (Int32.logand (Int32.lognot !d) !c),
-         ((5 * i) + 1) mod 16)
-      else if i < 48 then (Int32.logxor !b (Int32.logxor !c !d), ((3 * i) + 5) mod 16)
-      else (Int32.logxor !c (Int32.logor !b (Int32.lognot !d)), 7 * i mod 16)
-    in
-    let tmp = !d in
-    d := !c;
-    c := !b;
-    let sum = Int32.add (Int32.add (Int32.add !a f) k.(i)) m.(g) in
-    b := Int32.add !b (rotl32 sum s_table.(i));
-    a := tmp
+  for i = 0 to 15 do
+    Array.unsafe_set m i
+      (Int32.to_int (Bytes.get_int32_le block (off + (4 * i))) land mask)
   done;
-  ctx.a <- Int32.add ctx.a !a;
-  ctx.b <- Int32.add ctx.b !b;
-  ctx.c <- Int32.add ctx.c !c;
-  ctx.d <- Int32.add ctx.d !d
+  quad1 0 ctx.a ctx.b ctx.c ctx.d;
+  ctx.a <- (ctx.a + Array.unsafe_get st 0) land mask;
+  ctx.b <- (ctx.b + Array.unsafe_get st 1) land mask;
+  ctx.c <- (ctx.c + Array.unsafe_get st 2) land mask;
+  ctx.d <- (ctx.d + Array.unsafe_get st 3) land mask
 
 let feed ctx s pos len =
   ctx.total <- Int64.add ctx.total (Int64.of_int len);
@@ -111,10 +243,9 @@ let update ctx s = feed ctx s 0 (String.length s)
 let feed_slice ctx (s : Fbsr_util.Slice.t) =
   feed ctx s.Fbsr_util.Slice.base s.Fbsr_util.Slice.off s.Fbsr_util.Slice.len
 
-let word_out b off (v : int32) =
+let word_out b off v =
   for i = 0 to 3 do
-    Bytes.set b (off + i)
-      (Char.chr (Int32.to_int (Int32.shift_right_logical v (8 * i)) land 0xff))
+    Bytes.set b (off + i) (Char.chr ((v lsr (8 * i)) land 0xff))
   done
 
 let final ctx =

@@ -31,6 +31,10 @@ let init () =
     total = 0L;
   }
 
+(* Independent snapshot of a streaming context: the midstate cache
+   resumes MAC computations from a copy, leaving the original pristine. *)
+let copy t = { t with buf = Bytes.copy t.buf }
+
 let rotl32 x n =
   Int32.logor (Int32.shift_left x n) (Int32.shift_right_logical x (32 - n))
 

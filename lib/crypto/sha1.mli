@@ -11,6 +11,11 @@ val name : string
 type ctx
 
 val init : unit -> ctx
+
+val copy : ctx -> ctx
+(** Independent snapshot: feeding or finalizing the copy leaves the
+    original untouched (and vice versa). *)
+
 val update : ctx -> string -> unit
 val feed : ctx -> string -> int -> int -> unit
 val feed_slice : ctx -> Fbsr_util.Slice.t -> unit

@@ -16,7 +16,7 @@ let mtu_payload = String.make 1460 'd'
 
 let engine_pair ?(seed = 424242) ?(suite = Fbsr_fbs.Suite.paper_md5_des)
     ?(replay_window_minutes = 2) ?(strict_replay = false) ?(src = "10.9.0.1")
-    ?(dst = "10.9.0.2") () =
+    ?(dst = "10.9.0.2") ?(spans = Fbsr_util.Span.none) () =
   let rng = Fbsr_util.Rng.create seed in
   let group = Lazy.force Fbsr_crypto.Dh.test_group in
   let ca = Fbsr_cert.Authority.create ~rng ~bits:512 () in
@@ -48,8 +48,8 @@ let engine_pair ?(seed = 424242) ?(suite = Fbsr_fbs.Suite.paper_md5_des)
     in
     let alloc = Fbsr_fbs.Sfl.allocator ~rng:(Fbsr_util.Rng.create sfl_seed) in
     let fam = Fbsr_fbs.Fam.create (Fbsr_fbs.Policy_five_tuple.policy ~alloc ()) in
-    Fbsr_fbs.Engine.create ~suite ~replay_window_minutes ~strict_replay ~keying ~fam
-      ()
+    Fbsr_fbs.Engine.create ~suite ~replay_window_minutes ~strict_replay ~spans
+      ~keying ~fam ()
   in
   {
     src = s;
@@ -79,3 +79,36 @@ let warm_pair ?seed ?(suite = Fbsr_fbs.Suite.paper_md5_des) ?(secret = true)
       failwith
         (Fmt.str "Fixture.warm_pair: receive failed: %a" Fbsr_fbs.Engine.pp_error e));
   (p, attrs, wire)
+
+(* Many-flow variant for the cross-flow batching work: the bitsliced DES
+   kernel only pays off when a flush holds chains from many *distinct*
+   flows, so benchmarks and tests need a sender whose TFKC already holds
+   that many warm entries.  Flows differ only in source port — same
+   principals, same suite — which is exactly the five-tuple split the
+   paper's FAM policy produces for parallel connections. *)
+let warm_flows ?seed ?(suite = Fbsr_fbs.Suite.paper_md5_des) ?(secret = true)
+    ?(payload = mtu_payload) ?(flows = Fbsr_crypto.Des_bitslice.lanes) ?spans () =
+  let p = engine_pair ?seed ~suite ?spans () in
+  let attrs =
+    Array.init flows (fun i ->
+        Fbsr_fbs.Fam.attrs ~protocol:17 ~src_port:(1000 + i) ~dst_port:2000
+          ~src:p.src ~dst:p.dst ())
+  in
+  Array.iter
+    (fun a ->
+      let wire =
+        match Fbsr_fbs.Engine.send_sync p.sender ~now:60.0 ~attrs:a ~secret ~payload with
+        | Ok w -> w
+        | Error e ->
+            failwith
+              (Fmt.str "Fixture.warm_flows: send failed: %a" Fbsr_fbs.Engine.pp_error
+                 e)
+      in
+      match Fbsr_fbs.Engine.receive_sync p.receiver ~now:60.0 ~src:p.src ~wire with
+      | Ok _ -> ()
+      | Error e ->
+          failwith
+            (Fmt.str "Fixture.warm_flows: receive failed: %a" Fbsr_fbs.Engine.pp_error
+               e))
+    attrs;
+  (p, attrs)

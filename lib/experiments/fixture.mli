@@ -19,11 +19,12 @@ val engine_pair :
   ?strict_replay:bool ->
   ?src:string ->
   ?dst:string ->
+  ?spans:Fbsr_util.Span.t ->
   unit ->
   t
 (** Enroll both principals with a fresh 512-bit authority over the fast
     61-bit test group and build one engine per side.  Deterministic in
-    [seed]. *)
+    [seed].  [spans] (default disabled) is shared by both engines. *)
 
 val warm_pair :
   ?seed:int ->
@@ -36,3 +37,18 @@ val warm_pair :
     every cache is warm; returns the pair, the attrs used, and the wire
     bytes of the warm-up datagram (for receive-side benchmarks).
     @raise Failure if the warm-up round trip fails. *)
+
+val warm_flows :
+  ?seed:int ->
+  ?suite:Fbsr_fbs.Suite.t ->
+  ?secret:bool ->
+  ?payload:string ->
+  ?flows:int ->
+  ?spans:Fbsr_util.Span.t ->
+  unit ->
+  t * Fbsr_fbs.Fam.attrs array
+(** {!engine_pair} plus one send/receive round trip per flow — [flows]
+    (default {!Fbsr_crypto.Des_bitslice.lanes}) five-tuple flows differing
+    only in source port — so the sender's TFKC holds that many warm
+    entries.  The setup for cross-flow batched sealing.
+    @raise Failure if any warm-up round trip fails. *)

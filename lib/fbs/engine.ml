@@ -70,6 +70,13 @@ type counters = {
      observing in its own right. *)
   mutable keysched_hits : int;
   mutable keysched_misses : int;
+  (* MAC-midstate cache accounting: a hit resumes the per-flow frozen
+     MAC precomputation (keyed-prefix hash state, HMAC inner state, or
+     CBC-MAC schedule); a miss builds and caches it.  Split from the
+     cipher-schedule counters because the two caches cover different
+     suites and evict together but miss independently. *)
+  mutable mac_midstate_hits : int;
+  mutable mac_midstate_misses : int;
 }
 
 let drops_by_cause c =
@@ -104,10 +111,11 @@ type flow_entry = {
   fk : string;
   mutable des_sched : Fbsr_crypto.Des.key option;
   mutable des3_sched : Fbsr_crypto.Des3.key option;
-  mutable macsched : Fbsr_crypto.Des.key option; (* DES-CBC-MAC *)
+  mutable mac_mid : Fbsr_crypto.Mac.midstate option;
+      (* frozen per-flow MAC precomputation, any suite *)
 }
 
-let flow_entry_of_key fk = { fk; des_sched = None; des3_sched = None; macsched = None }
+let flow_entry_of_key fk = { fk; des_sched = None; des3_sched = None; mac_mid = None }
 let flow_entry_key e = e.fk
 
 type t = {
@@ -196,6 +204,8 @@ let create ?(suite = Suite.paper_md5_des) ?(tfkc_sets = 128) ?(rfkc_sets = 128)
         datapath_allocs = 0;
         keysched_hits = 0;
         keysched_misses = 0;
+        mac_midstate_hits = 0;
+        mac_midstate_misses = 0;
       };
   }
 
@@ -238,6 +248,8 @@ let register_metrics (t : t) m =
   register_probe e "datapath.allocs" (fun () -> c.datapath_allocs);
   register_probe e "keysched.hits" (fun () -> c.keysched_hits);
   register_probe e "keysched.misses" (fun () -> c.keysched_misses);
+  register_probe e "macmid.hits" (fun () -> c.mac_midstate_hits);
+  register_probe e "macmid.misses" (fun () -> c.mac_midstate_misses);
   (* Per-datagram views of the same counters: the zero-copy invariant in
      observable form (~1 alloc and ~0 extra copies per datagram). *)
   let per_datagram n =
@@ -336,18 +348,25 @@ let flow_key_via t cache ~sfl ~peer ~src ~dst (k : (flow_entry, error) result ->
               ~master:(Keying.last_resolution t.keying);
             k (Ok entry))
 
-(* The DES-CBC-MAC schedule for a flow entry, expanded on first use and
-   cached for the entry's lifetime. *)
-let mac_sched_of t entry =
-  match entry.macsched with
-  | Some k ->
-      t.counters.keysched_hits <- t.counters.keysched_hits + 1;
-      k
+(* The frozen MAC precomputation for a flow entry, built on first use
+   and cached for the entry's lifetime.  For the paper's keyed-MD5 MAC
+   this is the hash state after absorbing K_f; for HMAC the inner state
+   after ipad (plus opad); for DES-CBC-MAC the expanded schedule.  Every
+   subsequent MAC over this flow resumes from the frozen state, so the
+   per-datagram key absorption/expansion disappears. *)
+let mac_mid_of t entry =
+  match entry.mac_mid with
+  | Some m ->
+      t.counters.mac_midstate_hits <- t.counters.mac_midstate_hits + 1;
+      m
   | None ->
-      t.counters.keysched_misses <- t.counters.keysched_misses + 1;
-      let k = Fbsr_crypto.Mac.des_cbc_prepare ~key:entry.fk in
-      entry.macsched <- Some k;
-      k
+      t.counters.mac_midstate_misses <- t.counters.mac_midstate_misses + 1;
+      let m =
+        Fbsr_crypto.Mac.prepare ~algorithm:t.suite.Suite.mac_algorithm
+          t.suite.Suite.mac_hash ~key:entry.fk
+      in
+      entry.mac_mid <- Some m;
+      m
 
 (* MAC input: auth (suite+flags) | confounder | timestamp | payload — the
    paper's Section 5.2 definition plus the authenticated algorithm field
@@ -359,12 +378,7 @@ let compute_mac_slices t ~entry ~secret ~confounder ~timestamp
   t.counters.macs_computed <- t.counters.macs_computed + 1;
   Header.write_mac_prelude t.mac_prelude ~suite:t.suite ~secret ~confounder ~timestamp;
   let parts = [ Fbsr_util.Slice.of_bytes_unsafe t.mac_prelude; payload ] in
-  match t.suite.Suite.mac_algorithm with
-  | Fbsr_crypto.Mac.Des_cbc_mac ->
-      Fbsr_crypto.Mac.des_cbc_slices_keyed (mac_sched_of t entry) parts
-  | (Fbsr_crypto.Mac.Prefix | Fbsr_crypto.Mac.Hmac) as algorithm ->
-      Fbsr_crypto.Mac.compute_slices ~algorithm t.suite.Suite.mac_hash ~key:entry.fk
-        parts
+  Fbsr_crypto.Mac.compute_midstate (mac_mid_of t entry) parts
 
 let verify_mac_slices t ~entry ~secret ~confounder ~timestamp
     ~(payload : Fbsr_util.Slice.t) ~(expected : Fbsr_util.Slice.t) =
@@ -377,18 +391,9 @@ let verify_mac_slices t ~entry ~secret ~confounder ~timestamp
     Header.write_mac_prelude t.mac_prelude ~suite:t.suite ~secret ~confounder
       ~timestamp;
     let parts = [ Fbsr_util.Slice.of_bytes_unsafe t.mac_prelude; payload ] in
-    match t.suite.Suite.mac_algorithm with
-    | Fbsr_crypto.Mac.Des_cbc_mac ->
-        (* [Mac.verify_slice] with the cached schedule: constant-time
-           comparison of the (possibly truncated) wire MAC against the
-           matching prefix of the computed one. *)
-        let mac = Fbsr_crypto.Mac.des_cbc_slices_keyed (mac_sched_of t entry) parts in
-        let n = Fbsr_util.Slice.length expected in
-        n <= String.length mac
-        && Fbsr_crypto.Ct.equal_slice (Fbsr_util.Slice.v ~len:n mac) expected
-    | (Fbsr_crypto.Mac.Prefix | Fbsr_crypto.Mac.Hmac) as algorithm ->
-        Fbsr_crypto.Mac.verify_slice ~algorithm t.suite.Suite.mac_hash ~key:entry.fk
-          parts ~expected
+    (* Constant-time comparison of the (possibly truncated) wire MAC
+       against the matching prefix of the resumed computation. *)
+    Fbsr_crypto.Mac.verify_midstate (mac_mid_of t entry) parts ~expected
   end
 
 let des_key_of_flow_key flow_key =
@@ -458,8 +463,11 @@ let seal_entry t ~now ~sfl ~entry ~secret ~payload =
     if Fbsr_util.Span.enabled t.spans then Some (Fbsr_util.Span.start t.spans)
     else None
   in
-  (* Key-schedule cache deltas over this seal, for span cost attribution. *)
+  (* Key-schedule and MAC-midstate cache deltas over this seal, for span
+     cost attribution. *)
   let ksh0 = t.counters.keysched_hits and ksm0 = t.counters.keysched_misses in
+  let mmh0 = t.counters.mac_midstate_hits
+  and mmm0 = t.counters.mac_midstate_misses in
   let confounder = Fbsr_util.Lcg.next_u32 t.confounder_gen in
   let timestamp = Replay.minutes_of_seconds now in
   let payload_len = String.length payload in
@@ -535,6 +543,10 @@ let seal_entry t ~now ~sfl ~entry ~secret ~payload =
               Fbsr_util.Json.Int (t.counters.keysched_hits - ksh0) );
             ( "keysched_misses",
               Fbsr_util.Json.Int (t.counters.keysched_misses - ksm0) );
+            ( "macmid_hits",
+              Fbsr_util.Json.Int (t.counters.mac_midstate_hits - mmh0) );
+            ( "macmid_misses",
+              Fbsr_util.Json.Int (t.counters.mac_midstate_misses - mmm0) );
           ]
   | None -> ());
   wire
@@ -630,6 +642,219 @@ let send_sealed t ~now ~sfl ~flow_key ~secret ~payload =
     Fbsr_util.Span.set_current (Fbsr_util.Span.fresh_id ());
   seal t ~now ~sfl ~flow_key ~secret ~payload
 
+(* The deferred-seal core for the cross-flow batch: steps S4-S10 minus
+   the body encryption, which comes back as a pending CBC job.  The wire
+   string is finalized with the body region still unwritten and ALIASES
+   the job's destination buffer ([Byte_writer.finalize] shares storage at
+   exact capacity), so when the batch later runs the job, the ciphertext
+   lands in the already-issued string.  Callers must not hand the wire
+   out before the job has run — [Batch] delivers continuations only
+   after its flush.  Only called for DES-CBC + secret + non-NOP.
+
+   The seal span timer (and the datagram's trace id) are captured here
+   but finished at flush, so the span covers queue residence — the real
+   seal latency under batching. *)
+let seal_entry_deferred t ~now ~sfl ~entry ~payload =
+  let stm =
+    if Fbsr_util.Span.enabled t.spans then
+      Some (Fbsr_util.Span.start t.spans, Fbsr_util.Span.current ())
+    else None
+  in
+  let ksh0 = t.counters.keysched_hits and ksm0 = t.counters.keysched_misses in
+  let mmh0 = t.counters.mac_midstate_hits
+  and mmm0 = t.counters.mac_midstate_misses in
+  let confounder = Fbsr_util.Lcg.next_u32 t.confounder_gen in
+  let timestamp = Replay.minutes_of_seconds now in
+  let payload_len = String.length payload in
+  let mac =
+    compute_mac_slices t ~entry ~secret:true ~confounder ~timestamp
+      ~payload:(Fbsr_util.Slice.of_string payload)
+  in
+  let body_len = Fbsr_crypto.Des.padded_length payload_len in
+  let w =
+    Fbsr_util.Byte_writer.create
+      ~capacity:(Header.fixed_size + t.suite.Suite.mac_length + body_len)
+      ()
+  in
+  t.counters.datapath_allocs <- t.counters.datapath_allocs + 1;
+  Header.encode_fields_into w ~sfl ~suite:t.suite ~secret:true ~confounder ~timestamp;
+  Fbsr_util.Byte_writer.substring w mac 0 t.suite.Suite.mac_length;
+  t.counters.encryptions <- t.counters.encryptions + 1;
+  let key = des_sched_of t entry in
+  let iv = iv_of_confounder t ~confounder in
+  let dst, dst_pos = Fbsr_util.Byte_writer.reserve w body_len in
+  (* The job snapshots [iv] (engine scratch, rewritten by the next seal)
+     and borrows [payload]/[dst] until it runs. *)
+  let job =
+    Fbsr_crypto.Des_bitslice.cbc_job ~key ~iv ~src:payload ~src_pos:0
+      ~src_len:payload_len ~dst ~dst_pos
+  in
+  let wire = Fbsr_util.Byte_writer.finalize w in
+  let detail =
+    [
+      ("bytes", Fbsr_util.Json.Int (String.length wire));
+      ("secret", Fbsr_util.Json.Bool true);
+      ("batched", Fbsr_util.Json.Bool true);
+      ("keysched_hits", Fbsr_util.Json.Int (t.counters.keysched_hits - ksh0));
+      ( "keysched_misses",
+        Fbsr_util.Json.Int (t.counters.keysched_misses - ksm0) );
+      ("macmid_hits", Fbsr_util.Json.Int (t.counters.mac_midstate_hits - mmh0));
+      ( "macmid_misses",
+        Fbsr_util.Json.Int (t.counters.mac_midstate_misses - mmm0) );
+    ]
+  in
+  (wire, job, stm, detail)
+
+(* Cross-flow seal batching — the bitsliced-DES feed.  CBC serializes
+   blocks {e within} a flow but not {e across} flows, so DES-CBC secret
+   sends defer their body encryption: the datagram is fully assembled
+   (header, MAC, reserved body region) and its pending chain queued;
+   [flush] advances every queued chain in lockstep through
+   {!Fbsr_crypto.Des_bitslice} and only then hands each wire to its
+   continuation, so callers never observe a half-sealed datagram.
+   Sends the kernel cannot help (non-secret, NOP suite, other ciphers)
+   seal and deliver immediately with [send] semantics. *)
+module Batch = struct
+  type pending = {
+    job : Fbsr_crypto.Des_bitslice.cbc_job;
+    wire : string; (* aliases the job's destination; complete after flush *)
+    deliver : (string, error) result -> unit;
+    enqueued_at : float;
+    seal_tm : (Fbsr_util.Span.timer * int64) option;
+    seal_detail : (string * Fbsr_util.Json.t) list;
+  }
+
+  type batch = {
+    engine : t;
+    threshold : int;
+    capacity : int;
+    linger : float;
+    queue : pending Queue.t;
+  }
+
+  let create ?(threshold = 24) ?(capacity = Fbsr_crypto.Des_bitslice.lanes)
+      ?(linger = 0.001) engine =
+    if capacity < 1 then invalid_arg "Engine.Batch.create: capacity < 1";
+    if linger < 0. then invalid_arg "Engine.Batch.create: negative linger";
+    { engine; threshold; capacity; linger; queue = Queue.create () }
+
+  let pending b = Queue.length b.queue
+
+  (* Run every queued chain (bitsliced when at least [threshold] jobs
+     share a kernel group, scalar otherwise), then deliver the completed
+     wires in enqueue order, each under its datagram's trace id.
+     Returns the kernel's (bitsliced_blocks, scalar_blocks) split. *)
+  let flush b =
+    if Queue.is_empty b.queue then (0, 0)
+    else begin
+      let t = b.engine in
+      let n = Queue.length b.queue in
+      (* Explicit drain: [Array.init]'s evaluation order is unspecified,
+         and delivery order must be enqueue order. *)
+      let ps = Array.make n (Queue.peek b.queue) in
+      for i = 0 to n - 1 do
+        ps.(i) <- Queue.pop b.queue
+      done;
+      let counts =
+        Fbsr_crypto.Des_bitslice.encrypt_cbc_jobs ~threshold:b.threshold
+          (Array.map (fun p -> p.job) ps)
+      in
+      Array.iter
+        (fun p ->
+          match p.seal_tm with
+          | Some (tm, id) ->
+              Fbsr_util.Span.finish t.spans tm ~id "engine.seal"
+                ~detail:p.seal_detail;
+              Fbsr_util.Span.with_current id (fun () -> p.deliver (Ok p.wire))
+          | None -> p.deliver (Ok p.wire))
+        ps;
+      counts
+    end
+
+  (* Time-based flush: a partial batch older than [linger] stops waiting
+     for lanes and ships.  Call from the event loop / timer wheel. *)
+  let tick b ~now =
+    match Queue.peek_opt b.queue with
+    | Some p when now -. p.enqueued_at >= b.linger -> Some (flush b)
+    | _ -> None
+end
+
+(* [send] with the body encryption routed through a batch.  Semantics
+   match [send] except that for deferrable datagrams (secret, non-NOP,
+   DES-CBC) the continuation fires from [Batch.flush] — immediately
+   below when the enqueue fills the batch, else at a later [flush]/
+   [tick].  Everything else — counters, spans, trace events, the TFKC
+   path — is identical, datagram for datagram. *)
+let send_batched (b : Batch.batch) ~now ~attrs ~secret ~payload
+    (k : (string, error) result -> unit) =
+  let t = b.Batch.engine in
+  t.counters.sends <- t.counters.sends + 1;
+  let tm =
+    if Fbsr_util.Span.enabled t.spans then begin
+      Fbsr_util.Span.set_current (Fbsr_util.Span.fresh_id ());
+      Some (Fbsr_util.Span.start t.spans, Fbsr_util.Span.current ())
+    end
+    else None
+  in
+  let sfl, decision = Fam.classify t.fam ~now attrs in
+  let src = attrs.Fam.src and dst = attrs.Fam.dst in
+  (match tm with
+  | Some (stm, id) ->
+      Fbsr_util.Span.finish t.spans stm ~id "fam.classify"
+        ~detail:
+          [
+            ("sfl", Fbsr_util.Json.String (Fmt.str "%a" Sfl.pp sfl));
+            ( "decision",
+              Fbsr_util.Json.String
+                (if decision = Fam.Fresh then "fresh" else "established") );
+          ]
+  | None -> ());
+  if decision = Fam.Fresh && Fbsr_util.Trace.enabled t.trace then
+    Fbsr_util.Trace.emit t.trace ~time:now "fbs.engine.flow.setup"
+      [
+        ("sfl", Fbsr_util.Json.String (Fmt.str "%a" Sfl.pp sfl));
+        ("src", Fbsr_util.Json.String (Principal.to_string src));
+        ("dst", Fbsr_util.Json.String (Principal.to_string dst));
+      ];
+  flow_key_via t t.tfkc ~sfl ~peer:dst ~src ~dst (function
+    | Error e ->
+        (match tm with
+        | Some (stm, id) ->
+            Fbsr_util.Span.finish t.spans stm ~id ~outcome:"drop:keying"
+              "engine.send"
+        | None -> ());
+        k (Error e)
+    | Ok entry ->
+        let deferrable =
+          secret
+          && (not (Suite.is_nop t.suite))
+          && t.suite.Suite.cipher = Suite.Des_cbc
+        in
+        let run () =
+          if not deferrable then
+            k (Ok (seal_entry t ~now ~sfl ~entry ~secret ~payload))
+          else begin
+            let wire, job, seal_tm, seal_detail =
+              seal_entry_deferred t ~now ~sfl ~entry ~payload
+            in
+            Queue.add
+              {
+                Batch.job;
+                wire;
+                deliver = k;
+                enqueued_at = now;
+                seal_tm;
+                seal_detail;
+              }
+              b.Batch.queue;
+            if Queue.length b.Batch.queue >= b.Batch.capacity then
+              ignore (Batch.flush b)
+          end
+        in
+        (match tm with
+        | Some (_, id) -> Fbsr_util.Span.with_current id run
+        | None -> run ()))
+
 type accepted = {
   header : Header.t;
   payload : string; (* plaintext body *)
@@ -646,8 +871,14 @@ let decrypt_body_slice t ~entry ~confounder ~(body : Fbsr_util.Slice.t) =
     match t.suite.Suite.cipher with
     | Suite.Des_cbc ->
         let key = des_sched_of t entry in
-        Fbsr_crypto.Des.decrypt_cbc_sub ~iv key ~src:body.Fbsr_util.Slice.base
-          ~pos:body.Fbsr_util.Slice.off ~len:body.Fbsr_util.Slice.len
+        (* CBC decryption has no cross-block dependency, so one large
+           ciphertext slices across bitslice lanes; short bodies stay on
+           the scalar kernel (the dispatch threshold lives in
+           [Des_bitslice]).  Byte- and error-identical to
+           [Des.decrypt_cbc_sub]. *)
+        Fbsr_crypto.Des_bitslice.decrypt_cbc_sub ~iv key
+          ~src:body.Fbsr_util.Slice.base ~pos:body.Fbsr_util.Slice.off
+          ~len:body.Fbsr_util.Slice.len
     | Suite.Des3_cbc ->
         Fbsr_crypto.Des3.decrypt_cbc_sub ~iv (des3_sched_of t entry)
           ~src:body.Fbsr_util.Slice.base ~pos:body.Fbsr_util.Slice.off

@@ -49,6 +49,13 @@ type counters = {
   mutable keysched_misses : int;
       (** Key-schedule expansions paid: first use per flow entry, or
           recomputation after eviction. *)
+  mutable mac_midstate_hits : int;
+      (** Per-datagram MACs resumed from a flow entry's frozen
+          precomputation (keyed-prefix hash state, HMAC inner state, or
+          CBC-MAC schedule) — the key absorption was skipped. *)
+  mutable mac_midstate_misses : int;
+      (** MAC midstates built and cached: first MAC per flow entry, or
+          recomputation after eviction. *)
 }
 
 val drops_by_cause : counters -> (string * int) list
@@ -143,6 +150,59 @@ val send_sealed :
   t -> now:float -> sfl:Sfl.t -> flow_key:string -> secret:bool -> payload:string ->
   string
 (** [seal] plus send accounting. *)
+
+(** Cross-flow seal batching: the feed for the bitsliced DES kernel.
+
+    CBC serializes cipher blocks within a flow but not across flows, so
+    secret DES-CBC sends through a batch defer their body encryption:
+    each datagram is fully assembled (header, MAC, reserved body region)
+    and its pending CBC chain queued; {!Batch.flush} advances all queued
+    chains in lockstep through {!Fbsr_crypto.Des_bitslice} and only then
+    fires the senders' continuations, so a caller never observes a
+    half-sealed datagram.  Results are byte-identical to the unbatched
+    {!send}, datagram for datagram. *)
+module Batch : sig
+  type batch
+  (** A pending-seal queue bound to one engine. *)
+
+  val create :
+    ?threshold:int -> ?capacity:int -> ?linger:float -> t -> batch
+  (** [threshold] (default 24): minimum jobs per kernel group to take
+      the bitsliced path; smaller flushes run scalar (identical bytes).
+      [capacity] (default {!Fbsr_crypto.Des_bitslice.lanes}): enqueue
+      auto-flushes when the queue reaches this size.  [linger] (default
+      1 ms): {!tick} flushes a partial batch older than this. *)
+
+  val pending : batch -> int
+  (** Datagrams currently queued. *)
+
+  val flush : batch -> int * int
+  (** Run every queued chain and deliver the completed wires in enqueue
+      order (each under its datagram's captured trace id; the deferred
+      ["engine.seal"] span finishes here, covering queue residence).
+      Returns the kernel's [(bitsliced_blocks, scalar_blocks)] split —
+      [(0, 0)] when the queue was empty. *)
+
+  val tick : batch -> now:float -> (int * int) option
+  (** Flush iff the oldest queued datagram has waited at least [linger];
+      [Some counts] when a flush ran.  Call from the event loop. *)
+end
+
+val send_batched :
+  Batch.batch ->
+  now:float ->
+  attrs:Fam.attrs ->
+  secret:bool ->
+  payload:string ->
+  ((string, error) result -> unit) ->
+  unit
+(** {!send} with body encryption routed through the batch.  For
+    deferrable datagrams (secret, non-NOP suite, DES-CBC cipher) the
+    continuation fires from {!Batch.flush} — immediately when this
+    enqueue fills the batch, else at a later [flush]/[tick]; everything
+    else seals and delivers inline with {!send} semantics.  Counters,
+    spans and trace events match {!send} datagram for datagram (the
+    encryption is counted at enqueue; the seal span finishes at flush). *)
 
 val derive_flow_key :
   t ->

@@ -315,6 +315,267 @@ let prop_differential_into_sub =
            ~src:(Bytes.to_string dst) ~pos:dst_pad ~len:wrote
          = msg)
 
+(* --- Bitsliced kernel differential battery ---
+
+   [Des_bitslice] re-derives the entire cipher (generated s-box circuits,
+   transposed key schedules, lane scatter/gather), so it is pinned three
+   ways: against the published KAT tables, against the table-driven
+   [Des]/[Des_kernel] path, and — through that path's own differential
+   suite above — against the retained [Des_ref] seed kernel.  Batches are
+   deliberately ragged (1..130 lanes, so both the sub-[lanes] groups and
+   the chunked oversize case run) with a distinct key per lane. *)
+
+let scalar_encrypt_lanes keys blocks =
+  Array.map2 (fun k b -> Des.encrypt_block_bytes k b) keys blocks
+
+let test_bitslice_kat_tables () =
+  (* Both NBS tables as one 16-lane batch, each lane under its own key:
+     the variable-plaintext rows exercise every data-path bit, the
+     variable-key rows every key-schedule bit, and running them in one
+     call checks the lanes do not bleed into each other. *)
+  let rows =
+    [
+      ("0101010101010101", "8000000000000000", "95f8a5e5dd31d900");
+      ("0101010101010101", "4000000000000000", "dd7f121ca5015619");
+      ("0101010101010101", "2000000000000000", "2e8653104f3834ea");
+      ("0101010101010101", "1000000000000000", "4bd388ff6cd81d4f");
+      ("0101010101010101", "0800000000000000", "20b9e767b2fb1456");
+      ("0101010101010101", "0400000000000000", "55579380d77138ef");
+      ("0101010101010101", "0200000000000000", "6cc5defaaf04512f");
+      ("0101010101010101", "0100000000000000", "0d9f279ba5d87260");
+      ("8001010101010101", "0000000000000000", "95a8d72813daa94d");
+      ("4001010101010101", "0000000000000000", "0eec1487dd8c26d5");
+      ("2001010101010101", "0000000000000000", "7ad16ffb79c45926");
+      ("1001010101010101", "0000000000000000", "d3746294ca6a6cf3");
+      ("0801010101010101", "0000000000000000", "809f5f873c1fd761");
+      ("0401010101010101", "0000000000000000", "c02faffec989d1fc");
+      ("0201010101010101", "0000000000000000", "4615aa1d33e72f10");
+      ("0180010101010101", "0000000000000000", "2055123350c00858");
+    ]
+  in
+  let keys = Array.of_list (List.map (fun (k, _, _) -> Des.of_string (unhex k)) rows) in
+  let pts = Array.of_list (List.map (fun (_, p, _) -> unhex p) rows) in
+  let cts = Array.of_list (List.map (fun (_, _, c) -> unhex c) rows) in
+  let got = Des_bitslice.encrypt_block_lanes keys pts in
+  Array.iteri
+    (fun i ct -> check Alcotest.string (Printf.sprintf "row %d encrypt" i) (hex ct) (hex got.(i)))
+    cts;
+  let back = Des_bitslice.decrypt_block_lanes keys cts in
+  Array.iteri
+    (fun i pt -> check Alcotest.string (Printf.sprintf "row %d decrypt" i) (hex pt) (hex back.(i)))
+    pts
+
+let test_bitslice_weak_keys () =
+  (* The four weak keys (self-inverse schedules: E_k = D_k) and the six
+     semi-weak pairs (E_k1 = D_k2).  The degenerate schedules hit key-bit
+     patterns random keys essentially never produce, and the structural
+     properties must survive the transposed schedule load. *)
+  let weak =
+    [ "0101010101010101"; "fefefefefefefefe"; "1f1f1f1f0e0e0e0e"; "e0e0e0e0f1f1f1f1" ]
+  in
+  let semiweak =
+    [
+      ("01fe01fe01fe01fe", "fe01fe01fe01fe01");
+      ("1fe01fe00ef10ef1", "e01fe01ff10ef10e");
+      ("01e001e001f101f1", "e001e001f101f101");
+      ("1ffe1ffe0efe0efe", "fe1ffe1ffe0efe0e");
+      ("011f011f010e010e", "1f011f010e010e01");
+      ("e0fee0fef1fef1fe", "fee0fee0fef1fef1");
+    ]
+  in
+  let block = unhex "0123456789abcdef" in
+  List.iter
+    (fun wk ->
+      let k = Des.of_string (unhex wk) in
+      check Alcotest.bool (wk ^ " flagged weak") true (Des.is_weak_key (unhex wk));
+      let ct = (Des_bitslice.encrypt_block_lanes [| k |] [| block |]).(0) in
+      check Alcotest.string (wk ^ " = scalar") (hex (Des.encrypt_block_bytes k block))
+        (hex ct);
+      (* Weak key: encryption is an involution. *)
+      check Alcotest.string (wk ^ " involution") (hex block)
+        (hex (Des_bitslice.encrypt_block_lanes [| k |] [| ct |]).(0)))
+    weak;
+  List.iter
+    (fun (k1h, k2h) ->
+      let k1 = Des.of_string (unhex k1h) and k2 = Des.of_string (unhex k2h) in
+      let ct = (Des_bitslice.encrypt_block_lanes [| k1 |] [| block |]).(0) in
+      check Alcotest.string (k1h ^ " = scalar") (hex (Des.encrypt_block_bytes k1 block))
+        (hex ct);
+      (* Semi-weak pair: E_{k2} undoes E_{k1}. *)
+      check Alcotest.string (k1h ^ "/" ^ k2h ^ " pair inverse") (hex block)
+        (hex (Des_bitslice.encrypt_block_lanes [| k2 |] [| ct |]).(0)))
+    semiweak
+
+let prop_bitslice_block_lanes =
+  QCheck.Test.make ~name:"bitslice lanes = scalar kernel (ragged, distinct keys)"
+    ~count:60
+    QCheck.(pair (int_range 1 130) int)
+    (fun (n, seed) ->
+      let rng = Fbsr_util.Rng.create seed in
+      let rand8 () = String.init 8 (fun _ -> Char.chr (Fbsr_util.Rng.int rng 256)) in
+      let keys = Array.init n (fun _ -> Des.of_string (rand8 ())) in
+      let blocks = Array.init n (fun _ -> rand8 ()) in
+      let got = Des_bitslice.encrypt_block_lanes keys blocks in
+      got = scalar_encrypt_lanes keys blocks
+      && Des_bitslice.decrypt_block_lanes keys got = blocks)
+
+let prop_bitslice_cbc_jobs =
+  QCheck.Test.make ~name:"bitslice CBC jobs = Des.encrypt_cbc_into (ragged batches)"
+    ~count:40
+    QCheck.(pair (int_range 1 70) int)
+    (fun (njobs, seed) ->
+      let rng = Fbsr_util.Rng.create seed in
+      let rand n = String.init n (fun _ -> Char.chr (Fbsr_util.Rng.int rng 256)) in
+      (* Distinct keys and lengths per job; lengths straddle block
+         boundaries so every job ends in a different padding shape. *)
+      let jobs_spec =
+        Array.init njobs (fun _ ->
+            (Des.of_string (rand 8), rand 8, rand (1 + Fbsr_util.Rng.int rng 200)))
+      in
+      let dsts =
+        Array.map
+          (fun (_, _, msg) -> Bytes.make (Des.padded_length (String.length msg)) '\xee')
+          jobs_spec
+      in
+      let jobs =
+        Array.mapi
+          (fun i (key, iv, msg) ->
+            Des_bitslice.cbc_job ~key ~iv ~src:msg ~src_pos:0
+              ~src_len:(String.length msg) ~dst:dsts.(i) ~dst_pos:0)
+          jobs_spec
+      in
+      let threshold = 1 + Fbsr_util.Rng.int rng 30 in
+      let bs, sc = Des_bitslice.encrypt_cbc_jobs ~threshold jobs in
+      let total_blocks =
+        Array.fold_left
+          (fun acc (_, _, msg) -> acc + (Des.padded_length (String.length msg) / 8))
+          0 jobs_spec
+      in
+      bs + sc = total_blocks
+      && Array.for_all
+           (fun i ->
+             let key, iv, msg = jobs_spec.(i) in
+             let expected = Bytes.make (Des.padded_length (String.length msg)) '\x00' in
+             let (_ : int) =
+               Des.encrypt_cbc_into ~iv key ~src:msg ~src_pos:0
+                 ~src_len:(String.length msg) ~dst:expected ~dst_pos:0
+             in
+             Bytes.equal dsts.(i) expected)
+           (Array.init njobs (fun i -> i)))
+
+let prop_bitslice_decrypt_sub =
+  QCheck.Test.make ~name:"bitslice decrypt_cbc_sub = Des.decrypt_cbc_sub" ~count:60
+    QCheck.(triple key8 key8 (pair (int_bound 300) (int_bound 10)))
+    (fun (key, iv, (msg_len, pad)) ->
+      let k = Des.of_string key in
+      let msg = String.init msg_len (fun i -> Char.chr ((i * 37) land 0xff)) in
+      let ct = Des.encrypt_cbc ~iv k msg in
+      (* Embed the ciphertext at an offset inside a larger buffer so the
+         sub-range gather is exercised, not just pos = 0. *)
+      let buf = String.make pad '\xaa' ^ ct ^ String.make pad '\xbb' in
+      Des_bitslice.decrypt_cbc_sub ~iv k ~src:buf ~pos:pad ~len:(String.length ct)
+      = msg
+      (* Low threshold forces the bitsliced path even for short inputs. *)
+      && Des_bitslice.decrypt_cbc_sub ~threshold:2 ~iv k ~src:buf ~pos:pad
+           ~len:(String.length ct)
+         = msg)
+
+let test_bitslice_decrypt_corrupt_padding () =
+  let k = Des.of_string "abcdefgh" in
+  let iv = "12345678" in
+  (* A long all-zero "ciphertext" decrypts to garbage whose last byte is
+     essentially never valid padding; both kernels must raise the same
+     exception, on both the scalar and bitsliced paths. *)
+  let bogus = String.make 160 '\x00' in
+  List.iter
+    (fun threshold ->
+      Alcotest.check_raises
+        (Printf.sprintf "corrupt padding (threshold %d)" threshold)
+        (Invalid_argument "Des.decrypt_cbc_sub: corrupt padding")
+        (fun () ->
+          ignore
+            (Des_bitslice.decrypt_cbc_sub ~threshold ~iv k ~src:bogus ~pos:0
+               ~len:(String.length bogus))))
+    [ 2; 1000 ]
+
+(* --- Hash and MAC midstates ---
+
+   A midstate must be (a) byte-identical to the one-shot digest over the
+   prefixed message, (b) reusable — resuming never mutates it — and (c)
+   equivalent across every split point of the message, since the engine
+   resumes with whatever slice list the wire layout produced. *)
+
+let slices_of rng (s : string) =
+  (* Cut [s] into 1..4 random-length slice parts. *)
+  let rec go pos acc =
+    if pos >= String.length s then List.rev acc
+    else
+      let len = min (String.length s - pos) (1 + Fbsr_util.Rng.int rng 97) in
+      go (pos + len) (Fbsr_util.Slice.v ~off:pos ~len s :: acc)
+  in
+  go 0 []
+
+let prop_midstate_resume hash name =
+  QCheck.Test.make ~name:(name ^ " midstate resume = one-shot") ~count:150
+    QCheck.(triple arbitrary_bytes arbitrary_bytes int)
+    (fun (prefix, msg, seed) ->
+      let rng = Fbsr_util.Rng.create seed in
+      let mid = Hash.midstate hash ~prefix in
+      let parts = slices_of rng msg in
+      let expected = Hash.digest hash (prefix ^ msg) in
+      let r1 = Hash.resume_slices mid parts in
+      (* Resume twice (and once through the string-parts flavour): the
+         midstate is immutable, so all three must agree. *)
+      r1 = expected
+      && Hash.resume_slices mid parts = expected
+      && Hash.resume_list mid [ msg ] = expected
+      && Hash.name (Hash.midstate_hash mid) = name)
+
+let prop_midstate_resume_md5 = prop_midstate_resume Hash.md5 "md5"
+let prop_midstate_resume_sha1 = prop_midstate_resume Hash.sha1 "sha1"
+
+let prop_hash_copy_independent =
+  QCheck.Test.make ~name:"Hash copy is an independent snapshot" ~count:100
+    QCheck.(pair arbitrary_bytes arbitrary_bytes)
+    (fun (a, b) ->
+      let ctx = Md5.init () in
+      Md5.update ctx a;
+      let snap = Md5.copy ctx in
+      Md5.update ctx b;
+      (* Finalizing the copy sees only [a]; the original saw [a ^ b]. *)
+      Md5.final snap = Md5.digest a && Md5.final ctx = Md5.digest (a ^ b))
+
+let mac_algorithms =
+  [ (Mac.Prefix, "prefix"); (Mac.Hmac, "hmac"); (Mac.Des_cbc_mac, "des-cbc-mac") ]
+
+let prop_mac_midstate =
+  QCheck.Test.make ~name:"Mac midstate = compute_slices (all algorithms)" ~count:100
+    QCheck.(triple arbitrary_bytes arbitrary_bytes int)
+    (fun (key, msg, seed) ->
+      let key = if String.length key < 8 then key ^ String.make 8 'k' else key in
+      let rng = Fbsr_util.Rng.create seed in
+      List.for_all
+        (fun (algorithm, _) ->
+          let mid = Mac.prepare ~algorithm Hash.md5 ~key in
+          let parts = slices_of rng msg in
+          let expected = Mac.compute_slices ~algorithm Hash.md5 ~key parts in
+          Mac.compute_midstate mid parts = expected
+          && Mac.compute_midstate mid parts = expected
+          && Mac.verify_midstate mid parts
+               ~expected:(Fbsr_util.Slice.of_string expected)
+          (* Truncated wire MACs verify against the matching prefix. *)
+          && Mac.verify_midstate mid parts
+               ~expected:(Fbsr_util.Slice.v ~len:(String.length expected / 2) expected)
+          &&
+          (* A flipped bit in the expected MAC must be rejected. *)
+          let tampered =
+            String.mapi
+              (fun i c -> if i = 0 then Char.chr (Char.code c lxor 1) else c)
+              expected
+          in
+          not (Mac.verify_midstate mid parts ~expected:(Fbsr_util.Slice.of_string tampered)))
+        mac_algorithms)
+
 (* --- DES modes --- *)
 
 let mode_roundtrip name encrypt decrypt =
@@ -701,6 +962,24 @@ let () =
           qtest prop_differential_block;
           qtest prop_differential_modes;
           qtest prop_differential_into_sub;
+        ] );
+      ( "des-bitslice",
+        [
+          Alcotest.test_case "NBS KAT tables as one batch" `Quick
+            test_bitslice_kat_tables;
+          Alcotest.test_case "weak and semi-weak keys" `Quick test_bitslice_weak_keys;
+          Alcotest.test_case "corrupt padding raises (both paths)" `Quick
+            test_bitslice_decrypt_corrupt_padding;
+          qtest prop_bitslice_block_lanes;
+          qtest prop_bitslice_cbc_jobs;
+          qtest prop_bitslice_decrypt_sub;
+        ] );
+      ( "midstates",
+        [
+          qtest prop_midstate_resume_md5;
+          qtest prop_midstate_resume_sha1;
+          qtest prop_hash_copy_independent;
+          qtest prop_mac_midstate;
         ] );
       ( "fused",
         [ qtest prop_fused_equals_two_pass; qtest prop_incremental_cbc ] );

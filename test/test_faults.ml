@@ -279,6 +279,188 @@ let test_soft_state_wipe_recovers () =
     (fetches_after > fetches_before)
 
 (* ------------------------------------------------------------------ *)
+(* Cross-flow seal batching under adversarial delivery.                *)
+(* ------------------------------------------------------------------ *)
+
+module FEngine = Fbsr_fbs.Engine
+module Fixture = Fbsr_experiments.Fixture
+
+(* Batched sealing must be invisible end to end: with twin engine pairs
+   (same fixture seed, so the same flow keys and confounder streams), an
+   interleaved multi-round workload — several datagrams per flow, flows
+   interleaved within one batch — seals byte-identically through the
+   batch, and the batched wires survive a seeded drop+reorder link
+   exactly as well as any other wire: everything the link delivers is
+   accepted, everything it drops is simply absent, and no reordering can
+   break a chain because each datagram's CBC chain is sealed whole at
+   flush time. *)
+let test_batched_wires_over_drop_reorder_link () =
+  let flows = 8 and rounds = 4 in
+  let payload f r = Printf.sprintf "flow %d round %d " f r ^ String.make (40 * f) 'q' in
+  let scalar_pair, scalar_attrs = Fixture.warm_flows ~flows () in
+  let batched_pair, batched_attrs = Fixture.warm_flows ~flows () in
+  (* Interleaved enqueue order: f0r0 f1r0 ... f7r0 f0r1 ... — every flow
+     has [rounds] datagrams in flight in the same batch. *)
+  let scalar_wires =
+    Array.init (flows * rounds) (fun i ->
+        let f = i mod flows and r = i / flows in
+        match
+          FEngine.send_sync scalar_pair.Fixture.sender ~now:60.0
+            ~attrs:scalar_attrs.(f) ~secret:true ~payload:(payload f r)
+        with
+        | Ok w -> w
+        | Error e -> Alcotest.failf "scalar send: %a" FEngine.pp_error e)
+  in
+  let batch = FEngine.Batch.create ~threshold:8 batched_pair.Fixture.sender in
+  let got = Array.make (flows * rounds) None in
+  for i = 0 to (flows * rounds) - 1 do
+    let f = i mod flows and r = i / flows in
+    FEngine.send_batched batch ~now:60.0 ~attrs:batched_attrs.(f) ~secret:true
+      ~payload:(payload f r) (fun w -> got.(i) <- Some w)
+  done;
+  let bs, _sc = FEngine.Batch.flush batch in
+  check Alcotest.bool "flush ran bitsliced" true (bs > 0);
+  let batched_wires =
+    Array.map
+      (function
+        | Some (Ok w) -> w
+        | Some (Error e) -> Alcotest.failf "batched send: %a" FEngine.pp_error e
+        | None -> Alcotest.fail "flush did not deliver")
+      got
+  in
+  Array.iteri
+    (fun i w ->
+      if not (String.equal scalar_wires.(i) w) then
+        Alcotest.failf "wire %d differs between scalar and batched seal" i)
+    batched_wires;
+  (* Now the adversarial delivery: drop a third, reorder half. *)
+  let engine = Engine.create () in
+  let profile = { Link.perfect with Link.drop = 0.3; reorder = 0.5; reorder_delay = 0.2 } in
+  let link = Link.create ~seed:41 ~profile engine in
+  let delivered = ref [] in
+  Array.iter
+    (fun w -> Link.transmit link ~deliver:(fun raw -> delivered := raw :: !delivered) w)
+    batched_wires;
+  Engine.run engine;
+  let delivered = List.rev !delivered in
+  let stats = Link.stats link in
+  check Alcotest.bool "loss actually happened" true (stats.Link.dropped > 0);
+  check Alcotest.bool "reordering actually happened" true (stats.Link.reordered > 0);
+  let accepted = ref 0 in
+  List.iter
+    (fun wire ->
+      match
+        FEngine.receive_sync batched_pair.Fixture.receiver ~now:60.0
+          ~src:batched_pair.Fixture.src ~wire
+      with
+      | Ok acc ->
+          incr accepted;
+          (* The payload self-describes its flow and round; check it is
+             one we actually sent, intact. *)
+          let ok = ref false in
+          for f = 0 to flows - 1 do
+            for r = 0 to rounds - 1 do
+              if String.equal acc.FEngine.payload (payload f r) then ok := true
+            done
+          done;
+          check Alcotest.bool "delivered payload is one of ours, intact" true !ok
+      | Error e -> Alcotest.failf "receive of delivered wire: %a" FEngine.pp_error e)
+    delivered;
+  check Alcotest.int "every delivered wire accepted" (List.length delivered) !accepted
+
+(* Partial batches flush on the linger timeout, not only at capacity:
+   [tick] before the deadline is a no-op, after it the queue drains on
+   the scalar path (below threshold) and every continuation fires. *)
+let test_batch_tick_linger_flush () =
+  let p, attrs = Fixture.warm_flows ~flows:4 () in
+  let batch = FEngine.Batch.create ~linger:0.001 p.Fixture.sender in
+  let delivered = ref 0 in
+  for i = 0 to 3 do
+    FEngine.send_batched batch ~now:60.0 ~attrs:attrs.(i) ~secret:true
+      ~payload:"linger" (function
+      | Ok _ -> incr delivered
+      | Error e -> Alcotest.failf "send: %a" FEngine.pp_error e)
+  done;
+  check Alcotest.int "queued" 4 (FEngine.Batch.pending batch);
+  (match FEngine.Batch.tick batch ~now:60.0005 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "tick flushed before the linger deadline");
+  check Alcotest.int "still queued" 4 (FEngine.Batch.pending batch);
+  (match FEngine.Batch.tick batch ~now:60.002 with
+  | Some (bs, sc) ->
+      check Alcotest.int "partial batch below threshold runs scalar" 0 bs;
+      check Alcotest.bool "scalar blocks ran" true (sc > 0)
+  | None -> Alcotest.fail "tick did not flush past the linger deadline");
+  check Alcotest.int "drained" 0 (FEngine.Batch.pending batch);
+  check Alcotest.int "all continuations fired" 4 !delivered;
+  (match FEngine.Batch.tick batch ~now:61.0 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "tick flushed an empty queue")
+
+(* Deferred sealing must keep the exact-terminal span discipline: each
+   batched datagram still records exactly one "engine.seal" span (under
+   its own trace id, finished at flush, marked batched) and exactly one
+   terminal receive outcome downstream. *)
+let test_batched_span_accounting () =
+  let spans = Fbsr_util.Span.create ~capacity:4096 () in
+  let p, attrs = Fixture.warm_flows ~flows:5 ~spans () in
+  Fbsr_util.Span.clear spans;
+  let batch = FEngine.Batch.create p.Fixture.sender in
+  let wires = ref [] in
+  for i = 0 to 4 do
+    FEngine.send_batched batch ~now:60.0 ~attrs:attrs.(i) ~secret:true
+      ~payload:(Printf.sprintf "span %d" i) (function
+      | Ok w -> wires := w :: !wires
+      | Error e -> Alcotest.failf "send: %a" FEngine.pp_error e)
+  done;
+  let seals_before =
+    List.filter
+      (fun (s : Fbsr_util.Span.span) -> String.equal s.Fbsr_util.Span.stage "engine.seal")
+      (Fbsr_util.Span.spans spans)
+  in
+  check Alcotest.int "no seal span before the flush" 0 (List.length seals_before);
+  ignore (FEngine.Batch.flush batch);
+  List.iter
+    (fun wire ->
+      match FEngine.receive_sync p.Fixture.receiver ~now:60.0 ~src:p.Fixture.src ~wire with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "receive: %a" FEngine.pp_error e)
+    !wires;
+  let all = Fbsr_util.Span.spans spans in
+  let seal_ids =
+    List.filter_map
+      (fun (s : Fbsr_util.Span.span) ->
+        if String.equal s.Fbsr_util.Span.stage "engine.seal" then
+          Some s.Fbsr_util.Span.id
+        else None)
+      all
+  in
+  check Alcotest.int "exactly one seal span per datagram" 5 (List.length seal_ids);
+  check Alcotest.int "seal spans carry distinct trace ids" 5
+    (List.length (List.sort_uniq compare seal_ids));
+  List.iter
+    (fun (s : Fbsr_util.Span.span) ->
+      if String.equal s.Fbsr_util.Span.stage "engine.seal" then
+        check Alcotest.bool "seal span marked batched" true
+          (List.mem ("batched", Fbsr_util.Json.Bool true) s.Fbsr_util.Span.detail))
+    all;
+  let delivered =
+    List.length
+      (List.filter
+         (fun (s : Fbsr_util.Span.span) ->
+           String.equal s.Fbsr_util.Span.outcome "delivered")
+         all)
+  in
+  check Alcotest.int "exactly one delivered terminal per datagram" 5 delivered;
+  List.iter
+    (fun (s : Fbsr_util.Span.span) ->
+      if
+        String.length s.Fbsr_util.Span.outcome >= 5
+        && String.sub s.Fbsr_util.Span.outcome 0 5 = "drop:"
+      then Alcotest.failf "unexpected drop terminal %S" s.Fbsr_util.Span.outcome)
+    all
+
+(* ------------------------------------------------------------------ *)
 (* Causal tracing across the adversarial network.                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -460,6 +642,15 @@ let () =
             test_replayed_capture_rejected;
           Alcotest.test_case "soft-state wipe recovers" `Quick
             test_soft_state_wipe_recovers;
+        ] );
+      ( "batching",
+        [
+          Alcotest.test_case "batched wires over a drop+reorder link" `Quick
+            test_batched_wires_over_drop_reorder_link;
+          Alcotest.test_case "partial batch flushes on linger timeout" `Quick
+            test_batch_tick_linger_flush;
+          Alcotest.test_case "deferred seal keeps exact span accounting" `Quick
+            test_batched_span_accounting;
         ] );
       ( "tracing",
         [

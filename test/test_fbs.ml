@@ -1054,6 +1054,179 @@ let test_engine_keysched_cache () =
   check Alcotest.int "fbs.engine.keysched.misses probe" cs.Engine.keysched_misses
     (Fbsr_util.Metrics.get m "fbs.engine.keysched.misses")
 
+let test_engine_macmid_cache () =
+  (* The per-flow MAC midstate (frozen K_f absorption) is built once per
+     flow entry and resumed for every subsequent datagram; eviction drops
+     it with the entry, so the next datagram pays one rebuild.  Mirrors
+     the key-schedule cache test above — the two caches live in the same
+     entry but miss independently. *)
+  let clock, s, d, es, ed = make_engines ~suite:Suite.paper_md5_des () in
+  let attrs = Fam.attrs ~protocol:17 ~src_port:1 ~dst_port:2 ~src:s ~dst:d () in
+  let roundtrip () =
+    match Engine.send_sync es ~now:!clock ~attrs ~secret:true ~payload:"midstate" with
+    | Error e -> Alcotest.failf "send: %a" Engine.pp_error e
+    | Ok wire -> (
+        match Engine.receive_sync ed ~now:!clock ~src:s ~wire with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "receive: %a" Engine.pp_error e)
+  in
+  roundtrip ();
+  let cs = Engine.counters es and cd = Engine.counters ed in
+  let m0_send = cs.Engine.mac_midstate_misses in
+  let m0_recv = cd.Engine.mac_midstate_misses in
+  check Alcotest.bool "first datagram builds the midstate (send)" true (m0_send > 0);
+  check Alcotest.bool "first datagram builds the midstate (recv)" true (m0_recv > 0);
+  let h0 = cs.Engine.mac_midstate_hits in
+  for _ = 1 to 5 do
+    roundtrip ()
+  done;
+  check Alcotest.int "steady state rebuilds nothing (send)" m0_send
+    cs.Engine.mac_midstate_misses;
+  check Alcotest.int "steady state rebuilds nothing (recv)" m0_recv
+    cd.Engine.mac_midstate_misses;
+  check Alcotest.bool "steady state resumes the midstate" true
+    (cs.Engine.mac_midstate_hits > h0);
+  Cache.clear (Engine.tfkc es);
+  roundtrip ();
+  check Alcotest.bool "eviction kills the midstate with the entry" true
+    (cs.Engine.mac_midstate_misses > m0_send);
+  let m = Fbsr_util.Metrics.create () in
+  Engine.register_metrics es m;
+  check Alcotest.int "fbs.engine.macmid.hits probe" cs.Engine.mac_midstate_hits
+    (Fbsr_util.Metrics.get m "fbs.engine.macmid.hits");
+  check Alcotest.int "fbs.engine.macmid.misses probe" cs.Engine.mac_midstate_misses
+    (Fbsr_util.Metrics.get m "fbs.engine.macmid.misses")
+
+let test_engine_midstate_seal_byte_equal () =
+  (* The midstate path must change nothing on the wire: the sealed MAC
+     equals the pre-midstate construction (hash over the key-prefixed
+     prelude + payload) recomputed here from first principles. *)
+  let clock, s, d, es, _ = make_engines ~suite:Suite.paper_md5_des () in
+  let attrs = Fam.attrs ~protocol:17 ~src_port:1 ~dst_port:2 ~src:s ~dst:d () in
+  let payload = "the MAC midstate must be invisible on the wire" in
+  match Engine.send_sync es ~now:!clock ~attrs ~secret:false ~payload with
+  | Error e -> Alcotest.failf "send: %a" Engine.pp_error e
+  | Ok wire ->
+      let h =
+        match Header.decode wire with
+        | Ok (h, _) -> h
+        | Error _ -> Alcotest.fail "wire undecodable"
+      in
+      let flow_key = ref "" in
+      Engine.derive_flow_key es ~sfl:h.Header.sfl ~src:s ~dst:d (function
+        | Ok k -> flow_key := k
+        | Error e -> Alcotest.failf "derive: %a" Engine.pp_error e);
+      let prelude =
+        Header.auth_bytes h ^ Header.confounder_bytes h ^ Header.timestamp_bytes h
+      in
+      let reference =
+        Fbsr_crypto.Mac.compute Fbsr_crypto.Hash.md5 ~key:!flow_key
+          [ prelude; payload ]
+      in
+      let mac_len = String.length h.Header.mac in
+      check Alcotest.string "wire MAC = pre-midstate prefix MAC"
+        (Fbsr_util.Hex.encode (String.sub reference 0 mac_len))
+        (Fbsr_util.Hex.encode h.Header.mac)
+
+let test_engine_send_batched_byte_equal () =
+  (* Two engines built from identically-seeded worlds are twins: the same
+     sequence of sends drains the same confounder stream.  Route one
+     through [send] and the other through a batch (scalar flush below
+     threshold, then bitsliced with threshold 1) — every wire must match
+     byte for byte, and the batched wires must be accepted downstream. *)
+  let clock, s, d, es_scalar, _ = make_engines ~suite:Suite.paper_md5_des () in
+  let _, s2, d2, es_batched, ed2 = make_engines ~suite:Suite.paper_md5_des () in
+  let flows = 10 in
+  let attrs_for src_port s d =
+    Fam.attrs ~protocol:17 ~src_port ~dst_port:2 ~src:s ~dst:d ()
+  in
+  let payload i = Printf.sprintf "batched datagram %02d " i ^ String.make (20 * i) 'p' in
+  let run_batched ~threshold =
+    let batch = Engine.Batch.create ~threshold es_batched in
+    let got = Array.make flows None in
+    for i = 0 to flows - 1 do
+      Engine.send_batched batch ~now:!clock ~attrs:(attrs_for (1000 + i) s2 d2)
+        ~secret:true ~payload:(payload i) (fun r -> got.(i) <- Some r)
+    done;
+    (* Deferred: nothing delivered before the flush. *)
+    check Alcotest.int "all queued" flows (Engine.Batch.pending batch);
+    Array.iter (fun r -> check Alcotest.bool "not delivered yet" true (r = None)) got;
+    let bs, sc = Engine.Batch.flush batch in
+    check Alcotest.int "queue drained" 0 (Engine.Batch.pending batch);
+    (bs, sc, Array.map (function
+       | Some (Ok w) -> w
+       | Some (Error e) -> Alcotest.failf "batched send: %a" Engine.pp_error e
+       | None -> Alcotest.fail "flush did not deliver") got)
+  in
+  let scalar_wires =
+    Array.init flows (fun i ->
+        match
+          Engine.send_sync es_scalar ~now:!clock ~attrs:(attrs_for (1000 + i) s d)
+            ~secret:true ~payload:(payload i)
+        with
+        | Ok w -> w
+        | Error e -> Alcotest.failf "scalar send: %a" Engine.pp_error e)
+  in
+  (* Round 1: 10 jobs < default threshold 24, so the flush runs scalar. *)
+  let bs1, sc1, batched_wires = run_batched ~threshold:24 in
+  check Alcotest.int "below threshold: no bitsliced blocks" 0 bs1;
+  check Alcotest.bool "below threshold: scalar blocks ran" true (sc1 > 0);
+  Array.iteri
+    (fun i w ->
+      check Alcotest.string (Printf.sprintf "wire %d (scalar flush)" i)
+        (Fbsr_util.Hex.encode scalar_wires.(i))
+        (Fbsr_util.Hex.encode w);
+      match Engine.receive_sync ed2 ~now:!clock ~src:s2 ~wire:w with
+      | Ok acc ->
+          check Alcotest.string "payload roundtrips" (payload i) acc.Engine.payload
+      | Error e -> Alcotest.failf "receive: %a" Engine.pp_error e)
+    batched_wires;
+  (* Round 2: same flows again, threshold 1 forces the bitsliced kernel;
+     the twin sends the same round so the confounder streams stay in step. *)
+  let scalar_wires2 =
+    Array.init flows (fun i ->
+        match
+          Engine.send_sync es_scalar ~now:!clock ~attrs:(attrs_for (1000 + i) s d)
+            ~secret:true ~payload:(payload i)
+        with
+        | Ok w -> w
+        | Error e -> Alcotest.failf "scalar send: %a" Engine.pp_error e)
+  in
+  let bs2, sc2, batched_wires2 = run_batched ~threshold:1 in
+  check Alcotest.bool "bitsliced blocks ran" true (bs2 > 0);
+  check Alcotest.int "no scalar spill" 0 sc2;
+  Array.iteri
+    (fun i w ->
+      check Alcotest.string (Printf.sprintf "wire %d (bitsliced flush)" i)
+        (Fbsr_util.Hex.encode scalar_wires2.(i))
+        (Fbsr_util.Hex.encode w))
+    batched_wires2
+
+let test_engine_batch_capacity_autoflush () =
+  (* Filling the batch to capacity flushes without an explicit call; a
+     non-deferrable datagram (here: not secret) bypasses the queue and
+     delivers inline. *)
+  let clock, s, d, es, _ = make_engines ~suite:Suite.paper_md5_des () in
+  let batch = Engine.Batch.create ~capacity:4 es in
+  let delivered = ref 0 in
+  for i = 0 to 3 do
+    Engine.send_batched batch ~now:!clock
+      ~attrs:(Fam.attrs ~protocol:17 ~src_port:(3000 + i) ~dst_port:2 ~src:s ~dst:d ())
+      ~secret:true ~payload:"autoflush" (function
+      | Ok _ -> incr delivered
+      | Error e -> Alcotest.failf "send: %a" Engine.pp_error e)
+  done;
+  check Alcotest.int "capacity reached: everything delivered" 4 !delivered;
+  check Alcotest.int "queue empty after autoflush" 0 (Engine.Batch.pending batch);
+  let inline = ref false in
+  Engine.send_batched batch ~now:!clock
+    ~attrs:(Fam.attrs ~protocol:17 ~src_port:3999 ~dst_port:2 ~src:s ~dst:d ())
+    ~secret:false ~payload:"inline" (function
+    | Ok _ -> inline := true
+    | Error e -> Alcotest.failf "send: %a" Engine.pp_error e);
+  check Alcotest.bool "non-secret delivers inline" true !inline;
+  check Alcotest.int "non-secret never queues" 0 (Engine.Batch.pending batch)
+
 let test_engine_ciphertext_hides_plaintext () =
   let clock, s, d, es, _ = make_engines () in
   ignore d;
@@ -1639,6 +1812,14 @@ let () =
             test_engine_des3_key_expansion;
           Alcotest.test_case "key-schedule cache" `Quick
             test_engine_keysched_cache;
+          Alcotest.test_case "MAC midstate cache + eviction" `Quick
+            test_engine_macmid_cache;
+          Alcotest.test_case "midstate seal byte-equal to prefix MAC" `Quick
+            test_engine_midstate_seal_byte_equal;
+          Alcotest.test_case "batched seal byte-equal to scalar seal" `Quick
+            test_engine_send_batched_byte_equal;
+          Alcotest.test_case "batch capacity autoflush + inline bypass" `Quick
+            test_engine_batch_capacity_autoflush;
           Alcotest.test_case "ciphertext hides plaintext" `Quick
             test_engine_ciphertext_hides_plaintext;
           Alcotest.test_case "replay window" `Quick test_engine_replay_window;

@@ -504,6 +504,49 @@ let test_datapath_accounting () =
   check Alcotest.int "payload bytes copied once on accept" (String.length payload)
     (c1 - c0)
 
+let test_datapath_accounting_batched () =
+  (* The batched seal path keeps the zero-copy invariant: deferring the
+     body encryption into the cross-flow batch adds no buffer and no
+     copy — the wire delivered at flush is the same single allocation,
+     encrypted in place.  Measured over a full batch so the flush (both
+     the scalar and the bitsliced kernel path) is inside the window. *)
+  List.iter
+    (fun threshold ->
+      let flows = 8 in
+      let p, attrs = Fbsr_experiments.Fixture.warm_flows ~flows () in
+      let es = p.Fbsr_experiments.Fixture.sender
+      and ed = p.Fbsr_experiments.Fixture.receiver in
+      let batch = Fbsr_fbs.Engine.Batch.create ~threshold es in
+      let cs = Fbsr_fbs.Engine.counters es and cr = Fbsr_fbs.Engine.counters ed in
+      let a0 = cs.Fbsr_fbs.Engine.datapath_allocs + cr.Fbsr_fbs.Engine.datapath_allocs in
+      let c0 = cs.Fbsr_fbs.Engine.bytes_copied + cr.Fbsr_fbs.Engine.bytes_copied in
+      let wires = ref [] in
+      for i = 0 to flows - 1 do
+        Fbsr_fbs.Engine.send_batched batch ~now:60.0 ~attrs:attrs.(i) ~secret:true
+          ~payload:(String.make 1000 'q') (function
+          | Ok w -> wires := w :: !wires
+          | Error e -> Alcotest.failf "send: %a" Fbsr_fbs.Engine.pp_error e)
+      done;
+      ignore (Fbsr_fbs.Engine.Batch.flush batch);
+      List.iter
+        (fun wire ->
+          match
+            Fbsr_fbs.Engine.receive_sync ed ~now:60.0
+              ~src:p.Fbsr_experiments.Fixture.src ~wire
+          with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "receive: %a" Fbsr_fbs.Engine.pp_error e)
+        !wires;
+      let a1 = cs.Fbsr_fbs.Engine.datapath_allocs + cr.Fbsr_fbs.Engine.datapath_allocs in
+      let c1 = cs.Fbsr_fbs.Engine.bytes_copied + cr.Fbsr_fbs.Engine.bytes_copied in
+      check Alcotest.int
+        (Printf.sprintf "2 allocations per batched round trip (threshold %d)" threshold)
+        (2 * flows) (a1 - a0);
+      check Alcotest.int
+        (Printf.sprintf "0 bytes copied per batched round trip (threshold %d)" threshold)
+        0 (c1 - c0))
+    [ 1; 24 ]
+
 let test_reference_key_expansion () =
   (* Satellite: the engine's writer-based 3DES key expansion must equal
      the definitional [flow_key ^ Md5.digest flow_key] truncation — the
@@ -557,6 +600,8 @@ let () =
           qtest prop_differential_fuzzed_paper_suite;
           Alcotest.test_case "datapath allocation accounting" `Quick
             test_datapath_accounting;
+          Alcotest.test_case "batched path keeps the allocation invariant" `Quick
+            test_datapath_accounting_batched;
           Alcotest.test_case "3des key expansion differential" `Quick
             test_reference_key_expansion;
         ] );
