@@ -286,6 +286,137 @@ let fbs_tests =
 let all_tests = Test.make_grouped ~name:"fbs-repro" [ crypto_tests; fbs_tests ]
 
 (* ------------------------------------------------------------------ *)
+(* Sharded-engine throughput rows                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Aggregate send throughput of the domain-sharded engine at 1/2/4/8
+   shards.  Bechamel's OLS sampler wants one closure in a tight loop; a
+   sharded dispatch has barrier semantics (classify, fan out, join), so
+   these rows are timed directly: a fixed 256-datagram Zipf batch over
+   1024 warm flows, dispatched [sharded_iters] times, reported as ns per
+   datagram next to the bechamel rows (same "group/name" convention, so
+   the regression gate covers them identically).  The iteration count is
+   NOT reduced under --quick: the per-shard engine counters land in the
+   artifact's counters object, and baseline (full) and CI (quick) runs
+   must agree on them exactly.
+
+   On a single-core runner the domain fan-out is pure overhead — the
+   rows still exist (the gate checks their presence), but the 4x-vs-1x
+   scaling assertion in bench_diff only arms when the artifact says
+   [parallel] and [cores >= 4]. *)
+
+let sharded_counts = [ 1; 2; 4; 8 ]
+let sharded_batch = 256
+let sharded_flows = 1024
+let sharded_iters = 24
+
+let sharded_jobs (p : Fbsr_experiments.Fixture.sharded) =
+  let wl =
+    Fbsr_traffic.Zipf_workload.create ~seed:123 ~flows:sharded_flows
+      ~src:p.Fbsr_experiments.Fixture.sh_src
+      ~dst:p.Fbsr_experiments.Fixture.sh_dst ()
+  in
+  Array.map
+    (fun (attrs, _) -> (attrs, datagram))
+    (Fbsr_traffic.Zipf_workload.batch wl sharded_batch)
+
+let sharded_dispatch p jobs =
+  ignore
+    (Fbsr_fbs.Sharded.send_all p.Fbsr_experiments.Fixture.tx ~now:60.0
+       ~secret:true jobs
+      : (string, Fbsr_fbs.Engine.error) result array)
+
+(* One timed run at [n] shards: returns (ns/datagram, the pair) so the
+   4-shard pair can be kept for metrics registration. *)
+let sharded_measure n =
+  let p = Fbsr_experiments.Fixture.sharded_pair ~seed:(90 + n) ~nshards:n () in
+  let jobs = sharded_jobs p in
+  sharded_dispatch p jobs;
+  (* warm: every flow key derived *)
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to sharded_iters do
+    sharded_dispatch p jobs
+  done;
+  let t1 = Unix.gettimeofday () in
+  let ns = (t1 -. t0) *. 1e9 /. float_of_int (sharded_iters * sharded_batch) in
+  (ns, p)
+
+(* The 4-shard contention tail: per-shard span recorders on a wall cost
+   clock, p99 of the [engine.seal] stage across all shards. *)
+let sharded_seal_p99 () =
+  let recorders =
+    Array.init 4 (fun i ->
+        Fbsr_util.Span.create ~capacity:16384
+          ~host:(Printf.sprintf "shard%d" i) ~cost_clock:Unix.gettimeofday ())
+  in
+  let p =
+    Fbsr_experiments.Fixture.sharded_pair ~seed:97 ~nshards:4
+      ~spans:(fun i -> recorders.(i))
+      ()
+  in
+  let jobs = sharded_jobs p in
+  for _ = 0 to sharded_iters do
+    sharded_dispatch p jobs
+  done;
+  let spans = Fbsr_util.Span.collect (Array.to_list recorders) in
+  match
+    List.find_opt
+      (fun (s : Fbsr_util.Span.stage_stat) -> s.Fbsr_util.Span.stat_stage = "engine.seal")
+      (Fbsr_util.Span.stage_stats spans)
+  with
+  | Some s -> s.Fbsr_util.Span.p99 *. 1e9
+  | None -> 0.0
+
+type sharded_results = {
+  srows : (string * float) list;  (** merged into the benchmarks rows *)
+  sjson : Fbsr_util.Json.t;  (** the artifact's "sharded" object *)
+  sregister : Fbsr_util.Metrics.t -> unit;
+      (** registers the 4-shard pair's per-shard probes under
+          [fbs_sharded.tx.] so shard.<i> counter names reach the
+          artifact without colliding with the faults run's [fbs.*]. *)
+}
+
+let sharded_bench () =
+  let measured = List.map (fun n -> (n, sharded_measure n)) sharded_counts in
+  let dps ns = 1e9 /. ns in
+  let srows =
+    List.map
+      (fun (n, (ns, _)) ->
+        (Printf.sprintf "fbs/sharded-send-%dshard-256x1460B" n, ns))
+      measured
+  in
+  let seal_p99 = sharded_seal_p99 () in
+  let ns_of n = fst (List.assoc n measured) in
+  let sjson =
+    Fbsr_util.Json.Obj
+      [
+        ( "cores",
+          Fbsr_util.Json.Int (Fbsr_util.Domain_shim.recommended_domain_count ()) );
+        ( "parallel",
+          Fbsr_util.Json.Bool Fbsr_util.Domain_shim.parallelism_available );
+        ( "rows",
+          Fbsr_util.Json.Obj
+            (List.map
+               (fun (n, (ns, _)) ->
+                 ( string_of_int n,
+                   Fbsr_util.Json.Obj
+                     [
+                       ("ns_per_datagram", Fbsr_util.Json.Float ns);
+                       ("datagrams_per_sec", Fbsr_util.Json.Float (dps ns));
+                     ] ))
+               measured) );
+        ("seal_p99_ns_4shard", Fbsr_util.Json.Float seal_p99);
+        ("scale_4x", Fbsr_util.Json.Float (ns_of 1 /. ns_of 4));
+      ]
+  in
+  let p4 = snd (List.assoc 4 measured) in
+  let sregister m =
+    Fbsr_fbs.Sharded.register_metrics p4.Fbsr_experiments.Fixture.tx
+      (Fbsr_util.Metrics.sub m "fbs_sharded.tx")
+  in
+  { srows; sjson; sregister }
+
+(* ------------------------------------------------------------------ *)
 (* Runner                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -367,6 +498,17 @@ let counters_json m =
    number the regression gate can check, independent of which baseline
    file it is compared against.  Deterministic: counter deltas are exact,
    and [Gc.allocated_bytes] measures allocation, not time. *)
+
+(* On OCaml 5 the runtime folds minor-heap allocation into the Gc stats
+   only at minor collections, so a raw [Gc.allocated_bytes] read taken
+   mid-minor-heap mis-attributes up to a whole minor heap (~2 MB) to
+   whichever measurement window the next collection happens to land in.
+   Forcing a minor collection at every window boundary makes the
+   per-window deltas exact and run-to-run stable. *)
+let allocated_bytes_exact () =
+  Gc.minor ();
+  Gc.allocated_bytes ()
+
 let datapath_json () =
   let open Fbsr_experiments in
   let p, attrs, wire0 =
@@ -379,7 +521,7 @@ let datapath_json () =
   let cs = Fbsr_fbs.Engine.counters es and cr = Fbsr_fbs.Engine.counters ed in
   let allocs0 = cs.Fbsr_fbs.Engine.datapath_allocs + cr.Fbsr_fbs.Engine.datapath_allocs in
   let copied0 = cs.Fbsr_fbs.Engine.bytes_copied + cr.Fbsr_fbs.Engine.bytes_copied in
-  let g0 = Gc.allocated_bytes () in
+  let g0 = allocated_bytes_exact () in
   for _ = 1 to n do
     match Fbsr_fbs.Engine.send_sync es ~now:60.0 ~attrs ~secret:true ~payload with
     | Error e -> failwith (Fmt.str "datapath bench send: %a" Fbsr_fbs.Engine.pp_error e)
@@ -389,7 +531,7 @@ let datapath_json () =
         | Error e ->
             failwith (Fmt.str "datapath bench receive: %a" Fbsr_fbs.Engine.pp_error e))
   done;
-  let g1 = Gc.allocated_bytes () in
+  let g1 = allocated_bytes_exact () in
   let allocs1 = cs.Fbsr_fbs.Engine.datapath_allocs + cr.Fbsr_fbs.Engine.datapath_allocs in
   let copied1 = cs.Fbsr_fbs.Engine.bytes_copied + cr.Fbsr_fbs.Engine.bytes_copied in
   (* --- string-based reference path, identical inputs --- *)
@@ -407,7 +549,7 @@ let datapath_json () =
     | Error _ -> failwith "datapath bench: flow key derivation failed");
   let flow_key = !flow_key in
   let rc = Reference.create_counters () in
-  let gr0 = Gc.allocated_bytes () in
+  let gr0 = allocated_bytes_exact () in
   for _ = 1 to n do
     let wire =
       Reference.seal ~counters:rc ~suite ~flow_key ~sfl ~secret:true ~confounder
@@ -417,7 +559,7 @@ let datapath_json () =
     | Ok _ -> ()
     | Error _ -> failwith "datapath bench: reference open rejected own wire"
   done;
-  let gr1 = Gc.allocated_bytes () in
+  let gr1 = allocated_bytes_exact () in
   let per x = float_of_int x /. float_of_int n in
   let perf x = x /. float_of_int n in
   Fbsr_util.Json.Obj
@@ -450,7 +592,7 @@ let stages_json spans =
              ] ))
        (Span.stage_stats spans))
 
-let emit_json ~path ~spans_path ~rev ~quick rows =
+let emit_json ~path ~spans_path ~rev ~quick ~sharded rows =
   let m = Fbsr_util.Metrics.create () in
   (* Causal tracing is ON for this run: the datapath allocation audit below
      uses separate untraced engines, so the 2.0 allocs/datagram gate still
@@ -460,6 +602,10 @@ let emit_json ~path ~spans_path ~rev ~quick rows =
       ~faults:Fbsr_experiments.Faults.lossy ~metrics:m ~span_capacity:16384
       ~span_cost_clock:Unix.gettimeofday ()
   in
+  (* Per-shard probes from the sharded throughput fixture: counter
+     values are deterministic (fixed batch x fixed iterations), so they
+     diff cleanly run-over-run like the engine counters. *)
+  sharded.sregister m;
   let doc =
     Fbsr_util.Json.Obj
       [
@@ -472,6 +618,7 @@ let emit_json ~path ~spans_path ~rev ~quick rows =
         ("counters", counters_json m);
         ("datapath", datapath_json ());
         ("stages", stages_json r.Fbsr_experiments.Faults.spans);
+        ("sharded", sharded.sjson);
       ]
   in
   let oc = open_out path in
@@ -516,12 +663,14 @@ let () =
   Printf.printf
     "=== Bechamel micro-benchmarks (one per table/figure dependency) ===\n%!";
   let rows = result_rows (benchmark ~quick:!quick ()) in
+  let sharded = sharded_bench () in
+  let rows = rows @ sharded.srows in
   print_results rows;
   match !json with
   | Some path ->
       (* Artifact mode: medians + a deterministic counter run; skip the
          long figure harness. *)
-      emit_json ~path ~spans_path:!spans ~rev:!rev ~quick:!quick rows
+      emit_json ~path ~spans_path:!spans ~rev:!rev ~quick:!quick ~sharded rows
   | None ->
       (* Part 2: regenerate the paper's tables and figures. *)
       let seed = 7 and duration = 7200.0 and bytes = 1_000_000 in

@@ -2,14 +2,20 @@
    and fail past a regression threshold.
 
    Usage: bench_diff OLD.json NEW.json [--threshold 0.25]
+                                       [--strict-improvements]
 
    A benchmark regresses when new > old * (1 + threshold).  Benchmarks are
    the gate; registry counters are printed informationally (a counter shift
    means behaviour changed, which a timing gate should not conflate with
    being slower).  Improvements (new < old * (1 - threshold)) are reported
-   in their own section: they never fail the diff, but a stale baseline
-   stops guarding the improved rows — when an intentional speedup lands,
-   regenerate the baseline (see README "Regenerating the bench baseline").
+   in their own section: by default they never fail the diff, but a stale
+   baseline stops guarding the improved rows — when an intentional speedup
+   lands, regenerate the baseline (see README "Regenerating the bench
+   baseline").  Under [--strict-improvements] a stale baseline is a
+   failure, not a warning: improvements exit nonzero so the speedup PR
+   must carry its regenerated baseline.  Rows whose name contains
+   "sharded-" are exempt from the strictness (their speed scales with the
+   runner's core count, so a faster machine is not a stale baseline).
 
    Datapath columns named [allocs_per_datagram] are gated exactly: they
    are deterministic counter ratios (the zero-copy invariant), so any
@@ -19,7 +25,9 @@
    error. *)
 
 let usage () =
-  prerr_endline "usage: bench_diff OLD.json NEW.json [--threshold FRACTION]";
+  prerr_endline
+    "usage: bench_diff OLD.json NEW.json [--threshold FRACTION] \
+     [--strict-improvements]";
   exit 2
 
 let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("bench_diff: " ^ m); exit 2) fmt
@@ -45,6 +53,7 @@ let schema j =
 
 let () =
   let threshold = ref 0.25 in
+  let strict_improvements = ref false in
   let files = ref [] in
   let rec parse = function
     | [] -> ()
@@ -54,6 +63,9 @@ let () =
             threshold := f;
             parse rest
         | _ -> fail "bad --threshold %S" v)
+    | "--strict-improvements" :: rest ->
+        strict_improvements := true;
+        parse rest
     | arg :: _ when String.length arg > 2 && String.sub arg 0 2 = "--" ->
         usage ()
     | arg :: rest ->
@@ -101,12 +113,26 @@ let () =
       if not (List.mem_assoc name old_benches) then
         Printf.printf "%-50s (new benchmark)\n" name)
     new_benches;
-  (* Improvements: never a failure, but called out separately — each one
-     means the baseline no longer guards that row (a later slowdown back
-     to the old speed would pass the gate unnoticed). *)
+  let contains_sub sub s =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  (* Improvements: each one means the baseline no longer guards that row
+     (a later slowdown back to the old speed would pass the gate
+     unnoticed).  A warning by default; a failure under
+     --strict-improvements, so speedup PRs ship a fresh baseline.  The
+     sharded rows are machine-relative — a beefier runner improves them
+     without any code change — so they stay warnings even under strict. *)
+  let stale = ref 0 in
   (match List.rev !improvements with
   | [] -> ()
   | imps ->
+      let strictable, exempt =
+        List.partition
+          (fun (name, _, _, _) -> not (contains_sub "sharded-" name))
+          imps
+      in
       Printf.printf "\n%d benchmark(s) improved beyond -%.0f%% (baseline is stale for these):\n"
         (List.length imps)
         (100.0 *. !threshold);
@@ -114,6 +140,14 @@ let () =
         (fun (name, old_ns, new_ns, delta) ->
           Printf.printf "  %-48s %12.1f -> %.1f  (%+.1f%%)\n" name old_ns new_ns delta)
         imps;
+      if !strict_improvements then begin
+        stale := List.length strictable;
+        if exempt <> [] then
+          Printf.printf
+            "  (%d sharded row(s) exempt from --strict-improvements: their \
+             speed tracks the runner's core count)\n"
+            (List.length exempt)
+      end;
       Printf.printf
         "  if intentional, regenerate the committed baseline (README: \"Regenerating the bench baseline\")\n");
   (* Datapath allocation audit: gated at the same threshold when both
@@ -127,11 +161,6 @@ let () =
      inside the timing threshold. *)
   let old_datapath = obj_members "datapath" old_doc in
   let new_datapath = obj_members "datapath" new_doc in
-  let contains_sub sub s =
-    let n = String.length sub and m = String.length s in
-    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
-    go 0
-  in
   let gated name = contains_sub "per_datagram" name in
   let exact name = contains_sub "allocs_per_datagram" name in
   if old_datapath <> [] && new_datapath <> [] then begin
@@ -256,9 +285,83 @@ let () =
         gated
     end
   end;
-  if !regressions > 0 then begin
-    Printf.printf "\n%d benchmark(s) regressed beyond +%.0f%%\n" !regressions
-      (100.0 *. !threshold);
+  (* Sharded throughput.  The per-shard-count ns/op rows ride through
+     the benchmarks gate above; here the contention tail is gated like
+     the stage p99s (relative threshold plus the quarter-millisecond
+     tail-noise floor), and the new artifact's own 4-shard-vs-1-shard
+     scaling is asserted — but only when that artifact reports real
+     parallelism and at least 4 cores, so single-core and 4.14
+     (single-shard shim) runs don't fail a gate they cannot meet. *)
+  let jfloat j name =
+    Option.bind (Fbsr_util.Json.member name j) Fbsr_util.Json.to_float_opt
+  in
+  let row_dps j n =
+    Option.bind (Fbsr_util.Json.member "rows" j) (fun rows ->
+        Option.bind
+          (Fbsr_util.Json.member (string_of_int n) rows)
+          (fun r -> jfloat r "datagrams_per_sec"))
+  in
+  (match
+     ( Fbsr_util.Json.member "sharded" old_doc,
+       Fbsr_util.Json.member "sharded" new_doc )
+   with
+  | Some osh, Some nsh ->
+      Printf.printf "\n%-50s %12s %12s %9s\n" "sharded" "old" "new" "delta";
+      Printf.printf "%s\n" (String.make 86 '-');
+      (match (jfloat osh "seal_p99_ns_4shard", jfloat nsh "seal_p99_ns_4shard") with
+      | Some old_x, Some new_x ->
+          let delta =
+            if old_x > 0.0 then (new_x -. old_x) /. old_x *. 100.0 else 0.0
+          in
+          let regressed =
+            old_x > 0.0
+            && new_x > old_x *. (1.0 +. !threshold)
+            && new_x -. old_x > 250_000.0
+          in
+          if regressed then incr regressions;
+          Printf.printf "%-50s %12.1f %12.1f %+8.1f%%%s\n" "seal_p99_ns_4shard"
+            old_x new_x delta
+            (if regressed then "  REGRESSED" else "")
+      | _ -> ());
+      let parallel =
+        match Fbsr_util.Json.member "parallel" nsh with
+        | Some (Fbsr_util.Json.Bool b) -> b
+        | _ -> false
+      in
+      let cores =
+        match Fbsr_util.Json.member "cores" nsh with
+        | Some (Fbsr_util.Json.Int i) -> i
+        | _ -> 0
+      in
+      (match (row_dps nsh 1, row_dps nsh 4) with
+      | Some d1, Some d4 when parallel && cores >= 4 ->
+          if d4 < 2.0 *. d1 then begin
+            incr regressions;
+            Printf.printf
+              "%-50s %12.0f %12.0f      REGRESSED (scaling gate: 4-shard < \
+               2x 1-shard dps)\n"
+              "scaling 1-shard vs 4-shard dps" d1 d4
+          end
+          else
+            Printf.printf "%-50s %12.0f %12.0f      ok (>= 2x)\n"
+              "scaling 1-shard vs 4-shard dps" d1 d4
+      | _ ->
+          Printf.printf
+            "scaling gate skipped (parallel=%b cores=%d in %s)\n" parallel
+            cores new_path)
+  | None, Some _ ->
+      Printf.printf "\nsharded rows present only in %s (not gated)\n" new_path
+  | _ -> ());
+  if !regressions > 0 || !stale > 0 then begin
+    if !regressions > 0 then
+      Printf.printf "\n%d benchmark(s) regressed beyond +%.0f%%\n" !regressions
+        (100.0 *. !threshold);
+    if !stale > 0 then
+      Printf.printf
+        "\n%d benchmark(s) improved beyond -%.0f%% with --strict-improvements \
+         set: regenerate BENCH_baseline.json in this PR\n"
+        !stale
+        (100.0 *. !threshold);
     exit 1
   end
   else Printf.printf "\nno regressions beyond +%.0f%%\n" (100.0 *. !threshold)

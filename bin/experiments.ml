@@ -82,6 +82,38 @@ let commands =
         const (fun seed json spans_out metrics_text ->
             faults ?json ?spans_out ?metrics_text ~seed ())
         $ seed_arg $ json_arg $ spans_arg $ metrics_text_arg);
+    cmd "zipf"
+      "Million-flow Zipf workload over the domain-sharded engine (exits \
+       non-zero on any per-shard invariant violation)"
+      Term.(
+        const (fun flows datagrams batch shards seed fst_bits json ->
+            let r =
+              Fbsr_experiments.Zipf_scenario.report ~flows ~datagrams ~batch
+                ?nshards:shards ~seed ~fst_bits ?json ()
+            in
+            if not r.Fbsr_experiments.Zipf_scenario.ok then Stdlib.exit 1)
+        $ Arg.(
+            value & opt int 1_000_000
+            & info [ "flows" ] ~doc:"Concurrent Zipf-distributed flows.")
+        $ Arg.(
+            value & opt int 1_000_000
+            & info [ "datagrams" ] ~doc:"Datagrams to round-trip.")
+        $ Arg.(
+            value & opt int 4096
+            & info [ "batch" ] ~doc:"Datagrams per sharded dispatch batch.")
+        $ Arg.(
+            value
+            & opt (some int) None
+            & info [ "shards" ]
+                ~doc:
+                  "Shard count (default: the runtime's recommended domain \
+                   count; clamped to 1 without Domains).")
+        $ Arg.(value & opt int 20260808 & info [ "seed" ] ~doc:"Workload seed.")
+        $ Arg.(
+            value & opt int 19
+            & info [ "fst-bits" ]
+                ~doc:"Dispatcher FST size as a power of two.")
+        $ json_arg);
     cmd "all" "Run every experiment"
       Term.(
         const (fun seed duration bytes json -> run_all ?json seed duration bytes)

@@ -24,8 +24,12 @@
    finishes its CBC chain early keeps encrypting all-zero inputs as junk
    that the gather simply skips.
 
-   All scratch is module-global — like the scalar kernels this module is
-   not re-entrant, which is fine in this single-threaded testbed. *)
+   All scratch lives in a per-domain record behind
+   [Fbsr_util.Domain_shim.local_make]: the sharded engine runs one
+   receive pipeline per domain and each calls [decrypt_cbc_sub]
+   concurrently, so the lane matrices cannot be module-global.  Each
+   public entry point fetches its domain's scratch once and threads it
+   through the helpers. *)
 
 let lanes = 63
 
@@ -104,69 +108,119 @@ let kb_shift =
       let j = i / 6 and m = i mod 6 in
       26 - (8 * (j lsr 1)) + 5 - m)
 
-(* --- Module-global scratch --- *)
+(* --- Per-domain scratch --- *)
 
-let hi_a = Array.make 32 0 (* lanes 0..31, big-endian high word *)
-let hi_b = Array.make 32 0 (* lanes 32..62 (index 31 stays zero) *)
-let lo_a = Array.make 32 0
-let lo_b = Array.make 32 0
-let l_arr = Array.make 32 0
-let r_arr = Array.make 32 0
-let kw = Array.make (16 * 48) 0 (* lane-mask subkey words *)
-
-(* IP fused with the transposed-word assembly: post-transpose index i of
-   the hi/lo matrices is FIPS input bit i+1 / i+33, so L0 bit i+1 reads
-   matrix pair [ip_?_a/_b] at index [ip_?_idx] — the array pointers are
-   precomputed per position to keep the gather branchless. *)
+(* Pure index halves of the fused IP/FP gathers: module-global is fine,
+   they are written once at module init and only read after. *)
 let ip_l_idx =
   Array.init 32 (fun i -> if ip_l.(i) < 32 then ip_l.(i) else ip_l.(i) - 32)
-
-let ip_l_a = Array.init 32 (fun i -> if ip_l.(i) < 32 then hi_a else lo_a)
-let ip_l_b = Array.init 32 (fun i -> if ip_l.(i) < 32 then hi_b else lo_b)
 
 let ip_r_idx =
   Array.init 32 (fun i -> if ip_r.(i) < 32 then ip_r.(i) else ip_r.(i) - 32)
 
-let ip_r_a = Array.init 32 (fun i -> if ip_r.(i) < 32 then hi_a else lo_a)
-let ip_r_b = Array.init 32 (fun i -> if ip_r.(i) < 32 then hi_b else lo_b)
-
-(* FP fused the same way: output bit i+1 = preoutput bit fp_src.(i),
-   preoutput = R16 (bits 1..32) then L16; after the even number of round
-   swaps R16/L16 sit in the physical [r_arr]/[l_arr]. *)
 let fp_hi_idx =
   Array.init 32 (fun i ->
       if fp_src.(i) < 32 then fp_src.(i) else fp_src.(i) - 32)
-
-let fp_hi_arr = Array.init 32 (fun i -> if fp_src.(i) < 32 then r_arr else l_arr)
 
 let fp_lo_idx =
   Array.init 32 (fun i ->
       if fp_src.(32 + i) < 32 then fp_src.(32 + i) else fp_src.(32 + i) - 32)
 
-let fp_lo_arr =
-  Array.init 32 (fun i -> if fp_src.(32 + i) < 32 then r_arr else l_arr)
+type scratch = {
+  hi_a : int array; (* lanes 0..31, big-endian high word *)
+  hi_b : int array; (* lanes 32..62 (index 31 stays zero) *)
+  lo_a : int array;
+  lo_b : int array;
+  l_arr : int array;
+  r_arr : int array;
+  kw : int array; (* lane-mask subkey words *)
+  (* IP fused with the transposed-word assembly: post-transpose index i
+     of the hi/lo matrices is FIPS input bit i+1 / i+33, so L0 bit i+1
+     reads matrix pair [ip_?_a/_b] at index [ip_?_idx] — the array
+     pointers are precomputed per position to keep the gather
+     branchless; they alias this record's own matrices, so they are
+     rebuilt per scratch. *)
+  ip_l_a : int array array;
+  ip_l_b : int array array;
+  ip_r_a : int array array;
+  ip_r_b : int array array;
+  (* FP fused the same way: output bit i+1 = preoutput bit fp_src.(i),
+     preoutput = R16 (bits 1..32) then L16; after the even number of
+     round swaps R16/L16 sit in the physical [r_arr]/[l_arr]. *)
+  fp_hi_arr : int array array;
+  fp_lo_arr : int array array;
+  (* key loading *)
+  ka : int array;
+  kb : int array;
+  sched_scratch : int array array;
+  (* CBC chaining state *)
+  ch_hi : int array;
+  ch_lo : int array;
+  nb_scratch : int array;
+  full_scratch : int array;
+  fin_hi : int array;
+  fin_lo : int array;
+}
 
-let clear_lanes () =
-  Array.fill hi_a 0 32 0;
-  Array.fill hi_b 0 32 0;
-  Array.fill lo_a 0 32 0;
-  Array.fill lo_b 0 32 0
+let make_scratch () =
+  let hi_a = Array.make 32 0
+  and hi_b = Array.make 32 0
+  and lo_a = Array.make 32 0
+  and lo_b = Array.make 32 0
+  and l_arr = Array.make 32 0
+  and r_arr = Array.make 32 0 in
+  {
+    hi_a;
+    hi_b;
+    lo_a;
+    lo_b;
+    l_arr;
+    r_arr;
+    kw = Array.make (16 * 48) 0;
+    ip_l_a = Array.init 32 (fun i -> if ip_l.(i) < 32 then hi_a else lo_a);
+    ip_l_b = Array.init 32 (fun i -> if ip_l.(i) < 32 then hi_b else lo_b);
+    ip_r_a = Array.init 32 (fun i -> if ip_r.(i) < 32 then hi_a else lo_a);
+    ip_r_b = Array.init 32 (fun i -> if ip_r.(i) < 32 then hi_b else lo_b);
+    fp_hi_arr =
+      Array.init 32 (fun i -> if fp_src.(i) < 32 then r_arr else l_arr);
+    fp_lo_arr =
+      Array.init 32 (fun i -> if fp_src.(32 + i) < 32 then r_arr else l_arr);
+    ka = Array.make 32 0;
+    kb = Array.make 32 0;
+    sched_scratch = Array.make lanes [||];
+    ch_hi = Array.make lanes 0;
+    ch_lo = Array.make lanes 0;
+    nb_scratch = Array.make lanes 0;
+    full_scratch = Array.make lanes 0;
+    fin_hi = Array.make lanes 0;
+    fin_lo = Array.make lanes 0;
+  }
 
-let set_lane l hi lo =
+let scratch = Fbsr_util.Domain_shim.local_make make_scratch
+
+let clear_lanes s =
+  Array.fill s.hi_a 0 32 0;
+  Array.fill s.hi_b 0 32 0;
+  Array.fill s.lo_a 0 32 0;
+  Array.fill s.lo_b 0 32 0
+
+let set_lane s l hi lo =
   if l < 32 then begin
-    Array.unsafe_set hi_a l hi;
-    Array.unsafe_set lo_a l lo
+    Array.unsafe_set s.hi_a l hi;
+    Array.unsafe_set s.lo_a l lo
   end
   else begin
-    Array.unsafe_set hi_b (l - 32) hi;
-    Array.unsafe_set lo_b (l - 32) lo
+    Array.unsafe_set s.hi_b (l - 32) hi;
+    Array.unsafe_set s.lo_b (l - 32) lo
   end
 
-let lane_hi l =
-  if l < 32 then Array.unsafe_get hi_a l else Array.unsafe_get hi_b (l - 32)
+let lane_hi s l =
+  if l < 32 then Array.unsafe_get s.hi_a l
+  else Array.unsafe_get s.hi_b (l - 32)
 
-let lane_lo l =
-  if l < 32 then Array.unsafe_get lo_a l else Array.unsafe_get lo_b (l - 32)
+let lane_lo s l =
+  if l < 32 then Array.unsafe_get s.lo_a l
+  else Array.unsafe_get s.lo_b (l - 32)
 
 (* Fill [kw] from per-lane packed schedules ([ke_of l] is lane [l]'s
    [Des.sched_e]/[sched_d] array).  ~768×n single-bit gathers, done once
@@ -185,9 +239,6 @@ let kb_split wsel =
 
 let kb_i0, kb_t0 = kb_split 0
 let kb_i1, kb_t1 = kb_split 1
-let ka = Array.make 32 0
-let kb = Array.make 32 0
-let sched_scratch : int array array = Array.make lanes [||]
 
 (* Fill [kw] from per-lane packed schedules ([ke_of l] is lane [l]'s
    [Des.sched_e]/[sched_d] array).  Gathering 768 subkey bits per lane
@@ -196,7 +247,8 @@ let sched_scratch : int array array = Array.make lanes [||]
    two transposes per (round, packed word) turn all lanes' schedule
    words bit-planar at once, and the 24 used bit positions are copied
    out by table. *)
-let load_keys ke_of n =
+let load_keys s ke_of n =
+  let { ka; kb; kw; sched_scratch; _ } = s in
   for l = 0 to n - 1 do
     sched_scratch.(l) <- ke_of l
   done;
@@ -229,7 +281,8 @@ let load_keys ke_of n =
 
 (* Same-key broadcast (used by the single-datagram decrypt path): a set
    subkey bit becomes the all-lanes mask ([-1] = every logical bit). *)
-let load_keys_broadcast ke =
+let load_keys_broadcast s ke =
+  let kw = s.kw in
   for rnd = 0 to 15 do
     let ko = rnd * 48 in
     let w0 = Array.unsafe_get ke (2 * rnd)
@@ -243,7 +296,25 @@ let load_keys_broadcast ke =
 
 (* One full DES pass (IP, 16 rounds, FP) over the scattered lanes, in
    place, with the subkey words currently in [kw]. *)
-let des_pass () =
+let des_pass s =
+  let {
+    hi_a;
+    hi_b;
+    lo_a;
+    lo_b;
+    l_arr;
+    r_arr;
+    kw;
+    ip_l_a;
+    ip_l_b;
+    ip_r_a;
+    ip_r_b;
+    fp_hi_arr;
+    fp_lo_arr;
+    _
+  } =
+    s
+  in
   transpose32 hi_a;
   transpose32 hi_b;
   transpose32 lo_a;
@@ -313,22 +384,23 @@ let crypt_block_lanes sched_of keys blocks =
       if String.length b <> 8 then
         invalid_arg "Des_bitslice: blocks must be 8 bytes")
     blocks;
+  let s = Fbsr_util.Domain_shim.local_get scratch in
   let out = Array.make n "" in
   let pos = ref 0 in
   while !pos < n do
     let p = !pos in
     let g = min lanes (n - p) in
-    load_keys (fun l -> sched_of keys.(p + l)) g;
-    clear_lanes ();
+    load_keys s (fun l -> sched_of keys.(p + l)) g;
+    clear_lanes s;
     for l = 0 to g - 1 do
-      let s = blocks.(p + l) in
-      set_lane l (Des_kernel.read32 s 0) (Des_kernel.read32 s 4)
+      let blk = blocks.(p + l) in
+      set_lane s l (Des_kernel.read32 blk 0) (Des_kernel.read32 blk 4)
     done;
-    des_pass ();
+    des_pass s;
     for l = 0 to g - 1 do
       let b = Bytes.create 8 in
-      Des_kernel.write32 b 0 (lane_hi l);
-      Des_kernel.write32 b 4 (lane_lo l);
+      Des_kernel.write32 b 0 (lane_hi s l);
+      Des_kernel.write32 b 4 (lane_lo s l);
       out.(p + l) <- Bytes.unsafe_to_string b
     done;
     pos := p + g
@@ -390,18 +462,12 @@ let final_words src src_pos src_len =
   in
   (word 0, word 4)
 
-let ch_hi = Array.make lanes 0
-let ch_lo = Array.make lanes 0
-let nb_scratch = Array.make lanes 0
-let full_scratch = Array.make lanes 0
-let fin_hi = Array.make lanes 0
-let fin_lo = Array.make lanes 0
-
 (* Advance one ≤63-lane group of CBC chains in lockstep to completion.
    Returns the number of blocks encrypted. *)
-let run_group (jobs : cbc_job array) p g =
-  load_keys (fun l -> Des.sched_e jobs.(p + l).key) g;
-  clear_lanes ();
+let run_group s (jobs : cbc_job array) p g =
+  let { ch_hi; ch_lo; nb_scratch; full_scratch; fin_hi; fin_lo; _ } = s in
+  load_keys s (fun l -> Des.sched_e jobs.(p + l).key) g;
+  clear_lanes s;
   let max_nb = ref 0 in
   for l = 0 to g - 1 do
     let j = jobs.(p + l) in
@@ -423,24 +489,24 @@ let run_group (jobs : cbc_job array) p g =
         if step < Array.unsafe_get full_scratch l then begin
           let j = Array.unsafe_get jobs (p + l) in
           let sp = j.src_pos + (step * 8) in
-          set_lane l
+          set_lane s l
             (Array.unsafe_get ch_hi l lxor Des_kernel.read32 j.src sp)
             (Array.unsafe_get ch_lo l lxor Des_kernel.read32 j.src (sp + 4))
         end
         else
-          set_lane l
+          set_lane s l
             (Array.unsafe_get ch_hi l lxor Array.unsafe_get fin_hi l)
             (Array.unsafe_get ch_lo l lxor Array.unsafe_get fin_lo l)
       else if step = nb then
         (* chain finished last step: retire the lane to all-zero input
            (it keeps encrypting junk; the gather below skips it) *)
-        set_lane l 0 0
+        set_lane s l 0 0
     done;
-    des_pass ();
+    des_pass s;
     for l = 0 to g - 1 do
       if step < Array.unsafe_get nb_scratch l then begin
         let j = Array.unsafe_get jobs (p + l) in
-        let hi = lane_hi l and lo = lane_lo l in
+        let hi = lane_hi s l and lo = lane_lo s l in
         let dp = j.dst_pos + (step * 8) in
         Des_kernel.write32 j.dst dp hi;
         Des_kernel.write32 j.dst (dp + 4) lo;
@@ -467,13 +533,14 @@ let run_scalar (j : cbc_job) =
 let default_threshold = 24
 
 let encrypt_cbc_jobs ?(threshold = default_threshold) jobs =
+  let s = Fbsr_util.Domain_shim.local_get scratch in
   let n = Array.length jobs in
   let bitsliced = ref 0 and scalar = ref 0 in
   let pos = ref 0 in
   while !pos < n do
     let p = !pos in
     let g = min lanes (n - p) in
-    if g >= threshold then bitsliced := !bitsliced + run_group jobs p g
+    if g >= threshold then bitsliced := !bitsliced + run_group s jobs p g
     else
       for l = p to p + g - 1 do
         scalar := !scalar + run_scalar jobs.(l)
@@ -524,17 +591,18 @@ let decrypt_cbc_sub ?(threshold = decrypt_threshold) ~iv key ~src ~pos ~len =
     (* Blocks 0..nb-2 have no cross-block dependency on the decrypt
        side: lanes are consecutive ciphertext blocks under one
        broadcast key. *)
-    load_keys_broadcast kd;
+    let s = Fbsr_util.Domain_shim.local_get scratch in
+    load_keys_broadcast s kd;
     let base = ref 0 in
     while !base < nb - 1 do
       let b0 = !base in
       let g = min lanes (nb - 1 - b0) in
-      clear_lanes ();
+      clear_lanes s;
       for l = 0 to g - 1 do
         let sp = pos + ((b0 + l) * 8) in
-        set_lane l (Des_kernel.read32 src sp) (Des_kernel.read32 src (sp + 4))
+        set_lane s l (Des_kernel.read32 src sp) (Des_kernel.read32 src (sp + 4))
       done;
-      des_pass ();
+      des_pass s;
       for l = 0 to g - 1 do
         let i = b0 + l in
         (* the previous-ciphertext xor source: the IV for block 0, else
@@ -542,9 +610,9 @@ let decrypt_cbc_sub ?(threshold = decrypt_threshold) ~iv key ~src ~pos ~len =
         let psrc = if i = 0 then iv else src in
         let pp = if i = 0 then 0 else pos + ((i - 1) * 8) in
         Des_kernel.write32 out (i * 8)
-          (lane_hi l lxor Des_kernel.read32 psrc pp);
+          (lane_hi s l lxor Des_kernel.read32 psrc pp);
         Des_kernel.write32 out ((i * 8) + 4)
-          (lane_lo l lxor Des_kernel.read32 psrc (pp + 4))
+          (lane_lo s l lxor Des_kernel.read32 psrc (pp + 4))
       done;
       base := b0 + g
     done;

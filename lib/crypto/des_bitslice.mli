@@ -9,8 +9,10 @@
     {!Des_ref} by test/test_crypto.ml; layout derivation in DESIGN.md
     §6c.
 
-    Shares the scalar kernels' contract: module-global scratch, not
-    re-entrant. *)
+    Scratch is domain-local ({!Fbsr_util.Domain_shim.local_make}): each
+    domain owns a private set of lane matrices, so the sharded engine's
+    per-shard receive pipelines may call into this module concurrently.
+    Within one domain the module is still not re-entrant. *)
 
 val lanes : int
 (** Lanes per pass: 63. *)

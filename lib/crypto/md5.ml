@@ -45,14 +45,18 @@ let copy t = { t with buf = Bytes.copy t.buf }
 
 let mask = 0xFFFFFFFF
 
-(* Message-schedule scratch.  [compress] runs to completion before
-   returning, so sharing one scratch across contexts is safe (same
-   module-global-scratch contract as the cipher kernels). *)
-let m = Array.make 16 0
+(* Message-schedule and round-state scratch.  [compress] runs to
+   completion before returning, so one scratch per *domain* is safe —
+   module-global scratch would race when shard domains MAC concurrently,
+   so each domain lazily gets its own pair (a plain cell on 4.14).  The
+   round state lands in [sst] instead of a returned tuple (which would
+   box); both arrays are threaded through the quad chain as arguments so
+   the domain-local lookup happens once per block. *)
+type scratch = { sm : int array; sst : int array }
 
-(* Round state scratch: the quad functions below leave (a, b, c, d)
-   here instead of returning a tuple (which would box). *)
-let st = Array.make 4 0
+let scratch =
+  Fbsr_util.Domain_shim.local_make (fun () ->
+      { sm = Array.make 16 0; sst = Array.make 4 0 })
 
 (* One round = four quad iterations; each quad is four steps with the
    (a, b, c, d) rotation as static renaming, shift counts as literals,
@@ -68,8 +72,8 @@ let st = Array.make 4 0
    fed the explicitly masked [s0..s3].  The final state is masked once
    in [compress].  This takes two serial ops per step off the
    dependency chain, which is the whole cost of MD5. *)
-let rec quad1 i a b c d =
-  if i = 16 then quad2 16 a b c d
+let rec quad1 m st i a b c d =
+  if i = 16 then quad2 m st 16 a b c d
   else begin
     let k = k_table in
     let s0 =
@@ -96,11 +100,11 @@ let rec quad1 i a b c d =
       land mask
     in
     let b = c + ((s3 lsl 22) lor (s3 lsr 10)) in
-    quad1 (i + 4) a b c d
+    quad1 m st (i + 4) a b c d
   end
 
-and quad2 i a b c d =
-  if i = 32 then quad3 32 a b c d
+and quad2 m st i a b c d =
+  if i = 32 then quad3 m st 32 a b c d
   else begin
     let k = k_table in
     let g = ((5 * i) + 1) land 15 in
@@ -128,11 +132,11 @@ and quad2 i a b c d =
       land mask
     in
     let b = c + ((s3 lsl 20) lor (s3 lsr 12)) in
-    quad2 (i + 4) a b c d
+    quad2 m st (i + 4) a b c d
   end
 
-and quad3 i a b c d =
-  if i = 48 then quad4 48 a b c d
+and quad3 m st i a b c d =
+  if i = 48 then quad4 m st 48 a b c d
   else begin
     let k = k_table in
     let g = ((3 * i) + 5) land 15 in
@@ -160,10 +164,10 @@ and quad3 i a b c d =
       land mask
     in
     let b = c + ((s3 lsl 23) lor (s3 lsr 9)) in
-    quad3 (i + 4) a b c d
+    quad3 m st (i + 4) a b c d
   end
 
-and quad4 i a b c d =
+and quad4 m st i a b c d =
   if i = 64 then begin
     Array.unsafe_set st 0 a;
     Array.unsafe_set st 1 b;
@@ -197,15 +201,16 @@ and quad4 i a b c d =
       land mask
     in
     let b = c + ((s3 lsl 21) lor (s3 lsr 11)) in
-    quad4 (i + 4) a b c d
+    quad4 m st (i + 4) a b c d
   end
 
 let compress ctx block off =
+  let { sm = m; sst = st } = Fbsr_util.Domain_shim.local_get scratch in
   for i = 0 to 15 do
     Array.unsafe_set m i
       (Int32.to_int (Bytes.get_int32_le block (off + (4 * i))) land mask)
   done;
-  quad1 0 ctx.a ctx.b ctx.c ctx.d;
+  quad1 m st 0 ctx.a ctx.b ctx.c ctx.d;
   ctx.a <- (ctx.a + Array.unsafe_get st 0) land mask;
   ctx.b <- (ctx.b + Array.unsafe_get st 1) land mask;
   ctx.c <- (ctx.c + Array.unsafe_get st 2) land mask;

@@ -58,6 +58,87 @@ let engine_pair ?(seed = 424242) ?(suite = Fbsr_fbs.Suite.paper_md5_des)
     receiver = engine_for d d_priv (seed lxor 2);
   }
 
+(* Sharded variant: same one-CA/two-principal world, but each side is a
+   Sharded.t whose per-shard engines share nothing — own Keying (own
+   PVC/MKC over the shared authority), own caches, own scratch, own span
+   recorder.  The per-shard masters are pre-derived synchronously here so
+   no shard domain ever runs the DH exponentiation (the resolver and
+   authority are only guaranteed read-only at that point). *)
+
+type sharded = {
+  sh_src : Fbsr_fbs.Principal.t;
+  sh_dst : Fbsr_fbs.Principal.t;
+  tx : Fbsr_fbs.Sharded.t;
+  rx : Fbsr_fbs.Sharded.t;
+}
+
+let sharded_pair ?(seed = 424242) ?(suite = Fbsr_fbs.Suite.paper_md5_des)
+    ?nshards ?(fst_bits = 8) ?(replay_window_minutes = 2)
+    ?(strict_replay = false) ?(src = "10.9.0.1") ?(dst = "10.9.0.2")
+    ?(spans = fun (_shard : int) -> Fbsr_util.Span.none) () =
+  let rng = Fbsr_util.Rng.create seed in
+  let group = Lazy.force Fbsr_crypto.Dh.test_group in
+  let ca = Fbsr_cert.Authority.create ~rng ~bits:512 () in
+  let enroll name =
+    let priv = Fbsr_crypto.Dh.gen_private group rng in
+    let pub = Fbsr_crypto.Dh.public group priv in
+    let (_ : Fbsr_cert.Certificate.t) =
+      Fbsr_cert.Authority.enroll ca ~now:0.0 ~subject:name
+        ~group:group.Fbsr_crypto.Dh.name
+        ~public_value:(Fbsr_crypto.Dh.public_to_bytes group pub)
+    in
+    (Fbsr_fbs.Principal.of_string name, priv)
+  in
+  let s, s_priv = enroll src in
+  let d, d_priv = enroll dst in
+  let resolver peer k =
+    match Fbsr_cert.Authority.lookup ca (Fbsr_fbs.Principal.to_string peer) with
+    | Some c -> k (Ok c)
+    | None -> k (Error "unknown")
+  in
+  let engine_for local priv peer sfl_seed shard =
+    let keying =
+      Fbsr_fbs.Keying.create ~local ~group ~private_value:priv
+        ~ca_public:(Fbsr_cert.Authority.public ca)
+        ~ca_hash:(Fbsr_cert.Authority.hash ca)
+        ~resolver
+        ~clock:(fun () -> 0.0)
+        ()
+    in
+    (match Fbsr_fbs.Keying.get_master_sync keying peer with
+    | Ok _ -> ()
+    | Error e ->
+        failwith
+          (Fmt.str "Fixture.sharded_pair: master derivation failed: %a"
+             Fbsr_fbs.Keying.pp_error e));
+    let alloc = Fbsr_fbs.Sfl.allocator ~rng:(Fbsr_util.Rng.create sfl_seed) in
+    let fam = Fbsr_fbs.Fam.create (Fbsr_fbs.Policy_five_tuple.policy ~alloc ()) in
+    Fbsr_fbs.Engine.create ~suite ~replay_window_minutes ~strict_replay
+      ~spans:(spans shard) ~keying ~fam ()
+  in
+  let dispatcher_fam =
+    let alloc = Fbsr_fbs.Sfl.allocator ~rng:(Fbsr_util.Rng.create (seed lxor 3)) in
+    Fbsr_fbs.Fam.create
+      (Fbsr_fbs.Policy_five_tuple.policy ~fst_size:(1 lsl fst_bits) ~alloc ())
+  in
+  let tx =
+    Fbsr_fbs.Sharded.create ?nshards ~confounder_seed:(seed lxor 5)
+      ~engine:(fun i -> engine_for s s_priv d ((seed lxor 1) + (i * 1693)) i)
+      ~fam:dispatcher_fam ()
+  in
+  (* The receive side never classifies, but Sharded.create still wants a
+     dispatcher FAM; give it an inert one. *)
+  let rx_fam =
+    let alloc = Fbsr_fbs.Sfl.allocator ~rng:(Fbsr_util.Rng.create (seed lxor 4)) in
+    Fbsr_fbs.Fam.create (Fbsr_fbs.Policy_five_tuple.policy ~alloc ())
+  in
+  let rx =
+    Fbsr_fbs.Sharded.create ?nshards ~confounder_seed:(seed lxor 6)
+      ~engine:(fun i -> engine_for d d_priv s ((seed lxor 2) + (i * 1693)) i)
+      ~fam:rx_fam ()
+  in
+  { sh_src = s; sh_dst = d; tx; rx }
+
 let warm_pair ?seed ?(suite = Fbsr_fbs.Suite.paper_md5_des) ?(secret = true)
     ?(payload = mtu_payload) () =
   let p = engine_pair ?seed ~suite () in

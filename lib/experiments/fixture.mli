@@ -26,6 +26,35 @@ val engine_pair :
     61-bit test group and build one engine per side.  Deterministic in
     [seed].  [spans] (default disabled) is shared by both engines. *)
 
+type sharded = {
+  sh_src : Fbsr_fbs.Principal.t;
+  sh_dst : Fbsr_fbs.Principal.t;
+  tx : Fbsr_fbs.Sharded.t;  (** sender side *)
+  rx : Fbsr_fbs.Sharded.t;  (** receiver side *)
+}
+
+val sharded_pair :
+  ?seed:int ->
+  ?suite:Fbsr_fbs.Suite.t ->
+  ?nshards:int ->
+  ?fst_bits:int ->
+  ?replay_window_minutes:int ->
+  ?strict_replay:bool ->
+  ?src:string ->
+  ?dst:string ->
+  ?spans:(int -> Fbsr_util.Span.t) ->
+  unit ->
+  sharded
+(** The sharded sibling of {!engine_pair}: one authority and two
+    principals, each side a {!Fbsr_fbs.Sharded.t} whose per-shard
+    engines share nothing (own keying over the shared CA, own caches and
+    span recorder via [spans shard], default disabled).  Shard masters
+    are pre-derived synchronously, so no shard domain ever runs DH.
+    [fst_bits] sizes the sender dispatcher's FST at [2^fst_bits]
+    entries (default 8 — raise it for million-flow workloads).
+    Deterministic in [seed] for a fixed shard count.
+    @raise Failure if master derivation fails. *)
+
 val warm_pair :
   ?seed:int ->
   ?suite:Fbsr_fbs.Suite.t ->

@@ -1,0 +1,162 @@
+(* Million-flow Zipf scenario over the sharded engines.  See
+   zipf_scenario.mli. *)
+
+module J = Fbsr_util.Json
+
+type shard_row = { shard : int; datagrams : int; allocs_per_datagram : float }
+
+type result = {
+  flows : int;
+  datagrams : int;
+  nshards : int;
+  touched_flows : int;
+  flows_started : int;
+  elapsed_s : float;
+  datagrams_per_sec : float;
+  flow_key_computations : int;
+  keysched_hits : int;
+  keysched_misses : int;
+  rows : shard_row list;
+  failures : string list;
+  ok : bool;
+}
+
+let run ?(flows = 1_000_000) ?(datagrams = 1_000_000) ?(batch = 4096)
+    ?nshards ?(seed = 20260808) ?(fst_bits = 19) () =
+  let p = Fixture.sharded_pair ~seed ?nshards ~fst_bits () in
+  let wl =
+    Fbsr_traffic.Zipf_workload.create ~seed:(seed lxor 0xf10c) ~flows
+      ~src:p.Fixture.sh_src ~dst:p.Fixture.sh_dst ()
+  in
+  let n = Fbsr_fbs.Sharded.nshards p.Fixture.tx in
+  let failures = ref [] in
+  let failf fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  let t0 = Unix.gettimeofday () in
+  let sent = ref 0 in
+  (* The simulated clock advances ~10 ms per batch: far inside the replay
+     window over the whole run, far enough to exercise timestamping. *)
+  let round = ref 0 in
+  while !sent < datagrams do
+    let k = min batch (datagrams - !sent) in
+    let now = 60.0 +. (0.01 *. Float.of_int !round) in
+    incr round;
+    let jobs = Fbsr_traffic.Zipf_workload.batch wl k in
+    let wires = Fbsr_fbs.Sharded.send_all p.Fixture.tx ~now ~secret:true jobs in
+    let ok_wires =
+      Array.map
+        (function
+          | Ok w -> w
+          | Error e ->
+              failf "send failed: %s" (Fmt.str "%a" Fbsr_fbs.Engine.pp_error e);
+              "")
+        wires
+    in
+    let received =
+      Fbsr_fbs.Sharded.receive_all p.Fixture.rx ~now ~src:p.Fixture.sh_src
+        ok_wires
+    in
+    Array.iter
+      (function
+        | Ok (_ : Fbsr_fbs.Engine.accepted) -> ()
+        | Error e ->
+            failf "receive failed: %s" (Fmt.str "%a" Fbsr_fbs.Engine.pp_error e))
+      received;
+    sent := !sent + k
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (* Per-shard zero-copy audit: the sender shard allocates the wire, the
+     receiver shard (same index — shard choice is a pure function of the
+     sfl and both sides run the same count) the plaintext.  Exactly 2
+     allocations per datagram, shard by shard. *)
+  let rows =
+    List.init n (fun i ->
+        let txc = Fbsr_fbs.Engine.counters (Fbsr_fbs.Sharded.engine p.Fixture.tx i) in
+        let rxc = Fbsr_fbs.Engine.counters (Fbsr_fbs.Sharded.engine p.Fixture.rx i) in
+        let d = txc.Fbsr_fbs.Engine.sends in
+        if rxc.Fbsr_fbs.Engine.accepted <> d then
+          failf "shard %d: %d sealed but %d accepted" i d
+            rxc.Fbsr_fbs.Engine.accepted;
+        let allocs =
+          txc.Fbsr_fbs.Engine.datapath_allocs
+          + rxc.Fbsr_fbs.Engine.datapath_allocs
+        in
+        let apd = if d = 0 then 0.0 else Float.of_int allocs /. Float.of_int d in
+        if d > 0 && allocs <> 2 * d then
+          failf "shard %d: %d datapath allocs over %d datagrams (want exactly 2/datagram)"
+            i allocs d;
+        { shard = i; datagrams = d; allocs_per_datagram = apd })
+  in
+  let agg = Fbsr_fbs.Sharded.aggregate_counters p.Fixture.tx in
+  if agg.Fbsr_fbs.Engine.sends <> datagrams then
+    failf "aggregate sends %d <> offered %d" agg.Fbsr_fbs.Engine.sends datagrams;
+  let fam_stats = Fbsr_fbs.Fam.stats (Fbsr_fbs.Sharded.fam p.Fixture.tx) in
+  {
+    flows;
+    datagrams;
+    nshards = n;
+    touched_flows = Fbsr_traffic.Zipf_workload.touched wl;
+    flows_started = fam_stats.Fbsr_fbs.Fam.flows_started;
+    elapsed_s = elapsed;
+    datagrams_per_sec =
+      (if elapsed > 0.0 then Float.of_int datagrams /. elapsed else 0.0);
+    flow_key_computations = agg.Fbsr_fbs.Engine.flow_key_computations;
+    keysched_hits = agg.Fbsr_fbs.Engine.keysched_hits;
+    keysched_misses = agg.Fbsr_fbs.Engine.keysched_misses;
+    rows;
+    failures = List.rev !failures;
+    ok = !failures = [];
+  }
+
+let to_json r =
+  J.Obj
+    [
+      ("schema", J.String "fbsr-zipf/1");
+      ("flows", J.Int r.flows);
+      ("datagrams", J.Int r.datagrams);
+      ("nshards", J.Int r.nshards);
+      ("touched_flows", J.Int r.touched_flows);
+      ("flows_started", J.Int r.flows_started);
+      ("elapsed_s", J.Float r.elapsed_s);
+      ("datagrams_per_sec", J.Float r.datagrams_per_sec);
+      ("flow_key_computations", J.Int r.flow_key_computations);
+      ("keysched_hits", J.Int r.keysched_hits);
+      ("keysched_misses", J.Int r.keysched_misses);
+      ( "shards",
+        J.List
+          (List.map
+             (fun row ->
+               J.Obj
+                 [
+                   ("shard", J.Int row.shard);
+                   ("datagrams", J.Int row.datagrams);
+                   ("allocs_per_datagram", J.Float row.allocs_per_datagram);
+                 ])
+             r.rows) );
+      ("failures", J.List (List.map (fun m -> J.String m) r.failures));
+      ("ok", J.Bool r.ok);
+    ]
+
+let report ?flows ?datagrams ?batch ?nshards ?seed ?fst_bits ?json () =
+  let r = run ?flows ?datagrams ?batch ?nshards ?seed ?fst_bits () in
+  Fmt.pr "=== million-flow Zipf over the sharded engine ===@.";
+  Fmt.pr "flows %d (touched %d, started %d)  datagrams %d  shards %d@."
+    r.flows r.touched_flows r.flows_started r.datagrams r.nshards;
+  Fmt.pr "%.2f s  %.0f datagrams/s  flow keys %d  keysched %d hit / %d miss@."
+    r.elapsed_s r.datagrams_per_sec r.flow_key_computations r.keysched_hits
+    r.keysched_misses;
+  List.iter
+    (fun row ->
+      Fmt.pr "  shard %d: %8d datagrams  allocs/datagram %.3f@." row.shard
+        row.datagrams row.allocs_per_datagram)
+    r.rows;
+  List.iter (fun m -> Fmt.pr "  FAIL: %s@." m) r.failures;
+  Fmt.pr "%s@." (if r.ok then "zipf scenario: OK" else "zipf scenario: FAILED");
+  (match json with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (J.to_string_pretty (to_json r));
+      output_string oc "\n";
+      close_out oc;
+      Fmt.pr "wrote %s@." path);
+  r

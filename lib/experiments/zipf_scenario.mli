@@ -1,0 +1,61 @@
+(** The million-flow scenario: a Zipf-popularity datagram stream over
+    10⁶ concurrent flows, driven in batches through a pair of
+    domain-sharded engines ({!Fbsr_fbs.Sharded}), with the paper's
+    soft-state invariants checked per shard.
+
+    Every datagram must round-trip (seal on the sender's owning shard,
+    verify + decrypt on the receiver's), and each shard pair must hold
+    the zero-copy audit exactly: sender wire alloc + receiver plaintext
+    alloc = 2 allocations per datagram.  [ok = false] on any violation —
+    the CLI wrapper turns that into a non-zero exit, which is what the
+    bench-multicore CI lane gates on. *)
+
+type shard_row = {
+  shard : int;
+  datagrams : int;  (** sealed by this sender shard *)
+  allocs_per_datagram : float;  (** send + receive allocs over datagrams *)
+}
+
+type result = {
+  flows : int;
+  datagrams : int;
+  nshards : int;  (** effective (post-clamp) shard count *)
+  touched_flows : int;  (** distinct ranks the Zipf stream actually hit *)
+  flows_started : int;  (** fresh classifications at the dispatcher FAM *)
+  elapsed_s : float;
+  datagrams_per_sec : float;
+  flow_key_computations : int;
+  keysched_hits : int;
+  keysched_misses : int;
+  rows : shard_row list;
+  failures : string list;  (** violated invariants; empty iff [ok] *)
+  ok : bool;
+}
+
+val run :
+  ?flows:int ->
+  ?datagrams:int ->
+  ?batch:int ->
+  ?nshards:int ->
+  ?seed:int ->
+  ?fst_bits:int ->
+  unit ->
+  result
+(** Defaults: 10⁶ flows, 10⁶ datagrams, batches of 4096, shard count
+    from {!Fbsr_util.Domain_shim.recommended_domain_count}, FST sized at
+    [2^fst_bits] (default 19). *)
+
+val to_json : result -> Fbsr_util.Json.t
+(** An [fbsr-zipf/1] document. *)
+
+val report :
+  ?flows:int ->
+  ?datagrams:int ->
+  ?batch:int ->
+  ?nshards:int ->
+  ?seed:int ->
+  ?fst_bits:int ->
+  ?json:string ->
+  unit ->
+  result
+(** {!run}, print the human summary, optionally write the JSON artifact. *)

@@ -458,7 +458,7 @@ let iv_of_confounder t ~confounder =
    steals — one allocation per sealed datagram.  CBC modes encrypt
    straight into the reserved body region; the stream/ECB fallbacks
    produce an intermediate ciphertext and are counted as a copy. *)
-let seal_entry t ~now ~sfl ~entry ~secret ~payload =
+let seal_entry ?confounder t ~now ~sfl ~entry ~secret ~payload =
   let stm =
     if Fbsr_util.Span.enabled t.spans then Some (Fbsr_util.Span.start t.spans)
     else None
@@ -468,7 +468,14 @@ let seal_entry t ~now ~sfl ~entry ~secret ~payload =
   let ksh0 = t.counters.keysched_hits and ksm0 = t.counters.keysched_misses in
   let mmh0 = t.counters.mac_midstate_hits
   and mmm0 = t.counters.mac_midstate_misses in
-  let confounder = Fbsr_util.Lcg.next_u32 t.confounder_gen in
+  (* The sharded dispatcher pre-draws confounders in input order so the
+     wire bytes are independent of the shard count; a lone engine draws
+     from its own generator as before. *)
+  let confounder =
+    match confounder with
+    | Some c -> c
+    | None -> Fbsr_util.Lcg.next_u32 t.confounder_gen
+  in
   let timestamp = Replay.minutes_of_seconds now in
   let payload_len = String.length payload in
   let mac =
@@ -633,6 +640,37 @@ let send t ~now ~attrs ~secret ~payload (k : (string, error) result -> unit) =
             Fbsr_util.Span.with_current id (fun () ->
                 k (Ok (seal_entry t ~now ~sfl ~entry ~secret ~payload)))
         | None -> k (Ok (seal_entry t ~now ~sfl ~entry ~secret ~payload))))
+
+(* [send] for a datagram whose flow is already classified: the sharded
+   dispatcher runs FAM once, up front, because the sfl *determines* the
+   owning shard — classification cannot move inside the shard without a
+   circularity.  Identical to [send] minus the classify span and the
+   flow-setup trace event (both belong to the dispatcher). *)
+let send_classified ?confounder t ~now ~sfl ~src ~dst ~secret ~payload
+    (k : (string, error) result -> unit) =
+  t.counters.sends <- t.counters.sends + 1;
+  let tm =
+    if Fbsr_util.Span.enabled t.spans then begin
+      Fbsr_util.Span.set_current (Fbsr_util.Span.fresh_id ());
+      Some (Fbsr_util.Span.start t.spans, Fbsr_util.Span.current ())
+    end
+    else None
+  in
+  flow_key_via t t.tfkc ~sfl ~peer:dst ~src ~dst (function
+    | Error e ->
+        (match tm with
+        | Some (stm, id) ->
+            Fbsr_util.Span.finish t.spans stm ~id ~outcome:"drop:keying"
+              "engine.send"
+        | None -> ());
+        k (Error e)
+    | Ok entry -> (
+        match tm with
+        | Some (_, id) ->
+            Fbsr_util.Span.with_current id (fun () ->
+                k (Ok (seal_entry ?confounder t ~now ~sfl ~entry ~secret ~payload)))
+        | None ->
+            k (Ok (seal_entry ?confounder t ~now ~sfl ~entry ~secret ~payload))))
 
 (* The combined-path sibling of [send]: counts the datagram but leaves flow
    association and key lookup to the caller. *)

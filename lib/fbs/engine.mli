@@ -139,6 +139,25 @@ val send :
 (** Classify into a flow, derive/cache the flow key, MAC, optionally
     encrypt; the continuation receives the wire bytes. *)
 
+val send_classified :
+  ?confounder:int ->
+  t ->
+  now:float ->
+  sfl:Sfl.t ->
+  src:Principal.t ->
+  dst:Principal.t ->
+  secret:bool ->
+  payload:string ->
+  ((string, error) result -> unit) ->
+  unit
+(** {!send} for a datagram already classified by the caller's FAM — the
+    sharded dispatcher's entry point ({!Sharded}), where the sfl must be
+    known before a shard can be chosen.  Skips classification (and its
+    span/trace events); everything from the TFKC lookup on is identical
+    to {!send}.  [confounder] overrides the engine's own generator so a
+    dispatcher can draw confounders in input order, making sharded wire
+    output byte-identical to a single engine's. *)
+
 val seal :
   t -> now:float -> sfl:Sfl.t -> flow_key:string -> secret:bool -> payload:string ->
   string

@@ -7,31 +7,37 @@
 
 (* SplitMix64: a full-period 64-bit sequence with good bit diffusion, so
    ids from different subsystems (datagrams, MKD fetches) never collide
-   within a process and truncated hex prefixes stay distinguishable. *)
-let id_state = ref 0L
+   within a process and truncated hex prefixes stay distinguishable.
+   The state is an atomic draw counter — after the k-th draw the classic
+   formulation's state is k * gamma, so mixing [gamma * (n + 1)] yields
+   the identical id sequence while staying race-free when several shard
+   domains allocate ids concurrently. *)
+let id_state = Atomic.make 0
 
 let fresh_id () =
-  let z = Int64.add !id_state 0x9e3779b97f4a7c15L in
-  id_state := z;
+  let n = Atomic.fetch_and_add id_state 1 in
+  let z = Int64.mul 0x9e3779b97f4a7c15L (Int64.of_int (n + 1)) in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
   let z = Int64.logxor z (Int64.shift_right_logical z 31) in
   if Int64.equal z 0L then 1L else z
 
-let current_id = ref 0L
-let current () = !current_id
-let set_current id = current_id := id
-let clear_current () = current_id := 0L
+(* The ambient trace context is per domain: a shard domain sealing one
+   datagram must not see (or clobber) another shard's current id. *)
+let current_id = Domain_shim.local_make (fun () -> 0L)
+let current () = Domain_shim.local_get current_id
+let set_current id = Domain_shim.local_set current_id id
+let clear_current () = Domain_shim.local_set current_id 0L
 
 let with_current id f =
-  let saved = !current_id in
-  current_id := id;
+  let saved = Domain_shim.local_get current_id in
+  Domain_shim.local_set current_id id;
   match f () with
   | v ->
-      current_id := saved;
+      Domain_shim.local_set current_id saved;
       v
   | exception e ->
-      current_id := saved;
+      Domain_shim.local_set current_id saved;
       raise e
 
 (* ---- Spans and recorders ------------------------------------------------ *)
@@ -50,8 +56,9 @@ type span = {
 
 (* The seq counter is process-wide (not per recorder) so spans merged
    from several hosts sort into their true record order even when the
-   simulated clock gives them identical timestamps. *)
-let seq_state = ref 0
+   simulated clock gives them identical timestamps.  Atomic, so per-shard
+   recorders on separate domains still draw globally unique seqs. *)
+let seq_state = Atomic.make 0
 
 type t = {
   cap : int;
@@ -93,9 +100,8 @@ let start t =
 
 let finish t tm ?(id = 0L) ?(outcome = "") ?(detail = []) stage =
   if t.cap > 0 then begin
-    let id = if Int64.equal id 0L then !current_id else id in
-    let seq = !seq_state in
-    seq_state := seq + 1;
+    let id = if Int64.equal id 0L then current () else id in
+    let seq = Atomic.fetch_and_add seq_state 1 in
     let t1 = t.clock () in
     let cost = t.cost_clock () -. tm.c0 in
     let s =
