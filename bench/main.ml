@@ -72,6 +72,10 @@ let es_desmac, ed_desmac, src_desmac, attrs_desmac, wire_desmac =
 let es_des3, ed_des3, src_des3, attrs_des3, wire_des3 =
   fbs_fixture Fbsr_fbs.Suite.md5_des3 ~secret:true
 
+(* The non-DES leaf suite added through the armor registry alone. *)
+let es_sha1ctr, ed_sha1ctr, src_sha1ctr, attrs_sha1ctr, wire_sha1ctr =
+  fbs_fixture Fbsr_fbs.Suite.hmac_sha1_ctr ~secret:true
+
 (* Combined fast path fixture (Section 7.2): warm table + sealed sends. *)
 let fp_engine, fp_table, fp_flow_key =
   let p = Fbsr_experiments.Fixture.engine_pair ~suite:suite_paper () in
@@ -236,6 +240,14 @@ let fbs_tests =
         (stage (fun () ->
              Fbsr_fbs.Engine.receive_sync ed_des3 ~now:60.0 ~src:src_des3
                ~wire:wire_des3));
+      Test.make ~name:"send-hmacsha1+sha1ctr-1460B"
+        (stage (fun () ->
+             Fbsr_fbs.Engine.send_sync es_sha1ctr ~now:60.0 ~attrs:attrs_sha1ctr
+               ~secret:true ~payload:datagram));
+      Test.make ~name:"receive-hmacsha1+sha1ctr-1460B"
+        (stage (fun () ->
+             Fbsr_fbs.Engine.receive_sync ed_sha1ctr ~now:60.0 ~src:src_sha1ctr
+               ~wire:wire_sha1ctr));
       (* Section 7.2's combined FST+TFKC probe vs the generic two-lookup
          path (the rest of send processing is identical). *)
       Test.make ~name:"fast-path-probe+seal-1460B"
@@ -575,6 +587,32 @@ let datapath_json () =
       ("gc_bytes_per_datagram_reference", Fbsr_util.Json.Float (perf (gr1 -. gr0)));
     ]
 
+(* Closed-loop transfer smoke inside the artifact: a reduced run of the
+   concurrent-bulk-transfer scenario (fbs-experiments transfers).  The
+   simulation is fully seeded, so every field is deterministic and diffs
+   cleanly run-over-run; a delivery or integrity failure fails the bench
+   run itself rather than producing a quietly bad artifact. *)
+let transfers_json () =
+  let r =
+    Fbsr_experiments.Transfers_scenario.run ~transfers:64
+      ~bytes_per_transfer:16_384 ()
+  in
+  if not r.Fbsr_experiments.Transfers_scenario.ok then
+    failwith "bench transfers scenario failed (delivery/integrity)";
+  let open Fbsr_experiments.Transfers_scenario in
+  Fbsr_util.Json.Obj
+    [
+      ("transfers", Fbsr_util.Json.Int r.transfers);
+      ("bytes_per_transfer", Fbsr_util.Json.Int r.bytes_per_transfer);
+      ("loss", Fbsr_util.Json.Float r.loss);
+      ("elapsed_s", Fbsr_util.Json.Float r.elapsed_s);
+      ("goodput_bps", Fbsr_util.Json.Float r.goodput_bps);
+      ("total_retransmits", Fbsr_util.Json.Int r.total_retransmits);
+      ("total_fast_retransmits", Fbsr_util.Json.Int r.total_fast_retransmits);
+      ("total_timeouts", Fbsr_util.Json.Int r.total_timeouts);
+      ("ok", Fbsr_util.Json.Bool r.ok);
+    ]
+
 (* Per-stage latency summary from the traced run: span costs come from the
    wall clock (Unix.gettimeofday), so p50/p99 measure real per-stage CPU
    cost — the per-stage decomposition of the paper's Section 7.2 numbers. *)
@@ -619,6 +657,7 @@ let emit_json ~path ~spans_path ~rev ~quick ~sharded rows =
         ("datapath", datapath_json ());
         ("stages", stages_json r.Fbsr_experiments.Faults.spans);
         ("sharded", sharded.sjson);
+        ("transfers", transfers_json ());
       ]
   in
   let oc = open_out path in

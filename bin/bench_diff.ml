@@ -3,6 +3,7 @@
 
    Usage: bench_diff OLD.json NEW.json [--threshold 0.25]
                                        [--strict-improvements]
+                                       [--exempt PREFIX]...
 
    A benchmark regresses when new > old * (1 + threshold).  Benchmarks are
    the gate; registry counters are printed informationally (a counter shift
@@ -13,9 +14,13 @@
    lands, regenerate the baseline (see README "Regenerating the bench
    baseline").  Under [--strict-improvements] a stale baseline is a
    failure, not a warning: improvements exit nonzero so the speedup PR
-   must carry its regenerated baseline.  Rows whose name contains
-   "sharded-" are exempt from the strictness (their speed scales with the
-   runner's core count, so a faster machine is not a stale baseline).
+   must carry its regenerated baseline.  Machine-relative rows can be
+   carved out of the strictness with [--exempt PREFIX] (repeatable): a
+   row is exempt when the prefix matches the row name or any of its
+   '/'-separated segments.  With no [--exempt] the historical default
+   applies — rows under "sharded-" are exempt (their speed scales with
+   the runner's core count, so a faster machine is not a stale
+   baseline).
 
    Datapath columns named [allocs_per_datagram] are gated exactly: they
    are deterministic counter ratios (the zero-copy invariant), so any
@@ -27,7 +32,7 @@
 let usage () =
   prerr_endline
     "usage: bench_diff OLD.json NEW.json [--threshold FRACTION] \
-     [--strict-improvements]";
+     [--strict-improvements] [--exempt PREFIX]...";
   exit 2
 
 let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("bench_diff: " ^ m); exit 2) fmt
@@ -54,6 +59,7 @@ let schema j =
 let () =
   let threshold = ref 0.25 in
   let strict_improvements = ref false in
+  let exempts = ref [] in
   let files = ref [] in
   let rec parse = function
     | [] -> ()
@@ -65,6 +71,10 @@ let () =
         | _ -> fail "bad --threshold %S" v)
     | "--strict-improvements" :: rest ->
         strict_improvements := true;
+        parse rest
+    | "--exempt" :: v :: rest ->
+        if v = "" then fail "empty --exempt prefix";
+        exempts := v :: !exempts;
         parse rest
     | arg :: _ when String.length arg > 2 && String.sub arg 0 2 = "--" ->
         usage ()
@@ -121,17 +131,29 @@ let () =
   (* Improvements: each one means the baseline no longer guards that row
      (a later slowdown back to the old speed would pass the gate
      unnoticed).  A warning by default; a failure under
-     --strict-improvements, so speedup PRs ship a fresh baseline.  The
-     sharded rows are machine-relative — a beefier runner improves them
-     without any code change — so they stay warnings even under strict. *)
+     --strict-improvements, so speedup PRs ship a fresh baseline.
+     Machine-relative rows (by default the sharded ones — a beefier
+     runner improves them without any code change) stay warnings even
+     under strict, via the --exempt prefixes. *)
+  let exempt_prefixes =
+    match List.rev !exempts with [] -> [ "sharded-" ] | l -> l
+  in
+  let starts_with p s =
+    String.length s >= String.length p && String.sub s 0 (String.length p) = p
+  in
+  let exempted name =
+    List.exists
+      (fun p ->
+        starts_with p name
+        || List.exists (starts_with p) (String.split_on_char '/' name))
+      exempt_prefixes
+  in
   let stale = ref 0 in
   (match List.rev !improvements with
   | [] -> ()
   | imps ->
       let strictable, exempt =
-        List.partition
-          (fun (name, _, _, _) -> not (contains_sub "sharded-" name))
-          imps
+        List.partition (fun (name, _, _, _) -> not (exempted name)) imps
       in
       Printf.printf "\n%d benchmark(s) improved beyond -%.0f%% (baseline is stale for these):\n"
         (List.length imps)
@@ -144,9 +166,10 @@ let () =
         stale := List.length strictable;
         if exempt <> [] then
           Printf.printf
-            "  (%d sharded row(s) exempt from --strict-improvements: their \
-             speed tracks the runner's core count)\n"
+            "  (%d row(s) exempt from --strict-improvements via prefix \
+             exemption [%s]: machine-relative speed)\n"
             (List.length exempt)
+            (String.concat ", " exempt_prefixes)
       end;
       Printf.printf
         "  if intentional, regenerate the committed baseline (README: \"Regenerating the bench baseline\")\n");

@@ -86,18 +86,42 @@ let commands =
       "Million-flow Zipf workload over the domain-sharded engine (exits \
        non-zero on any per-shard invariant violation)"
       Term.(
-        const (fun flows datagrams batch shards seed fst_bits json ->
-            let r =
-              Fbsr_experiments.Zipf_scenario.report ~flows ~datagrams ~batch
-                ?nshards:shards ~seed ~fst_bits ?json ()
-            in
-            if not r.Fbsr_experiments.Zipf_scenario.ok then Stdlib.exit 1)
+        const (fun flows datagrams batch shards seed fst_bits miss_curve json ->
+            if miss_curve then (
+              (* Sweep the fig11-14 analogue up to --flows; --datagrams is
+                 the per-point budget (default 200k). *)
+              let points =
+                List.filter
+                  (fun p -> p < flows)
+                  Fbsr_experiments.Zipf_scenario.default_points
+                @ [ flows ]
+              in
+              let c =
+                Fbsr_experiments.Zipf_scenario.curve_report ~points
+                  ?datagrams ~batch ?nshards:shards ~seed ~fst_bits ?json ()
+              in
+              if not c.Fbsr_experiments.Zipf_scenario.curve_ok then
+                Stdlib.exit 1)
+            else
+              let r =
+                Fbsr_experiments.Zipf_scenario.report ~flows
+                  ~datagrams:(Option.value datagrams ~default:1_000_000)
+                  ~batch ?nshards:shards ~seed ~fst_bits ?json ()
+              in
+              if not r.Fbsr_experiments.Zipf_scenario.ok then Stdlib.exit 1)
         $ Arg.(
             value & opt int 1_000_000
-            & info [ "flows" ] ~doc:"Concurrent Zipf-distributed flows.")
+            & info [ "flows" ]
+                ~doc:
+                  "Concurrent Zipf-distributed flows (with --miss-curve: the \
+                   sweep ceiling).")
         $ Arg.(
-            value & opt int 1_000_000
-            & info [ "datagrams" ] ~doc:"Datagrams to round-trip.")
+            value
+            & opt (some int) None
+            & info [ "datagrams" ]
+                ~doc:
+                  "Datagrams to round-trip (default 1,000,000; with \
+                   --miss-curve: per sweep point, default 200,000).")
         $ Arg.(
             value & opt int 4096
             & info [ "batch" ] ~doc:"Datagrams per sharded dispatch batch.")
@@ -113,6 +137,36 @@ let commands =
             value & opt int 19
             & info [ "fst-bits" ]
                 ~doc:"Dispatcher FST size as a power of two.")
+        $ Arg.(
+            value & flag
+            & info [ "miss-curve" ]
+                ~doc:
+                  "Instead of one run, sweep active flows vs TFKC/RFKC miss \
+                   rate (the Section 7.3 figure 11-14 analogue) and emit one \
+                   row per point.")
+        $ json_arg);
+    cmd "transfers"
+      "Hundreds of concurrent ACK-clocked bulk transfers across a shared \
+       lossy segment (exits non-zero unless every transfer is delivered \
+       intact and closed)"
+      Term.(
+        const (fun transfers bytes loss seed json ->
+            let r =
+              Fbsr_experiments.Transfers_scenario.report ~transfers
+                ~bytes_per_transfer:bytes ~loss ~seed ?json ()
+            in
+            if not r.Fbsr_experiments.Transfers_scenario.ok then Stdlib.exit 1)
+        $ Arg.(
+            value & opt int 200
+            & info [ "transfers" ] ~doc:"Concurrent connections.")
+        $ Arg.(
+            value & opt int 32_768
+            & info [ "bytes-per-transfer" ] ~doc:"Payload bytes per connection.")
+        $ Arg.(
+            value & opt float 0.01
+            & info [ "loss" ] ~doc:"Per-frame drop probability on every link.")
+        $ Arg.(
+            value & opt int 20260809 & info [ "seed" ] ~doc:"Fault-link seed.")
         $ json_arg);
     cmd "all" "Run every experiment"
       Term.(

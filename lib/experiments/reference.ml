@@ -61,13 +61,30 @@ let confounder_iv c header =
   tally c ~allocs:2 ~copied:0;
   Fbsr_fbs.Header.confounder_iv header
 
+(* The hmac-sha1/sha1-ctr body transform, string-at-a-time: the cleartext
+   (but MACed) 4-byte prefix, then the SHA-1 counter keystream over the
+   remainder.  Self-inverse.  Mirrors [Armor_sha1ctr] byte for byte. *)
+let sha1_ctr_prefix = 4
+
+let sha1_ctr_body c ~flow_key ~iv body =
+  let len = String.length body in
+  let p = min sha1_ctr_prefix len in
+  (* Tail sub, keystream output buffer, prefix ^ tail concatenation. *)
+  tally c ~allocs:3 ~copied:len;
+  let ks = Fbsr_crypto.Keystream.create Fbsr_crypto.Hash.sha1 ~key:flow_key in
+  let tail = Fbsr_crypto.Keystream.transform ks ~iv (String.sub body p (len - p)) in
+  String.sub body 0 p ^ tail
+
 let encrypt_body c (suite : Fbsr_fbs.Suite.t) ~flow_key ~iv ~payload =
   if Fbsr_fbs.Suite.is_nop suite then payload
+  else if suite.Fbsr_fbs.Suite.cipher = Fbsr_fbs.Suite.Sha1_ctr then
+    sha1_ctr_body c ~flow_key ~iv payload
   else begin
     (* [Des.pad] copies the payload into a padded buffer, then the cipher
        allocates the ciphertext. *)
     tally c ~allocs:2 ~copied:(String.length payload);
     match suite.Fbsr_fbs.Suite.cipher with
+    | Fbsr_fbs.Suite.Sha1_ctr -> assert false (* handled above *)
     | Fbsr_fbs.Suite.Des3_cbc ->
         Fbsr_crypto.Des3.encrypt_cbc ~iv (des3_key_of_flow_key flow_key) payload
     | ( Fbsr_fbs.Suite.Des_cbc | Fbsr_fbs.Suite.Des_cfb | Fbsr_fbs.Suite.Des_ofb
@@ -78,16 +95,19 @@ let encrypt_body c (suite : Fbsr_fbs.Suite.t) ~flow_key ~iv ~payload =
         | Fbsr_fbs.Suite.Des_cfb -> Fbsr_crypto.Des.encrypt_cfb ~iv key payload
         | Fbsr_fbs.Suite.Des_ofb -> Fbsr_crypto.Des.encrypt_ofb ~iv key payload
         | Fbsr_fbs.Suite.Des_ecb -> Fbsr_crypto.Des.encrypt_ecb ~confounder:iv key payload
-        | Fbsr_fbs.Suite.Des3_cbc -> assert false)
+        | Fbsr_fbs.Suite.Des3_cbc | Fbsr_fbs.Suite.Sha1_ctr -> assert false)
   end
 
 let decrypt_body c (suite : Fbsr_fbs.Suite.t) ~flow_key ~iv ~body =
   if Fbsr_fbs.Suite.is_nop suite then Ok body
+  else if suite.Fbsr_fbs.Suite.cipher = Fbsr_fbs.Suite.Sha1_ctr then
+    Ok (sha1_ctr_body c ~flow_key ~iv body)
   else begin
     (* Cipher output buffer, then [Des.unpad]'s exact-size copy. *)
     tally c ~allocs:2 ~copied:(String.length body);
     match
       match suite.Fbsr_fbs.Suite.cipher with
+      | Fbsr_fbs.Suite.Sha1_ctr -> assert false (* handled above *)
       | Fbsr_fbs.Suite.Des3_cbc ->
           Fbsr_crypto.Des3.decrypt_cbc ~iv (des3_key_of_flow_key flow_key) body
       | ( Fbsr_fbs.Suite.Des_cbc | Fbsr_fbs.Suite.Des_cfb | Fbsr_fbs.Suite.Des_ofb
@@ -98,7 +118,7 @@ let decrypt_body c (suite : Fbsr_fbs.Suite.t) ~flow_key ~iv ~body =
           | Fbsr_fbs.Suite.Des_cfb -> Fbsr_crypto.Des.decrypt_cfb ~iv key body
           | Fbsr_fbs.Suite.Des_ofb -> Fbsr_crypto.Des.decrypt_ofb ~iv key body
           | Fbsr_fbs.Suite.Des_ecb -> Fbsr_crypto.Des.decrypt_ecb ~confounder:iv key body
-          | Fbsr_fbs.Suite.Des3_cbc -> assert false)
+          | Fbsr_fbs.Suite.Des3_cbc | Fbsr_fbs.Suite.Sha1_ctr -> assert false)
     with
     | plaintext -> Ok plaintext
     | exception Invalid_argument _ -> Error `Decrypt

@@ -21,20 +21,12 @@ type result = {
   ok : bool;
 }
 
-let run ?(flows = 1_000_000) ?(datagrams = 1_000_000) ?(batch = 4096)
-    ?nshards ?(seed = 20260808) ?(fst_bits = 19) () =
-  let p = Fixture.sharded_pair ~seed ?nshards ~fst_bits () in
-  let wl =
-    Fbsr_traffic.Zipf_workload.create ~seed:(seed lxor 0xf10c) ~flows
-      ~src:p.Fixture.sh_src ~dst:p.Fixture.sh_dst ()
-  in
-  let n = Fbsr_fbs.Sharded.nshards p.Fixture.tx in
-  let failures = ref [] in
-  let failf fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
-  let t0 = Unix.gettimeofday () in
+(* Round-trip [datagrams] Zipf datagrams through a sharded pair in
+   batches.  The simulated clock advances ~10 ms per batch: far inside
+   the replay window over the whole run, far enough to exercise
+   timestamping. *)
+let drive p wl ~datagrams ~batch fail =
   let sent = ref 0 in
-  (* The simulated clock advances ~10 ms per batch: far inside the replay
-     window over the whole run, far enough to exercise timestamping. *)
   let round = ref 0 in
   while !sent < datagrams do
     let k = min batch (datagrams - !sent) in
@@ -47,7 +39,7 @@ let run ?(flows = 1_000_000) ?(datagrams = 1_000_000) ?(batch = 4096)
         (function
           | Ok w -> w
           | Error e ->
-              failf "send failed: %s" (Fmt.str "%a" Fbsr_fbs.Engine.pp_error e);
+              fail (Fmt.str "send failed: %a" Fbsr_fbs.Engine.pp_error e);
               "")
         wires
     in
@@ -59,10 +51,23 @@ let run ?(flows = 1_000_000) ?(datagrams = 1_000_000) ?(batch = 4096)
       (function
         | Ok (_ : Fbsr_fbs.Engine.accepted) -> ()
         | Error e ->
-            failf "receive failed: %s" (Fmt.str "%a" Fbsr_fbs.Engine.pp_error e))
+            fail (Fmt.str "receive failed: %a" Fbsr_fbs.Engine.pp_error e))
       received;
     sent := !sent + k
-  done;
+  done
+
+let run ?(flows = 1_000_000) ?(datagrams = 1_000_000) ?(batch = 4096)
+    ?nshards ?(seed = 20260808) ?(fst_bits = 19) () =
+  let p = Fixture.sharded_pair ~seed ?nshards ~fst_bits () in
+  let wl =
+    Fbsr_traffic.Zipf_workload.create ~seed:(seed lxor 0xf10c) ~flows
+      ~src:p.Fixture.sh_src ~dst:p.Fixture.sh_dst ()
+  in
+  let n = Fbsr_fbs.Sharded.nshards p.Fixture.tx in
+  let failures = ref [] in
+  let failf fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  let t0 = Unix.gettimeofday () in
+  drive p wl ~datagrams ~batch (fun m -> failf "%s" m);
   let elapsed = Unix.gettimeofday () -. t0 in
   (* Per-shard zero-copy audit: the sender shard allocates the wire, the
      receiver shard (same index — shard choice is a pure function of the
@@ -160,3 +165,148 @@ let report ?flows ?datagrams ?batch ?nshards ?seed ?fst_bits ?json () =
       close_out oc;
       Fmt.pr "wrote %s@." path);
   r
+
+(* ------------------------------------------------------------------ *)
+(* Section 7.3 miss-rate curve (fig11-14 analogue) at million-flow     *)
+(* scale: a fresh sharded pair per point, so each point's caches start *)
+(* cold and the curve is active flows vs steady-state miss rate.       *)
+(* ------------------------------------------------------------------ *)
+
+type curve_row = {
+  offered_flows : int;
+  active_flows : int;
+  tfkc_accesses : int;
+  tfkc_miss_rate : float;
+  rfkc_accesses : int;
+  rfkc_miss_rate : float;
+  point_flow_key_computations : int;
+}
+
+type curve = {
+  points : curve_row list;
+  datagrams_per_point : int;
+  curve_nshards : int;
+  curve_elapsed_s : float;
+  curve_failures : string list;
+  curve_ok : bool;
+}
+
+let default_points =
+  [ 1_000; 3_000; 10_000; 30_000; 100_000; 300_000; 1_000_000 ]
+
+let miss_curve ?(points = default_points) ?(datagrams = 200_000) ?(batch = 4096)
+    ?nshards ?(seed = 20260808) ?(fst_bits = 19) () =
+  if points = [] then invalid_arg "Zipf_scenario.miss_curve: no points";
+  let failures = ref [] in
+  let failf fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  let t0 = Unix.gettimeofday () in
+  let nshards_seen = ref 0 in
+  let rows =
+    List.map
+      (fun flows ->
+        let p = Fixture.sharded_pair ~seed:(seed + flows) ?nshards ~fst_bits () in
+        let wl =
+          Fbsr_traffic.Zipf_workload.create ~seed:(seed lxor flows) ~flows
+            ~src:p.Fixture.sh_src ~dst:p.Fixture.sh_dst ()
+        in
+        drive p wl ~datagrams ~batch (fun m -> failf "%s" m);
+        let n = Fbsr_fbs.Sharded.nshards p.Fixture.tx in
+        nshards_seen := n;
+        (* Sum each side's flow-key-cache statistics across its shards:
+           the aggregate behaves like one cache n times the size, which
+           is exactly what the sharded datapath presents to the site. *)
+        let totals side cache =
+          List.fold_left
+            (fun (a, m) i ->
+              let s =
+                Fbsr_fbs.Cache.stats (cache (Fbsr_fbs.Sharded.engine side i))
+              in
+              ( a + Fbsr_fbs.Cache.accesses s,
+                m + Fbsr_fbs.Cache.total_misses s ))
+            (0, 0)
+            (List.init n (fun i -> i))
+        in
+        let rate (a, m) =
+          if a = 0 then 0.0 else Float.of_int m /. Float.of_int a
+        in
+        let t = totals p.Fixture.tx Fbsr_fbs.Engine.tfkc in
+        let r = totals p.Fixture.rx Fbsr_fbs.Engine.rfkc in
+        let agg = Fbsr_fbs.Sharded.aggregate_counters p.Fixture.tx in
+        if agg.Fbsr_fbs.Engine.sends <> datagrams then
+          failf "point %d: aggregate sends %d <> offered %d" flows
+            agg.Fbsr_fbs.Engine.sends datagrams;
+        {
+          offered_flows = flows;
+          active_flows = Fbsr_traffic.Zipf_workload.touched wl;
+          tfkc_accesses = fst t;
+          tfkc_miss_rate = rate t;
+          rfkc_accesses = fst r;
+          rfkc_miss_rate = rate r;
+          point_flow_key_computations =
+            agg.Fbsr_fbs.Engine.flow_key_computations;
+        })
+      points
+  in
+  {
+    points = rows;
+    datagrams_per_point = datagrams;
+    curve_nshards = !nshards_seen;
+    curve_elapsed_s = Unix.gettimeofday () -. t0;
+    curve_failures = List.rev !failures;
+    curve_ok = !failures = [];
+  }
+
+let curve_to_json c =
+  J.Obj
+    [
+      ("schema", J.String "fbsr-zipf-miss-curve/1");
+      ("datagrams_per_point", J.Int c.datagrams_per_point);
+      ("nshards", J.Int c.curve_nshards);
+      ("elapsed_s", J.Float c.curve_elapsed_s);
+      ( "points",
+        J.List
+          (List.map
+             (fun p ->
+               J.Obj
+                 [
+                   ("offered_flows", J.Int p.offered_flows);
+                   ("active_flows", J.Int p.active_flows);
+                   ("tfkc_accesses", J.Int p.tfkc_accesses);
+                   ("tfkc_miss_rate", J.Float p.tfkc_miss_rate);
+                   ("rfkc_accesses", J.Int p.rfkc_accesses);
+                   ("rfkc_miss_rate", J.Float p.rfkc_miss_rate);
+                   ( "flow_key_computations",
+                     J.Int p.point_flow_key_computations );
+                 ])
+             c.points) );
+      ("failures", J.List (List.map (fun m -> J.String m) c.curve_failures));
+      ("ok", J.Bool c.curve_ok);
+    ]
+
+let curve_report ?points ?datagrams ?batch ?nshards ?seed ?fst_bits ?json () =
+  let c = miss_curve ?points ?datagrams ?batch ?nshards ?seed ?fst_bits () in
+  Fmt.pr "=== active flows vs flow-key-cache miss rate (fig11-14 analogue) ===@.";
+  Fmt.pr "%d datagrams/point  %d shards  %.2f s total@." c.datagrams_per_point
+    c.curve_nshards c.curve_elapsed_s;
+  Fmt.pr "%10s %10s %12s %12s %12s@." "flows" "active" "TFKC miss" "RFKC miss"
+    "flow keys";
+  List.iter
+    (fun p ->
+      Fmt.pr "%10d %10d %11.2f%% %11.2f%% %12d@." p.offered_flows
+        p.active_flows
+        (100.0 *. p.tfkc_miss_rate)
+        (100.0 *. p.rfkc_miss_rate)
+        p.point_flow_key_computations)
+    c.points;
+  List.iter (fun m -> Fmt.pr "  FAIL: %s@." m) c.curve_failures;
+  Fmt.pr "%s@."
+    (if c.curve_ok then "miss-curve sweep: OK" else "miss-curve sweep: FAILED");
+  (match json with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (J.to_string_pretty (curve_to_json c));
+      output_string oc "\n";
+      close_out oc;
+      Fmt.pr "wrote %s@." path);
+  c

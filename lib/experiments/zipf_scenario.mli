@@ -59,3 +59,62 @@ val report :
   unit ->
   result
 (** {!run}, print the human summary, optionally write the JSON artifact. *)
+
+(** {2 Miss-rate curve}
+
+    The Section 7.3 figure 11-14 analogue re-measured at million-flow
+    scale: each sweep point runs a fresh (cold-cache) sharded pair under
+    a Zipf workload of that many offered flows and reports the active
+    flow count against the aggregate TFKC and RFKC miss rates summed
+    across shards. *)
+
+type curve_row = {
+  offered_flows : int;  (** flow population offered to the Zipf stream *)
+  active_flows : int;  (** distinct flows the stream actually touched *)
+  tfkc_accesses : int;
+  tfkc_miss_rate : float;  (** misses over accesses, all sender shards *)
+  rfkc_accesses : int;
+  rfkc_miss_rate : float;  (** misses over accesses, all receiver shards *)
+  point_flow_key_computations : int;
+}
+
+type curve = {
+  points : curve_row list;
+  datagrams_per_point : int;
+  curve_nshards : int;
+  curve_elapsed_s : float;
+  curve_failures : string list;  (** violated invariants; empty iff ok *)
+  curve_ok : bool;
+}
+
+val default_points : int list
+(** 10³ … 10⁶ in roughly half-decade steps. *)
+
+val miss_curve :
+  ?points:int list ->
+  ?datagrams:int ->
+  ?batch:int ->
+  ?nshards:int ->
+  ?seed:int ->
+  ?fst_bits:int ->
+  unit ->
+  curve
+(** [datagrams] (default 200 000) is the per-point round-trip budget.
+    Every datagram must still round-trip cleanly at every point.
+    @raise Invalid_argument on an empty [points] list. *)
+
+val curve_to_json : curve -> Fbsr_util.Json.t
+(** An [fbsr-zipf-miss-curve/1] document. *)
+
+val curve_report :
+  ?points:int list ->
+  ?datagrams:int ->
+  ?batch:int ->
+  ?nshards:int ->
+  ?seed:int ->
+  ?fst_bits:int ->
+  ?json:string ->
+  unit ->
+  curve
+(** {!miss_curve}, print the curve as a table, optionally write the
+    JSON artifact. *)

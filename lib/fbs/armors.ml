@@ -1,0 +1,14 @@
+(* The armor manifest: every built-in instance registered in one place.
+
+   Registration cannot live only in each instance's own module
+   initializer — an archive member nothing references is dropped at link
+   time, taking its [let () = register ...] side effect with it.  The
+   engine forces this module instead ([Armors.ensure] is called from
+   [Engine.create]), which transitively links and initializes every
+   listed instance.  A new leaf suite adds its module to this list and
+   touches nothing else. *)
+
+let () = List.iter Armor.register (Armor_classic.instances @ [ Armor_sha1ctr.armor ])
+
+(* Forcing this module's initialization is the call's only effect. *)
+let ensure () = ()

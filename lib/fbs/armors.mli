@@ -1,0 +1,5 @@
+(** The built-in armor manifest.  [ensure ()] forces this module (and so
+    every registration in it) to be linked and initialized — called by
+    [Engine.create] before the registry is consulted. *)
+
+val ensure : unit -> unit

@@ -39,8 +39,12 @@ let pp_error ppf = function
    lost) tells the operator *why* datagrams are being refused.
    [flow_key_recoveries] counts flow keys recomputed for a key the cache
    had seen before — i.e. successful soft-state recovery after eviction or
-   invalidation, never a hidden hard failure. *)
-type counters = {
+   invalidation, never a hidden hard failure.
+
+   The record itself lives in [Armor] (armor instances account their
+   work on it directly); re-exported here field for field so existing
+   consumers keep reading [c.Engine.sends] etc. unchanged. *)
+type counters = Armor.counters = {
   mutable sends : int;
   mutable receives : int;
   mutable accepted : int;
@@ -106,22 +110,25 @@ type inbound_flow = {
    schedules for whatever cipher/MAC the suite uses, populated lazily on
    first use.  The schedules are owned by the entry — they share its
    lifetime, so cache eviction or invalidation drops key material and
-   schedules together and there is no separate invalidation protocol. *)
-type flow_entry = {
-  fk : string;
-  mutable des_sched : Fbsr_crypto.Des.key option;
-  mutable des3_sched : Fbsr_crypto.Des3.key option;
-  mutable mac_mid : Fbsr_crypto.Mac.midstate option;
-      (* frozen per-flow MAC precomputation, any suite *)
-}
+   schedules together and there is no separate invalidation protocol.
+   The record lives in [Armor] so armor instances can stash their own
+   per-flow state alongside the shared schedules. *)
+type flow_entry = Armor.flow_state
 
-let flow_entry_of_key fk = { fk; des_sched = None; des3_sched = None; mac_mid = None }
-let flow_entry_key e = e.fk
+let flow_entry_of_key = Armor.flow_state_of_key
+let flow_entry_key (e : flow_entry) = e.Armor.fk
 
 type t = {
   keying : Keying.t;
   fam : Fam.t;
   suite : Suite.t;
+  armor : Armor.armor; (* the suite's driver, from the registry *)
+  (* Armor-call context: the counters record (shared with [counters]
+     below) plus the reusable per-engine scratch for the zero-copy
+     datapath (MAC prelude, duplicated-confounder IV).  Scratch is read
+     through [Bytes.unsafe_to_string] views consumed before the next
+     refill, so no datagram ever observes another's bytes. *)
+  actx : Armor.ctx;
   tfkc : (int64 * string * string, flow_entry) Cache.t; (* (sfl, peer, local) *)
   rfkc : (int64 * string * string, flow_entry) Cache.t;
   inbound : (int64 * string, inbound_flow) Cache.t; (* (sfl, peer) *)
@@ -130,15 +137,6 @@ type t = {
   counters : counters;
   trace : Fbsr_util.Trace.t;
   spans : Fbsr_util.Span.t;
-  (* Reusable per-engine scratch for the zero-copy datapath.  Both are
-     read through [Bytes.unsafe_to_string] views that are consumed
-     before the next refill, so no datagram ever observes another's
-     bytes.  [mac_prelude] holds suite|flags|confounder|timestamp (the
-     MAC input ahead of the payload); [iv_scratch] the duplicated
-     confounder DES IV. *)
-  mac_prelude : Bytes.t;
-  iv_scratch : Bytes.t;
-  nop_mac : string; (* the all-zero MAC of the configured suite, cached *)
   (* One-entry memo for the string-keyed [seal]/[send_sealed] path (the
      combined FST+TFKC fast path supplies raw flow keys from its own
      table): reuses the expanded schedules as long as consecutive calls
@@ -159,10 +157,40 @@ let create ?(suite = Suite.paper_md5_des) ?(tfkc_sets = 128) ?(rfkc_sets = 128)
     ?(cache_assoc = 1) ?(replay_window_minutes = 2) ?(strict_replay = false)
     ?(confounder_seed = 0x5eed) ?(trace = Fbsr_util.Trace.none)
     ?(spans = Fbsr_util.Span.none) ~keying ~fam () =
+  (* Force the built-in armor manifest before consulting the registry:
+     linking semantics drop unreferenced archive members, so the
+     instances' registrations must be reachable from here. *)
+  Armors.ensure ();
+  let counters =
+    {
+      sends = 0;
+      receives = 0;
+      accepted = 0;
+      flow_key_computations = 0;
+      flow_key_recoveries = 0;
+      macs_computed = 0;
+      encryptions = 0;
+      decryptions = 0;
+      errors_header = 0;
+      errors_stale = 0;
+      errors_duplicate = 0;
+      errors_keying = 0;
+      errors_mac = 0;
+      errors_decrypt = 0;
+      bytes_copied = 0;
+      datapath_allocs = 0;
+      keysched_hits = 0;
+      keysched_misses = 0;
+      mac_midstate_hits = 0;
+      mac_midstate_misses = 0;
+    }
+  in
   {
     keying;
     fam;
     suite;
+    armor = Armor.of_suite suite;
+    actx = Armor.make_ctx counters;
     tfkc =
       Cache.create ~assoc:cache_assoc ~sets:tfkc_sets ~hash:triple_hash
         ~equal:triple_equal ~name:"tfkc" ~trace ();
@@ -180,33 +208,8 @@ let create ?(suite = Suite.paper_md5_des) ?(tfkc_sets = 128) ?(rfkc_sets = 128)
     confounder_gen = Fbsr_util.Lcg.create confounder_seed;
     trace;
     spans;
-    mac_prelude = Bytes.create Header.mac_prelude_size;
-    iv_scratch = Bytes.create 8;
-    nop_mac = String.make suite.Suite.mac_length '\000';
     seal_memo = None;
-    counters =
-      {
-        sends = 0;
-        receives = 0;
-        accepted = 0;
-        flow_key_computations = 0;
-        flow_key_recoveries = 0;
-        macs_computed = 0;
-        encryptions = 0;
-        decryptions = 0;
-        errors_header = 0;
-        errors_stale = 0;
-        errors_duplicate = 0;
-        errors_keying = 0;
-        errors_mac = 0;
-        errors_decrypt = 0;
-        bytes_copied = 0;
-        datapath_allocs = 0;
-        keysched_hits = 0;
-        keysched_misses = 0;
-        mac_midstate_hits = 0;
-        mac_midstate_misses = 0;
-      };
+    counters;
   }
 
 let local t = Keying.local t.keying
@@ -348,117 +351,19 @@ let flow_key_via t cache ~sfl ~peer ~src ~dst (k : (flow_entry, error) result ->
               ~master:(Keying.last_resolution t.keying);
             k (Ok entry))
 
-(* The frozen MAC precomputation for a flow entry, built on first use
-   and cached for the entry's lifetime.  For the paper's keyed-MD5 MAC
-   this is the hash state after absorbing K_f; for HMAC the inner state
-   after ipad (plus opad); for DES-CBC-MAC the expanded schedule.  Every
-   subsequent MAC over this flow resumes from the frozen state, so the
-   per-datagram key absorption/expansion disappears. *)
-let mac_mid_of t entry =
-  match entry.mac_mid with
-  | Some m ->
-      t.counters.mac_midstate_hits <- t.counters.mac_midstate_hits + 1;
-      m
-  | None ->
-      t.counters.mac_midstate_misses <- t.counters.mac_midstate_misses + 1;
-      let m =
-        Fbsr_crypto.Mac.prepare ~algorithm:t.suite.Suite.mac_algorithm
-          t.suite.Suite.mac_hash ~key:entry.fk
-      in
-      entry.mac_mid <- Some m;
-      m
-
-(* MAC input: auth (suite+flags) | confounder | timestamp | payload — the
-   paper's Section 5.2 definition plus the authenticated algorithm field
-   (see [Header.auth_bytes]).  The prelude is assembled in the engine's
-   reusable scratch and the payload passed as a borrowed slice, so MAC
-   computation allocates nothing beyond the digest itself. *)
-let compute_mac_slices t ~entry ~secret ~confounder ~timestamp
-    ~(payload : Fbsr_util.Slice.t) =
-  t.counters.macs_computed <- t.counters.macs_computed + 1;
-  Header.write_mac_prelude t.mac_prelude ~suite:t.suite ~secret ~confounder ~timestamp;
-  let parts = [ Fbsr_util.Slice.of_bytes_unsafe t.mac_prelude; payload ] in
-  Fbsr_crypto.Mac.compute_midstate (mac_mid_of t entry) parts
-
-let verify_mac_slices t ~entry ~secret ~confounder ~timestamp
-    ~(payload : Fbsr_util.Slice.t) ~(expected : Fbsr_util.Slice.t) =
-  if Suite.is_nop t.suite then
-    (* The NOP MAC is all-zero on the wire; still compared in constant
-       time so the NOP measurement keeps the comparison cost. *)
-    Fbsr_crypto.Ct.equal_string_slice t.nop_mac expected
-  else begin
-    t.counters.macs_computed <- t.counters.macs_computed + 1;
-    Header.write_mac_prelude t.mac_prelude ~suite:t.suite ~secret ~confounder
-      ~timestamp;
-    let parts = [ Fbsr_util.Slice.of_bytes_unsafe t.mac_prelude; payload ] in
-    (* Constant-time comparison of the (possibly truncated) wire MAC
-       against the matching prefix of the resumed computation. *)
-    Fbsr_crypto.Mac.verify_midstate (mac_mid_of t entry) parts ~expected
-  end
-
-let des_key_of_flow_key flow_key =
-  (* DES wants 8 key bytes; the flow key is a 16-byte (MD5) or 20-byte
-     (SHA-1) digest.  Take the first 8 bytes with adjusted parity, as the
-     paper's CryptoLib-based implementation does. *)
-  Fbsr_crypto.Des.adjust_parity (String.sub flow_key 0 8)
-
-let des3_key_of_flow_key flow_key =
-  (* 3DES wants 24 key bytes; expand the flow key by hashing (standard
-     KDF-by-rehash) and force odd parity on every byte.  Assembled in an
-     exact-capacity writer: only the key bytes actually used are written
-     (byte-identical to [String.sub (flow_key ^ Md5.digest flow_key) 0 24]). *)
-  let w = Fbsr_util.Byte_writer.create ~capacity:24 () in
-  let n = min (String.length flow_key) 24 in
-  Fbsr_util.Byte_writer.substring w flow_key 0 n;
-  if n < 24 then
-    Fbsr_util.Byte_writer.substring w (Fbsr_crypto.Md5.digest flow_key) 0 (24 - n);
-  Fbsr_crypto.Des3.of_string
-    (Fbsr_crypto.Des.adjust_parity (Fbsr_util.Byte_writer.finalize w))
-
-(* Cipher schedules for a flow entry, expanded on first use and cached
-   for the entry's lifetime — the per-datagram [Des.of_string] /
-   [Des3.of_string] calls the seal/receive paths used to pay on every
-   packet now happen once per flow (plus once per eviction). *)
-let des_sched_of t entry =
-  match entry.des_sched with
-  | Some k ->
-      t.counters.keysched_hits <- t.counters.keysched_hits + 1;
-      k
-  | None ->
-      t.counters.keysched_misses <- t.counters.keysched_misses + 1;
-      let k = Fbsr_crypto.Des.of_string (des_key_of_flow_key entry.fk) in
-      entry.des_sched <- Some k;
-      k
-
-let des3_sched_of t entry =
-  match entry.des3_sched with
-  | Some k ->
-      t.counters.keysched_hits <- t.counters.keysched_hits + 1;
-      k
-  | None ->
-      t.counters.keysched_misses <- t.counters.keysched_misses + 1;
-      let k = des3_key_of_flow_key entry.fk in
-      entry.des3_sched <- Some k;
-      k
-
-(* The duplicated-confounder IV, refreshed in the engine's scratch and
-   read through an unsafe string view consumed before the next refill. *)
-let iv_of_confounder t ~confounder =
-  Header.write_confounder_iv t.iv_scratch ~confounder;
-  Bytes.unsafe_to_string t.iv_scratch
-
 (* Steps S4-S10 of Figure 4, given the flow key: confounder, timestamp,
    MAC, optional encryption, header insertion.  Exposed so the Section 7.2
    combined FST+TFKC fast path can supply (sfl, flow key) from its own
    table and skip the separate FAM and TFKC lookups.
 
    Zero-copy assembly: the wire size is known up front (fixed header +
-   suite MAC length + cipher-dependent body length), so header, MAC and
-   body are written into one exact-capacity buffer which [finalize]
-   steals — one allocation per sealed datagram.  CBC modes encrypt
-   straight into the reserved body region; the stream/ECB fallbacks
-   produce an intermediate ciphertext and are counted as a copy. *)
+   suite MAC length + armor body length), so header, MAC and body are
+   written into one exact-capacity buffer which [finalize] steals — one
+   allocation per sealed datagram.  Everything algorithm-specific — MAC
+   construction, body sizing, the body transform itself — is the armor's
+   business; the engine only assembles. *)
 let seal_entry ?confounder t ~now ~sfl ~entry ~secret ~payload =
+  let module A = (val t.armor : Armor.S) in
   let stm =
     if Fbsr_util.Span.enabled t.spans then Some (Fbsr_util.Span.start t.spans)
     else None
@@ -479,20 +384,10 @@ let seal_entry ?confounder t ~now ~sfl ~entry ~secret ~payload =
   let timestamp = Replay.minutes_of_seconds now in
   let payload_len = String.length payload in
   let mac =
-    if Suite.is_nop t.suite then t.nop_mac
-    else
-      compute_mac_slices t ~entry ~secret ~confounder ~timestamp
-        ~payload:(Fbsr_util.Slice.of_string payload)
+    A.seal_mac t.actx entry ~secret ~confounder ~timestamp
+      ~payload:(Fbsr_util.Slice.of_string payload)
   in
-  let encrypting = secret && not (Suite.is_nop t.suite) in
-  let body_len =
-    if not encrypting then payload_len
-    else
-      match t.suite.Suite.cipher with
-      | Suite.Des_cbc | Suite.Des_ecb | Suite.Des3_cbc ->
-          Fbsr_crypto.Des.padded_length payload_len
-      | Suite.Des_cfb | Suite.Des_ofb -> payload_len
-  in
+  let body_len = A.sealed_body_len ~secret payload_len in
   let w =
     Fbsr_util.Byte_writer.create
       ~capacity:(Header.fixed_size + t.suite.Suite.mac_length + body_len)
@@ -503,41 +398,7 @@ let seal_entry ?confounder t ~now ~sfl ~entry ~secret ~payload =
   (* Writing the MAC through [substring] also performs the suite's
      truncation (Section 5.3) without an intermediate string. *)
   Fbsr_util.Byte_writer.substring w mac 0 t.suite.Suite.mac_length;
-  if not encrypting then begin
-    (* The single mandatory write of the payload into the wire buffer. *)
-    Fbsr_util.Byte_writer.bytes w payload
-  end
-  else begin
-    t.counters.encryptions <- t.counters.encryptions + 1;
-    let iv = iv_of_confounder t ~confounder in
-    match t.suite.Suite.cipher with
-    | Suite.Des_cbc ->
-        let key = des_sched_of t entry in
-        let dst, dst_pos = Fbsr_util.Byte_writer.reserve w body_len in
-        ignore
-          (Fbsr_crypto.Des.encrypt_cbc_into ~iv key ~src:payload ~src_pos:0
-             ~src_len:payload_len ~dst ~dst_pos)
-    | Suite.Des3_cbc ->
-        let key = des3_sched_of t entry in
-        let dst, dst_pos = Fbsr_util.Byte_writer.reserve w body_len in
-        ignore
-          (Fbsr_crypto.Des3.encrypt_cbc_into ~iv key ~src:payload ~src_pos:0
-             ~src_len:payload_len ~dst ~dst_pos)
-    | (Suite.Des_cfb | Suite.Des_ofb | Suite.Des_ecb) as cipher ->
-        (* Stream/ECB modes still go through the string API: one
-           intermediate ciphertext, accounted as an extra allocation and
-           copy. *)
-        let key = des_sched_of t entry in
-        let ct =
-          match cipher with
-          | Suite.Des_cfb -> Fbsr_crypto.Des.encrypt_cfb ~iv key payload
-          | Suite.Des_ofb -> Fbsr_crypto.Des.encrypt_ofb ~iv key payload
-          | _ -> Fbsr_crypto.Des.encrypt_ecb ~confounder:iv key payload
-        in
-        t.counters.datapath_allocs <- t.counters.datapath_allocs + 1;
-        t.counters.bytes_copied <- t.counters.bytes_copied + String.length ct;
-        Fbsr_util.Byte_writer.bytes w ct
-  end;
+  A.seal_body t.actx entry ~secret ~confounder ~payload w;
   let wire = Fbsr_util.Byte_writer.finalize w in
   (match stm with
   | Some tm ->
@@ -564,7 +425,7 @@ let seal_entry ?confounder t ~now ~sfl ~entry ~secret ~payload =
    flow, which is the common pattern for the FST fast path. *)
 let entry_of_flow_key t flow_key =
   match t.seal_memo with
-  | Some e when String.equal e.fk flow_key -> e
+  | Some e when String.equal e.Armor.fk flow_key -> e
   | _ ->
       let e = flow_entry_of_key flow_key in
       t.seal_memo <- Some e;
@@ -692,7 +553,8 @@ let send_sealed t ~now ~sfl ~flow_key ~secret ~payload =
    The seal span timer (and the datagram's trace id) are captured here
    but finished at flush, so the span covers queue residence — the real
    seal latency under batching. *)
-let seal_entry_deferred t ~now ~sfl ~entry ~payload =
+let seal_entry_deferred t ~(ops : Armor.batch_ops) ~now ~sfl ~entry ~payload =
+  let module A = (val t.armor : Armor.S) in
   let stm =
     if Fbsr_util.Span.enabled t.spans then
       Some (Fbsr_util.Span.start t.spans, Fbsr_util.Span.current ())
@@ -705,10 +567,10 @@ let seal_entry_deferred t ~now ~sfl ~entry ~payload =
   let timestamp = Replay.minutes_of_seconds now in
   let payload_len = String.length payload in
   let mac =
-    compute_mac_slices t ~entry ~secret:true ~confounder ~timestamp
+    A.seal_mac t.actx entry ~secret:true ~confounder ~timestamp
       ~payload:(Fbsr_util.Slice.of_string payload)
   in
-  let body_len = Fbsr_crypto.Des.padded_length payload_len in
+  let body_len = A.sealed_body_len ~secret:true payload_len in
   let w =
     Fbsr_util.Byte_writer.create
       ~capacity:(Header.fixed_size + t.suite.Suite.mac_length + body_len)
@@ -717,16 +579,9 @@ let seal_entry_deferred t ~now ~sfl ~entry ~payload =
   t.counters.datapath_allocs <- t.counters.datapath_allocs + 1;
   Header.encode_fields_into w ~sfl ~suite:t.suite ~secret:true ~confounder ~timestamp;
   Fbsr_util.Byte_writer.substring w mac 0 t.suite.Suite.mac_length;
-  t.counters.encryptions <- t.counters.encryptions + 1;
-  let key = des_sched_of t entry in
-  let iv = iv_of_confounder t ~confounder in
-  let dst, dst_pos = Fbsr_util.Byte_writer.reserve w body_len in
-  (* The job snapshots [iv] (engine scratch, rewritten by the next seal)
-     and borrows [payload]/[dst] until it runs. *)
-  let job =
-    Fbsr_crypto.Des_bitslice.cbc_job ~key ~iv ~src:payload ~src_pos:0
-      ~src_len:payload_len ~dst ~dst_pos
-  in
+  (* The armor reserves the body region and returns the pending job that
+     will fill it (accounting the encryption as the inline path would). *)
+  let job = ops.Armor.defer t.actx entry ~confounder ~payload w in
   let wire = Fbsr_util.Byte_writer.finalize w in
   let detail =
     [
@@ -754,7 +609,7 @@ let seal_entry_deferred t ~now ~sfl ~entry ~payload =
    seal and deliver immediately with [send] semantics. *)
 module Batch = struct
   type pending = {
-    job : Fbsr_crypto.Des_bitslice.cbc_job;
+    job : Armor.job;
     wire : string; (* aliases the job's destination; complete after flush *)
     deliver : (string, error) result -> unit;
     enqueued_at : float;
@@ -794,8 +649,10 @@ module Batch = struct
         ps.(i) <- Queue.pop b.queue
       done;
       let counts =
-        Fbsr_crypto.Des_bitslice.encrypt_cbc_jobs ~threshold:b.threshold
-          (Array.map (fun p -> p.job) ps)
+        let module A = (val t.armor : Armor.S) in
+        match A.batch with
+        | Some ops -> ops.Armor.run ~threshold:b.threshold (Array.map (fun p -> p.job) ps)
+        | None -> assert false (* jobs only enqueue through the armor's ops *)
       in
       Array.iter
         (fun p ->
@@ -864,16 +721,15 @@ let send_batched (b : Batch.batch) ~now ~attrs ~secret ~payload
         k (Error e)
     | Ok entry ->
         let deferrable =
-          secret
-          && (not (Suite.is_nop t.suite))
-          && t.suite.Suite.cipher = Suite.Des_cbc
+          let module A = (val t.armor : Armor.S) in
+          if secret then A.batch else None
         in
         let run () =
-          if not deferrable then
-            k (Ok (seal_entry t ~now ~sfl ~entry ~secret ~payload))
-          else begin
+          match deferrable with
+          | None -> k (Ok (seal_entry t ~now ~sfl ~entry ~secret ~payload))
+          | Some ops ->
             let wire, job, seal_tm, seal_detail =
-              seal_entry_deferred t ~now ~sfl ~entry ~payload
+              seal_entry_deferred t ~ops ~now ~sfl ~entry ~payload
             in
             Queue.add
               {
@@ -887,7 +743,6 @@ let send_batched (b : Batch.batch) ~now ~attrs ~secret ~payload
               b.Batch.queue;
             if Queue.length b.Batch.queue >= b.Batch.capacity then
               ignore (Batch.flush b)
-          end
         in
         (match tm with
         | Some (_, id) -> Fbsr_util.Span.with_current id run
@@ -900,39 +755,13 @@ type accepted = {
 }
 
 (* Decrypt a body slice into a fresh exact-size plaintext string (the one
-   allocation a received secret datagram needs).  CBC modes decrypt the
-   sub-range in place; stream/ECB fallbacks copy the body out first. *)
+   allocation a received secret datagram needs) — the armor's
+   [open_body], with its unit error mapped to the engine's. *)
 let decrypt_body_slice t ~entry ~confounder ~(body : Fbsr_util.Slice.t) =
-  t.counters.decryptions <- t.counters.decryptions + 1;
-  let iv = iv_of_confounder t ~confounder in
-  match
-    match t.suite.Suite.cipher with
-    | Suite.Des_cbc ->
-        let key = des_sched_of t entry in
-        (* CBC decryption has no cross-block dependency, so one large
-           ciphertext slices across bitslice lanes; short bodies stay on
-           the scalar kernel (the dispatch threshold lives in
-           [Des_bitslice]).  Byte- and error-identical to
-           [Des.decrypt_cbc_sub]. *)
-        Fbsr_crypto.Des_bitslice.decrypt_cbc_sub ~iv key
-          ~src:body.Fbsr_util.Slice.base ~pos:body.Fbsr_util.Slice.off
-          ~len:body.Fbsr_util.Slice.len
-    | Suite.Des3_cbc ->
-        Fbsr_crypto.Des3.decrypt_cbc_sub ~iv (des3_sched_of t entry)
-          ~src:body.Fbsr_util.Slice.base ~pos:body.Fbsr_util.Slice.off
-          ~len:body.Fbsr_util.Slice.len
-    | (Suite.Des_cfb | Suite.Des_ofb | Suite.Des_ecb) as cipher ->
-        let key = des_sched_of t entry in
-        let ct = Fbsr_util.Slice.to_string body in
-        t.counters.datapath_allocs <- t.counters.datapath_allocs + 1;
-        t.counters.bytes_copied <- t.counters.bytes_copied + String.length ct;
-        (match cipher with
-        | Suite.Des_cfb -> Fbsr_crypto.Des.decrypt_cfb ~iv key ct
-        | Suite.Des_ofb -> Fbsr_crypto.Des.decrypt_ofb ~iv key ct
-        | _ -> Fbsr_crypto.Des.decrypt_ecb ~confounder:iv key ct)
-  with
-  | plaintext -> Ok plaintext
-  | exception Invalid_argument _ -> Error Decrypt_error
+  let module A = (val t.armor : Armor.S) in
+  match A.open_body t.actx entry ~confounder ~body with
+  | Ok plaintext -> Ok plaintext
+  | Error () -> Error Decrypt_error
 
 (* Terminal span of the receive pipeline: exactly one per received
    datagram, carrying the verdict — "delivered" or "drop:<cause>", the
@@ -1038,9 +867,10 @@ let receive_slice t ~now ~src ~(wire : Fbsr_util.Slice.t)
                   (* [plaintext] borrows either the wire buffer
                      (non-secret / NOP) or the decrypted string;
                      [materialize] copies it out only on acceptance. *)
+                  let module A = (val t.armor : Armor.S) in
                   let finish (plaintext : Fbsr_util.Slice.t) materialize =
                     if
-                      verify_mac_slices t ~entry ~secret:v.Header.v_secret
+                      A.verify_mac t.actx entry ~secret:v.Header.v_secret
                         ~confounder:v.Header.v_confounder
                         ~timestamp:v.Header.v_timestamp ~payload:plaintext
                         ~expected:v.Header.v_mac
@@ -1073,7 +903,7 @@ let receive_slice t ~now ~src ~(wire : Fbsr_util.Slice.t)
                     end
                   in
                   let body = v.Header.v_body in
-                  if v.Header.v_secret && not (Suite.is_nop t.suite) then
+                  if v.Header.v_secret && A.encrypts then
                     match
                       decrypt_body_slice t ~entry
                         ~confounder:v.Header.v_confounder ~body
@@ -1116,11 +946,11 @@ let receive_sync t ~now ~src ~wire =
 
 let header_overhead t = Header.size_for_suite t.suite
 
-(* Worst-case body growth when [secret]: CBC/ECB padding always adds 1-8
-   bytes; stream modes add none. *)
+(* Worst-case body growth when [secret]: the armor knows its padding. *)
 let max_body_growth t =
-  match t.suite.Suite.cipher with
-  | Suite.Des_cbc | Suite.Des_ecb | Suite.Des3_cbc -> 8
-  | Suite.Des_cfb | Suite.Des_ofb -> 0
+  let module A = (val t.armor : Armor.S) in
+  A.max_body_growth
 
 let wire_overhead t = header_overhead t + max_body_growth t
+
+let armor t = t.armor

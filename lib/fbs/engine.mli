@@ -17,7 +17,7 @@ type error =
 
 val pp_error : Format.formatter -> error -> unit
 
-type counters = {
+type counters = Armor.counters = {
   mutable sends : int;
   mutable receives : int;
   mutable accepted : int;
@@ -100,6 +100,11 @@ val create :
 
 val local : t -> Principal.t
 val suite : t -> Suite.t
+
+val armor : t -> Armor.armor
+(** The suite's registered driver — everything algorithm-specific the
+    engine delegates to ({!Armor.S}). *)
+
 val fam : t -> Fam.t
 val keying : t -> Keying.t
 type flow_entry

@@ -4,7 +4,7 @@
    the MAC construction and its hash, and the cipher mode for optional
    confidentiality. *)
 
-type cipher = Des_cbc | Des_cfb | Des_ofb | Des_ecb | Des3_cbc
+type cipher = Des_cbc | Des_cfb | Des_ofb | Des_ecb | Des3_cbc | Sha1_ctr
 
 type t = {
   id : int; (* wire identifier *)
@@ -67,6 +67,21 @@ let md5_des3 =
     cipher = Des3_cbc;
   }
 
+(* The first post-refactor leaf suite, proving the armor seam: HMAC-SHA1
+   authentication (full 160-bit tag) over a non-DES cipher — a SHA-1
+   counter-mode keystream ({!Fbsr_crypto.Keystream}) with a 4-byte
+   authenticate-only payload prefix (the SST FlowArmor "encofs" idea:
+   leading transport words stay readable in flight but are still MACed). *)
+let hmac_sha1_ctr =
+  {
+    id = 5;
+    kdf_hash = Fbsr_crypto.Hash.sha1;
+    mac_algorithm = Fbsr_crypto.Mac.Hmac;
+    mac_hash = Fbsr_crypto.Hash.sha1;
+    mac_length = 20;
+    cipher = Sha1_ctr;
+  }
+
 (* "Nullified" crypto for the FBS NOP measurement in Figure 8: header
    processing and flow management run, MAC and encryption are identity
    operations. *)
@@ -82,7 +97,8 @@ let nop =
 
 let is_nop t = t.id = 255
 
-let all = [ paper_md5_des; hmac_md5_des; sha1_des; des_mac_des; md5_des3; nop ]
+let all =
+  [ paper_md5_des; hmac_md5_des; sha1_des; des_mac_des; md5_des3; hmac_sha1_ctr; nop ]
 
 let of_id id = List.find_opt (fun s -> s.id = id) all
 
@@ -93,6 +109,7 @@ let name t =
   | 2 -> "sha1/des-cbc"
   | 3 -> "des-mac/des-cbc (footnote 12)"
   | 4 -> "md5/3des-cbc"
+  | 5 -> "hmac-sha1/sha1-ctr"
   | 255 -> "nop"
   | n -> Printf.sprintf "suite-%d" n
 

@@ -1,10 +1,14 @@
-(* A miniature TCP: 3-way handshake, cumulative ACKs, go-back-N
-   retransmission, FIN teardown.  Enough machinery to run ttcp-style bulk
-   transfers (Figure 8) over the simulated network and to exercise the
-   paper's tcp_output MSS fix: tcp_output computes exactly how much data
-   fits in a packet without fragmentation and sets DF, which breaks when
-   FBS grows the datagram — so, like the paper, the MSS calculation reads
-   the security-header allowance published by the host's security layer. *)
+(* A miniature TCP: 3-way handshake, cumulative ACKs, a Reno-style
+   congestion-controlled sliding window (slow start, AIMD, fast
+   retransmit on three duplicate ACKs, NewReno partial-ack recovery),
+   adaptive RTO with exponential backoff, out-of-order reassembly, FIN
+   teardown.  Enough machinery to run ttcp-style bulk transfers
+   (Figure 8) over the simulated network and to exercise the paper's
+   tcp_output MSS fix: tcp_output computes exactly how much data fits in
+   a packet without fragmentation and sets DF, which breaks when FBS
+   grows the datagram — so, like the paper, the MSS calculation reads
+   the security-header allowance published by the host's security
+   layer. *)
 
 (* The FBS IP mapping stores its header size under this extension tag so
    that MSS computation can subtract it (the paper's tcp_output change). *)
@@ -34,8 +38,7 @@ type conn = {
   local_port : int;
   peer : Addr.t;
   peer_port : int;
-  mss : int;
-  window : int; (* max bytes in flight *)
+  window : int; (* our advertised receive window *)
   (* Adaptive retransmission timeout (RFC 6298 style): smoothed RTT and
      variance estimated from ack timing, Karn's rule (no samples across
      retransmissions), exponential backoff on timeout. *)
@@ -43,6 +46,17 @@ type conn = {
   mutable srtt : float option;
   mutable rttvar : float;
   mutable rtt_probe : (int32 * float) option; (* ack that will sample, send time *)
+  (* Congestion control (RFC 5681/6582): slow start below [ssthresh],
+     additive increase above it, fast retransmit after three duplicate
+     ACKs with NewReno hole-filling until [recover], multiplicative
+     decrease on loss.  Flight is capped by min(cwnd, peer window,
+     [window]). *)
+  mutable cwnd : int;
+  mutable ssthresh : int;
+  mutable snd_wnd : int; (* peer's advertised window *)
+  mutable dup_acks : int;
+  mutable in_recovery : bool;
+  mutable recover : int32; (* snd_nxt when fast retransmit fired *)
   mutable state : state;
   mutable snd_una : int32;
   mutable snd_nxt : int32;
@@ -50,12 +64,15 @@ type conn = {
   mutable fin_pending : bool;
   mutable fin_seq : int32 option; (* sequence number our FIN occupies *)
   mutable rcv_nxt : int32;
+  ooo : (int32, string) Hashtbl.t; (* ahead-of-sequence segments, by seq *)
   mutable on_receive : string -> unit;
   mutable on_established : unit -> unit;
   mutable on_close : unit -> unit;
   mutable timer_gen : int;
   mutable timer_armed : bool;
   mutable retransmits : int;
+  mutable fast_retransmits : int;
+  mutable timeouts : int;
   mutable segments_out : int;
   mutable bytes_delivered : int;
 }
@@ -81,19 +98,36 @@ let conn_key c = (c.local_port, Addr.to_int c.peer, c.peer_port)
 let default_mss host =
   Host.mtu host - Ipv4.header_size - Tcp_seg.header_size - mss_reduction host
 
+(* Like the paper's tcp_output, the segment-size computation reads the
+   published security-header allowance every time it sizes a segment, so
+   a reduction published after connection setup is honored immediately —
+   including for connections established before the security layer came
+   up. *)
+let conn_mss c = default_mss c.host
+
+(* Cap on buffered ahead-of-sequence segments; beyond it the receiver
+   drops and relies on retransmission. *)
+let max_ooo = 256
+
 let make_conn host ~local_port ~peer ~peer_port ~iss ~state ?(window = 65535) ?(rto = 0.2)
     () =
+  let mss = default_mss host in
   {
     host;
     local_port;
     peer;
     peer_port;
-    mss = default_mss host;
     window;
     rto;
     srtt = None;
     rttvar = 0.0;
     rtt_probe = None;
+    cwnd = 2 * mss;
+    ssthresh = 65535;
+    snd_wnd = 65535;
+    dup_acks = 0;
+    in_recovery = false;
+    recover = iss;
     state;
     snd_una = iss;
     snd_nxt = iss;
@@ -101,12 +135,15 @@ let make_conn host ~local_port ~peer ~peer_port ~iss ~state ?(window = 65535) ?(
     fin_pending = false;
     fin_seq = None;
     rcv_nxt = 0l;
+    ooo = Hashtbl.create 16;
     on_receive = (fun _ -> ());
     on_established = (fun () -> ());
     on_close = (fun () -> ());
     timer_gen = 0;
     timer_armed = false;
     retransmits = 0;
+    fast_retransmits = 0;
+    timeouts = 0;
     segments_out = 0;
     bytes_delivered = 0;
   }
@@ -143,10 +180,18 @@ and on_timer c gen =
     let outstanding = Tcp_seg.seq_diff c.snd_nxt c.snd_una in
     if outstanding > 0 || c.state = Syn_sent || c.state = Syn_received then begin
       c.retransmits <- c.retransmits + 1;
+      c.timeouts <- c.timeouts + 1;
+      (* Timeout is the strong congestion signal: halve the flight into
+         ssthresh, restart from one segment, abandon any fast-recovery
+         episode. *)
+      c.ssthresh <- max (outstanding / 2) (2 * (conn_mss c));
+      c.cwnd <- (conn_mss c);
+      c.dup_acks <- 0;
+      c.in_recovery <- false;
       (* Exponential backoff; discard any in-flight RTT sample (Karn). *)
       c.rto <- Float.min 60.0 (c.rto *. 2.0);
       c.rtt_probe <- None;
-      retransmit c;
+      retransmit_one c;
       arm_timer c
     end
   end
@@ -156,44 +201,43 @@ and cancel_timer c =
   c.timer_gen <- c.timer_gen + 1;
   c.timer_armed <- false
 
-(* Go-back-N: resend everything from snd_una. *)
-and retransmit c =
+(* Resend only the first unacknowledged segment — the cumulative ACK (or
+   the receiver's reassembly buffer) tells us nothing beyond the first
+   hole, and resending the whole window is go-back-N waste. *)
+and retransmit_one c =
   match c.state with
   | Syn_sent -> emit c ~seq:c.snd_una ~flags:{ Tcp_seg.no_flags with syn = true } ""
   | Syn_received ->
       emit c ~seq:c.snd_una ~flags:{ Tcp_seg.no_flags with syn = true; ack = true } ""
-  | Established | Fin_wait | Close_wait | Last_ack ->
-      let outstanding = Tcp_seg.seq_diff c.snd_nxt c.snd_una in
-      let data_out =
-        match c.fin_seq with
-        | Some fs when Tcp_seg.seq_cmp c.snd_nxt fs > 0 -> outstanding - 1
-        | _ -> outstanding
-      in
-      let off = ref 0 in
-      while !off < data_out do
-        let len = min c.mss (data_out - !off) in
-        let payload = Fbsr_util.Byte_queue.read c.sendq ~off:!off ~len in
-        emit c
-          ~seq:(Tcp_seg.seq_add c.snd_una !off)
-          ~flags:{ ack_flags with psh = !off + len >= data_out }
-          payload;
-        off := !off + len
-      done;
-      (match c.fin_seq with
-      | Some fs when Tcp_seg.seq_cmp c.snd_nxt fs > 0 ->
+  | Established | Fin_wait | Close_wait | Last_ack -> (
+      match c.fin_seq with
+      | Some fs when Tcp_seg.seq_cmp c.snd_una fs >= 0 ->
+          (* All data acked; the unacked octet is our FIN. *)
           emit c ~seq:fs ~flags:{ ack_flags with fin = true } ""
-      | _ -> ())
+      | _ ->
+          let outstanding = Tcp_seg.seq_diff c.snd_nxt c.snd_una in
+          let data_out =
+            match c.fin_seq with
+            | Some fs when Tcp_seg.seq_cmp c.snd_nxt fs > 0 -> outstanding - 1
+            | _ -> outstanding
+          in
+          let len = min (conn_mss c) data_out in
+          if len > 0 then
+            emit c ~seq:c.snd_una
+              ~flags:{ ack_flags with psh = len = data_out }
+              (Fbsr_util.Byte_queue.read c.sendq ~off:0 ~len))
   | Closed -> ()
 
 and try_output c =
   match c.state with
   | Established | Close_wait ->
+      let effective_window = min c.window (min c.cwnd (max (conn_mss c) c.snd_wnd)) in
       let in_flight = Tcp_seg.seq_diff c.snd_nxt c.snd_una in
       let unsent = Fbsr_util.Byte_queue.length c.sendq - in_flight in
-      let budget = ref (min unsent (c.window - in_flight)) in
+      let budget = ref (min unsent (effective_window - in_flight)) in
       while !budget > 0 do
         let in_flight = Tcp_seg.seq_diff c.snd_nxt c.snd_una in
-        let len = min c.mss !budget in
+        let len = min (conn_mss c) !budget in
         let payload = Fbsr_util.Byte_queue.read c.sendq ~off:in_flight ~len in
         emit c ~seq:c.snd_nxt ~flags:{ ack_flags with psh = len = !budget } payload;
         c.snd_nxt <- Tcp_seg.seq_add c.snd_nxt len;
@@ -220,8 +264,9 @@ let destroy c =
   c.state <- Closed;
   Hashtbl.remove (get c.host).conns (conn_key c)
 
-let handle_ack c (h : Tcp_seg.header) =
+let handle_ack c (h : Tcp_seg.header) ~payload_len =
   if h.flags.ack then begin
+    c.snd_wnd <- h.window;
     let ack = h.ack_seq in
     if Tcp_seg.seq_cmp ack c.snd_una > 0 && Tcp_seg.seq_cmp ack c.snd_nxt <= 0 then begin
       let advanced = Tcp_seg.seq_diff ack c.snd_una in
@@ -233,6 +278,29 @@ let handle_ack c (h : Tcp_seg.header) =
       in
       if data_bytes > 0 then Fbsr_util.Byte_queue.drop c.sendq data_bytes;
       c.snd_una <- ack;
+      c.dup_acks <- 0;
+      (* Congestion window update. *)
+      if c.in_recovery then begin
+        if Tcp_seg.seq_cmp ack c.recover >= 0 then begin
+          (* Full ack: the whole flight at loss detection is repaired. *)
+          c.in_recovery <- false;
+          c.cwnd <- c.ssthresh
+        end
+        else begin
+          (* Partial ack: the next hole is also lost — retransmit it now
+             (NewReno) and deflate the inflation by what was acked. *)
+          c.retransmits <- c.retransmits + 1;
+          c.rtt_probe <- None;
+          retransmit_one c;
+          c.cwnd <- max (conn_mss c) (c.cwnd - advanced + (conn_mss c))
+        end
+      end
+      else if c.cwnd < c.ssthresh then
+        (* Slow start: one MSS per ACK (bounded by bytes acked). *)
+        c.cwnd <- c.cwnd + min advanced (conn_mss c)
+      else
+        (* Congestion avoidance: ~one MSS per RTT. *)
+        c.cwnd <- c.cwnd + max 1 ((conn_mss c) * (conn_mss c) / c.cwnd);
       (* RTT sample: the probe's ack (or any later one) arrived without an
          intervening retransmission. *)
       (match c.rtt_probe with
@@ -263,17 +331,81 @@ let handle_ack c (h : Tcp_seg.header) =
       | _ -> ());
       try_output c
     end
+    else if
+      Tcp_seg.seq_cmp ack c.snd_una = 0
+      && payload_len = 0
+      && (not h.flags.syn) && (not h.flags.fin)
+      && Tcp_seg.seq_diff c.snd_nxt c.snd_una > 0
+    then begin
+      (* Duplicate ACK: the receiver got something ahead of sequence. *)
+      c.dup_acks <- c.dup_acks + 1;
+      if c.dup_acks = 3 && not c.in_recovery then begin
+        (* Fast retransmit: resend the first unacked segment without
+           waiting for the RTO, then inflate by the three segments known
+           to have left the network. *)
+        let flight = Tcp_seg.seq_diff c.snd_nxt c.snd_una in
+        c.ssthresh <- max (flight / 2) (2 * (conn_mss c));
+        c.cwnd <- c.ssthresh + (3 * (conn_mss c));
+        c.in_recovery <- true;
+        c.recover <- c.snd_nxt;
+        c.fast_retransmits <- c.fast_retransmits + 1;
+        c.retransmits <- c.retransmits + 1;
+        c.rtt_probe <- None;
+        retransmit_one c;
+        cancel_timer c;
+        arm_timer c
+      end
+      else if c.in_recovery then begin
+        (* Each further dup ACK means another segment left the network. *)
+        c.cwnd <- c.cwnd + (conn_mss c);
+        try_output c
+      end
+    end
   end
+
+(* Deliver any buffered ahead-of-sequence segments that now overlap
+   [rcv_nxt] (partial overlaps deliver only the fresh tail). *)
+let rec drain_ooo c =
+  let next = ref None in
+  Hashtbl.iter
+    (fun seq payload ->
+      if !next = None && Tcp_seg.seq_cmp seq c.rcv_nxt <= 0 then
+        next := Some (seq, payload))
+    c.ooo;
+  match !next with
+  | None -> ()
+  | Some (seq, payload) ->
+      Hashtbl.remove c.ooo seq;
+      let len = String.length payload in
+      let past = Tcp_seg.seq_diff c.rcv_nxt seq in
+      if past < len then begin
+        let fresh = String.sub payload past (len - past) in
+        c.rcv_nxt <- Tcp_seg.seq_add c.rcv_nxt (len - past);
+        c.bytes_delivered <- c.bytes_delivered + (len - past);
+        c.on_receive fresh
+      end;
+      drain_ooo c
 
 let deliver_data c (h : Tcp_seg.header) payload =
   let len = String.length payload in
   if len > 0 then begin
-    if Tcp_seg.seq_cmp h.seq c.rcv_nxt = 0 then begin
-      c.rcv_nxt <- Tcp_seg.seq_add c.rcv_nxt len;
-      c.bytes_delivered <- c.bytes_delivered + len;
-      c.on_receive payload
-    end;
-    (* In-order or not, (re)ACK to trigger go-back-N at the sender. *)
+    if Tcp_seg.seq_cmp h.seq c.rcv_nxt <= 0 then begin
+      (* In order, possibly overlapping already-delivered bytes (a
+         retransmission crossing its ACK): deliver only the fresh tail. *)
+      let past = Tcp_seg.seq_diff c.rcv_nxt h.seq in
+      if past < len then begin
+        let fresh = if past = 0 then payload else String.sub payload past (len - past) in
+        c.rcv_nxt <- Tcp_seg.seq_add h.seq len;
+        c.bytes_delivered <- c.bytes_delivered + (len - past);
+        c.on_receive fresh;
+        drain_ooo c
+      end
+    end
+    else if Hashtbl.length c.ooo < max_ooo then
+      Hashtbl.replace c.ooo h.seq payload;
+    (* ACK unconditionally: in-order data advances the cumulative ack,
+       anything else produces the duplicate ACKs that drive the sender's
+       fast retransmit. *)
     emit c ~seq:c.snd_nxt ~flags:ack_flags ""
   end
 
@@ -318,6 +450,7 @@ let handle host (ih : Ipv4.header) payload =
               then begin
                 c.rcv_nxt <- Tcp_seg.seq_add h.seq 1;
                 c.snd_una <- h.ack_seq;
+                c.snd_wnd <- h.window;
                 c.state <- Established;
                 cancel_timer c;
                 emit c ~seq:c.snd_nxt ~flags:ack_flags "";
@@ -328,6 +461,7 @@ let handle host (ih : Ipv4.header) payload =
               if h.flags.ack && Tcp_seg.seq_cmp h.ack_seq c.snd_nxt = 0 then begin
                 c.state <- Established;
                 c.snd_una <- h.ack_seq;
+                c.snd_wnd <- h.window;
                 cancel_timer c;
                 c.on_established ();
                 (* The ACK may carry data. *)
@@ -336,7 +470,7 @@ let handle host (ih : Ipv4.header) payload =
                 try_output c
               end
           | Established | Fin_wait | Close_wait | Last_ack ->
-              handle_ack c h;
+              handle_ack c h ~payload_len:(String.length data);
               if c.state <> Closed then begin
                 deliver_data c h data;
                 handle_fin c h (String.length data)
@@ -352,6 +486,7 @@ let handle host (ih : Ipv4.header) payload =
                   ~iss ~state:Syn_received ()
               in
               c.rcv_nxt <- Tcp_seg.seq_add h.seq 1;
+              c.snd_wnd <- h.window;
               Hashtbl.replace s.conns (conn_key c) c;
               (* Let the application set callbacks before any data flows. *)
               accept_cb c;
@@ -408,9 +543,14 @@ let on_established c f = c.on_established <- f
 let on_close c f = c.on_close <- f
 
 let state c = c.state
-let mss c = c.mss
+let mss c = conn_mss c
 let bytes_delivered c = c.bytes_delivered
 let retransmits c = c.retransmits
+let fast_retransmits c = c.fast_retransmits
+let timeouts c = c.timeouts
+let cwnd c = c.cwnd
+let ssthresh c = c.ssthresh
+let rto c = c.rto
 let segments_out c = c.segments_out
 let local_port c = c.local_port
 let peer c = (c.peer, c.peer_port)

@@ -1,4 +1,7 @@
-(** Miniature TCP: handshake, cumulative ACK, go-back-N, FIN teardown.
+(** Miniature TCP: handshake, cumulative ACK, a Reno-style
+    congestion-controlled sliding window (slow start, AIMD, fast
+    retransmit on three duplicate ACKs), adaptive RTO, out-of-order
+    reassembly, FIN teardown.
 
     Exists to run ttcp-style bulk transfers (Figure 8) and to exercise the
     paper's tcp_output MSS fix: the MSS calculation subtracts the security
@@ -28,9 +31,34 @@ val on_established : conn -> (unit -> unit) -> unit
 val on_close : conn -> (unit -> unit) -> unit
 
 val state : conn -> state
+
 val mss : conn -> int
+(** Current sender MSS.  Recomputed from the host's published
+    security-header allowance on every read — like the paper's
+    tcp_output, segment sizing honors a {!set_mss_reduction} published
+    after the connection was established. *)
+
 val bytes_delivered : conn -> int
+
 val retransmits : conn -> int
+(** Total retransmitted segments (timeout, fast retransmit, and
+    recovery hole-filling). *)
+
+val fast_retransmits : conn -> int
+(** Fast-retransmit episodes entered on the third duplicate ACK. *)
+
+val timeouts : conn -> int
+(** Retransmission-timer expirations. *)
+
+val cwnd : conn -> int
+(** Current congestion window, bytes. *)
+
+val ssthresh : conn -> int
+(** Current slow-start threshold, bytes. *)
+
+val rto : conn -> float
+(** Current retransmission timeout, seconds. *)
+
 val segments_out : conn -> int
 val local_port : conn -> int
 val peer : conn -> Addr.t * int

@@ -39,6 +39,58 @@ let test_suite_registry () =
   check Alcotest.bool "nop flag" true (Suite.is_nop Suite.nop);
   check Alcotest.bool "paper suite not nop" false (Suite.is_nop Suite.paper_md5_des)
 
+(* Every suite has a registered armor; the registry round-trips by id,
+   ids are unique, and each armor's wire-size claims are consistent with
+   the header layout. *)
+let test_armor_registry () =
+  Armors.ensure ();
+  let armors = Armor.all () in
+  check Alcotest.int "one armor per suite" (List.length Suite.all)
+    (List.length armors);
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun a ->
+      let module A = (val a : Armor.S) in
+      let id = A.suite.Suite.id in
+      if Hashtbl.mem seen id then Alcotest.fail "duplicate armor suite id";
+      Hashtbl.replace seen id ();
+      (match Armor.of_id id with
+      | None -> Alcotest.fail "registered armor not found by id"
+      | Some a' ->
+          let module A' = (val a' : Armor.S) in
+          check Alcotest.int "of_id roundtrip" id A'.suite.Suite.id);
+      (match Suite.of_id id with
+      | None -> Alcotest.fail "armor registered for unknown suite"
+      | Some s ->
+          check Alcotest.int "suite mac_length agrees" s.Suite.mac_length
+            A.suite.Suite.mac_length;
+          check Alcotest.int "header size = fixed + mac"
+            (Header.fixed_size + s.Suite.mac_length)
+            (Header.size_for_suite A.suite));
+      check Alcotest.bool "auth prefix sane" true
+        (A.auth_prefix_len >= 0 && A.auth_prefix_len <= 64);
+      check Alcotest.bool "nop armors do not batch" true
+        ((not (Suite.is_nop A.suite)) || A.batch = None))
+    armors;
+  List.iter
+    (fun s ->
+      let module A = (val Armor.of_suite s : Armor.S) in
+      check Alcotest.int "of_suite matches" s.Suite.id A.suite.Suite.id)
+    Suite.all
+
+(* Body sizing laws: plaintext bodies are length-preserving; sealed
+   secret bodies never shrink and never outgrow [max_body_growth]. *)
+let prop_armor_body_len =
+  QCheck.Test.make ~count:200 ~name:"armor sealed_body_len bounds"
+    QCheck.(pair (int_range 0 9000) (int_range 0 6))
+    (fun (len, i) ->
+      Armors.ensure ();
+      let armors = Array.of_list (Armor.all ()) in
+      let module A = (val armors.(i mod Array.length armors) : Armor.S) in
+      let plain = A.sealed_body_len ~secret:false len in
+      let sealed = A.sealed_body_len ~secret:true len in
+      plain = len && sealed >= len && sealed <= len + A.max_body_growth)
+
 (* --- Header --- *)
 
 let gen_header =
@@ -1738,6 +1790,11 @@ let () =
           Alcotest.test_case "randomized start" `Quick test_sfl_randomized_start;
         ] );
       ("suite", [ Alcotest.test_case "registry" `Quick test_suite_registry ]);
+      ( "armor",
+        [
+          Alcotest.test_case "registry" `Quick test_armor_registry;
+          qtest prop_armor_body_len;
+        ] );
       ( "header",
         [
           Alcotest.test_case "unknown suite" `Quick test_header_unknown_suite;

@@ -205,6 +205,63 @@ let test_stack_tcp_with_mss_fix () =
   check Alcotest.string "bulk data intact" payload (Buffer.contents received);
   check Alcotest.int "no send errors" 0 (Host.stats a.Testbed.host).Host.send_errors
 
+(* The tcp_output fix must hold for connections established before the
+   armor published its header size, not just after: re-install the
+   stacks around a live connection and check both connections size
+   segments under the armor's wire overhead. *)
+let test_stack_mss_honored_before_and_after_publication () =
+  let tb, a, b = make_pair () in
+  (* Tear FBS down so a connection can be established with no published
+     allowance. *)
+  Stack.uninstall a.Testbed.stack;
+  Stack.uninstall b.Testbed.stack;
+  let received = Buffer.create 1000 in
+  Minitcp.listen b.Testbed.host ~port:80 (fun conn ->
+      Minitcp.on_receive conn (fun d -> Buffer.add_string received d);
+      Minitcp.on_close conn (fun () -> Minitcp.close conn));
+  let c_before =
+    Minitcp.connect a.Testbed.host ~dst:(Host.addr b.Testbed.host) ~dst_port:80
+  in
+  Testbed.run tb (* complete the plain-IP handshake *);
+  check Alcotest.int "full mss while FBS is down" (1500 - 20 - 20)
+    (Minitcp.mss c_before);
+  (* The security layer comes up underneath the live connection: each
+     armor publishes its overhead at install time. *)
+  let reinstall (n : Testbed.node) =
+    let config =
+      Stack.default_config ~bypass:(fun ad -> Addr.equal ad (Testbed.ca_addr tb)) ()
+    in
+    Stack.install ~config ~private_value:n.Testbed.private_value
+      ~group:(Testbed.group tb)
+      ~ca_public:(Fbsr_cert.Authority.public (Testbed.authority tb))
+      ~ca_hash:(Fbsr_cert.Authority.hash (Testbed.authority tb))
+      ~resolver:(Mkd.resolver n.Testbed.mkd) n.Testbed.host
+  in
+  let stack_a = reinstall a in
+  let _stack_b = reinstall b in
+  let expected_mss =
+    1500 - Ipv4.header_size - Tcp_seg.header_size
+    - Fbsr_fbs.Engine.wire_overhead (Stack.engine stack_a)
+  in
+  check Alcotest.int "pre-publication connection honors the reduction"
+    expected_mss (Minitcp.mss c_before);
+  let c_after =
+    Minitcp.connect a.Testbed.host ~dst:(Host.addr b.Testbed.host) ~dst_port:80
+  in
+  check Alcotest.int "post-publication connection agrees" expected_mss
+    (Minitcp.mss c_after);
+  (* The old connection's segments are now sized under the FBS growth:
+     bulk data flows through the armored path without DF drops. *)
+  let payload = String.init 40_000 (fun i -> Char.chr ((i * 11) land 0xff)) in
+  Minitcp.send c_before payload;
+  Minitcp.close c_before;
+  Minitcp.on_established c_after (fun () -> Minitcp.close c_after);
+  Testbed.run ~until:120.0 tb;
+  check Alcotest.string "bulk intact across the re-armored path" payload
+    (Buffer.contents received);
+  check Alcotest.int "no send errors" 0
+    (Host.stats a.Testbed.host).Host.send_errors
+
 let test_stack_uninstall () =
   let tb, a, b = make_pair () in
   Stack.uninstall a.Testbed.stack;
@@ -865,6 +922,8 @@ let () =
           Alcotest.test_case "fragmentation" `Quick
             test_stack_fragmentation_of_big_datagrams;
           Alcotest.test_case "tcp + MSS fix" `Quick test_stack_tcp_with_mss_fix;
+          Alcotest.test_case "MSS honored across late publication" `Quick
+            test_stack_mss_honored_before_and_after_publication;
           Alcotest.test_case "uninstall" `Quick test_stack_uninstall;
           Alcotest.test_case "peek ports" `Quick test_peek_ports;
           Alcotest.test_case "standalone sweeper (Figure 7)" `Quick test_stack_sweeper;

@@ -315,12 +315,13 @@ let test_wan_deployment () =
   check Alcotest.string "bulk intact over WAN" payload (Buffer.contents received);
   let goodput = float_of_int (String.length payload * 8) /. (!finish -. t0) in
   check Alcotest.bool "throughput bounded by T1" true (goodput < 1_544_000.0);
-  (* Multi-ms jitter reorders segments; go-back-N pays for that with
-     retransmissions, so demand robust progress rather than efficiency. *)
+  (* Multi-ms jitter reorders segments; the out-of-order reassembly
+     buffer absorbs that instead of forcing go-back-N style window
+     resends, so demand both robust progress and few retransmissions. *)
   check Alcotest.bool "reasonable progress despite reordering" true
     (goodput > 200_000.0);
-  check Alcotest.bool "reordering forced retransmissions" true
-    (Minitcp.retransmits c > 0)
+  check Alcotest.bool "reordering absorbed without window resends" true
+    (Minitcp.retransmits c <= 5)
 
 (* --- Configuration matrix: every suite x path x encapsulation --- *)
 
@@ -357,11 +358,9 @@ let test_configuration_matrix () =
               check Alcotest.int (label ^ ": delivered") 2 (List.length !got))
             [ `Shim; `Ip_option ])
         [ false; true ])
-    [
-      Fbsr_fbs.Suite.paper_md5_des; Fbsr_fbs.Suite.hmac_md5_des;
-      Fbsr_fbs.Suite.sha1_des; Fbsr_fbs.Suite.des_mac_des; Fbsr_fbs.Suite.md5_des3;
-      Fbsr_fbs.Suite.nop;
-    ]
+    (* Every registered suite — including hmac-sha1/sha1-ctr, whose
+       40-byte option-mode header exactly fits the IPv4 option budget. *)
+    Fbsr_fbs.Suite.all
 
 (* --- Failure injection: corrupted frames under load --- *)
 

@@ -660,6 +660,111 @@ let test_tcp_send_after_close_rejected () =
     (Invalid_argument "Minitcp.send: connection closing") (fun () ->
       Minitcp.send c "late")
 
+(* A deterministic adversarial path: both hosts' egress passes through a
+   seeded fault-injection link that drops and reorders.  The transfer
+   must still deliver every byte, and the congestion machinery must have
+   engaged: retransmissions happened and ssthresh came down from its
+   initial ceiling (multiplicative decrease). *)
+let test_tcp_seeded_loss_link () =
+  let eng, _, a, b = two_hosts () in
+  let profile =
+    { Link.perfect with Link.drop = 0.02; reorder = 0.05; reorder_delay = 0.005 }
+  in
+  Host.set_link a (Link.create ~seed:41 ~profile eng);
+  Host.set_link b (Link.create ~seed:42 ~profile eng);
+  Minitcp.install a;
+  Minitcp.install b;
+  let payload = String.init 150_000 (fun i -> Char.chr ((i * 13) land 0xff)) in
+  let got, closed, c = run_transfer ~eng ~a ~b ~payload in
+  check Alcotest.string "delivered through drop+reorder" payload got;
+  check Alcotest.bool "closed cleanly" true closed;
+  check Alcotest.bool "retransmissions happened" true (Minitcp.retransmits c > 0);
+  check Alcotest.bool "loss signal reached cwnd" true
+    (Minitcp.fast_retransmits c + Minitcp.timeouts c > 0);
+  check Alcotest.bool "ssthresh decreased from ceiling" true
+    (Minitcp.ssthresh c < 65535)
+
+(* A total blackout: the RTO must back off exponentially (Karn), and the
+   connection must still complete once the network heals. *)
+let test_tcp_rto_backoff_and_recovery () =
+  let eng, _, a, b = two_hosts () in
+  let link = Link.create ~seed:43 ~profile:{ Link.perfect with Link.drop = 1.0 } eng in
+  Host.set_link a link;
+  Minitcp.install a;
+  Minitcp.install b;
+  let payload = String.make 20_000 'k' in
+  let received = Buffer.create 100 in
+  Minitcp.listen b ~port:80 (fun conn ->
+      Minitcp.on_receive conn (fun d -> Buffer.add_string received d);
+      Minitcp.on_close conn (fun () -> Minitcp.close conn));
+  let c = Minitcp.connect a ~dst:(Host.addr b) ~dst_port:80 in
+  Minitcp.on_established c (fun () ->
+      Minitcp.send c payload;
+      Minitcp.close c);
+  (* Black hole for two seconds: the initial 200 ms RTO must have doubled
+     at least twice. *)
+  Engine.run ~until:2.0 eng;
+  check Alcotest.bool "timeouts accumulated" true (Minitcp.timeouts c >= 2);
+  check Alcotest.bool "rto backed off" true (Minitcp.rto c >= 0.8);
+  Link.set_profile link Link.perfect;
+  Engine.run ~until:120.0 eng;
+  check Alcotest.string "delivered after healing" payload (Buffer.contents received)
+
+(* cwnd trajectory: slow start growth on a clean link, collapse to one
+   segment after a timeout. *)
+let test_tcp_cwnd_dynamics () =
+  let eng, _, a, b = two_hosts () in
+  let link = Link.create ~seed:44 ~profile:Link.perfect eng in
+  Host.set_link a link;
+  Minitcp.install a;
+  Minitcp.install b;
+  let payload = String.make 60_000 'c' in
+  let received = Buffer.create 100 in
+  Minitcp.listen b ~port:80 (fun conn ->
+      Minitcp.on_receive conn (fun d -> Buffer.add_string received d));
+  let c = Minitcp.connect a ~dst:(Host.addr b) ~dst_port:80 in
+  let initial_cwnd = ref 0 in
+  Minitcp.on_established c (fun () ->
+      initial_cwnd := Minitcp.cwnd c;
+      Minitcp.send c payload);
+  Engine.run eng;
+  check Alcotest.int "initial window is two segments" (2 * Minitcp.mss c)
+    !initial_cwnd;
+  check Alcotest.string "delivered" payload (Buffer.contents received);
+  check Alcotest.bool "slow start grew cwnd" true (Minitcp.cwnd c > !initial_cwnd);
+  (* Push more data into a black hole: the timeout must collapse cwnd to
+     one segment. *)
+  Link.set_profile link { Link.perfect with Link.drop = 1.0 };
+  Minitcp.send c (String.make 5_000 'd');
+  Engine.run ~until:(Engine.now eng +. 3.0) eng;
+  check Alcotest.bool "timeout collapsed cwnd" true
+    (Minitcp.cwnd c = Minitcp.mss c);
+  check Alcotest.bool "ssthresh halved the flight" true (Minitcp.ssthresh c < 65535)
+
+(* The paper's tcp_output fix must hold for connections established
+   before the security layer published its header allowance, not just
+   after: segment sizing reads the published reduction at output time. *)
+let test_tcp_mss_reduction_late () =
+  let eng, a, b = tcp_pair () in
+  let received = Buffer.create 100 in
+  Minitcp.listen b ~port:80 (fun conn ->
+      Minitcp.on_receive conn (fun d -> Buffer.add_string received d);
+      Minitcp.on_close conn (fun () -> Minitcp.close conn));
+  let c = Minitcp.connect a ~dst:(Host.addr b) ~dst_port:80 in
+  check Alcotest.int "full mss before publication" (1500 - 20 - 20) (Minitcp.mss c);
+  (* The security layer comes up after the connection: the published
+     reduction applies to this connection's subsequent segments too. *)
+  Minitcp.set_mss_reduction a 42;
+  check Alcotest.int "reduced mss on live connection" (1500 - 20 - 20 - 42)
+    (Minitcp.mss c);
+  let payload = String.make 30_000 'm' in
+  Minitcp.on_established c (fun () ->
+      Minitcp.send c payload;
+      Minitcp.close c);
+  Engine.run ~until:60.0 eng;
+  check Alcotest.string "delivered under reduced mss" payload
+    (Buffer.contents received)
+
 (* --- ICMP codec --- *)
 
 let test_icmp_codec () =
@@ -903,6 +1008,13 @@ let () =
           Alcotest.test_case "adaptive RTO on slow links" `Quick test_tcp_adaptive_rto;
           Alcotest.test_case "send after close" `Quick
             test_tcp_send_after_close_rejected;
+          Alcotest.test_case "seeded drop+reorder link" `Quick
+            test_tcp_seeded_loss_link;
+          Alcotest.test_case "RTO backoff and recovery" `Quick
+            test_tcp_rto_backoff_and_recovery;
+          Alcotest.test_case "cwnd dynamics" `Quick test_tcp_cwnd_dynamics;
+          Alcotest.test_case "mss reduction on live connection" `Quick
+            test_tcp_mss_reduction_late;
           qtest prop_tcp_transfer_sizes;
         ] );
     ]
