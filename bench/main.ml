@@ -429,6 +429,113 @@ let sharded_bench () =
   { srows; sjson; sregister }
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry-plane overhead: paired interleaved measurement             *)
+(* ------------------------------------------------------------------ *)
+
+(* Cost of arming the full per-datagram telemetry plane on the batched
+   send path: a telemetry-off engine pair and a telemetry-armed twin
+   (heavy-hitter Flowstats sketches on every seal, plus a flight-recorder
+   tick and health check per datagram on a synthetic clock advancing 1 ms
+   per datagram — 1 s cadence, so one snapshot per ~1000 datagrams rides
+   the measured cost).  The two twins are timed with one methodology in
+   interleaved rounds, so clock drift, GC ramp and frequency scaling hit
+   both sides equally; bechamel's OLS would measure them minutes apart
+   and its run-to-run spread at this row's microsecond scale exceeds the
+   overhead being gated.  The armed side lands in the benchmarks rows as
+   [fbs/send-des+md5-telemetry-1460B] (baseline-gated like any row), and
+   the artifact's "telemetry" object carries the paired numbers for
+   bench_diff's same-run 5% overhead gate. *)
+let telemetry_rounds = 24
+let telemetry_block = 63 * 8 (* whole bitsliced flushes per round *)
+
+let telemetry_bench () =
+  let mk flowstats =
+    let p, attrs =
+      Fbsr_experiments.Fixture.warm_flows ~suite:suite_paper ?flowstats ()
+    in
+    (p, Fbsr_fbs.Engine.Batch.create p.Fbsr_experiments.Fixture.sender, attrs)
+  in
+  let _, base_batch, base_attrs = mk None in
+  let tel_flowstats = Fbsr_fbs.Flowstats.create () in
+  let tel_pair, tel_batch, tel_attrs =
+    mk (Some (fun () -> tel_flowstats))
+  in
+  let tel_metrics = Fbsr_util.Metrics.create ~scope:"bench.telemetry" () in
+  Fbsr_fbs.Engine.register_metrics tel_pair.Fbsr_experiments.Fixture.sender
+    tel_metrics;
+  let tel_ts =
+    Fbsr_util.Timeseries.create ~capacity:256 ~cadence:1.0 ~host:"bench"
+      ~metrics:tel_metrics ()
+  in
+  let tel_health = Fbsr_fbs.Health.create ~ts:tel_ts () in
+  let tel_now = ref 60.0 in
+  let send batch attrs i =
+    Fbsr_fbs.Engine.send_batched batch ~now:60.0
+      ~attrs:(Array.unsafe_get attrs (i mod Array.length attrs))
+      ~secret:true ~payload:datagram
+      (fun _ -> ())
+  in
+  let base_block () =
+    for i = 0 to telemetry_block - 1 do
+      send base_batch base_attrs i
+    done
+  in
+  let tel_block () =
+    for i = 0 to telemetry_block - 1 do
+      let now = !tel_now +. 0.001 in
+      tel_now := now;
+      Fbsr_util.Timeseries.tick tel_ts ~now;
+      Fbsr_fbs.Health.check tel_health ~now;
+      send tel_batch tel_attrs i
+    done
+  in
+  (* warm both twins: every flow key derived, every lane exercised *)
+  base_block ();
+  tel_block ();
+  (* Per-side *median* over the rounds, not the sum: a major-GC slice or
+     scheduler preemption landing inside one block would otherwise skew
+     one side of a single paired total by several percent — the median
+     drops those rounds from both sides symmetrically. *)
+  let base_t = Array.make telemetry_rounds 0.0 in
+  let tel_t = Array.make telemetry_rounds 0.0 in
+  for r = 0 to telemetry_rounds - 1 do
+    let t0 = Unix.gettimeofday () in
+    base_block ();
+    let t1 = Unix.gettimeofday () in
+    tel_block ();
+    let t2 = Unix.gettimeofday () in
+    base_t.(r) <- t1 -. t0;
+    tel_t.(r) <- t2 -. t1
+  done;
+  let median a =
+    let s = Array.copy a in
+    Array.sort compare s;
+    let n = Array.length s in
+    if n land 1 = 1 then s.(n / 2) else (s.((n / 2) - 1) +. s.(n / 2)) /. 2.0
+  in
+  let per s = s *. 1e9 /. float_of_int telemetry_block in
+  let base_ns = per (median base_t) and tel_ns = per (median tel_t) in
+  let overhead_pct =
+    if base_ns > 0.0 then (tel_ns -. base_ns) /. base_ns *. 100.0 else 0.0
+  in
+  let row = ("fbs/send-des+md5-telemetry-1460B", tel_ns) in
+  let tjson =
+    Fbsr_util.Json.Obj
+      [
+        ("datagrams_per_side", Fbsr_util.Json.Int (telemetry_rounds * telemetry_block));
+        ("base_ns", Fbsr_util.Json.Float base_ns);
+        ("telemetry_ns", Fbsr_util.Json.Float tel_ns);
+        ("overhead_pct", Fbsr_util.Json.Float overhead_pct);
+        ("snapshots", Fbsr_util.Json.Int (Fbsr_util.Timeseries.taken tel_ts));
+        ("health_checks", Fbsr_util.Json.Int (Fbsr_fbs.Health.checks tel_health));
+        ( "sketch_total",
+          Fbsr_util.Json.Int
+            (Fbsr_util.Sketch.total tel_flowstats.Fbsr_fbs.Flowstats.datagrams) );
+      ]
+  in
+  (row, tjson)
+
+(* ------------------------------------------------------------------ *)
 (* Runner                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -630,7 +737,7 @@ let stages_json spans =
              ] ))
        (Span.stage_stats spans))
 
-let emit_json ~path ~spans_path ~rev ~quick ~sharded rows =
+let emit_json ~path ~spans_path ~rev ~quick ~sharded ~telemetry rows =
   let m = Fbsr_util.Metrics.create () in
   (* Causal tracing is ON for this run: the datapath allocation audit below
      uses separate untraced engines, so the 2.0 allocs/datagram gate still
@@ -657,6 +764,7 @@ let emit_json ~path ~spans_path ~rev ~quick ~sharded rows =
         ("datapath", datapath_json ());
         ("stages", stages_json r.Fbsr_experiments.Faults.spans);
         ("sharded", sharded.sjson);
+        ("telemetry", telemetry);
         ("transfers", transfers_json ());
       ]
   in
@@ -703,13 +811,15 @@ let () =
     "=== Bechamel micro-benchmarks (one per table/figure dependency) ===\n%!";
   let rows = result_rows (benchmark ~quick:!quick ()) in
   let sharded = sharded_bench () in
-  let rows = rows @ sharded.srows in
+  let tel_row, tel_json = telemetry_bench () in
+  let rows = rows @ sharded.srows @ [ tel_row ] in
   print_results rows;
   match !json with
   | Some path ->
       (* Artifact mode: medians + a deterministic counter run; skip the
          long figure harness. *)
-      emit_json ~path ~spans_path:!spans ~rev:!rev ~quick:!quick ~sharded rows
+      emit_json ~path ~spans_path:!spans ~rev:!rev ~quick:!quick ~sharded
+        ~telemetry:tel_json rows
   | None ->
       (* Part 2: regenerate the paper's tables and figures. *)
       let seed = 7 and duration = 7200.0 and bytes = 1_000_000 in

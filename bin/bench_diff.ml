@@ -123,6 +123,25 @@ let () =
       if not (List.mem_assoc name old_benches) then
         Printf.printf "%-50s (new benchmark)\n" name)
     new_benches;
+  (* Telemetry overhead: a paired gate within the NEW artifact alone.
+     The artifact's "telemetry" object carries the interleaved same-run
+     measurement of the batched-send row with and without the telemetry
+     plane armed (heavy-hitter sketch observes, flight-recorder tick,
+     health check per datagram) — pairing cancels machine speed
+     entirely, so the armed twin must cost at most 5% on top of the
+     plain one.  An absolute floor of 150 ns absorbs timer granularity
+     at the row's microsecond scale. *)
+  (let tel = obj_members "telemetry" new_doc in
+   let jf name = Option.bind (List.assoc_opt name tel) Fbsr_util.Json.to_float_opt in
+   match (jf "base_ns", jf "telemetry_ns") with
+   | Some base_ns, Some tel_ns when base_ns > 0.0 ->
+       let overhead = (tel_ns -. base_ns) /. base_ns *. 100.0 in
+       let regressed = tel_ns > base_ns *. 1.05 && tel_ns -. base_ns > 150.0 in
+       if regressed then incr regressions;
+       Printf.printf "%-50s %12.1f %12.1f %+8.1f%%%s\n"
+         "telemetry overhead (paired, new artifact)" base_ns tel_ns overhead
+         (if regressed then "  REGRESSED (5% paired gate)" else "")
+   | _ -> ());
   let contains_sub sub s =
     let n = String.length sub and m = String.length s in
     let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in

@@ -43,6 +43,16 @@ let metrics_text_arg =
           "Write the sweep's metrics registry in Prometheus text exposition \
            format to $(docv).")
 
+let telemetry_arg =
+  Arg.(
+    value & flag
+    & info [ "telemetry" ]
+        ~doc:
+          "Arm the telemetry plane: flight-recorder time-series over the \
+           run's metrics, health-rule verdicts in the output, and a \
+           'telemetry' member (fbsr-timeseries/1 + fbsr-health/1) in the \
+           JSON artifact.")
+
 let cmd name doc f = Cmd.v (Cmd.info name ~doc) f
 
 let with_trace_args f =
@@ -79,14 +89,15 @@ let commands =
       Term.(const (fun seed -> live_site ~seed ()) $ seed_arg);
     cmd "faults" "Datagram delivery and forgery rejection over faulty links"
       Term.(
-        const (fun seed json spans_out metrics_text ->
-            faults ?json ?spans_out ?metrics_text ~seed ())
-        $ seed_arg $ json_arg $ spans_arg $ metrics_text_arg);
+        const (fun seed json spans_out metrics_text telemetry ->
+            faults ?json ?spans_out ?metrics_text ~telemetry ~seed ())
+        $ seed_arg $ json_arg $ spans_arg $ metrics_text_arg $ telemetry_arg);
     cmd "zipf"
       "Million-flow Zipf workload over the domain-sharded engine (exits \
        non-zero on any per-shard invariant violation)"
       Term.(
-        const (fun flows datagrams batch shards seed fst_bits miss_curve json ->
+        const (fun flows datagrams batch shards seed fst_bits miss_curve
+                   sweep_study telemetry json ->
             if miss_curve then (
               (* Sweep the fig11-14 analogue up to --flows; --datagrams is
                  the per-point budget (default 200k). *)
@@ -102,11 +113,18 @@ let commands =
               in
               if not c.Fbsr_experiments.Zipf_scenario.curve_ok then
                 Stdlib.exit 1)
+            else if sweep_study then (
+              let s =
+                Fbsr_experiments.Zipf_scenario.sweep_study_report
+                  ?datagrams ?nshards:shards ~seed ?json ()
+              in
+              if not s.Fbsr_experiments.Zipf_scenario.sw_ok then
+                Stdlib.exit 1)
             else
               let r =
                 Fbsr_experiments.Zipf_scenario.report ~flows
                   ~datagrams:(Option.value datagrams ~default:1_000_000)
-                  ~batch ?nshards:shards ~seed ~fst_bits ?json ()
+                  ~batch ?nshards:shards ~seed ~fst_bits ~telemetry ?json ()
               in
               if not r.Fbsr_experiments.Zipf_scenario.ok then Stdlib.exit 1)
         $ Arg.(
@@ -144,16 +162,24 @@ let commands =
                   "Instead of one run, sweep active flows vs TFKC/RFKC miss \
                    rate (the Section 7.3 figure 11-14 analogue) and emit one \
                    row per point.")
-        $ json_arg);
+        $ Arg.(
+            value & flag
+            & info [ "sweep-study" ]
+                ~doc:
+                  "Instead of one run, study FAM sweeper cadence under Zipf \
+                   skew: occupancy vs restart-and-rekey churn at several \
+                   cadences (fbsr-sweep-study/1 artifact).  --datagrams is \
+                   the per-point budget (default 120,000).")
+        $ telemetry_arg $ json_arg);
     cmd "transfers"
       "Hundreds of concurrent ACK-clocked bulk transfers across a shared \
        lossy segment (exits non-zero unless every transfer is delivered \
        intact and closed)"
       Term.(
-        const (fun transfers bytes loss seed json ->
+        const (fun transfers bytes loss seed telemetry json ->
             let r =
               Fbsr_experiments.Transfers_scenario.report ~transfers
-                ~bytes_per_transfer:bytes ~loss ~seed ?json ()
+                ~bytes_per_transfer:bytes ~loss ~seed ~telemetry ?json ()
             in
             if not r.Fbsr_experiments.Transfers_scenario.ok then Stdlib.exit 1)
         $ Arg.(
@@ -167,7 +193,7 @@ let commands =
             & info [ "loss" ] ~doc:"Per-frame drop probability on every link.")
         $ Arg.(
             value & opt int 20260809 & info [ "seed" ] ~doc:"Fault-link seed.")
-        $ json_arg);
+        $ telemetry_arg $ json_arg);
     cmd "all" "Run every experiment"
       Term.(
         const (fun seed duration bytes json -> run_all ?json seed duration bytes)

@@ -10,13 +10,19 @@
 
 let usage () =
   prerr_endline
-    "usage: tracedump SPANS.json [--chrome OUT.json] [--flow HEXID]\n\n\
+    "usage: tracedump SPANS.json [--chrome OUT.json] [--flow HEXID] [--drops] \
+     [--stats]\n\n\
      SPANS.json      an fbsr-spans/1 artifact (fbs-experiments faults \
      --spans,\n\
     \                fbs-bench --spans)\n\
      --chrome OUT    write Chrome trace-event JSON to OUT (chrome://tracing,\n\
     \                Perfetto) instead of printing timelines\n\
-     --flow HEXID    print only the flow with this 16-hex-digit trace id";
+     --flow HEXID    print only the flow with this 16-hex-digit trace id\n\
+     --drops         keep only chains whose terminal span is a drop:* \
+     outcome\n\
+    \                (composes with --chrome, --flow and --stats)\n\
+     --stats         print the per-stage latency table (count/p50/p99/worst\n\
+    \                over span cost) instead of timelines";
   exit 2
 
 let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("tracedump: " ^ s); exit 2) fmt
@@ -35,8 +41,51 @@ let parse_id s =
   | Some id when not (Int64.equal id 0L) -> id
   | _ -> fail "--flow wants a 16-hex-digit trace id, got %S" s
 
+let is_drop outcome =
+  String.length outcome >= 5 && String.sub outcome 0 5 = "drop:"
+
+(* Chains whose terminal span carries a drop:* outcome, in full — every
+   span of a dropped datagram's life, not just the terminal one. *)
+let drop_chains spans =
+  let module Tbl = Hashtbl in
+  let dropped = Tbl.create 64 in
+  List.iter
+    (fun (s : Fbsr_util.Span.span) ->
+      if is_drop s.outcome then Tbl.replace dropped s.id ())
+    spans;
+  List.filter (fun (s : Fbsr_util.Span.span) -> Tbl.mem dropped s.id) spans
+
+let print_stats spans =
+  let stats = Fbsr_util.Span.stage_stats spans in
+  Printf.printf "%-24s %8s %12s %12s %12s\n" "stage" "count" "p50 (s)"
+    "p99 (s)" "worst (s)";
+  List.iter
+    (fun (st : Fbsr_util.Span.stage_stat) ->
+      Printf.printf "%-24s %8d %12.6f %12.6f %12.6f\n" st.stat_stage st.count
+        st.p50 st.p99 st.worst)
+    stats;
+  let drops = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Fbsr_util.Span.span) ->
+      if is_drop s.outcome then
+        Hashtbl.replace drops s.outcome
+          (1 + Option.value ~default:0 (Hashtbl.find_opt drops s.outcome)))
+    spans;
+  let causes = Hashtbl.fold (fun k v acc -> (k, v) :: acc) drops [] in
+  if causes <> [] then begin
+    print_newline ();
+    Printf.printf "%-24s %8s\n" "drop cause" "chains";
+    List.iter
+      (fun (cause, n) -> Printf.printf "%-24s %8d\n" cause n)
+      (List.sort compare causes)
+  end
+
 let () =
-  let input = ref None and chrome = ref None and flow = ref None in
+  let input = ref None
+  and chrome = ref None
+  and flow = ref None
+  and drops = ref false
+  and stats = ref false in
   let rec args = function
     | [] -> ()
     | "--chrome" :: path :: rest ->
@@ -44,6 +93,12 @@ let () =
         args rest
     | "--flow" :: id :: rest ->
         flow := Some (parse_id id);
+        args rest
+    | "--drops" :: rest ->
+        drops := true;
+        args rest
+    | "--stats" :: rest ->
+        stats := true;
         args rest
     | ("--help" | "-h") :: _ -> usage ()
     | arg :: rest ->
@@ -64,6 +119,8 @@ let () =
         with Invalid_argument msg -> fail "%s: %s" path msg)
   in
   if spans = [] then prerr_endline "tracedump: no spans in input";
+  let spans = if !drops then drop_chains spans else spans in
+  if !drops && spans = [] then print_endline "no drop-terminated chains";
   match !chrome with
   | Some out ->
       let oc = open_out out in
@@ -73,5 +130,12 @@ let () =
       close_out oc;
       Printf.printf "wrote %s (%d spans, %d flows)\n" out (List.length spans)
         (List.length (Fbsr_util.Span.ids spans))
+  | None when !stats ->
+      let spans =
+        match !flow with
+        | Some id -> Fbsr_util.Span.by_id id spans
+        | None -> spans
+      in
+      print_stats spans
   | None ->
       Format.printf "%a@." (Fbsr_util.Span.pp_timeline ?id:!flow) spans

@@ -689,8 +689,8 @@ let live_site ~seed () =
   pf "the offline simulator (the paper's methodology) and the live protocol agree \
       on the miss-rate shape.\n"
 
-let faults ?json ?spans_out ?metrics_text ~seed () =
-  Faults.report ~seed ?json ?spans_out ?metrics_text ()
+let faults ?json ?spans_out ?metrics_text ?telemetry ~seed () =
+  Faults.report ~seed ?json ?spans_out ?metrics_text ?telemetry ()
 
 let run_all ?json seed duration bytes =
   crypto_table ();

@@ -39,6 +39,14 @@ type result = {
   spans : Fbsr_util.Span.span list;
       (** merged causal-trace spans from every host's flight recorder
           (empty unless [run ~span_capacity] was positive) *)
+  sampler : Fbsr_util.Span.sampler_stats option;
+      (** adaptive-sampling audit (present iff [span_sample > 1]) *)
+  timeseries : Fbsr_util.Timeseries.t;
+      (** flight-recorder rows over the site registry
+          ({!Fbsr_util.Timeseries.none} unless [telemetry_cadence]) *)
+  health : Fbsr_fbs.Health.t;
+      (** rule monitor over [timeseries] ({!Fbsr_fbs.Health.none} unless
+          [telemetry_cadence]) *)
 }
 
 let acceptance_rate r =
@@ -55,7 +63,8 @@ let payload_for seq = Printf.sprintf "D%08d|%s" seq (String.make 64 'x')
    ARQ sophistication. *)
 let run ?(seed = 11) ?(messages = 200) ?(max_attempts = 8) ?(rto = 0.5)
     ?(spacing = 0.05) ?(strict_replay = true) ?faults ?metrics ?trace
-    ?(span_capacity = 0) ?span_cost_clock () =
+    ?(span_capacity = 0) ?span_cost_clock ?(span_sample = 1)
+    ?telemetry_cadence () =
   let config =
     Stack.default_config ~strict_replay ~keying_fetch_retries:2 ()
   in
@@ -66,7 +75,22 @@ let run ?(seed = 11) ?(messages = 200) ?(max_attempts = 8) ?(rto = 0.5)
   in
   let tb =
     Testbed.create ~seed ~config ~mkd_config ?faults ?metrics ?trace
-      ~span_capacity ?span_cost_clock ()
+      ~span_capacity ?span_cost_clock ~span_sample ()
+  in
+  (* Telemetry plane: a flight recorder over the site registry plus the
+     health monitor, ticked on the simulated clock.  The tick events are
+     pre-scheduled over the experiment's bounded horizon, so the recorder
+     cannot keep the (run-to-quiescence) event loop alive. *)
+  let ts, health =
+    match telemetry_cadence with
+    | None -> (Fbsr_util.Timeseries.none, Fbsr_fbs.Health.none)
+    | Some cad ->
+        let ts =
+          Fbsr_util.Timeseries.create ~cadence:cad ~host:"faults"
+            ~metrics:(Testbed.metrics tb) ()
+        in
+        let health = Fbsr_fbs.Health.create ?trace ~ts () in
+        (ts, health)
   in
   let sender = Testbed.add_host tb ~name:"sender" ~addr:"10.0.0.1" in
   let receiver = Testbed.add_host tb ~name:"receiver" ~addr:"10.0.0.2" in
@@ -118,7 +142,27 @@ let run ?(seed = 11) ?(messages = 200) ?(max_attempts = 8) ?(rto = 0.5)
     Engine.schedule engine ~delay:(float_of_int seq *. spacing) (fun () ->
         attempt seq 1)
   done;
+  (match telemetry_cadence with
+  | None -> ()
+  | Some cad ->
+      let horizon =
+        (float_of_int messages *. spacing)
+        +. (float_of_int (max_attempts + 2) *. rto)
+      in
+      let ticks = min 4096 (int_of_float (horizon /. cad)) in
+      for i = 0 to ticks do
+        Engine.schedule engine ~delay:(float_of_int i *. cad) (fun () ->
+            let now = Engine.now engine in
+            Fbsr_util.Timeseries.tick ts ~now;
+            Fbsr_fbs.Health.check health ~now)
+      done);
   Testbed.run tb;
+  (match telemetry_cadence with
+  | None -> ()
+  | Some _ ->
+      let now = Testbed.now tb in
+      Fbsr_util.Timeseries.force ts ~now;
+      Fbsr_fbs.Health.check health ~now);
   let accepted = Array.fold_left (fun n s -> if s then n + 1 else n) 0 seen in
   let c tap =
     List.fold_left
@@ -149,6 +193,9 @@ let run ?(seed = 11) ?(messages = 200) ?(max_attempts = 8) ?(rto = 0.5)
     mkd_retransmissions = mkd (fun s -> s.Mkd.retransmissions);
     link = Testbed.link_stats tb;
     spans = Testbed.collect_spans tb;
+    sampler = Option.map Fbsr_util.Span.sampler_stats (Testbed.span_sampler tb);
+    timeseries = ts;
+    health;
   }
 
 let to_json (r : result) =
@@ -198,7 +245,18 @@ let hostile =
     corrupt = 0.01;
   }
 
-let report ?(seed = 11) ?json ?spans_out ?metrics_text () =
+let sampler_stats_to_json (s : Fbsr_util.Span.sampler_stats) =
+  let open Fbsr_util.Json in
+  Obj
+    [
+      ("kept_chains", Int s.Fbsr_util.Span.kept_chains);
+      ("promoted_chains", Int s.Fbsr_util.Span.promoted_chains);
+      ("discarded_chains", Int s.Fbsr_util.Span.discarded_chains);
+      ("evicted_chains", Int s.Fbsr_util.Span.evicted_chains);
+      ("pending_spans", Int s.Fbsr_util.Span.pending_spans);
+    ]
+
+let report ?(seed = 11) ?json ?spans_out ?metrics_text ?(telemetry = false) () =
   let pf = Printf.printf in
   pf "\n================================================================\n";
   pf "Adversarial network: FBS over fault-injection links\n";
@@ -212,9 +270,19 @@ let report ?(seed = 11) ?json ?spans_out ?metrics_text () =
     | Some _ -> Some (Fbsr_util.Metrics.create ())
     | None -> None
   in
-  let span_capacity = match spans_out with Some _ -> 32768 | None -> 0 in
+  let span_capacity =
+    match (spans_out, telemetry) with
+    | Some _, _ -> 32768
+    | None, true -> 32768 (* telemetry demos the adaptive sampler *)
+    | None, false -> 0
+  in
+  let span_sample = if telemetry then 64 else 1 in
+  let telemetry_cadence = if telemetry then Some 0.5 else None in
   let row name faults =
-    let r = run ~seed ?faults ?metrics ~span_capacity () in
+    let r =
+      run ~seed ?faults ?metrics ~span_capacity ~span_sample
+        ?telemetry_cadence ()
+    in
     pf "%-28s %4d/%-4d %8d %7d %7d %7d %7d\n" name r.accepted r.offered
       r.transmissions r.mac_failures r.duplicate_rejections r.forgeries_accepted
       r.flow_key_recoveries;
@@ -235,23 +303,61 @@ let report ?(seed = 11) ?json ?spans_out ?metrics_text () =
   pf "[%s] zero forgeries accepted under 1%% corruption (got %d, %d MAC rejections)\n"
     (verdict (corrupt.forgeries_accepted = 0))
     corrupt.forgeries_accepted corrupt.mac_failures;
+  if telemetry then begin
+    let ts = combined.timeseries in
+    pf "\ntelemetry ('hostile' run): %d snapshots at %.2fs cadence, %d columns\n"
+      (Fbsr_util.Timeseries.taken ts)
+      (Fbsr_util.Timeseries.cadence ts)
+      (List.length (Fbsr_util.Timeseries.names ts));
+    (match combined.sampler with
+    | None -> ()
+    | Some s ->
+        pf
+          "span sampling 1/%d: %d kept, %d promoted (anomaly tail-keep), %d \
+           discarded, %d evicted\n"
+          span_sample s.Fbsr_util.Span.kept_chains
+          s.Fbsr_util.Span.promoted_chains s.Fbsr_util.Span.discarded_chains
+          s.Fbsr_util.Span.evicted_chains);
+    Format.printf "@[<v>%a@]@." Fbsr_fbs.Health.report combined.health;
+    Format.printf "@[<v>%a@]@."
+      (fun ppf () ->
+        Fbsr_util.Timeseries.dashboard ppf ts
+          ~names:[ "fbs.engine.drops.total"; "fbs.engine.accepted" ])
+      ()
+  end;
   (match json with
   | None -> ()
   | Some path ->
       let doc =
         Fbsr_util.Json.Obj
-          [
-            ("schema", Fbsr_util.Json.String "fbsr-faults/1");
-            ("seed", Fbsr_util.Json.Int seed);
-            ( "profiles",
-              Fbsr_util.Json.Obj
-                [
-                  ("clean", to_json clean);
-                  ("lossy", to_json loss);
-                  ("corrupting", to_json corrupt);
-                  ("hostile", to_json combined);
-                ] );
-          ]
+          ([
+             ("schema", Fbsr_util.Json.String "fbsr-faults/1");
+             ("seed", Fbsr_util.Json.Int seed);
+             ( "profiles",
+               Fbsr_util.Json.Obj
+                 [
+                   ("clean", to_json clean);
+                   ("lossy", to_json loss);
+                   ("corrupting", to_json corrupt);
+                   ("hostile", to_json combined);
+                 ] );
+           ]
+          @
+          if telemetry then
+            [
+              ( "telemetry",
+                Fbsr_util.Json.Obj
+                  [
+                    ( "timeseries",
+                      Fbsr_util.Timeseries.to_json combined.timeseries );
+                    ("health", Fbsr_fbs.Health.to_json combined.health);
+                    ( "sampler",
+                      match combined.sampler with
+                      | None -> Fbsr_util.Json.Null
+                      | Some s -> sampler_stats_to_json s );
+                  ] );
+            ]
+          else [])
       in
       let oc = open_out path in
       output_string oc (Fbsr_util.Json.to_string_pretty doc);

@@ -16,7 +16,8 @@ let mtu_payload = String.make 1460 'd'
 
 let engine_pair ?(seed = 424242) ?(suite = Fbsr_fbs.Suite.paper_md5_des)
     ?(replay_window_minutes = 2) ?(strict_replay = false) ?(src = "10.9.0.1")
-    ?(dst = "10.9.0.2") ?(spans = Fbsr_util.Span.none) () =
+    ?(dst = "10.9.0.2") ?(spans = Fbsr_util.Span.none)
+    ?(flowstats = fun () -> Fbsr_fbs.Flowstats.none) () =
   let rng = Fbsr_util.Rng.create seed in
   let group = Lazy.force Fbsr_crypto.Dh.test_group in
   let ca = Fbsr_cert.Authority.create ~rng ~bits:512 () in
@@ -49,7 +50,7 @@ let engine_pair ?(seed = 424242) ?(suite = Fbsr_fbs.Suite.paper_md5_des)
     let alloc = Fbsr_fbs.Sfl.allocator ~rng:(Fbsr_util.Rng.create sfl_seed) in
     let fam = Fbsr_fbs.Fam.create (Fbsr_fbs.Policy_five_tuple.policy ~alloc ()) in
     Fbsr_fbs.Engine.create ~suite ~replay_window_minutes ~strict_replay ~spans
-      ~keying ~fam ()
+      ~flowstats:(flowstats ()) ~keying ~fam ()
   in
   {
     src = s;
@@ -73,9 +74,10 @@ type sharded = {
 }
 
 let sharded_pair ?(seed = 424242) ?(suite = Fbsr_fbs.Suite.paper_md5_des)
-    ?nshards ?(fst_bits = 8) ?(replay_window_minutes = 2)
+    ?nshards ?(fst_bits = 8) ?fam_threshold ?(replay_window_minutes = 2)
     ?(strict_replay = false) ?(src = "10.9.0.1") ?(dst = "10.9.0.2")
-    ?(spans = fun (_shard : int) -> Fbsr_util.Span.none) () =
+    ?(spans = fun (_shard : int) -> Fbsr_util.Span.none)
+    ?(flowstats = fun (_shard : int) -> Fbsr_fbs.Flowstats.none) () =
   let rng = Fbsr_util.Rng.create seed in
   let group = Lazy.force Fbsr_crypto.Dh.test_group in
   let ca = Fbsr_cert.Authority.create ~rng ~bits:512 () in
@@ -114,12 +116,13 @@ let sharded_pair ?(seed = 424242) ?(suite = Fbsr_fbs.Suite.paper_md5_des)
     let alloc = Fbsr_fbs.Sfl.allocator ~rng:(Fbsr_util.Rng.create sfl_seed) in
     let fam = Fbsr_fbs.Fam.create (Fbsr_fbs.Policy_five_tuple.policy ~alloc ()) in
     Fbsr_fbs.Engine.create ~suite ~replay_window_minutes ~strict_replay
-      ~spans:(spans shard) ~keying ~fam ()
+      ~spans:(spans shard) ~flowstats:(flowstats shard) ~keying ~fam ()
   in
   let dispatcher_fam =
     let alloc = Fbsr_fbs.Sfl.allocator ~rng:(Fbsr_util.Rng.create (seed lxor 3)) in
     Fbsr_fbs.Fam.create
-      (Fbsr_fbs.Policy_five_tuple.policy ~fst_size:(1 lsl fst_bits) ~alloc ())
+      (Fbsr_fbs.Policy_five_tuple.policy ~fst_size:(1 lsl fst_bits)
+         ?threshold:fam_threshold ~alloc ())
   in
   let tx =
     Fbsr_fbs.Sharded.create ?nshards ~confounder_seed:(seed lxor 5)
@@ -168,8 +171,9 @@ let warm_pair ?seed ?(suite = Fbsr_fbs.Suite.paper_md5_des) ?(secret = true)
    principals, same suite — which is exactly the five-tuple split the
    paper's FAM policy produces for parallel connections. *)
 let warm_flows ?seed ?(suite = Fbsr_fbs.Suite.paper_md5_des) ?(secret = true)
-    ?(payload = mtu_payload) ?(flows = Fbsr_crypto.Des_bitslice.lanes) ?spans () =
-  let p = engine_pair ?seed ~suite ?spans () in
+    ?(payload = mtu_payload) ?(flows = Fbsr_crypto.Des_bitslice.lanes) ?spans
+    ?flowstats () =
+  let p = engine_pair ?seed ~suite ?spans ?flowstats () in
   let attrs =
     Array.init flows (fun i ->
         Fbsr_fbs.Fam.attrs ~protocol:17 ~src_port:(1000 + i) ~dst_port:2000

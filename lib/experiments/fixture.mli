@@ -20,11 +20,14 @@ val engine_pair :
   ?src:string ->
   ?dst:string ->
   ?spans:Fbsr_util.Span.t ->
+  ?flowstats:(unit -> Fbsr_fbs.Flowstats.t) ->
   unit ->
   t
 (** Enroll both principals with a fresh 512-bit authority over the fast
     61-bit test group and build one engine per side.  Deterministic in
-    [seed].  [spans] (default disabled) is shared by both engines. *)
+    [seed].  [spans] (default disabled) is shared by both engines;
+    [flowstats] (default disabled) builds each engine's own heavy-hitter
+    sketch set — called once per engine, sender first. *)
 
 type sharded = {
   sh_src : Fbsr_fbs.Principal.t;
@@ -38,20 +41,25 @@ val sharded_pair :
   ?suite:Fbsr_fbs.Suite.t ->
   ?nshards:int ->
   ?fst_bits:int ->
+  ?fam_threshold:float ->
   ?replay_window_minutes:int ->
   ?strict_replay:bool ->
   ?src:string ->
   ?dst:string ->
   ?spans:(int -> Fbsr_util.Span.t) ->
+  ?flowstats:(int -> Fbsr_fbs.Flowstats.t) ->
   unit ->
   sharded
 (** The sharded sibling of {!engine_pair}: one authority and two
     principals, each side a {!Fbsr_fbs.Sharded.t} whose per-shard
-    engines share nothing (own keying over the shared CA, own caches and
-    span recorder via [spans shard], default disabled).  Shard masters
+    engines share nothing (own keying over the shared CA, own caches,
+    span recorder via [spans shard] and heavy-hitter sketches via
+    [flowstats shard] — both default disabled).  Shard masters
     are pre-derived synchronously, so no shard domain ever runs DH.
     [fst_bits] sizes the sender dispatcher's FST at [2^fst_bits]
-    entries (default 8 — raise it for million-flow workloads).
+    entries (default 8 — raise it for million-flow workloads);
+    [fam_threshold] overrides its idle-timeout THRESHOLD (the sweeper
+    study's knob).
     Deterministic in [seed] for a fixed shard count.
     @raise Failure if master derivation fails. *)
 
@@ -74,10 +82,12 @@ val warm_flows :
   ?payload:string ->
   ?flows:int ->
   ?spans:Fbsr_util.Span.t ->
+  ?flowstats:(unit -> Fbsr_fbs.Flowstats.t) ->
   unit ->
   t * Fbsr_fbs.Fam.attrs array
 (** {!engine_pair} plus one send/receive round trip per flow — [flows]
     (default {!Fbsr_crypto.Des_bitslice.lanes}) five-tuple flows differing
     only in source port — so the sender's TFKC holds that many warm
-    entries.  The setup for cross-flow batched sealing.
+    entries.  The setup for cross-flow batched sealing.  [spans] and
+    [flowstats] are forwarded to {!engine_pair}.
     @raise Failure if any warm-up round trip fails. *)

@@ -36,6 +36,8 @@ type result = {
   rows : conn_row list;
   failures : string list;
   ok : bool;
+  timeseries : Fbsr_util.Timeseries.t;
+  health : Fbsr_fbs.Health.t;
 }
 
 (* Deterministic per-connection payload: integrity means every byte came
@@ -52,8 +54,11 @@ let string_of_state : Minitcp.state -> string = function
   | Last_ack -> "last-ack"
   | Closed -> "closed"
 
+let horizon = 1800.0
+
 let run ?(transfers = 200) ?(bytes_per_transfer = 32_768) ?(loss = 0.01)
-    ?(seed = 20260809) ?(suite = Fbsr_fbs.Suite.paper_md5_des) () =
+    ?(seed = 20260809) ?(suite = Fbsr_fbs.Suite.paper_md5_des)
+    ?telemetry_cadence () =
   if transfers < 1 then invalid_arg "Transfers_scenario.run: transfers < 1";
   if bytes_per_transfer < 1 then
     invalid_arg "Transfers_scenario.run: bytes_per_transfer < 1";
@@ -64,6 +69,28 @@ let run ?(transfers = 200) ?(bytes_per_transfer = 32_768) ?(loss = 0.01)
       ~config:(Stack.default_config ~suite ())
       ~faults:{ Link.perfect with Link.drop = loss }
       ()
+  in
+  (* Telemetry plane over the site registry, ticked on the simulated
+     clock; ticks are pre-scheduled over the fixed run bound so they
+     cannot extend it. *)
+  let ts, health =
+    match telemetry_cadence with
+    | None -> (Fbsr_util.Timeseries.none, Fbsr_fbs.Health.none)
+    | Some cad ->
+        let ts =
+          Fbsr_util.Timeseries.create ~capacity:2048 ~cadence:cad
+            ~host:"transfers" ~metrics:(Testbed.metrics tb) ()
+        in
+        let health = Fbsr_fbs.Health.create ~ts () in
+        let engine = Testbed.engine tb in
+        let ticks = min 4096 (int_of_float (horizon /. cad)) in
+        for i = 0 to ticks do
+          Engine.schedule engine ~delay:(Float.of_int i *. cad) (fun () ->
+              let now = Engine.now engine in
+              Fbsr_util.Timeseries.tick ts ~now;
+              Fbsr_fbs.Health.check health ~now)
+        done;
+        (ts, health)
   in
   let a = Testbed.add_host tb ~name:"sender" ~addr:"10.0.0.1" in
   let b = Testbed.add_host tb ~name:"receiver" ~addr:"10.0.0.2" in
@@ -93,7 +120,13 @@ let run ?(transfers = 200) ?(bytes_per_transfer = 32_768) ?(loss = 0.01)
             finished_at := Float.max !finished_at (Testbed.now tb));
         c)
   in
-  Testbed.run ~until:1800.0 tb;
+  Testbed.run ~until:horizon tb;
+  (match telemetry_cadence with
+  | None -> ()
+  | Some _ ->
+      let now = Testbed.now tb in
+      Fbsr_util.Timeseries.force ts ~now;
+      Fbsr_fbs.Health.check health ~now);
   let elapsed = !finished_at in
   let rows =
     Array.to_list
@@ -145,12 +178,14 @@ let run ?(transfers = 200) ?(bytes_per_transfer = 32_768) ?(loss = 0.01)
     rows;
     failures = List.rev !failures;
     ok = !failures = [];
+    timeseries = ts;
+    health;
   }
 
 let to_json r =
   J.Obj
-    [
-      ("schema", J.String "fbsr-transfers/1");
+    ([
+       ("schema", J.String "fbsr-transfers/1");
       ("transfers", J.Int r.transfers);
       ("bytes_per_transfer", J.Int r.bytes_per_transfer);
       ("loss", J.Float r.loss);
@@ -186,9 +221,24 @@ let to_json r =
       ("failures", J.List (List.map (fun m -> J.String m) r.failures));
       ("ok", J.Bool r.ok);
     ]
+    @
+    if Fbsr_util.Timeseries.enabled r.timeseries then
+      [
+        ( "telemetry",
+          J.Obj
+            [
+              ("timeseries", Fbsr_util.Timeseries.to_json r.timeseries);
+              ("health", Fbsr_fbs.Health.to_json r.health);
+            ] );
+      ]
+    else [])
 
-let report ?transfers ?bytes_per_transfer ?loss ?seed ?suite ?json () =
-  let r = run ?transfers ?bytes_per_transfer ?loss ?seed ?suite () in
+let report ?transfers ?bytes_per_transfer ?loss ?seed ?suite
+    ?(telemetry = false) ?json () =
+  let telemetry_cadence = if telemetry then Some 1.0 else None in
+  let r =
+    run ?transfers ?bytes_per_transfer ?loss ?seed ?suite ?telemetry_cadence ()
+  in
   Fmt.pr "=== concurrent bulk transfers over a lossy shared segment ===@.";
   Fmt.pr "%d transfers x %d B  suite %s  frame loss %.2f%%  seed %d@."
     r.transfers r.bytes_per_transfer r.suite (100.0 *. r.loss) r.seed;
@@ -211,6 +261,12 @@ let report ?transfers ?bytes_per_transfer ?loss ?seed ?suite ?json () =
     (over (fun c -> c.cwnd) 0 max)
     (mean (fun c -> c.ssthresh));
   List.iter (fun m -> Fmt.pr "  FAIL: %s@." m) r.failures;
+  if Fbsr_util.Timeseries.enabled r.timeseries then begin
+    Fmt.pr "telemetry: %d snapshots, %d columns@."
+      (Fbsr_util.Timeseries.taken r.timeseries)
+      (List.length (Fbsr_util.Timeseries.names r.timeseries));
+    Format.printf "@[<v>%a@]@." Fbsr_fbs.Health.report r.health
+  end;
   Fmt.pr "%s@."
     (if r.ok then "transfers scenario: OK (100% integrity)"
      else "transfers scenario: FAILED");

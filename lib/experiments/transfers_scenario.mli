@@ -41,6 +41,12 @@ type result = {
   rows : conn_row list;
   failures : string list;  (** violated invariants; empty iff [ok] *)
   ok : bool;
+  timeseries : Fbsr_util.Timeseries.t;
+      (** flight recorder over the site registry
+          ({!Fbsr_util.Timeseries.none} unless [telemetry_cadence]) *)
+  health : Fbsr_fbs.Health.t;
+      (** rule monitor over [timeseries] ({!Fbsr_fbs.Health.none} unless
+          [telemetry_cadence]) *)
 }
 
 val run :
@@ -49,10 +55,13 @@ val run :
   ?loss:float ->
   ?seed:int ->
   ?suite:Fbsr_fbs.Suite.t ->
+  ?telemetry_cadence:float ->
   unit ->
   result
 (** Defaults: 200 transfers of 32 KiB each, 1%% frame loss,
     the paper's MD5/DES suite securing every datagram.
+    [telemetry_cadence] arms the flight recorder + health monitor at
+    that many simulated seconds per snapshot.
     @raise Invalid_argument if [transfers] or [bytes_per_transfer] < 1. *)
 
 val to_json : result -> Fbsr_util.Json.t
@@ -65,7 +74,11 @@ val report :
   ?loss:float ->
   ?seed:int ->
   ?suite:Fbsr_fbs.Suite.t ->
+  ?telemetry:bool ->
   ?json:string ->
   unit ->
   result
-(** {!run}, print a human summary, optionally write {!to_json} to [json]. *)
+(** {!run}, print a human summary, optionally write {!to_json} to [json].
+    [telemetry] (default off) runs with a 1 s telemetry cadence and adds
+    the health verdicts to the printout and a [telemetry] member to the
+    artifact. *)

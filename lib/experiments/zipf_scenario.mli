@@ -30,6 +30,15 @@ type result = {
   rows : shard_row list;
   failures : string list;  (** violated invariants; empty iff [ok] *)
   ok : bool;
+  timeseries : Fbsr_util.Timeseries.t;
+      (** flight recorder over both sides' registries
+          ({!Fbsr_util.Timeseries.none} unless [telemetry]) *)
+  health : Fbsr_fbs.Health.t;
+      (** rule monitor over [timeseries] ({!Fbsr_fbs.Health.none} unless
+          [telemetry]) *)
+  flowstats : Fbsr_fbs.Flowstats.t;
+      (** heavy-hitter sketches exact-merged across every shard of both
+          sides ({!Fbsr_fbs.Flowstats.none} unless [telemetry]) *)
 }
 
 val run :
@@ -39,14 +48,22 @@ val run :
   ?nshards:int ->
   ?seed:int ->
   ?fst_bits:int ->
+  ?telemetry:bool ->
   unit ->
   result
 (** Defaults: 10⁶ flows, 10⁶ datagrams, batches of 4096, shard count
     from {!Fbsr_util.Domain_shim.recommended_domain_count}, FST sized at
-    [2^fst_bits] (default 19). *)
+    [2^fst_bits] (default 19).
+
+    [telemetry] (default off) arms the whole telemetry plane: per-shard
+    heavy-hitter sketches on every engine, a flight recorder ticked from
+    the dispatcher's batch hook at 0.05 s (sim) cadence over a registry
+    holding both sides (root aggregate + [shard.<i>.] twins), and the
+    health monitor evaluated each snapshot. *)
 
 val to_json : result -> Fbsr_util.Json.t
-(** An [fbsr-zipf/1] document. *)
+(** An [fbsr-zipf/1] document (with a [telemetry] member — timeseries,
+    health, flowstats — when the run was telemetered). *)
 
 val report :
   ?flows:int ->
@@ -55,10 +72,13 @@ val report :
   ?nshards:int ->
   ?seed:int ->
   ?fst_bits:int ->
+  ?telemetry:bool ->
   ?json:string ->
   unit ->
   result
-(** {!run}, print the human summary, optionally write the JSON artifact. *)
+(** {!run}, print the human summary (plus top flows, health verdicts and
+    a drop dashboard when [telemetry]), optionally write the JSON
+    artifact. *)
 
 (** {2 Miss-rate curve}
 
@@ -118,3 +138,80 @@ val curve_report :
   curve
 (** {!miss_curve}, print the curve as a table, optionally write the
     JSON artifact. *)
+
+(** {2 Sweeper-cadence study}
+
+    The other open half of the §7.3 ROADMAP item: under Zipf skew, how
+    often should the FAM sweeper run?  Each point replays the same
+    skewed workload against a fresh sharded pair whose dispatcher FST
+    has a deliberately short idle THRESHOLD, sweeping at a different
+    cadence (0 = never).  Hot flows survive any cadence; tail flows
+    swept out between revisits restart as fresh flows — new sfl, new
+    flow-key derivation — so the table reads as FST occupancy versus
+    restart-and-rekey churn, with the per-tick TFKC miss-rate series
+    recovered from the flight recorder. *)
+
+type sweep_row = {
+  cadence_s : float;  (** seconds between sweeps; 0 = never swept *)
+  sweeps : int;
+  expired : int;  (** flows the sweeper expired *)
+  sw_flows_started : int;
+  restarts : int;  (** [flows_started] minus distinct flows touched *)
+  active_end : int;  (** FST occupancy at the end of the run *)
+  sw_tfkc_accesses : int;
+  sw_tfkc_miss_rate : float;
+  sw_flow_keys : int;
+  miss_series : (float * float) list;
+      (** [(time, interval TFKC miss rate)] per recorder tick *)
+}
+
+type sweep_study = {
+  sweep_points : sweep_row list;
+  sw_flows : int;
+  sw_datagrams : int;
+  sw_threshold : float;
+  sw_round_dt : float;
+  sw_nshards : int;
+  sw_elapsed_s : float;
+  sw_failures : string list;
+  sw_ok : bool;
+}
+
+val default_cadences : float list
+(** [0.25 … 5.0] seconds, plus never. *)
+
+val sweep_study :
+  ?cadences:float list ->
+  ?flows:int ->
+  ?datagrams:int ->
+  ?batch:int ->
+  ?round_dt:float ->
+  ?threshold:float ->
+  ?nshards:int ->
+  ?seed:int ->
+  ?fst_bits:int ->
+  unit ->
+  sweep_study
+(** Defaults: 10⁵ flows, 120 000 datagrams per point in batches of
+    1024, the simulated clock advancing [round_dt] (0.1 s) per batch,
+    idle threshold 2 s.  Every datagram must still round-trip cleanly
+    at every point.
+    @raise Invalid_argument on an empty [cadences] list. *)
+
+val sweep_study_to_json : sweep_study -> Fbsr_util.Json.t
+(** An [fbsr-sweep-study/1] document. *)
+
+val sweep_study_report :
+  ?cadences:float list ->
+  ?flows:int ->
+  ?datagrams:int ->
+  ?batch:int ->
+  ?round_dt:float ->
+  ?threshold:float ->
+  ?nshards:int ->
+  ?seed:int ->
+  ?fst_bits:int ->
+  ?json:string ->
+  unit ->
+  sweep_study
+(** {!sweep_study}, print the table, optionally write the artifact. *)

@@ -137,6 +137,9 @@ type t = {
   counters : counters;
   trace : Fbsr_util.Trace.t;
   spans : Fbsr_util.Span.t;
+  (* Per-flow heavy-hitter attribution (sfl-keyed sketches); [Flowstats.none]
+     keeps the datapath at one branch per quantity. *)
+  flowstats : Flowstats.t;
   (* One-entry memo for the string-keyed [seal]/[send_sealed] path (the
      combined FST+TFKC fast path supplies raw flow keys from its own
      table): reuses the expanded schedules as long as consecutive calls
@@ -156,7 +159,8 @@ let triple_equal (a1, b1, c1) (a2, b2, c2) =
 let create ?(suite = Suite.paper_md5_des) ?(tfkc_sets = 128) ?(rfkc_sets = 128)
     ?(cache_assoc = 1) ?(replay_window_minutes = 2) ?(strict_replay = false)
     ?(confounder_seed = 0x5eed) ?(trace = Fbsr_util.Trace.none)
-    ?(spans = Fbsr_util.Span.none) ~keying ~fam () =
+    ?(spans = Fbsr_util.Span.none) ?(flowstats = Flowstats.none) ~keying ~fam
+    () =
   (* Force the built-in armor manifest before consulting the registry:
      linking semantics drop unreferenced archive members, so the
      instances' registrations must be reachable from here. *)
@@ -208,6 +212,7 @@ let create ?(suite = Suite.paper_md5_des) ?(tfkc_sets = 128) ?(rfkc_sets = 128)
     confounder_gen = Fbsr_util.Lcg.create confounder_seed;
     trace;
     spans;
+    flowstats;
     seal_memo = None;
     counters;
   }
@@ -221,6 +226,18 @@ let rfkc t = t.rfkc
 let replay t = t.replay
 let counters t = t.counters
 let spans t = t.spans
+let flowstats t = t.flowstats
+
+(* Receive-side drop attribution: called on every drop verdict where the
+   sfl made it out of the header (header-decode failures have no flow to
+   attribute to). *)
+let note_flow_drop t sfl =
+  if Flowstats.enabled t.flowstats then
+    Fbsr_util.Sketch.observe t.flowstats.Flowstats.drops (Sfl.to_int64 sfl) 1
+
+let note_flow_degraded t sfl =
+  if Flowstats.enabled t.flowstats then
+    Fbsr_util.Sketch.observe t.flowstats.Flowstats.degraded (Sfl.to_int64 sfl) 1
 
 (* Register the whole fbs.* subtree for this engine: its own counters
    (including drops.<cause>), all five cache levels, replay and FAM
@@ -333,8 +350,12 @@ let flow_key_via t cache ~sfl ~peer ~src ~dst (k : (flow_entry, error) result ->
             k (Error (Keying_error e))
         | Ok master ->
             t.counters.flow_key_computations <- t.counters.flow_key_computations + 1;
-            if revisit then
+            if revisit then begin
               t.counters.flow_key_recoveries <- t.counters.flow_key_recoveries + 1;
+              (* Soft-state degradation: the flow's key material had to be
+                 recomputed after eviction — attribute it to the flow. *)
+              note_flow_degraded t sfl
+            end;
             if Fbsr_util.Trace.enabled t.trace then
               Fbsr_util.Trace.emit t.trace "fbs.engine.key.derive"
                 [
@@ -383,6 +404,11 @@ let seal_entry ?confounder t ~now ~sfl ~entry ~secret ~payload =
   in
   let timestamp = Replay.minutes_of_seconds now in
   let payload_len = String.length payload in
+  if Flowstats.enabled t.flowstats then begin
+    let key = Sfl.to_int64 sfl in
+    Fbsr_util.Sketch.observe t.flowstats.Flowstats.datagrams key 1;
+    Fbsr_util.Sketch.observe t.flowstats.Flowstats.bytes key payload_len
+  end;
   let mac =
     A.seal_mac t.actx entry ~secret ~confounder ~timestamp
       ~payload:(Fbsr_util.Slice.of_string payload)
@@ -566,6 +592,11 @@ let seal_entry_deferred t ~(ops : Armor.batch_ops) ~now ~sfl ~entry ~payload =
   let confounder = Fbsr_util.Lcg.next_u32 t.confounder_gen in
   let timestamp = Replay.minutes_of_seconds now in
   let payload_len = String.length payload in
+  if Flowstats.enabled t.flowstats then begin
+    let key = Sfl.to_int64 sfl in
+    Fbsr_util.Sketch.observe t.flowstats.Flowstats.datagrams key 1;
+    Fbsr_util.Sketch.observe t.flowstats.Flowstats.bytes key payload_len
+  end;
   let mac =
     A.seal_mac t.actx entry ~secret:true ~confounder ~timestamp
       ~payload:(Fbsr_util.Slice.of_string payload)
@@ -830,6 +861,7 @@ let receive_slice t ~now ~src ~(wire : Fbsr_util.Slice.t)
         match verdict with
         | Replay.Stale ->
             t.counters.errors_stale <- t.counters.errors_stale + 1;
+            note_flow_drop t v.Header.v_sfl;
             if Fbsr_util.Trace.enabled t.trace then
               Fbsr_util.Trace.emit t.trace ~time:now "fbs.engine.replay.reject"
                 [
@@ -848,6 +880,7 @@ let receive_slice t ~now ~src ~(wire : Fbsr_util.Slice.t)
                     }))
         | Replay.Duplicate ->
             t.counters.errors_duplicate <- t.counters.errors_duplicate + 1;
+            note_flow_drop t v.Header.v_sfl;
             if Fbsr_util.Trace.enabled t.trace then
               Fbsr_util.Trace.emit t.trace ~time:now "fbs.engine.replay.reject"
                 [
@@ -861,6 +894,7 @@ let receive_slice t ~now ~src ~(wire : Fbsr_util.Slice.t)
             flow_key_via t t.rfkc ~sfl:v.Header.v_sfl ~peer:src ~src ~dst (function
               | Error e ->
                   t.counters.errors_keying <- t.counters.errors_keying + 1;
+                  note_flow_drop t v.Header.v_sfl;
                   conclude_receive t tm "drop:keying";
                   k (Error e)
               | Ok entry -> (
@@ -898,6 +932,7 @@ let receive_slice t ~now ~src ~(wire : Fbsr_util.Slice.t)
                     end
                     else begin
                       t.counters.errors_mac <- t.counters.errors_mac + 1;
+                      note_flow_drop t v.Header.v_sfl;
                       conclude_receive t tm "drop:mac";
                       k (Error Bad_mac)
                     end
@@ -917,6 +952,7 @@ let receive_slice t ~now ~src ~(wire : Fbsr_util.Slice.t)
                           (fun () -> plaintext)
                     | Error e ->
                         t.counters.errors_decrypt <- t.counters.errors_decrypt + 1;
+                        note_flow_drop t v.Header.v_sfl;
                         conclude_receive t tm "drop:decrypt";
                         k (Error e)
                   else

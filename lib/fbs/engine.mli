@@ -77,6 +77,7 @@ val create :
   ?confounder_seed:int ->
   ?trace:Fbsr_util.Trace.t ->
   ?spans:Fbsr_util.Span.t ->
+  ?flowstats:Flowstats.t ->
   keying:Keying.t ->
   fam:Fam.t ->
   unit ->
@@ -123,6 +124,13 @@ val counters : t -> counters
 
 val spans : t -> Fbsr_util.Span.t
 (** The engine's span recorder ({!Fbsr_util.Span.none} when disabled). *)
+
+val flowstats : t -> Flowstats.t
+(** Per-flow heavy-hitter attribution ({!Flowstats.none} when disabled).
+    The seal paths observe one datagram and [payload] bytes per sealed
+    datagram under the flow's sfl; receive-side drop verdicts that carry
+    an sfl (everything but header-decode failures) observe one drop; a
+    post-eviction flow-key recomputation observes one degradation. *)
 
 val register_metrics : t -> Fbsr_util.Metrics.t -> unit
 (** Register the engine's whole [fbs.*] subtree on [m]: its counters under

@@ -1,0 +1,69 @@
+(** Rule-driven health monitor over the telemetry flight recorder.
+
+    Each cadence (after {!Fbsr_util.Timeseries.tick} lands a new row),
+    {!check} evaluates a fixed rule set against the interval deltas of
+    the newest two rows and records any firings:
+
+    - [tfkc-miss-rate] / [rfkc-miss-rate]: the interval miss rate of the
+      flow-key cache ([fbs.cache.{tfkc,rfkc}.misses.total] against
+      [.hits]) exceeded [miss_rate_limit] with at least [min_events]
+      lookups in the interval — the soft-state recovery storm of the
+      paper's Section 6, caught live.
+    - [forgery-drops]: nonzero interval delta of [fbs.engine.drops.mac]
+      — somebody's MACs are failing verification.
+    - [replay-drops]: nonzero interval delta of
+      [fbs.engine.drops.stale + fbs.engine.drops.duplicate].
+    - [stage-p99]: any per-stage interval p99 column
+      ([*.stage.<stage>.p99]) exceeded [p99_limit] seconds.
+    - [shard-imbalance]: with at least [min_events] interval sends, the
+      busiest shard's [shard.<i>.fbs.engine.sends] delta exceeded
+      [imbalance_factor] times the per-shard mean.
+
+    Every firing emits a [health.<rule>] event on the attached trace and
+    updates the rule's worst-seen record; {!to_json} serializes the
+    whole monitor as the ["fbsr-health/1"] artifact section.  The
+    monitor is advisory: {!ok} reports whether any rule ever fired, and
+    scenario drivers decide what that means (a fault-injection run
+    {e expects} firings — they prove the monitor sees the faults). *)
+
+type t
+
+val none : t
+(** Shared disabled monitor: [check] is a single branch. *)
+
+val create :
+  ?trace:Fbsr_util.Trace.t ->
+  ?min_events:int ->
+  ?miss_rate_limit:float ->
+  ?p99_limit:float ->
+  ?imbalance_factor:float ->
+  ts:Fbsr_util.Timeseries.t ->
+  unit ->
+  t
+(** Defaults: [min_events] 32 interval samples before a rate/balance
+    rule may fire, [miss_rate_limit] 0.5, [p99_limit] 0.01 s,
+    [imbalance_factor] 4.0.  [trace] (default disabled) receives one
+    [health.<rule>] event per firing. *)
+
+val enabled : t -> bool
+
+val check : t -> now:float -> unit
+(** Evaluate the rules if the recorder has taken a new row since the
+    last call (and has at least two rows to delta).  Call right after
+    [Timeseries.tick] from the same loop. *)
+
+val checks : t -> int
+(** Evaluations performed (calls that saw a fresh row). *)
+
+val fired : t -> int
+(** Total rule firings across all evaluations. *)
+
+val ok : t -> bool
+(** True iff no rule has ever fired. *)
+
+val to_json : t -> Fbsr_util.Json.t
+(** ["fbsr-health/1"]: [{schema; checks; fired; ok; rules: [{rule;
+    fired; threshold; worst: {at; value; detail} | null}]}]. *)
+
+val report : Format.formatter -> t -> unit
+(** One line per rule: fired count, threshold, worst observation. *)

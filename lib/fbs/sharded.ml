@@ -13,6 +13,9 @@ type t = {
   engines : Engine.t array;
   fam : Fam.t;
   confounders : Fbsr_util.Lcg.t;
+  (* Telemetry tick: runs on the dispatching domain after each batch
+     joins, when every shard's state is quiescent and safe to snapshot. *)
+  mutable on_tick : now:float -> unit;
 }
 
 let create ?nshards ?(confounder_seed = 0x5eed) ~engine ~fam () =
@@ -29,6 +32,7 @@ let create ?nshards ?(confounder_seed = 0x5eed) ~engine ~fam () =
     engines = Array.init n engine;
     fam;
     confounders = Fbsr_util.Lcg.create confounder_seed;
+    on_tick = (fun ~now:_ -> ());
   }
 
 let nshards t = t.nshards
@@ -36,6 +40,10 @@ let requested_shards t = t.requested_shards
 let engine t i = t.engines.(i)
 let engines t = Array.copy t.engines
 let fam t = t.fam
+let set_tick_hook t f = t.on_tick <- f
+
+let flowstats t =
+  Flowstats.merge (Array.to_list (Array.map Engine.flowstats t.engines))
 
 let shard_of_crc t crc = crc land max_int mod t.nshards
 let shard_of_sfl t sfl = shard_of_crc t (Fbsr_util.Crc32.update_int64 0 (Sfl.to_int64 sfl))
@@ -94,6 +102,7 @@ let send_all t ~now ~secret jobs =
       Engine.send_classified ~confounder:confs.(i) t.engines.(s) ~now
         ~sfl:sfls.(i) ~src:attrs.Fam.src ~dst:attrs.Fam.dst ~secret ~payload
         (fun r -> results.(i) <- Some r));
+  t.on_tick ~now;
   Array.map (settled "send_all") results
 
 let receive_all t ~now ~src wires =
@@ -110,6 +119,7 @@ let receive_all t ~now ~src wires =
   run_buckets t buckets (fun s i ->
       Engine.receive t.engines.(s) ~now ~src ~wire:wires.(i) (fun r ->
           results.(i) <- Some r));
+  t.on_tick ~now;
   Array.map (settled "receive_all") results
 
 let register_metrics t m =

@@ -53,6 +53,16 @@ val engine : t -> int -> Engine.t
 val engines : t -> Engine.t array
 val fam : t -> Fam.t
 
+val set_tick_hook : t -> (now:float -> unit) -> unit
+(** Install a telemetry tick: called on the dispatching domain after each
+    {!send_all}/{!receive_all} batch joins (shards quiescent), with the
+    batch's [now].  Scenario drivers hang {!Fbsr_util.Timeseries.tick}
+    and health evaluation here. *)
+
+val flowstats : t -> Flowstats.t
+(** Exact {!Flowstats.merge} of every shard engine's sketches (sfl
+    sharding keeps their key spaces disjoint).  Call between batches. *)
+
 val shard_of_sfl : t -> Sfl.t -> int
 (** [crc32(sfl) mod nshards] — the owning shard. *)
 

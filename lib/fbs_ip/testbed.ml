@@ -31,20 +31,24 @@ type t = {
   trace : Fbsr_util.Trace.t;
   span_capacity : int; (* 0 = causal tracing disabled *)
   span_cost_clock : (unit -> float) option;
+  sampler : Fbsr_util.Span.sampler option; (* shared across all recorders *)
   mutable recorders : Fbsr_util.Span.t list; (* one per host, newest first *)
 }
 
 (* One bounded flight recorder per host, on the shared simulated clock so
    merged cross-host timelines align.  The per-stage latency histograms of
    every recorder share the site registry's "span." scope, so
-   "span.stage.<stage>" aggregates across hosts. *)
+   "span.stage.<stage>" aggregates across hosts.  The adaptive sampler —
+   when span sampling is on — is likewise shared: a chain's terminal span
+   usually lands on a *different* host's recorder (the receiver, or a
+   dropping link) than the sender-side spans it must retro-keep. *)
 let new_recorder t label =
   if t.span_capacity = 0 then Fbsr_util.Span.none
   else begin
     let sp =
       Fbsr_util.Span.create ~capacity:t.span_capacity ~host:label
         ~clock:(fun () -> Engine.now t.engine)
-        ?cost_clock:t.span_cost_clock
+        ?cost_clock:t.span_cost_clock ?sampler:t.sampler
         ~metrics:(Fbsr_util.Metrics.sub t.metrics "span")
         ()
     in
@@ -75,8 +79,15 @@ let attach_link t ~spans host =
 
 let create ?(seed = 42) ?(bandwidth_bps = 10_000_000.0) ?(group_bits = 0) ?config
     ?(mkd_config = Mkd.default_config) ?faults ?metrics
-    ?(trace = Fbsr_util.Trace.none) ?(span_capacity = 0) ?span_cost_clock () =
+    ?(trace = Fbsr_util.Trace.none) ?(span_capacity = 0) ?span_cost_clock
+    ?(span_sample = 1) () =
   if span_capacity < 0 then invalid_arg "Testbed: negative span_capacity";
+  if span_sample < 1 then invalid_arg "Testbed: span_sample must be >= 1";
+  let sampler =
+    if span_capacity > 0 && span_sample > 1 then
+      Some (Fbsr_util.Span.sampler ~ratio:span_sample ())
+    else None
+  in
   let rng = Fbsr_util.Rng.create seed in
   let engine = Engine.create () in
   let medium = Medium.create ~bandwidth_bps ~seed:(seed + 1) engine in
@@ -113,6 +124,7 @@ let create ?(seed = 42) ?(bandwidth_bps = 10_000_000.0) ?(group_bits = 0) ?confi
       trace;
       span_capacity;
       span_cost_clock;
+      sampler;
       recorders = [];
     }
   in
@@ -206,6 +218,7 @@ let group t = t.group
 let authority t = t.authority
 let metrics t = t.metrics
 let trace t = t.trace
+let span_sampler t = t.sampler
 let span_recorders t = List.rev t.recorders
 let collect_spans t = Fbsr_util.Span.collect (List.rev t.recorders)
 let ca_server t = t.ca_server

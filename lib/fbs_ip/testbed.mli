@@ -24,6 +24,7 @@ val create :
   ?trace:Fbsr_util.Trace.t ->
   ?span_capacity:int ->
   ?span_cost_clock:(unit -> float) ->
+  ?span_sample:int ->
   unit ->
   t
 (** [group_bits = 0] (default) uses the fast 61-bit test group; [1024]
@@ -49,7 +50,18 @@ val create :
     clock) supplies the per-stage cost measurement — pass a wall clock
     (e.g. [Unix.gettimeofday]) to measure real per-stage CPU latency from
     a simulated run.
-    @raise Invalid_argument on negative [span_capacity]. *)
+
+    [span_sample] (default 1 = record everything) turns on adaptive span
+    sampling: one shared {!Fbsr_util.Span.sampler} head-keeps 1-in-N
+    chains by trace-id hash and tail-keeps {e every} chain whose terminal
+    span is anomalous (a ["drop:*"] outcome, a forgery/replay verdict, or
+    a degradation mark), with the full sender-side causal context parked
+    until the verdict arrives.  The sampler is shared across all of the
+    site's recorders because a chain's terminal span lands on the
+    receiver (or a dropping link), not the sender.  Per-stage latency
+    histograms observe every span regardless of the sampling decision.
+    @raise Invalid_argument on negative [span_capacity] or
+    [span_sample < 1]. *)
 
 val add_host : t -> name:string -> addr:string -> node
 val add_plain_host : t -> name:string -> addr:string -> Host.t
@@ -73,6 +85,11 @@ val metrics : t -> Fbsr_util.Metrics.t
     default). *)
 
 val trace : t -> Fbsr_util.Trace.t
+
+val span_sampler : t -> Fbsr_util.Span.sampler option
+(** The shared adaptive sampler, when [span_sample > 1] was requested —
+    read its {!Fbsr_util.Span.sampler_stats} to audit keep/discard
+    decisions. *)
 
 val span_recorders : t -> Fbsr_util.Span.t list
 (** Every host's flight recorder, in host-creation order (key server

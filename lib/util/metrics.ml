@@ -49,12 +49,17 @@ type cell =
   | Probe of (unit -> int) list ref
   | Probe_f of (unit -> float) list ref
 
-type t = { prefix : string; cells : (string, cell) Hashtbl.t }
+type t = {
+  prefix : string;
+  cells : (string, cell) Hashtbl.t;
+  help : (string, string) Hashtbl.t; (* full name -> # HELP text *)
+}
 
 let create ?(scope = "") () =
   {
     prefix = (if scope = "" then "" else scope ^ ".");
     cells = Hashtbl.create 64;
+    help = Hashtbl.create 16;
   }
 
 let default = create ()
@@ -315,12 +320,35 @@ let pp ppf t =
 (* Prometheus-style exposition                                         *)
 (* ------------------------------------------------------------------ *)
 
-(* Metric names admit [a-zA-Z0-9_:]; our dotted namespace maps onto it
-   with '.' (and anything else exotic) folded to '_'. *)
+(* Metric names admit [a-zA-Z_:][a-zA-Z0-9_:]*; our dotted namespace maps
+   onto it with '.' (and anything else exotic) folded to '_', and a
+   leading digit guarded with '_'. *)
 let prometheus_name name =
-  String.map
-    (function ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':') as c -> c | _ -> '_')
-    name
+  let mapped =
+    String.map
+      (function ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':') as c -> c | _ -> '_')
+      name
+  in
+  if mapped = "" then "_"
+  else
+    match mapped.[0] with '0' .. '9' -> "_" ^ mapped | _ -> mapped
+
+(* Escaping for # HELP text and label values per the exposition format:
+   backslash and newline always; double quotes additionally inside label
+   values. *)
+let prometheus_escape ?(quote = false) s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '"' when quote -> Buffer.add_string buf "\\\""
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let describe t name text = Hashtbl.replace t.help (t.prefix ^ name) text
 
 let prometheus_float f =
   if Float.is_nan f then "NaN"
@@ -333,6 +361,18 @@ let prometheus_float f =
 let to_text t =
   let buf = Buffer.create 4096 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  let head name p kind =
+    (* # HELP precedes # TYPE; registered text wins, otherwise a generated
+       line naming the original dotted metric (which the name folding may
+       have obscured). *)
+    let help =
+      match Hashtbl.find_opt t.help name with
+      | Some h -> h
+      | None -> Printf.sprintf "fbsr %s %s" kind name
+    in
+    line "# HELP %s %s" p (prometheus_escape help);
+    line "# TYPE %s %s" p kind
+  in
   List.iter
     (fun name ->
       match Hashtbl.find_opt t.cells name with
@@ -341,17 +381,17 @@ let to_text t =
           let p = prometheus_name name in
           match cell with
           | Counter c ->
-              line "# TYPE %s counter" p;
+              head name p "counter";
               line "%s %d" p c.count
           | Probe fs ->
               (* Probes read monotone subsystem tallies; expose as counters. *)
-              line "# TYPE %s counter" p;
+              head name p "counter";
               line "%s %d" p (List.fold_left (fun acc f -> acc + f ()) 0 !fs)
           | Gauge g ->
-              line "# TYPE %s gauge" p;
+              head name p "gauge";
               line "%s %s" p (prometheus_float g.value)
           | Probe_f fs ->
-              line "# TYPE %s gauge" p;
+              head name p "gauge";
               line "%s %s" p
                 (prometheus_float
                    (List.fold_left (fun acc f -> acc +. f ()) 0.0 !fs))
@@ -359,13 +399,14 @@ let to_text t =
               (* Prometheus buckets are cumulative over 'le' upper bounds and
                  must end with +Inf; empty interior buckets are elided (any
                  subset of the cumulative series is valid exposition). *)
-              line "# TYPE %s histogram" p;
+              head name p "histogram";
               let cumulative = ref 0 in
               List.iter
                 (fun (_, upper, n) ->
                   cumulative := !cumulative + n;
                   if n > 0 && upper <> Float.infinity then
-                    line "%s_bucket{le=\"%s\"} %d" p (prometheus_float upper)
+                    line "%s_bucket{le=\"%s\"} %d" p
+                      (prometheus_escape ~quote:true (prometheus_float upper))
                       !cumulative)
                 (histogram_buckets h);
               line "%s_bucket{le=\"+Inf\"} %d" p h.observations;

@@ -75,6 +75,11 @@ val histogram_buckets : histogram -> (float * float * int) list
 val register_probe : t -> string -> (unit -> int) -> unit
 val register_probe_f : t -> string -> (unit -> float) -> unit
 
+val describe : t -> string -> string -> unit
+(** [describe t name text] registers the [# HELP] text {!to_text} emits
+    for [name] (resolved under this view's prefix).  Metrics without a
+    description get a generated [# HELP] line. *)
+
 (** {1 Reading} *)
 
 val mem : t -> string -> bool
@@ -108,10 +113,12 @@ val to_json : t -> Json.t
 
 val to_text : t -> string
 (** Prometheus-style text exposition of everything under this view's
-    prefix.  Dotted names fold to underscores; counters and int probes
-    emit as [counter], gauges and float probes as [gauge], histograms as
-    [histogram] with cumulative [_bucket{le="..."}] lines (empty interior
-    buckets elided, a final [le="+Inf"] always present) plus [_sum] and
-    [_count]. *)
+    prefix.  Dotted names fold to underscores (a leading digit is guarded
+    with ['_']); every metric gets a [# HELP] line (see {!describe}; help
+    text and label values are escaped per the exposition format) followed
+    by [# TYPE].  Counters and int probes emit as [counter], gauges and
+    float probes as [gauge], histograms as [histogram] with cumulative
+    [_bucket{le="..."}] lines (empty interior buckets elided, a final
+    [le="+Inf"] always present) plus [_sum] and [_count]. *)
 
 val pp : Format.formatter -> t -> unit

@@ -66,14 +66,68 @@ type t = {
   clock : unit -> float;
   cost_clock : unit -> float;
   metrics : Metrics.t option;
+  smp : sampler option;
   ring : span option array;
   mutable recorded : int;
 }
 
+(* A chain's fate is only known at its terminal span, usually on a
+   different host's recorder than the spans already emitted (the sender's
+   seal spans conclude at the receiver).  The sampler is therefore shared
+   across a site's recorders: undecided spans park here tagged with their
+   recorder, and the terminal span retro-flushes or discards them. *)
+and sampler = {
+  ratio : int; (* keep 1 in [ratio] chains by id hash; <= 1 keeps all *)
+  pending_cap : int; (* max parked spans before oldest chains are evicted *)
+  pending : (int64, (t * span) list ref) Hashtbl.t;
+  order : int64 Queue.t; (* chain ids in first-parked order, may be stale *)
+  mutable pending_count : int;
+  promoted : (int64, unit) Hashtbl.t; (* anomalous chains: keep everything *)
+  mutable kept_chains : int;
+  mutable promoted_chains : int;
+  mutable discarded_chains : int;
+  mutable evicted_chains : int;
+}
+
 let zero_clock () = 0.0
 
+let sampler ?(pending_cap = 16384) ~ratio () =
+  if ratio < 1 then invalid_arg "Span.sampler: ratio must be >= 1";
+  {
+    ratio;
+    pending_cap = max 1 pending_cap;
+    pending = Hashtbl.create 256;
+    order = Queue.create ();
+    pending_count = 0;
+    promoted = Hashtbl.create 64;
+    kept_chains = 0;
+    promoted_chains = 0;
+    discarded_chains = 0;
+    evicted_chains = 0;
+  }
+
+let ratio sm = sm.ratio
+let sampled_in sm id = Int64.to_int id land max_int mod sm.ratio = 0
+
+type sampler_stats = {
+  kept_chains : int;
+  promoted_chains : int;
+  discarded_chains : int;
+  evicted_chains : int;
+  pending_spans : int;
+}
+
+let sampler_stats (sm : sampler) =
+  {
+    kept_chains = sm.kept_chains;
+    promoted_chains = sm.promoted_chains;
+    discarded_chains = sm.discarded_chains;
+    evicted_chains = sm.evicted_chains;
+    pending_spans = sm.pending_count;
+  }
+
 let create ?(capacity = 8192) ?(host = "") ?(clock = zero_clock) ?cost_clock
-    ?metrics () =
+    ?metrics ?sampler () =
   if capacity < 0 then invalid_arg "Span.create: negative capacity";
   let cost_clock = Option.value cost_clock ~default:clock in
   {
@@ -82,6 +136,7 @@ let create ?(capacity = 8192) ?(host = "") ?(clock = zero_clock) ?cost_clock
     clock;
     cost_clock;
     metrics;
+    smp = sampler;
     ring = Array.make (max capacity 1) None;
     recorded = 0;
   }
@@ -97,6 +152,66 @@ let zero_timer = { t0 = 0.0; c0 = 0.0 }
 
 let start t =
   if t.cap = 0 then zero_timer else { t0 = t.clock (); c0 = t.cost_clock () }
+
+let record t s =
+  t.ring.(t.recorded mod t.cap) <- Some s;
+  t.recorded <- t.recorded + 1
+
+(* The tail-keep predicate: any span that ends a chain in a drop, a
+   forgery/replay verdict, or that carries a degradation mark makes the
+   whole chain worth keeping regardless of the head-sampling decision. *)
+let is_anomaly s =
+  (String.length s.outcome >= 5 && String.sub s.outcome 0 5 = "drop:")
+  || s.outcome = "forged" || s.outcome = "replay"
+  || List.mem_assoc "degraded" s.detail
+
+let flush_pending sm id ~keep =
+  match Hashtbl.find_opt sm.pending id with
+  | None -> ()
+  | Some l ->
+      sm.pending_count <- sm.pending_count - List.length !l;
+      Hashtbl.remove sm.pending id;
+      if keep then List.iter (fun (t, s) -> record t s) (List.rev !l)
+
+let park sm t s =
+  (match Hashtbl.find_opt sm.pending s.id with
+  | Some l -> l := (t, s) :: !l
+  | None ->
+      Hashtbl.replace sm.pending s.id (ref [ (t, s) ]);
+      Queue.push s.id sm.order);
+  sm.pending_count <- sm.pending_count + 1;
+  while sm.pending_count > sm.pending_cap && not (Queue.is_empty sm.order) do
+    let victim = Queue.pop sm.order in
+    match Hashtbl.find_opt sm.pending victim with
+    | None -> () (* stale entry: that chain already concluded *)
+    | Some l ->
+        sm.pending_count <- sm.pending_count - List.length !l;
+        Hashtbl.remove sm.pending victim;
+        sm.evicted_chains <- sm.evicted_chains + 1
+  done
+
+let sampled_record t sm s =
+  if Int64.equal s.id 0L then record t s (* unattributed: never sampled out *)
+  else if sampled_in sm s.id then begin
+    if s.outcome <> "" then sm.kept_chains <- sm.kept_chains + 1;
+    record t s
+  end
+  else if Hashtbl.mem sm.promoted s.id then record t s
+  else if is_anomaly s then begin
+    (* Tail-keep: retro-flush the chain's parked spans (wherever they were
+       recorded), then let any later spans of this chain pass through. *)
+    flush_pending sm s.id ~keep:true;
+    if Hashtbl.length sm.promoted > 65536 then Hashtbl.reset sm.promoted;
+    Hashtbl.replace sm.promoted s.id ();
+    sm.promoted_chains <- sm.promoted_chains + 1;
+    record t s
+  end
+  else if s.outcome <> "" then begin
+    (* Normal terminal on a chain the head-sample passed over. *)
+    flush_pending sm s.id ~keep:false;
+    sm.discarded_chains <- sm.discarded_chains + 1
+  end
+  else park sm t s
 
 let finish t tm ?(id = 0L) ?(outcome = "") ?(detail = []) stage =
   if t.cap > 0 then begin
@@ -117,11 +232,15 @@ let finish t tm ?(id = 0L) ?(outcome = "") ?(detail = []) stage =
         detail;
       }
     in
-    t.ring.(t.recorded mod t.cap) <- Some s;
-    t.recorded <- t.recorded + 1;
-    match t.metrics with
+    (* Stage histograms see every span: sampling thins the causal ring, it
+       must not bias the latency distributions the bench gates read. *)
+    (match t.metrics with
     | Some m -> Metrics.observe (Metrics.histogram m ("stage." ^ stage)) cost
-    | None -> ()
+    | None -> ());
+    match t.smp with
+    | None -> record t s
+    | Some sm when sm.ratio <= 1 -> record t s
+    | Some sm -> sampled_record t sm s
   end
 
 let total t = t.recorded

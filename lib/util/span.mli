@@ -77,12 +77,59 @@ type t
 (** A bounded flight recorder (one per host in a simulated site).  When
     full, new spans overwrite the oldest. *)
 
+(** {2 Adaptive sampling}
+
+    At millions of flows an unsampled ring only remembers the last instant
+    of traffic.  A {!sampler} thins retention instead: chains are
+    head-sampled by trace-id hash (keep 1 in [ratio]), but any chain whose
+    span terminates in a [drop:*] outcome, a forgery/replay verdict, or a
+    degradation mark is kept {e in full} — undecided spans park in the
+    sampler until their chain's terminal span decides their fate, so the
+    complete causal context survives for every anomaly.
+
+    A chain's spans conclude on a different recorder than they began (the
+    sender's seal spans terminate at the receiver), so one sampler is
+    shared by all of a site's recorders.  The shared state is not
+    synchronized: share a sampler only among recorders driven from one
+    domain.  Stage histograms ([metrics]) observe every span regardless of
+    the sampling decision — sampling thins the causal ring only. *)
+
+type sampler
+
+val sampler : ?pending_cap:int -> ratio:int -> unit -> sampler
+(** Keep 1 in [ratio] normal chains ([1] keeps everything).  At most
+    [pending_cap] (default 16384) undecided spans park at once; beyond
+    that the oldest undecided chains are evicted un-retained.
+    @raise Invalid_argument when [ratio < 1]. *)
+
+val ratio : sampler -> int
+
+val sampled_in : sampler -> int64 -> bool
+(** The head-sampling decision for a trace id (pure hash, identical on
+    every recorder sharing the sampler). *)
+
+val is_anomaly : span -> bool
+(** The tail-keep predicate: a [drop:*] or forgery/replay outcome, or a
+    ["degraded"] detail mark, makes the whole chain worth keeping
+    regardless of the head-sampling decision. *)
+
+type sampler_stats = {
+  kept_chains : int;  (** head-sampled chains that reached a terminal *)
+  promoted_chains : int;  (** chains retained by the anomaly tail-keep *)
+  discarded_chains : int;  (** normal chains sampled out at their terminal *)
+  evicted_chains : int;  (** undecided chains dropped at [pending_cap] *)
+  pending_spans : int;  (** spans currently parked *)
+}
+
+val sampler_stats : sampler -> sampler_stats
+
 val create :
   ?capacity:int ->
   ?host:string ->
   ?clock:(unit -> float) ->
   ?cost_clock:(unit -> float) ->
   ?metrics:Metrics.t ->
+  ?sampler:sampler ->
   unit ->
   t
 (** Default capacity 8192.  [clock] (default: always 0.0) supplies the

@@ -600,15 +600,92 @@ let test_span_terminal_accounting () =
           s.Span.stage)
     spans
 
+(* At 1-in-64 head sampling the adaptive sampler must still retain every
+   drop-terminated chain in full (tail-keep promotion), with its causal
+   context, while normal delivered chains thin to the head-sampled
+   subset.  The head decision is a pure hash of the trace id, so a fresh
+   sampler at the same ratio reproduces it exactly. *)
+let test_span_sampling_drop_retention () =
+  let r =
+    Fbsr_experiments.Faults.run ~seed:23 ~messages:120
+      ~faults:Fbsr_experiments.Faults.hostile ~span_capacity:65536
+      ~span_sample:64 ()
+  in
+  let spans = spans_of r in
+  let open Fbsr_experiments.Faults in
+  (* 100% drop retention: the sampled recorder still matches the engine
+     and link counters exactly, per cause — nothing anomalous was lost. *)
+  check Alcotest.int "every MAC failure retained at 1/64"
+    r.mac_failures (terminal_count "drop:mac" spans);
+  check Alcotest.int "every header failure retained at 1/64"
+    r.header_failures (terminal_count "drop:header" spans);
+  check Alcotest.int "every stale rejection retained at 1/64"
+    r.stale_rejections (terminal_count "drop:stale" spans);
+  check Alcotest.int "every duplicate rejection retained at 1/64"
+    r.duplicate_rejections (terminal_count "drop:duplicate" spans);
+  check Alcotest.int "every decrypt failure retained at 1/64"
+    r.decrypt_failures (terminal_count "drop:decrypt" spans);
+  check Alcotest.int "every link drop retained at 1/64"
+    r.link.Link.dropped (terminal_count "drop:link" spans);
+  (* Causal context survives promotion: a drop-terminated chain carries
+     more than just its terminal span. *)
+  let chain id =
+    List.filter (fun (s : Span.span) -> Int64.equal s.Span.id id) spans
+  in
+  let is_drop (s : Span.span) =
+    String.length s.Span.outcome >= 5
+    && String.equal (String.sub s.Span.outcome 0 5) "drop:"
+  in
+  let anomalous id = List.exists Span.is_anomaly (chain id) in
+  List.iter
+    (fun id ->
+      if List.exists is_drop (chain id) && List.length (chain id) < 2 then
+        Alcotest.failf "drop chain %Ld promoted without its causal context" id)
+    (Span.ids spans);
+  (* Thinning: every retained chain is either head-sampled (reproducible
+     from the id alone) or contains an anomaly that tail-keep promoted. *)
+  let probe = Span.sampler ~ratio:64 () in
+  List.iter
+    (fun id ->
+      if not (Span.sampled_in probe id || anomalous id) then
+        Alcotest.failf "chain %Ld retained but neither sampled nor anomalous"
+          id)
+    (Span.ids spans);
+  (* And thinning actually happened: far fewer delivered terminals than
+     the unsampled run records. *)
+  check Alcotest.bool "delivered chains thinned" true
+    (terminal_count "delivered" spans < r.accepted + r.duplicates_delivered);
+  match r.sampler with
+  | None -> Alcotest.fail "sampler audit expected when span_sample > 1"
+  | Some st ->
+      check Alcotest.int "no undecided chains evicted" 0
+        st.Span.evicted_chains;
+      (* Chains still in flight when the simulation ends stay parked —
+         a handful, not an unbounded residue. *)
+      check Alcotest.bool "only in-flight chains still parked" true
+        (st.Span.pending_spans < 64);
+      check Alcotest.bool "tail-keep promoted anomalous chains" true
+        (st.Span.promoted_chains > 0);
+      check Alcotest.bool "normal chains were discarded" true
+        (st.Span.discarded_chains > 0)
+
 (* Tracing must not perturb the simulation: the same seed and profile
-   give byte-identical results with the recorders on or off. *)
+   give byte-identical results with the recorders on or off.  Only the
+   simulation outcome is compared — the spans themselves obviously
+   differ, and the telemetry recorder handles carry a NaN grid anchor
+   ([Timeseries] pre-first-tick) that defeats structural equality even
+   against itself. *)
 let test_span_tracing_is_transparent () =
   let run cap =
     let r =
       Fbsr_experiments.Faults.run ~seed:23 ~messages:60
         ~faults:Fbsr_experiments.Faults.hostile ~span_capacity:cap ()
     in
-    { r with Fbsr_experiments.Faults.spans = [] }
+    let open Fbsr_experiments.Faults in
+    ( r.offered, r.accepted, r.transmissions, r.duplicates_delivered,
+      r.forgeries_accepted, r.mac_failures, r.header_failures,
+      r.stale_rejections, r.duplicate_rejections, r.decrypt_failures,
+      r.flow_key_recoveries, r.mkd_fetches, r.mkd_retransmissions, r.link )
   in
   check Alcotest.bool "identical result with tracing on and off" true
     (run 0 = run 65536)
@@ -662,6 +739,8 @@ let () =
             test_span_monotone_under_reorder;
           Alcotest.test_case "terminal outcome accounting" `Quick
             test_span_terminal_accounting;
+          Alcotest.test_case "1/64 sampling retains every drop chain" `Quick
+            test_span_sampling_drop_retention;
           Alcotest.test_case "tracing does not perturb the run" `Quick
             test_span_tracing_is_transparent;
         ] );

@@ -402,6 +402,383 @@ let test_span_metrics_histograms () =
   check (Alcotest.float 1e-9) "cost observed in seconds" 0.25
     (Metrics.histogram_sum h)
 
+(* ------------------------------------------------------------------ *)
+(* Heavy-hitter sketches (Space-Saving candidates over linear count-min). *)
+(* ------------------------------------------------------------------ *)
+
+let test_sketch_basic () =
+  let s = Sketch.create ~slots:8 ~cm_width:1024 () in
+  check Alcotest.bool "enabled" true (Sketch.enabled s);
+  Sketch.observe s 7L 3;
+  Sketch.observe s 7L 2;
+  Sketch.observe s 9L 1;
+  check Alcotest.int "total sums weights" 6 (Sketch.total s);
+  check Alcotest.int "distinct keys tracked" 2 (Sketch.distinct_tracked s);
+  (* Count-min never underestimates; with two keys in 1024 cells there are
+     no collisions, so the estimates are exact. *)
+  check Alcotest.int "estimate of the heavy key" 5 (Sketch.estimate s 7L);
+  check Alcotest.int "estimate of the light key" 1 (Sketch.estimate s 9L);
+  check Alcotest.int "unseen key estimates zero" 0 (Sketch.estimate s 99L);
+  (* top: (estimate desc, key asc). *)
+  (match Sketch.top s 2 with
+  | [ (7L, 5); (9L, 1) ] -> ()
+  | l ->
+      Alcotest.failf "unexpected top-2: %s"
+        (String.concat ";"
+           (List.map (fun (k, e) -> Printf.sprintf "(%Ld,%d)" k e) l)));
+  check Alcotest.int "ss_bound = total/slots" 0 (Sketch.ss_bound s);
+  (* The shared disabled sketch: observe is a no-op, reads are empty. *)
+  Sketch.observe Sketch.none 7L 1;
+  check Alcotest.bool "none is disabled" false (Sketch.enabled Sketch.none);
+  check Alcotest.int "none total" 0 (Sketch.total Sketch.none);
+  check Alcotest.bool "none top empty" true (Sketch.top Sketch.none 4 = [])
+
+(* Million-observation Zipf-shaped fidelity: exact per-key counts in a
+   hashtable next to the sketch, then (a) every key heavier than the
+   Space-Saving bound is among the tracked candidates, (b) the exact
+   top-32 suffers zero false negatives in the sketch's top-32, and
+   (c) count-min estimates bracket the true counts from above within the
+   linear-CM error bound. *)
+let test_sketch_zipf_fidelity () =
+  let n = 1_000_000 in
+  let key_space = 1 lsl 20 in
+  let slots = 1024 and cm_width = 8192 in
+  let s = Sketch.create ~slots ~cm_width () in
+  let exact : (int64, int) Hashtbl.t = Hashtbl.create 4096 in
+  let lcg = Lcg.create 20260809 in
+  for _ = 1 to n do
+    (* Log-uniform rank: density ~ 1/k, the Zipf(1) shape. *)
+    let u = float_of_int (Lcg.next_u32 lcg) /. 4294967296.0 in
+    let k = Int64.of_float (float_of_int key_space ** u) in
+    Sketch.observe s k 1;
+    Hashtbl.replace exact k (1 + Option.value ~default:0 (Hashtbl.find_opt exact k))
+  done;
+  check Alcotest.int "sketch total = observations" n (Sketch.total s);
+  let bound = Sketch.ss_bound s in
+  let tracked = Sketch.top s (Sketch.distinct_tracked s) in
+  let tracked_keys = List.map fst tracked in
+  Hashtbl.iter
+    (fun k c ->
+      if c > bound && not (List.mem k tracked_keys) then
+        Alcotest.failf "key %Ld (count %d > bound %d) missing from candidates" k
+          c bound)
+    exact;
+  let exact_sorted =
+    Hashtbl.fold (fun k c l -> (k, c) :: l) exact []
+    |> List.sort (fun (ka, ca) (kb, cb) ->
+           if ca <> cb then compare cb ca else compare ka kb)
+  in
+  let take32 l = List.filteri (fun i _ -> i < 32) l in
+  let top32 = List.map fst (Sketch.top s 32) in
+  List.iter
+    (fun (k, c) ->
+      if not (List.mem k top32) then
+        Alcotest.failf "exact top-32 key %Ld (count %d) absent from sketch top-32"
+          k c)
+    (take32 exact_sorted);
+  let err_bound = 4 * n / cm_width in
+  List.iter
+    (fun (k, c) ->
+      let est = Sketch.estimate s k in
+      if est < c then
+        Alcotest.failf "count-min underestimated key %Ld: %d < %d" k est c;
+      if est > c + err_bound then
+        Alcotest.failf "count-min error for key %Ld beyond bound: %d > %d + %d" k
+          est c err_bound)
+    (take32 exact_sorted)
+
+(* Canonical merge: the same stream split across four per-shard sketches
+   and merged must serialize byte-for-byte like one sketch that saw the
+   whole stream — counts, checksum and the top-K list all reconstruct
+   from the summed count-min, not from per-shard candidate state.  The
+   serialized-equality guarantee needs the top-K candidates present on
+   both sides, which holds when no slot ever evicts (distinct <= slots,
+   as here) or when every top-K key clears the Space-Saving bound (the
+   million-flow case, exercised scenario-level in test_sharded). *)
+let test_sketch_merge_canonical () =
+  let single = Sketch.create ~slots:512 ~cm_width:2048 () in
+  let shards = Array.init 4 (fun _ -> Sketch.create ~slots:512 ~cm_width:2048 ()) in
+  let lcg = Lcg.create 77 in
+  for _ = 1 to 50_000 do
+    let u = float_of_int (Lcg.next_u32 lcg) /. 4294967296.0 in
+    let k = Int64.of_float (256.0 ** u) in
+    let w = 1 + (Int64.to_int k land 3) in
+    Sketch.observe single k w;
+    Sketch.observe shards.(Int64.to_int k land 3) k w
+  done;
+  let merged = Sketch.merge (Array.to_list shards) in
+  check Alcotest.int "merged total" (Sketch.total single) (Sketch.total merged);
+  check Alcotest.int "merged cm_checksum" (Sketch.cm_checksum single)
+    (Sketch.cm_checksum merged);
+  check Alcotest.string "merged sketch JSON is byte-identical"
+    (Json.to_string (Sketch.to_json single))
+    (Json.to_string (Sketch.to_json merged));
+  (match Sketch.merge [] with
+  | (_ : Sketch.t) -> Alcotest.fail "empty merge accepted"
+  | exception Invalid_argument _ -> ());
+  match Sketch.merge [ single; Sketch.create ~slots:8 () ] with
+  | (_ : Sketch.t) -> Alcotest.fail "dimension mismatch accepted"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Timeseries flight recorder.                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_timeseries_tick_ring () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "fbs.engine.sends" in
+  let ts = Timeseries.create ~capacity:4 ~cadence:1.0 ~host:"h" ~metrics:m () in
+  check Alcotest.bool "enabled" true (Timeseries.enabled ts);
+  check Alcotest.bool "none disabled" false (Timeseries.enabled Timeseries.none);
+  (* First tick anchors the cadence grid and snapshots immediately. *)
+  Timeseries.tick ts ~now:10.0;
+  check Alcotest.int "anchor tick snapshots" 1 (Timeseries.taken ts);
+  Timeseries.tick ts ~now:10.5;
+  check Alcotest.int "sub-cadence tick skipped" 1 (Timeseries.taken ts);
+  Metrics.incr ~by:7 c;
+  Timeseries.tick ts ~now:11.0;
+  check Alcotest.int "cadence tick snapshots" 2 (Timeseries.taken ts);
+  (* A late tick takes one snapshot, not one per missed grid point. *)
+  Metrics.incr ~by:5 c;
+  Timeseries.tick ts ~now:15.25;
+  check Alcotest.int "late tick snapshots once" 3 (Timeseries.taken ts);
+  check (Alcotest.pair (Alcotest.float 0.0) (Alcotest.float 0.0))
+    "last2 reads the newest two rows" (7.0, 12.0)
+    (Timeseries.last2 ts "fbs.engine.sends");
+  check (Alcotest.pair (Alcotest.float 0.0) (Alcotest.float 0.0))
+    "last2 on an unknown column is zero" (0.0, 0.0)
+    (Timeseries.last2 ts "no.such.column");
+  (* Ring overflow keeps the newest [capacity] rows in order. *)
+  for i = 1 to 4 do
+    Metrics.incr c;
+    Timeseries.tick ts ~now:(15.25 +. float_of_int i)
+  done;
+  check Alcotest.int "taken counts everything" 7 (Timeseries.taken ts);
+  check Alcotest.int "kept bounded by capacity" 4 (Timeseries.kept ts);
+  let series = Timeseries.series ts "fbs.engine.sends" in
+  check Alcotest.int "series spans the kept rows" 4 (Array.length series);
+  check (Alcotest.float 0.0) "oldest kept row" 13.0 (snd series.(0));
+  check (Alcotest.float 0.0) "newest row" 16.0 (snd series.(3))
+
+let test_timeseries_json_roundtrip () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "sends" in
+  let ts = Timeseries.create ~capacity:8 ~cadence:1.0 ~metrics:m () in
+  let expect = ref [] in
+  for i = 0 to 3 do
+    Metrics.incr ~by:(i * i) c;
+    Timeseries.tick ts ~now:(float_of_int i);
+    expect := float_of_int (Metrics.counter_value c) :: !expect
+  done;
+  let doc = Json.parse (Json.to_string (Timeseries.to_json ts)) in
+  check (Alcotest.option Alcotest.string) "schema" (Some "fbsr-timeseries/1")
+    (Option.bind (Json.member "schema" doc) Json.to_string_opt);
+  let floats name =
+    match Json.member name doc with
+    | Some (Json.List l) -> List.map (fun j -> Option.get (Json.to_float_opt j)) l
+    | _ -> Alcotest.failf "missing %s" name
+  in
+  let col =
+    match Json.member "names" doc with
+    | Some (Json.List l) ->
+        let names = List.map (fun j -> Option.get (Json.to_string_opt j)) l in
+        let rec index i = function
+          | [] -> Alcotest.fail "column missing from names"
+          | "sends" :: _ -> i
+          | _ :: rest -> index (i + 1) rest
+        in
+        index 0 names
+    | _ -> Alcotest.fail "names missing"
+  in
+  (* base + cumulative deltas reconstruct the recorded series exactly. *)
+  let base = List.nth (floats "base") col in
+  let deltas =
+    match Json.member "deltas" doc with
+    | Some (Json.List rows) ->
+        List.map
+          (fun row ->
+            match row with
+            | Json.List cells -> Option.get (Json.to_float_opt (List.nth cells col))
+            | _ -> Alcotest.fail "bad delta row")
+          rows
+    | _ -> Alcotest.fail "deltas missing"
+  in
+  let reconstructed =
+    List.rev
+      (List.fold_left (fun acc d -> (List.hd acc +. d) :: acc) [ base ] deltas)
+  in
+  check (Alcotest.list (Alcotest.float 0.0)) "base+deltas reconstruct the series"
+    (List.rev !expect) reconstructed
+
+(* Interval p99: the recorded percentile covers only the observations
+   since the previous snapshot, not the lifetime distribution. *)
+let test_timeseries_interval_p99 () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram ~buckets:[| 0.001; 0.01; 0.1 |] m "lat" in
+  let ts = Timeseries.create ~capacity:8 ~cadence:1.0 ~metrics:m () in
+  for _ = 1 to 100 do
+    Metrics.observe h 0.0005
+  done;
+  Timeseries.tick ts ~now:0.0;
+  (* New interval: all fast observations again — a lifetime p99 would
+     still sit in the first bucket either way; now poison the interval. *)
+  for _ = 1 to 10 do
+    Metrics.observe h 0.05
+  done;
+  Timeseries.tick ts ~now:1.0;
+  let _, p99 = Timeseries.last2 ts "lat.p99" in
+  check (Alcotest.float 1e-9) "interval p99 reflects only the new slow tail" 0.1
+    p99
+
+(* ------------------------------------------------------------------ *)
+(* Adaptive span sampling.                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_sampler_head_sampling () =
+  let sm = Span.sampler ~ratio:64 () in
+  check Alcotest.int "ratio" 64 (Span.ratio sm);
+  check Alcotest.bool "multiple of ratio is in-sample" true
+    (Span.sampled_in sm 128L);
+  check Alcotest.bool "off-residue id is out" false (Span.sampled_in sm 129L);
+  (* Pure hash of (id, ratio): identical across sampler instances, which
+     is what lets every recorder of a site share the decision. *)
+  let sm' = Span.sampler ~ratio:64 () in
+  for i = 1 to 1000 do
+    let id = Int64.of_int (i * 7919) in
+    if Span.sampled_in sm id <> Span.sampled_in sm' id then
+      Alcotest.failf "sampling decision for %Ld not instance-independent" id
+  done;
+  match Span.sampler ~ratio:0 () with
+  | (_ : Span.sampler) -> Alcotest.fail "ratio 0 accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_sampler_tail_keep () =
+  let sm = Span.sampler ~ratio:64 () in
+  let a = Span.create ~capacity:64 ~host:"a" ~sampler:sm () in
+  let b = Span.create ~capacity:64 ~host:"b" ~sampler:sm () in
+  let out1 = 129L and out2 = 130L and inn = 128L in
+  (* Out-of-sample chain that ends in a drop: its parked context — even
+     context parked on ANOTHER recorder sharing the sampler — is
+     retro-flushed, so the anomaly keeps its whole causal history. *)
+  Span.finish a (Span.start a) ~id:out1 "engine.seal";
+  Span.finish b (Span.start b) ~id:out1 ~outcome:"drop:mac" "engine.receive";
+  check Alcotest.int "sender context retro-flushed" 1
+    (List.length (Span.spans a));
+  check Alcotest.int "terminal recorded at the receiver" 1
+    (List.length (Span.spans b));
+  (* Out-of-sample chain with a normal terminal: nothing retained. *)
+  Span.finish a (Span.start a) ~id:out2 "engine.seal";
+  Span.finish b (Span.start b) ~id:out2 ~outcome:"delivered" "engine.receive";
+  check Alcotest.int "normal out-of-sample chain discarded" 1
+    (List.length (Span.spans a));
+  check Alcotest.int "normal terminal discarded too" 1
+    (List.length (Span.spans b));
+  (* Head-sampled chain: retained in full as it happens. *)
+  Span.finish a (Span.start a) ~id:inn "engine.seal";
+  Span.finish b (Span.start b) ~id:inn ~outcome:"delivered" "engine.receive";
+  let st = Span.sampler_stats sm in
+  check Alcotest.int "kept (head-sampled terminals)" 1 st.Span.kept_chains;
+  check Alcotest.int "promoted (anomaly tail-keep)" 1 st.Span.promoted_chains;
+  check Alcotest.int "discarded normal chains" 1 st.Span.discarded_chains;
+  check Alcotest.int "nothing left parked" 0 st.Span.pending_spans;
+  (* Spans after promotion keep flowing to the ring. *)
+  Span.finish a (Span.start a) ~id:out1 "replay.check";
+  check Alcotest.int "post-promotion span recorded" 3
+    (List.length (Span.spans a))
+
+let test_sampler_eviction () =
+  let sm = Span.sampler ~ratio:1_000_000 ~pending_cap:4 () in
+  let r = Span.create ~capacity:64 ~sampler:sm () in
+  (* Five undecided out-of-sample chains, one parked span each: the cap
+     evicts the oldest un-retained. *)
+  for i = 1 to 5 do
+    Span.finish r (Span.start r) ~id:(Int64.of_int (i * 7 + 1)) "engine.seal"
+  done;
+  let st = Span.sampler_stats sm in
+  check Alcotest.int "oldest chain evicted at pending_cap" 1
+    st.Span.evicted_chains;
+  check Alcotest.int "cap holds" 4 st.Span.pending_spans;
+  check Alcotest.int "nothing reached the ring" 0 (List.length (Span.spans r))
+
+(* ------------------------------------------------------------------ *)
+(* Exposition-format details: # HELP lines and escaping.                *)
+(* ------------------------------------------------------------------ *)
+
+let test_to_text_help_and_escaping () =
+  let m = Metrics.create () in
+  Metrics.incr (Metrics.counter m "fbs.engine.sends");
+  Metrics.describe m "fbs.engine.sends" "datagrams sealed\nsince \"boot\" \\ total";
+  let h = Metrics.histogram ~buckets:[| 0.5 |] m "lat" in
+  Metrics.observe h 0.1;
+  Metrics.set (Metrics.gauge m "depth") 2.0;
+  let text = Metrics.to_text m in
+  let has sub =
+    check Alcotest.bool ("exposition contains " ^ String.escaped sub) true
+      (contains sub text)
+  in
+  (* Registered help: backslash and newline escape, quotes pass through. *)
+  has "# HELP fbs_engine_sends datagrams sealed\\nsince \"boot\" \\\\ total";
+  (* Every metric gets a HELP line; generated text names the original
+     dotted metric the name-folding obscured. *)
+  has "# HELP depth fbsr gauge depth";
+  has "# HELP lat fbsr histogram lat";
+  (* HELP precedes TYPE for the same metric. *)
+  (let help_idx =
+     let rec find i =
+       if i + 24 > String.length text then Alcotest.fail "HELP line missing"
+       else if String.sub text i 24 = "# HELP fbs_engine_sends " then i
+       else find (i + 1)
+     in
+     find 0
+   in
+   let type_idx =
+     let rec find i =
+       if i + 24 > String.length text then Alcotest.fail "TYPE line missing"
+       else if String.sub text i 24 = "# TYPE fbs_engine_sends " then i
+       else find (i + 1)
+     in
+     find 0
+   in
+   check Alcotest.bool "# HELP precedes # TYPE" true (help_idx < type_idx));
+  (* Bucket labels go through the label-value escaper (quotes included). *)
+  has "lat_bucket{le=\"0.5\"} 1"
+
+(* ------------------------------------------------------------------ *)
+(* Stats nearest-rank percentile edges.                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_nearest_rank_edges () =
+  (* n = 1: every percentile is the single sample. *)
+  List.iter
+    (fun p ->
+      check (Alcotest.float 0.0)
+        (Printf.sprintf "singleton p%g" p)
+        5.0
+        (Stats.percentile [| 5.0 |] p))
+    [ 0.0; 50.0; 99.0; 100.0 ];
+  (* Ties: nearest-rank lands inside the tied run. *)
+  let tied = [| 1.0; 1.0; 1.0; 2.0 |] in
+  check (Alcotest.float 0.0) "p50 of tied run" 1.0 (Stats.percentile tied 50.0);
+  check (Alcotest.float 0.0) "p75 hits the last tie" 1.0
+    (Stats.percentile tied 75.0);
+  check (Alcotest.float 0.0) "p99 reaches the outlier" 2.0
+    (Stats.percentile tied 99.0);
+  (* p = 0 clamps to the minimum rather than rank 0. *)
+  check (Alcotest.float 0.0) "p0 is the minimum" 1.0 (Stats.percentile tied 0.0);
+  check (Alcotest.float 0.0) "median of an even count (nearest rank)" 1.0
+    (Stats.median tied);
+  (* Unsorted input is sorted on a copy, input untouched. *)
+  let xs = [| 3.0; 1.0; 2.0 |] in
+  check (Alcotest.float 0.0) "unsorted input" 2.0 (Stats.percentile xs 50.0);
+  check (Alcotest.float 0.0) "input not mutated" 3.0 xs.(0);
+  (* Empty data and out-of-range p are errors, not silent zeros. *)
+  (match Stats.percentile [||] 50.0 with
+  | (_ : float) -> Alcotest.fail "empty data accepted"
+  | exception Invalid_argument _ -> ());
+  match Stats.percentile [| 1.0 |] 100.5 with
+  | (_ : float) -> Alcotest.fail "p > 100 accepted"
+  | exception Invalid_argument _ -> ()
+
 let () =
   Alcotest.run "metrics"
     [
@@ -418,6 +795,38 @@ let () =
           Alcotest.test_case "reset spares probes" `Quick
             test_reset_spares_probes;
           Alcotest.test_case "prometheus text exposition" `Quick test_to_text;
+          Alcotest.test_case "help lines and escaping" `Quick
+            test_to_text_help_and_escaping;
+        ] );
+      ( "sketch",
+        [
+          Alcotest.test_case "observe/estimate/top/bounds" `Quick
+            test_sketch_basic;
+          Alcotest.test_case "million-observation zipf fidelity" `Quick
+            test_sketch_zipf_fidelity;
+          Alcotest.test_case "canonical merge, byte for byte" `Quick
+            test_sketch_merge_canonical;
+        ] );
+      ( "timeseries",
+        [
+          Alcotest.test_case "cadence grid and ring overflow" `Quick
+            test_timeseries_tick_ring;
+          Alcotest.test_case "base+delta json round-trip" `Quick
+            test_timeseries_json_roundtrip;
+          Alcotest.test_case "interval p99" `Quick test_timeseries_interval_p99;
+        ] );
+      ( "sampler",
+        [
+          Alcotest.test_case "head sampling is a pure hash" `Quick
+            test_sampler_head_sampling;
+          Alcotest.test_case "anomaly tail-keep across recorders" `Quick
+            test_sampler_tail_keep;
+          Alcotest.test_case "pending-cap eviction" `Quick test_sampler_eviction;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "nearest-rank percentile edges" `Quick
+            test_stats_nearest_rank_edges;
         ] );
       ( "json",
         [

@@ -234,6 +234,51 @@ let test_allocs_per_shard () =
           2.0 row.Zipf_scenario.allocs_per_datagram)
     r.Zipf_scenario.rows
 
+(* --- Telemetry plane: heavy-hitter attribution is shard-invariant --- *)
+
+(* The merged wire-traffic sketches must not depend on how the datapath
+   was sharded: CM cells sum exactly, Space-Saving candidates recombine
+   by summed counts, and the top list is re-read from the merged CM with
+   a deterministic tie-break.  Byte equality of the per-quantity JSON
+   documents is the strongest observable form of that invariant — the
+   same comparison the paper-scale CI lane makes between a 4-shard run
+   and its single-shard control.  The [degraded] sketch is deliberately
+   excluded: it counts soft-state flow-key recoveries, and a 4-shard
+   site genuinely has 4× the flow-key-cache capacity of a single engine,
+   so its recovery workload differs — that quantity attributes engine
+   behaviour, not wire traffic. *)
+let test_flowstats_shard_invariant () =
+  let run nshards =
+    Zipf_scenario.run ~flows:20_000 ~datagrams:30_000 ~batch:1024 ~nshards
+      ~seed:77 ~fst_bits:15 ~telemetry:true ()
+  in
+  let r1 = run 1 in
+  let r4 = run 4 in
+  Alcotest.(check bool) "single-shard run ok" true r1.Zipf_scenario.ok;
+  Alcotest.(check bool) "four-shard run ok" true r4.Zipf_scenario.ok;
+  let doc sk = Fbsr_util.Json.to_string (Fbsr_util.Sketch.to_json sk) in
+  let fs (r : Zipf_scenario.result) = r.Zipf_scenario.flowstats in
+  check Alcotest.string "datagram sketch JSON is shard-invariant"
+    (doc (fs r1).Fbsr_fbs.Flowstats.datagrams)
+    (doc (fs r4).Fbsr_fbs.Flowstats.datagrams);
+  check Alcotest.string "byte sketch JSON is shard-invariant"
+    (doc (fs r1).Fbsr_fbs.Flowstats.bytes)
+    (doc (fs r4).Fbsr_fbs.Flowstats.bytes);
+  check Alcotest.string "drop sketch JSON is shard-invariant"
+    (doc (fs r1).Fbsr_fbs.Flowstats.drops)
+    (doc (fs r4).Fbsr_fbs.Flowstats.drops);
+  (* Sanity on the merged content: every sealed datagram was observed by
+     exactly one sender shard, and the stream is heavy-tailed enough that
+     the top flow dominates. *)
+  let dg = (fs r1).Fbsr_fbs.Flowstats.datagrams in
+  check Alcotest.int "datagram sketch total = datagrams sent"
+    r1.Zipf_scenario.datagrams
+    (Fbsr_util.Sketch.total dg);
+  match Fbsr_util.Sketch.top dg 1 with
+  | [ (_, est) ] ->
+      Alcotest.(check bool) "top flow estimate is heavy" true (est > 1_000)
+  | _ -> Alcotest.fail "expected a non-empty top list"
+
 let () =
   Alcotest.run "sharded"
     [
@@ -264,5 +309,7 @@ let () =
             test_clamp_without_parallelism;
           Alcotest.test_case "allocs_per_datagram = 2.0 per shard" `Quick
             test_allocs_per_shard;
+          Alcotest.test_case "flowstats JSON is shard-invariant" `Quick
+            test_flowstats_shard_invariant;
         ] );
     ]
