@@ -48,6 +48,31 @@ let batch_pair, batch_attrs = Fbsr_experiments.Fixture.warm_flows ~suite:suite_p
 let send_batch = Fbsr_fbs.Engine.Batch.create batch_pair.Fbsr_experiments.Fixture.sender
 let batch_i = ref 0
 
+(* Batched receive fixture: the decap mirror of the sealing batch.  One
+   pre-sealed wire per warm flow (repeat receives stay fresh — the
+   fixture engines run with strict replay off), rotated through a
+   [Batch_rx] sized to auto-flush exactly when every lane is occupied,
+   so the per-call cost is the amortized per-datagram cost of the
+   cross-flow bitsliced open: 62 prologue+enqueues plus one 63-chain
+   sweep-and-verify flush. *)
+let rx_batch_wires =
+  Array.map
+    (fun attrs ->
+      match
+        Fbsr_fbs.Engine.send_sync batch_pair.Fbsr_experiments.Fixture.sender
+          ~now:60.0 ~attrs ~secret:true ~payload:datagram
+      with
+      | Ok wire -> wire
+      | Error e ->
+          failwith
+            (Fmt.str "bench fixture: rx batch seal: %a" Fbsr_fbs.Engine.pp_error e))
+    batch_attrs
+
+let rx_batch =
+  Fbsr_fbs.Engine.Batch_rx.create batch_pair.Fbsr_experiments.Fixture.receiver
+
+let rx_batch_i = ref 0
+
 (* Bitsliced-kernel fixtures: one full flush of [lanes] MTU chains under
    distinct keys, and one MTU ciphertext for the receive-side slicing. *)
 let bs_jobs =
@@ -211,6 +236,17 @@ let fbs_tests =
         (stage (fun () ->
              Fbsr_fbs.Engine.receive_sync ed_paper ~now:60.0 ~src:src_paper
                ~wire:wire_paper));
+      (* The receive-side twin of the batched send row: each call runs
+         the scalar prologue and defers the body open; every 63rd call
+         flushes one cross-flow bitsliced sweep over all lanes. *)
+      Test.make ~name:"receive-des+md5-batched-1460B"
+        (stage (fun () ->
+             let i = !rx_batch_i in
+             rx_batch_i := if i + 1 = Array.length rx_batch_wires then 0 else i + 1;
+             Fbsr_fbs.Engine.receive_batched rx_batch ~now:60.0
+               ~src:batch_pair.Fbsr_experiments.Fixture.src
+               ~wire:(Array.unsafe_get rx_batch_wires i)
+               (fun _ -> ())));
       Test.make ~name:"send-auth-only-1460B"
         (stage (fun () ->
              Fbsr_fbs.Engine.send_sync es_auth ~now:60.0 ~attrs:attrs_auth
@@ -594,6 +630,57 @@ let print_results rows =
 let prefixed p name =
   String.length name >= String.length p && String.sub name 0 (String.length p) = p
 
+(* The artifact's "rev" field defaults to the working tree's revision, so
+   a regenerated baseline names the code it measured without anyone
+   remembering to pass it; --rev still overrides (CI passes the exact
+   commit it checked out, which on a PR merge ref differs from what
+   rev-parse would say). *)
+let detect_rev () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "dev"
+  with _ -> "dev"
+
+(* "crypto/..." row names carry the byte count the closure processes
+   ("-1460B"; "-63x1460B" for the whole-flush lockstep row), so ns/byte
+   is derivable — surfacing it as its own column lets artifact consumers
+   compare primitive throughput (the Section 7.2 kB/s table) without
+   re-parsing row names.  Rows without a byte suffix (modexp, PRNG
+   draws, cache probes) have no meaningful per-byte cost and are
+   skipped. *)
+let row_bytes name =
+  let n = String.length name in
+  let digits_start j =
+    let i = ref j in
+    while !i > 0 && name.[!i - 1] >= '0' && name.[!i - 1] <= '9' do decr i done;
+    !i
+  in
+  if n < 2 || name.[n - 1] <> 'B' then None
+  else
+    let i = digits_start (n - 1) in
+    if i = n - 1 then None
+    else
+      let block = int_of_string (String.sub name i (n - 1 - i)) in
+      if i > 0 && name.[i - 1] = 'x' then
+        let j = digits_start (i - 1) in
+        if j = i - 1 then Some block
+        else Some (int_of_string (String.sub name j (i - 1 - j)) * block)
+      else Some block
+
+let ns_per_byte_json rows =
+  Fbsr_util.Json.Obj
+    (List.filter_map
+       (fun (name, ns) ->
+         if not (prefixed "crypto/" name) then None
+         else
+           Option.map
+             (fun b -> (name, Fbsr_util.Json.Float (ns /. float_of_int b)))
+             (row_bytes name))
+       rows)
+
 let counters_json m =
   let open Fbsr_util in
   Json.Obj
@@ -742,8 +829,12 @@ let emit_json ~path ~spans_path ~rev ~quick ~sharded ~telemetry rows =
   (* Causal tracing is ON for this run: the datapath allocation audit below
      uses separate untraced engines, so the 2.0 allocs/datagram gate still
      measures the disabled-tracing path. *)
+  (* Batched rx is on so the deterministic run exercises the deferred
+     receive pipeline: the [fbs.engine.rxbatch.*] counters land in the
+     artifact non-zero, and bench_diff's exact gate on them pins the
+     batching shape run-over-run. *)
   let r =
-    Fbsr_experiments.Faults.run ~seed:11 ~messages:50
+    Fbsr_experiments.Faults.run ~seed:11 ~messages:50 ~batched_rx:true
       ~faults:Fbsr_experiments.Faults.lossy ~metrics:m ~span_capacity:16384
       ~span_cost_clock:Unix.gettimeofday ()
   in
@@ -760,6 +851,7 @@ let emit_json ~path ~spans_path ~rev ~quick ~sharded ~telemetry rows =
         ( "benchmarks",
           Fbsr_util.Json.Obj
             (List.map (fun (name, ns) -> (name, Fbsr_util.Json.Float ns)) rows) );
+        ("ns_per_byte", ns_per_byte_json rows);
         ("counters", counters_json m);
         ("datapath", datapath_json ());
         ("stages", stages_json r.Fbsr_experiments.Faults.spans);
@@ -784,7 +876,7 @@ let emit_json ~path ~spans_path ~rev ~quick ~sharded ~telemetry rows =
         (List.length r.Fbsr_experiments.Faults.spans)
 
 let () =
-  let json = ref None and spans = ref None and quick = ref false and rev = ref "dev" in
+  let json = ref None and spans = ref None and quick = ref false and rev = ref None in
   let rec parse = function
     | [] -> ()
     | "--json" :: path :: rest ->
@@ -797,7 +889,7 @@ let () =
         quick := true;
         parse rest
     | "--rev" :: r :: rest ->
-        rev := r;
+        rev := Some r;
         parse rest
     | arg :: _ ->
         Printf.eprintf
@@ -818,7 +910,8 @@ let () =
   | Some path ->
       (* Artifact mode: medians + a deterministic counter run; skip the
          long figure harness. *)
-      emit_json ~path ~spans_path:!spans ~rev:!rev ~quick:!quick ~sharded
+      let rev = match !rev with Some r -> r | None -> detect_rev () in
+      emit_json ~path ~spans_path:!spans ~rev ~quick:!quick ~sharded
         ~telemetry:tel_json rows
   | None ->
       (* Part 2: regenerate the paper's tables and figures. *)

@@ -160,6 +160,7 @@ type scratch = {
   full_scratch : int array;
   fin_hi : int array;
   fin_lo : int array;
+  io2 : int array; (* 2-word block for the scalar Des_kernel fallbacks *)
 }
 
 let make_scratch () =
@@ -194,6 +195,7 @@ let make_scratch () =
     full_scratch = Array.make lanes 0;
     fin_hi = Array.make lanes 0;
     fin_lo = Array.make lanes 0;
+    io2 = Array.make 2 0;
   }
 
 let scratch = Fbsr_util.Domain_shim.local_make make_scratch
@@ -549,9 +551,225 @@ let encrypt_cbc_jobs ?(threshold = default_threshold) jobs =
   done;
   (!bitsliced, !scalar)
 
-(* --- Single-ciphertext CBC decrypt, blocks as lanes --- *)
+(* --- CBC decrypt primitives (shared by the single-ciphertext and
+       cross-flow batched paths) --- *)
 
 let decrypt_threshold = 16
+
+(* Scalar-decrypt the final block of the [nb]-block ciphertext at
+   [src/pos], xor with the preceding ciphertext block (the IV words for
+   a one-block message), and validate PKCS#7 padding.  Returns the
+   plaintext words and padding length; raises on corrupt padding with
+   the same message as [Des.decrypt_cbc_sub] so callers classify the
+   failure identically regardless of path. *)
+let dec_final_block io kd ~src ~pos ~nb ~iv_hi ~iv_lo =
+  io.(0) <- Des_kernel.read32 src (pos + ((nb - 1) * 8));
+  io.(1) <- Des_kernel.read32 src (pos + ((nb - 1) * 8) + 4);
+  Des_kernel.ip io;
+  Des_kernel.rounds kd io;
+  Des_kernel.fp io;
+  let ph, pl =
+    if nb = 1 then (iv_hi, iv_lo)
+    else
+      let pp = pos + ((nb - 2) * 8) in
+      (Des_kernel.read32 src pp, Des_kernel.read32 src (pp + 4))
+  in
+  let lh = io.(0) lxor ph and ll = io.(1) lxor pl in
+  let padding = ll land 0xff in
+  if padding < 1 || padding > 8 then
+    invalid_arg "Des.decrypt_cbc_sub: corrupt padding";
+  let blk_byte j =
+    if j < 4 then (lh lsr (24 - (8 * j))) land 0xff
+    else (ll lsr (56 - (8 * j))) land 0xff
+  in
+  for j = 8 - padding to 7 do
+    if blk_byte j <> padding then
+      invalid_arg "Des.decrypt_cbc_sub: corrupt padding"
+  done;
+  (lh, ll, padding)
+
+(* Write the surviving bytes of a validated final block into [out]. *)
+let write_final_tail out ~off lh ll ~padding =
+  for j = 0 to 7 - padding do
+    let b =
+      if j < 4 then (lh lsr (24 - (8 * j))) land 0xff
+      else (ll lsr (56 - (8 * j))) land 0xff
+    in
+    Bytes.unsafe_set out (off + j) (Char.unsafe_chr b)
+  done
+
+(* Decrypt full blocks 0..nfull-1 of the ciphertext at [src/pos] across
+   lanes (keys already loaded into [s], typically broadcast), xoring
+   each result with its predecessor ciphertext block (the IV words for
+   block 0) into [out].  Decrypt has no cross-block dependency, so lanes
+   are consecutive blocks of one ciphertext. *)
+let dec_blocks_lanes s ~src ~pos ~iv_hi ~iv_lo ~nfull ~(out : Bytes.t) =
+  let base = ref 0 in
+  while !base < nfull do
+    let b0 = !base in
+    let g = min lanes (nfull - b0) in
+    clear_lanes s;
+    for l = 0 to g - 1 do
+      let sp = pos + ((b0 + l) * 8) in
+      set_lane s l (Des_kernel.read32 src sp) (Des_kernel.read32 src (sp + 4))
+    done;
+    des_pass s;
+    for l = 0 to g - 1 do
+      let i = b0 + l in
+      let ph, pl =
+        if i = 0 then (iv_hi, iv_lo)
+        else
+          let pp = pos + ((i - 1) * 8) in
+          (Des_kernel.read32 src pp, Des_kernel.read32 src (pp + 4))
+      in
+      Des_kernel.write32 out (i * 8) (lane_hi s l lxor ph);
+      Des_kernel.write32 out ((i * 8) + 4) (lane_lo s l lxor pl)
+    done;
+    base := b0 + g
+  done
+
+(* --- Cross-flow batched CBC decrypt --- *)
+
+type dec_job = {
+  kd : int array; (* packed decrypt schedule *)
+  div_hi : int;
+  div_lo : int;
+  d_src : string; (* borrowed until the run; not copied *)
+  d_pos : int;
+  nfull : int; (* full plaintext blocks still owed by the run *)
+  out : Bytes.t; (* exact-size plaintext; tail already written *)
+}
+
+let dec_job ~key ~iv ~src ~src_pos ~src_len =
+  if String.length iv <> 8 then
+    invalid_arg "Des_bitslice.dec_job: IV must be 8 bytes";
+  if src_pos < 0 || src_len < 0 || src_pos > String.length src - src_len then
+    invalid_arg "Des_bitslice.dec_job: bad source range";
+  if src_len = 0 || src_len mod 8 <> 0 then
+    invalid_arg "Des_bitslice.dec_job: bad length";
+  let s = Fbsr_util.Domain_shim.local_get scratch in
+  let kd = Des.sched_d key in
+  let nb = src_len / 8 in
+  let iv_hi = Des_kernel.read32 iv 0 and iv_lo = Des_kernel.read32 iv 4 in
+  (* The final block decrypts scalar at construction: its padding byte
+     sizes the output buffer, and a corrupt-padding frame must fail
+     here — before it occupies a batch lane — so batched and scalar
+     receive reject at the same point with the same exception. *)
+  let lh, ll, padding =
+    dec_final_block s.io2 kd ~src ~pos:src_pos ~nb ~iv_hi ~iv_lo
+  in
+  let out = Bytes.create (src_len - padding) in
+  write_final_tail out ~off:((nb - 1) * 8) lh ll ~padding;
+  {
+    kd;
+    div_hi = iv_hi;
+    div_lo = iv_lo;
+    d_src = src;
+    d_pos = src_pos;
+    nfull = nb - 1;
+    out;
+  }
+
+let dec_job_out j = j.out
+
+(* Advance one ≤63-lane group of decrypt jobs in lockstep.  Unlike the
+   encrypt side there is no chain state to carry: each lane's xor source
+   is read back out of its own ciphertext.  Returns blocks decrypted. *)
+let run_dec_group s (jobs : dec_job array) p g =
+  let { nb_scratch; _ } = s in
+  load_keys s (fun l -> jobs.(p + l).kd) g;
+  clear_lanes s;
+  let max_nf = ref 0 in
+  for l = 0 to g - 1 do
+    let nf = jobs.(p + l).nfull in
+    nb_scratch.(l) <- nf;
+    if nf > !max_nf then max_nf := nf
+  done;
+  let total = ref 0 in
+  for step = 0 to !max_nf - 1 do
+    for l = 0 to g - 1 do
+      let nf = Array.unsafe_get nb_scratch l in
+      if step < nf then begin
+        let j = Array.unsafe_get jobs (p + l) in
+        let sp = j.d_pos + (step * 8) in
+        set_lane s l (Des_kernel.read32 j.d_src sp)
+          (Des_kernel.read32 j.d_src (sp + 4))
+      end
+      else if step = nf then
+        (* job finished last step: retire the lane to all-zero input *)
+        set_lane s l 0 0
+    done;
+    des_pass s;
+    for l = 0 to g - 1 do
+      if step < Array.unsafe_get nb_scratch l then begin
+        let j = Array.unsafe_get jobs (p + l) in
+        let ph, pl =
+          if step = 0 then (j.div_hi, j.div_lo)
+          else
+            let pp = j.d_pos + ((step - 1) * 8) in
+            (Des_kernel.read32 j.d_src pp, Des_kernel.read32 j.d_src (pp + 4))
+        in
+        Des_kernel.write32 j.out (step * 8) (lane_hi s l lxor ph);
+        Des_kernel.write32 j.out ((step * 8) + 4) (lane_lo s l lxor pl);
+        incr total
+      end
+    done
+  done;
+  !total
+
+(* Per-job fallback for under-threshold batches: long ciphertexts still
+   go lane-parallel (blocks as lanes, broadcast key), short ones through
+   the table-driven kernel.  Matches what scalar receive would have done
+   for the same datagram, so a sparse batch never regresses below the
+   unbatched path.  Returns (bitsliced, scalar) block counts. *)
+let run_dec_scalar s (j : dec_job) =
+  if j.nfull = 0 then (0, 0)
+  else if j.nfull >= decrypt_threshold then begin
+    load_keys_broadcast s j.kd;
+    dec_blocks_lanes s ~src:j.d_src ~pos:j.d_pos ~iv_hi:j.div_hi
+      ~iv_lo:j.div_lo ~nfull:j.nfull ~out:j.out;
+    (j.nfull, 0)
+  end
+  else begin
+    let io = s.io2 in
+    for i = 0 to j.nfull - 1 do
+      let sp = j.d_pos + (i * 8) in
+      io.(0) <- Des_kernel.read32 j.d_src sp;
+      io.(1) <- Des_kernel.read32 j.d_src (sp + 4);
+      Des_kernel.ip io;
+      Des_kernel.rounds j.kd io;
+      Des_kernel.fp io;
+      let ph, pl =
+        if i = 0 then (j.div_hi, j.div_lo)
+        else
+          (Des_kernel.read32 j.d_src (sp - 8), Des_kernel.read32 j.d_src (sp - 4))
+      in
+      Des_kernel.write32 j.out (i * 8) (io.(0) lxor ph);
+      Des_kernel.write32 j.out ((i * 8) + 4) (io.(1) lxor pl)
+    done;
+    (0, j.nfull)
+  end
+
+let decrypt_cbc_jobs ?(threshold = default_threshold) jobs =
+  let s = Fbsr_util.Domain_shim.local_get scratch in
+  let n = Array.length jobs in
+  let bitsliced = ref 0 and scalar = ref 0 in
+  let pos = ref 0 in
+  while !pos < n do
+    let p = !pos in
+    let g = min lanes (n - p) in
+    if g >= threshold then bitsliced := !bitsliced + run_dec_group s jobs p g
+    else
+      for l = p to p + g - 1 do
+        let bs, sc = run_dec_scalar s jobs.(l) in
+        bitsliced := !bitsliced + bs;
+        scalar := !scalar + sc
+      done;
+    pos := p + g
+  done;
+  (!bitsliced, !scalar)
+
+(* --- Single-ciphertext CBC decrypt, blocks as lanes --- *)
 
 let decrypt_cbc_sub ?(threshold = decrypt_threshold) ~iv key ~src ~pos ~len =
   if pos < 0 || len < 0 || pos > String.length src - len then
@@ -564,60 +782,14 @@ let decrypt_cbc_sub ?(threshold = decrypt_threshold) ~iv key ~src ~pos ~len =
     if String.length iv <> 8 then
       invalid_arg "Des_bitslice.decrypt_cbc_sub: IV must be 8 bytes";
     let kd = Des.sched_d key in
+    let s = Fbsr_util.Domain_shim.local_get scratch in
+    let iv_hi = Des_kernel.read32 iv 0 and iv_lo = Des_kernel.read32 iv 4 in
     (* Last block first, scalar, to learn the padding length (mirrors
        Des.decrypt_cbc_sub so the two paths are drop-in equivalent). *)
-    let io = Array.make 2 0 in
-    let lp_pos = pos + ((nb - 2) * 8) in
-    let lph = Des_kernel.read32 src lp_pos
-    and lpl = Des_kernel.read32 src (lp_pos + 4) in
-    io.(0) <- Des_kernel.read32 src (pos + ((nb - 1) * 8));
-    io.(1) <- Des_kernel.read32 src (pos + ((nb - 1) * 8) + 4);
-    Des_kernel.ip io;
-    Des_kernel.rounds kd io;
-    Des_kernel.fp io;
-    let lh = io.(0) lxor lph and ll = io.(1) lxor lpl in
-    let padding = ll land 0xff in
-    if padding < 1 || padding > 8 then
-      invalid_arg "Des.decrypt_cbc_sub: corrupt padding";
-    let blk_byte j =
-      if j < 4 then (lh lsr (24 - (8 * j))) land 0xff
-      else (ll lsr (56 - (8 * j))) land 0xff
-    in
-    for j = 8 - padding to 7 do
-      if blk_byte j <> padding then
-        invalid_arg "Des.decrypt_cbc_sub: corrupt padding"
-    done;
+    let lh, ll, padding = dec_final_block s.io2 kd ~src ~pos ~nb ~iv_hi ~iv_lo in
     let out = Bytes.create (len - padding) in
-    (* Blocks 0..nb-2 have no cross-block dependency on the decrypt
-       side: lanes are consecutive ciphertext blocks under one
-       broadcast key. *)
-    let s = Fbsr_util.Domain_shim.local_get scratch in
     load_keys_broadcast s kd;
-    let base = ref 0 in
-    while !base < nb - 1 do
-      let b0 = !base in
-      let g = min lanes (nb - 1 - b0) in
-      clear_lanes s;
-      for l = 0 to g - 1 do
-        let sp = pos + ((b0 + l) * 8) in
-        set_lane s l (Des_kernel.read32 src sp) (Des_kernel.read32 src (sp + 4))
-      done;
-      des_pass s;
-      for l = 0 to g - 1 do
-        let i = b0 + l in
-        (* the previous-ciphertext xor source: the IV for block 0, else
-           the preceding block read straight out of [src] *)
-        let psrc = if i = 0 then iv else src in
-        let pp = if i = 0 then 0 else pos + ((i - 1) * 8) in
-        Des_kernel.write32 out (i * 8)
-          (lane_hi s l lxor Des_kernel.read32 psrc pp);
-        Des_kernel.write32 out ((i * 8) + 4)
-          (lane_lo s l lxor Des_kernel.read32 psrc (pp + 4))
-      done;
-      base := b0 + g
-    done;
-    for j = 0 to 7 - padding do
-      Bytes.unsafe_set out (((nb - 1) * 8) + j) (Char.unsafe_chr (blk_byte j))
-    done;
+    dec_blocks_lanes s ~src ~pos ~iv_hi ~iv_lo ~nfull:(nb - 1) ~out;
+    write_final_tail out ~off:((nb - 1) * 8) lh ll ~padding;
     Bytes.unsafe_to_string out
   end

@@ -56,6 +56,47 @@ val encrypt_cbc_jobs : ?threshold:int -> cbc_job array -> int * int
     [(bitsliced_blocks, scalar_blocks)] so callers and tests can assert
     which path ran. *)
 
+(** {1 Cross-flow CBC decryption} *)
+
+type dec_job
+(** One received frame's pending CBC decrypt: decrypt key schedule, IV
+    snapshot, a borrowed ciphertext substring, and the exact-size
+    plaintext buffer the run fills in.  The ciphertext is {e borrowed},
+    not copied — it must stay valid until {!decrypt_cbc_jobs} runs. *)
+
+val dec_job :
+  key:Des.key -> iv:string -> src:string -> src_pos:int -> src_len:int ->
+  dec_job
+(** Validates ranges, then scalar-decrypts the {e final} block up front:
+    its PKCS#7 padding byte sizes the plaintext allocation (the job's
+    single allocation), and a corrupt-padding frame is rejected here —
+    before it occupies a batch lane — so batched and scalar receive fail
+    at the same point with the same exception.  The final block's bytes
+    are already written into the output; the remaining [src_len/8 - 1]
+    full blocks are owed by the run.
+    @raise Invalid_argument on bad ranges, bad IV length, a [src_len]
+    that is zero or not a multiple of 8, or corrupt padding (message
+    ["Des.decrypt_cbc_sub: corrupt padding"], matching the scalar
+    path). *)
+
+val dec_job_out : dec_job -> Bytes.t
+(** The job's plaintext buffer.  Fully valid only after
+    {!decrypt_cbc_jobs} has run over the job (the final-block tail is
+    valid from construction). *)
+
+val decrypt_cbc_jobs : ?threshold:int -> dec_job array -> int * int
+(** Runs every job's remaining full blocks, byte-identical to
+    {!Des.decrypt_cbc_sub} per job.  Jobs are cut into groups of
+    ≤[lanes]; a group of at least [threshold] (default 24) advances
+    bitsliced in lockstep under per-lane key schedules.  Smaller groups
+    fall back per job to what scalar receive would have done: long
+    ciphertexts slice their own blocks across broadcast-key lanes,
+    short ones run the table-driven kernel — so a sparse batch never
+    regresses below the unbatched path.  Returns
+    [(bitsliced_blocks, scalar_blocks)]; final blocks (decrypted at
+    construction) are not counted, so the sum over a run equals the
+    total of per-job full blocks. *)
+
 (** {1 Single-ciphertext CBC decryption} *)
 
 val decrypt_cbc_sub :

@@ -1,9 +1,8 @@
-(* MD5 message digest (RFC 1321).
-
-   The paper's implementation uses keyed MD5 (via CryptoLib) for the FBS MAC
-   and as the flow-key derivation hash H.  This is a from-scratch streaming
-   implementation; the round constants are computed from the sine definition
-   in the RFC rather than transcribed, eliminating table-typo risk. *)
+(* MD5 reference implementation — the pre-kernel-rewrite [Md5], kept
+   verbatim as the differential oracle for the unrolled compression
+   kernel (the same retained-oracle pattern as [Des_ref]).  Not on any
+   datapath: test/test_crypto.ml pins [Md5] to this module over KATs and
+   QCheck-generated ragged inputs. *)
 
 let digest_size = 16
 let block_size = 64
@@ -204,11 +203,11 @@ and quad4 m st i a b c d =
     quad4 m st (i + 4) a b c d
   end
 
-let compress ctx (block : string) off =
+let compress ctx block off =
   let { sm = m; sst = st } = Fbsr_util.Domain_shim.local_get scratch in
   for i = 0 to 15 do
     Array.unsafe_set m i
-      (Int32.to_int (String.get_int32_le block (off + (4 * i))) land mask)
+      (Int32.to_int (Bytes.get_int32_le block (off + (4 * i))) land mask)
   done;
   quad1 m st 0 ctx.a ctx.b ctx.c ctx.d;
   ctx.a <- (ctx.a + Array.unsafe_get st 0) land mask;
@@ -227,13 +226,14 @@ let feed ctx s pos len =
     pos := !pos + take;
     len := !len - take;
     if ctx.buf_len = block_size then begin
-      compress ctx (Bytes.unsafe_to_string ctx.buf) 0;
+      compress ctx ctx.buf 0;
       ctx.buf_len <- 0
     end
   end;
-  (* Whole blocks compress straight from the source — no blit. *)
   while !len >= block_size do
-    compress ctx s !pos;
+    (* Copy to the context buffer to reuse the Bytes-based compressor. *)
+    Bytes.blit_string s !pos ctx.buf 0 block_size;
+    compress ctx ctx.buf 0;
     pos := !pos + block_size;
     len := !len - block_size
   done;

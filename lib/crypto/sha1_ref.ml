@@ -1,0 +1,159 @@
+(* SHA-1 reference implementation — the pre-kernel-rewrite [Sha1], kept
+   verbatim as the differential oracle for the unrolled native-int
+   compression kernel (the same retained-oracle pattern as [Des_ref]).
+   Int32-boxed and per-block-allocating by design: it is the known-good
+   transcription of FIPS PUB 180-1, not a fast path. *)
+
+let digest_size = 20
+let block_size = 64
+let name = "sha1"
+
+type ctx = {
+  mutable h0 : int32;
+  mutable h1 : int32;
+  mutable h2 : int32;
+  mutable h3 : int32;
+  mutable h4 : int32;
+  buf : Bytes.t;
+  mutable buf_len : int;
+  mutable total : int64;
+}
+
+let init () =
+  {
+    h0 = 0x67452301l;
+    h1 = 0xefcdab89l;
+    h2 = 0x98badcfel;
+    h3 = 0x10325476l;
+    h4 = 0xc3d2e1f0l;
+    buf = Bytes.create block_size;
+    buf_len = 0;
+    total = 0L;
+  }
+
+(* Independent snapshot of a streaming context: the midstate cache
+   resumes MAC computations from a copy, leaving the original pristine. *)
+let copy t = { t with buf = Bytes.copy t.buf }
+
+let rotl32 x n =
+  Int32.logor (Int32.shift_left x n) (Int32.shift_right_logical x (32 - n))
+
+let word_be s off =
+  let b i = Int32.of_int (Char.code (Bytes.get s (off + i))) in
+  Int32.logor
+    (Int32.shift_left (b 0) 24)
+    (Int32.logor
+       (Int32.shift_left (b 1) 16)
+       (Int32.logor (Int32.shift_left (b 2) 8) (b 3)))
+
+let compress ctx block off =
+  let w = Array.make 80 0l in
+  for i = 0 to 15 do
+    w.(i) <- word_be block (off + (4 * i))
+  done;
+  for i = 16 to 79 do
+    w.(i) <-
+      rotl32
+        (Int32.logxor w.(i - 3)
+           (Int32.logxor w.(i - 8) (Int32.logxor w.(i - 14) w.(i - 16))))
+        1
+  done;
+  let a = ref ctx.h0 and b = ref ctx.h1 and c = ref ctx.h2 in
+  let d = ref ctx.h3 and e = ref ctx.h4 in
+  for i = 0 to 79 do
+    let f, k =
+      if i < 20 then
+        (Int32.logor (Int32.logand !b !c) (Int32.logand (Int32.lognot !b) !d),
+         0x5a827999l)
+      else if i < 40 then (Int32.logxor !b (Int32.logxor !c !d), 0x6ed9eba1l)
+      else if i < 60 then
+        (Int32.logor
+           (Int32.logand !b !c)
+           (Int32.logor (Int32.logand !b !d) (Int32.logand !c !d)),
+         0x8f1bbcdcl)
+      else (Int32.logxor !b (Int32.logxor !c !d), 0xca62c1d6l)
+    in
+    let tmp =
+      Int32.add (Int32.add (Int32.add (Int32.add (rotl32 !a 5) f) !e) k) w.(i)
+    in
+    e := !d;
+    d := !c;
+    c := rotl32 !b 30;
+    b := !a;
+    a := tmp
+  done;
+  ctx.h0 <- Int32.add ctx.h0 !a;
+  ctx.h1 <- Int32.add ctx.h1 !b;
+  ctx.h2 <- Int32.add ctx.h2 !c;
+  ctx.h3 <- Int32.add ctx.h3 !d;
+  ctx.h4 <- Int32.add ctx.h4 !e
+
+let feed ctx s pos len =
+  ctx.total <- Int64.add ctx.total (Int64.of_int len);
+  let pos = ref pos and len = ref len in
+  if ctx.buf_len > 0 then begin
+    let take = min !len (block_size - ctx.buf_len) in
+    Bytes.blit_string s !pos ctx.buf ctx.buf_len take;
+    ctx.buf_len <- ctx.buf_len + take;
+    pos := !pos + take;
+    len := !len - take;
+    if ctx.buf_len = block_size then begin
+      compress ctx ctx.buf 0;
+      ctx.buf_len <- 0
+    end
+  end;
+  while !len >= block_size do
+    Bytes.blit_string s !pos ctx.buf 0 block_size;
+    compress ctx ctx.buf 0;
+    pos := !pos + block_size;
+    len := !len - block_size
+  done;
+  if !len > 0 then begin
+    Bytes.blit_string s !pos ctx.buf 0 !len;
+    ctx.buf_len <- !len
+  end
+
+let update ctx s = feed ctx s 0 (String.length s)
+
+let feed_slice ctx (s : Fbsr_util.Slice.t) =
+  feed ctx s.Fbsr_util.Slice.base s.Fbsr_util.Slice.off s.Fbsr_util.Slice.len
+
+let word_out_be b off (v : int32) =
+  for i = 0 to 3 do
+    Bytes.set b (off + i)
+      (Char.chr (Int32.to_int (Int32.shift_right_logical v (24 - (8 * i))) land 0xff))
+  done
+
+let final ctx =
+  let bit_len = Int64.mul ctx.total 8L in
+  let pad_len =
+    let rem = Int64.to_int (Int64.rem ctx.total 64L) in
+    if rem < 56 then 56 - rem else 120 - rem
+  in
+  let pad = Bytes.make (pad_len + 8) '\000' in
+  Bytes.set pad 0 '\x80';
+  for i = 0 to 7 do
+    Bytes.set pad (pad_len + i)
+      (Char.chr (Int64.to_int (Int64.shift_right_logical bit_len (56 - (8 * i))) land 0xff))
+  done;
+  update ctx (Bytes.unsafe_to_string pad);
+  assert (ctx.buf_len = 0);
+  let out = Bytes.create digest_size in
+  word_out_be out 0 ctx.h0;
+  word_out_be out 4 ctx.h1;
+  word_out_be out 8 ctx.h2;
+  word_out_be out 12 ctx.h3;
+  word_out_be out 16 ctx.h4;
+  Bytes.unsafe_to_string out
+
+let digest s =
+  let ctx = init () in
+  update ctx s;
+  final ctx
+
+let digest_list parts =
+  let ctx = init () in
+  List.iter (update ctx) parts;
+  final ctx
+
+let hexdigest s = Fbsr_util.Hex.encode (digest s)

@@ -62,11 +62,11 @@ let payload_for seq = Printf.sprintf "D%08d|%s" seq (String.make 64 'x')
    dumb — the point is the network and the security layer under it, not
    ARQ sophistication. *)
 let run ?(seed = 11) ?(messages = 200) ?(max_attempts = 8) ?(rto = 0.5)
-    ?(spacing = 0.05) ?(strict_replay = true) ?faults ?metrics ?trace
-    ?(span_capacity = 0) ?span_cost_clock ?(span_sample = 1)
+    ?(spacing = 0.05) ?(strict_replay = true) ?(batched_rx = false) ?faults
+    ?metrics ?trace ?(span_capacity = 0) ?span_cost_clock ?(span_sample = 1)
     ?telemetry_cadence () =
   let config =
-    Stack.default_config ~strict_replay ~keying_fetch_retries:2 ()
+    Stack.default_config ~strict_replay ~batched_rx ~keying_fetch_retries:2 ()
   in
   let mkd_config =
     (* Aggressive enough that keying completes within the experiment even

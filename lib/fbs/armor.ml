@@ -24,6 +24,8 @@ type counters = {
   mutable keysched_misses : int;
   mutable mac_midstate_hits : int;
   mutable mac_midstate_misses : int;
+  mutable rx_batch_deferred : int;
+  mutable rx_batch_flushes : int;
 }
 
 type aux = ..
@@ -150,6 +152,16 @@ type batch_ops = {
   run : threshold:int -> job array -> int * int;
 }
 
+type batch_rx_ops = {
+  defer_open :
+    ctx ->
+    flow_state ->
+    confounder:int ->
+    body:Fbsr_util.Slice.t ->
+    (job * string, unit) result;
+  run_rx : threshold:int -> job array -> int * int;
+}
+
 module type S = sig
   val suite : Suite.t
   val auth_prefix_len : int
@@ -193,6 +205,7 @@ module type S = sig
     (string, unit) result
 
   val batch : batch_ops option
+  val batch_rx : batch_rx_ops option
 end
 
 type armor = (module S)

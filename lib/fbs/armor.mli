@@ -43,6 +43,8 @@ type counters = {
   mutable keysched_misses : int;
   mutable mac_midstate_hits : int;
   mutable mac_midstate_misses : int;
+  mutable rx_batch_deferred : int;
+  mutable rx_batch_flushes : int;
 }
 
 type aux = ..
@@ -127,10 +129,11 @@ val verify_mac :
 (** {1 Batching} *)
 
 type job = ..
-(** A deferred body-encryption job.  Armors that support cross-flow
-    batching extend this with their kernel's job type; a batch only ever
-    mixes jobs from one engine (hence one armor), so the armor's [run]
-    may assume its own constructor. *)
+(** A deferred body-transformation job (either direction).  Armors that
+    support cross-flow batching extend this with their kernel's job
+    types; a batch only ever mixes jobs from one engine (hence one
+    armor), so the armor's [run]/[run_rx] may assume its own
+    constructors. *)
 
 type batch_ops = {
   defer :
@@ -145,6 +148,27 @@ type batch_ops = {
           inline path would ([encryptions], key-schedule hit/miss). *)
   run : threshold:int -> job array -> int * int;
       (** Run every job to completion; returns the kernel's
+          [(batched, scalar)] block split. *)
+}
+
+(** The receive-side mirror of {!batch_ops}: deferring a body {e open}
+    instead of a body seal. *)
+type batch_rx_ops = {
+  defer_open :
+    ctx ->
+    flow_state ->
+    confounder:int ->
+    body:Fbsr_util.Slice.t ->
+    (job * string, unit) result;
+      (** Validate the ciphertext (exactly as the inline [open_body]
+          would — a frame the inline path rejects must return [Error]
+          here, with identical counter accounting) and return the
+          pending job plus the plaintext string the job will fill.  The
+          string's bytes are complete only after [run_rx]; the body
+          slice is borrowed by the job until then.  Bumps [decryptions]
+          and key-schedule hit/miss like the inline path. *)
+  run_rx : threshold:int -> job array -> int * int;
+      (** Run every pending open; returns the kernel's
           [(batched, scalar)] block split. *)
 }
 
@@ -214,6 +238,10 @@ module type S = sig
   val batch : batch_ops option
   (** Cross-flow batching hook; [None] when the cipher has no batched
       kernel (or nothing to defer). *)
+
+  val batch_rx : batch_rx_ops option
+  (** Receive-side cross-flow batching hook; [None] when body opens
+      cannot be deferred. *)
 end
 
 type armor = (module S)

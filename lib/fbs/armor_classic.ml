@@ -4,8 +4,10 @@
    bump for counter bump — the twin-engine differential suite holds the
    instances to the retained string reference. *)
 
-(* The pending cross-flow CBC chain for the bitsliced kernel. *)
-type Armor.job += Des_cbc_chain of Fbsr_crypto.Des_bitslice.cbc_job
+(* The pending cross-flow CBC chain / open for the bitsliced kernel. *)
+type Armor.job +=
+  | Des_cbc_chain of Fbsr_crypto.Des_bitslice.cbc_job
+  | Des_cbc_open of Fbsr_crypto.Des_bitslice.dec_job
 
 let des_cbc_batch : Armor.batch_ops =
   {
@@ -30,6 +32,42 @@ let des_cbc_batch : Armor.batch_ops =
              (function
                | Des_cbc_chain j -> j
                | _ -> invalid_arg "Armor_classic: foreign job in DES-CBC batch")
+             jobs));
+  }
+
+let des_cbc_batch_rx : Armor.batch_rx_ops =
+  {
+    Armor.defer_open =
+      (fun ctx entry ~confounder ~(body : Fbsr_util.Slice.t) ->
+        let c = ctx.Armor.counters in
+        (* Counted before the attempt, exactly like the inline
+           [open_body]: a rejected frame still paid for a decryption. *)
+        c.Armor.decryptions <- c.Armor.decryptions + 1;
+        let key = Armor.des_sched ctx entry in
+        let iv = Armor.iv_of_confounder ctx ~confounder in
+        match
+          Fbsr_crypto.Des_bitslice.dec_job ~key ~iv
+            ~src:body.Fbsr_util.Slice.base ~src_pos:body.Fbsr_util.Slice.off
+            ~src_len:body.Fbsr_util.Slice.len
+        with
+        | job ->
+            (* The returned string aliases the job's output buffer: its
+               bytes land when the batch runs, the same finalize-shares-
+               storage idiom as the deferred seal's wire. *)
+            Ok
+              ( Des_cbc_open job,
+                Bytes.unsafe_to_string (Fbsr_crypto.Des_bitslice.dec_job_out job)
+              )
+        (* Bad length or corrupt padding — the same [Invalid_argument]
+           family the inline path maps to a decrypt error. *)
+        | exception Invalid_argument _ -> Error ());
+    run_rx =
+      (fun ~threshold jobs ->
+        Fbsr_crypto.Des_bitslice.decrypt_cbc_jobs ~threshold
+          (Array.map
+             (function
+               | Des_cbc_open j -> j
+               | _ -> invalid_arg "Armor_classic: foreign job in DES-CBC rx batch")
              jobs));
   }
 
@@ -151,6 +189,11 @@ let make (suite : Suite.t) : Armor.armor =
 
     let batch =
       if encrypts && suite.Suite.cipher = Suite.Des_cbc then Some des_cbc_batch
+      else None
+
+    let batch_rx =
+      if encrypts && suite.Suite.cipher = Suite.Des_cbc then
+        Some des_cbc_batch_rx
       else None
   end in
   (module M : Armor.S)

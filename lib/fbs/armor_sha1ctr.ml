@@ -77,4 +77,5 @@ let armor : Armor.armor =
       Ok (Bytes.unsafe_to_string dst)
 
     let batch = None
+    let batch_rx = None
   end : Armor.S)

@@ -81,6 +81,12 @@ type counters = Armor.counters = {
      suites and evict together but miss independently. *)
   mutable mac_midstate_hits : int;
   mutable mac_midstate_misses : int;
+  (* Receive-batch accounting: [rx_batch_deferred] counts receives whose
+     body open was parked in a Batch_rx queue (the scalar prologue ran at
+     enqueue; decrypt and MAC verify at flush); [rx_batch_flushes] counts
+     kernel flushes.  Both stay 0 on the scalar receive path. *)
+  mutable rx_batch_deferred : int;
+  mutable rx_batch_flushes : int;
 }
 
 let drops_by_cause c =
@@ -187,6 +193,8 @@ let create ?(suite = Suite.paper_md5_des) ?(tfkc_sets = 128) ?(rfkc_sets = 128)
       keysched_misses = 0;
       mac_midstate_hits = 0;
       mac_midstate_misses = 0;
+      rx_batch_deferred = 0;
+      rx_batch_flushes = 0;
     }
   in
   {
@@ -270,16 +278,19 @@ let register_metrics (t : t) m =
   register_probe e "keysched.misses" (fun () -> c.keysched_misses);
   register_probe e "macmid.hits" (fun () -> c.mac_midstate_hits);
   register_probe e "macmid.misses" (fun () -> c.mac_midstate_misses);
+  register_probe e "rxbatch.deferred" (fun () -> c.rx_batch_deferred);
+  register_probe e "rxbatch.flushes" (fun () -> c.rx_batch_flushes);
   (* Per-datagram views of the same counters: the zero-copy invariant in
-     observable form (~1 alloc and ~0 extra copies per datagram). *)
-  let per_datagram n =
-    let d = c.sends + c.receives in
-    if d = 0 then 0. else float_of_int n /. float_of_int d
-  in
-  register_probe_f e "datapath.bytes_copied_per_datagram" (fun () ->
-      per_datagram c.bytes_copied);
-  register_probe_f e "datapath.allocs_per_datagram" (fun () ->
-      per_datagram c.datapath_allocs);
+     observable form (~1 alloc and ~0 extra copies per datagram).  Ratio
+     probes, not float probes: several engines registered under one name
+     (the sharded dispatcher's aggregate view, or one engine registered
+     at the root and under a scope) must fold the underlying tallies and
+     report the true combined ratio, not the sum of per-engine ratios. *)
+  let datagrams () = float_of_int (c.sends + c.receives) in
+  register_probe_ratio e "datapath.bytes_copied_per_datagram" (fun () ->
+      (float_of_int c.bytes_copied, datagrams ()));
+  register_probe_ratio e "datapath.allocs_per_datagram" (fun () ->
+      (float_of_int c.datapath_allocs, datagrams ()));
   Cache.register_metrics t.tfkc (sub m "fbs.cache.tfkc");
   Cache.register_metrics t.rfkc (sub m "fbs.cache.rfkc");
   Cache.register_metrics t.inbound (sub m "fbs.cache.inbound");
@@ -805,26 +816,18 @@ let conclude_receive t (tm : (Fbsr_util.Span.timer * int64) option) outcome =
   | Some (stm, id) ->
       Fbsr_util.Span.finish t.spans stm ~id ~outcome "engine.receive"
 
-(* FBSReceive(), Figure 4 R1-R12 with the RFKC fast path.  The wire is a
-   borrowed slice: the header is parsed as a view, the MAC is verified
-   against the wire bytes in place, and only an accepted datagram
-   materializes a header record and payload string. *)
-let receive_slice t ~now ~src ~(wire : Fbsr_util.Slice.t)
-    (k : (accepted, error) result -> unit) =
-  t.counters.receives <- t.counters.receives + 1;
-  (* The ambient id was restored by the delivery path (netsim) from the
-     sender's transmit-time capture — this is where the receive-side
-     chain joins the sender's trace. *)
-  let tm =
-    if Fbsr_util.Span.enabled t.spans then
-      Some (Fbsr_util.Span.start t.spans, Fbsr_util.Span.current ())
-    else None
-  in
+(* The scalar receive prologue — header decode, suite enforcement, replay
+   check (Figure 4 R1-R5) — shared verbatim by the inline and batched
+   receive paths, so a frame is accepted or refused at the same stage
+   with the same counters, traces and spans on both.  An [Error] has
+   already been fully accounted (counter, flow-drop attribution, trace
+   event, terminal span); the caller just delivers it. *)
+let receive_prologue t ~now tm ~(wire : Fbsr_util.Slice.t) =
   match Header.decode_view wire with
   | Error e ->
       t.counters.errors_header <- t.counters.errors_header + 1;
       conclude_receive t tm "drop:header";
-      k (Error (Header_error e))
+      Error (Header_error e)
   | Ok v -> (
       (* The suite is taken from the header only to the extent we accept
          it: a receiver enforces its own configured suite to prevent
@@ -832,7 +835,7 @@ let receive_slice t ~now ~src ~(wire : Fbsr_util.Slice.t)
       if v.Header.v_suite.Suite.id <> t.suite.Suite.id then begin
         t.counters.errors_header <- t.counters.errors_header + 1;
         conclude_receive t tm "drop:header";
-        k (Error (Header_error (Header.Unknown_suite v.Header.v_suite.Suite.id)))
+        Error (Header_error (Header.Unknown_suite v.Header.v_suite.Suite.id))
       end
       else
         let rtm =
@@ -871,13 +874,12 @@ let receive_slice t ~now ~src ~(wire : Fbsr_util.Slice.t)
                   ("now_minutes", Fbsr_util.Json.Int (Replay.minutes_of_seconds now));
                 ];
             conclude_receive t tm "drop:stale";
-            k
-              (Error
-                 (Stale
-                    {
-                      timestamp = v.Header.v_timestamp;
-                      now_minutes = Replay.minutes_of_seconds now;
-                    }))
+            Error
+              (Stale
+                 {
+                   timestamp = v.Header.v_timestamp;
+                   now_minutes = Replay.minutes_of_seconds now;
+                 })
         | Replay.Duplicate ->
             t.counters.errors_duplicate <- t.counters.errors_duplicate + 1;
             note_flow_drop t v.Header.v_sfl;
@@ -888,85 +890,267 @@ let receive_slice t ~now ~src ~(wire : Fbsr_util.Slice.t)
                   ("cause", Fbsr_util.Json.String "duplicate");
                 ];
             conclude_receive t tm "drop:duplicate";
-            k (Error Duplicate)
-        | Replay.Fresh ->
-            let dst = local t in
-            flow_key_via t t.rfkc ~sfl:v.Header.v_sfl ~peer:src ~src ~dst (function
-              | Error e ->
-                  t.counters.errors_keying <- t.counters.errors_keying + 1;
-                  note_flow_drop t v.Header.v_sfl;
-                  conclude_receive t tm "drop:keying";
-                  k (Error e)
-              | Ok entry -> (
-                  (* [plaintext] borrows either the wire buffer
-                     (non-secret / NOP) or the decrypted string;
-                     [materialize] copies it out only on acceptance. *)
-                  let module A = (val t.armor : Armor.S) in
-                  let finish (plaintext : Fbsr_util.Slice.t) materialize =
-                    if
-                      A.verify_mac t.actx entry ~secret:v.Header.v_secret
-                        ~confounder:v.Header.v_confounder
-                        ~timestamp:v.Header.v_timestamp ~payload:plaintext
-                        ~expected:v.Header.v_mac
-                    then begin
-                      t.counters.accepted <- t.counters.accepted + 1;
-                      track_inbound t ~now ~sfl:v.Header.v_sfl ~peer:src
-                        ~bytes:(Fbsr_util.Slice.length plaintext);
-                      conclude_receive t tm "delivered";
-                      let accepted =
-                        Ok
-                          {
-                            header = Header.to_header v;
-                            payload = materialize ();
-                            peer = src;
-                          }
-                      in
-                      match tm with
-                      | Some (_, id) ->
-                          (* Deliver under the datagram's id even when the
-                             keying continuation resumed in a later event;
-                             an acknowledgement sent from the handler opens
-                             its own trace and this scope restores ours. *)
-                          Fbsr_util.Span.with_current id (fun () -> k accepted)
-                      | None -> k accepted
-                    end
-                    else begin
-                      t.counters.errors_mac <- t.counters.errors_mac + 1;
-                      note_flow_drop t v.Header.v_sfl;
-                      conclude_receive t tm "drop:mac";
-                      k (Error Bad_mac)
-                    end
-                  in
-                  let body = v.Header.v_body in
-                  if v.Header.v_secret && A.encrypts then
-                    match
-                      decrypt_body_slice t ~entry
-                        ~confounder:v.Header.v_confounder ~body
-                    with
-                    | Ok plaintext ->
-                        t.counters.datapath_allocs <- t.counters.datapath_allocs + 1;
-                        (* Already a fresh exact-size string: hand it out
-                           as-is, no further copy. *)
-                        finish
-                          (Fbsr_util.Slice.of_string plaintext)
-                          (fun () -> plaintext)
-                    | Error e ->
-                        t.counters.errors_decrypt <- t.counters.errors_decrypt + 1;
-                        note_flow_drop t v.Header.v_sfl;
-                        conclude_receive t tm "drop:decrypt";
-                        k (Error e)
-                  else
-                    (* Plaintext body stays in the wire buffer until the
-                       datagram is accepted; only then is it copied out
-                       (the slice must not outlive the wire buffer). *)
-                    finish body (fun () ->
-                        t.counters.datapath_allocs <- t.counters.datapath_allocs + 1;
-                        t.counters.bytes_copied <-
-                          t.counters.bytes_copied + Fbsr_util.Slice.length body;
-                        Fbsr_util.Slice.to_string body))))
+            Error Duplicate
+        | Replay.Fresh -> Ok v)
+
+(* R6-R12 once the flow entry is in hand: decrypt (inline), verify the
+   MAC, deliver — the tail of the scalar path, also the fallback of the
+   batched path for frames whose open cannot be deferred. *)
+let finish_scalar t ~now ~src ~(v : Header.view) ~entry tm
+    (k : (accepted, error) result -> unit) =
+  (* [plaintext] borrows either the wire buffer (non-secret / NOP) or
+     the decrypted string; [materialize] copies it out only on
+     acceptance. *)
+  let module A = (val t.armor : Armor.S) in
+  let finish (plaintext : Fbsr_util.Slice.t) materialize =
+    if
+      A.verify_mac t.actx entry ~secret:v.Header.v_secret
+        ~confounder:v.Header.v_confounder ~timestamp:v.Header.v_timestamp
+        ~payload:plaintext ~expected:v.Header.v_mac
+    then begin
+      t.counters.accepted <- t.counters.accepted + 1;
+      track_inbound t ~now ~sfl:v.Header.v_sfl ~peer:src
+        ~bytes:(Fbsr_util.Slice.length plaintext);
+      conclude_receive t tm "delivered";
+      let accepted =
+        Ok { header = Header.to_header v; payload = materialize (); peer = src }
+      in
+      match tm with
+      | Some (_, id) ->
+          (* Deliver under the datagram's id even when the keying
+             continuation resumed in a later event; an acknowledgement
+             sent from the handler opens its own trace and this scope
+             restores ours. *)
+          Fbsr_util.Span.with_current id (fun () -> k accepted)
+      | None -> k accepted
+    end
+    else begin
+      t.counters.errors_mac <- t.counters.errors_mac + 1;
+      note_flow_drop t v.Header.v_sfl;
+      conclude_receive t tm "drop:mac";
+      k (Error Bad_mac)
+    end
+  in
+  let body = v.Header.v_body in
+  if v.Header.v_secret && A.encrypts then
+    match decrypt_body_slice t ~entry ~confounder:v.Header.v_confounder ~body with
+    | Ok plaintext ->
+        t.counters.datapath_allocs <- t.counters.datapath_allocs + 1;
+        (* Already a fresh exact-size string: hand it out as-is, no
+           further copy. *)
+        finish (Fbsr_util.Slice.of_string plaintext) (fun () -> plaintext)
+    | Error e ->
+        t.counters.errors_decrypt <- t.counters.errors_decrypt + 1;
+        note_flow_drop t v.Header.v_sfl;
+        conclude_receive t tm "drop:decrypt";
+        k (Error e)
+  else
+    (* Plaintext body stays in the wire buffer until the datagram is
+       accepted; only then is it copied out (the slice must not outlive
+       the wire buffer). *)
+    finish body (fun () ->
+        t.counters.datapath_allocs <- t.counters.datapath_allocs + 1;
+        t.counters.bytes_copied <-
+          t.counters.bytes_copied + Fbsr_util.Slice.length body;
+        Fbsr_util.Slice.to_string body)
+
+(* FBSReceive(), Figure 4 R1-R12 with the RFKC fast path.  The wire is a
+   borrowed slice: the header is parsed as a view, the MAC is verified
+   against the wire bytes in place, and only an accepted datagram
+   materializes a header record and payload string. *)
+let receive_slice t ~now ~src ~(wire : Fbsr_util.Slice.t)
+    (k : (accepted, error) result -> unit) =
+  t.counters.receives <- t.counters.receives + 1;
+  (* The ambient id was restored by the delivery path (netsim) from the
+     sender's transmit-time capture — this is where the receive-side
+     chain joins the sender's trace. *)
+  let tm =
+    if Fbsr_util.Span.enabled t.spans then
+      Some (Fbsr_util.Span.start t.spans, Fbsr_util.Span.current ())
+    else None
+  in
+  match receive_prologue t ~now tm ~wire with
+  | Error e -> k (Error e)
+  | Ok v ->
+      let dst = local t in
+      flow_key_via t t.rfkc ~sfl:v.Header.v_sfl ~peer:src ~src ~dst (function
+        | Error e ->
+            t.counters.errors_keying <- t.counters.errors_keying + 1;
+            note_flow_drop t v.Header.v_sfl;
+            conclude_receive t tm "drop:keying";
+            k (Error e)
+        | Ok entry -> finish_scalar t ~now ~src ~v ~entry tm k)
 
 let receive t ~now ~src ~wire (k : (accepted, error) result -> unit) =
   receive_slice t ~now ~src ~wire:(Fbsr_util.Slice.of_string wire) k
+
+(* Cross-flow receive batching — the decrypt-side mirror of [Batch].
+   The scalar prologue (header decode, suite check, replay check, RFKC
+   probe) runs at enqueue, in arrival order — so replay registration,
+   drop counters and every early-refusal verdict are identical to the
+   scalar path, frame for frame.  Only the body open and the MAC verify
+   are deferred: [flush] runs one bitsliced decrypt pass over all queued
+   frames, then verifies and delivers in enqueue order, so per-flow
+   delivery order is preserved and a caller never observes a
+   half-opened datagram. *)
+module Batch_rx = struct
+  type pending = {
+    job : Armor.job;
+    entry : flow_entry;
+    header : Header.t; (* materialized at enqueue; the wire is borrowed *)
+    expected_mac : Fbsr_util.Slice.t; (* borrows the wire until flush *)
+    plaintext : string; (* aliases the job's output; complete after flush *)
+    peer : Principal.t;
+    deliver : (accepted, error) result -> unit;
+    enqueued_at : float;
+    tm : (Fbsr_util.Span.timer * int64) option;
+  }
+
+  type batch = {
+    engine : t;
+    threshold : int;
+    capacity : int;
+    linger : float;
+    queue : pending Queue.t;
+  }
+
+  let create ?(threshold = 24) ?(capacity = Fbsr_crypto.Des_bitslice.lanes)
+      ?(linger = 0.001) engine =
+    if capacity < 1 then invalid_arg "Engine.Batch_rx.create: capacity < 1";
+    if linger < 0. then invalid_arg "Engine.Batch_rx.create: negative linger";
+    { engine; threshold; capacity; linger; queue = Queue.create () }
+
+  let pending b = Queue.length b.queue
+
+  (* Run every queued open (bitsliced when at least [threshold] jobs
+     share a kernel group), then verify each frame's MAC over its now-
+     complete plaintext and deliver verdicts in enqueue order, each
+     under its datagram's trace id.  Returns the kernel's
+     (bitsliced_blocks, scalar_blocks) split. *)
+  let flush b =
+    if Queue.is_empty b.queue then (0, 0)
+    else begin
+      let t = b.engine in
+      let n = Queue.length b.queue in
+      let ps = Array.make n (Queue.peek b.queue) in
+      for i = 0 to n - 1 do
+        ps.(i) <- Queue.pop b.queue
+      done;
+      t.counters.rx_batch_flushes <- t.counters.rx_batch_flushes + 1;
+      let counts =
+        let module A = (val t.armor : Armor.S) in
+        match A.batch_rx with
+        | Some ops ->
+            ops.Armor.run_rx ~threshold:b.threshold
+              (Array.map (fun p -> p.job) ps)
+        | None -> assert false (* jobs only enqueue through the armor's ops *)
+      in
+      let module A = (val t.armor : Armor.S) in
+      Array.iter
+        (fun p ->
+          let h = p.header in
+          let fin () =
+            if
+              A.verify_mac t.actx p.entry ~secret:h.Header.secret
+                ~confounder:h.Header.confounder ~timestamp:h.Header.timestamp
+                ~payload:(Fbsr_util.Slice.of_string p.plaintext)
+                ~expected:p.expected_mac
+            then begin
+              t.counters.accepted <- t.counters.accepted + 1;
+              track_inbound t ~now:p.enqueued_at ~sfl:h.Header.sfl ~peer:p.peer
+                ~bytes:(String.length p.plaintext);
+              conclude_receive t p.tm "delivered";
+              p.deliver (Ok { header = h; payload = p.plaintext; peer = p.peer })
+            end
+            else begin
+              t.counters.errors_mac <- t.counters.errors_mac + 1;
+              note_flow_drop t h.Header.sfl;
+              conclude_receive t p.tm "drop:mac";
+              p.deliver (Error Bad_mac)
+            end
+          in
+          match p.tm with
+          | Some (_, id) -> Fbsr_util.Span.with_current id fin
+          | None -> fin ())
+        ps;
+      counts
+    end
+
+  (* Time-based flush: a partial batch older than [linger] stops waiting
+     for lanes and ships.  Call from the event loop / timer wheel. *)
+  let tick b ~now =
+    match Queue.peek_opt b.queue with
+    | Some p when now -. p.enqueued_at >= b.linger -> Some (flush b)
+    | _ -> None
+end
+
+(* [receive] with the body open routed through a batch.  Semantics match
+   [receive] except that for deferrable frames (secret, encrypting
+   armor with a batched decrypt kernel) the continuation fires from
+   [Batch_rx.flush] — immediately below when the enqueue fills the
+   batch, else at a later [flush]/[tick].  The wire string is borrowed
+   by the pending job until that flush.  Every prologue refusal
+   (header, suite, replay, keying) and every frame the kernel cannot
+   help (non-secret, NOP suite, other ciphers, corrupt padding)
+   resolves inline with [receive] semantics, counter for counter. *)
+let receive_batched (b : Batch_rx.batch) ~now ~src ~(wire : string)
+    (k : (accepted, error) result -> unit) =
+  let t = b.Batch_rx.engine in
+  t.counters.receives <- t.counters.receives + 1;
+  let tm =
+    if Fbsr_util.Span.enabled t.spans then
+      Some (Fbsr_util.Span.start t.spans, Fbsr_util.Span.current ())
+    else None
+  in
+  match receive_prologue t ~now tm ~wire:(Fbsr_util.Slice.of_string wire) with
+  | Error e -> k (Error e)
+  | Ok v ->
+      let dst = local t in
+      flow_key_via t t.rfkc ~sfl:v.Header.v_sfl ~peer:src ~src ~dst (function
+        | Error e ->
+            t.counters.errors_keying <- t.counters.errors_keying + 1;
+            note_flow_drop t v.Header.v_sfl;
+            conclude_receive t tm "drop:keying";
+            k (Error e)
+        | Ok entry -> (
+            let module A = (val t.armor : Armor.S) in
+            let deferrable =
+              if v.Header.v_secret && A.encrypts then A.batch_rx else None
+            in
+            match deferrable with
+            | None -> finish_scalar t ~now ~src ~v ~entry tm k
+            | Some ops -> (
+                match
+                  ops.Armor.defer_open t.actx entry
+                    ~confounder:v.Header.v_confounder ~body:v.Header.v_body
+                with
+                | Error () ->
+                    (* Rejected at the same stage, with the same verdict,
+                       as the inline open would have rejected it. *)
+                    t.counters.errors_decrypt <- t.counters.errors_decrypt + 1;
+                    note_flow_drop t v.Header.v_sfl;
+                    conclude_receive t tm "drop:decrypt";
+                    k (Error Decrypt_error)
+                | Ok (job, plaintext) ->
+                    t.counters.datapath_allocs <-
+                      t.counters.datapath_allocs + 1;
+                    t.counters.rx_batch_deferred <-
+                      t.counters.rx_batch_deferred + 1;
+                    Queue.add
+                      {
+                        Batch_rx.job;
+                        entry;
+                        header = Header.to_header v;
+                        expected_mac = v.Header.v_mac;
+                        plaintext;
+                        peer = src;
+                        deliver = k;
+                        enqueued_at = now;
+                        tm;
+                      }
+                      b.Batch_rx.queue;
+                    if Queue.length b.Batch_rx.queue >= b.Batch_rx.capacity
+                    then ignore (Batch_rx.flush b))))
 
 (* Synchronous conveniences for callers whose resolver completes inline. *)
 

@@ -56,6 +56,13 @@ type counters = Armor.counters = {
   mutable mac_midstate_misses : int;
       (** MAC midstates built and cached: first MAC per flow entry, or
           recomputation after eviction. *)
+  mutable rx_batch_deferred : int;
+      (** Received datagrams whose body open was deferred into a
+          {!Batch_rx} queue (each still pays its one plaintext
+          allocation, counted in [datapath_allocs] at enqueue). *)
+  mutable rx_batch_flushes : int;
+      (** Non-empty {!Batch_rx.flush} passes (one bitsliced kernel sweep
+          each). *)
 }
 
 val drops_by_cause : counters -> (string * int) list
@@ -268,6 +275,65 @@ val receive_slice :
     of an accepted secret datagram (plus the payload copy of an accepted
     non-secret one).  The slice is only borrowed for the duration of the
     call; [accepted] owns its bytes. *)
+
+(** Cross-flow receive batching: the decrypt-side mirror of {!Batch}.
+
+    CBC decryption has no cross-block dependency at all, so secret
+    DES-CBC receives through a batch defer their body open: the scalar
+    prologue (header decode, suite enforcement, replay check — which
+    registers the frame — and the RFKC probe) runs at enqueue in arrival
+    order, so every early-refusal verdict, replay registration and drop
+    counter is identical to the scalar {!receive}, frame for frame.
+    {!Batch_rx.flush} then advances all queued opens in lockstep through
+    {!Fbsr_crypto.Des_bitslice}, verifies each frame's MAC over the
+    completed plaintext and delivers verdicts in enqueue order — so
+    per-flow delivery order is preserved and a caller never observes a
+    half-opened datagram.  Accept/drop verdicts and payload bytes are
+    identical to the unbatched {!receive}, frame for frame. *)
+module Batch_rx : sig
+  type batch
+  (** A pending-open queue bound to one engine. *)
+
+  val create :
+    ?threshold:int -> ?capacity:int -> ?linger:float -> t -> batch
+  (** [threshold] (default 24): minimum jobs per kernel group to take
+      the cross-flow bitsliced path; smaller flushes run each job on the
+      per-datagram kernel (identical bytes).  [capacity] (default
+      {!Fbsr_crypto.Des_bitslice.lanes}): enqueue auto-flushes when the
+      queue reaches this size.  [linger] (default 1 ms): {!tick} flushes
+      a partial batch older than this. *)
+
+  val pending : batch -> int
+  (** Frames currently queued. *)
+
+  val flush : batch -> int * int
+  (** Run every queued open, then verify and deliver in enqueue order
+      (each under its datagram's captured trace id; the terminal
+      ["engine.receive"] span finishes here, covering queue residence).
+      Returns the kernel's [(bitsliced_blocks, scalar_blocks)] split —
+      [(0, 0)] when the queue was empty. *)
+
+  val tick : batch -> now:float -> (int * int) option
+  (** Flush iff the oldest queued frame has waited at least [linger];
+      [Some counts] when a flush ran.  Call from the event loop. *)
+end
+
+val receive_batched :
+  Batch_rx.batch ->
+  now:float ->
+  src:Principal.t ->
+  wire:string ->
+  ((accepted, error) result -> unit) ->
+  unit
+(** {!receive} with the body open routed through the batch.  For
+    deferrable frames (secret, encrypting armor with a batched decrypt
+    kernel — DES-CBC suites) the continuation fires from
+    {!Batch_rx.flush} — immediately when this enqueue fills the batch,
+    else at a later [flush]/[tick]; the wire string is borrowed by the
+    queue until that flush.  Everything else — prologue refusals,
+    non-secret bodies, NOP and non-DES-CBC suites, frames whose
+    ciphertext is rejected up front (bad length, corrupt padding) —
+    resolves inline with {!receive} semantics, counter for counter. *)
 
 val send_sync :
   t -> now:float -> attrs:Fam.attrs -> secret:bool -> payload:string ->

@@ -11,6 +11,10 @@ type t = {
   nshards : int;
   requested_shards : int;
   engines : Engine.t array;
+  (* One receive batch per shard: a shard's bucket enqueues its frames
+     (scalar prologue in input order) and flushes before the join, so
+     every deferred open of a batch resolves on the shard's own domain. *)
+  rx_batches : Engine.Batch_rx.batch array;
   fam : Fam.t;
   confounders : Fbsr_util.Lcg.t;
   (* Telemetry tick: runs on the dispatching domain after each batch
@@ -26,10 +30,12 @@ let create ?nshards ?(confounder_seed = 0x5eed) ~engine ~fam () =
     | Some n -> invalid_arg (Printf.sprintf "Sharded.create: nshards %d < 1" n)
   in
   let n = if Fbsr_util.Domain_shim.parallelism_available then requested else 1 in
+  let engines = Array.init n engine in
   {
     nshards = n;
     requested_shards = requested;
-    engines = Array.init n engine;
+    engines;
+    rx_batches = Array.map (fun e -> Engine.Batch_rx.create e) engines;
     fam;
     confounders = Fbsr_util.Lcg.create confounder_seed;
     on_tick = (fun ~now:_ -> ());
@@ -66,14 +72,20 @@ let buckets_of t shard_of n =
   buckets
 
 (* Fan non-empty buckets out to domains.  Each thunk writes disjoint
-   slots of [results]; the joins in parallel_run publish them back. *)
-let run_buckets t buckets per_index =
+   slots of [results]; the joins in parallel_run publish them back.
+   [after] runs on the shard's domain once its bucket is drained —
+   the receive path's end-of-bucket batch flush. *)
+let run_buckets ?(after = fun (_ : int) -> ()) t buckets per_index =
   let thunks =
     Array.of_list
       (List.filter_map
          (fun s ->
            if Array.length buckets.(s) = 0 then None
-           else Some (fun () -> Array.iter (per_index s) buckets.(s)))
+           else
+             Some
+               (fun () ->
+                 Array.iter (per_index s) buckets.(s);
+                 after s))
          (List.init t.nshards Fun.id))
   in
   ignore (Fbsr_util.Domain_shim.parallel_run thunks : unit array)
@@ -116,9 +128,15 @@ let receive_all t ~now ~src wires =
   in
   let buckets = buckets_of t shard_of n in
   let results = Array.make n None in
-  run_buckets t buckets (fun s i ->
-      Engine.receive t.engines.(s) ~now ~src ~wire:wires.(i) (fun r ->
-          results.(i) <- Some r));
+  (* Each shard's bucket feeds its receive batch: prologue per frame in
+     input order, one cross-flow bitsliced decrypt sweep per flush (the
+     queue auto-flushes at capacity; the end-of-bucket flush drains the
+     remainder), verdicts identical to scalar [Engine.receive]. *)
+  run_buckets t buckets
+    ~after:(fun s -> ignore (Engine.Batch_rx.flush t.rx_batches.(s) : int * int))
+    (fun s i ->
+      Engine.receive_batched t.rx_batches.(s) ~now ~src ~wire:wires.(i)
+        (fun r -> results.(i) <- Some r));
   t.on_tick ~now;
   Array.map (settled "receive_all") results
 
@@ -152,6 +170,8 @@ let aggregate_counters t =
       keysched_misses = 0;
       mac_midstate_hits = 0;
       mac_midstate_misses = 0;
+      rx_batch_deferred = 0;
+      rx_batch_flushes = 0;
     }
   in
   Array.iter
@@ -176,6 +196,8 @@ let aggregate_counters t =
       z.keysched_hits <- z.keysched_hits + c.Engine.keysched_hits;
       z.keysched_misses <- z.keysched_misses + c.Engine.keysched_misses;
       z.mac_midstate_hits <- z.mac_midstate_hits + c.Engine.mac_midstate_hits;
-      z.mac_midstate_misses <- z.mac_midstate_misses + c.Engine.mac_midstate_misses)
+      z.mac_midstate_misses <- z.mac_midstate_misses + c.Engine.mac_midstate_misses;
+      z.rx_batch_deferred <- z.rx_batch_deferred + c.Engine.rx_batch_deferred;
+      z.rx_batch_flushes <- z.rx_batch_flushes + c.Engine.rx_batch_flushes)
     t.engines;
   z

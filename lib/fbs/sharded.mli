@@ -87,7 +87,15 @@ val receive_all :
   (Engine.accepted, Engine.error) result array
 (** Verify/decrypt a batch: route each wire by peeking the sfl (first 8
     bytes; short wires go to shard 0, whose header decode rejects them),
-    run the shards in parallel, return results in input order. *)
+    run the shards in parallel, return results in input order.
+
+    Within a shard the bucket drains through the engine's
+    {!Engine.Batch_rx} queue: the scalar receive prologue runs per
+    frame in input order, deferred body opens run in cross-flow
+    bitsliced sweeps, and the bucket flushes its queue before the
+    domains join — verdicts, payload bytes and counters (beyond the
+    [rx_batch_*] pair) are identical to scalar {!Engine.receive},
+    frame for frame. *)
 
 val register_metrics : t -> Fbsr_util.Metrics.t -> unit
 (** Register every shard engine on [m] twice: once at the root — probes

@@ -49,6 +49,15 @@ type config = {
           payload, the paper's implementation.  [`Ip_option]: carry the
           FBS header as an IPv4 option — the paper's noted alternative,
           workable only while the header fits the 40-byte option budget. *)
+  batched_rx : bool;
+      (** Route receive-side body opens through an
+          {!Fbsr_fbs.Engine.Batch_rx} queue: frames arriving within
+          [rx_linger] of each other decrypt in one cross-flow bitsliced
+          sweep, delivered in arrival order via the parked-datagram
+          upcall.  Verdicts and bytes are identical to the inline path;
+          delivery of a deferrable frame lags arrival by at most
+          [rx_linger]. *)
+  rx_linger : float;  (** Max queue residence before a forced flush. *)
 }
 
 let default_config ?(suite = Fbsr_fbs.Suite.paper_md5_des) ?(threshold = 600.0)
@@ -56,7 +65,8 @@ let default_config ?(suite = Fbsr_fbs.Suite.paper_md5_des) ?(threshold = 600.0)
     ?(secret_policy = fun ~protocol:_ ~src_port:_ ~dst_port:_ -> true)
     ?(bypass = fun _ -> false) ?(tfkc_sets = 128) ?(rfkc_sets = 128) ?(cache_assoc = 1)
     ?max_flow_bytes ?max_flow_life ?(keying_fetch_retries = 0)
-    ?(combined_fast_path = false) ?(encapsulation = `Shim) () =
+    ?(combined_fast_path = false) ?(encapsulation = `Shim)
+    ?(batched_rx = false) ?(rx_linger = 0.001) () =
   {
     suite;
     threshold;
@@ -73,6 +83,8 @@ let default_config ?(suite = Fbsr_fbs.Suite.paper_md5_des) ?(threshold = 600.0)
     keying_fetch_retries;
     combined_fast_path;
     encapsulation;
+    batched_rx;
+    rx_linger;
   }
 
 type counters = {
@@ -83,6 +95,7 @@ type counters = {
   mutable resumed : int;
   mutable dropped_error : int;
   mutable bypassed : int;
+  mutable rx_batched : int; (* frames parked in the receive batch *)
 }
 
 type t = {
@@ -93,6 +106,10 @@ type t = {
   spans : Fbsr_util.Span.t;
   policy_state : Fbsr_fbs.Policy_five_tuple.t;
   fast_path : Fast_path.t option; (* combined FST+TFKC, when configured *)
+  rx_batch : Fbsr_fbs.Engine.Batch_rx.batch option; (* when batched_rx *)
+  mutable rx_flush_scheduled : bool;
+      (* one pending linger-flush event at a time; re-armed on the next
+         enqueue after it fires *)
   asm : Fbsr_util.Byte_writer.t;
       (* Reusable assembly buffer for the IP-option encapsulation splices
          (option build on send, option+payload rejoin on receive); reset
@@ -117,6 +134,7 @@ let register_metrics (t : t) m =
   register_probe s "resumed" (fun () -> c.resumed);
   register_probe s "dropped_error" (fun () -> c.dropped_error);
   register_probe s "bypassed" (fun () -> c.bypassed);
+  register_probe s "rx_batched" (fun () -> c.rx_batched);
   Fbsr_fbs.Engine.register_metrics t.engine m
 let policy_state t = t.policy_state
 let fast_path t = t.fast_path
@@ -319,22 +337,60 @@ let input_hook t (h : Ipv4.header) payload : Host.hook_result =
     let src = principal_of_addr h.src in
     let sync_result = ref None in
     let completed_sync = ref true in
-    Fbsr_fbs.Engine.receive_slice t.engine ~now ~src ~wire (fun r ->
-        if !completed_sync then sync_result := Some r
-        else begin
-          match r with
-          | Ok acc ->
+    let batch_parked = ref false in
+    let k r =
+      if !completed_sync then sync_result := Some r
+      else begin
+        (* Late completion: the datagram was parked — during an MKD fetch
+           ([resumed]), or in the receive batch until its flush. *)
+        match r with
+        | Ok acc ->
+            if not !batch_parked then
               t.counters.resumed <- t.counters.resumed + 1;
-              t.counters.received <- t.counters.received + 1;
-              let h =
-                {
-                  h with
-                  Ipv4.total_length =
-                    Ipv4.header_length h + String.length acc.Fbsr_fbs.Engine.payload;
-                }
-              in
-              Host.deliver_up t.host h acc.Fbsr_fbs.Engine.payload
-          | Error _ -> t.counters.dropped_error <- t.counters.dropped_error + 1
+            t.counters.received <- t.counters.received + 1;
+            let h =
+              {
+                h with
+                Ipv4.total_length =
+                  Ipv4.header_length h + String.length acc.Fbsr_fbs.Engine.payload;
+              }
+            in
+            Host.deliver_up t.host h acc.Fbsr_fbs.Engine.payload
+        | Error _ -> t.counters.dropped_error <- t.counters.dropped_error + 1
+      end
+    in
+    (match t.rx_batch with
+    | None -> Fbsr_fbs.Engine.receive_slice t.engine ~now ~src ~wire k
+    | Some b ->
+        let before = Fbsr_fbs.Engine.Batch_rx.pending b in
+        (* The queue borrows the wire until its flush, so it needs the
+           whole backing string.  Both decap modes already hand out a
+           slice spanning a fresh-or-owned heap string (shim borrows the
+           IP payload, option mode a fresh rejoin), so this is
+           allocation-free. *)
+        let wire_s =
+          if
+            wire.Fbsr_util.Slice.off = 0
+            && wire.Fbsr_util.Slice.len = String.length wire.Fbsr_util.Slice.base
+          then wire.Fbsr_util.Slice.base
+          else Fbsr_util.Slice.to_string wire
+        in
+        Fbsr_fbs.Engine.receive_batched b ~now ~src ~wire:wire_s k;
+        (* Queued (not refused inline, not delivered by a capacity
+           flush): arm the linger flush if none is pending. *)
+        if
+          Option.is_none !sync_result
+          && Fbsr_fbs.Engine.Batch_rx.pending b = before + 1
+        then begin
+          batch_parked := true;
+          t.counters.rx_batched <- t.counters.rx_batched + 1;
+          if not t.rx_flush_scheduled then begin
+            t.rx_flush_scheduled <- true;
+            Engine.schedule (Host.engine t.host) ~delay:t.config.rx_linger
+              (fun () ->
+                t.rx_flush_scheduled <- false;
+                ignore (Fbsr_fbs.Engine.Batch_rx.flush b : int * int))
+          end
         end);
     completed_sync := false;
     match !sync_result with
@@ -351,8 +407,13 @@ let input_hook t (h : Ipv4.header) payload : Host.hook_result =
         t.counters.dropped_error <- t.counters.dropped_error + 1;
         Host.Drop "fbs receive error"
     | None ->
-        t.counters.suspended_in <- t.counters.suspended_in + 1;
-        Host.Drop "fbs awaiting master key"
+        if !batch_parked then
+          (* Delivered from the batch flush via [Host.deliver_up]. *)
+          Host.Drop "fbs rx batched"
+        else begin
+          t.counters.suspended_in <- t.counters.suspended_in + 1;
+          Host.Drop "fbs awaiting master key"
+        end
   end
 
 let install ?(config = default_config ()) ?(sfl_seed = 0x5f1)
@@ -401,9 +462,15 @@ let install ?(config = default_config ()) ?(sfl_seed = 0x5f1)
           resumed = 0;
           dropped_error = 0;
           bypassed = 0;
+          rx_batched = 0;
         };
       policy_state;
       fast_path;
+      rx_batch =
+        (if config.batched_rx then
+           Some (Fbsr_fbs.Engine.Batch_rx.create ~linger:config.rx_linger engine)
+         else None);
+      rx_flush_scheduled = false;
       asm = Fbsr_util.Byte_writer.create ~capacity:64 ();
     }
   in

@@ -26,6 +26,17 @@ type config = {
       (** [`Shim]: header between IP header and payload (the paper's
           implementation).  [`Ip_option]: header carried as an IPv4 option
           — workable only while it fits the 40-byte budget. *)
+  batched_rx : bool;
+      (** Route receive-side body opens through an
+          {!Fbsr_fbs.Engine.Batch_rx} queue (default [false]): frames
+          arriving within [rx_linger] of each other decrypt in one
+          cross-flow bitsliced sweep and are delivered in arrival order
+          through the parked-datagram upcall.  Verdicts and bytes are
+          identical to the inline path; delivery of a deferrable frame
+          lags arrival by at most [rx_linger]. *)
+  rx_linger : float;
+      (** Max simulated-time queue residence before a forced flush
+          (default 1 ms). *)
 }
 
 val default_config :
@@ -44,6 +55,8 @@ val default_config :
   ?keying_fetch_retries:int ->
   ?combined_fast_path:bool ->
   ?encapsulation:[ `Shim | `Ip_option ] ->
+  ?batched_rx:bool ->
+  ?rx_linger:float ->
   unit ->
   config
 
@@ -55,6 +68,9 @@ type counters = {
   mutable resumed : int;
   mutable dropped_error : int;
   mutable bypassed : int;
+  mutable rx_batched : int;
+      (** Frames parked in the receive batch ([batched_rx] mode) and
+          delivered from its flush. *)
 }
 
 type t

@@ -480,6 +480,56 @@ let prop_bitslice_decrypt_sub =
            ~len:(String.length ct)
          = msg)
 
+let prop_bitslice_dec_jobs =
+  QCheck.Test.make
+    ~name:"bitslice decrypt jobs = Des.decrypt_cbc_sub (ragged batches)"
+    ~count:40
+    QCheck.(pair (int_range 1 70) int)
+    (fun (njobs, seed) ->
+      let rng = Fbsr_util.Rng.create seed in
+      let rand n = String.init n (fun _ -> Char.chr (Fbsr_util.Rng.int rng 256)) in
+      (* Distinct keys, IVs, lengths and embedding offsets per job, so
+         the lockstep gather mixes padding shapes and sub-ranges. *)
+      let specs =
+        Array.init njobs (fun _ ->
+            let key = Des.of_string (rand 8) in
+            let iv = rand 8 in
+            let msg = rand (Fbsr_util.Rng.int rng 200) in
+            let ct = Des.encrypt_cbc ~iv key msg in
+            let pad = Fbsr_util.Rng.int rng 10 in
+            let buf = rand pad ^ ct ^ rand pad in
+            (key, iv, msg, buf, pad, String.length ct))
+      in
+      let jobs =
+        Array.map
+          (fun (key, iv, _, buf, pad, len) ->
+            Des_bitslice.dec_job ~key ~iv ~src:buf ~src_pos:pad ~src_len:len)
+          specs
+      in
+      let threshold = 1 + Fbsr_util.Rng.int rng 30 in
+      let bs, sc = Des_bitslice.decrypt_cbc_jobs ~threshold jobs in
+      let full_blocks =
+        Array.fold_left (fun acc (_, _, _, _, _, len) -> acc + ((len / 8) - 1)) 0 specs
+      in
+      bs + sc = full_blocks
+      && Array.for_all
+           (fun i ->
+             let _, _, msg, _, _, _ = specs.(i) in
+             Bytes.to_string (Des_bitslice.dec_job_out jobs.(i)) = msg)
+           (Array.init njobs (fun i -> i)))
+
+let test_bitslice_dec_job_corrupt_padding () =
+  let k = Des.of_string "abcdefgh" in
+  let iv = "12345678" in
+  (* Corrupt padding must be rejected at job construction — before the
+     frame occupies a batch lane — with the scalar path's exception. *)
+  let bogus = String.make 160 '\x00' in
+  Alcotest.check_raises "corrupt padding at dec_job construction"
+    (Invalid_argument "Des.decrypt_cbc_sub: corrupt padding") (fun () ->
+      ignore
+        (Des_bitslice.dec_job ~key:k ~iv ~src:bogus ~src_pos:0
+           ~src_len:(String.length bogus)))
+
 let test_bitslice_decrypt_corrupt_padding () =
   let k = Des.of_string "abcdefgh" in
   let iv = "12345678" in
@@ -575,6 +625,142 @@ let prop_mac_midstate =
           in
           not (Mac.verify_midstate mid parts ~expected:(Fbsr_util.Slice.of_string tampered)))
         mac_algorithms)
+
+(* --- Hash kernel differential battery: fast kernels vs retained oracles ---
+
+   [Md5_ref]/[Sha1_ref] are the pre-rewrite streaming implementations,
+   retained verbatim as oracles (the [Des_ref] pattern).  The unrolled
+   kernels are pinned three ways: the oracles against the published
+   RFC 1321 / FIPS 180-1 vectors, the fast kernels against the oracles
+   over ragged lengths / split points / feed offsets, and the HMAC and
+   hash-CTR keystream constructions on top against re-derivations built
+   from the oracles alone. *)
+
+let test_hash_ref_kats () =
+  List.iter
+    (fun (input, expected) ->
+      check Alcotest.string ("ref " ^ input) expected (Md5_ref.hexdigest input))
+    md5_vectors;
+  check Alcotest.string "ref sha1 empty" "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+    (Sha1_ref.hexdigest "");
+  check Alcotest.string "ref sha1 abc" "a9993e364706816aba3e25717850c26c9cd0d89d"
+    (Sha1_ref.hexdigest "abc");
+  check Alcotest.string "ref sha1 two-block"
+    "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+    (Sha1_ref.hexdigest "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")
+
+let ragged_msg rng =
+  (* Lengths biased toward the 55..65 / 119..129 padding and block
+     boundaries where compression and length-encoding bugs live. *)
+  let n =
+    match Fbsr_util.Rng.int rng 4 with
+    | 0 -> Fbsr_util.Rng.int rng 300
+    | 1 -> 55 + Fbsr_util.Rng.int rng 11
+    | 2 -> 119 + Fbsr_util.Rng.int rng 11
+    | _ -> Fbsr_util.Rng.int rng 8
+  in
+  String.init n (fun _ -> Char.chr (Fbsr_util.Rng.int rng 256))
+
+let hash_diff_prop label (module F : Hash.S) (module R : Hash.S) =
+  QCheck.Test.make
+    ~name:(label ^ " kernel = retained oracle (ragged lengths, all entry points)")
+    ~count:300 QCheck.int
+    (fun seed ->
+      let rng = Fbsr_util.Rng.create seed in
+      let msg = ragged_msg rng in
+      let len = String.length msg in
+      let expected = R.digest msg in
+      (* One-shot. *)
+      F.digest msg = expected
+      (* Streaming with a random split point. *)
+      && (let cut = if len = 0 then 0 else Fbsr_util.Rng.int rng (len + 1) in
+          let ctx = F.init () in
+          F.update ctx (String.sub msg 0 cut);
+          F.update ctx (String.sub msg cut (len - cut));
+          F.final ctx = expected)
+      (* [feed] from an offset inside a larger buffer, and slice feed. *)
+      && (let pad = Fbsr_util.Rng.int rng 10 in
+          let buf = String.make pad 'L' ^ msg ^ String.make pad 'R' in
+          let ctx = F.init () in
+          F.feed ctx buf pad len;
+          F.final ctx = expected
+          &&
+          let ctx2 = F.init () in
+          F.feed_slice ctx2 (Fbsr_util.Slice.v ~off:pad ~len buf);
+          F.final ctx2 = expected)
+      (* Multi-part convenience entry point. *)
+      && F.digest_list [ msg; "|"; msg ] = R.digest_list [ msg; "|"; msg ])
+
+let prop_md5_vs_oracle = hash_diff_prop "md5" (module Md5) (module Md5_ref)
+let prop_sha1_vs_oracle = hash_diff_prop "sha1" (module Sha1) (module Sha1_ref)
+
+let midstate_oracle_prop label hash (module R : Hash.S) =
+  QCheck.Test.make
+    ~name:(label ^ " midstate resume = oracle digest of prefix^msg") ~count:150
+    QCheck.(triple arbitrary_bytes arbitrary_bytes int)
+    (fun (prefix, msg, seed) ->
+      let rng = Fbsr_util.Rng.create seed in
+      let mid = Hash.midstate hash ~prefix in
+      Hash.resume_slices mid (slices_of rng msg) = R.digest (prefix ^ msg))
+
+let prop_md5_midstate_vs_oracle =
+  midstate_oracle_prop "md5" Hash.md5 (module Md5_ref)
+
+let prop_sha1_midstate_vs_oracle =
+  midstate_oracle_prop "sha1" Hash.sha1 (module Sha1_ref)
+
+(* RFC 2104 HMAC re-derived from the oracle module alone. *)
+let hmac_ref (module R : Hash.S) ~key parts =
+  let block = R.block_size in
+  let key = if String.length key > block then R.digest key else key in
+  let key = key ^ String.make (block - String.length key) '\000' in
+  let xor_pad byte =
+    String.init block (fun i -> Char.chr (Char.code key.[i] lxor byte))
+  in
+  R.digest_list [ xor_pad 0x5c; R.digest_list (xor_pad 0x36 :: parts) ]
+
+let hmac_oracle_prop label hash rmod =
+  QCheck.Test.make ~name:("hmac-" ^ label ^ " = oracle-built HMAC") ~count:150
+    QCheck.(triple arbitrary_bytes (small_list arbitrary_bytes) int)
+    (fun (key, parts, seed) ->
+      let rng = Fbsr_util.Rng.create seed in
+      Mac.hmac hash ~key parts = hmac_ref rmod ~key parts
+      && (let (module R : Hash.S) = rmod in
+          Mac.prefix hash ~key parts = R.digest (String.concat "" (key :: parts)))
+      &&
+      (* The midstate-resumed flavour too (the per-datagram path). *)
+      let mid = Mac.prepare ~algorithm:Mac.Hmac hash ~key in
+      Mac.compute_midstate mid (slices_of rng (String.concat "" parts))
+      = hmac_ref rmod ~key parts)
+
+let prop_hmac_md5_vs_oracle = hmac_oracle_prop "md5" Hash.md5 (module Md5_ref : Hash.S)
+let prop_hmac_sha1_vs_oracle = hmac_oracle_prop "sha1" Hash.sha1 (module Sha1_ref : Hash.S)
+
+(* Hash-CTR keystream re-derived from the oracle: block i is
+   H(key | iv | be32 i), XORed over the data. *)
+let keystream_ref (module R : Hash.S) ~key ~iv src =
+  let block = R.digest_size in
+  String.init (String.length src) (fun i ->
+      let blk = i / block in
+      let ctr =
+        String.init 4 (fun j -> Char.chr ((blk lsr (24 - (8 * j))) land 0xff))
+      in
+      let ks = R.digest_list [ key; iv; ctr ] in
+      Char.chr (Char.code src.[i] lxor Char.code ks.[i mod block]))
+
+let keystream_oracle_prop label hash rmod =
+  QCheck.Test.make ~name:("keystream-" ^ label ^ " = oracle hash-CTR") ~count:80
+    QCheck.(triple arbitrary_bytes key8 arbitrary_bytes)
+    (fun (key, iv, src) ->
+      let t = Keystream.create hash ~key in
+      Keystream.transform t ~iv src = keystream_ref rmod ~key ~iv src
+      && Keystream.transform t ~iv (Keystream.transform t ~iv src) = src)
+
+let prop_keystream_md5_vs_oracle =
+  keystream_oracle_prop "md5" Hash.md5 (module Md5_ref : Hash.S)
+
+let prop_keystream_sha1_vs_oracle =
+  keystream_oracle_prop "sha1" Hash.sha1 (module Sha1_ref : Hash.S)
 
 (* --- DES modes --- *)
 
@@ -973,6 +1159,9 @@ let () =
           qtest prop_bitslice_block_lanes;
           qtest prop_bitslice_cbc_jobs;
           qtest prop_bitslice_decrypt_sub;
+          qtest prop_bitslice_dec_jobs;
+          Alcotest.test_case "dec_job corrupt padding" `Quick
+            test_bitslice_dec_job_corrupt_padding;
         ] );
       ( "midstates",
         [
@@ -980,6 +1169,19 @@ let () =
           qtest prop_midstate_resume_sha1;
           qtest prop_hash_copy_independent;
           qtest prop_mac_midstate;
+        ] );
+      ( "hash-differential",
+        [
+          Alcotest.test_case "oracle KATs (RFC 1321 / FIPS 180-1)" `Quick
+            test_hash_ref_kats;
+          qtest prop_md5_vs_oracle;
+          qtest prop_sha1_vs_oracle;
+          qtest prop_md5_midstate_vs_oracle;
+          qtest prop_sha1_midstate_vs_oracle;
+          qtest prop_hmac_md5_vs_oracle;
+          qtest prop_hmac_sha1_vs_oracle;
+          qtest prop_keystream_md5_vs_oracle;
+          qtest prop_keystream_sha1_vs_oracle;
         ] );
       ( "fused",
         [ qtest prop_fused_equals_two_pass; qtest prop_incremental_cbc ] );

@@ -1279,6 +1279,219 @@ let test_engine_batch_capacity_autoflush () =
   check Alcotest.bool "non-secret delivers inline" true !inline;
   check Alcotest.int "non-secret never queues" 0 (Engine.Batch.pending batch)
 
+(* Receive-side twin of the batched-seal differential: the same wires
+   opened through scalar [receive] and through a [Batch_rx] must produce
+   identical verdicts, payload bytes and receiver counters — suite by
+   suite, for both flush kernels (scalar fallback above the job
+   threshold, bitsliced at threshold 1).  Suites without a batchable
+   cipher (3DES, the CTR-mode leaf, nop) and non-secret datagrams must
+   deliver inline through the very same calls. *)
+let test_engine_receive_batched_equals_scalar () =
+  let frames =
+    [
+      (true, "batched receive differential 0");
+      (true, "");
+      (false, "auth-only rides the same call");
+      (true, String.make 2000 'z');
+      (true, "short");
+      (false, "");
+    ]
+  in
+  (* Every counter except the rx_batch_* pair, which is the knob under
+     test, not datapath behaviour. *)
+  let counters_line (c : Engine.counters) =
+    [
+      c.Engine.sends; c.Engine.receives; c.Engine.accepted;
+      c.Engine.flow_key_computations; c.Engine.flow_key_recoveries;
+      c.Engine.macs_computed; c.Engine.encryptions; c.Engine.decryptions;
+      c.Engine.errors_header; c.Engine.errors_stale; c.Engine.errors_duplicate;
+      c.Engine.errors_keying; c.Engine.errors_mac; c.Engine.errors_decrypt;
+      c.Engine.bytes_copied; c.Engine.datapath_allocs; c.Engine.keysched_hits;
+      c.Engine.keysched_misses; c.Engine.mac_midstate_hits;
+      c.Engine.mac_midstate_misses;
+    ]
+  in
+  let result_str = function
+    | Ok (acc : Engine.accepted) -> "ok:" ^ acc.Engine.payload
+    | Error e -> Format.asprintf "err:%a" Engine.pp_error e
+  in
+  List.iter
+    (fun (suite, batchable) ->
+      List.iter
+        (fun threshold ->
+          let clock, s, d, es, ed_scalar = make_engines ~suite () in
+          let _, _, _, _, ed_batched = make_engines ~suite () in
+          let wires =
+            List.mapi
+              (fun i (secret, payload) ->
+                let attrs =
+                  Fam.attrs ~protocol:17 ~src_port:(4000 + i) ~dst_port:2 ~src:s
+                    ~dst:d ()
+                in
+                match Engine.send_sync es ~now:!clock ~attrs ~secret ~payload with
+                | Ok w -> (secret, w)
+                | Error e -> Alcotest.failf "send: %a" Engine.pp_error e)
+              frames
+          in
+          let scalar_results =
+            List.map
+              (fun (_, w) ->
+                result_str
+                  (Engine.receive_sync ed_scalar ~now:!clock ~src:s ~wire:w))
+              wires
+          in
+          let n = List.length wires in
+          let got = Array.make n None in
+          let b = Engine.Batch_rx.create ~threshold ed_batched in
+          List.iteri
+            (fun i (_, w) ->
+              Engine.receive_batched b ~now:!clock ~src:s ~wire:w (fun r ->
+                  got.(i) <- Some r))
+            wires;
+          let deferrable =
+            if batchable then
+              List.length (List.filter (fun (secret, _) -> secret) wires)
+            else 0
+          in
+          check Alcotest.int
+            (Printf.sprintf "%s t%d: exactly the secret frames deferred"
+               (Suite.name suite) threshold)
+            deferrable (Engine.Batch_rx.pending b);
+          let bs, _sc = Engine.Batch_rx.flush b in
+          if batchable && threshold = 1 then
+            check Alcotest.bool "threshold 1 flush ran bitsliced" true (bs > 0);
+          check Alcotest.int "queue drained" 0 (Engine.Batch_rx.pending b);
+          let batched_results =
+            Array.to_list
+              (Array.map
+                 (function
+                   | Some r -> result_str r
+                   | None -> Alcotest.fail "flush did not deliver")
+                 got)
+          in
+          check
+            (Alcotest.list Alcotest.string)
+            (Printf.sprintf "%s threshold %d: verdicts and bytes equal"
+               (Suite.name suite) threshold)
+            scalar_results batched_results;
+          check
+            (Alcotest.list Alcotest.int)
+            (Printf.sprintf "%s threshold %d: receiver counters equal"
+               (Suite.name suite) threshold)
+            (counters_line (Engine.counters ed_scalar))
+            (counters_line (Engine.counters ed_batched)))
+        [ 1; 24 ])
+    [
+      (Suite.paper_md5_des, true); (Suite.des_mac_des, true);
+      (Suite.md5_des3, false); (Suite.hmac_sha1_ctr, false); (Suite.nop, false);
+    ]
+
+let test_engine_batch_rx_capacity_autoflush () =
+  (* Filling the receive batch to capacity flushes without an explicit
+     call; a non-deferrable frame (here: not secret) bypasses the queue
+     and delivers inline. *)
+  let clock, s, d, es, ed = make_engines ~suite:Suite.paper_md5_des () in
+  let wire_for i secret =
+    let attrs =
+      Fam.attrs ~protocol:17 ~src_port:(5000 + i) ~dst_port:2 ~src:s ~dst:d ()
+    in
+    match
+      Engine.send_sync es ~now:!clock ~attrs ~secret
+        ~payload:(Printf.sprintf "rx autoflush %d" i)
+    with
+    | Ok w -> w
+    | Error e -> Alcotest.failf "send: %a" Engine.pp_error e
+  in
+  let b = Engine.Batch_rx.create ~capacity:4 ed in
+  let delivered = ref 0 in
+  for i = 0 to 3 do
+    Engine.receive_batched b ~now:!clock ~src:s ~wire:(wire_for i true) (function
+      | Ok acc ->
+          check Alcotest.string "payload roundtrips"
+            (Printf.sprintf "rx autoflush %d" i)
+            acc.Engine.payload;
+          incr delivered
+      | Error e -> Alcotest.failf "receive: %a" Engine.pp_error e)
+  done;
+  check Alcotest.int "capacity reached: everything delivered" 4 !delivered;
+  check Alcotest.int "queue empty after autoflush" 0 (Engine.Batch_rx.pending b);
+  let inline = ref false in
+  Engine.receive_batched b ~now:!clock ~src:s ~wire:(wire_for 9 false) (function
+    | Ok _ -> inline := true
+    | Error e -> Alcotest.failf "receive: %a" Engine.pp_error e);
+  check Alcotest.bool "non-secret delivers inline" true !inline;
+  check Alcotest.int "non-secret never queues" 0 (Engine.Batch_rx.pending b);
+  let c = Engine.counters ed in
+  check Alcotest.int "deferrals counted" 4 c.Engine.rx_batch_deferred;
+  check Alcotest.int "one flush counted" 1 c.Engine.rx_batch_flushes
+
+let test_engine_batch_rx_tick_linger () =
+  (* A partial receive batch flushes on the linger timeout, not only at
+     capacity: [tick] before the deadline is a no-op, after it the queue
+     drains and the continuation fires. *)
+  let clock, s, d, es, ed = make_engines ~suite:Suite.paper_md5_des () in
+  let attrs = Fam.attrs ~protocol:17 ~src_port:6000 ~dst_port:2 ~src:s ~dst:d () in
+  let wire =
+    match
+      Engine.send_sync es ~now:!clock ~attrs ~secret:true ~payload:"rx linger"
+    with
+    | Ok w -> w
+    | Error e -> Alcotest.failf "send: %a" Engine.pp_error e
+  in
+  let b = Engine.Batch_rx.create ~linger:0.5 ed in
+  let got = ref None in
+  Engine.receive_batched b ~now:!clock ~src:s ~wire (fun r -> got := Some r);
+  check Alcotest.int "queued" 1 (Engine.Batch_rx.pending b);
+  (match Engine.Batch_rx.tick b ~now:(!clock +. 0.2) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "tick flushed before the linger deadline");
+  check Alcotest.bool "not delivered yet" true (!got = None);
+  (match Engine.Batch_rx.tick b ~now:(!clock +. 0.6) with
+  | Some (bs, sc) -> check Alcotest.bool "blocks ran" true (bs + sc > 0)
+  | None -> Alcotest.fail "tick did not flush past the linger deadline");
+  check Alcotest.int "drained" 0 (Engine.Batch_rx.pending b);
+  (match !got with
+  | Some (Ok acc) ->
+      check Alcotest.string "payload roundtrips" "rx linger" acc.Engine.payload
+  | Some (Error e) -> Alcotest.failf "receive: %a" Engine.pp_error e
+  | None -> Alcotest.fail "tick flush did not deliver");
+  match Engine.Batch_rx.tick b ~now:(!clock +. 60.0) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "tick flushed an empty queue"
+
+let test_engine_batch_rx_replay_at_enqueue () =
+  (* The replay check runs in the scalar prologue at enqueue, so under
+     strict replay a duplicate of a still-queued frame is refused
+     synchronously — exactly where scalar [receive] refuses it — while
+     the first copy still delivers at flush. *)
+  let clock, s, d, es, ed = make_engines ~strict_replay:true () in
+  let attrs = Fam.attrs ~protocol:17 ~src_port:7000 ~dst_port:2 ~src:s ~dst:d () in
+  let wire =
+    match
+      Engine.send_sync es ~now:!clock ~attrs ~secret:true ~payload:"replayed"
+    with
+    | Ok w -> w
+    | Error e -> Alcotest.failf "send: %a" Engine.pp_error e
+  in
+  let b = Engine.Batch_rx.create ed in
+  let first = ref None in
+  Engine.receive_batched b ~now:!clock ~src:s ~wire (fun r -> first := Some r);
+  check Alcotest.int "first copy queued" 1 (Engine.Batch_rx.pending b);
+  let second = ref None in
+  Engine.receive_batched b ~now:!clock ~src:s ~wire (fun r -> second := Some r);
+  (match !second with
+  | Some (Error Engine.Duplicate) -> ()
+  | Some _ -> Alcotest.fail "duplicate not refused as Duplicate"
+  | None -> Alcotest.fail "duplicate verdict deferred past the prologue");
+  check Alcotest.int "duplicate never queues" 1 (Engine.Batch_rx.pending b);
+  ignore (Engine.Batch_rx.flush b : int * int);
+  match !first with
+  | Some (Ok acc) ->
+      check Alcotest.string "first copy delivers at flush" "replayed"
+        acc.Engine.payload
+  | Some (Error e) -> Alcotest.failf "first copy: %a" Engine.pp_error e
+  | None -> Alcotest.fail "flush did not deliver the first copy"
+
 let test_engine_ciphertext_hides_plaintext () =
   let clock, s, d, es, _ = make_engines () in
   ignore d;
@@ -1877,6 +2090,14 @@ let () =
             test_engine_send_batched_byte_equal;
           Alcotest.test_case "batch capacity autoflush + inline bypass" `Quick
             test_engine_batch_capacity_autoflush;
+          Alcotest.test_case "batched receive = scalar receive (suites x kernels)"
+            `Quick test_engine_receive_batched_equals_scalar;
+          Alcotest.test_case "rx batch capacity autoflush + inline bypass" `Quick
+            test_engine_batch_rx_capacity_autoflush;
+          Alcotest.test_case "rx batch linger tick" `Quick
+            test_engine_batch_rx_tick_linger;
+          Alcotest.test_case "rx batch replay refused at enqueue" `Quick
+            test_engine_batch_rx_replay_at_enqueue;
           Alcotest.test_case "ciphertext hides plaintext" `Quick
             test_engine_ciphertext_hides_plaintext;
           Alcotest.test_case "replay window" `Quick test_engine_replay_window;

@@ -547,6 +547,45 @@ let test_datapath_accounting_batched () =
         0 (c1 - c0))
     [ 1; 24 ]
 
+let test_datapath_accounting_batched_rx () =
+  (* The receive mirror: deferring the body open into a [Batch_rx] keeps
+     the round trip at exactly two allocations (wire at seal, plaintext
+     at enqueue) and zero extra copies — on both flush kernels. *)
+  List.iter
+    (fun threshold ->
+      let flows = 8 in
+      let p, attrs = Fbsr_experiments.Fixture.warm_flows ~flows () in
+      let es = p.Fbsr_experiments.Fixture.sender
+      and ed = p.Fbsr_experiments.Fixture.receiver in
+      let batch = Fbsr_fbs.Engine.Batch_rx.create ~threshold ed in
+      let cs = Fbsr_fbs.Engine.counters es and cr = Fbsr_fbs.Engine.counters ed in
+      let a0 = cs.Fbsr_fbs.Engine.datapath_allocs + cr.Fbsr_fbs.Engine.datapath_allocs in
+      let c0 = cs.Fbsr_fbs.Engine.bytes_copied + cr.Fbsr_fbs.Engine.bytes_copied in
+      for i = 0 to flows - 1 do
+        match
+          Fbsr_fbs.Engine.send_sync es ~now:60.0 ~attrs:attrs.(i) ~secret:true
+            ~payload:(String.make 1000 'q')
+        with
+        | Ok wire ->
+            Fbsr_fbs.Engine.receive_batched batch ~now:60.0
+              ~src:p.Fbsr_experiments.Fixture.src ~wire (function
+              | Ok _ -> ()
+              | Error e -> Alcotest.failf "receive: %a" Fbsr_fbs.Engine.pp_error e)
+        | Error e -> Alcotest.failf "send: %a" Fbsr_fbs.Engine.pp_error e
+      done;
+      ignore (Fbsr_fbs.Engine.Batch_rx.flush batch);
+      let a1 = cs.Fbsr_fbs.Engine.datapath_allocs + cr.Fbsr_fbs.Engine.datapath_allocs in
+      let c1 = cs.Fbsr_fbs.Engine.bytes_copied + cr.Fbsr_fbs.Engine.bytes_copied in
+      check Alcotest.int
+        (Printf.sprintf "2 allocations per batched-rx round trip (threshold %d)"
+           threshold)
+        (2 * flows) (a1 - a0);
+      check Alcotest.int
+        (Printf.sprintf "0 bytes copied per batched-rx round trip (threshold %d)"
+           threshold)
+        0 (c1 - c0))
+    [ 1; 24 ]
+
 let test_reference_key_expansion () =
   (* Satellite: the engine's writer-based 3DES key expansion must equal
      the definitional [flow_key ^ Md5.digest flow_key] truncation — the
@@ -602,6 +641,8 @@ let () =
             test_datapath_accounting;
           Alcotest.test_case "batched path keeps the allocation invariant" `Quick
             test_datapath_accounting_batched;
+          Alcotest.test_case "batched receive keeps the allocation invariant"
+            `Quick test_datapath_accounting_batched_rx;
           Alcotest.test_case "3des key expansion differential" `Quick
             test_reference_key_expansion;
         ] );
