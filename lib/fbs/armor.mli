@@ -165,8 +165,13 @@ type batch_rx_ops = {
           here, with identical counter accounting) and return the
           pending job plus the plaintext string the job will fill.  The
           string's bytes are complete only after [run_rx]; the body
-          slice is borrowed by the job until then.  Bumps [decryptions]
-          and key-schedule hit/miss like the inline path. *)
+          slice is borrowed by the job until then.  The string may alias
+          the job's mutable output buffer (an [unsafe_to_string] of it),
+          so it must be treated as write-once-at-flush: the queue owner
+          must not read, hash or compare it before [run_rx], and must
+          never deliver it from a job that was dropped without running.
+          Bumps [decryptions] and key-schedule hit/miss like the inline
+          path. *)
   run_rx : threshold:int -> job array -> int * int;
       (** Run every pending open; returns the kernel's
           [(batched, scalar)] block split. *)

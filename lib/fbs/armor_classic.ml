@@ -53,7 +53,10 @@ let des_cbc_batch_rx : Armor.batch_rx_ops =
         | job ->
             (* The returned string aliases the job's output buffer: its
                bytes land when the batch runs, the same finalize-shares-
-               storage idiom as the deferred seal's wire. *)
+               storage idiom as the deferred seal's wire.  Per the
+               [defer_open] contract this breaks string immutability
+               until [run_rx]: the queue owner must not read it before
+               the flush, nor deliver it from a dropped job. *)
             Ok
               ( Des_cbc_open job,
                 Bytes.unsafe_to_string (Fbsr_crypto.Des_bitslice.dec_job_out job)

@@ -1012,14 +1012,20 @@ module Batch_rx = struct
     capacity : int;
     linger : float;
     queue : pending Queue.t;
+    mutable on_park : (unit -> unit) option;
+        (* fires on every enqueue that leaves the frame parked (no
+           capacity flush) — including late enqueues from a resumed
+           keying continuation, which the caller of [receive_batched]
+           cannot observe synchronously *)
   }
 
   let create ?(threshold = 24) ?(capacity = Fbsr_crypto.Des_bitslice.lanes)
       ?(linger = 0.001) engine =
     if capacity < 1 then invalid_arg "Engine.Batch_rx.create: capacity < 1";
     if linger < 0. then invalid_arg "Engine.Batch_rx.create: negative linger";
-    { engine; threshold; capacity; linger; queue = Queue.create () }
+    { engine; threshold; capacity; linger; queue = Queue.create (); on_park = None }
 
+  let set_on_park b f = b.on_park <- Some f
   let pending b = Queue.length b.queue
 
   (* Run every queued open (bitsliced when at least [threshold] jobs
@@ -1150,7 +1156,18 @@ let receive_batched (b : Batch_rx.batch) ~now ~src ~(wire : string)
                       }
                       b.Batch_rx.queue;
                     if Queue.length b.Batch_rx.queue >= b.Batch_rx.capacity
-                    then ignore (Batch_rx.flush b))))
+                    then ignore (Batch_rx.flush b)
+                    else
+                      (* The frame stays parked.  Notify here — at actual
+                         enqueue time — rather than leaving the caller to
+                         infer a park from [pending], because when the
+                         keying layer suspended above, this enqueue runs
+                         in a later event, after the caller's synchronous
+                         check: without the hook nothing would arm a
+                         linger flush and the frame could park forever. *)
+                      match b.Batch_rx.on_park with
+                      | Some f -> f ()
+                      | None -> ())))
 
 (* Synchronous conveniences for callers whose resolver completes inline. *)
 

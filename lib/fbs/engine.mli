@@ -303,8 +303,23 @@ module Batch_rx : sig
       queue reaches this size.  [linger] (default 1 ms): {!tick} flushes
       a partial batch older than this. *)
 
+  val set_on_park : batch -> (unit -> unit) -> unit
+  (** [set_on_park b f] installs [f] to run after every enqueue that
+      leaves a frame parked (i.e. that did not trigger a capacity
+      flush).  Deferrable frames whose keying suspended enqueue {e
+      later}, when the continuation resumes in another event — after
+      {!receive_batched} has already returned — so a caller that arms
+      its linger flush only when it observes {!pending} grow
+      synchronously would never flush such a frame.  Install the
+      flush-arming logic here instead; the hook always runs in the
+      event that performed the enqueue. *)
+
   val pending : batch -> int
-  (** Frames currently queued. *)
+  (** Frames currently queued.  A queued frame's plaintext string (the
+      one {!Armor.batch_rx_ops.defer_open} returned) is not yet stable:
+      its bytes are written by the kernel pass inside {!flush}.  Nothing
+      may read, hash or compare a deferred payload until the flush that
+      delivers it has run. *)
 
   val flush : batch -> int * int
   (** Run every queued open, then verify and deliver in enqueue order
@@ -330,7 +345,11 @@ val receive_batched :
     kernel — DES-CBC suites) the continuation fires from
     {!Batch_rx.flush} — immediately when this enqueue fills the batch,
     else at a later [flush]/[tick]; the wire string is borrowed by the
-    queue until that flush.  Everything else — prologue refusals,
+    queue until that flush.  When the keying layer suspends (cold flow),
+    the enqueue itself is deferred to the resumed continuation's event —
+    use {!Batch_rx.set_on_park} to learn of it, since [pending] will not
+    have grown when this call returns.  Everything else — prologue
+    refusals,
     non-secret bodies, NOP and non-DES-CBC suites, frames whose
     ciphertext is rejected up front (bad length, corrupt padding) —
     resolves inline with {!receive} semantics, counter for counter. *)

@@ -376,22 +376,17 @@ let input_hook t (h : Ipv4.header) payload : Host.hook_result =
           else Fbsr_util.Slice.to_string wire
         in
         Fbsr_fbs.Engine.receive_batched b ~now ~src ~wire:wire_s k;
-        (* Queued (not refused inline, not delivered by a capacity
-           flush): arm the linger flush if none is pending. *)
+        (* Queued synchronously (not refused inline, not delivered by a
+           capacity flush).  The linger flush is armed by the batch's
+           on-park hook (see [install]), not here: a frame that suspends
+           on the receive-side master-key fetch enqueues later, from the
+           resumed keying continuation's event, where no synchronous
+           check in this hook could observe it — arming only from here
+           would park such a frame indefinitely. *)
         if
           Option.is_none !sync_result
           && Fbsr_fbs.Engine.Batch_rx.pending b = before + 1
-        then begin
-          batch_parked := true;
-          t.counters.rx_batched <- t.counters.rx_batched + 1;
-          if not t.rx_flush_scheduled then begin
-            t.rx_flush_scheduled <- true;
-            Engine.schedule (Host.engine t.host) ~delay:t.config.rx_linger
-              (fun () ->
-                t.rx_flush_scheduled <- false;
-                ignore (Fbsr_fbs.Engine.Batch_rx.flush b : int * int))
-          end
-        end);
+        then batch_parked := true);
     completed_sync := false;
     match !sync_result with
     | Some (Ok acc) ->
@@ -474,6 +469,24 @@ let install ?(config = default_config ()) ?(sfl_seed = 0x5f1)
       asm = Fbsr_util.Byte_writer.create ~capacity:64 ();
     }
   in
+  (* Arm the rx linger flush from the batch's own enqueue, so every park
+     is covered — in particular a frame whose keying suspended, which
+     enqueues from the resumed continuation's event, after [input_hook]
+     has long returned.  The hook always runs inside a scheduler event
+     (packet arrival or MKD-reply continuation), so [Engine.schedule] is
+     available. *)
+  (match t.rx_batch with
+  | None -> ()
+  | Some b ->
+      Fbsr_fbs.Engine.Batch_rx.set_on_park b (fun () ->
+          t.counters.rx_batched <- t.counters.rx_batched + 1;
+          if not t.rx_flush_scheduled then begin
+            t.rx_flush_scheduled <- true;
+            Engine.schedule (Host.engine t.host) ~delay:t.config.rx_linger
+              (fun () ->
+                t.rx_flush_scheduled <- false;
+                ignore (Fbsr_fbs.Engine.Batch_rx.flush b : int * int))
+          end));
   (match config.encapsulation with
   | `Shim -> ()
   | `Ip_option ->

@@ -121,6 +121,33 @@ let test_stack_udp_end_to_end () =
   check Alcotest.int "all resumed" 3 sc.Stack.resumed;
   check Alcotest.int "one fetch" 1 (Mkd.stats a.Testbed.mkd).Mkd.fetches
 
+(* Regression (review): in [batched_rx] mode a frame that suspends on the
+   receive-side master-key fetch enqueues into the rx batch only when the
+   keying continuation resumes — in a later scheduler event, after
+   [input_hook]'s synchronous parked-frame check has run.  The linger
+   flush must therefore be armed by the batch's on-park hook at actual
+   enqueue time; arming it only from [input_hook] would park the first
+   datagram of a cold flow forever when no follow-up traffic arrives.
+   One lone datagram on a cold flow is exactly that worst case: with the
+   bug, the event loop drains with the frame still queued. *)
+let test_stack_batched_rx_cold_flow_lone_datagram () =
+  let config = Stack.default_config ~batched_rx:true () in
+  let tb, a, b = make_pair ~config () in
+  let got = ref [] in
+  Udp_stack.listen b.Testbed.host ~port:7 (fun ~src:_ ~src_port:_ d ->
+      got := d :: !got);
+  Udp_stack.send a.Testbed.host ~src_port:7 ~dst:(Host.addr b.Testbed.host)
+    ~dst_port:7 "lone cold-flow datagram";
+  Testbed.run tb;
+  check
+    Alcotest.(list string)
+    "delivered despite the late park" [ "lone cold-flow datagram" ] !got;
+  let sc = Stack.counters b.Testbed.stack in
+  check Alcotest.int "suspended on the receive-side key fetch" 1
+    sc.Stack.suspended_in;
+  check Alcotest.int "parked in the rx batch after the fetch" 1 sc.Stack.rx_batched;
+  check Alcotest.int "nothing dropped" 0 sc.Stack.dropped_error
+
 let contains hay needle =
   let nl = String.length needle and hl = String.length hay in
   let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
@@ -917,6 +944,8 @@ let () =
       ( "stack",
         [
           Alcotest.test_case "udp end-to-end" `Quick test_stack_udp_end_to_end;
+          Alcotest.test_case "batched rx: lone cold-flow datagram still delivered"
+            `Quick test_stack_batched_rx_cold_flow_lone_datagram;
           Alcotest.test_case "wire is protected" `Quick test_stack_wire_is_protected;
           Alcotest.test_case "auth-only policy" `Quick test_stack_auth_only_policy;
           Alcotest.test_case "fragmentation" `Quick
