@@ -670,11 +670,22 @@ let row_bytes name =
         else Some (int_of_string (String.sub name j (i - 1 - j)) * block)
       else Some block
 
+(* Bechamel's grouped runner emits "<group>/crypto/<row>" names, so the
+   crypto segment must be accepted after any '/' — matching only a
+   "crypto/" prefix silently yields an empty object. *)
+let crypto_row name =
+  prefixed "crypto/" name
+  ||
+  let p = "/crypto/" in
+  let np = String.length p and n = String.length name in
+  let rec go i = i + np <= n && (String.sub name i np = p || go (i + 1)) in
+  go 0
+
 let ns_per_byte_json rows =
   Fbsr_util.Json.Obj
     (List.filter_map
        (fun (name, ns) ->
-         if not (prefixed "crypto/" name) then None
+         if not (crypto_row name) then None
          else
            Option.map
              (fun b -> (name, Fbsr_util.Json.Float (ns /. float_of_int b)))
